@@ -1,0 +1,202 @@
+//! # libra-arrays
+//!
+//! Phased antenna array codebooks and beam patterns for 60 GHz WLAN
+//! simulation.
+//!
+//! The X60 testbed used by the paper carries a SiBeam 24-element array
+//! whose reference codebook defines **25 beam patterns spaced roughly 5°
+//! apart in their main lobe, spanning −60°…60° in azimuth, with a 3 dB
+//! beamwidth of 25°–35°** (paper §4.1). Crucially, the paper notes the
+//! patterns "feature large side lobes in addition to the central main
+//! lobe, similar to the beam patterns in COTS 60 GHz devices" — those
+//! imperfect side lobes are what makes reflected (NLOS) paths sometimes
+//! outperform the LOS path (paper §3, Fig. 3), so this crate models them
+//! explicitly.
+//!
+//! A [`BeamPattern`] is a parametric directional gain function:
+//! a Gaussian-shaped main lobe whose peak gain follows the elliptical-beam
+//! aperture approximation, plus a small number of deterministic side lobes
+//! and a back-lobe floor. A [`Codebook`] is an indexed set of patterns —
+//! [`Codebook::sibeam_25`] reproduces the X60 array, and
+//! [`Codebook::cots`] builds coarser sector sets like those in COTS
+//! 802.11ad radios. [`BeamPattern::quasi_omni`] models the quasi-omni
+//! reception mode used during sector sweeps (§2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pattern;
+
+pub use pattern::{BeamPattern, SideLobe};
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a beam (sector) within a codebook.
+pub type BeamId = usize;
+
+/// An indexed set of beam patterns steerable by the radio in real time
+/// (electronic switching in < 1 µs on X60, so switching cost is ignored —
+/// the cost of beam *training* is what matters and is modelled in
+/// `libra-mac`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Codebook {
+    beams: Vec<BeamPattern>,
+}
+
+impl Codebook {
+    /// Builds a codebook from explicit patterns.
+    pub fn new(beams: Vec<BeamPattern>) -> Self {
+        assert!(!beams.is_empty(), "a codebook needs at least one beam");
+        Self { beams }
+    }
+
+    /// The 25-beam SiBeam reference codebook of the X60 testbed:
+    /// steering angles −60°…60° in 5° steps, 3 dB beamwidths varying
+    /// smoothly between 25° and 35° across the codebook (edge beams are
+    /// wider, as on real arrays), and per-beam deterministic side lobes.
+    pub fn sibeam_25() -> Self {
+        Self::steered(25, -60.0, 60.0, 25.0, 35.0)
+    }
+
+    /// A COTS-style sector codebook with `n` sectors.
+    ///
+    /// Measured COTS codebooks (e.g. the Talon AD7200 patterns
+    /// characterised by Steinmetzer et al. [54]) are *irregular*: sector
+    /// indices are not a neat angular fan — steering directions carry
+    /// large offsets and beamwidths vary wildly. This is modelled with
+    /// deterministic per-sector jitter: a ±9° steering perturbation and
+    /// beamwidths between 25° and 50°. The irregularity is what makes a
+    /// noisy sector sweep *costly* (picking a neighbouring index can
+    /// lose several dB) — the mechanism behind the §3 sector-flapping
+    /// throughput losses.
+    pub fn cots(n: usize) -> Self {
+        assert!(n >= 1);
+        let beams = (0..n)
+            .map(|i| {
+                let frac = if n == 1 { 0.5 } else { i as f64 / (n - 1) as f64 };
+                let nominal = -60.0 + 120.0 * frac;
+                let h = pattern::wrap_deg((i as f64 * 47.0).sin() * 360.0);
+                let steer = nominal + 9.0 * (h / 180.0);
+                let bw = 25.0 + 25.0 * (0.5 + 0.5 * (i as f64 * 1.7).cos());
+                BeamPattern::directional(i, steer, bw)
+            })
+            .collect();
+        Self::new(beams)
+    }
+
+    /// Generic steered codebook: `n` beams with steering angles evenly
+    /// spaced over `[first_deg, last_deg]` and beamwidths interpolating
+    /// from `bw_center_deg` at broadside to `bw_edge_deg` at the edges.
+    pub fn steered(
+        n: usize,
+        first_deg: f64,
+        last_deg: f64,
+        bw_center_deg: f64,
+        bw_edge_deg: f64,
+    ) -> Self {
+        assert!(n >= 1);
+        let beams = (0..n)
+            .map(|i| {
+                let frac = if n == 1 { 0.5 } else { i as f64 / (n - 1) as f64 };
+                let steer = first_deg + (last_deg - first_deg) * frac;
+                // Beams steered away from broadside broaden (cos-scan loss).
+                let edge_frac = (steer.abs() / last_deg.abs().max(1.0)).min(1.0);
+                let bw = bw_center_deg + (bw_edge_deg - bw_center_deg) * edge_frac;
+                BeamPattern::directional(i, steer, bw)
+            })
+            .collect();
+        Self::new(beams)
+    }
+
+    /// Number of beams in the codebook (the `N` of the O(N)/O(N²) beam
+    /// training complexity discussion in §2).
+    pub fn len(&self) -> usize {
+        self.beams.len()
+    }
+
+    /// True when the codebook is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.beams.is_empty()
+    }
+
+    /// The pattern of beam `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range.
+    pub fn beam(&self, id: BeamId) -> &BeamPattern {
+        &self.beams[id]
+    }
+
+    /// Iterator over `(id, pattern)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (BeamId, &BeamPattern)> {
+        self.beams.iter().enumerate()
+    }
+
+    /// The beam whose steering angle is closest to `angle_deg` — the beam
+    /// an ideal geometry-aware oracle would pick for a LOS path at that
+    /// bearing.
+    pub fn closest_beam(&self, angle_deg: f64) -> BeamId {
+        self.beams
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let da = (a.steer_deg() - angle_deg).abs();
+                let db = (b.steer_deg() - angle_deg).abs();
+                da.partial_cmp(&db).expect("angles are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("codebook is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sibeam_has_25_beams_5_deg_apart() {
+        let cb = Codebook::sibeam_25();
+        assert_eq!(cb.len(), 25);
+        for (i, b) in cb.iter() {
+            let expect = -60.0 + 5.0 * i as f64;
+            assert!((b.steer_deg() - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sibeam_beamwidths_in_paper_range() {
+        let cb = Codebook::sibeam_25();
+        for (_, b) in cb.iter() {
+            assert!(b.beamwidth_deg() >= 25.0 - 1e-9 && b.beamwidth_deg() <= 35.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn edge_beams_are_wider_than_center() {
+        let cb = Codebook::sibeam_25();
+        assert!(cb.beam(0).beamwidth_deg() > cb.beam(12).beamwidth_deg());
+    }
+
+    #[test]
+    fn closest_beam_picks_matching_steer() {
+        let cb = Codebook::sibeam_25();
+        assert_eq!(cb.closest_beam(0.0), 12);
+        assert_eq!(cb.closest_beam(-60.0), 0);
+        // 57° is 2° from the 55° beam (id 23) and 3° from the 60° beam.
+        assert_eq!(cb.closest_beam(57.0), 23);
+        assert_eq!(cb.closest_beam(100.0), 24);
+    }
+
+    #[test]
+    fn cots_codebook_is_coarser() {
+        let cb = Codebook::cots(8);
+        assert_eq!(cb.len(), 8);
+        assert!(cb.beam(4).beamwidth_deg() >= 35.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one beam")]
+    fn empty_codebook_rejected() {
+        Codebook::new(vec![]);
+    }
+}

@@ -1,0 +1,344 @@
+//! Parametric directional beam patterns.
+//!
+//! A pattern maps an azimuth angle (degrees, in the array's local frame,
+//! 0° = broadside) to an antenna gain in dBi. The model is:
+//!
+//! * **Main lobe** — Gaussian in dB: `G(θ) = G_max − 3·(Δ/(bw/2))²` where
+//!   `Δ` is the angular offset from the steering direction; at `Δ = bw/2`
+//!   the gain is exactly 3 dB down, matching the definition of a 3 dB
+//!   beamwidth.
+//! * **Peak gain** — elliptical-beam aperture approximation
+//!   `G_max = 10·log10(41253 / (bw_az · bw_el))` with a fixed 30°
+//!   elevation beamwidth (the SiBeam array steers only in azimuth).
+//! * **Side lobes** — two or three deterministic lobes per beam at offsets
+//!   of 35°–95° from the main lobe and 9–16 dB below the peak, derived
+//!   from the beam index with a fixed hash so patterns are reproducible.
+//!   The paper stresses that real codebook patterns have "large side
+//!   lobes"; these drive the NLOS-beats-LOS cases.
+//! * **Floor** — a −10 dBi back-lobe floor (nothing is perfectly null).
+//!
+//! Gains from different lobes combine in the linear power domain.
+
+use libra_util::db::{db_to_linear, linear_to_db};
+use serde::{Deserialize, Serialize};
+
+/// Solid angle of a sphere in square degrees (for aperture gain).
+const SPHERE_SQ_DEG: f64 = 41_253.0;
+
+/// Fixed elevation beamwidth of the azimuth-steered array, in degrees.
+const ELEVATION_BW_DEG: f64 = 30.0;
+
+/// Gain floor of the pattern (back lobes / leakage), in dBi.
+const FLOOR_DBI: f64 = -10.0;
+
+/// A secondary lobe of an imperfect beam pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SideLobe {
+    /// Offset of the lobe peak from the main steering direction, degrees
+    /// (signed).
+    pub offset_deg: f64,
+    /// Lobe peak level relative to the main-lobe peak, dB (negative).
+    pub rel_level_db: f64,
+    /// 3 dB width of the side lobe, degrees.
+    pub width_deg: f64,
+}
+
+/// A directional (or quasi-omni) antenna gain pattern.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BeamPattern {
+    steer_deg: f64,
+    beamwidth_deg: f64,
+    peak_gain_dbi: f64,
+    side_lobes: Vec<SideLobe>,
+    /// Quasi-omni patterns skip the main-lobe shaping and return a nearly
+    /// flat low gain.
+    quasi_omni: bool,
+    /// Lazily computed azimuth-mean gain (not part of identity).
+    #[serde(skip)]
+    mean_gain_cache: std::sync::OnceLock<f64>,
+}
+
+impl PartialEq for BeamPattern {
+    fn eq(&self, other: &Self) -> bool {
+        self.steer_deg == other.steer_deg
+            && self.beamwidth_deg == other.beamwidth_deg
+            && self.peak_gain_dbi == other.peak_gain_dbi
+            && self.side_lobes == other.side_lobes
+            && self.quasi_omni == other.quasi_omni
+    }
+}
+
+impl BeamPattern {
+    /// A directional pattern steered at `steer_deg` with the given 3 dB
+    /// beamwidth. `index` seeds the deterministic side-lobe layout, so two
+    /// beams with the same steering/width but different indices differ in
+    /// their imperfections (as adjacent codebook entries do on hardware).
+    pub fn directional(index: usize, steer_deg: f64, beamwidth_deg: f64) -> Self {
+        assert!(beamwidth_deg > 0.0, "beamwidth must be positive");
+        let peak_gain_dbi = 10.0 * (SPHERE_SQ_DEG / (beamwidth_deg * ELEVATION_BW_DEG)).log10();
+        Self {
+            steer_deg,
+            beamwidth_deg,
+            peak_gain_dbi,
+            side_lobes: derive_side_lobes(index, steer_deg),
+            quasi_omni: false,
+            mean_gain_cache: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// A directional pattern with explicit side lobes (for tests and for
+    /// building pathological codebooks).
+    pub fn with_side_lobes(
+        steer_deg: f64,
+        beamwidth_deg: f64,
+        side_lobes: Vec<SideLobe>,
+    ) -> Self {
+        assert!(beamwidth_deg > 0.0, "beamwidth must be positive");
+        let peak_gain_dbi = 10.0 * (SPHERE_SQ_DEG / (beamwidth_deg * ELEVATION_BW_DEG)).log10();
+        Self {
+            steer_deg,
+            beamwidth_deg,
+            peak_gain_dbi,
+            side_lobes,
+            quasi_omni: false,
+            mean_gain_cache: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The quasi-omni pattern used during sector sweeps: ~2 dBi flat with
+    /// a gentle cosine ripple (real quasi-omni modes are not perfectly
+    /// flat, which adds realistic noise to SLS measurements).
+    pub fn quasi_omni() -> Self {
+        Self {
+            steer_deg: 0.0,
+            beamwidth_deg: 360.0,
+            peak_gain_dbi: 2.0,
+            side_lobes: Vec::new(),
+            quasi_omni: true,
+            mean_gain_cache: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Steering direction of the main lobe, degrees.
+    pub fn steer_deg(&self) -> f64 {
+        self.steer_deg
+    }
+
+    /// 3 dB beamwidth of the main lobe, degrees.
+    pub fn beamwidth_deg(&self) -> f64 {
+        self.beamwidth_deg
+    }
+
+    /// Peak (boresight) gain, dBi.
+    pub fn peak_gain_dbi(&self) -> f64 {
+        self.peak_gain_dbi
+    }
+
+    /// The deterministic side lobes of this pattern.
+    pub fn side_lobes(&self) -> &[SideLobe] {
+        &self.side_lobes
+    }
+
+    /// True for the quasi-omni reception pattern.
+    pub fn is_quasi_omni(&self) -> bool {
+        self.quasi_omni
+    }
+
+    /// Mean gain over all azimuths (linear average expressed in dBi) —
+    /// the effective gain toward a diffuse (angularly spread) source.
+    /// Computed once and cached (the pattern is immutable).
+    pub fn mean_gain_dbi(&self) -> f64 {
+        *self.mean_gain_cache.get_or_init(|| {
+            let n = 360;
+            let total: f64 = (0..n)
+                .map(|i| db_to_linear(self.gain_dbi(-180.0 + 360.0 * i as f64 / n as f64)))
+                .sum();
+            linear_to_db(total / n as f64)
+        })
+    }
+
+    /// Antenna gain toward azimuth `angle_deg`, in dBi.
+    ///
+    /// Angles are wrapped to `(-180°, 180°]`. Contributions of the main
+    /// lobe, each side lobe, and the back-lobe floor are summed in the
+    /// linear power domain.
+    pub fn gain_dbi(&self, angle_deg: f64) -> f64 {
+        if self.quasi_omni {
+            // Flat 2 dBi with ±1 dB ripple (4 periods over the circle).
+            let ripple = (4.0 * angle_deg.to_radians()).cos();
+            return self.peak_gain_dbi - 1.0 + ripple;
+        }
+        let delta = wrap_deg(angle_deg - self.steer_deg);
+        let mut linear = db_to_linear(FLOOR_DBI);
+        linear += db_to_linear(self.lobe_gain_db(delta, 0.0, 0.0, self.beamwidth_deg));
+        for sl in &self.side_lobes {
+            linear += db_to_linear(self.lobe_gain_db(delta, sl.offset_deg, sl.rel_level_db, sl.width_deg));
+        }
+        linear_to_db(linear)
+    }
+
+    /// Gain of one Gaussian lobe (in dB) at main-lobe offset `delta`.
+    fn lobe_gain_db(&self, delta: f64, lobe_offset: f64, rel_level_db: f64, width: f64) -> f64 {
+        let d = wrap_deg(delta - lobe_offset);
+        let half = width / 2.0;
+        let rolloff = 3.0 * (d / half) * (d / half);
+        // Cap each lobe's rolloff at 40 dB below its own peak so the sum
+        // stays numerically sane; the floor term dominates beyond that.
+        self.peak_gain_dbi + rel_level_db - rolloff.min(40.0)
+    }
+}
+
+/// Wraps an angle to `(-180°, 180°]`.
+pub fn wrap_deg(angle: f64) -> f64 {
+    let mut a = angle % 360.0;
+    if a <= -180.0 {
+        a += 360.0;
+    } else if a > 180.0 {
+        a -= 360.0;
+    }
+    a
+}
+
+/// Deterministic per-beam side-lobe layout.
+///
+/// Uses a small integer hash of the beam index so the "imperfections" are
+/// stable across runs but vary across the codebook. Side lobes lean toward
+/// the broadside-opposite direction, as grating lobes of steered arrays do.
+fn derive_side_lobes(index: usize, steer_deg: f64) -> Vec<SideLobe> {
+    let h = fxhash(index as u64);
+    let n = 2 + (h % 2) as usize; // 2 or 3 side lobes
+    let mut lobes = Vec::with_capacity(n);
+    for k in 0..n {
+        let hk = fxhash(h ^ ((k as u64 + 1) * 0x9e37_79b9));
+        // Offset magnitude 35°..95°, on alternating sides but biased away
+        // from the steering direction (grating-lobe-like).
+        let mag = 35.0 + (hk % 61) as f64; // 35..95
+        let side = if k % 2 == 0 { -steer_deg.signum_or_one() } else { steer_deg.signum_or_one() };
+        let offset = side * mag;
+        let level = -(9.0 + ((hk >> 8) % 8) as f64); // −9..−16 dB
+        let width = 12.0 + ((hk >> 16) % 9) as f64; // 12°..20°
+        lobes.push(SideLobe { offset_deg: offset, rel_level_db: level, width_deg: width });
+    }
+    lobes
+}
+
+trait SignumOrOne {
+    fn signum_or_one(self) -> f64;
+}
+impl SignumOrOne for f64 {
+    fn signum_or_one(self) -> f64 {
+        if self == 0.0 {
+            1.0
+        } else {
+            self.signum()
+        }
+    }
+}
+
+fn fxhash(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boresight_gain_is_peak_gain() {
+        let b = BeamPattern::directional(0, 0.0, 30.0);
+        // Side lobes are far away; boresight ≈ peak (within the floor's
+        // negligible contribution).
+        assert!((b.gain_dbi(0.0) - b.peak_gain_dbi()).abs() < 0.3);
+    }
+
+    #[test]
+    fn peak_gain_matches_aperture_formula() {
+        let b = BeamPattern::directional(0, 0.0, 30.0);
+        let expect = 10.0 * (41_253.0f64 / (30.0 * 30.0)).log10(); // ≈ 16.6 dBi
+        assert!((b.peak_gain_dbi() - expect).abs() < 1e-9);
+        assert!(b.peak_gain_dbi() > 16.0 && b.peak_gain_dbi() < 17.0);
+    }
+
+    #[test]
+    fn gain_is_3db_down_at_half_beamwidth() {
+        let b = BeamPattern::with_side_lobes(0.0, 30.0, vec![]);
+        let drop = b.gain_dbi(0.0) - b.gain_dbi(15.0);
+        assert!((drop - 3.0).abs() < 0.2, "3 dB point off: {drop}");
+    }
+
+    #[test]
+    fn narrower_beam_has_higher_gain() {
+        let narrow = BeamPattern::directional(0, 0.0, 25.0);
+        let wide = BeamPattern::directional(0, 0.0, 35.0);
+        assert!(narrow.peak_gain_dbi() > wide.peak_gain_dbi());
+    }
+
+    #[test]
+    fn steering_moves_the_main_lobe() {
+        let b = BeamPattern::with_side_lobes(40.0, 30.0, vec![]);
+        assert!(b.gain_dbi(40.0) > b.gain_dbi(0.0));
+        assert!(b.gain_dbi(40.0) > b.gain_dbi(80.0));
+    }
+
+    #[test]
+    fn side_lobe_creates_local_bump() {
+        let sl = SideLobe { offset_deg: 60.0, rel_level_db: -10.0, width_deg: 15.0 };
+        let b = BeamPattern::with_side_lobes(0.0, 30.0, vec![sl]);
+        let at_lobe = b.gain_dbi(60.0);
+        let beside_lobe = b.gain_dbi(40.0);
+        assert!(at_lobe > beside_lobe, "side lobe bump missing: {at_lobe} vs {beside_lobe}");
+        assert!((b.gain_dbi(0.0) - at_lobe) > 8.0 && (b.gain_dbi(0.0) - at_lobe) < 12.0);
+    }
+
+    #[test]
+    fn gain_never_below_floor() {
+        let b = BeamPattern::directional(3, -55.0, 28.0);
+        for i in -180..=180 {
+            assert!(b.gain_dbi(i as f64) >= FLOOR_DBI - 1e-9);
+        }
+    }
+
+    #[test]
+    fn derived_side_lobes_are_deterministic() {
+        let a = BeamPattern::directional(7, 10.0, 30.0);
+        let b = BeamPattern::directional(7, 10.0, 30.0);
+        assert_eq!(a.side_lobes(), b.side_lobes());
+        let c = BeamPattern::directional(8, 10.0, 30.0);
+        assert_ne!(a.side_lobes(), c.side_lobes());
+    }
+
+    #[test]
+    fn derived_side_lobes_within_spec() {
+        for idx in 0..25 {
+            let b = BeamPattern::directional(idx, 0.0, 30.0);
+            assert!(!b.side_lobes().is_empty());
+            for sl in b.side_lobes() {
+                assert!(sl.offset_deg.abs() >= 35.0 && sl.offset_deg.abs() <= 95.0);
+                assert!(sl.rel_level_db <= -9.0 && sl.rel_level_db >= -16.0);
+                assert!(sl.width_deg >= 12.0 && sl.width_deg <= 20.0);
+            }
+        }
+    }
+
+    #[test]
+    fn quasi_omni_is_roughly_flat() {
+        let q = BeamPattern::quasi_omni();
+        assert!(q.is_quasi_omni());
+        let gains: Vec<f64> = (-180..180).map(|a| q.gain_dbi(a as f64)).collect();
+        let min = gains.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = gains.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min <= 2.0 + 1e-9, "ripple too large: {}", max - min);
+        assert!(max <= 3.0 && min >= 0.0);
+    }
+
+    #[test]
+    fn wrap_deg_wraps() {
+        assert_eq!(wrap_deg(190.0), -170.0);
+        assert_eq!(wrap_deg(-190.0), 170.0);
+        assert_eq!(wrap_deg(360.0), 0.0);
+        assert_eq!(wrap_deg(180.0), 180.0);
+        assert_eq!(wrap_deg(-180.0), 180.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for beam patterns and codebooks.
+
+use libra_arrays::pattern::wrap_deg;
+use libra_arrays::{BeamPattern, Codebook, SideLobe};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn wrap_deg_in_range(a in -1e4f64..1e4) {
+        let w = wrap_deg(a);
+        prop_assert!(w > -180.0 - 1e-9 && w <= 180.0 + 1e-9);
+        // Wrapping is idempotent.
+        prop_assert!((wrap_deg(w) - w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrap_deg_preserves_angle_mod_360(a in -1e4f64..1e4) {
+        let w = wrap_deg(a);
+        let diff = (a - w) / 360.0;
+        prop_assert!((diff - diff.round()).abs() < 1e-6, "a={a} w={w}");
+    }
+
+    #[test]
+    fn gain_periodic_in_angle(idx in 0usize..25, a in -180.0f64..180.0) {
+        let b = BeamPattern::directional(idx, 10.0, 30.0);
+        prop_assert!((b.gain_dbi(a) - b.gain_dbi(a + 360.0)).abs() < 1e-9);
+        prop_assert!((b.gain_dbi(a) - b.gain_dbi(a - 720.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boresight_is_global_maximum_without_side_lobes(
+        steer in -60.0f64..60.0,
+        bw in 20.0f64..50.0,
+        a in -180.0f64..180.0,
+    ) {
+        let b = BeamPattern::with_side_lobes(steer, bw, vec![]);
+        prop_assert!(b.gain_dbi(steer) >= b.gain_dbi(a) - 1e-9);
+    }
+
+    #[test]
+    fn side_lobe_below_main_lobe(
+        offset in 40.0f64..90.0,
+        level in -16.0f64..-9.0,
+        width in 12.0f64..20.0,
+    ) {
+        let sl = SideLobe { offset_deg: offset, rel_level_db: level, width_deg: width };
+        let b = BeamPattern::with_side_lobes(0.0, 30.0, vec![sl]);
+        prop_assert!(b.gain_dbi(offset) < b.gain_dbi(0.0));
+    }
+
+    #[test]
+    fn mean_gain_between_floor_and_peak(idx in 0usize..25) {
+        let b = BeamPattern::directional(idx, -60.0 + 5.0 * idx as f64, 30.0);
+        let m = b.mean_gain_dbi();
+        prop_assert!(m > -10.0 && m < b.peak_gain_dbi());
+    }
+
+    #[test]
+    fn closest_beam_is_argmin_over_steering(angle in -90.0f64..90.0) {
+        let cb = Codebook::sibeam_25();
+        let picked = cb.closest_beam(angle);
+        let d_picked = (cb.beam(picked).steer_deg() - angle).abs();
+        for (_, b) in cb.iter() {
+            prop_assert!(d_picked <= (b.steer_deg() - angle).abs() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn steered_codebook_spans_requested_fan(n in 2usize..40) {
+        let cb = Codebook::steered(n, -60.0, 60.0, 25.0, 35.0);
+        prop_assert_eq!(cb.len(), n);
+        prop_assert!((cb.beam(0).steer_deg() + 60.0).abs() < 1e-9);
+        prop_assert!((cb.beam(n - 1).steer_deg() - 60.0).abs() < 1e-9);
+        // Steering strictly increasing.
+        let steers: Vec<f64> = cb.iter().map(|(_, b)| b.steer_deg()).collect();
+        prop_assert!(steers.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn cots_codebook_stays_in_field_of_view(n in 2usize..64) {
+        let cb = Codebook::cots(n);
+        for (_, b) in cb.iter() {
+            prop_assert!(b.steer_deg().abs() <= 70.0, "steer {}", b.steer_deg());
+            prop_assert!((25.0..=50.0).contains(&b.beamwidth_deg()));
+        }
+    }
+
+    #[test]
+    fn narrower_beam_never_lower_peak_gain(bw1 in 20.0f64..35.0, extra in 1.0f64..15.0) {
+        let narrow = BeamPattern::with_side_lobes(0.0, bw1, vec![]);
+        let wide = BeamPattern::with_side_lobes(0.0, bw1 + extra, vec![]);
+        prop_assert!(narrow.peak_gain_dbi() > wide.peak_gain_dbi());
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the full experiment regenerators — one per
+//! table/figure family of the paper. These measure the *end-to-end cost*
+//! of reproducing each artifact (the `experiments` binary prints the
+//! artifacts themselves).
+//!
+//! Datasets and classifiers are built once (shared `OnceLock` context),
+//! so each bench isolates the per-artifact computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use libra_bench::{context, evaluation, motivation, study};
+use libra_mac::{BaOverheadPreset, ProtocolParams};
+
+fn bench_motivation(c: &mut Criterion) {
+    c.bench_function("figs1-3/cots_static_10s", |b| {
+        b.iter(|| {
+            let cfg = libra_mac::CotsConfig {
+                profile: libra_mac::DeviceProfile::talon_ap(),
+                ba_enabled: true,
+                fixed_sector: 0,
+                duration_s: 10.0,
+                seed: 1,
+            };
+            libra_mac::run_cots(
+                &libra_mac::CotsScenario::Static { distance_m: 9.1 },
+                &cfg,
+            )
+        })
+    });
+    let _ = motivation::fig1(1); // type-check linkage
+}
+
+fn bench_tables12(c: &mut Criterion) {
+    // Force the one-time dataset generation outside the measurement.
+    context::main_dataset();
+    c.bench_function("tables1-2/summary_from_cached_dataset", |b| {
+        b.iter(study::table1)
+    });
+}
+
+fn bench_figs4_9(c: &mut Criterion) {
+    context::main_dataset();
+    c.bench_function("figs4-9/metric_cdfs_one_figure", |b| {
+        b.iter(|| study::metric_cdfs(0))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    context::classifier();
+    c.bench_function("table3/importances", |b| b.iter(study::table3));
+}
+
+fn bench_figs10_11(c: &mut Criterion) {
+    context::testing_dataset();
+    context::classifier();
+    let params = ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0);
+    c.bench_function("figs10-11/one_cell_228_entries", |b| {
+        b.iter(|| evaluation::single_impairment_cell(params, 400.0))
+    });
+}
+
+fn bench_figs12_13(c: &mut Criterion) {
+    context::classifier();
+    let params = ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0);
+    c.bench_function("figs12-13/one_timeline_cell", |b| {
+        b.iter(|| evaluation::timeline_cell(libra::ScenarioType::Blockage, params, 2))
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_motivation, bench_tables12, bench_figs4_9, bench_table3,
+              bench_figs10_11, bench_figs12_13
+}
+criterion_main!(experiments);

@@ -1,0 +1,173 @@
+//! Criterion micro-benchmarks of the computational kernels every
+//! experiment leans on. Each group is named after the paper artifact it
+//! underpins:
+//!
+//! * `raytrace`   — image-method path tracing (all experiments)
+//! * `sweep`      — the 625-pair exhaustive SLS (dataset, Tables 1–2)
+//! * `phy`        — error model + PDP/CSI extraction (Figs 4–9)
+//! * `ml`         — forest training/prediction (§6.2, Table 3)
+//! * `simulator`  — segment execution for all five policies (Figs 10–13)
+//! * `vr`         — the VR playback model (Table 4)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use libra::sim::{run_policy_segment, ConfigData, LinkState, PolicyKind, SegmentData, SimConfig};
+use libra::vr::{play, VrTrace};
+use libra::RateSpan;
+use libra_arrays::{BeamPattern, Codebook};
+use libra_channel::{Environment, Point, Pose, Scene};
+use libra_dataset::{Features, Instruments};
+use libra_mac::sweep::exhaustive_sweep;
+use libra_mac::{BaOverheadPreset, ProtocolParams};
+use libra_ml::{Dataset, ForestConfig, RandomForest};
+use libra_phy::metrics::PowerDelayProfile;
+use libra_phy::{ErrorModel, McsTable};
+use libra_util::rng::{rng_from_seed, standard_normal};
+
+fn lobby_scene() -> Scene {
+    let room = Environment::Lobby.room();
+    Scene::new(
+        room,
+        Pose::new(Point::new(1.0, 7.0), 0.0),
+        Pose::new(Point::new(11.0, 7.0), 180.0),
+    )
+}
+
+fn bench_raytrace(c: &mut Criterion) {
+    let scene = lobby_scene();
+    c.bench_function("raytrace/lobby_paths", |b| b.iter(|| scene.rays()));
+    let rays = scene.rays();
+    let cb = Codebook::sibeam_25();
+    c.bench_function("raytrace/beam_pair_response", |b| {
+        b.iter(|| scene.response_with_rays(&rays, cb.beam(12), cb.beam(12)))
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let scene = lobby_scene();
+    let rays = scene.rays();
+    let cb = Codebook::sibeam_25();
+    let mut rng = rng_from_seed(1);
+    c.bench_function("sweep/exhaustive_625_pairs", |b| {
+        b.iter(|| exhaustive_sweep(&scene, &rays, &cb, &cb, 0.5, &mut rng))
+    });
+}
+
+fn bench_phy(c: &mut Criterion) {
+    let scene = lobby_scene();
+    let resp = scene.response(&BeamPattern::quasi_omni(), &BeamPattern::quasi_omni());
+    let table = McsTable::x60();
+    let model = ErrorModel::default();
+    c.bench_function("phy/best_mcs", |b| b.iter(|| model.best_mcs(&table, &resp)));
+    c.bench_function("phy/pdp_extraction", |b| {
+        b.iter(|| PowerDelayProfile::from_response(&resp))
+    });
+    let pdp = PowerDelayProfile::from_response(&resp);
+    c.bench_function("phy/csi_estimate_fft", |b| b.iter(|| pdp.csi_estimate()));
+}
+
+fn synth_dataset(n: usize) -> Dataset {
+    let mut rng = rng_from_seed(2);
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let c = i % 2;
+        features.push(vec![
+            c as f64 * 8.0 + standard_normal(&mut rng) * 2.0,
+            standard_normal(&mut rng) * 100.0,
+            standard_normal(&mut rng),
+            0.9 + standard_normal(&mut rng) * 0.05,
+            0.8 + standard_normal(&mut rng) * 0.1,
+            if c == 0 { 0.1 } else { 0.7 },
+            (4 + i % 5) as f64,
+        ]);
+        labels.push(c);
+    }
+    Dataset::new(
+        features,
+        labels,
+        2,
+        libra_dataset::FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+    )
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let data = synth_dataset(700);
+    c.bench_function("ml/forest_train_700x7", |b| {
+        b.iter_batched(
+            || rng_from_seed(3),
+            |mut rng| {
+                let mut rf = RandomForest::new(ForestConfig { n_trees: 20, ..Default::default() });
+                rf.fit(&data, &mut rng);
+                rf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut rf = RandomForest::new(ForestConfig::default());
+    let mut rng = rng_from_seed(4);
+    rf.fit(&data, &mut rng);
+    let row = data.features[0].clone();
+    c.bench_function("ml/forest_predict_one", |b| b.iter(|| rf.predict_one(&row)));
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let seg = SegmentData {
+        old: ConfigData {
+            tput_mbps: vec![300.0, 850.0, 1400.0, 1950.0, 90.0, 0.0, 0.0, 0.0, 0.0],
+            cdr: vec![1.0, 1.0, 1.0, 0.97, 0.03, 0.0, 0.0, 0.0, 0.0],
+        },
+        best: ConfigData {
+            tput_mbps: vec![300.0, 850.0, 1400.0, 1950.0, 2500.0, 3000.0, 1500.0, 0.0, 0.0],
+            cdr: vec![1.0, 1.0, 1.0, 1.0, 0.99, 0.95, 0.4, 0.0, 0.0],
+        },
+        features: Features {
+            snr_diff_db: 9.0,
+            tof_diff_ns: 0.0,
+            noise_diff_db: 0.2,
+            pdp_similarity: 0.92,
+            csi_similarity: 0.8,
+            cdr: 0.03,
+            initial_mcs: 6,
+        },
+        duration_ms: 1000.0,
+    };
+    let cfg = SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0));
+    let state = LinkState::at_mcs(6);
+    c.bench_function("simulator/segment_1s_oracle_data", |b| {
+        b.iter(|| run_policy_segment(&seg, PolicyKind::OracleData, None, state, &cfg))
+    });
+    c.bench_function("simulator/segment_1s_ba_first", |b| {
+        b.iter(|| run_policy_segment(&seg, PolicyKind::BaFirst, None, state, &cfg))
+    });
+}
+
+fn bench_timeline_measure(c: &mut Criterion) {
+    let scene = lobby_scene();
+    let instruments = Instruments::default();
+    c.bench_function("timeline/expected_pair_measurement", |b| {
+        b.iter(|| {
+            libra_dataset::measure::expected_pair_measurement(&scene, &instruments, (12, 12))
+        })
+    });
+}
+
+fn bench_vr(c: &mut Criterion) {
+    let mut rng = rng_from_seed(5);
+    let trace = VrTrace::synthetic_8k(30.0, 1.2, &mut rng);
+    let spans: Vec<RateSpan> = (0..300)
+        .map(|i| RateSpan {
+            start_ms: i as f64 * 100.0,
+            len_ms: 100.0,
+            mbps: if i % 7 == 0 { 0.0 } else { 1800.0 },
+        })
+        .collect();
+    c.bench_function("vr/play_30s_trace", |b| b.iter(|| play(&trace, &spans)));
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_raytrace, bench_sweep, bench_phy, bench_ml, bench_simulator,
+              bench_timeline_measure, bench_vr
+}
+criterion_main!(kernels);

@@ -1,0 +1,147 @@
+//! `experiments` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments all                 # the full suite (minutes)
+//! experiments quick               # reduced repeats/timelines (~1 min)
+//! experiments table1 fig10 ...    # individual artifacts
+//! experiments --csv-dir out/ figs # also export CSV series
+//! ```
+//!
+//! Artifact names: fig1 fig2 fig3 table1 table2 fig4 fig5 fig6 fig7 fig8
+//! fig9 cv crossbuilding table3 threeclass extmodels fig10 fig11 fig12 fig13
+//! table4 ablations.
+
+use libra_bench::{ablation, context, evaluation, motivation, study};
+use std::time::Instant;
+
+struct Opts {
+    csv_dir: Option<String>,
+    cv_repeats: usize,
+    timelines: usize,
+    vr_timelines: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts =
+        Opts { csv_dir: None, cv_repeats: 10, timelines: 50, vr_timelines: 50 };
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv-dir" => {
+                opts.csv_dir = Some(it.next().expect("--csv-dir needs a path"));
+            }
+            "quick" => {
+                opts.cv_repeats = 2;
+                opts.timelines = 10;
+                opts.vr_timelines = 10;
+                wanted.push("all".into());
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!(
+            "usage: experiments [--csv-dir DIR] [all|quick|fig1..fig13|table1..table4|cv|crossbuilding|threeclass|ablations]"
+        );
+        std::process::exit(2);
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+
+    let t0 = Instant::now();
+    let section = |name: &str, body: &mut dyn FnMut() -> String| {
+        if want(name) {
+            let t = Instant::now();
+            let out = body();
+            println!("{out}");
+            println!("[{name} took {:.1} s]\n", t.elapsed().as_secs_f64());
+        }
+    };
+
+    // --- §3 motivation -------------------------------------------------
+    section("fig1", &mut || {
+        format!(
+            "Fig 1 (static): heuristics flap even in the simplest case\n{}",
+            motivation::render(&[motivation::fig1(context::SUITE_SEED)])
+        )
+    });
+    section("fig2", &mut || {
+        format!(
+            "Fig 2 (blockage)\n{}",
+            motivation::render(&[motivation::fig2(context::SUITE_SEED)])
+        )
+    });
+    section("fig3", &mut || {
+        format!(
+            "Fig 3 (mobility): here BA genuinely helps\n{}",
+            motivation::render(&[motivation::fig3(context::SUITE_SEED)])
+        )
+    });
+
+    // --- §4–5 datasets --------------------------------------------------
+    section("table1", &mut || study::table1());
+    section("table2", &mut || study::table2());
+
+    // --- §6.1 metric CDFs -----------------------------------------------
+    for (name, (title, feature)) in ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]
+        .iter()
+        .zip(study::METRIC_FIGURES)
+    {
+        section(name, &mut || {
+            if let Some(dir) = &opts.csv_dir {
+                let csv = study::metric_figure_csv(feature);
+                let path = format!("{dir}/{name}.csv");
+                std::fs::create_dir_all(dir).expect("create csv dir");
+                std::fs::write(&path, csv).expect("write csv");
+            }
+            study::render_metric_figure(title, feature)
+        });
+    }
+
+    // --- §6.2 ML study ----------------------------------------------------
+    section("cv", &mut || study::cv_study(opts.cv_repeats));
+    section("crossbuilding", &mut || study::crossbuilding_study());
+    section("table3", &mut || study::table3());
+    section("threeclass", &mut || study::threeclass_study(opts.cv_repeats));
+    section("extmodels", &mut || study::extended_models_study(opts.cv_repeats.min(3)));
+
+    // --- §8 evaluation ----------------------------------------------------
+    section("fig10", &mut || {
+        if let Some(dir) = &opts.csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            for params in libra_mac::ProtocolParams::grid() {
+                let csv = evaluation::fig10_csv(params, 1000.0);
+                let path = format!(
+                    "{dir}/fig10_{}_{:.0}ms.csv",
+                    params.ba.label().replace(' ', ""),
+                    params.fat_ms
+                );
+                std::fs::write(&path, csv).expect("write csv");
+            }
+        }
+        evaluation::render_fig10()
+    });
+    section("fig11", &mut || evaluation::render_fig11());
+    section("fig12", &mut || evaluation::render_fig12(opts.timelines));
+    section("fig13", &mut || evaluation::render_fig13(opts.timelines));
+    section("table4", &mut || evaluation::table4(opts.vr_timelines));
+
+    // --- ablations ---------------------------------------------------------
+    section("ablations", &mut || {
+        format!(
+            "{}\n{}\n{}\n{}\n{}\n{}\n{}\n{}",
+            ablation::ablation_isi(),
+            ablation::ablation_sidelobes(),
+            ablation::ablation_fallback(),
+            ablation::ablation_probe(opts.timelines.min(20)),
+            ablation::ablation_confidence_gate(),
+            ablation::ablation_online(opts.timelines.min(24)),
+            ablation::ablation_history(opts.timelines.min(15), opts.timelines.min(10)),
+            ablation::ablation_alpha()
+        )
+    });
+
+    eprintln!("total: {:.1} s", t0.elapsed().as_secs_f64());
+}

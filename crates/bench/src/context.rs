@@ -1,0 +1,52 @@
+//! Shared, lazily-built experiment context.
+//!
+//! Every experiment needs the generated datasets and the trained
+//! classifier; building them takes about a second each in release mode,
+//! so they are constructed once per process and shared.
+
+use libra::LibraClassifier;
+use libra_dataset::{
+    generate, main_campaign_plan, testing_campaign_plan, CampaignConfig, CampaignDataset,
+    GroundTruthParams,
+};
+use libra_phy::McsTable;
+use libra_util::rng::rng_from_seed;
+use std::sync::OnceLock;
+
+/// Master seed of the whole experiment suite.
+pub const SUITE_SEED: u64 = 0x11B2A;
+
+static MAIN: OnceLock<CampaignDataset> = OnceLock::new();
+static TESTING: OnceLock<CampaignDataset> = OnceLock::new();
+static CLASSIFIER: OnceLock<LibraClassifier> = OnceLock::new();
+
+/// The main (training) dataset — Table 1.
+pub fn main_dataset() -> &'static CampaignDataset {
+    MAIN.get_or_init(|| generate(&main_campaign_plan(), &CampaignConfig::default()))
+}
+
+/// The held-out testing dataset — Table 2.
+pub fn testing_dataset() -> &'static CampaignDataset {
+    TESTING.get_or_init(|| generate(&testing_campaign_plan(), &CampaignConfig::default()))
+}
+
+/// The X60 MCS table used throughout.
+pub fn table() -> McsTable {
+    McsTable::x60()
+}
+
+/// Ground-truth parameters with α = 1 (the labelling used for Tables 1–2
+/// and the classifier training, per §5.2/§6.1 "we assume α = 1 for
+/// simplicity").
+pub fn gt_params() -> GroundTruthParams {
+    GroundTruthParams::default()
+}
+
+/// LiBRA's 3-class classifier, trained once on the main dataset.
+pub fn classifier() -> &'static LibraClassifier {
+    CLASSIFIER.get_or_init(|| {
+        let mut rng = rng_from_seed(SUITE_SEED ^ 0xC1A551F1E5);
+        let data = main_dataset().to_ml_3class(&table(), &gt_params());
+        LibraClassifier::train(&data, &mut rng)
+    })
+}

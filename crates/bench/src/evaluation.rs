@@ -1,0 +1,401 @@
+//! Experiments E11–E15: the LiBRA evaluation (paper §8).
+//!
+//! * [`fig10`] / [`fig11`] — single-impairment flows over the combined
+//!   testing dataset: CDFs of bytes-delivered difference vs Oracle-Data
+//!   and of recovery-delay difference vs Oracle-Delay, over the
+//!   4 BA-overheads × 2 FATs grid and two flow durations.
+//! * [`fig12`] / [`fig13`] — multi-impairment random timelines: data
+//!   ratio vs Oracle-Data and mean-delay difference vs Oracle-Delay,
+//!   as boxplots over 50 timelines × 4 scenario types.
+//! * [`table4`] — the 8K/60FPS VR study.
+
+use crate::context::{classifier, testing_dataset, SUITE_SEED};
+use libra::prelude::*;
+use libra::sim::run_policy_segment;
+use libra::{LinkState, PolicyKind, SegmentData, SimConfig, TimelineResult};
+use libra_mac::ProtocolParams;
+use libra_util::rng::{derive_seed_index, rng_from_seed};
+use libra_util::stats::{BoxplotSummary, EmpiricalCdf};
+use libra_util::table::{fmt_f, TextTable};
+use serde::{Deserialize, Serialize};
+
+/// One cell of the single-impairment study: one parameter combo × flow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SingleImpairmentCell {
+    /// Protocol parameters.
+    pub params: ProtocolParams,
+    /// Flow duration, ms.
+    pub flow_ms: f64,
+    /// Per-algorithm byte deficits vs Oracle-Data, MB (one per entry).
+    pub data_deficit_mb: Vec<(PolicyKind, Vec<f64>)>,
+    /// Per-algorithm delay excess vs Oracle-Delay, ms.
+    pub delay_excess_ms: Vec<(PolicyKind, Vec<f64>)>,
+}
+
+/// Runs one parameter/flow cell of §8.2 over the testing dataset.
+pub fn single_impairment_cell(params: ProtocolParams, flow_ms: f64) -> SingleImpairmentCell {
+    let ds = testing_dataset();
+    let clf = classifier();
+    let sim = SimConfig::new(params);
+
+    let mut deficits: Vec<(PolicyKind, Vec<f64>)> =
+        PolicyKind::HEURISTICS.iter().map(|&p| (p, Vec::new())).collect();
+    let mut excesses: Vec<(PolicyKind, Vec<f64>)> =
+        PolicyKind::HEURISTICS.iter().map(|&p| (p, Vec::new())).collect();
+
+    for entry in &ds.entries {
+        let seg = SegmentData::from_entry(entry, flow_ms);
+        let state = LinkState::at_mcs(entry.initial.best_mcs());
+        let oracle_data = run_policy_segment(&seg, PolicyKind::OracleData, None, state, &sim);
+        let oracle_delay = run_policy_segment(&seg, PolicyKind::OracleDelay, None, state, &sim);
+        let od_delay = oracle_delay.recovery_delay_ms;
+        for ((p, dvec), (_, evec)) in deficits.iter_mut().zip(excesses.iter_mut()) {
+            let out = run_policy_segment(&seg, *p, Some(clf), state, &sim);
+            dvec.push(((oracle_data.bytes - out.bytes) / 1e6).max(0.0));
+            if let (Some(d), Some(od)) = (out.recovery_delay_ms, od_delay) {
+                evec.push((d - od).max(0.0));
+            }
+        }
+    }
+
+    SingleImpairmentCell {
+        params,
+        flow_ms,
+        data_deficit_mb: deficits,
+        delay_excess_ms: excesses,
+    }
+}
+
+/// Renders Fig 10-style output: per algorithm, the fraction of entries
+/// matching the oracle and the deficit quantiles.
+pub fn render_fig10() -> String {
+    let mut out = String::from(
+        "Fig 10: difference in bytes delivered vs Oracle-Data (single impairment)\n",
+    );
+    let mut t = TextTable::new([
+        "combo", "flow", "algorithm", "=oracle %", "<10MB %", "p50 MB", "p90 MB", "max MB",
+    ]);
+    for params in ProtocolParams::grid() {
+        for flow_ms in [400.0, 1000.0] {
+            let cell = single_impairment_cell(params, flow_ms);
+            for (p, dvec) in &cell.data_deficit_mb {
+                let cdf = EmpiricalCdf::new(dvec.iter().copied());
+                t.row([
+                    params.label(),
+                    format!("{:.1} s", flow_ms / 1000.0),
+                    p.label().to_string(),
+                    fmt_f(cdf.eval(0.5) * 100.0, 0),
+                    fmt_f(cdf.eval(10.0) * 100.0, 0),
+                    fmt_f(cdf.quantile(0.5), 1),
+                    fmt_f(cdf.quantile(0.9), 1),
+                    fmt_f(cdf.quantile(1.0), 1),
+                ]);
+            }
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Renders Fig 11-style output: recovery-delay excess vs Oracle-Delay.
+pub fn render_fig11() -> String {
+    let mut out = String::from(
+        "Fig 11: difference in recovery delay vs Oracle-Delay (single impairment)\n",
+    );
+    let mut t = TextTable::new([
+        "combo", "algorithm", "<=5ms %", "p50 ms", "p90 ms", "max ms",
+    ]);
+    for params in ProtocolParams::grid() {
+        let cell = single_impairment_cell(params, 1000.0);
+        for (p, evec) in &cell.delay_excess_ms {
+            let cdf = EmpiricalCdf::new(evec.iter().copied());
+            t.row([
+                params.label(),
+                p.label().to_string(),
+                fmt_f(cdf.eval(5.0) * 100.0, 0),
+                fmt_f(cdf.quantile(0.5), 1),
+                fmt_f(cdf.quantile(0.9), 1),
+                fmt_f(cdf.quantile(1.0), 1),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// CSV export of one cell's deficit CDFs (for external plotting).
+pub fn fig10_csv(params: ProtocolParams, flow_ms: f64) -> String {
+    let cell = single_impairment_cell(params, flow_ms);
+    let mut w = libra_util::csvio::CsvWriter::new();
+    w.row(["algorithm", "deficit_mb", "cdf"]);
+    for (p, dvec) in &cell.data_deficit_mb {
+        for (x, y) in EmpiricalCdf::new(dvec.iter().copied()).steps() {
+            w.row([p.label(), &format!("{x:.3}"), &format!("{y:.4}")]);
+        }
+    }
+    w.as_str().to_string()
+}
+
+// ---------------------------------------------------------------------
+// Multi-impairment timelines (Figs 12–13).
+// ---------------------------------------------------------------------
+
+/// Results of one scenario-type × parameter-combo cell of §8.3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineCell {
+    /// Scenario type.
+    pub scenario: ScenarioType,
+    /// Protocol parameters.
+    pub params: ProtocolParams,
+    /// Per algorithm: data ratio vs Oracle-Data, one value per timeline.
+    pub data_ratio: Vec<(PolicyKind, Vec<f64>)>,
+    /// Per algorithm: mean recovery-delay excess vs Oracle-Delay, ms.
+    pub delay_excess_ms: Vec<(PolicyKind, Vec<f64>)>,
+}
+
+/// The §8.3 parameter combos shown in the paper (space limits reduced
+/// Figs 12–13 to BA ∈ {0.5 ms, 250 ms} × FAT ∈ {2, 10} ms).
+pub fn fig12_combos() -> Vec<ProtocolParams> {
+    let mut v = Vec::new();
+    for fat in [2.0, 10.0] {
+        for ba in BaOverheadPreset::FIGURE12 {
+            v.push(ProtocolParams::new(ba, fat));
+        }
+    }
+    v
+}
+
+/// Runs one timeline cell: `n_timelines` random timelines of one type.
+pub fn timeline_cell(
+    scenario: ScenarioType,
+    params: ProtocolParams,
+    n_timelines: usize,
+) -> TimelineCell {
+    let clf = classifier();
+    let sim = SimConfig::new(params);
+    let instruments = libra_dataset::Instruments::default();
+    let tl_cfg = TimelineConfig::default();
+
+    let mut data_ratio: Vec<(PolicyKind, Vec<f64>)> =
+        PolicyKind::HEURISTICS.iter().map(|&p| (p, Vec::new())).collect();
+    let mut delay_excess: Vec<(PolicyKind, Vec<f64>)> =
+        PolicyKind::HEURISTICS.iter().map(|&p| (p, Vec::new())).collect();
+
+    for i in 0..n_timelines {
+        let mut rng = rng_from_seed(derive_seed_index(SUITE_SEED ^ 0x71, i as u64));
+        let tl = generate_timeline(scenario, &tl_cfg, &mut rng);
+        let od = run_timeline(&tl, PolicyKind::OracleData, None, &sim, &instruments);
+        let odelay = run_timeline(&tl, PolicyKind::OracleDelay, None, &sim, &instruments);
+        for ((p, rvec), (_, evec)) in data_ratio.iter_mut().zip(delay_excess.iter_mut()) {
+            let r = run_timeline(&tl, *p, Some(clf), &sim, &instruments);
+            if od.bytes > 0.0 {
+                rvec.push((r.bytes / od.bytes).min(1.2));
+            }
+            evec.push((r.mean_recovery_delay_ms() - odelay.mean_recovery_delay_ms()).max(0.0));
+        }
+    }
+
+    TimelineCell { scenario, params, data_ratio, delay_excess_ms: delay_excess }
+}
+
+fn render_boxplot_rows(
+    t: &mut TextTable,
+    combo: &str,
+    scenario: &str,
+    series: &[(PolicyKind, Vec<f64>)],
+    digits: usize,
+) {
+    for (p, xs) in series {
+        if xs.is_empty() {
+            continue;
+        }
+        let b = BoxplotSummary::new(xs);
+        t.row([
+            combo.to_string(),
+            scenario.to_string(),
+            p.label().to_string(),
+            fmt_f(b.whisker_lo, digits),
+            fmt_f(b.q1, digits),
+            fmt_f(b.median, digits),
+            fmt_f(b.q3, digits),
+            fmt_f(b.whisker_hi, digits),
+        ]);
+    }
+}
+
+/// Fig 12 — ratio of data delivered vs Oracle-Data (boxplots).
+pub fn render_fig12(n_timelines: usize) -> String {
+    let mut t =
+        TextTable::new(["combo", "scenario", "algorithm", "lo", "q1", "median", "q3", "hi"]);
+    for params in fig12_combos() {
+        let mut all: Vec<(PolicyKind, Vec<f64>)> =
+            PolicyKind::HEURISTICS.iter().map(|&p| (p, Vec::new())).collect();
+        for scenario in ScenarioType::ALL {
+            let cell = timeline_cell(scenario, params, n_timelines);
+            render_boxplot_rows(&mut t, &params.label(), scenario.label(), &cell.data_ratio, 3);
+            for ((_, acc), (_, xs)) in all.iter_mut().zip(&cell.data_ratio) {
+                acc.extend_from_slice(xs);
+            }
+        }
+        render_boxplot_rows(&mut t, &params.label(), "All", &all, 3);
+    }
+    format!(
+        "Fig 12: ratio of bytes delivered vs Oracle-Data ({n_timelines} timelines per type)\n{}",
+        t.render()
+    )
+}
+
+/// Fig 13 — mean recovery-delay difference vs Oracle-Delay (boxplots).
+pub fn render_fig13(n_timelines: usize) -> String {
+    let mut t =
+        TextTable::new(["combo", "scenario", "algorithm", "lo", "q1", "median", "q3", "hi"]);
+    for params in fig12_combos() {
+        let mut all: Vec<(PolicyKind, Vec<f64>)> =
+            PolicyKind::HEURISTICS.iter().map(|&p| (p, Vec::new())).collect();
+        for scenario in ScenarioType::ALL {
+            let cell = timeline_cell(scenario, params, n_timelines);
+            render_boxplot_rows(
+                &mut t,
+                &params.label(),
+                scenario.label(),
+                &cell.delay_excess_ms,
+                1,
+            );
+            for ((_, acc), (_, xs)) in all.iter_mut().zip(&cell.delay_excess_ms) {
+                acc.extend_from_slice(xs);
+            }
+        }
+        render_boxplot_rows(&mut t, &params.label(), "All", &all, 1);
+    }
+    format!(
+        "Fig 13: mean recovery-delay difference vs Oracle-Delay, ms ({n_timelines} timelines per type)\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------
+// VR study (Table 4).
+// ---------------------------------------------------------------------
+
+/// Table 4 — average stall duration and number of stalls for 8K VR over
+/// mobility timelines, with throughput scaled to COTS levels.
+pub fn table4(n_timelines: usize) -> String {
+    let clf = classifier();
+    let instruments = libra_dataset::Instruments::default();
+    // VR sessions are 30 s; build mobility timelines long enough to
+    // carry the whole clip.
+    // VR links run at the channel model's nominal power: the paper's
+    // VR clients sit in COTS-typical range where the scaled 2.4 Gbps
+    // peak is reachable — stalls should come from adaptation events,
+    // not chronic starvation.
+    let tl_cfg = TimelineConfig {
+        n_segments: 16,
+        min_segment_ms: 2000.0,
+        max_segment_ms: 3000.0,
+        tx_power_dbm: 6.0,
+        ..Default::default()
+    };
+    let combos = [
+        (BaOverheadPreset::QuasiOmni30, 2.0),
+        (BaOverheadPreset::QuasiOmni30, 10.0),
+        (BaOverheadPreset::Directional7, 2.0),
+        (BaOverheadPreset::Directional7, 10.0),
+    ];
+    let policies = [
+        PolicyKind::BaFirst,
+        PolicyKind::RaFirst,
+        PolicyKind::Libra,
+        PolicyKind::OracleData,
+        PolicyKind::OracleDelay,
+    ];
+    let mut t = TextTable::new([
+        "BA overhead, FAT",
+        "BA First",
+        "RA First",
+        "LiBRA",
+        "Oracle-Data",
+        "Oracle-Delay",
+    ]);
+    for (ba, fat) in combos {
+        let params = ProtocolParams::new(ba, fat);
+        let mut sim = SimConfig::new(params);
+        sim.tput_scale = COTS_TPUT_SCALE;
+        // Scale the working-MCS throughput threshold consistently.
+        sim.min_tput_mbps *= COTS_TPUT_SCALE;
+        let mut cells: Vec<String> = vec![params.label()];
+        for policy in policies {
+            let mut durs = Vec::new();
+            let mut counts = Vec::new();
+            for i in 0..n_timelines {
+                let mut rng = rng_from_seed(derive_seed_index(SUITE_SEED ^ 0x74B1E4, i as u64));
+                let tl = generate_timeline(ScenarioType::Mobility, &tl_cfg, &mut rng);
+                let trace = VrTrace::synthetic_8k(30.0, 1.2, &mut rng);
+                let r: TimelineResult = run_timeline(&tl, policy, Some(clf), &sim, &instruments);
+                let rep = play(&trace, &r.spans);
+                if rep.total_stall_ms.is_finite() {
+                    durs.push(rep.mean_stall_ms);
+                    counts.push(rep.n_stalls as f64);
+                }
+            }
+            cells.push(format!(
+                "{}/{}",
+                fmt_f(libra_util::stats::mean(&durs), 1),
+                fmt_f(libra_util::stats::mean(&counts), 1)
+            ));
+        }
+        t.row(cells);
+    }
+    format!(
+        "Table 4: VR stall duration (ms)/number of stalls ({n_timelines} mobility timelines)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_impairment_cell_shapes() {
+        let cell = single_impairment_cell(
+            ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0),
+            400.0,
+        );
+        let n = testing_dataset().entries.len();
+        for (_, d) in &cell.data_deficit_mb {
+            assert_eq!(d.len(), n);
+            assert!(d.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn libra_close_to_oracle_in_most_cases() {
+        // The headline claim: LiBRA delivers the same bytes as the
+        // oracle in the vast majority of single-impairment cases.
+        let cell = single_impairment_cell(
+            ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0),
+            1000.0,
+        );
+        let libra = cell
+            .data_deficit_mb
+            .iter()
+            .find(|(p, _)| *p == PolicyKind::Libra)
+            .map(|(_, d)| d)
+            .unwrap();
+        let near = libra.iter().filter(|&&d| d < 10.0).count() as f64 / libra.len() as f64;
+        assert!(near > 0.6, "LiBRA within 10 MB of oracle only {:.0}%", near * 100.0);
+    }
+
+    #[test]
+    fn timeline_cell_runs() {
+        let cell = timeline_cell(
+            ScenarioType::Blockage,
+            ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0),
+            3,
+        );
+        for (_, r) in &cell.data_ratio {
+            assert_eq!(r.len(), 3);
+            assert!(r.iter().all(|&x| x > 0.0 && x <= 1.2));
+        }
+    }
+}

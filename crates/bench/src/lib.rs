@@ -1,0 +1,31 @@
+//! # libra-bench
+//!
+//! The experiment harness: code that regenerates **every table and
+//! figure** of the paper's evaluation, plus the ablations of DESIGN.md.
+//!
+//! The `experiments` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p libra-bench --bin experiments -- all
+//! cargo run --release -p libra-bench --bin experiments -- table1 fig10 ...
+//! ```
+//!
+//! Criterion benches (`cargo bench`) measure the performance of the
+//! computational kernels each experiment leans on (ray tracing,
+//! exhaustive sweeps, forest training/prediction, segment simulation).
+//!
+//! | module | experiments |
+//! |---|---|
+//! | [`motivation`] | E1–E3: Figs 1–3 (COTS study) |
+//! | [`study`] | E4–E10: Tables 1–3, Figs 4–9, §6.2 ML study, §7 3-class model |
+//! | [`evaluation`] | E11–E15: Figs 10–13, Table 4 |
+//! | [`ablation`] | DESIGN.md §5 ablations |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod context;
+pub mod evaluation;
+pub mod motivation;
+pub mod study;

@@ -1,0 +1,281 @@
+//! Experiments E4–E10: dataset summaries (Tables 1–2), the PHY-metric
+//! CDF study (Figs 4–9), the ML study (§6.2), Gini importances
+//! (Table 3), and the 3-class model of §7.
+
+use crate::context::{classifier, gt_params, main_dataset, table, testing_dataset, SUITE_SEED};
+use libra_dataset::{
+    generate, main_campaign_plan, testing_campaign_plan, Action, CampaignConfig,
+    CampaignDataset, Impairment, Instruments, FEATURE_NAMES,
+};
+use libra_ml::{cross_validate, train_test_eval, ModelKind};
+use libra_util::csvio::CsvWriter;
+use libra_util::stats::EmpiricalCdf;
+use libra_util::table::{fmt_f, TextTable};
+
+/// Renders a Table 1 / Table 2 style summary.
+pub fn render_summary(name: &str, ds: &CampaignDataset) -> String {
+    let rows = ds.summary(&table(), &gt_params());
+    let mut t = TextTable::new(["", "Total", "BA", "RA", "Positions"]);
+    for r in &rows {
+        t.row([
+            r.name.clone(),
+            r.total.to_string(),
+            r.ba.to_string(),
+            r.ra.to_string(),
+            r.positions.to_string(),
+        ]);
+    }
+    format!("{name}\n{}", t.render())
+}
+
+/// Table 1 — main dataset summary.
+pub fn table1() -> String {
+    render_summary("Table 1: Main/training dataset summary", main_dataset())
+}
+
+/// Table 2 — testing dataset summary.
+pub fn table2() -> String {
+    render_summary("Table 2: Testing dataset summary", testing_dataset())
+}
+
+/// The six metric figures of §6.1, in paper order.
+pub const METRIC_FIGURES: [(&str, usize); 6] = [
+    ("Fig 4: SNR Difference (dB)", 0),
+    ("Fig 5: ToF Difference (ns)", 1),
+    ("Fig 6: PDP Similarity", 3),
+    ("Fig 7: CSI Similarity", 4),
+    ("Fig 8: Codeword Delivery Ratio", 5),
+    ("Fig 9: Initial MCS", 6),
+];
+
+/// Per-class CDF of one feature over one sub-dataset.
+pub struct MetricCdf {
+    /// Panel name ("Displacement", …, "Overall").
+    pub panel: String,
+    /// CDF of the metric over the BA-labelled entries.
+    pub ba: EmpiricalCdf,
+    /// CDF over the RA-labelled entries.
+    pub ra: EmpiricalCdf,
+}
+
+/// Computes the four panels (three impairments + overall) of one metric
+/// figure over the main dataset.
+pub fn metric_cdfs(feature_idx: usize) -> Vec<MetricCdf> {
+    let ds = main_dataset();
+    let labels = ds.label(&table(), &gt_params());
+    let mut panels = Vec::new();
+    let mut grab = |panel: &str, filter: Option<Impairment>| {
+        let mut ba = Vec::new();
+        let mut ra = Vec::new();
+        for (e, gt) in ds.entries.iter().zip(&labels) {
+            if filter.map_or(true, |k| e.impairment == k) {
+                let v = e.features.to_row()[feature_idx];
+                match gt.label {
+                    Action::Ba => ba.push(v),
+                    Action::Ra => ra.push(v),
+                }
+            }
+        }
+        panels.push(MetricCdf {
+            panel: panel.to_string(),
+            ba: EmpiricalCdf::new(ba),
+            ra: EmpiricalCdf::new(ra),
+        });
+    };
+    grab("Displacement", Some(Impairment::Displacement));
+    grab("Blockage", Some(Impairment::Blockage));
+    grab("Interference", Some(Impairment::Interference));
+    grab("Overall", None);
+    panels
+}
+
+/// Renders one metric figure as quantile rows per panel and class.
+pub fn render_metric_figure(title: &str, feature_idx: usize) -> String {
+    let panels = metric_cdfs(feature_idx);
+    let mut t = TextTable::new(["panel", "class", "n", "p10", "p25", "p50", "p75", "p90"]);
+    for p in &panels {
+        for (class, cdf) in [("BA", &p.ba), ("RA", &p.ra)] {
+            t.row([
+                p.panel.clone(),
+                class.to_string(),
+                cdf.len().to_string(),
+                fmt_f(cdf.quantile(0.10), 2),
+                fmt_f(cdf.quantile(0.25), 2),
+                fmt_f(cdf.quantile(0.50), 2),
+                fmt_f(cdf.quantile(0.75), 2),
+                fmt_f(cdf.quantile(0.90), 2),
+            ]);
+        }
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Exports the full CDF step series of one metric figure as CSV.
+pub fn metric_figure_csv(feature_idx: usize) -> String {
+    let panels = metric_cdfs(feature_idx);
+    let mut w = CsvWriter::new();
+    w.row(["panel", "class", "x", "cdf"]);
+    for p in &panels {
+        for (class, cdf) in [("BA", &p.ba), ("RA", &p.ra)] {
+            for (x, y) in cdf.steps() {
+                w.row([p.panel.as_str(), class, &format!("{x:.4}"), &format!("{y:.4}")]);
+            }
+        }
+    }
+    w.as_str().to_string()
+}
+
+/// §6.2 — repeated stratified 5-fold CV for all four models.
+/// `repeats` trades fidelity for runtime (the paper uses 500).
+pub fn cv_study(repeats: usize) -> String {
+    let train = main_dataset().to_ml(&table(), &gt_params());
+    let mut t = TextTable::new(["model", "accuracy", "weighted F1", "paper acc", "paper F1"]);
+    let paper = [("DT", 0.95, 0.95), ("RF", 0.98, 0.98), ("SVM", 0.91, 0.91), ("DNN", 0.95, 0.90)];
+    for (kind, (_, pa, pf)) in ModelKind::ALL.iter().zip(paper) {
+        let res = cross_validate(*kind, &train, 5, repeats, SUITE_SEED ^ 0xCF);
+        t.row([
+            kind.name().to_string(),
+            fmt_f(res.accuracy, 3),
+            fmt_f(res.weighted_f1, 3),
+            fmt_f(pa, 2),
+            fmt_f(pf, 2),
+        ]);
+    }
+    format!("5-fold stratified cross validation (main dataset, {repeats} repeats)\n{}", t.render())
+}
+
+/// Extension: the paper's four models plus k-NN and GBDT, evaluated
+/// under both protocols (CV and cross-building) in one table.
+pub fn extended_models_study(repeats: usize) -> String {
+    let train = main_dataset().to_ml(&table(), &gt_params());
+    let test = testing_dataset().to_ml(&table(), &gt_params());
+    let mut t = TextTable::new(["model", "cv acc", "cv F1", "cross-building acc", "cross-building F1"]);
+    for kind in ModelKind::EXTENDED {
+        let cv = cross_validate(kind, &train, 5, repeats, SUITE_SEED ^ 0xE1);
+        let (acc, f1) = train_test_eval(kind, &train, &test, SUITE_SEED ^ 0xE2);
+        t.row([
+            kind.name().to_string(),
+            fmt_f(cv.accuracy, 3),
+            fmt_f(cv.weighted_f1, 3),
+            fmt_f(acc, 3),
+            fmt_f(f1, 3),
+        ]);
+    }
+    format!("Extended model comparison (paper's four + k-NN + GBDT)
+{}", t.render())
+}
+
+/// §6.2 — train on the main dataset, test on the held-out buildings.
+pub fn crossbuilding_study() -> String {
+    let train = main_dataset().to_ml(&table(), &gt_params());
+    let test = testing_dataset().to_ml(&table(), &gt_params());
+    let mut t = TextTable::new(["model", "accuracy", "weighted F1", "paper acc", "paper F1"]);
+    let paper = [("DT", 0.85, 0.85), ("RF", 0.88, 0.88), ("SVM", 0.88, 0.88), ("DNN", 0.83, 0.76)];
+    for (kind, (_, pa, pf)) in ModelKind::ALL.iter().zip(paper) {
+        let (acc, f1) = train_test_eval(*kind, &train, &test, SUITE_SEED ^ 0xCB);
+        t.row([
+            kind.name().to_string(),
+            fmt_f(acc, 3),
+            fmt_f(f1, 3),
+            fmt_f(pa, 2),
+            fmt_f(pf, 2),
+        ]);
+    }
+    format!("Cross-building generalization (train: main, test: buildings 1–2)\n{}", t.render())
+}
+
+/// Table 3 — Gini importances of the LiBRA random forest.
+pub fn table3() -> String {
+    let imp = classifier().forest().feature_importances();
+    let paper = [0.215, 0.08, 0.16, 0.06, 0.12, 0.125, 0.26];
+    let mut t = TextTable::new(["feature", "importance", "paper"]);
+    for ((name, v), p) in FEATURE_NAMES.iter().zip(&imp).zip(paper) {
+        t.row([name.to_string(), fmt_f(*v, 3), fmt_f(p, 3)]);
+    }
+    format!("Table 3: Gini importance\n{}", t.render())
+}
+
+/// §7 — the 3-class (BA/RA/NA) model: 5-fold CV on the augmented main
+/// dataset and accuracy on the augmented testing dataset, plus the 40 ms
+/// observation-window ablation.
+pub fn threeclass_study(repeats: usize) -> String {
+    let params = gt_params();
+    let train3 = main_dataset().to_ml_3class(&table(), &params);
+    let test3 = testing_dataset().to_ml_3class(&table(), &params);
+    let cv = cross_validate(ModelKind::RandomForest, &train3, 5, repeats, SUITE_SEED ^ 0x3C);
+    let (acc_test, _) =
+        train_test_eval(ModelKind::RandomForest, &train3, &test3, SUITE_SEED ^ 0x3D);
+
+    // 40 ms windows: 2 frames per window instead of 100 (1 s).
+    let short = Instruments { trace_frames: 2, ..Instruments::default() };
+    let cfg = CampaignConfig { instruments: short, ..CampaignConfig::default() };
+    let main_short = generate(&main_campaign_plan(), &cfg);
+    let test_short = generate(&testing_campaign_plan(), &cfg);
+    let train3s = main_short.to_ml_3class(&table(), &params);
+    let test3s = test_short.to_ml_3class(&table(), &params);
+    let (acc_short, _) =
+        train_test_eval(ModelKind::RandomForest, &train3s, &test3s, SUITE_SEED ^ 0x3E);
+
+    let mut t = TextTable::new(["setting", "accuracy", "paper"]);
+    t.row(["RF 3-class, 5-fold CV (1 s windows)".to_string(), fmt_f(cv.accuracy, 3), "0.98".into()]);
+    t.row(["RF 3-class, cross-building (1 s windows)".to_string(), fmt_f(acc_test, 3), "0.94".into()]);
+    t.row([
+        "RF 3-class, cross-building (40 ms windows)".to_string(),
+        fmt_f(acc_short, 3),
+        "~0.91 (−3 pp)".into(),
+    ]);
+    format!("3-class BA/RA/NA model (§7)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_cdfs_have_four_panels() {
+        let panels = metric_cdfs(0);
+        assert_eq!(panels.len(), 4);
+        let overall = &panels[3];
+        assert_eq!(
+            overall.ba.len() + overall.ra.len(),
+            main_dataset().entries.len()
+        );
+    }
+
+    #[test]
+    fn snr_drop_separates_displacement_classes() {
+        // Fig 4a: big SNR drops are BA territory — the BA median drop
+        // must exceed the RA median drop under displacement.
+        let panels = metric_cdfs(0);
+        let disp = &panels[0];
+        assert!(
+            disp.ba.quantile(0.5) > disp.ra.quantile(0.5),
+            "BA median {} !> RA median {}",
+            disp.ba.quantile(0.5),
+            disp.ra.quantile(0.5)
+        );
+    }
+
+    #[test]
+    fn pdp_similarity_stays_high() {
+        // Fig 6: 60 GHz channels are sparse → PDP similarity is high for
+        // most entries (paper: ≥0.65 always; we assert the bulk).
+        let panels = metric_cdfs(3);
+        let overall = &panels[3];
+        assert!(overall.ba.quantile(0.25) > 0.5, "q25 {}", overall.ba.quantile(0.25));
+    }
+
+    #[test]
+    fn table_renders() {
+        let s = table1();
+        assert!(s.contains("Displacement") && s.contains("Overall"));
+    }
+
+    #[test]
+    fn figure_csv_parses() {
+        let csv = metric_figure_csv(6);
+        let rows = libra_util::csvio::parse_csv(&csv);
+        assert!(rows.len() > 100);
+        assert_eq!(rows[0], vec!["panel", "class", "x", "cdf"]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Human blockage model.
+//!
+//! A human body at 60 GHz is effectively opaque: measured blockage events
+//! attenuate the direct path by 20–30 dB. We model a blocker as a disc
+//! with a centre attenuation and a soft shoulder — a path passing through
+//! the disc centre takes the full loss, and the loss rolls off linearly to
+//! zero at the disc edge (a cheap stand-in for knife-edge diffraction).
+//!
+//! Paper §4.2 places blockers at three positions per scenario (mid-path,
+//! near the Tx, near the Rx); §6.1.2 notes that even *partial* blockage
+//! (SNR drops of only a few dB) almost always favours BA — the soft
+//! shoulder makes partial blockage representable.
+
+use crate::geometry::{Point, Segment};
+use serde::{Deserialize, Serialize};
+
+/// A human blocker standing in the room.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Blocker {
+    /// Torso centre position, metres.
+    pub position: Point,
+    /// Effective torso radius, metres (≈ 0.25 m for an adult).
+    pub radius_m: f64,
+    /// Attenuation of a ray through the torso centre, dB.
+    pub attenuation_db: f64,
+}
+
+impl Blocker {
+    /// A typical adult human: 0.25 m radius, 25 dB centre attenuation.
+    pub fn human(position: Point) -> Self {
+        Self { position, radius_m: 0.25, attenuation_db: 25.0 }
+    }
+
+    /// A human with custom severity (used for partial-blockage cases).
+    pub fn human_with_attenuation(position: Point, attenuation_db: f64) -> Self {
+        Self { position, radius_m: 0.25, attenuation_db }
+    }
+
+    /// Attenuation this blocker imposes on a ray travelling along `leg`.
+    ///
+    /// Full `attenuation_db` when the leg passes through the centre,
+    /// linear roll-off to 0 dB at `radius_m` of closest approach, and no
+    /// effect beyond the radius.
+    pub fn attenuation_db(&self, leg: &Segment) -> f64 {
+        let (t, dist) = leg.closest_point(self.position);
+        // A blocker standing essentially *at* an endpoint (the node
+        // itself) does not block the node's own antenna: require the
+        // closest approach to be interior to the leg.
+        if !(0.001..=0.999).contains(&t) {
+            return 0.0;
+        }
+        if dist >= self.radius_m {
+            0.0
+        } else {
+            self.attenuation_db * (1.0 - dist / self.radius_m)
+        }
+    }
+}
+
+/// Canonical blocker placement of the measurement campaign (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockerPlacement {
+    /// Standing in the middle of the LOS path.
+    MidPath,
+    /// Standing near (1 m from) the Tx.
+    NearTx,
+    /// Standing near (1 m from) the Rx.
+    NearRx,
+}
+
+impl BlockerPlacement {
+    /// All three placements.
+    pub const ALL: [BlockerPlacement; 3] =
+        [BlockerPlacement::MidPath, BlockerPlacement::NearTx, BlockerPlacement::NearRx];
+
+    /// Short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockerPlacement::MidPath => "mid",
+            BlockerPlacement::NearTx => "near-tx",
+            BlockerPlacement::NearRx => "near-rx",
+        }
+    }
+
+    /// Materialises the blocker position on the Tx→Rx line.
+    ///
+    /// `lateral_offset_m` shifts the blocker perpendicular to the LOS —
+    /// zero means dead centre (full blockage); a fraction of the torso
+    /// radius yields partial blockage.
+    pub fn blocker(self, tx: Point, rx: Point, lateral_offset_m: f64) -> Blocker {
+        let d = rx.sub(tx);
+        let len = tx.distance(rx).max(1e-9);
+        let unit = d.scale(1.0 / len);
+        let perp = Point::new(-unit.y, unit.x);
+        let along = match self {
+            BlockerPlacement::MidPath => len / 2.0,
+            BlockerPlacement::NearTx => 1.0f64.min(len / 4.0),
+            BlockerPlacement::NearRx => (len - 1.0).max(3.0 * len / 4.0),
+        };
+        let pos = tx.add(unit.scale(along)).add(perp.scale(lateral_offset_m));
+        Blocker::human(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dead_center_takes_full_loss() {
+        let b = Blocker::human(Point::new(5.0, 0.0));
+        let leg = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert!((b.attenuation_db(&leg) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outside_radius_no_loss() {
+        let b = Blocker::human(Point::new(5.0, 0.5));
+        let leg = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(b.attenuation_db(&leg), 0.0);
+    }
+
+    #[test]
+    fn partial_blockage_partial_loss() {
+        let b = Blocker::human(Point::new(5.0, 0.125));
+        let leg = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let att = b.attenuation_db(&leg);
+        assert!((att - 12.5).abs() < 1e-9, "got {att}");
+    }
+
+    #[test]
+    fn blocker_behind_endpoint_ignored() {
+        // Blocker sits past the Rx on the extension of the leg.
+        let b = Blocker::human(Point::new(11.0, 0.0));
+        let leg = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(b.attenuation_db(&leg), 0.0);
+    }
+
+    #[test]
+    fn placements_land_on_los() {
+        let tx = Point::new(0.0, 0.0);
+        let rx = Point::new(12.0, 0.0);
+        let mid = BlockerPlacement::MidPath.blocker(tx, rx, 0.0);
+        assert!((mid.position.x - 6.0).abs() < 1e-9);
+        let near_tx = BlockerPlacement::NearTx.blocker(tx, rx, 0.0);
+        assert!((near_tx.position.x - 1.0).abs() < 1e-9);
+        let near_rx = BlockerPlacement::NearRx.blocker(tx, rx, 0.0);
+        assert!((near_rx.position.x - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lateral_offset_moves_perpendicular() {
+        let tx = Point::new(0.0, 0.0);
+        let rx = Point::new(10.0, 0.0);
+        let b = BlockerPlacement::MidPath.blocker(tx, rx, 0.2);
+        assert!((b.position.y - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,262 @@
+//! 2-D geometry primitives for the indoor ray tracer.
+//!
+//! The channel model works in a 2-D top-down view of each room (the
+//! SiBeam array steers only in azimuth, and all the paper's scenarios are
+//! horizontal displacements/rotations at a fixed antenna height). Points
+//! are metres in a room-local frame; bearings are degrees,
+//! counter-clockwise, with 0° along +x.
+
+use serde::{Deserialize, Serialize};
+
+/// A point (or vector) in the 2-D room plane, metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// x coordinate, metres.
+    pub x: f64,
+    /// y coordinate, metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Constructs a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Bearing from `self` toward `other`, degrees CCW from +x, in
+    /// `(-180°, 180°]`.
+    pub fn bearing_deg(self, other: Point) -> f64 {
+        (other.y - self.y).atan2(other.x - self.x).to_degrees()
+    }
+
+    /// Component-wise subtraction, yielding the vector `self − other`.
+    pub fn sub(self, other: Point) -> Point {
+        Point::new(self.x - other.x, self.y - other.y)
+    }
+
+    /// Component-wise addition.
+    pub fn add(self, other: Point) -> Point {
+        Point::new(self.x + other.x, self.y + other.y)
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(self, k: f64) -> Point {
+        Point::new(self.x * k, self.y * k)
+    }
+
+    /// Dot product, treating both points as vectors.
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product magnitude (z of the 3-D cross).
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+}
+
+/// A line segment between two points (a wall, a cabinet face, …).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Constructs a segment.
+    pub const fn new(a: Point, b: Point) -> Self {
+        Self { a, b }
+    }
+
+    /// Segment length in metres.
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Mirrors a point across the infinite line through this segment —
+    /// the "image" of the image method of ray tracing.
+    pub fn mirror(&self, p: Point) -> Point {
+        let d = self.b.sub(self.a);
+        let len2 = d.dot(d);
+        debug_assert!(len2 > 0.0, "degenerate segment");
+        let t = p.sub(self.a).dot(d) / len2;
+        let proj = self.a.add(d.scale(t));
+        proj.add(proj.sub(p))
+    }
+
+    /// Intersection of this segment with the segment `other`, if the two
+    /// properly intersect (touching at a shared endpoint counts).
+    /// Returns the intersection point.
+    pub fn intersect(&self, other: &Segment) -> Option<Point> {
+        let r = self.b.sub(self.a);
+        let s = other.b.sub(other.a);
+        let denom = r.cross(s);
+        let qp = other.a.sub(self.a);
+        if denom.abs() < 1e-12 {
+            // Parallel (collinear overlap is not treated as intersection —
+            // a ray grazing along a wall does not reflect off it).
+            return None;
+        }
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        let eps = 1e-9;
+        if (-eps..=1.0 + eps).contains(&t) && (-eps..=1.0 + eps).contains(&u) {
+            Some(self.a.add(r.scale(t)))
+        } else {
+            None
+        }
+    }
+
+    /// Parameter `t ∈ [0,1]` of the point on this segment closest to `p`,
+    /// and the distance from `p` to that closest point.
+    pub fn closest_point(&self, p: Point) -> (f64, f64) {
+        let d = self.b.sub(self.a);
+        let len2 = d.dot(d);
+        if len2 <= 0.0 {
+            return (0.0, self.a.distance(p));
+        }
+        let t = (p.sub(self.a).dot(d) / len2).clamp(0.0, 1.0);
+        let closest = self.a.add(d.scale(t));
+        (t, closest.distance(p))
+    }
+
+    /// Minimum distance from point `p` to this segment.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.closest_point(p).1
+    }
+}
+
+/// A position plus antenna boresight orientation — the "state" geometry of
+/// a Tx or Rx node (paper §5.1 defines a *state* as every position,
+/// orientation, and impairment status).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pose {
+    /// Antenna position in the room, metres.
+    pub position: Point,
+    /// Boresight bearing, degrees CCW from +x.
+    pub orientation_deg: f64,
+}
+
+impl Pose {
+    /// Constructs a pose.
+    pub const fn new(position: Point, orientation_deg: f64) -> Self {
+        Self { position, orientation_deg }
+    }
+
+    /// Converts a world bearing into this pose's antenna-local angle
+    /// (0° = boresight), wrapped to `(-180°, 180°]`.
+    pub fn local_angle_deg(&self, world_bearing_deg: f64) -> f64 {
+        libra_arrays::pattern::wrap_deg(world_bearing_deg - self.orientation_deg)
+    }
+
+    /// The pose rotated by `delta_deg` in place.
+    pub fn rotated(&self, delta_deg: f64) -> Pose {
+        Pose::new(self.position, libra_arrays::pattern::wrap_deg(self.orientation_deg + delta_deg))
+    }
+
+    /// The pose translated by `(dx, dy)` metres, orientation unchanged.
+    pub fn translated(&self, dx: f64, dy: f64) -> Pose {
+        Pose::new(Point::new(self.position.x + dx, self.position.y + dy), self.orientation_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn distance_345() {
+        assert!(close(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0));
+    }
+
+    #[test]
+    fn bearing_cardinals() {
+        let o = Point::new(0.0, 0.0);
+        assert!(close(o.bearing_deg(Point::new(1.0, 0.0)), 0.0));
+        assert!(close(o.bearing_deg(Point::new(0.0, 1.0)), 90.0));
+        assert!(close(o.bearing_deg(Point::new(-1.0, 0.0)), 180.0));
+        assert!(close(o.bearing_deg(Point::new(0.0, -1.0)), -90.0));
+    }
+
+    #[test]
+    fn mirror_across_x_axis() {
+        let wall = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let img = wall.mirror(Point::new(3.0, 4.0));
+        assert!(close(img.x, 3.0) && close(img.y, -4.0));
+    }
+
+    #[test]
+    fn mirror_across_diagonal() {
+        let wall = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let img = wall.mirror(Point::new(1.0, 0.0));
+        assert!(close(img.x, 0.0) && close(img.y, 1.0));
+    }
+
+    #[test]
+    fn segments_crossing_intersect() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let s2 = Segment::new(Point::new(0.0, 2.0), Point::new(2.0, 0.0));
+        let p = s1.intersect(&s2).unwrap();
+        assert!(close(p.x, 1.0) && close(p.y, 1.0));
+    }
+
+    #[test]
+    fn segments_apart_do_not_intersect() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        let s2 = Segment::new(Point::new(0.0, 1.0), Point::new(1.0, 1.0));
+        assert!(s1.intersect(&s2).is_none());
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let s2 = Segment::new(Point::new(0.0, 0.5), Point::new(1.0, 1.5));
+        assert!(s1.intersect(&s2).is_none());
+    }
+
+    #[test]
+    fn intersection_beyond_segment_end_rejected() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        let s2 = Segment::new(Point::new(2.0, -1.0), Point::new(2.0, 1.0));
+        assert!(s1.intersect(&s2).is_none());
+    }
+
+    #[test]
+    fn closest_point_on_interior() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let (t, d) = s.closest_point(Point::new(5.0, 3.0));
+        assert!(close(t, 0.5) && close(d, 3.0));
+    }
+
+    #[test]
+    fn closest_point_clamps_to_endpoint() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let (t, d) = s.closest_point(Point::new(-3.0, 4.0));
+        assert!(close(t, 0.0) && close(d, 5.0));
+    }
+
+    #[test]
+    fn pose_local_angle() {
+        let pose = Pose::new(Point::new(0.0, 0.0), 90.0);
+        assert!(close(pose.local_angle_deg(90.0), 0.0));
+        assert!(close(pose.local_angle_deg(180.0), 90.0));
+        assert!(close(pose.local_angle_deg(-90.0), 180.0));
+    }
+
+    #[test]
+    fn pose_rotation_wraps() {
+        let pose = Pose::new(Point::new(0.0, 0.0), 170.0).rotated(30.0);
+        assert!(close(pose.orientation_deg, -160.0));
+    }
+}

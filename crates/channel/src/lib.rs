@@ -1,0 +1,41 @@
+//! # libra-channel
+//!
+//! A deterministic 60 GHz indoor channel simulator: the substrate standing
+//! in for the X60 testbed's physical environment (paper §4).
+//!
+//! The model is a 2-D image-method ray tracer over polygonal rooms:
+//!
+//! * [`geometry`] — points, segments, poses; mirror/intersection math.
+//! * [`room`] — walls with 60 GHz material properties and the environment
+//!   catalogue of the paper's measurement campaign (lobby, lab,
+//!   conference room, three corridors, plus the two held-out buildings of
+//!   the testing dataset).
+//! * [`raytrace`] — LOS + first/second-order specular paths with
+//!   per-leg occlusion.
+//! * [`blockage`] — human blockers with soft-shoulder attenuation and the
+//!   three canonical placements of §4.2.
+//! * [`interference`] — directional hidden-terminal interference at the
+//!   three severities of §4.2, spatially filtered by the Rx beam.
+//! * [`scene`] — ties everything together: [`Scene::response`] yields the
+//!   multipath taps, SNR, noise level and ToF for any beam pair.
+//!
+//! Everything is pure and deterministic: the same scene always produces
+//! the same response. Stochastic measurement effects (thermal jitter,
+//! per-frame variation) are added downstream in `libra-phy`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blockage;
+pub mod geometry;
+pub mod interference;
+pub mod raytrace;
+pub mod room;
+pub mod scene;
+
+pub use blockage::{Blocker, BlockerPlacement};
+pub use geometry::{Point, Pose, Segment};
+pub use interference::{InterferenceLevel, Interferer};
+pub use raytrace::RayPath;
+pub use room::{Environment, Material, Room, Wall};
+pub use scene::{BeamPairResponse, Scene, Tap};

@@ -1,0 +1,380 @@
+//! Image-method ray tracing.
+//!
+//! Produces the set of geometric propagation paths between two points in a
+//! room: the line-of-sight path plus first- and second-order specular
+//! reflections off every reflective face. Each path carries its total
+//! length, its departure/arrival bearings (for antenna-pattern weighting),
+//! and the accumulated reflection loss. Occlusion by interior faces and by
+//! human blockers is applied per path leg.
+//!
+//! 60 GHz channels are sparse — a handful of strong specular paths —
+//! which is exactly what the image method yields, and why the paper
+//! observes very high PDP similarity across states (§6.1: PDP similarity
+//! "at least 0.9 in 68 % of the cases ... owing to the sparsity of 60 GHz
+//! channels").
+
+use crate::blockage::Blocker;
+use crate::geometry::{Point, Segment};
+use crate::room::{Room, Wall};
+use serde::{Deserialize, Serialize};
+
+/// Maximum reflection order traced (2 = up to double bounces).
+pub const MAX_ORDER: usize = 2;
+
+/// A single geometric propagation path between Tx and Rx.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RayPath {
+    /// Total geometric length of the path, metres.
+    pub length_m: f64,
+    /// World bearing at which the path leaves the Tx, degrees.
+    pub aod_deg: f64,
+    /// World bearing from which the path arrives at the Rx (pointing from
+    /// Rx toward the last bounce / the Tx), degrees.
+    pub aoa_deg: f64,
+    /// Accumulated loss beyond free space: reflection + penetration +
+    /// blockage, dB.
+    pub extra_loss_db: f64,
+    /// Number of reflections (0 = LOS).
+    pub order: usize,
+}
+
+impl RayPath {
+    /// True for the direct (unreflected) path.
+    pub fn is_los(&self) -> bool {
+        self.order == 0
+    }
+}
+
+/// Traces all paths from `tx` to `rx` in `room` with the given blockers.
+///
+/// Paths whose extra loss already exceeds `loss_cutoff_db` are discarded
+/// (they cannot matter at any SNR the PHY distinguishes).
+pub fn trace_paths(
+    room: &Room,
+    tx: Point,
+    rx: Point,
+    blockers: &[Blocker],
+    loss_cutoff_db: f64,
+) -> Vec<RayPath> {
+    let mut paths = Vec::new();
+
+    // LOS path.
+    let los_block = leg_obstruction_db(room, blockers, tx, rx, &[]);
+    if los_block < loss_cutoff_db {
+        paths.push(RayPath {
+            length_m: tx.distance(rx),
+            aod_deg: tx.bearing_deg(rx),
+            aoa_deg: rx.bearing_deg(tx),
+            extra_loss_db: los_block,
+            order: 0,
+        });
+    }
+
+    // First-order reflections.
+    for (wi, wall) in room.walls.iter().enumerate() {
+        if let Some(path) = trace_single_bounce(room, blockers, tx, rx, wall, wi, loss_cutoff_db) {
+            paths.push(path);
+        }
+    }
+
+    // Second-order reflections (wall i then wall j, i != j).
+    if MAX_ORDER >= 2 {
+        for (wi, wall_i) in room.walls.iter().enumerate() {
+            for (wj, wall_j) in room.walls.iter().enumerate() {
+                if wi == wj {
+                    continue;
+                }
+                if let Some(path) = trace_double_bounce(
+                    room,
+                    blockers,
+                    tx,
+                    rx,
+                    (wall_i, wi),
+                    (wall_j, wj),
+                    loss_cutoff_db,
+                ) {
+                    paths.push(path);
+                }
+            }
+        }
+    }
+
+    paths
+}
+
+/// Single specular bounce off `wall`.
+fn trace_single_bounce(
+    room: &Room,
+    blockers: &[Blocker],
+    tx: Point,
+    rx: Point,
+    wall: &Wall,
+    wall_idx: usize,
+    loss_cutoff_db: f64,
+) -> Option<RayPath> {
+    let image = wall.segment.mirror(tx);
+    // The reflection point is where image→rx crosses the wall segment.
+    let bounce = wall.segment.intersect(&Segment::new(image, rx))?;
+    // Degenerate: Tx or Rx essentially on the wall.
+    if bounce.distance(tx) < 1e-6 || bounce.distance(rx) < 1e-6 {
+        return None;
+    }
+    let mut loss = wall.material.reflection_loss_db();
+    loss += leg_obstruction_db(room, blockers, tx, bounce, &[wall_idx]);
+    loss += leg_obstruction_db(room, blockers, bounce, rx, &[wall_idx]);
+    if loss >= loss_cutoff_db {
+        return None;
+    }
+    Some(RayPath {
+        length_m: tx.distance(bounce) + bounce.distance(rx),
+        aod_deg: tx.bearing_deg(bounce),
+        aoa_deg: rx.bearing_deg(bounce),
+        extra_loss_db: loss,
+        order: 1,
+    })
+}
+
+/// Double bounce: wall_i first, wall_j second.
+fn trace_double_bounce(
+    room: &Room,
+    blockers: &[Blocker],
+    tx: Point,
+    rx: Point,
+    (wall_i, wi): (&Wall, usize),
+    (wall_j, wj): (&Wall, usize),
+    loss_cutoff_db: f64,
+) -> Option<RayPath> {
+    let image1 = wall_i.segment.mirror(tx);
+    let image2 = wall_j.segment.mirror(image1);
+    // Second bounce: image2→rx crossing wall_j.
+    let bounce2 = wall_j.segment.intersect(&Segment::new(image2, rx))?;
+    // First bounce: image1→bounce2 crossing wall_i.
+    let bounce1 = wall_i.segment.intersect(&Segment::new(image1, bounce2))?;
+    if bounce1.distance(tx) < 1e-6
+        || bounce2.distance(rx) < 1e-6
+        || bounce1.distance(bounce2) < 1e-6
+    {
+        return None;
+    }
+    let mut loss =
+        wall_i.material.reflection_loss_db() + wall_j.material.reflection_loss_db();
+    loss += leg_obstruction_db(room, blockers, tx, bounce1, &[wi]);
+    loss += leg_obstruction_db(room, blockers, bounce1, bounce2, &[wi, wj]);
+    loss += leg_obstruction_db(room, blockers, bounce2, rx, &[wj]);
+    if loss >= loss_cutoff_db {
+        return None;
+    }
+    Some(RayPath {
+        length_m: tx.distance(bounce1) + bounce1.distance(bounce2) + bounce2.distance(rx),
+        aod_deg: tx.bearing_deg(bounce1),
+        aoa_deg: rx.bearing_deg(bounce2),
+        extra_loss_db: loss,
+        order: 2,
+    })
+}
+
+/// Total obstruction loss along one straight leg: penetration through any
+/// occluding interior face it crosses plus diffraction loss around any
+/// human blocker near the leg. Faces in `skip` (the reflecting walls of
+/// this path) are exempt.
+fn leg_obstruction_db(
+    room: &Room,
+    blockers: &[Blocker],
+    from: Point,
+    to: Point,
+    skip: &[usize],
+) -> f64 {
+    let leg = Segment::new(from, to);
+    let mut loss = 0.0;
+    for (idx, wall) in room.walls.iter().enumerate() {
+        if !wall.occluding || skip.contains(&idx) {
+            continue;
+        }
+        if let Some(hit) = wall.segment.intersect(&leg) {
+            // Ignore grazing hits at the leg endpoints (bounce points sit
+            // exactly on their wall).
+            if hit.distance(from) > 1e-6 && hit.distance(to) > 1e-6 {
+                loss += wall.material.penetration_loss_db();
+            }
+        }
+    }
+    for blocker in blockers {
+        loss += blocker.attenuation_db(&leg);
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::room::{Environment, Material, Room};
+
+    fn empty_room() -> Room {
+        Room::rectangular("t", 20.0, 10.0, [Material::Drywall; 4])
+    }
+
+    #[test]
+    fn los_path_present_and_first() {
+        let room = empty_room();
+        let paths = trace_paths(&room, Point::new(2.0, 5.0), Point::new(12.0, 5.0), &[], 60.0);
+        let los: Vec<_> = paths.iter().filter(|p| p.is_los()).collect();
+        assert_eq!(los.len(), 1);
+        assert!((los[0].length_m - 10.0).abs() < 1e-9);
+        assert!((los[0].aod_deg - 0.0).abs() < 1e-9);
+        assert!((los[0].aoa_deg.abs() - 180.0).abs() < 1e-9);
+        assert_eq!(los[0].extra_loss_db, 0.0);
+    }
+
+    #[test]
+    fn first_order_count_in_rectangle() {
+        // In a rectangle both endpoints see each of the 4 walls → 4
+        // single-bounce paths.
+        let room = empty_room();
+        let paths = trace_paths(&room, Point::new(2.0, 5.0), Point::new(12.0, 5.0), &[], 1e9);
+        assert_eq!(paths.iter().filter(|p| p.order == 1).count(), 4);
+    }
+
+    #[test]
+    fn reflection_geometry_correct() {
+        // Tx (2,5), Rx (12,5), floor wall y=0: bounce at x where the
+        // image (2,-5) to (12,5) crosses y=0 → x = 7, lengths 2·√(5²+5²).
+        let room = empty_room();
+        let paths = trace_paths(&room, Point::new(2.0, 5.0), Point::new(12.0, 5.0), &[], 1e9);
+        let floor_bounce = paths
+            .iter()
+            .find(|p| p.order == 1 && p.aod_deg < 0.0)
+            .expect("floor reflection");
+        let expect = 2.0 * (25.0f64 + 25.0).sqrt();
+        assert!((floor_bounce.length_m - expect).abs() < 1e-6);
+        assert!((floor_bounce.aod_deg + 45.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reflection_longer_than_los() {
+        let room = empty_room();
+        let paths = trace_paths(&room, Point::new(2.0, 5.0), Point::new(12.0, 5.0), &[], 1e9);
+        let los_len = paths.iter().find(|p| p.is_los()).unwrap().length_m;
+        for p in paths.iter().filter(|p| p.order > 0) {
+            assert!(p.length_m > los_len);
+        }
+    }
+
+    #[test]
+    fn second_order_paths_exist() {
+        let room = empty_room();
+        let paths = trace_paths(&room, Point::new(2.0, 5.0), Point::new(12.0, 5.0), &[], 1e9);
+        assert!(paths.iter().any(|p| p.order == 2));
+    }
+
+    #[test]
+    fn metal_reflection_cheaper_than_brick() {
+        let metal = Room::rectangular("m", 20.0, 10.0, [Material::Metal; 4]);
+        let brick = Room::rectangular("b", 20.0, 10.0, [Material::Brick; 4]);
+        let tx = Point::new(2.0, 5.0);
+        let rx = Point::new(12.0, 5.0);
+        let pm = trace_paths(&metal, tx, rx, &[], 1e9);
+        let pb = trace_paths(&brick, tx, rx, &[], 1e9);
+        let lm = pm.iter().find(|p| p.order == 1).unwrap().extra_loss_db;
+        let lb = pb.iter().find(|p| p.order == 1).unwrap().extra_loss_db;
+        assert!(lm < lb);
+    }
+
+    #[test]
+    fn interior_occluder_attenuates_los() {
+        let room = empty_room().with_interior(
+            Point::new(7.0, 3.0),
+            Point::new(7.0, 7.0),
+            Material::Metal,
+        );
+        let paths = trace_paths(&room, Point::new(2.0, 5.0), Point::new(12.0, 5.0), &[], 1e9);
+        let los = paths.iter().find(|p| p.is_los()).unwrap();
+        assert!((los.extra_loss_db - Material::Metal.penetration_loss_db()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_cutoff_prunes_paths() {
+        let room = empty_room().with_interior(
+            Point::new(7.0, 0.0),
+            Point::new(7.0, 10.0),
+            Material::Metal,
+        );
+        // Wall fully separates Tx/Rx: with a tight cutoff nothing survives.
+        // (Asymmetric positions so no bounce grazes the wall's endpoint.)
+        let paths = trace_paths(&room, Point::new(2.0, 5.0), Point::new(14.0, 4.0), &[], 30.0);
+        assert!(paths.is_empty(), "survivors: {paths:?}");
+    }
+
+    #[test]
+    fn environments_yield_multipath() {
+        for env in Environment::MAIN {
+            let room = env.room();
+            let tx = Point::new(1.0, room.depth_m / 2.0);
+            let rx = Point::new(room.width_m.min(10.0) - 1.0, room.depth_m / 2.0);
+            let paths = trace_paths(&room, tx, rx, &[], 60.0);
+            assert!(paths.len() >= 2, "{}: only {} paths", room.name, paths.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod corner_tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::room::{Environment, Material};
+
+    #[test]
+    fn same_arm_link_has_clear_los() {
+        let room = Environment::LCorridor.room();
+        let paths = trace_paths(&room, Point::new(1.0, 1.25), Point::new(12.0, 1.25), &[], 60.0);
+        let los = paths.iter().find(|p| p.is_los()).expect("LOS in a straight arm");
+        assert_eq!(los.extra_loss_db, 0.0);
+    }
+
+    #[test]
+    fn around_the_corner_los_is_penetration_charged() {
+        let room = Environment::LCorridor.room();
+        let tx = Point::new(1.0, 1.25);
+        let rx = Point::new(16.75, 10.0); // up the vertical arm
+        let paths = trace_paths(&room, tx, rx, &[], 120.0);
+        let los = paths.iter().find(|p| p.is_los()).expect("penetrating LOS");
+        assert!(
+            los.extra_loss_db >= Material::Drywall.penetration_loss_db() - 1e-9,
+            "corner must charge a wall penetration: {} dB",
+            los.extra_loss_db
+        );
+    }
+
+    #[test]
+    fn corner_severely_weakens_the_link() {
+        use crate::geometry::Pose;
+        use crate::scene::Scene;
+        use libra_arrays::Codebook;
+
+        let room = Environment::LCorridor.room();
+        let cb = Codebook::sibeam_25();
+        let tx = Pose::new(Point::new(1.0, 1.25), 0.0);
+        let same_arm = Scene::new(
+            Environment::LCorridor.room(),
+            tx,
+            Pose::new(Point::new(14.0, 1.25), 180.0),
+        );
+        let around = Scene::new(room, tx, Pose::new(Point::new(16.75, 10.0), -90.0));
+        // Best exhaustive-sweep SNR in both placements.
+        let best = |scene: &Scene| {
+            let rays = scene.rays();
+            let mut best = f64::NEG_INFINITY;
+            for (_, tb) in cb.iter() {
+                for (_, rb) in cb.iter() {
+                    best = best.max(scene.response_with_rays(&rays, tb, rb).snr_db);
+                }
+            }
+            best
+        };
+        let snr_same = best(&same_arm);
+        let snr_corner = best(&around);
+        assert!(
+            snr_same - snr_corner > 10.0,
+            "corner should cost >10 dB: {snr_same} vs {snr_corner}"
+        );
+    }
+}

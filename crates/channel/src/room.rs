@@ -1,0 +1,400 @@
+//! Rooms: boundary walls, interior reflectors, and the environment
+//! catalogue from the paper's measurement campaign (Appendix A.2.1).
+
+use crate::geometry::{Point, Segment};
+use serde::{Deserialize, Serialize};
+
+/// Surface material of a wall or furniture face, determining how much
+/// power a 60 GHz specular reflection retains.
+///
+/// Reflection losses follow the values reported in 60 GHz indoor
+/// measurement literature: metal is nearly lossless, drywall loses around
+/// 10 dB, brick/concrete more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Material {
+    /// Metallic sheet / cabinet — excellent 60 GHz reflector.
+    Metal,
+    /// Glass panel — good reflector.
+    Glass,
+    /// Interior drywall.
+    Drywall,
+    /// Whiteboard (laminated surface) — good reflector.
+    Whiteboard,
+    /// Brick / old masonry — lossy, diffuse at 60 GHz.
+    Brick,
+    /// Concrete.
+    Concrete,
+}
+
+impl Material {
+    /// Power lost at a specular reflection off this material, in dB.
+    pub fn reflection_loss_db(self) -> f64 {
+        match self {
+            Material::Metal => 1.0,
+            Material::Glass => 4.0,
+            Material::Whiteboard => 5.0,
+            Material::Drywall => 9.0,
+            Material::Concrete => 12.0,
+            Material::Brick => 15.0,
+        }
+    }
+
+    /// Power lost when a ray penetrates a surface of this material, in dB.
+    /// At 60 GHz even drywall attenuates heavily; metal is opaque.
+    pub fn penetration_loss_db(self) -> f64 {
+        match self {
+            Material::Metal => 60.0,
+            Material::Glass => 8.0,
+            Material::Whiteboard => 20.0,
+            Material::Drywall => 15.0,
+            Material::Concrete => 40.0,
+            Material::Brick => 35.0,
+        }
+    }
+}
+
+/// A reflective (and possibly occluding) planar face in the room.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wall {
+    /// The face geometry.
+    pub segment: Segment,
+    /// Face material.
+    pub material: Material,
+    /// Whether the face occludes rays crossing it (boundary walls of a
+    /// convex room never sit between Tx and Rx, but interior furniture
+    /// like the lab's cabinet rows does).
+    pub occluding: bool,
+}
+
+impl Wall {
+    /// A boundary wall (non-occluding within a convex room).
+    pub fn boundary(a: Point, b: Point, material: Material) -> Self {
+        Self { segment: Segment::new(a, b), material, occluding: false }
+    }
+
+    /// An interior face that both reflects and occludes.
+    pub fn interior(a: Point, b: Point, material: Material) -> Self {
+        Self { segment: Segment::new(a, b), material, occluding: true }
+    }
+}
+
+/// A room: a set of reflective faces in a 2-D plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Room {
+    /// Human-readable name (e.g. `"lobby"`).
+    pub name: String,
+    /// All reflective faces: boundary walls first, interior faces after.
+    pub walls: Vec<Wall>,
+    /// How many of `walls` form the room boundary (the rest are
+    /// interior furniture faces).
+    pub n_boundary: usize,
+    /// Bounding box width (x extent), metres — for documentation/plotting.
+    pub width_m: f64,
+    /// Bounding box depth (y extent), metres.
+    pub depth_m: f64,
+}
+
+impl Room {
+    /// A rectangular room `[0, width] × [0, depth]` with per-side
+    /// materials `[south (y=0), east (x=w), north (y=d), west (x=0)]`.
+    pub fn rectangular(name: &str, width_m: f64, depth_m: f64, sides: [Material; 4]) -> Self {
+        let w = width_m;
+        let d = depth_m;
+        let p = Point::new;
+        let walls = vec![
+            Wall::boundary(p(0.0, 0.0), p(w, 0.0), sides[0]),
+            Wall::boundary(p(w, 0.0), p(w, d), sides[1]),
+            Wall::boundary(p(w, d), p(0.0, d), sides[2]),
+            Wall::boundary(p(0.0, d), p(0.0, 0.0), sides[3]),
+        ];
+        Self { name: name.to_string(), walls, n_boundary: 4, width_m, depth_m }
+    }
+
+    /// A general polygonal room from a counter-clockwise vertex list;
+    /// `materials[i]` is the material of the edge `vertices[i] →
+    /// vertices[i+1]`.
+    ///
+    /// Unlike [`Room::rectangular`], polygon boundary walls are marked
+    /// *occluding*: a non-convex floor plan (an L-shaped corridor, a
+    /// room with an alcove) has boundary segments that can lie between
+    /// two interior points, and a ray crossing one has left the room —
+    /// at 60 GHz that is a wall penetration and is charged as such.
+    pub fn polygon(name: &str, vertices: &[Point], materials: &[Material]) -> Self {
+        assert!(vertices.len() >= 3, "a polygon needs at least 3 vertices");
+        assert_eq!(vertices.len(), materials.len(), "one material per edge");
+        let walls = vertices
+            .iter()
+            .zip(vertices.iter().cycle().skip(1))
+            .zip(materials)
+            .map(|((&a, &b), &m)| Wall::interior(a, b, m))
+            .collect();
+        let min_x = vertices.iter().map(|v| v.x).fold(f64::INFINITY, f64::min);
+        let max_x = vertices.iter().map(|v| v.x).fold(f64::NEG_INFINITY, f64::max);
+        let min_y = vertices.iter().map(|v| v.y).fold(f64::INFINITY, f64::min);
+        let max_y = vertices.iter().map(|v| v.y).fold(f64::NEG_INFINITY, f64::max);
+        let n_boundary = vertices.len();
+        Self {
+            name: name.to_string(),
+            walls,
+            n_boundary,
+            width_m: max_x - min_x,
+            depth_m: max_y - min_y,
+        }
+    }
+
+    /// Adds an interior reflective/occluding face (cabinets, desks, …).
+    pub fn with_interior(mut self, a: Point, b: Point, material: Material) -> Self {
+        self.walls.push(Wall::interior(a, b, material));
+        self
+    }
+
+    /// Faces that occlude propagation.
+    pub fn occluders(&self) -> impl Iterator<Item = &Wall> {
+        self.walls.iter().filter(|w| w.occluding)
+    }
+
+    /// Even–odd (ray-casting) point-in-polygon test against the boundary
+    /// walls (the first `n_boundary` faces); interior furniture is
+    /// ignored. The cast ray is tilted slightly so it cannot run
+    /// collinear with an axis-aligned wall.
+    pub fn contains(&self, p: Point) -> bool {
+        let far = Point::new(
+            p.x + self.width_m + self.depth_m + 10.0,
+            p.y + 0.37, // irrational-ish tilt avoids vertex grazing
+        );
+        let ray = Segment::new(p, far);
+        let crossings = self
+            .walls
+            .iter()
+            .take(self.n_boundary)
+            .filter(|w| w.segment.intersect(&ray).is_some())
+            .count();
+        crossings % 2 == 1
+    }
+}
+
+/// The environment catalogue of the measurement campaign.
+///
+/// Geometries approximate the descriptions in Appendix A.2.1; materials
+/// follow the text (lobby: glass/metal side; lab: metallic storage
+/// cabinets; conference room: whiteboard + metal cabinets; Building 1:
+/// old brick corridor with fewer reflective surfaces; Building 2: wide
+/// open area).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Environment {
+    /// Large open lobby, one glass/metal side.
+    Lobby,
+    /// 11.8 × 9.2 m lab with metallic cabinet rows.
+    Lab,
+    /// 10.4 × 6.8 m conference room, whiteboard wall.
+    ConferenceRoom,
+    /// 1.74 m wide corridor.
+    CorridorNarrow,
+    /// 3.2 m wide corridor.
+    CorridorMedium,
+    /// 6.2 m wide corridor.
+    CorridorWide,
+    /// Extension environment (not part of the paper's campaign): an
+    /// L-shaped corridor whose corner breaks the LOS — the classic
+    /// "turn the corner and the link dies" mmWave scenario.
+    LCorridor,
+    /// Testing dataset: old-building corridor, 2.5 m, brick.
+    Building1Corridor,
+    /// Testing dataset: very large open area.
+    Building2OpenArea,
+}
+
+impl Environment {
+    /// All environments of the *main* (training) dataset (Table 1).
+    pub const MAIN: [Environment; 6] = [
+        Environment::Lobby,
+        Environment::Lab,
+        Environment::ConferenceRoom,
+        Environment::CorridorNarrow,
+        Environment::CorridorMedium,
+        Environment::CorridorWide,
+    ];
+
+    /// The held-out environments of the *testing* dataset (Table 2).
+    pub const TESTING: [Environment; 2] =
+        [Environment::Building1Corridor, Environment::Building2OpenArea];
+
+    /// Short name used in tables and CSVs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Environment::Lobby => "lobby",
+            Environment::Lab => "lab",
+            Environment::ConferenceRoom => "conference",
+            Environment::CorridorNarrow => "corridor-1.74m",
+            Environment::CorridorMedium => "corridor-3.2m",
+            Environment::CorridorWide => "corridor-6.2m",
+            Environment::LCorridor => "l-corridor",
+            Environment::Building1Corridor => "building1-corridor",
+            Environment::Building2OpenArea => "building2-open",
+        }
+    }
+
+    /// Builds the room geometry for this environment.
+    pub fn room(self) -> Room {
+        use Material::*;
+        let p = Point::new;
+        match self {
+            Environment::Lobby => {
+                // Large open space; glass panels + metal sheets on one
+                // long side, drywall on the other, concrete ends.
+                Room::rectangular("lobby", 20.0, 14.0, [Glass, Concrete, Drywall, Concrete])
+                    // Metal sheeting along the lower part of the glass side.
+                    .with_interior(p(2.0, 0.05), p(18.0, 0.05), Metal)
+            }
+            Environment::Lab => {
+                // 11.8 × 9.2 m; rows of desks surrounded by metallic
+                // storage cabinets (modelled as two interior metal rows).
+                Room::rectangular("lab", 11.8, 9.2, [Drywall, Drywall, Drywall, Drywall])
+                    .with_interior(p(2.0, 3.1), p(9.8, 3.1), Metal)
+                    .with_interior(p(2.0, 6.1), p(9.8, 6.1), Metal)
+            }
+            Environment::ConferenceRoom => {
+                // 10.4 × 6.8 m; whiteboard covers one wall, metal
+                // cabinets along another, central desk (low, ignored).
+                Room::rectangular(
+                    "conference",
+                    10.4,
+                    6.8,
+                    [Whiteboard, Drywall, Metal, Drywall],
+                )
+            }
+            Environment::CorridorNarrow => {
+                Room::rectangular("corridor-1.74m", 30.0, 1.74, [Drywall, Concrete, Drywall, Concrete])
+            }
+            Environment::CorridorMedium => {
+                Room::rectangular("corridor-3.2m", 30.0, 3.2, [Drywall, Concrete, Drywall, Concrete])
+            }
+            Environment::CorridorWide => {
+                Room::rectangular("corridor-6.2m", 30.0, 6.2, [Drywall, Concrete, Drywall, Concrete])
+            }
+            Environment::LCorridor => {
+                // Horizontal arm 18 × 2.5 m joining a vertical arm
+                // 2.5 × 12.5 m at its east end (counter-clockwise).
+                use Material::{Concrete, Drywall};
+                let p = Point::new;
+                Room::polygon(
+                    "l-corridor",
+                    &[
+                        p(0.0, 0.0),
+                        p(18.0, 0.0),
+                        p(18.0, 15.0),
+                        p(15.5, 15.0),
+                        p(15.5, 2.5),
+                        p(0.0, 2.5),
+                    ],
+                    &[Drywall, Concrete, Drywall, Drywall, Drywall, Concrete],
+                )
+            }
+            Environment::Building1Corridor => {
+                // Older building: brick walls, fewer reflective surfaces.
+                Room::rectangular("building1-corridor", 35.0, 2.5, [Brick, Brick, Brick, Brick])
+            }
+            Environment::Building2OpenArea => {
+                // Wide open area, much larger than the lobby.
+                Room::rectangular("building2-open", 30.0, 22.0, [Drywall, Concrete, Drywall, Glass])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metal_reflects_better_than_brick() {
+        assert!(Material::Metal.reflection_loss_db() < Material::Brick.reflection_loss_db());
+    }
+
+    #[test]
+    fn rectangular_room_has_four_boundary_walls() {
+        let r = Room::rectangular("t", 10.0, 5.0, [Material::Drywall; 4]);
+        assert_eq!(r.walls.len(), 4);
+        assert!(r.walls.iter().all(|w| !w.occluding));
+        // Perimeter adds up.
+        let perim: f64 = r.walls.iter().map(|w| w.segment.length()).sum();
+        assert!((perim - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interior_faces_occlude() {
+        let r = Room::rectangular("t", 10.0, 5.0, [Material::Drywall; 4])
+            .with_interior(Point::new(1.0, 1.0), Point::new(2.0, 1.0), Material::Metal);
+        assert_eq!(r.occluders().count(), 1);
+    }
+
+    #[test]
+    fn all_environments_build() {
+        for env in Environment::MAIN.iter().chain(Environment::TESTING.iter()) {
+            let room = env.room();
+            assert!(room.walls.len() >= 4, "{} lacks walls", env.name());
+            assert!(room.width_m > 0.0 && room.depth_m > 0.0);
+        }
+    }
+
+    #[test]
+    fn corridor_widths_match_paper() {
+        assert!((Environment::CorridorNarrow.room().depth_m - 1.74).abs() < 1e-9);
+        assert!((Environment::CorridorMedium.room().depth_m - 3.2).abs() < 1e-9);
+        assert!((Environment::CorridorWide.room().depth_m - 6.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lab_dimensions_match_paper() {
+        let lab = Environment::Lab.room();
+        assert!((lab.width_m - 11.8).abs() < 1e-9 && (lab.depth_m - 9.2).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod polygon_tests {
+    use super::*;
+
+    fn l_room() -> Room {
+        Environment::LCorridor.room()
+    }
+
+    #[test]
+    fn polygon_room_boundary_occludes() {
+        let r = l_room();
+        assert_eq!(r.n_boundary, 6);
+        assert!(r.walls.iter().take(6).all(|w| w.occluding));
+    }
+
+    #[test]
+    fn contains_distinguishes_arms_and_notch() {
+        let r = l_room();
+        // Horizontal arm.
+        assert!(r.contains(Point::new(5.0, 1.25)));
+        // Vertical arm.
+        assert!(r.contains(Point::new(16.75, 10.0)));
+        // The notch (outside the L).
+        assert!(!r.contains(Point::new(5.0, 10.0)));
+        // Fully outside the bounding box.
+        assert!(!r.contains(Point::new(-3.0, 1.0)));
+        assert!(!r.contains(Point::new(25.0, 1.0)));
+    }
+
+    #[test]
+    fn contains_works_for_rectangles_too() {
+        let r = Room::rectangular("t", 10.0, 5.0, [Material::Drywall; 4]);
+        assert!(r.contains(Point::new(5.0, 2.5)));
+        assert!(!r.contains(Point::new(11.0, 2.5)));
+        assert!(!r.contains(Point::new(5.0, -1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one material per edge")]
+    fn polygon_validates_materials() {
+        Room::polygon(
+            "bad",
+            &[Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)],
+            &[Material::Drywall],
+        );
+    }
+}

@@ -1,0 +1,389 @@
+//! Scene = room + node poses + impairments; and the per-beam-pair channel
+//! observation the PHY consumes.
+//!
+//! [`Scene::response`] is the central entry point of the channel model:
+//! given the Tx and Rx beam patterns it returns a [`BeamPairResponse`]
+//! carrying the resolved multipath taps (delay + received power + angles),
+//! the aggregate signal power, the effective noise floor including
+//! directional interference, the SNR, and the time-of-flight — everything
+//! the X60 logs per frame (§5.1: "SNR, Noise level, power delay profile
+//! (PDP), codeword delivery ratio (CDR) ... We also measured offline the
+//! time-of-flight (ToF)").
+
+use crate::blockage::Blocker;
+use crate::geometry::Pose;
+use crate::interference::Interferer;
+use crate::raytrace::{trace_paths, RayPath};
+use crate::room::Room;
+use libra_arrays::BeamPattern;
+use libra_util::db::{
+    friis_path_loss_db, noise_floor_dbm, sum_powers_dbm, SPEED_OF_LIGHT_M_PER_S,
+};
+use serde::{Deserialize, Serialize};
+
+/// Extra-loss cutoff beyond which traced paths are discarded, dB.
+const PATH_LOSS_CUTOFF_DB: f64 = 60.0;
+
+/// Default transmit power of an X60-class node, dBm (power fed to the
+/// array; antenna gain is added per beam).
+pub const DEFAULT_TX_POWER_DBM: f64 = 10.0;
+
+/// A resolved multipath tap at the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tap {
+    /// Propagation delay, nanoseconds.
+    pub delay_ns: f64,
+    /// Received power on this tap (Tx power + both antenna gains − path
+    /// loss − extra losses), dBm.
+    pub power_dbm: f64,
+    /// Angle of departure in the Tx antenna's local frame, degrees.
+    pub aod_local_deg: f64,
+    /// Angle of arrival in the Rx antenna's local frame, degrees.
+    pub aoa_local_deg: f64,
+    /// Reflection order (0 = LOS).
+    pub order: usize,
+}
+
+/// The channel observation for one Tx/Rx beam-pattern pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeamPairResponse {
+    /// Resolved taps, sorted by increasing delay.
+    pub taps: Vec<Tap>,
+    /// Aggregate received signal power, dBm.
+    pub signal_power_dbm: f64,
+    /// Thermal noise floor, dBm.
+    pub thermal_noise_dbm: f64,
+    /// Interference power leaking into this Rx beam, dBm
+    /// (`NEG_INFINITY` when no interferer is active).
+    pub interference_dbm: f64,
+    /// Effective noise = thermal + interference, dBm. This is the "Noise
+    /// level" PHY metric of §6.1.
+    pub effective_noise_dbm: f64,
+    /// Signal-to-(noise+interference) ratio, dB.
+    pub snr_db: f64,
+    /// Time of flight of the strongest tap, ns; `f64::INFINITY` when the
+    /// signal is too weak to measure (paper §6.1.1: "X60 reports the ToF
+    /// as infinity in cases of extremely weak signal").
+    pub tof_ns: f64,
+}
+
+impl BeamPairResponse {
+    /// What a sector sweep *measures* for this beam pair: the received
+    /// power of the sounding frame **plus any co-channel interference
+    /// leaking into the beam**, referenced to the thermal floor, in dB.
+    ///
+    /// An SLS cannot separate desired signal from interference within
+    /// its short sounding window, so it ranks beams by total received
+    /// power — which is why beam training under interference may pick a
+    /// pair *pointing at the interferer*, and why the paper finds RA
+    /// preferable in most interference cases.
+    pub fn sweep_metric_db(&self) -> f64 {
+        libra_util::db::sum_powers_dbm(&[self.signal_power_dbm, self.interference_dbm])
+            - self.thermal_noise_dbm
+    }
+
+    /// Delay spread: RMS spread of tap delays weighted by linear power,
+    /// ns. Zero for a single-tap channel. Feeds the ISI penalty of the
+    /// PHY error model.
+    pub fn rms_delay_spread_ns(&self) -> f64 {
+        if self.taps.len() < 2 {
+            return 0.0;
+        }
+        let powers: Vec<f64> = self.taps.iter().map(|t| 10f64.powf(t.power_dbm / 10.0)).collect();
+        let total: f64 = powers.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mean: f64 =
+            self.taps.iter().zip(&powers).map(|(t, p)| t.delay_ns * p).sum::<f64>() / total;
+        let var: f64 = self
+            .taps
+            .iter()
+            .zip(&powers)
+            .map(|(t, p)| (t.delay_ns - mean) * (t.delay_ns - mean) * p)
+            .sum::<f64>()
+            / total;
+        var.sqrt()
+    }
+}
+
+/// SNR below which the receiver cannot lock at all: ToF becomes
+/// unmeasurable ("infinity") and SNR reports are meaningless.
+pub const SNR_MEASURABLE_FLOOR_DB: f64 = -5.0;
+
+/// A complete physical scene.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scene {
+    /// Room geometry.
+    pub room: Room,
+    /// Transmitter pose (the AP in downlink scenarios).
+    pub tx: Pose,
+    /// Receiver pose (the client).
+    pub rx: Pose,
+    /// Human blockers currently in the room.
+    pub blockers: Vec<Blocker>,
+    /// Active co-channel interferers.
+    pub interferers: Vec<Interferer>,
+    /// Transmit power fed to the Tx array, dBm.
+    pub tx_power_dbm: f64,
+}
+
+impl Scene {
+    /// A clear scene (no blockage, no interference) with default power.
+    pub fn new(room: Room, tx: Pose, rx: Pose) -> Self {
+        Self { room, tx, rx, blockers: Vec::new(), interferers: Vec::new(), tx_power_dbm: DEFAULT_TX_POWER_DBM }
+    }
+
+    /// Returns a copy with the given blockers.
+    pub fn with_blockers(mut self, blockers: Vec<Blocker>) -> Self {
+        self.blockers = blockers;
+        self
+    }
+
+    /// Returns a copy with the given interferers.
+    pub fn with_interferers(mut self, interferers: Vec<Interferer>) -> Self {
+        self.interferers = interferers;
+        self
+    }
+
+    /// Geometric rays between Tx and Rx under the current impairments
+    /// (beam-independent part of the computation, cacheable per state).
+    pub fn rays(&self) -> Vec<RayPath> {
+        trace_paths(&self.room, self.tx.position, self.rx.position, &self.blockers, PATH_LOSS_CUTOFF_DB)
+    }
+
+    /// Computes the channel observation for a beam pair, reusing
+    /// pre-traced rays (use [`Scene::rays`] once per state, then call this
+    /// for all 625 beam pairs of an exhaustive sweep).
+    pub fn response_with_rays(
+        &self,
+        rays: &[RayPath],
+        tx_beam: &BeamPattern,
+        rx_beam: &BeamPattern,
+    ) -> BeamPairResponse {
+        let mut taps: Vec<Tap> = rays
+            .iter()
+            .map(|ray| {
+                let aod_local = self.tx.local_angle_deg(ray.aod_deg);
+                let aoa_local = self.rx.local_angle_deg(ray.aoa_deg);
+                let gain_tx = tx_beam.gain_dbi(aod_local);
+                let gain_rx = rx_beam.gain_dbi(aoa_local);
+                let power = self.tx_power_dbm + gain_tx + gain_rx
+                    - friis_path_loss_db(ray.length_m.max(0.01))
+                    - ray.extra_loss_db;
+                Tap {
+                    delay_ns: ray.length_m / SPEED_OF_LIGHT_M_PER_S * 1e9,
+                    power_dbm: power,
+                    aod_local_deg: aod_local,
+                    aoa_local_deg: aoa_local,
+                    order: ray.order,
+                }
+            })
+            .collect();
+        taps.sort_by(|a, b| a.delay_ns.partial_cmp(&b.delay_ns).expect("finite delays"));
+
+        let signal_power_dbm = sum_powers_dbm(&taps.iter().map(|t| t.power_dbm).collect::<Vec<_>>());
+        let thermal = noise_floor_dbm();
+        let interference_dbm = sum_powers_dbm(
+            &self
+                .interferers
+                .iter()
+                .map(|i| i.power_at_rx_dbm(&self.rx, rx_beam))
+                .collect::<Vec<_>>(),
+        );
+        let effective_noise_dbm = sum_powers_dbm(&[thermal, interference_dbm]);
+        let snr_db = signal_power_dbm - effective_noise_dbm;
+
+        let tof_ns = if snr_db < SNR_MEASURABLE_FLOOR_DB || taps.is_empty() {
+            f64::INFINITY
+        } else {
+            taps.iter()
+                .max_by(|a, b| a.power_dbm.partial_cmp(&b.power_dbm).expect("finite powers"))
+                .map(|t| t.delay_ns)
+                .unwrap_or(f64::INFINITY)
+        };
+
+        BeamPairResponse {
+            taps,
+            signal_power_dbm,
+            thermal_noise_dbm: thermal,
+            interference_dbm,
+            effective_noise_dbm,
+            snr_db,
+            tof_ns,
+        }
+    }
+
+    /// Convenience wrapper: trace rays and compute the response in one
+    /// call (per-beam-pair; prefer [`Scene::rays`] + `response_with_rays`
+    /// in sweeps).
+    pub fn response(&self, tx_beam: &BeamPattern, rx_beam: &BeamPattern) -> BeamPairResponse {
+        self.response_with_rays(&self.rays(), tx_beam, rx_beam)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockage::BlockerPlacement;
+    use crate::geometry::Point;
+    use crate::interference::{Interferer, InterferenceLevel};
+    use crate::room::{Environment, Material, Room};
+    use libra_arrays::Codebook;
+
+    fn corridor_scene(dist_m: f64) -> Scene {
+        let room = Room::rectangular("t", 30.0, 3.0, [Material::Drywall; 4]);
+        let tx = Pose::new(Point::new(1.0, 1.5), 0.0);
+        let rx = Pose::new(Point::new(1.0 + dist_m, 1.5), 180.0);
+        Scene::new(room, tx, rx)
+    }
+
+    fn boresight_pair(cb: &Codebook) -> (&BeamPattern, &BeamPattern) {
+        (cb.beam(12), cb.beam(12))
+    }
+
+    #[test]
+    fn close_los_link_has_high_snr() {
+        let scene = corridor_scene(5.0);
+        let cb = Codebook::sibeam_25();
+        let (t, r) = boresight_pair(&cb);
+        let resp = scene.response(t, r);
+        assert!(resp.snr_db > 25.0, "snr {}", resp.snr_db);
+        assert!(resp.tof_ns.is_finite());
+    }
+
+    #[test]
+    fn snr_decreases_with_distance() {
+        let cb = Codebook::sibeam_25();
+        let (t, r) = boresight_pair(&cb);
+        let s5 = corridor_scene(5.0).response(t, r).snr_db;
+        let s15 = corridor_scene(15.0).response(t, r).snr_db;
+        let s25 = corridor_scene(25.0).response(t, r).snr_db;
+        assert!(s5 > s15 && s15 > s25);
+    }
+
+    #[test]
+    fn tof_matches_los_distance() {
+        let scene = corridor_scene(9.0);
+        let cb = Codebook::sibeam_25();
+        let (t, r) = boresight_pair(&cb);
+        let resp = scene.response(t, r);
+        let expect_ns = 9.0 / SPEED_OF_LIGHT_M_PER_S * 1e9; // ≈ 30 ns
+        assert!((resp.tof_ns - expect_ns).abs() < 0.5, "tof {}", resp.tof_ns);
+    }
+
+    #[test]
+    fn rotating_rx_away_drops_snr() {
+        let cb = Codebook::sibeam_25();
+        let (t, r) = boresight_pair(&cb);
+        let aligned = corridor_scene(10.0);
+        let mut rotated = corridor_scene(10.0);
+        rotated.rx = rotated.rx.rotated(90.0);
+        let drop = aligned.response(t, r).snr_db - rotated.response(t, r).snr_db;
+        assert!(drop > 10.0, "rotation should cost >10 dB, got {drop}");
+    }
+
+    #[test]
+    fn blockage_drops_snr_and_reflection_survives() {
+        let cb = Codebook::sibeam_25();
+        let (t, r) = boresight_pair(&cb);
+        let clear = corridor_scene(10.0);
+        let blocked = corridor_scene(10.0).with_blockers(vec![BlockerPlacement::MidPath
+            .blocker(Point::new(1.0, 1.5), Point::new(11.0, 1.5), 0.0)]);
+        let snr_clear = clear.response(t, r).snr_db;
+        let snr_blocked = blocked.response(t, r).snr_db;
+        assert!(snr_clear - snr_blocked > 5.0);
+        // A wall-reflection beam pair should beat the blocked boresight
+        // pair: sweep all pairs and check the best is off-boresight.
+        let rays = blocked.rays();
+        let mut best = f64::NEG_INFINITY;
+        let mut best_pair = (0usize, 0usize);
+        for (ti, tb) in cb.iter() {
+            for (ri, rb) in cb.iter() {
+                let snr = blocked.response_with_rays(&rays, tb, rb).snr_db;
+                if snr > best {
+                    best = snr;
+                    best_pair = (ti, ri);
+                }
+            }
+        }
+        assert!(best > snr_blocked, "sweep should find a better pair");
+        assert_ne!(best_pair, (12, 12), "best pair under blockage should not be boresight");
+    }
+
+    #[test]
+    fn interference_raises_noise_not_signal() {
+        let cb = Codebook::sibeam_25();
+        let (t, r) = boresight_pair(&cb);
+        let clear = corridor_scene(10.0);
+        let interfered = corridor_scene(10.0).with_interferers(vec![Interferer::at_level(
+            Point::new(11.0, 2.8),
+            InterferenceLevel::High,
+        )]);
+        let rc = clear.response(t, r);
+        let ri = interfered.response(t, r);
+        assert!((rc.signal_power_dbm - ri.signal_power_dbm).abs() < 1e-9);
+        assert!(ri.effective_noise_dbm > rc.effective_noise_dbm + 3.0);
+        assert!(ri.snr_db < rc.snr_db - 3.0);
+    }
+
+    #[test]
+    fn weak_signal_reports_infinite_tof() {
+        let cb = Codebook::sibeam_25();
+        // Rx rotated fully away and at long distance, worst beams.
+        let mut scene = corridor_scene(28.0);
+        scene.rx = scene.rx.rotated(180.0); // facing away from Tx
+        let resp = scene.response(cb.beam(0), cb.beam(24));
+        if resp.snr_db < SNR_MEASURABLE_FLOOR_DB {
+            assert!(resp.tof_ns.is_infinite());
+        }
+    }
+
+    #[test]
+    fn delay_spread_zero_for_single_tap() {
+        let resp = BeamPairResponse {
+            taps: vec![Tap { delay_ns: 10.0, power_dbm: -50.0, aod_local_deg: 0.0, aoa_local_deg: 0.0, order: 0 }],
+            signal_power_dbm: -50.0,
+            thermal_noise_dbm: -74.0,
+            interference_dbm: f64::NEG_INFINITY,
+            effective_noise_dbm: -74.0,
+            snr_db: 24.0,
+            tof_ns: 10.0,
+        };
+        assert_eq!(resp.rms_delay_spread_ns(), 0.0);
+    }
+
+    #[test]
+    fn delay_spread_positive_for_multipath() {
+        let scene = corridor_scene(10.0);
+        let resp = scene.response(&BeamPattern::quasi_omni(), &BeamPattern::quasi_omni());
+        assert!(resp.taps.len() >= 3);
+        assert!(resp.rms_delay_spread_ns() > 0.0);
+    }
+
+    #[test]
+    fn taps_sorted_by_delay() {
+        let scene = corridor_scene(10.0);
+        let resp = scene.response(&BeamPattern::quasi_omni(), &BeamPattern::quasi_omni());
+        assert!(resp.taps.windows(2).all(|w| w[0].delay_ns <= w[1].delay_ns));
+    }
+
+    #[test]
+    fn all_environments_support_a_link() {
+        let cb = Codebook::sibeam_25();
+        for env in Environment::MAIN {
+            let room = env.room();
+            let y = room.depth_m / 2.0;
+            let tx = Pose::new(Point::new(0.5, y), 0.0);
+            let rx = Pose::new(Point::new((room.width_m - 1.0).min(8.0), y), 180.0);
+            let scene = Scene::new(room, tx, rx);
+            let resp = scene.response(cb.beam(12), cb.beam(12));
+            assert!(
+                resp.snr_db > 10.0,
+                "{}: boresight link too weak ({} dB)",
+                env.name(),
+                resp.snr_db
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the channel model: geometry identities and
+//! physical invariants under randomized placements.
+
+use libra_arrays::{BeamPattern, Codebook};
+use libra_channel::{
+    Blocker, Environment, InterferenceLevel, Interferer, Material, Point, Pose, Room, Scene,
+    Segment,
+};
+use proptest::prelude::*;
+
+fn rect_room() -> Room {
+    Room::rectangular("prop", 20.0, 12.0, [Material::Drywall; 4])
+}
+
+proptest! {
+    #[test]
+    fn mirror_is_involution(
+        ax in -10.0f64..10.0, ay in -10.0f64..10.0,
+        bx in -10.0f64..10.0, by in -10.0f64..10.0,
+        px in -10.0f64..10.0, py in -10.0f64..10.0,
+    ) {
+        prop_assume!((ax - bx).abs() > 1e-3 || (ay - by).abs() > 1e-3);
+        let seg = Segment::new(Point::new(ax, ay), Point::new(bx, by));
+        let p = Point::new(px, py);
+        let back = seg.mirror(seg.mirror(p));
+        prop_assert!((back.x - p.x).abs() < 1e-6 && (back.y - p.y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mirror_preserves_distance_to_line(
+        px in -10.0f64..10.0, py in 0.5f64..10.0,
+    ) {
+        let seg = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let p = Point::new(px, py);
+        let img = seg.mirror(p);
+        prop_assert!((img.y + p.y).abs() < 1e-9, "reflection across y=0");
+        prop_assert!((img.x - p.x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bearing_reverses(ax in -5.0f64..5.0, ay in -5.0f64..5.0, bx in -5.0f64..5.0, by in -5.0f64..5.0) {
+        prop_assume!((ax - bx).abs() > 1e-6 || (ay - by).abs() > 1e-6);
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let fwd = a.bearing_deg(b);
+        let back = b.bearing_deg(a);
+        let diff = libra_arrays::pattern::wrap_deg(fwd - back);
+        prop_assert!((diff.abs() - 180.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn signal_power_monotone_in_tx_power(
+        rxx in 5.0f64..19.0, rxy in 1.0f64..11.0, bump in 0.1f64..20.0,
+    ) {
+        let cb = Codebook::sibeam_25();
+        let mut s = Scene::new(
+            rect_room(),
+            Pose::new(Point::new(1.0, 6.0), 0.0),
+            Pose::new(Point::new(rxx, rxy), 180.0),
+        );
+        let p1 = s.response(cb.beam(12), cb.beam(12)).signal_power_dbm;
+        s.tx_power_dbm += bump;
+        let p2 = s.response(cb.beam(12), cb.beam(12)).signal_power_dbm;
+        prop_assert!((p2 - p1 - bump).abs() < 1e-9, "power shift exact in dB");
+    }
+
+    #[test]
+    fn blocker_only_attenuates(
+        rxx in 6.0f64..19.0,
+        frac in 0.2f64..0.8,
+        offset in 0.0f64..0.3,
+    ) {
+        let cb = Codebook::sibeam_25();
+        let tx = Pose::new(Point::new(1.0, 6.0), 0.0);
+        let rx = Pose::new(Point::new(rxx, 6.0), 180.0);
+        let clear = Scene::new(rect_room(), tx, rx);
+        let pos = Point::new(1.0 + (rxx - 1.0) * frac, 6.0 + offset);
+        let blocked = Scene::new(rect_room(), tx, rx)
+            .with_blockers(vec![Blocker::human(pos)]);
+        let ps = clear.response(cb.beam(12), cb.beam(12)).signal_power_dbm;
+        let pb = blocked.response(cb.beam(12), cb.beam(12)).signal_power_dbm;
+        prop_assert!(pb <= ps + 1e-9, "blocker added power?! {ps} -> {pb}");
+    }
+
+    #[test]
+    fn interference_never_lowers_noise(
+        ix in 2.0f64..18.0, iy in 1.0f64..11.0,
+        level in 0usize..3,
+    ) {
+        let cb = Codebook::sibeam_25();
+        let tx = Pose::new(Point::new(1.0, 6.0), 0.0);
+        let rx = Pose::new(Point::new(12.0, 6.0), 180.0);
+        let clear = Scene::new(rect_room(), tx, rx);
+        let noisy = Scene::new(rect_room(), tx, rx).with_interferers(vec![
+            Interferer::at_level(Point::new(ix, iy), InterferenceLevel::ALL[level]),
+        ]);
+        let rc = clear.response(cb.beam(12), cb.beam(12));
+        let rn = noisy.response(cb.beam(12), cb.beam(12));
+        prop_assert!(rn.effective_noise_dbm >= rc.effective_noise_dbm - 1e-9);
+        prop_assert!(rn.snr_db <= rc.snr_db + 1e-9);
+        prop_assert!((rn.signal_power_dbm - rc.signal_power_dbm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_environments_trace_everywhere(
+        env_idx in 0usize..8,
+        fx in 0.1f64..0.9, fy in 0.15f64..0.85,
+    ) {
+        let envs: Vec<Environment> = Environment::MAIN
+            .iter()
+            .chain(Environment::TESTING.iter())
+            .copied()
+            .collect();
+        let env = envs[env_idx];
+        let room = env.room();
+        let tx = Pose::new(Point::new(0.6, room.depth_m / 2.0), 0.0);
+        let rx = Pose::new(
+            Point::new(0.6 + (room.width_m - 1.2) * fx, room.depth_m * fy),
+            180.0,
+        );
+        prop_assume!(tx.position.distance(rx.position) > 0.5);
+        let scene = Scene::new(room, tx, rx);
+        let rays = scene.rays();
+        // Something always propagates within a closed room with a cutoff
+        // of 60 dB — at minimum the LOS (possibly through furniture).
+        prop_assert!(!rays.is_empty(), "{}: no paths", env.name());
+        for r in &rays {
+            prop_assert!(r.length_m.is_finite() && r.length_m > 0.0);
+            prop_assert!(r.extra_loss_db >= 0.0);
+        }
+    }
+
+    #[test]
+    fn quasi_omni_response_no_weaker_than_worst_beam(
+        rxx in 6.0f64..19.0, rxy in 2.0f64..10.0,
+    ) {
+        // Sanity tie between arrays and channel: quasi-omni reception
+        // sits between the best and worst directional beams.
+        let cb = Codebook::sibeam_25();
+        let scene = Scene::new(
+            rect_room(),
+            Pose::new(Point::new(1.0, 6.0), 0.0),
+            Pose::new(Point::new(rxx, rxy), 180.0),
+        );
+        let rays = scene.rays();
+        let tx_beam = cb.beam(12);
+        let quasi = scene
+            .response_with_rays(&rays, tx_beam, &BeamPattern::quasi_omni())
+            .signal_power_dbm;
+        let mut best = f64::NEG_INFINITY;
+        let mut worst = f64::INFINITY;
+        for (_, rb) in cb.iter() {
+            let p = scene.response_with_rays(&rays, tx_beam, rb).signal_power_dbm;
+            best = best.max(p);
+            worst = worst.min(p);
+        }
+        prop_assert!(quasi <= best + 1e-9, "quasi {quasi} > best {best}");
+        prop_assert!(quasi >= worst - 1e-9, "quasi {quasi} < worst {worst}");
+    }
+}

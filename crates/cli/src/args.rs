@@ -1,0 +1,176 @@
+//! Minimal `--flag value` argument parsing (no external dependency).
+//!
+//! Grammar: positional words first (the command path), then
+//! `--key value` pairs and bare `--switch` flags. Unknown keys are
+//! rejected at consumption time via [`Args::finish`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Argument-parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed command line: positionals + key/value options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: BTreeMap<String, String>,
+    consumed: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// A `--key` followed by another `--…` token or by nothing is a
+    /// boolean switch (stored as `"true"`).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut positionals = Vec::new();
+        let mut options = BTreeMap::new();
+        let mut it = raw.into_iter().peekable();
+        let mut seen_flag = false;
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(ArgError("empty flag name `--`".into()));
+                }
+                seen_flag = true;
+                let value = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                    _ => "true".to_string(),
+                };
+                if options.insert(key.to_string(), value).is_some() {
+                    return Err(ArgError(format!("duplicate flag --{key}")));
+                }
+            } else if seen_flag {
+                return Err(ArgError(format!(
+                    "positional `{tok}` after flags — put commands first"
+                )));
+            } else {
+                positionals.push(tok);
+            }
+        }
+        Ok(Self { positionals, options, consumed: Vec::new() })
+    }
+
+    /// The command path (positional words).
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Takes a required string option.
+    pub fn req(&mut self, key: &str) -> Result<String, ArgError> {
+        self.consumed.push(key.to_string());
+        self.options
+            .get(key)
+            .cloned()
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// Takes an optional string option.
+    pub fn opt(&mut self, key: &str) -> Option<String> {
+        self.consumed.push(key.to_string());
+        self.options.get(key).cloned()
+    }
+
+    /// Takes an optional typed option with a default.
+    pub fn opt_parse<T: std::str::FromStr>(
+        &mut self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse `{v}`"))),
+        }
+    }
+
+    /// Takes a boolean switch.
+    pub fn switch(&mut self, key: &str) -> bool {
+        self.opt(key).is_some()
+    }
+
+    /// Fails on any never-consumed option (typo protection).
+    pub fn finish(&self) -> Result<(), ArgError> {
+        for key in self.options.keys() {
+            if !self.consumed.contains(key) {
+                return Err(ArgError(format!("unknown flag --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positionals_then_flags() {
+        let mut a = parse(&["dataset", "generate", "--plan", "main", "--seed", "7"]).unwrap();
+        assert_eq!(a.positionals(), ["dataset", "generate"]);
+        assert_eq!(a.req("plan").unwrap(), "main");
+        assert_eq!(a.opt_parse::<u64>("seed", 0).unwrap(), 7);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn switches_without_values() {
+        let mut a = parse(&["info", "--verbose", "--out", "x.bin"]).unwrap();
+        assert!(a.switch("verbose"));
+        assert!(!a.switch("quiet"));
+        assert_eq!(a.req("out").unwrap(), "x.bin");
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let mut a = parse(&["train"]).unwrap();
+        assert!(a.req("dataset").is_err());
+    }
+
+    #[test]
+    fn unknown_flag_rejected_at_finish() {
+        let mut a = parse(&["info", "--bogus", "1"]).unwrap();
+        let _ = a.opt("known");
+        assert!(a.finish().is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        assert!(parse(&["x", "--a", "1", "--a", "2"]).is_err());
+    }
+
+    #[test]
+    fn positional_after_flags_rejected() {
+        assert!(parse(&["cmd", "--a", "1", "stray"]).is_err());
+    }
+
+    #[test]
+    fn bad_parse_reports_flag() {
+        let mut a = parse(&["x", "--seed", "abc"]).unwrap();
+        let err = a.opt_parse::<u64>("seed", 0).unwrap_err();
+        assert!(err.0.contains("--seed"));
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        // `-5` does not start with `--`, so it parses as a value.
+        let mut a = parse(&["classify", "--tof-diff", "-5.5"]).unwrap();
+        assert_eq!(a.opt_parse::<f64>("tof-diff", 0.0).unwrap(), -5.5);
+    }
+}

@@ -1,0 +1,19 @@
+//! `libractl` — see `libra_cli` for the command set.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match libra_cli::Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match libra_cli::run(args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! `libractl` command implementations.
+
+use crate::args::{ArgError, Args};
+use libra::prelude::*;
+use libra::sim::run_policy_segment;
+use libra::{LinkState, PolicyKind, ScenarioType, SegmentData, SimConfig, TimelineConfig};
+use libra_dataset::{Features, GroundTruthParams, Instruments};
+use libra_mac::{BaOverheadPreset, ProtocolParams};
+use libra_phy::McsTable;
+use libra_util::rng::rng_from_seed;
+use libra_util::table::{fmt_f, TextTable};
+
+/// Runs a parsed command line; returns the text to print.
+pub fn run(mut args: Args) -> Result<String, ArgError> {
+    let path: Vec<&str> = args.positionals().iter().map(String::as_str).collect();
+    match path.as_slice() {
+        ["dataset", "generate"] => dataset_generate(&mut args),
+        ["dataset", "summary"] => dataset_summary(&mut args),
+        ["train"] => train(&mut args),
+        ["classify"] => classify(&mut args),
+        ["simulate"] => simulate(&mut args),
+        ["timeline"] => timeline(&mut args),
+        ["info"] => info(&mut args),
+        [] => Ok(usage()),
+        other => Err(ArgError(format!("unknown command `{}`\n\n{}", other.join(" "), usage()))),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "libractl — LiBRA 60 GHz link adaptation tools
+
+USAGE:
+  libractl dataset generate --plan main|testing --out FILE [--csv FILE] [--seed N] [--repeats N]
+  libractl dataset summary  --input FILE [--alpha A] [--ba-ms MS] [--fat-ms MS]
+  libractl train            --dataset FILE --out FILE [--seed N]
+  libractl classify         --model FILE --snr-diff DB [--tof-diff NS] [--noise-diff DB]
+                            [--pdp-sim S] [--csi-sim S] [--cdr C] [--initial-mcs M]
+  libractl simulate         --model FILE --dataset FILE [--ba-ms MS] [--fat-ms MS] [--flow-ms MS]
+  libractl timeline         --model FILE [--scenario mobility|blockage|interference|mixed]
+                            [--timelines N] [--ba-ms MS] [--fat-ms MS] [--seed N]
+  libractl info
+"
+    .to_string()
+}
+
+fn ba_preset(ms: f64) -> Result<BaOverheadPreset, ArgError> {
+    BaOverheadPreset::ALL
+        .into_iter()
+        .find(|p| (p.duration_ms() - ms).abs() < 1e-9)
+        .ok_or_else(|| {
+            ArgError("--ba-ms must be one of the evaluated presets: 0.5, 5, 150, 250".into())
+        })
+}
+
+fn gt_params(args: &mut Args) -> Result<GroundTruthParams, ArgError> {
+    Ok(GroundTruthParams {
+        alpha: args.opt_parse("alpha", 1.0)?,
+        ba_ms: args.opt_parse("ba-ms", 0.5)?,
+        fat_ms: args.opt_parse("fat-ms", 10.0)?,
+        ..Default::default()
+    })
+}
+
+fn dataset_generate(args: &mut Args) -> Result<String, ArgError> {
+    let plan_name = args.req("plan")?;
+    let out = args.req("out")?;
+    let csv = args.opt("csv");
+    let seed: u64 = args.opt_parse("seed", 0x11B2A)?;
+    let repeats: usize = args.opt_parse("repeats", 3)?;
+    args.finish()?;
+
+    let plan = match plan_name.as_str() {
+        "main" => main_campaign_plan(),
+        "testing" => testing_campaign_plan(),
+        other => return Err(ArgError(format!("--plan must be main|testing, got `{other}`"))),
+    };
+    let cfg = CampaignConfig { seed, repeats, instruments: Instruments::default() };
+    let ds = generate(&plan, &cfg);
+    ds.save(&out).map_err(|e| ArgError(e.to_string()))?;
+    let mut msg = format!(
+        "wrote {} entries (+{} NA twins) to {out}\n",
+        ds.entries.len(),
+        ds.na_entries.len()
+    );
+    if let Some(csv_path) = csv {
+        let table = McsTable::x60();
+        let text = ds.to_csv(&table, &GroundTruthParams::default());
+        std::fs::write(&csv_path, text).map_err(|e| ArgError(e.to_string()))?;
+        msg.push_str(&format!("wrote labelled CSV to {csv_path}\n"));
+    }
+    Ok(msg)
+}
+
+fn dataset_summary(args: &mut Args) -> Result<String, ArgError> {
+    let input = args.req("input")?;
+    let params = gt_params(args)?;
+    args.finish()?;
+    let ds = CampaignDataset::load(&input).map_err(|e| ArgError(e.to_string()))?;
+    let table = McsTable::x60();
+    let mut t = TextTable::new(["", "Total", "BA", "RA", "Positions"]);
+    for r in ds.summary(&table, &params) {
+        t.row([
+            r.name,
+            r.total.to_string(),
+            r.ba.to_string(),
+            r.ra.to_string(),
+            r.positions.to_string(),
+        ]);
+    }
+    Ok(format!(
+        "{input} (α = {}, BA = {} ms, FAT = {} ms)\n{}",
+        params.alpha,
+        params.ba_ms,
+        params.fat_ms,
+        t.render()
+    ))
+}
+
+fn train(args: &mut Args) -> Result<String, ArgError> {
+    let dataset = args.req("dataset")?;
+    let out = args.req("out")?;
+    let seed: u64 = args.opt_parse("seed", 7)?;
+    args.finish()?;
+    let ds = CampaignDataset::load(&dataset).map_err(|e| ArgError(e.to_string()))?;
+    let table = McsTable::x60();
+    let data = ds.to_ml_3class(&table, &GroundTruthParams::default());
+    let mut rng = rng_from_seed(seed);
+    let clf = LibraClassifier::train(&data, &mut rng);
+    clf.save(&out).map_err(|e| ArgError(e.to_string()))?;
+    let imp = clf.forest().feature_importances();
+    let mut t = TextTable::new(["feature", "Gini importance"]);
+    for (name, v) in libra_dataset::FEATURE_NAMES.iter().zip(imp) {
+        t.row([name.to_string(), fmt_f(v, 3)]);
+    }
+    Ok(format!(
+        "trained on {} rows ({} classes), wrote model to {out}\n{}",
+        data.len(),
+        data.n_classes,
+        t.render()
+    ))
+}
+
+fn classify(args: &mut Args) -> Result<String, ArgError> {
+    let model = args.req("model")?;
+    let features = Features {
+        snr_diff_db: args.opt_parse("snr-diff", 0.0)?,
+        tof_diff_ns: args.opt_parse("tof-diff", 0.0)?,
+        noise_diff_db: args.opt_parse("noise-diff", 0.0)?,
+        pdp_similarity: args.opt_parse("pdp-sim", 1.0)?,
+        csi_similarity: args.opt_parse("csi-sim", 1.0)?,
+        cdr: args.opt_parse("cdr", 1.0)?,
+        initial_mcs: args.opt_parse("initial-mcs", 6usize)?,
+    };
+    args.finish()?;
+    let clf = LibraClassifier::load(&model).map_err(|e| ArgError(e.to_string()))?;
+    let (action, confidence) = clf.classify_proba(&features);
+    let verdict = match action {
+        libra_dataset::Action3::Ba => "trigger BEAM adaptation (BA)",
+        libra_dataset::Action3::Ra => "trigger RATE adaptation (RA)",
+        libra_dataset::Action3::Na => "no adaptation needed (NA)",
+    };
+    Ok(format!("{verdict}  (confidence {confidence:.2})\n"))
+}
+
+fn simulate(args: &mut Args) -> Result<String, ArgError> {
+    let model = args.req("model")?;
+    let dataset = args.req("dataset")?;
+    let ba_ms: f64 = args.opt_parse("ba-ms", 0.5)?;
+    let fat_ms: f64 = args.opt_parse("fat-ms", 2.0)?;
+    let flow_ms: f64 = args.opt_parse("flow-ms", 1000.0)?;
+    args.finish()?;
+    let clf = LibraClassifier::load(&model).map_err(|e| ArgError(e.to_string()))?;
+    let ds = CampaignDataset::load(&dataset).map_err(|e| ArgError(e.to_string()))?;
+    let sim = SimConfig::new(ProtocolParams::new(ba_preset(ba_ms)?, fat_ms));
+
+    let mut t = TextTable::new(["algorithm", "mean MB", "mean deficit vs Oracle-Data (MB)"]);
+    let policies = [
+        PolicyKind::Libra,
+        PolicyKind::BaFirst,
+        PolicyKind::RaFirst,
+        PolicyKind::OracleData,
+        PolicyKind::OracleDelay,
+    ];
+    let mut totals = vec![0.0f64; policies.len()];
+    let mut deficits = vec![0.0f64; policies.len()];
+    for entry in &ds.entries {
+        let seg = SegmentData::from_entry(entry, flow_ms);
+        let state = LinkState::at_mcs(entry.initial.best_mcs());
+        let oracle = run_policy_segment(&seg, PolicyKind::OracleData, None, state, &sim);
+        for (i, &p) in policies.iter().enumerate() {
+            let out = run_policy_segment(&seg, p, Some(&clf), state, &sim);
+            totals[i] += out.bytes / 1e6;
+            deficits[i] += (oracle.bytes - out.bytes).max(0.0) / 1e6;
+        }
+    }
+    let n = ds.entries.len().max(1) as f64;
+    for (i, p) in policies.iter().enumerate() {
+        t.row([p.label().to_string(), fmt_f(totals[i] / n, 1), fmt_f(deficits[i] / n, 2)]);
+    }
+    Ok(format!(
+        "{} entries, flow {flow_ms} ms, BA {ba_ms} ms, FAT {fat_ms} ms\n{}",
+        ds.entries.len(),
+        t.render()
+    ))
+}
+
+fn timeline(args: &mut Args) -> Result<String, ArgError> {
+    let model = args.req("model")?;
+    let scenario = match args.opt("scenario").as_deref() {
+        None | Some("mixed") => ScenarioType::Mixed,
+        Some("mobility") | Some("motion") => ScenarioType::Mobility,
+        Some("blockage") => ScenarioType::Blockage,
+        Some("interference") => ScenarioType::Interference,
+        Some(other) => return Err(ArgError(format!("unknown scenario `{other}`"))),
+    };
+    let n: usize = args.opt_parse("timelines", 10)?;
+    let ba_ms: f64 = args.opt_parse("ba-ms", 0.5)?;
+    let fat_ms: f64 = args.opt_parse("fat-ms", 2.0)?;
+    let seed: u64 = args.opt_parse("seed", 1)?;
+    args.finish()?;
+    let clf = LibraClassifier::load(&model).map_err(|e| ArgError(e.to_string()))?;
+    let sim = SimConfig::new(ProtocolParams::new(ba_preset(ba_ms)?, fat_ms));
+    let instruments = Instruments::default();
+    let tl_cfg = TimelineConfig::default();
+
+    let mut t = TextTable::new(["algorithm", "data ratio vs Oracle-Data", "mean recovery (ms)"]);
+    let mut ratios = vec![Vec::new(); 3];
+    let mut delays = vec![Vec::new(); 3];
+    for i in 0..n {
+        let mut rng = rng_from_seed(libra_util::rng::derive_seed_index(seed, i as u64));
+        let tl = generate_timeline(scenario, &tl_cfg, &mut rng);
+        let oracle = run_timeline(&tl, PolicyKind::OracleData, None, &sim, &instruments);
+        for (j, p) in PolicyKind::HEURISTICS.iter().enumerate() {
+            let r = run_timeline(&tl, *p, Some(&clf), &sim, &instruments);
+            if oracle.bytes > 0.0 {
+                ratios[j].push(r.bytes / oracle.bytes);
+            }
+            delays[j].push(r.mean_recovery_delay_ms());
+        }
+    }
+    for (j, p) in PolicyKind::HEURISTICS.iter().enumerate() {
+        t.row([
+            p.label().to_string(),
+            fmt_f(libra_util::stats::mean(&ratios[j]), 3),
+            fmt_f(libra_util::stats::mean(&delays[j]), 1),
+        ]);
+    }
+    Ok(format!("{n} {scenario:?} timelines, BA {ba_ms} ms, FAT {fat_ms} ms\n{}", t.render()))
+}
+
+fn info(args: &mut Args) -> Result<String, ArgError> {
+    args.finish()?;
+    let table = McsTable::x60();
+    let mut out = String::from("libractl — LiBRA reproduction toolkit\n\n");
+    out.push_str("X60 MCS table:\n");
+    let mut t = TextTable::new(["MCS", "rate (Mbps)", "SNR midpoint (dB)"]);
+    for e in table.iter() {
+        t.row([
+            e.index.to_string(),
+            fmt_f(e.rate_mbps, 0),
+            fmt_f(e.snr_midpoint_db, 1),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nBA overhead presets (derived from 802.11ad BFT accounting):\n");
+    let mut t = TextTable::new(["preset", "duration (ms)", "derived (ms)"]);
+    for (p, derived) in [
+        (BaOverheadPreset::QuasiOmni30, libra_mac::derive_quasi_omni_ba_ms(30.0)),
+        (BaOverheadPreset::QuasiOmni3, libra_mac::derive_quasi_omni_ba_ms(3.0)),
+        (BaOverheadPreset::Directional9, libra_mac::derive_directional_ba_ms(9.0)),
+        (BaOverheadPreset::Directional7, libra_mac::derive_directional_ba_ms(7.0)),
+    ] {
+        t.row([p.label().to_string(), fmt_f(p.duration_ms(), 1), fmt_f(derived, 1)]);
+    }
+    out.push_str(&t.render());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_words(words: &[&str]) -> Result<String, ArgError> {
+        run(Args::parse(words.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn empty_prints_usage() {
+        let out = run_words(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let err = run_words(&["frobnicate"]).unwrap_err();
+        assert!(err.0.contains("unknown command"));
+        assert!(err.0.contains("USAGE"));
+    }
+
+    #[test]
+    fn info_lists_presets_and_mcs() {
+        let out = run_words(&["info"]).unwrap();
+        assert!(out.contains("4750"));
+        assert!(out.contains("BA 250ms"));
+    }
+
+    #[test]
+    fn ba_preset_validation() {
+        assert!(ba_preset(0.5).is_ok());
+        assert!(ba_preset(250.0).is_ok());
+        assert!(ba_preset(42.0).is_err());
+    }
+
+    #[test]
+    fn full_roundtrip_generate_train_classify_simulate() {
+        let dir = std::env::temp_dir().join("libractl-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = dir.join("testing.bin");
+        let model = dir.join("model.bin");
+
+        let out = run_words(&[
+            "dataset",
+            "generate",
+            "--plan",
+            "testing",
+            "--out",
+            ds.to_str().unwrap(),
+            "--repeats",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"));
+
+        let out =
+            run_words(&["dataset", "summary", "--input", ds.to_str().unwrap()]).unwrap();
+        assert!(out.contains("Overall"));
+
+        let out = run_words(&[
+            "train",
+            "--dataset",
+            ds.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("trained"));
+
+        let out = run_words(&[
+            "classify",
+            "--model",
+            model.to_str().unwrap(),
+            "--snr-diff",
+            "16",
+            "--cdr",
+            "0.0",
+            "--initial-mcs",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("adaptation"), "{out}");
+
+        let out = run_words(&[
+            "simulate",
+            "--model",
+            model.to_str().unwrap(),
+            "--dataset",
+            ds.to_str().unwrap(),
+            "--flow-ms",
+            "400",
+        ])
+        .unwrap();
+        assert!(out.contains("LiBRA") && out.contains("Oracle-Data"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,26 @@
+//! # libra-cli
+//!
+//! The `libractl` command-line tool: generate datasets, train and
+//! inspect models, and run link-adaptation simulations from a shell.
+//!
+//! ```text
+//! libractl dataset generate --plan main --out main.bin --csv main.csv
+//! libractl dataset summary  --input main.bin --alpha 0.7 --ba-ms 5
+//! libractl train            --dataset main.bin --out model.bin
+//! libractl classify         --model model.bin --snr-diff 14 --cdr 0 --initial-mcs 4
+//! libractl simulate         --model model.bin --dataset test.bin --ba-ms 0.5 --fat-ms 2
+//! libractl timeline         --model model.bin --scenario mixed --timelines 10
+//! libractl info
+//! ```
+//!
+//! This crate holds the argument-parsing and command logic (testable);
+//! the thin binary lives in `src/bin/libractl.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::run;

@@ -1,0 +1,212 @@
+//! LiBRA's learning component: a 3-class (BA / RA / NA) random-forest
+//! classifier over the PHY-layer features, plus the missing-ACK fallback
+//! rule of §7.
+//!
+//! The paper trains the §6.2 random forest with three classes — BA, RA,
+//! and NA (no adaptation) — reaching 98 % 5-fold accuracy on the training
+//! building and 94 % on the held-out buildings. At run time the model is
+//! consulted every other frame over two 20 ms observation windows; when a
+//! frame gets no ACK at all the metrics cannot be updated, and LiBRA
+//! falls back to a rule mined from the training data: *below MCS 6, BA is
+//! right 92 % of the time → always BA; at MCS ≥ 6 it is a coin flip →
+//! BA only when BA is cheap*.
+
+use libra_dataset::{Action3, Features};
+use libra_ml::{ForestConfig, RandomForest};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The trained LiBRA decision model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LibraClassifier {
+    forest: RandomForest,
+    /// Below this MCS a missing ACK always triggers BA (§7: "when the
+    /// current MCS is lower than 6, BA is the right mechanism 92 % of
+    /// the time").
+    pub fallback_mcs_threshold: usize,
+    /// At or above the threshold MCS, trigger BA first only when the BA
+    /// overhead is below this many milliseconds.
+    pub fallback_ba_overhead_ms: f64,
+}
+
+impl LibraClassifier {
+    /// Trains the 3-class forest on a dataset produced by
+    /// `CampaignDataset::to_ml_3class` (labels BA=0, RA=1, NA=2).
+    pub fn train(data: &libra_ml::Dataset, rng: &mut impl Rng) -> Self {
+        assert_eq!(data.n_classes, 3, "LiBRA uses the 3-class model");
+        let mut forest = RandomForest::new(ForestConfig::default());
+        forest.fit(data, rng);
+        Self { forest, fallback_mcs_threshold: 6, fallback_ba_overhead_ms: 10.0 }
+    }
+
+    /// Wraps an externally fitted forest (ablations).
+    pub fn from_forest(forest: RandomForest) -> Self {
+        Self { forest, fallback_mcs_threshold: 6, fallback_ba_overhead_ms: 10.0 }
+    }
+
+    /// Classifies an observation-window feature vector.
+    pub fn classify(&self, features: &Features) -> Action3 {
+        self.classify_proba(features).0
+    }
+
+    /// Classifies and reports the forest's confidence (the vote share of
+    /// the winning class).
+    pub fn classify_proba(&self, features: &Features) -> (Action3, f64) {
+        let probs = self.forest.predict_proba_one(&features.to_row());
+        let (idx, &p) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+            .expect("non-empty");
+        let action = match idx {
+            0 => Action3::Ba,
+            1 => Action3::Ra,
+            _ => Action3::Na,
+        };
+        (action, p)
+    }
+
+    /// Confidence-gated classification (extension): act on the model's
+    /// prediction only when its vote share clears `threshold`; below it,
+    /// defer to the missing-ACK fallback rule — uncertain calls then
+    /// cost a (cheap) suboptimal heuristic instead of a potentially
+    /// expensive misprediction.
+    pub fn classify_gated(
+        &self,
+        features: &Features,
+        threshold: f64,
+        current_mcs: usize,
+        ba_overhead_ms: f64,
+    ) -> Action3 {
+        let (action, confidence) = self.classify_proba(features);
+        if confidence >= threshold {
+            action
+        } else {
+            self.fallback(current_mcs, ba_overhead_ms)
+        }
+    }
+
+    /// The missing-ACK fallback rule (§7).
+    pub fn fallback(&self, current_mcs: usize, ba_overhead_ms: f64) -> Action3 {
+        if current_mcs < self.fallback_mcs_threshold
+            || ba_overhead_ms < self.fallback_ba_overhead_ms
+        {
+            Action3::Ba
+        } else {
+            Action3::Ra
+        }
+    }
+
+    /// The underlying forest (importances, inspection).
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+
+    /// Persists the trained model to a binary file — what a vendor would
+    /// ship in firmware after the offline training of §7.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), libra_util::binser::Error> {
+        libra_util::binser::write_file(path, self)
+    }
+
+    /// Loads a model previously written by [`LibraClassifier::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, libra_util::binser::Error> {
+        libra_util::binser::read_file(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_util::rng::rng_from_seed;
+
+    fn tiny_3class() -> libra_ml::Dataset {
+        // Synthetic separable 3-class data in the feature schema: big SNR
+        // drop → BA, small drop + low CDR → RA, no change → NA.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..120 {
+            let (row, label) = match i % 3 {
+                0 => (vec![12.0 + (i % 5) as f64, 1000.0, 0.5, 0.9, 0.5, 0.0, 3.0], 0usize),
+                1 => (vec![4.0 + (i % 3) as f64 * 0.3, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0], 1),
+                _ => (vec![0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 6.0], 2),
+            };
+            features.push(row);
+            labels.push(label);
+        }
+        libra_ml::Dataset::new(
+            features,
+            labels,
+            3,
+            libra_dataset::FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    fn feat(row: [f64; 7]) -> Features {
+        Features {
+            snr_diff_db: row[0],
+            tof_diff_ns: row[1],
+            noise_diff_db: row[2],
+            pdp_similarity: row[3],
+            csi_similarity: row[4],
+            cdr: row[5],
+            initial_mcs: row[6] as usize,
+        }
+    }
+
+    #[test]
+    fn classifies_separable_classes() {
+        let mut rng = rng_from_seed(1);
+        let clf = LibraClassifier::train(&tiny_3class(), &mut rng);
+        assert_eq!(clf.classify(&feat([13.0, 1000.0, 0.5, 0.9, 0.5, 0.0, 3.0])), Action3::Ba);
+        assert_eq!(clf.classify(&feat([4.2, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0])), Action3::Ra);
+        assert_eq!(clf.classify(&feat([0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 6.0])), Action3::Na);
+    }
+
+    #[test]
+    fn fallback_rule_matches_paper() {
+        let mut rng = rng_from_seed(2);
+        let clf = LibraClassifier::train(&tiny_3class(), &mut rng);
+        // MCS below 6 → always BA, regardless of overhead.
+        assert_eq!(clf.fallback(3, 250.0), Action3::Ba);
+        // MCS 6+, cheap BA → BA.
+        assert_eq!(clf.fallback(6, 0.5), Action3::Ba);
+        // MCS 6+, expensive BA → RA.
+        assert_eq!(clf.fallback(7, 250.0), Action3::Ra);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut rng = rng_from_seed(4);
+        let clf = LibraClassifier::train(&tiny_3class(), &mut rng);
+        let dir = std::env::temp_dir().join("libra-clf-test");
+        let path = dir.join("model.bin");
+        clf.save(&path).expect("save");
+        let back = LibraClassifier::load(&path).expect("load");
+        // The loaded model must classify identically.
+        for row in [
+            [13.0, 1000.0, 0.5, 0.9, 0.5, 0.0, 3.0],
+            [4.2, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0],
+            [0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 6.0],
+        ] {
+            assert_eq!(clf.classify(&feat(row)), back.classify(&feat(row)));
+        }
+        assert_eq!(
+            clf.forest().feature_importances(),
+            back.forest().feature_importances()
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "3-class")]
+    fn rejects_binary_dataset() {
+        let data = libra_ml::Dataset::new(
+            vec![vec![0.0; 7], vec![1.0; 7]],
+            vec![0, 1],
+            2,
+            libra_dataset::FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        );
+        let mut rng = rng_from_seed(3);
+        LibraClassifier::train(&data, &mut rng);
+    }
+}

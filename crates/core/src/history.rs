@@ -1,0 +1,364 @@
+//! History-window classification — the paper's future-work extension.
+//!
+//! §7 closes with: *"in the case of 60 GHz, longer observation windows
+//! may have some benefits, e.g., they may allow the transmitter to learn
+//! blockage patterns and make better decisions in the future. We believe
+//! that learning link status patterns over longer periods of time is an
+//! interesting avenue for future investigation."*
+//!
+//! This module implements that investigation: a classifier over the
+//! **last K observation windows** instead of one. Features from the K
+//! most recent window-to-window transitions are stacked into a single
+//! `K×7` row, and the forest is trained on *timeline-derived* data —
+//! sequences of segments labelled by the byte-maximizing oracle — so
+//! recurring patterns (a blocker stepping in and out, periodic
+//! interference bursts) become learnable.
+//!
+//! The `ablation_history` experiment in `libra-bench` quantifies the
+//! gain over single-window LiBRA.
+
+use crate::classifier::LibraClassifier;
+use crate::sim::{execute, ConfigData, LinkState, PolicyKind, SegmentData, SimConfig};
+use crate::timeline::{generate_timeline, ScenarioType, Timeline, TimelineConfig};
+use libra_dataset::measure::{expected_best_pair, expected_pair_measurement};
+use libra_dataset::{Action3, Features, Instruments, FEATURE_NAMES};
+use libra_ml::{Dataset, ForestConfig, RandomForest};
+use libra_util::rng::{derive_seed_index, rng_from_seed};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A rolling buffer of the most recent per-window features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureHistory {
+    window: usize,
+    buf: VecDeque<Features>,
+}
+
+impl FeatureHistory {
+    /// A history of depth `window` (K ≥ 1), pre-filled with "no change"
+    /// observations.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "history depth must be at least 1");
+        let mut buf = VecDeque::with_capacity(window);
+        for _ in 0..window {
+            buf.push_back(Features::no_change(8));
+        }
+        Self { window, buf }
+    }
+
+    /// Pushes the newest observation, discarding the oldest.
+    pub fn push(&mut self, f: Features) {
+        self.buf.pop_back();
+        self.buf.push_front(f);
+    }
+
+    /// The stacked feature row: newest window first, `window × 7` wide.
+    pub fn to_row(&self) -> Vec<f64> {
+        let mut row = Vec::with_capacity(self.window * 7);
+        for f in &self.buf {
+            row.extend(f.to_row());
+        }
+        row
+    }
+
+    /// Column names for the stacked row.
+    pub fn feature_names(window: usize) -> Vec<String> {
+        (0..window)
+            .flat_map(|k| FEATURE_NAMES.iter().map(move |n| format!("{n}[t-{k}]")))
+            .collect()
+    }
+}
+
+/// A LiBRA variant whose model sees the last K windows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistoryClassifier {
+    forest: RandomForest,
+    /// History depth K.
+    pub window: usize,
+}
+
+impl HistoryClassifier {
+    /// Trains on a stacked dataset built by [`collect_history_dataset`].
+    pub fn train(data: &Dataset, window: usize, rng: &mut impl Rng) -> Self {
+        assert_eq!(data.n_features(), window * 7, "feature width must be K×7");
+        assert_eq!(data.n_classes, 3);
+        let mut forest = RandomForest::new(ForestConfig::default());
+        forest.fit(data, rng);
+        Self { forest, window }
+    }
+
+    /// Classifies the current history buffer.
+    pub fn classify(&self, history: &FeatureHistory) -> Action3 {
+        assert_eq!(history.window, self.window, "history depth mismatch");
+        match self.forest.predict_one(&history.to_row()) {
+            0 => Action3::Ba,
+            1 => Action3::Ra,
+            _ => Action3::Na,
+        }
+    }
+}
+
+/// Builds a 3-class training set from oracle-labelled timeline segments:
+/// each row is the stacked K-window history at a segment entry, labelled
+/// with the action the byte-maximizing oracle takes there.
+pub fn collect_history_dataset(
+    scenarios: &[ScenarioType],
+    n_timelines_per_scenario: usize,
+    window: usize,
+    sim: &SimConfig,
+    instruments: &Instruments,
+    seed: u64,
+) -> Dataset {
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for (si, &scenario) in scenarios.iter().enumerate() {
+        for i in 0..n_timelines_per_scenario {
+            let mut rng =
+                rng_from_seed(derive_seed_index(seed ^ (si as u64) << 32, i as u64));
+            let tl = generate_timeline(scenario, &TimelineConfig::default(), &mut rng);
+            walk_timeline_collecting(&tl, window, sim, instruments, &mut rows, &mut labels);
+        }
+    }
+    Dataset::new(rows, labels, 3, FeatureHistory::feature_names(window))
+}
+
+/// Walks one timeline following the oracle, emitting (history, label)
+/// pairs.
+fn walk_timeline_collecting(
+    tl: &Timeline,
+    window: usize,
+    sim: &SimConfig,
+    instruments: &Instruments,
+    rows: &mut Vec<Vec<f64>>,
+    labels: &mut Vec<usize>,
+) {
+    let first = &tl.segments[0].scene;
+    let mut held_pair = expected_best_pair(first, instruments);
+    let mut prev_meas = expected_pair_measurement(first, instruments, held_pair);
+    let mut state = LinkState::at_mcs(prev_meas.best_mcs());
+    let mut history = FeatureHistory::new(window);
+
+    for (k, segment) in tl.segments.iter().enumerate() {
+        let old_meas = expected_pair_measurement(&segment.scene, instruments, held_pair);
+        let best_pair = expected_best_pair(&segment.scene, instruments);
+        let best_meas = if best_pair == held_pair {
+            old_meas.clone()
+        } else {
+            expected_pair_measurement(&segment.scene, instruments, best_pair)
+        };
+        let features = if k == 0 {
+            Features::extract(&old_meas, &old_meas)
+        } else {
+            Features::extract(&prev_meas, &old_meas)
+        };
+        history.push(features);
+
+        let seg = SegmentData {
+            old: ConfigData::from_measurement(&old_meas),
+            best: ConfigData::from_measurement(&best_meas),
+            features,
+            duration_ms: segment.duration_ms,
+        };
+        // Oracle label: best of the three actions by bytes.
+        let na = execute(&seg, Action3::Na, state, sim);
+        let ra = execute(&seg, Action3::Ra, state, sim);
+        let ba = execute(&seg, Action3::Ba, state, sim);
+        let (label, out) = if na.bytes >= ra.bytes && na.bytes >= ba.bytes {
+            (Action3::Na, na)
+        } else if ra.bytes >= ba.bytes {
+            (Action3::Ra, ra)
+        } else {
+            (Action3::Ba, ba)
+        };
+        rows.push(history.to_row());
+        labels.push(label.class_index());
+
+        state = out.end_state;
+        if state.did_ba {
+            held_pair = best_pair;
+            prev_meas = best_meas;
+        } else {
+            prev_meas = old_meas;
+        }
+    }
+}
+
+/// Runs a timeline with a [`HistoryClassifier`]-driven policy (the
+/// K-window LiBRA variant), mirroring `run_timeline` but feeding the
+/// classifier a rolling history. Returns the bytes delivered.
+pub fn run_timeline_with_history(
+    tl: &Timeline,
+    clf: &HistoryClassifier,
+    fallback: &LibraClassifier,
+    sim: &SimConfig,
+    instruments: &Instruments,
+) -> f64 {
+    let first = &tl.segments[0].scene;
+    let mut held_pair = expected_best_pair(first, instruments);
+    let mut prev_meas = expected_pair_measurement(first, instruments, held_pair);
+    let mut state = LinkState::at_mcs(prev_meas.best_mcs());
+    let mut history = FeatureHistory::new(clf.window);
+    let mut bytes = 0.0;
+
+    for (k, segment) in tl.segments.iter().enumerate() {
+        let old_meas = expected_pair_measurement(&segment.scene, instruments, held_pair);
+        let best_pair = expected_best_pair(&segment.scene, instruments);
+        let best_meas = if best_pair == held_pair {
+            old_meas.clone()
+        } else {
+            expected_pair_measurement(&segment.scene, instruments, best_pair)
+        };
+        let features = if k == 0 {
+            Features::extract(&old_meas, &old_meas)
+        } else {
+            Features::extract(&prev_meas, &old_meas)
+        };
+        history.push(features);
+        let seg = SegmentData {
+            old: ConfigData::from_measurement(&old_meas),
+            best: ConfigData::from_measurement(&best_meas),
+            features,
+            duration_ms: segment.duration_ms,
+        };
+        let ack_missing = seg.old.cdr[state.mcs] < 0.005;
+        let action = if ack_missing {
+            fallback.fallback(state.mcs, sim.params.ba_ms())
+        } else {
+            clf.classify(&history)
+        };
+        let out = execute(&seg, action, state, sim);
+        bytes += out.bytes;
+        state = out.end_state;
+        if state.did_ba {
+            held_pair = best_pair;
+            prev_meas = best_meas;
+        } else {
+            prev_meas = old_meas;
+        }
+    }
+    bytes
+}
+
+/// Convenience for evaluation: bytes delivered by single-window LiBRA on
+/// the same timeline (shares the fallback rule).
+pub fn run_timeline_single_window(
+    tl: &Timeline,
+    clf: &LibraClassifier,
+    sim: &SimConfig,
+    instruments: &Instruments,
+) -> f64 {
+    crate::timeline::run_timeline(tl, PolicyKind::Libra, Some(clf), sim, instruments).bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_mac::{BaOverheadPreset, ProtocolParams};
+
+    fn sim() -> SimConfig {
+        SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0))
+    }
+
+    #[test]
+    fn history_buffer_rolls() {
+        let mut h = FeatureHistory::new(3);
+        assert_eq!(h.to_row().len(), 21);
+        let mut f = Features::no_change(8);
+        f.snr_diff_db = 9.0;
+        h.push(f);
+        let row = h.to_row();
+        assert_eq!(row[0], 9.0, "newest first");
+        assert_eq!(row[7], 0.0, "older slots unchanged");
+        h.push(Features::no_change(8));
+        let row = h.to_row();
+        assert_eq!(row[0], 0.0);
+        assert_eq!(row[7], 9.0, "previous observation shifted back");
+    }
+
+    #[test]
+    fn feature_names_match_width() {
+        let names = FeatureHistory::feature_names(2);
+        assert_eq!(names.len(), 14);
+        assert!(names[0].contains("[t-0]"));
+        assert!(names[13].contains("[t-1]"));
+    }
+
+    #[test]
+    fn collect_dataset_has_stacked_width() {
+        let data = collect_history_dataset(
+            &[ScenarioType::Blockage],
+            2,
+            2,
+            &sim(),
+            &Instruments::default(),
+            1,
+        );
+        assert_eq!(data.n_features(), 14);
+        assert_eq!(data.n_classes, 3);
+        assert_eq!(data.len(), 2 * 10, "10 segments per timeline");
+        // All three labels should appear across blockage timelines.
+        let counts = data.class_counts();
+        assert!(counts[2] > 0, "NA segments expected: {counts:?}");
+    }
+
+    #[test]
+    fn history_classifier_trains_and_runs() {
+        let instruments = Instruments::default();
+        let data = collect_history_dataset(
+            &[ScenarioType::Blockage, ScenarioType::Mobility],
+            3,
+            2,
+            &sim(),
+            &instruments,
+            2,
+        );
+        let mut rng = libra_util::rng::rng_from_seed(3);
+        let clf = HistoryClassifier::train(&data, 2, &mut rng);
+        // Run on a fresh timeline — must deliver data without panicking.
+        let mut rng2 = libra_util::rng::rng_from_seed(77);
+        let tl = generate_timeline(ScenarioType::Blockage, &TimelineConfig::default(), &mut rng2);
+        let fallback_data = data_single();
+        let mut rng3 = libra_util::rng::rng_from_seed(4);
+        let fallback = LibraClassifier::train(&fallback_data, &mut rng3);
+        let bytes = run_timeline_with_history(&tl, &clf, &fallback, &sim(), &instruments);
+        assert!(bytes > 0.0);
+    }
+
+    /// A tiny synthetic single-window 3-class dataset (for the fallback).
+    fn data_single() -> Dataset {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let (row, label) = match i % 3 {
+                0 => (vec![15.0, 0.0, 0.5, 0.9, 0.5, 0.0, 3.0], 0usize),
+                1 => (vec![4.0, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0], 1),
+                _ => (vec![0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 6.0], 2),
+            };
+            features.push(row);
+            labels.push(label);
+        }
+        Dataset::new(
+            features,
+            labels,
+            3,
+            FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "depth mismatch")]
+    fn depth_mismatch_rejected() {
+        let data = collect_history_dataset(
+            &[ScenarioType::Blockage],
+            1,
+            2,
+            &sim(),
+            &Instruments::default(),
+            5,
+        );
+        let mut rng = libra_util::rng::rng_from_seed(6);
+        let clf = HistoryClassifier::train(&data, 2, &mut rng);
+        clf.classify(&FeatureHistory::new(3));
+    }
+}

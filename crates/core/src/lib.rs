@@ -1,0 +1,91 @@
+//! # libra
+//!
+//! **LiBRA** — *Learning-based Beam and Rate Adaptation* — the paper's
+//! primary contribution (CoNEXT 2020): a practical, standard-compliant
+//! link adaptation framework for 60 GHz WLANs that uses PHY-layer
+//! information and a 3-class machine-learned model to decide (i) *when*
+//! link adaptation is needed and (ii) *which* mechanism — beam
+//! adaptation (BA) or rate adaptation (RA) — to trigger first.
+//!
+//! The crate sits on top of the substrates built for this reproduction
+//! (`libra-channel`, `libra-phy`, `libra-mac`, `libra-ml`,
+//! `libra-dataset`) and provides:
+//!
+//! * [`classifier`] — the trained BA/RA/NA random forest plus the
+//!   missing-ACK fallback rule of §7.
+//! * [`sim`] — the frame-level trace-based simulator implementing
+//!   Algorithm 1 (downward RA ladder, BA fallback, adaptive upward
+//!   probing) and the five evaluated algorithms: `RA First`, `BA First`,
+//!   `LiBRA`, `Oracle-Data`, `Oracle-Delay`.
+//! * [`timeline`] — multi-impairment random timelines (§8.3) with a
+//!   scene-based runner that tracks each policy's true beam pair.
+//! * [`vr`] — the 8K/60FPS VR streaming study (§8.4): synthetic encoded
+//!   frame trace and stall accounting.
+//! * [`history`] — the paper's future-work extension: classification
+//!   over the last K observation windows, trained on oracle-labelled
+//!   timeline segments (learning blockage patterns).
+//! * [`online`] — outcome-driven online retraining: deriving labels
+//!   from the device's own recovery outcomes to adapt the model to an
+//!   unseen deployment environment (the cross-building accuracy gap).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use libra::prelude::*;
+//! use libra_util::rng::rng_from_seed;
+//!
+//! // 1. Emulate the measurement campaign and train LiBRA's model.
+//! let cfg = CampaignConfig::default();
+//! let dataset = generate(&main_campaign_plan(), &cfg);
+//! let table = libra_phy::McsTable::x60();
+//! let params = GroundTruthParams::default();
+//! let mut rng = rng_from_seed(7);
+//! let clf = LibraClassifier::train(&dataset.to_ml_3class(&table, &params), &mut rng);
+//!
+//! // 2. Simulate a link break and compare policies.
+//! let sim = SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0));
+//! let seg = SegmentData::from_entry(&dataset.entries[0], 1000.0);
+//! let state = LinkState::at_mcs(dataset.entries[0].initial.best_mcs());
+//! for policy in [PolicyKind::Libra, PolicyKind::RaFirst, PolicyKind::BaFirst] {
+//!     let out = run_policy_segment(&seg, policy, Some(&clf), state, &sim);
+//!     println!("{:10} {:.1} MB", policy.label(), out.bytes / 1e6);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod history;
+pub mod online;
+pub mod sim;
+pub mod timeline;
+pub mod vr;
+
+pub use classifier::LibraClassifier;
+pub use history::{
+    collect_history_dataset, run_timeline_with_history, FeatureHistory, HistoryClassifier,
+};
+pub use online::{run_timeline_online, OnlineLibra};
+pub use sim::{
+    execute, run_policy_segment, Config, ConfigData, LinkState, PolicyKind, RateSpan,
+    SegmentData, SegmentOutcome, SimConfig,
+};
+pub use timeline::{
+    generate_timeline, run_timeline, ScenarioType, Timeline, TimelineConfig, TimelineResult,
+    TimelineSegment,
+};
+pub use vr::{play, StallReport, VrTrace, COTS_TPUT_SCALE};
+
+/// One-stop imports for examples and the experiment harness.
+pub mod prelude {
+    pub use crate::classifier::LibraClassifier;
+    pub use crate::sim::{run_policy_segment, LinkState, PolicyKind, SegmentData, SimConfig};
+    pub use crate::timeline::{generate_timeline, run_timeline, ScenarioType, TimelineConfig};
+    pub use crate::vr::{play, VrTrace, COTS_TPUT_SCALE};
+    pub use libra_dataset::{
+        generate, main_campaign_plan, testing_campaign_plan, CampaignConfig, CampaignDataset,
+        GroundTruthParams, Impairment,
+    };
+    pub use libra_mac::{BaOverheadPreset, ProtocolParams};
+}

@@ -1,0 +1,338 @@
+//! Online adaptation — learning from deployment outcomes.
+//!
+//! The authors' earlier ML-RA study (their ref. [9]) found that learned
+//! link adaptation "is environment-dependent and requires online
+//! training", and this paper's own cross-building experiment (§6.2)
+//! shows the accuracy drop that motivates it. This module implements the
+//! missing piece: a LiBRA variant that keeps learning after deployment
+//! **without an oracle**, from labels it can derive from its own
+//! outcomes:
+//!
+//! * it chose **RA** and the downward ladder ran dry (BA fallback fired)
+//!   → the right answer was *BA*;
+//! * it chose **RA** and the ladder settled within a couple of probes →
+//!   *RA* was right;
+//! * it chose **BA** and the post-sweep throughput barely beats what the
+//!   old pair could still deliver → the sweep was unnecessary: *RA*;
+//! * it chose **BA** and the new pair is substantially better → *BA*;
+//! * the link never broke and no action was taken → *NA*.
+//!
+//! Derived labels accumulate in a replay buffer; every `retrain_every`
+//! observations the forest is refitted on *offline ∪ buffer*, letting
+//! the deployment environment reweight the decision boundaries.
+
+use crate::classifier::LibraClassifier;
+use crate::sim::{execute, ConfigData, LinkState, SegmentData, SegmentOutcome, SimConfig};
+use crate::timeline::Timeline;
+use libra_dataset::measure::{expected_best_pair, expected_pair_measurement};
+use libra_dataset::{Action3, Features, Instruments};
+use libra_ml::Dataset;
+use libra_util::rng::rng_from_seed;
+use rand::rngs::SmallRng;
+
+/// LiBRA with outcome-driven online retraining.
+#[derive(Debug, Clone)]
+pub struct OnlineLibra {
+    clf: LibraClassifier,
+    /// The offline training rows (kept so retraining never forgets the
+    /// base campaign).
+    offline: Dataset,
+    /// Replay buffer of deployment-derived examples.
+    buffer: Vec<(Vec<f64>, usize)>,
+    /// Retrain after this many new observations.
+    pub retrain_every: usize,
+    observations_since_retrain: usize,
+    rng: SmallRng,
+    /// Number of retrains performed (observability).
+    pub retrain_count: usize,
+}
+
+impl OnlineLibra {
+    /// Builds from an offline 3-class dataset (trains the initial model).
+    pub fn new(offline: Dataset, retrain_every: usize, seed: u64) -> Self {
+        assert!(retrain_every >= 1);
+        let mut rng = rng_from_seed(seed);
+        let clf = LibraClassifier::train(&offline, &mut rng);
+        Self {
+            clf,
+            offline,
+            buffer: Vec::new(),
+            retrain_every,
+            observations_since_retrain: 0,
+            rng,
+            retrain_count: 0,
+        }
+    }
+
+    /// The current model.
+    pub fn classifier(&self) -> &LibraClassifier {
+        &self.clf
+    }
+
+    /// Buffered deployment examples so far.
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Decides the action for a segment (same decision path as the
+    /// static LiBRA policy).
+    pub fn decide(&self, seg: &SegmentData, state: &LinkState, cfg: &SimConfig) -> Action3 {
+        let ack_missing = seg.old.cdr[state.mcs] < 0.005;
+        if ack_missing {
+            self.clf.fallback(state.mcs, cfg.params.ba_ms())
+        } else {
+            self.clf.classify(&seg.features)
+        }
+    }
+
+    /// Derives an outcome-based label for the (action, outcome) the
+    /// device just lived through. Returns `None` when the outcome is
+    /// uninformative.
+    pub fn derived_label(
+        action: Action3,
+        outcome: &SegmentOutcome,
+        seg: &SegmentData,
+        entry_state: &LinkState,
+        cfg: &SimConfig,
+    ) -> Option<Action3> {
+        let broken = seg.old.cdr[entry_state.mcs] < 0.10
+            || seg.old.tput_mbps[entry_state.mcs] * cfg.tput_scale < 150.0;
+        match action {
+            Action3::Na => {
+                if !broken {
+                    Some(Action3::Na)
+                } else {
+                    None // mispredicted NA teaches nothing about BA vs RA
+                }
+            }
+            Action3::Ra => {
+                if outcome.end_state.did_ba {
+                    // The ladder ran dry and BA had to fire anyway.
+                    Some(Action3::Ba)
+                } else {
+                    match outcome.recovery_delay_ms {
+                        // Quick settle: RA was the right call.
+                        Some(d) if d <= 3.0 * cfg.params.fat_ms => Some(Action3::Ra),
+                        // Slow or no recovery without BA: ambiguous.
+                        _ => None,
+                    }
+                }
+            }
+            Action3::Ba => {
+                // Compare what the sweep bought against what the old pair
+                // could still deliver (both are observable: the device
+                // measured the old pair right before sweeping).
+                let old_best =
+                    seg.old.tput_mbps.iter().cloned().fold(0.0f64, f64::max) * cfg.tput_scale;
+                let new_best =
+                    seg.best.tput_mbps.iter().cloned().fold(0.0f64, f64::max) * cfg.tput_scale;
+                if new_best > old_best * 1.15 {
+                    Some(Action3::Ba)
+                } else {
+                    Some(Action3::Ra)
+                }
+            }
+        }
+    }
+
+    /// Records one deployment observation and retrains when due.
+    pub fn observe(
+        &mut self,
+        features: &Features,
+        action: Action3,
+        outcome: &SegmentOutcome,
+        seg: &SegmentData,
+        entry_state: &LinkState,
+        cfg: &SimConfig,
+    ) {
+        if let Some(label) = Self::derived_label(action, outcome, seg, entry_state, cfg) {
+            self.buffer.push((features.to_row(), label.class_index()));
+            self.observations_since_retrain += 1;
+            if self.observations_since_retrain >= self.retrain_every {
+                self.retrain();
+            }
+        }
+    }
+
+    /// Refits the forest on offline ∪ buffer.
+    pub fn retrain(&mut self) {
+        let mut features = self.offline.features.clone();
+        let mut labels = self.offline.labels.clone();
+        for (row, label) in &self.buffer {
+            features.push(row.clone());
+            labels.push(*label);
+        }
+        let data =
+            Dataset::new(features, labels, 3, self.offline.feature_names.clone());
+        self.clf = LibraClassifier::train(&data, &mut self.rng);
+        self.observations_since_retrain = 0;
+        self.retrain_count += 1;
+    }
+}
+
+/// Runs a timeline with the online learner, feeding every outcome back.
+/// Returns the bytes delivered (the learner mutates as it goes).
+pub fn run_timeline_online(
+    tl: &Timeline,
+    online: &mut OnlineLibra,
+    sim: &SimConfig,
+    instruments: &Instruments,
+) -> f64 {
+    let first = &tl.segments[0].scene;
+    let mut held_pair = expected_best_pair(first, instruments);
+    let mut prev_meas = expected_pair_measurement(first, instruments, held_pair);
+    let mut state = LinkState::at_mcs(prev_meas.best_mcs());
+    let mut bytes = 0.0;
+
+    for (k, segment) in tl.segments.iter().enumerate() {
+        let old_meas = expected_pair_measurement(&segment.scene, instruments, held_pair);
+        let best_pair = expected_best_pair(&segment.scene, instruments);
+        let best_meas = if best_pair == held_pair {
+            old_meas.clone()
+        } else {
+            expected_pair_measurement(&segment.scene, instruments, best_pair)
+        };
+        let features = if k == 0 {
+            Features::extract(&old_meas, &old_meas)
+        } else {
+            Features::extract(&prev_meas, &old_meas)
+        };
+        let seg = SegmentData {
+            old: ConfigData::from_measurement(&old_meas),
+            best: ConfigData::from_measurement(&best_meas),
+            features,
+            duration_ms: segment.duration_ms,
+        };
+        let entry_state = state;
+        let action = online.decide(&seg, &entry_state, sim);
+        let out = execute(&seg, action, entry_state, sim);
+        online.observe(&features, action, &out, &seg, &entry_state, sim);
+        bytes += out.bytes;
+        state = out.end_state;
+        if state.did_ba {
+            held_pair = best_pair;
+            prev_meas = best_meas;
+        } else {
+            prev_meas = old_meas;
+        }
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{generate_timeline, ScenarioType, TimelineConfig};
+    use libra_dataset::FEATURE_NAMES;
+    use libra_mac::{BaOverheadPreset, ProtocolParams};
+
+    fn offline_3class() -> Dataset {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..90 {
+            let (row, label) = match i % 3 {
+                0 => (vec![15.0 + (i % 4) as f64, 0.0, 0.5, 0.9, 0.5, 0.0, 3.0], 0usize),
+                1 => (vec![4.0, -15.0, 0.3, 0.97, 0.9, 0.3, 7.0], 1),
+                _ => (vec![0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 7.0], 2),
+            };
+            features.push(row);
+            labels.push(label);
+        }
+        Dataset::new(features, labels, 3, FEATURE_NAMES.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn sim() -> SimConfig {
+        SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0))
+    }
+
+    fn seg(old_ok: bool) -> SegmentData {
+        let dead = ConfigData { tput_mbps: vec![0.0; 9], cdr: vec![0.0; 9] };
+        let alive = ConfigData {
+            tput_mbps: vec![300.0, 850.0, 1400.0, 1950.0, 2400.0, 2800.0, 1200.0, 0.0, 0.0],
+            cdr: vec![1.0, 1.0, 1.0, 1.0, 0.97, 0.92, 0.35, 0.0, 0.0],
+        };
+        SegmentData {
+            old: if old_ok { alive.clone() } else { dead },
+            best: alive,
+            features: Features::no_change(5),
+            duration_ms: 800.0,
+        }
+    }
+
+    #[test]
+    fn ra_that_needed_ba_teaches_ba() {
+        let s = seg(false);
+        let state = LinkState::at_mcs(5);
+        let out = execute(&s, Action3::Ra, state, &sim());
+        assert!(out.end_state.did_ba);
+        let label = OnlineLibra::derived_label(Action3::Ra, &out, &s, &state, &sim());
+        assert_eq!(label, Some(Action3::Ba));
+    }
+
+    #[test]
+    fn quick_ra_settle_teaches_ra() {
+        let mut s = seg(true);
+        // Break only the top: MCS 5 dead, 4 fine.
+        s.old.cdr[5] = 0.01;
+        s.old.tput_mbps[5] = 30.0;
+        let state = LinkState::at_mcs(5);
+        let out = execute(&s, Action3::Ra, state, &sim());
+        assert!(!out.end_state.did_ba);
+        let label = OnlineLibra::derived_label(Action3::Ra, &out, &s, &state, &sim());
+        assert_eq!(label, Some(Action3::Ra));
+    }
+
+    #[test]
+    fn useless_ba_teaches_ra() {
+        let s = seg(true); // old pair as good as the "best"
+        let state = LinkState::at_mcs(5);
+        let out = execute(&s, Action3::Ba, state, &sim());
+        let label = OnlineLibra::derived_label(Action3::Ba, &out, &s, &state, &sim());
+        assert_eq!(label, Some(Action3::Ra));
+    }
+
+    #[test]
+    fn productive_ba_teaches_ba() {
+        let mut s = seg(false);
+        s.old = ConfigData {
+            tput_mbps: vec![300.0, 600.0, 300.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            cdr: vec![1.0, 0.7, 0.2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        };
+        let state = LinkState::at_mcs(5);
+        let out = execute(&s, Action3::Ba, state, &sim());
+        let label = OnlineLibra::derived_label(Action3::Ba, &out, &s, &state, &sim());
+        assert_eq!(label, Some(Action3::Ba));
+    }
+
+    #[test]
+    fn healthy_na_teaches_na() {
+        let s = seg(true);
+        let state = LinkState::at_mcs(5);
+        let out = execute(&s, Action3::Na, state, &sim());
+        let label = OnlineLibra::derived_label(Action3::Na, &out, &s, &state, &sim());
+        assert_eq!(label, Some(Action3::Na));
+    }
+
+    #[test]
+    fn retrains_after_enough_observations() {
+        let mut online = OnlineLibra::new(offline_3class(), 3, 1);
+        let s = seg(false);
+        let state = LinkState::at_mcs(5);
+        let out = execute(&s, Action3::Ra, state, &sim());
+        for _ in 0..3 {
+            online.observe(&s.features, Action3::Ra, &out, &s, &state, &sim());
+        }
+        assert_eq!(online.retrain_count, 1);
+        assert_eq!(online.buffer_len(), 3);
+    }
+
+    #[test]
+    fn online_runner_delivers_and_learns() {
+        let mut online = OnlineLibra::new(offline_3class(), 5, 2);
+        let mut rng = rng_from_seed(3);
+        let tl = generate_timeline(ScenarioType::Mixed, &TimelineConfig::default(), &mut rng);
+        let bytes = run_timeline_online(&tl, &mut online, &sim(), &Instruments::default());
+        assert!(bytes > 0.0);
+        assert!(online.buffer_len() > 0, "should derive labels from outcomes");
+    }
+}

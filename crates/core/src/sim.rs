@@ -1,0 +1,738 @@
+//! The trace-based link simulator of §8.
+//!
+//! Time is discretized in frames of one FAT each. A *segment* is a span
+//! of time with static channel conditions, described by two measured
+//! configurations: `old` — the beam pair the device holds when the
+//! segment starts — and `best` — the pair a sector sweep would find.
+//! Policies act at the segment boundary (where the impairment hits) and
+//! then run the shared frame-based RA machinery (Algorithm 1): downward
+//! ladder to the first working MCS, BA fallback when the ladder runs
+//! dry, and adaptive upward probing with the `T = T0·min(2^k, 25)`
+//! backoff.
+//!
+//! All five algorithms of the evaluation run through this executor:
+//! `RA First` and `BA First` (the COTS heuristics), `LiBRA`, and the two
+//! oracles, which branch-simulate both actions with perfect knowledge
+//! and keep the better outcome (`Oracle-Data` by bytes, `Oracle-Delay`
+//! by recovery delay).
+
+use crate::classifier::LibraClassifier;
+use libra_dataset::{Action3, DatasetEntry, Features};
+use libra_mac::ProtocolParams;
+use serde::{Deserialize, Serialize};
+
+/// Per-MCS measurements of one link configuration (beam pair).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigData {
+    /// Mean MAC throughput per MCS, Mbps.
+    pub tput_mbps: Vec<f64>,
+    /// Mean CDR per MCS.
+    pub cdr: Vec<f64>,
+}
+
+impl ConfigData {
+    /// Builds from a pair measurement.
+    pub fn from_measurement(m: &libra_dataset::PairMeasurement) -> Self {
+        Self { tput_mbps: m.tput_mbps.clone(), cdr: m.cdr.clone() }
+    }
+}
+
+/// Which configuration the device currently transmits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Config {
+    /// The pair held at segment entry.
+    Old,
+    /// The segment-best pair (after BA).
+    Best,
+}
+
+/// One simulation segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentData {
+    /// Measurements on the held pair.
+    pub old: ConfigData,
+    /// Measurements on the segment-best pair.
+    pub best: ConfigData,
+    /// PHY-metric deltas observed at segment entry (classifier input).
+    pub features: Features,
+    /// Segment duration, ms.
+    pub duration_ms: f64,
+}
+
+impl SegmentData {
+    /// Builds a flow segment from a dataset entry (the single-impairment
+    /// evaluation of §8.2: the flow starts at the moment the impairment
+    /// hits).
+    pub fn from_entry(entry: &DatasetEntry, duration_ms: f64) -> Self {
+        Self {
+            old: ConfigData::from_measurement(&entry.new_old_pair),
+            best: ConfigData::from_measurement(&entry.new_best_pair),
+            features: entry.features,
+            duration_ms,
+        }
+    }
+
+    fn data(&self, c: Config) -> &ConfigData {
+        match c {
+            Config::Old => &self.old,
+            Config::Best => &self.best,
+        }
+    }
+}
+
+/// Simulator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Protocol parameters (BA overhead + FAT).
+    pub params: ProtocolParams,
+    /// Working-MCS CDR threshold (§5.2: 0.10).
+    pub min_cdr: f64,
+    /// Working-MCS throughput threshold, Mbps (§5.2: 150).
+    pub min_tput_mbps: f64,
+    /// Minimum upward-probe interval `T0`, frames (§7: 5 frames).
+    pub t0_frames: u32,
+    /// CDR threshold above which an upward probe is attempted
+    /// (`CDR_ORI` of [63]).
+    pub cdr_ori: f64,
+    /// Global throughput scale (the VR study scales X60 rates down to
+    /// COTS levels); 1.0 otherwise.
+    pub tput_scale: f64,
+    /// Confidence gate for LiBRA's classifier (extension): `Some(θ)`
+    /// routes predictions with vote share < θ through the fallback rule
+    /// instead. `None` (the paper's design) always trusts the model.
+    pub libra_confidence_gate: Option<f64>,
+}
+
+impl SimConfig {
+    /// Default simulator setup for the given protocol parameters.
+    pub fn new(params: ProtocolParams) -> Self {
+        Self {
+            params,
+            min_cdr: 0.10,
+            min_tput_mbps: 150.0,
+            t0_frames: 5,
+            cdr_ori: 0.9,
+            tput_scale: 1.0,
+            libra_confidence_gate: None,
+        }
+    }
+
+    fn working(&self, seg: &SegmentData, c: Config, m: usize) -> bool {
+        let d = seg.data(c);
+        d.cdr[m] > self.min_cdr && d.tput_mbps[m] * self.tput_scale > self.min_tput_mbps
+    }
+
+    fn tput(&self, seg: &SegmentData, c: Config, m: usize) -> f64 {
+        seg.data(c).tput_mbps[m] * self.tput_scale
+    }
+
+    /// Bytes delivered by a span of `ms` milliseconds at `mbps`.
+    fn bytes(mbps: f64, ms: f64) -> f64 {
+        mbps * 1e6 * ms / 1000.0 / 8.0
+    }
+}
+
+/// The five algorithms of §8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Always RA first — what COTS devices do.
+    RaFirst,
+    /// Always BA first — the [14] proposal.
+    BaFirst,
+    /// LiBRA (classifier + fallback).
+    Libra,
+    /// Byte-maximizing oracle.
+    OracleData,
+    /// Delay-minimizing oracle.
+    OracleDelay,
+}
+
+impl PolicyKind {
+    /// The three non-oracle algorithms compared in Figs 10–13.
+    pub const HEURISTICS: [PolicyKind; 3] =
+        [PolicyKind::BaFirst, PolicyKind::RaFirst, PolicyKind::Libra];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::RaFirst => "RA First",
+            PolicyKind::BaFirst => "BA First",
+            PolicyKind::Libra => "LiBRA",
+            PolicyKind::OracleData => "Oracle-Data",
+            PolicyKind::OracleDelay => "Oracle-Delay",
+        }
+    }
+}
+
+/// Link state carried across segments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkState {
+    /// MCS currently in use.
+    pub mcs: usize,
+    /// Upward-probe countdown, frames.
+    pub probe_wait_frames: u32,
+    /// Consecutive failed upward probes (`k`).
+    pub failed_probes: u32,
+    /// Whether the device switched to the segment-best pair during the
+    /// last executed segment (the timeline runner uses this to track the
+    /// held pair).
+    pub did_ba: bool,
+}
+
+impl LinkState {
+    /// Fresh state at the given MCS.
+    pub fn at_mcs(mcs: usize) -> Self {
+        Self { mcs, probe_wait_frames: 5, failed_probes: 0, did_ba: false }
+    }
+}
+
+/// A span of time delivering at a constant rate (the VR player consumes
+/// these to reconstruct the cumulative-bytes timeline).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateSpan {
+    /// Span start, ms from segment entry.
+    pub start_ms: f64,
+    /// Span length, ms.
+    pub len_ms: f64,
+    /// Delivery rate over the span, Mbps (0 during BA).
+    pub mbps: f64,
+}
+
+/// What one segment run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentOutcome {
+    /// Bytes delivered within the segment.
+    pub bytes: f64,
+    /// Link recovery delay, ms: time from segment entry until the first
+    /// working (config, MCS) is in use. `None` when the link was never
+    /// broken; capped at the segment duration when never recovered.
+    pub recovery_delay_ms: Option<f64>,
+    /// State at segment end.
+    pub end_state: LinkState,
+    /// Constant-rate delivery spans covering the segment (coalesced).
+    pub spans: Vec<RateSpan>,
+}
+
+/// Decides the segment-entry action for a policy and runs the segment.
+pub fn run_policy_segment(
+    seg: &SegmentData,
+    policy: PolicyKind,
+    clf: Option<&LibraClassifier>,
+    state: LinkState,
+    cfg: &SimConfig,
+) -> SegmentOutcome {
+    let broken = !cfg.working(seg, Config::Old, state.mcs);
+    let action = match policy {
+        PolicyKind::RaFirst => {
+            if broken {
+                Action3::Ra
+            } else {
+                Action3::Na
+            }
+        }
+        PolicyKind::BaFirst => {
+            if broken {
+                Action3::Ba
+            } else {
+                Action3::Na
+            }
+        }
+        PolicyKind::Libra => {
+            let clf = clf.expect("LiBRA needs a classifier");
+            let ack_missing = seg.old.cdr[state.mcs] < 0.005;
+            if ack_missing {
+                clf.fallback(state.mcs, cfg.params.ba_ms())
+            } else if let Some(threshold) = cfg.libra_confidence_gate {
+                clf.classify_gated(&seg.features, threshold, state.mcs, cfg.params.ba_ms())
+            } else {
+                clf.classify(&seg.features)
+            }
+        }
+        PolicyKind::OracleData => {
+            // Branch-simulate all three actions with perfect knowledge —
+            // including "no adaptation", so the oracle also captures
+            // improvement opportunities (e.g. a blocker stepping away
+            // while the device idles on a reflection pair).
+            let na = execute(seg, Action3::Na, state, cfg);
+            let ra = execute(seg, Action3::Ra, state, cfg);
+            let ba = execute(seg, Action3::Ba, state, cfg);
+            if na.bytes >= ra.bytes && na.bytes >= ba.bytes {
+                Action3::Na
+            } else if ra.bytes >= ba.bytes {
+                Action3::Ra
+            } else {
+                Action3::Ba
+            }
+        }
+        PolicyKind::OracleDelay => {
+            if !broken {
+                Action3::Na
+            } else {
+                let ra = execute(seg, Action3::Ra, state, cfg);
+                let ba = execute(seg, Action3::Ba, state, cfg);
+                let dra = ra.recovery_delay_ms.unwrap_or(f64::INFINITY);
+                let dba = ba.recovery_delay_ms.unwrap_or(f64::INFINITY);
+                if dra <= dba {
+                    Action3::Ra
+                } else {
+                    Action3::Ba
+                }
+            }
+        }
+    };
+    execute(seg, action, state, cfg)
+}
+
+/// Runs one segment with a fixed entry action.
+pub fn execute(
+    seg: &SegmentData,
+    action: Action3,
+    mut state: LinkState,
+    cfg: &SimConfig,
+) -> SegmentOutcome {
+    let fat = cfg.params.fat_ms;
+    let duration = seg.duration_ms;
+    let max_mcs = seg.old.tput_mbps.len() - 1;
+    let broken_at_entry = !cfg.working(seg, Config::Old, state.mcs);
+
+    let mut t = 0.0f64;
+    let mut bytes = 0.0f64;
+    let mut config = Config::Old;
+    let mut recovery: Option<f64> = None;
+    let mut spans: Vec<RateSpan> = Vec::new();
+    state.did_ba = false;
+
+    // Coalescing span recorder.
+    fn push_span(spans: &mut Vec<RateSpan>, start_ms: f64, len_ms: f64, mbps: f64) {
+        if len_ms <= 0.0 {
+            return;
+        }
+        if let Some(last) = spans.last_mut() {
+            if (last.mbps - mbps).abs() < 1e-9
+                && (last.start_ms + last.len_ms - start_ms).abs() < 1e-6
+            {
+                last.len_ms += len_ms;
+                return;
+            }
+        }
+        spans.push(RateSpan { start_ms, len_ms, mbps });
+    }
+
+    // --- Phase 1: the chosen adaptation action. -----------------------
+    // The downward RA ladder of Algorithm 1: probe one frame per MCS
+    // descending from `from_mcs`, continuing while the measured
+    // throughput keeps improving, and settling on the highest-throughput
+    // working MCS seen. Probe frames carry data (§5.2: "throughput is
+    // suboptimal but not necessarily 0 during RA"). Returns `true` when
+    // the ladder settled on a working MCS (or timed out); `false` when
+    // it ran dry and BA must follow. `recovery` is stamped at the first
+    // *working* MCS discovered, per the §5.2 delay definition.
+    let ladder = |config: Config,
+                  from_mcs: usize,
+                  t: &mut f64,
+                  bytes: &mut f64,
+                  spans: &mut Vec<RateSpan>,
+                  state: &mut LinkState,
+                  recovery: &mut Option<f64>|
+     -> bool {
+        let mut max_tput = 0.0f64;
+        let mut best_m = from_mcs;
+        for m in (0..=from_mcs).rev() {
+            if *t >= duration {
+                return true; // segment over; nothing more to decide
+            }
+            let span = fat.min(duration - *t);
+            let tp = cfg.tput(seg, config, m);
+            *bytes += SimConfig::bytes(tp, span);
+            push_span(spans, *t, span, tp);
+            *t += fat;
+            state.mcs = m;
+            if recovery.is_none() && cfg.working(seg, config, m) {
+                *recovery = Some(*t);
+            }
+            if tp < max_tput {
+                // Throughput stopped improving: settle on the best so far
+                // (Algorithm 1: `curr_mcs ← MCS + 1` when working).
+                if cfg.working(seg, config, best_m) {
+                    state.mcs = best_m;
+                    return true;
+                }
+                return false;
+            }
+            max_tput = tp;
+            best_m = m;
+        }
+        // Reached the lowest MCS (Algorithm 1's `isWorking(MCSmin)`).
+        if cfg.working(seg, config, best_m) {
+            state.mcs = best_m;
+            true
+        } else {
+            false
+        }
+    };
+
+    match action {
+        Action3::Na => {
+            // Nothing to do. A mispredicted NA on a broken link simply
+            // keeps transmitting on the broken configuration; phase 2's
+            // per-frame step-down then acts as an implicit slow ladder.
+        }
+        Action3::Ra => {
+            let from = state.mcs;
+            let settled =
+                ladder(Config::Old, from, &mut t, &mut bytes, &mut spans, &mut state, &mut recovery);
+            if !settled && t < duration {
+                // Algorithm 1: failed ladder → BA, then RA again from the
+                // MCS in use before adaptation was triggered.
+                push_span(&mut spans, t, cfg.params.ba_ms().min(duration - t), 0.0);
+                t += cfg.params.ba_ms();
+                config = Config::Best;
+                state.did_ba = true;
+                ladder(Config::Best, from, &mut t, &mut bytes, &mut spans, &mut state, &mut recovery);
+            }
+        }
+        Action3::Ba => {
+            push_span(&mut spans, t, cfg.params.ba_ms().min(duration - t), 0.0);
+            t += cfg.params.ba_ms();
+            config = Config::Best;
+            state.did_ba = true;
+            ladder(Config::Best, state.mcs, &mut t, &mut bytes, &mut spans, &mut state, &mut recovery);
+        }
+    }
+
+    // --- Phase 2: steady state with adaptive upward probing. ----------
+    while t < duration {
+        let span = fat.min(duration - t);
+        let d = seg.data(config);
+        // Opportunistic recovery bookkeeping: a broken link that becomes
+        // "working" only through the probe loop below.
+        if recovery.is_none() && cfg.working(seg, config, state.mcs) {
+            recovery = Some(t);
+        }
+        if state.probe_wait_frames == 0
+            && state.mcs < max_mcs
+            && d.cdr[state.mcs] > cfg.cdr_ori
+        {
+            // Probe the next MCS up with one frame.
+            let up = state.mcs + 1;
+            bytes += SimConfig::bytes(cfg.tput(seg, config, up), span);
+            push_span(&mut spans, t, span, cfg.tput(seg, config, up));
+            t += fat;
+            if cfg.tput(seg, config, up) > cfg.tput(seg, config, state.mcs) {
+                state.mcs = up;
+                state.failed_probes = 0;
+                state.probe_wait_frames = cfg.t0_frames;
+            } else {
+                state.failed_probes = (state.failed_probes + 1).min(16);
+                let mult = 2u32.saturating_pow(state.failed_probes).min(25);
+                state.probe_wait_frames = cfg.t0_frames * mult;
+            }
+            continue;
+        }
+        bytes += SimConfig::bytes(cfg.tput(seg, config, state.mcs), span);
+        push_span(&mut spans, t, span, cfg.tput(seg, config, state.mcs));
+        t += fat;
+        state.probe_wait_frames = state.probe_wait_frames.saturating_sub(1);
+        // Downward reaction: if the current MCS stops working (possible
+        // after a bad upward adoption), step down one level per frame —
+        // Algorithm 1's noACK/rollback path.
+        if !cfg.working(seg, config, state.mcs) && state.mcs > 0 {
+            state.mcs -= 1;
+        }
+    }
+
+    // Recovery delay is only defined when the link was actually broken
+    // at segment entry; a break that never recovers is capped at the
+    // segment duration so CDFs remain well-defined.
+    let recovery_delay_ms =
+        if broken_at_entry { Some(recovery.unwrap_or(duration).min(duration)) } else { None };
+
+    SegmentOutcome { bytes, recovery_delay_ms, end_state: state, spans }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_mac::BaOverheadPreset;
+
+    fn cfgdata(tputs: [f64; 9], cdrs: [f64; 9]) -> ConfigData {
+        ConfigData { tput_mbps: tputs.to_vec(), cdr: cdrs.to_vec() }
+    }
+
+    fn feat_zero() -> Features {
+        Features {
+            snr_diff_db: 0.0,
+            tof_diff_ns: 0.0,
+            noise_diff_db: 0.0,
+            pdp_similarity: 1.0,
+            csi_similarity: 1.0,
+            cdr: 1.0,
+            initial_mcs: 6,
+        }
+    }
+
+    /// Old pair dead, best pair working at MCS 3.
+    fn seg_ba_needed(duration_ms: f64) -> SegmentData {
+        SegmentData {
+            old: cfgdata([40.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], [0.13, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+            best: cfgdata(
+                [300.0, 850.0, 1400.0, 1900.0, 1100.0, 150.0, 0.0, 0.0, 0.0],
+                [1.0, 1.0, 1.0, 0.97, 0.45, 0.05, 0.0, 0.0, 0.0],
+            ),
+            features: feat_zero(),
+            duration_ms,
+        }
+    }
+
+    /// Old pair still works at MCS 5; best pair barely better.
+    fn seg_ra_enough(duration_ms: f64) -> SegmentData {
+        SegmentData {
+            old: cfgdata(
+                [300.0, 850.0, 1400.0, 1950.0, 2400.0, 2800.0, 900.0, 0.0, 0.0],
+                [1.0, 1.0, 1.0, 1.0, 0.96, 0.92, 0.25, 0.0, 0.0],
+            ),
+            best: cfgdata(
+                [300.0, 850.0, 1400.0, 1950.0, 2450.0, 2850.0, 950.0, 0.0, 0.0],
+                [1.0, 1.0, 1.0, 1.0, 0.97, 0.93, 0.26, 0.0, 0.0],
+            ),
+            features: feat_zero(),
+            duration_ms,
+        }
+    }
+
+    fn sim(ba: BaOverheadPreset, fat: f64) -> SimConfig {
+        SimConfig::new(ProtocolParams::new(ba, fat))
+    }
+
+    #[test]
+    fn ba_first_pays_overhead_then_recovers() {
+        let seg = seg_ba_needed(1000.0);
+        let cfg = sim(BaOverheadPreset::Directional7, 2.0);
+        let out =
+            run_policy_segment(&seg, PolicyKind::BaFirst, None, LinkState::at_mcs(6), &cfg);
+        // 250 ms BA + descending probes 6,5,4 — MCS 4 is the first
+        // *working* MCS (CDR 0.45, 1100 Mbps) → recovery at 256 ms; the
+        // ladder keeps descending while throughput improves and settles
+        // on MCS 3 (1900 Mbps).
+        assert_eq!(out.recovery_delay_ms, Some(256.0));
+        assert!(out.end_state.did_ba);
+        assert_eq!(out.end_state.mcs, 3);
+        assert!(out.bytes > 0.0);
+    }
+
+    #[test]
+    fn ra_first_fails_ladder_then_does_ba() {
+        let seg = seg_ba_needed(1000.0);
+        let cfg = sim(BaOverheadPreset::QuasiOmni30, 2.0);
+        let out =
+            run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(6), &cfg);
+        // The old-pair ladder descends 6..0 (tput improves 0→40 Mbps all
+        // the way down but MCS 0 is not working) = 7 probes (14 ms),
+        // fails → BA 0.5 ms → new-pair probes 6,5,4 discover working
+        // MCS 4 at 20.5 ms (and settle on MCS 3).
+        assert_eq!(out.recovery_delay_ms, Some(20.5));
+        assert!(out.end_state.did_ba);
+        assert_eq!(out.end_state.mcs, 3);
+    }
+
+    #[test]
+    fn ra_first_quick_when_ra_enough() {
+        let seg = seg_ra_enough(1000.0);
+        let cfg = sim(BaOverheadPreset::Directional7, 2.0);
+        let out =
+            run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(6), &cfg);
+        // 6 not working (cdr 0.25 > 0.1 but tput 900 > 150 → working!).
+        // Actually MCS 6 IS working here → link not broken → Na.
+        assert_eq!(out.recovery_delay_ms, None);
+        assert!(!out.end_state.did_ba);
+    }
+
+    #[test]
+    fn broken_link_ra_recovers_fast() {
+        // Make MCS 6 non-working on old pair.
+        let mut seg = seg_ra_enough(1000.0);
+        seg.old.cdr[6] = 0.02;
+        seg.old.tput_mbps[6] = 60.0;
+        let cfg = sim(BaOverheadPreset::Directional7, 2.0);
+        let out =
+            run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(6), &cfg);
+        // Probes 6 (fail), 5 (working, 2800 Mbps and throughput peaks
+        // there) → recovery after 2 probes = 4 ms, settle at MCS 5.
+        assert_eq!(out.recovery_delay_ms, Some(4.0));
+        assert!(!out.end_state.did_ba);
+        assert_eq!(out.end_state.mcs, 5);
+    }
+
+    #[test]
+    fn oracle_data_beats_or_matches_both() {
+        for seg in [seg_ba_needed(1000.0), seg_ra_enough(400.0)] {
+            let cfg = sim(BaOverheadPreset::QuasiOmni3, 10.0);
+            let s = LinkState::at_mcs(6);
+            let od = run_policy_segment(&seg, PolicyKind::OracleData, None, s, &cfg);
+            let ra = run_policy_segment(&seg, PolicyKind::RaFirst, None, s, &cfg);
+            let ba = run_policy_segment(&seg, PolicyKind::BaFirst, None, s, &cfg);
+            assert!(od.bytes + 1.0 >= ra.bytes.max(ba.bytes));
+        }
+    }
+
+    #[test]
+    fn oracle_delay_minimizes_delay() {
+        let seg = seg_ba_needed(1000.0);
+        let cfg = sim(BaOverheadPreset::Directional7, 2.0);
+        let s = LinkState::at_mcs(6);
+        let od = run_policy_segment(&seg, PolicyKind::OracleDelay, None, s, &cfg);
+        let ra = run_policy_segment(&seg, PolicyKind::RaFirst, None, s, &cfg);
+        let ba = run_policy_segment(&seg, PolicyKind::BaFirst, None, s, &cfg);
+        let d = |o: &SegmentOutcome| o.recovery_delay_ms.unwrap();
+        assert!(d(&od) <= d(&ra).min(d(&ba)));
+    }
+
+    #[test]
+    fn healthy_link_delivers_full_rate() {
+        let seg = seg_ra_enough(1000.0);
+        let cfg = sim(BaOverheadPreset::QuasiOmni30, 10.0);
+        let out =
+            run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(5), &cfg);
+        // ~2800 Mbps × 1 s = 350 MB; allow for the probe overhead.
+        assert!(out.bytes > 0.9 * 350e6, "bytes {}", out.bytes);
+    }
+
+    #[test]
+    fn up_probing_climbs_after_recovery() {
+        // Old pair dead; best pair works up to MCS 3; start at MCS 1 —
+        // probing should climb 1 → 3 and stop (4 not working: probes
+        // fail and back off).
+        let seg = SegmentData {
+            old: cfgdata([0.0; 9], [0.0; 9]),
+            best: cfgdata(
+                [300.0, 850.0, 1400.0, 1900.0, 90.0, 0.0, 0.0, 0.0, 0.0],
+                [1.0, 1.0, 0.99, 0.97, 0.03, 0.0, 0.0, 0.0, 0.0],
+            ),
+            features: feat_zero(),
+            duration_ms: 2000.0,
+        };
+        let cfg = sim(BaOverheadPreset::QuasiOmni30, 2.0);
+        let out = run_policy_segment(&seg, PolicyKind::BaFirst, None, LinkState::at_mcs(1), &cfg);
+        assert_eq!(out.end_state.mcs, 3, "should climb to the best working MCS");
+    }
+
+    #[test]
+    fn bytes_clamped_to_duration() {
+        let seg = seg_ra_enough(5.0); // shorter than one 10 ms frame
+        let cfg = sim(BaOverheadPreset::QuasiOmni30, 10.0);
+        let out =
+            run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(5), &cfg);
+        let max_bytes = 2800.0 * 1e6 * 0.005 / 8.0;
+        assert!(out.bytes <= max_bytes * 1.001, "bytes {}", out.bytes);
+    }
+
+    #[test]
+    fn never_recovering_link_caps_delay() {
+        let seg = SegmentData {
+            old: cfgdata([0.0; 9], [0.0; 9]),
+            best: cfgdata([0.0; 9], [0.0; 9]),
+            features: feat_zero(),
+            duration_ms: 400.0,
+        };
+        let cfg = sim(BaOverheadPreset::QuasiOmni30, 2.0);
+        let out =
+            run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(8), &cfg);
+        assert_eq!(out.recovery_delay_ms, Some(400.0));
+        assert_eq!(out.bytes, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod gate_tests {
+    use super::*;
+    use crate::classifier::LibraClassifier;
+    use libra_util::rng::rng_from_seed;
+
+    /// A classifier whose training data makes a specific region
+    /// uncertain, to exercise the confidence gate.
+    fn ambiguous_clf() -> LibraClassifier {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..120 {
+            // Deliberately contradictory labels in the same region: the
+            // forest's vote share stays near 0.5 there.
+            let row = vec![8.0, 0.0, 0.2, 0.95, 0.8, 0.1, 6.0];
+            features.push(row);
+            labels.push(i % 2); // BA and RA alternating
+        }
+        // A clean NA cluster so three classes exist.
+        for _ in 0..30 {
+            features.push(vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 6.0]);
+            labels.push(2);
+        }
+        let data = libra_ml::Dataset::new(
+            features,
+            labels,
+            3,
+            libra_dataset::FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        );
+        let mut rng = rng_from_seed(5);
+        LibraClassifier::train(&data, &mut rng)
+    }
+
+    #[test]
+    fn gate_routes_uncertain_calls_through_fallback() {
+        let clf = ambiguous_clf();
+        let ambiguous = Features {
+            snr_diff_db: 8.0,
+            tof_diff_ns: 0.0,
+            noise_diff_db: 0.2,
+            pdp_similarity: 0.95,
+            csi_similarity: 0.8,
+            cdr: 0.1,
+            initial_mcs: 6,
+        };
+        let (_, confidence) = clf.classify_proba(&ambiguous);
+        assert!(confidence < 0.9, "region should be uncertain: {confidence}");
+        // Gated at 0.95 with expensive BA and MCS ≥ 6 → fallback → RA.
+        let gated = clf.classify_gated(&ambiguous, 0.95, 7, 250.0);
+        assert_eq!(gated, Action3::Ra);
+        // Gated with cheap BA → fallback → BA.
+        let gated = clf.classify_gated(&ambiguous, 0.95, 7, 0.5);
+        assert_eq!(gated, Action3::Ba);
+        // A confident NA region passes through regardless of the gate.
+        let clear = Features::no_change(6);
+        assert_eq!(clf.classify_gated(&clear, 0.95, 7, 250.0), Action3::Na);
+    }
+
+    #[test]
+    fn sim_config_gate_changes_libra_decisions() {
+        let clf = ambiguous_clf();
+        let seg = SegmentData {
+            // Old pair degraded but ACKing (no missing-ACK shortcut).
+            old: ConfigData {
+                tput_mbps: vec![300.0, 700.0, 500.0, 100.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+                cdr: vec![1.0, 0.8, 0.4, 0.05, 0.0, 0.0, 0.0, 0.0, 0.0],
+            },
+            best: ConfigData {
+                tput_mbps: vec![300.0, 850.0, 1400.0, 1950.0, 2400.0, 0.0, 0.0, 0.0, 0.0],
+                cdr: vec![1.0, 1.0, 1.0, 1.0, 0.95, 0.0, 0.0, 0.0, 0.0],
+            },
+            features: Features {
+                snr_diff_db: 8.0,
+                tof_diff_ns: 0.0,
+                noise_diff_db: 0.2,
+                pdp_similarity: 0.95,
+                csi_similarity: 0.8,
+                cdr: 0.1,
+                initial_mcs: 6,
+            },
+            duration_ms: 1000.0,
+        };
+        let params = ProtocolParams::new(libra_mac::BaOverheadPreset::Directional7, 2.0);
+        let mut gated = SimConfig::new(params);
+        gated.libra_confidence_gate = Some(0.95);
+        let state = LinkState::at_mcs(6);
+        // Both runs complete; the gated run must be deterministic and
+        // account bytes like any other.
+        let a = run_policy_segment(&seg, PolicyKind::Libra, Some(&clf), state, &gated);
+        let b = run_policy_segment(&seg, PolicyKind::Libra, Some(&clf), state, &gated);
+        assert_eq!(a.bytes, b.bytes);
+        assert!(a.bytes > 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The VR application study (paper §8.4, Table 4).
+//!
+//! The paper streams a 30 s Viking Village scene at 8K / 60 FPS —
+//! a demand of about 1.2 Gbps — over mobility timelines, with all link
+//! throughputs scaled from X60's 4.75 Gbps envelope down to what COTS
+//! 802.11ad achieves (~2.4 Gbps peak). Quality of experience is
+//! measured as the *average stall duration* and the *number of stalls*.
+//!
+//! This module provides a synthetic encoded-frame-size trace with the
+//! same mean demand and scene-driven variation, plus a playback model:
+//! frame `f` is due `f/60` s into playback; if its bytes have not fully
+//! arrived by its scheduled display time, playback stalls until they
+//! have.
+
+use crate::sim::RateSpan;
+use libra_util::rng::standard_normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Throughput scale factor from X60's envelope (4.75 Gbps) to COTS
+/// 802.11ad peak rates (~2.4 Gbps, §8.4).
+pub const COTS_TPUT_SCALE: f64 = 2400.0 / 4750.0;
+
+/// A sequence of encoded VR frame sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VrTrace {
+    /// Bytes per video frame.
+    pub frame_bytes: Vec<f64>,
+    /// Frames per second.
+    pub fps: f64,
+}
+
+impl VrTrace {
+    /// A synthetic 8K@60FPS trace of the given duration with mean demand
+    /// `mean_gbps` (paper: ≤ 1.2 Gbps). Frame sizes vary with a slow
+    /// scene-complexity oscillation (≈ 5 s period, ±25 %) plus white
+    /// per-frame variation (±10 %), floored at 20 % of the mean.
+    pub fn synthetic_8k(duration_s: f64, mean_gbps: f64, rng: &mut impl Rng) -> Self {
+        let fps = 60.0;
+        let n = (duration_s * fps).round() as usize;
+        let mean_bytes = mean_gbps * 1e9 / 8.0 / fps;
+        let frame_bytes = (0..n)
+            .map(|f| {
+                let t = f as f64 / fps;
+                let scene = 1.0 + 0.25 * (2.0 * std::f64::consts::PI * t / 5.0).sin();
+                let noise = 1.0 + 0.10 * standard_normal(rng);
+                (mean_bytes * scene * noise).max(mean_bytes * 0.2)
+            })
+            .collect();
+        Self { frame_bytes, fps }
+    }
+
+    /// Total bytes of the trace.
+    pub fn total_bytes(&self) -> f64 {
+        self.frame_bytes.iter().sum()
+    }
+
+    /// Mean demand in Gbps.
+    pub fn mean_gbps(&self) -> f64 {
+        self.total_bytes() * 8.0 / 1e9 / (self.frame_bytes.len() as f64 / self.fps)
+    }
+}
+
+/// Playback quality metrics of one streaming session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StallReport {
+    /// Number of distinct stall events.
+    pub n_stalls: usize,
+    /// Total stalled time, ms.
+    pub total_stall_ms: f64,
+    /// Mean duration of a stall event, ms (0 when there were none).
+    pub mean_stall_ms: f64,
+}
+
+/// Plays the VR trace against a delivery schedule (rate spans from the
+/// link simulator) and reports stalls.
+///
+/// The model is a *live* interactive stream (the paper's VR game):
+/// frame `f` is rendered at `f/fps` and **cannot start transmitting
+/// before then** — there is no multi-second prebuffer to mask outages,
+/// which is exactly why VR is the paper's stress test for link recovery
+/// delay. Frame `f`'s scheduled display time is one frame interval after
+/// the previous frame's display; when its bytes have not fully arrived
+/// by then, playback freezes until they have — one stall event per
+/// freeze.
+pub fn play(trace: &VrTrace, spans: &[RateSpan]) -> StallReport {
+    let frame_interval_ms = 1000.0 / trace.fps;
+    let mut stalls = 0usize;
+    let mut total_stall_ms = 0.0f64;
+    let mut display_clock_ms = 0.0f64;
+    let mut cursor = DeliveryCursor::new(spans);
+    // Time at which the link finished sending the previous frame.
+    let mut link_free_ms = 0.0f64;
+
+    for (f, &bytes) in trace.frame_bytes.iter().enumerate() {
+        let render_ms = f as f64 / trace.fps * 1000.0;
+        let start_ms = link_free_ms.max(render_ms);
+        let arrival_ms = cursor.finish_time(start_ms, bytes);
+        link_free_ms = arrival_ms;
+        let due_ms = display_clock_ms + frame_interval_ms;
+        if arrival_ms > due_ms {
+            stalls += 1;
+            total_stall_ms += arrival_ms - due_ms;
+            display_clock_ms = arrival_ms;
+        } else {
+            display_clock_ms = due_ms;
+        }
+        if arrival_ms.is_infinite() {
+            break; // nothing more will ever arrive
+        }
+    }
+
+    StallReport {
+        n_stalls: stalls,
+        total_stall_ms,
+        mean_stall_ms: if stalls == 0 { 0.0 } else { total_stall_ms / stalls as f64 },
+    }
+}
+
+/// Walks a span list answering "starting at time `t`, when have `b`
+/// bytes been pushed through the link?". Queries must be issued with
+/// non-decreasing start times.
+struct DeliveryCursor<'a> {
+    spans: &'a [RateSpan],
+    idx: usize,
+}
+
+impl<'a> DeliveryCursor<'a> {
+    fn new(spans: &'a [RateSpan]) -> Self {
+        Self { spans, idx: 0 }
+    }
+
+    fn finish_time(&mut self, start_ms: f64, bytes: f64) -> f64 {
+        let mut remaining = bytes;
+        let mut t = start_ms;
+        let mut idx = self.idx;
+        loop {
+            let Some(span) = self.spans.get(idx) else {
+                return f64::INFINITY; // link gone: never arrives
+            };
+            let span_end = span.start_ms + span.len_ms;
+            if span_end <= t {
+                idx += 1;
+                self.idx = idx; // start times are monotone; safe to advance
+                continue;
+            }
+            let from = t.max(span.start_ms);
+            let window_ms = span_end - from;
+            let bytes_per_ms = span.mbps * 1e6 / 1000.0 / 8.0;
+            let deliverable = bytes_per_ms * window_ms;
+            if deliverable >= remaining && bytes_per_ms > 0.0 {
+                return from + remaining / bytes_per_ms;
+            }
+            remaining -= deliverable;
+            t = span_end;
+            idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_util::rng::rng_from_seed;
+
+    fn trace() -> VrTrace {
+        let mut rng = rng_from_seed(1);
+        VrTrace::synthetic_8k(30.0, 1.2, &mut rng)
+    }
+
+    #[test]
+    fn synthetic_trace_matches_demand() {
+        let t = trace();
+        assert_eq!(t.frame_bytes.len(), 1800);
+        assert!((t.mean_gbps() - 1.2).abs() < 0.1, "mean {}", t.mean_gbps());
+        assert!(t.frame_bytes.iter().all(|&b| b > 0.0));
+    }
+
+    #[test]
+    fn fast_link_never_stalls() {
+        let t = trace();
+        // Constant 2.4 Gbps for the whole 30 s — double the demand.
+        let spans = [RateSpan { start_ms: 0.0, len_ms: 31_000.0, mbps: 2400.0 }];
+        let rep = play(&t, &spans);
+        assert_eq!(rep.n_stalls, 0);
+        assert_eq!(rep.total_stall_ms, 0.0);
+    }
+
+    #[test]
+    fn outage_causes_a_stall() {
+        let t = trace();
+        // Fast, then a 500 ms outage, then fast again. Live streaming
+        // cannot prebuffer unrendered frames, so the outage must stall
+        // playback for roughly its own duration.
+        let spans = [
+            RateSpan { start_ms: 0.0, len_ms: 10_000.0, mbps: 2400.0 },
+            RateSpan { start_ms: 10_000.0, len_ms: 500.0, mbps: 0.0 },
+            RateSpan { start_ms: 10_500.0, len_ms: 25_000.0, mbps: 2400.0 },
+        ];
+        let rep = play(&t, &spans);
+        assert!(rep.n_stalls >= 1, "outage should stall: {rep:?}");
+        assert!(
+            rep.total_stall_ms > 300.0 && rep.total_stall_ms < 700.0,
+            "stall should be ≈ outage length: {rep:?}"
+        );
+    }
+
+    #[test]
+    fn starved_link_stalls_constantly() {
+        let t = trace();
+        let spans = [RateSpan { start_ms: 0.0, len_ms: 120_000.0, mbps: 600.0 }];
+        let rep = play(&t, &spans);
+        assert!(rep.n_stalls > 100, "stalls {}", rep.n_stalls);
+    }
+
+    #[test]
+    fn undelivered_tail_is_infinite_stall() {
+        let t = trace();
+        let spans = [RateSpan { start_ms: 0.0, len_ms: 1000.0, mbps: 2400.0 }];
+        let rep = play(&t, &spans);
+        assert!(rep.total_stall_ms.is_infinite());
+    }
+
+    #[test]
+    fn cursor_interpolates_within_span() {
+        let spans = [RateSpan { start_ms: 0.0, len_ms: 1000.0, mbps: 8.0 }];
+        // 8 Mbps = 1000 bytes/ms.
+        let mut c = DeliveryCursor::new(&spans);
+        assert!((c.finish_time(0.0, 500_000.0) - 500.0).abs() < 1e-6);
+        assert!((c.finish_time(500.0, 500_000.0) - 1000.0).abs() < 1e-6);
+        assert!(c.finish_time(900.0, 500_000.0).is_infinite());
+    }
+
+    #[test]
+    fn cursor_waits_for_rate_to_resume() {
+        let spans = [
+            RateSpan { start_ms: 0.0, len_ms: 100.0, mbps: 8.0 },
+            RateSpan { start_ms: 100.0, len_ms: 200.0, mbps: 0.0 },
+            RateSpan { start_ms: 300.0, len_ms: 1000.0, mbps: 8.0 },
+        ];
+        let mut c = DeliveryCursor::new(&spans);
+        // 150 000 bytes: 100 ms delivers 100 000, outage, then 50 ms.
+        assert!((c.finish_time(0.0, 150_000.0) - 350.0).abs() < 1e-6);
+    }
+}

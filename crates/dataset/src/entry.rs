@@ -1,0 +1,386 @@
+//! Dataset entries and the labelled campaign dataset.
+//!
+//! A [`DatasetEntry`] keeps the *raw measurements* of its (initial, new)
+//! state pair rather than a baked label: the ground truth of §5.2 depends
+//! on α and the protocol overheads, so labels are derived on demand via
+//! [`CampaignDataset::label`]. The same raw entries also feed the
+//! trace-based simulation of §8 (a policy replaying an entry needs the
+//! full per-MCS throughput vectors for both beam pairs).
+
+use crate::features::{Features, FEATURE_NAMES};
+use crate::ground_truth::{ground_truth, Action, GroundTruth, GroundTruthParams};
+use crate::measure::PairMeasurement;
+use libra_channel::Environment;
+use libra_phy::McsTable;
+use libra_util::csvio::CsvWriter;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The three link-impairment categories of the campaign (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Impairment {
+    /// Linear and/or angular displacement.
+    Displacement,
+    /// Human blockage.
+    Blockage,
+    /// Hidden-terminal interference.
+    Interference,
+}
+
+impl Impairment {
+    /// All three, in Table 1 order.
+    pub const ALL: [Impairment; 3] =
+        [Impairment::Displacement, Impairment::Blockage, Impairment::Interference];
+
+    /// Row label used in Tables 1–2.
+    pub fn name(self) -> &'static str {
+        match self {
+            Impairment::Displacement => "Displacement",
+            Impairment::Blockage => "Blockage",
+            Impairment::Interference => "Interference",
+        }
+    }
+}
+
+/// One labelled-on-demand dataset entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetEntry {
+    /// Environment the entry was collected in.
+    pub env: Environment,
+    /// Impairment category.
+    pub impairment: Impairment,
+    /// Scenario name (provenance).
+    pub scenario: String,
+    /// Measurement-position key (for the positions columns).
+    pub position_key: String,
+    /// Extracted ML features.
+    pub features: Features,
+    /// Initial-state measurement (initial pair).
+    pub initial: PairMeasurement,
+    /// New-state measurement with the initial pair (RA option).
+    pub new_old_pair: PairMeasurement,
+    /// New-state measurement with the new best pair (BA option).
+    pub new_best_pair: PairMeasurement,
+}
+
+impl DatasetEntry {
+    /// Ground truth under the given parameters.
+    pub fn ground_truth(&self, table: &McsTable, params: &GroundTruthParams) -> GroundTruth {
+        ground_truth(table, &self.initial, &self.new_old_pair, &self.new_best_pair, params)
+    }
+}
+
+/// Per-impairment summary row (the shape of Tables 1–2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryRow {
+    /// Impairment name (or "Overall").
+    pub name: String,
+    /// Entry count.
+    pub total: usize,
+    /// Entries labelled BA.
+    pub ba: usize,
+    /// Entries labelled RA.
+    pub ra: usize,
+    /// Distinct measurement positions.
+    pub positions: usize,
+}
+
+/// The full output of a measurement campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignDataset {
+    /// Impairment entries (labelled BA/RA on demand).
+    pub entries: Vec<DatasetEntry>,
+    /// No-adaptation twins (for the 3-class model of §7).
+    pub na_entries: Vec<DatasetEntry>,
+}
+
+impl CampaignDataset {
+    /// Persists the full dataset (raw measurements included) to a binary
+    /// file, so expensive campaigns can be generated once and reloaded.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), libra_util::binser::Error> {
+        libra_util::binser::write_file(path, self)
+    }
+
+    /// Loads a dataset previously written by [`CampaignDataset::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, libra_util::binser::Error> {
+        libra_util::binser::read_file(path)
+    }
+
+    /// Labels every impairment entry.
+    pub fn label(&self, table: &McsTable, params: &GroundTruthParams) -> Vec<GroundTruth> {
+        self.entries.iter().map(|e| e.ground_truth(table, params)).collect()
+    }
+
+    /// Entries of one impairment (with indices into `entries`).
+    pub fn by_impairment(&self, kind: Impairment) -> Vec<&DatasetEntry> {
+        self.entries.iter().filter(|e| e.impairment == kind).collect()
+    }
+
+    /// The Table 1 / Table 2 summary: per impairment and overall.
+    pub fn summary(&self, table: &McsTable, params: &GroundTruthParams) -> Vec<SummaryRow> {
+        let labels = self.label(table, params);
+        let mut rows = Vec::new();
+        for kind in Impairment::ALL {
+            let mut total = 0;
+            let mut ba = 0;
+            let mut positions: HashSet<&str> = HashSet::new();
+            for (e, gt) in self.entries.iter().zip(&labels) {
+                if e.impairment == kind {
+                    total += 1;
+                    if gt.label == Action::Ba {
+                        ba += 1;
+                    }
+                    positions.insert(e.position_key.as_str());
+                }
+            }
+            rows.push(SummaryRow {
+                name: kind.name().to_string(),
+                total,
+                ba,
+                ra: total - ba,
+                positions: positions.len(),
+            });
+        }
+        let all_positions: HashSet<&str> =
+            self.entries.iter().map(|e| e.position_key.as_str()).collect();
+        let ba_total: usize = rows.iter().map(|r| r.ba).sum();
+        let total: usize = rows.iter().map(|r| r.total).sum();
+        rows.push(SummaryRow {
+            name: "Overall".to_string(),
+            total,
+            ba: ba_total,
+            ra: total - ba_total,
+            positions: all_positions.len(),
+        });
+        rows
+    }
+
+    /// The 2-class ML dataset (BA = 0, RA = 1) under the given ground
+    /// truth parameters.
+    pub fn to_ml(&self, table: &McsTable, params: &GroundTruthParams) -> libra_ml::Dataset {
+        let labels = self.label(table, params);
+        let features: Vec<Vec<f64>> = self.entries.iter().map(|e| e.features.to_row()).collect();
+        let y: Vec<usize> = labels.iter().map(|g| g.label.class_index()).collect();
+        libra_ml::Dataset::new(
+            features,
+            y,
+            2,
+            FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    /// Restricted 2-class dataset for one impairment type (the
+    /// per-impairment CDFs of Figs 4–9).
+    pub fn to_ml_impairment(
+        &self,
+        kind: Impairment,
+        table: &McsTable,
+        params: &GroundTruthParams,
+    ) -> libra_ml::Dataset {
+        let labels = self.label(table, params);
+        let mut features = Vec::new();
+        let mut y = Vec::new();
+        for (e, gt) in self.entries.iter().zip(&labels) {
+            if e.impairment == kind {
+                features.push(e.features.to_row());
+                y.push(gt.label.class_index());
+            }
+        }
+        libra_ml::Dataset::new(
+            features,
+            y,
+            2,
+            FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    /// The 3-class ML dataset (BA = 0, RA = 1, NA = 2): impairment
+    /// entries plus the no-adaptation twins (§7).
+    pub fn to_ml_3class(&self, table: &McsTable, params: &GroundTruthParams) -> libra_ml::Dataset {
+        let labels = self.label(table, params);
+        let mut features: Vec<Vec<f64>> =
+            self.entries.iter().map(|e| e.features.to_row()).collect();
+        let mut y: Vec<usize> = labels.iter().map(|g| g.label.class_index()).collect();
+        for e in &self.na_entries {
+            features.push(e.features.to_row());
+            y.push(2);
+        }
+        libra_ml::Dataset::new(
+            features,
+            y,
+            3,
+            FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    /// Exports the labelled feature table as CSV (one row per entry).
+    pub fn to_csv(&self, table: &McsTable, params: &GroundTruthParams) -> String {
+        let labels = self.label(table, params);
+        let mut w = CsvWriter::new();
+        let mut header: Vec<String> =
+            vec!["env".into(), "impairment".into(), "position".into()];
+        header.extend(FEATURE_NAMES.iter().map(|s| s.to_string()));
+        header.extend(["label", "th_ra_mbps", "th_ba_mbps", "delay_ra_ms", "delay_ba_ms"]
+            .iter()
+            .map(|s| s.to_string()));
+        w.row(header);
+        for (e, gt) in self.entries.iter().zip(&labels) {
+            let mut row: Vec<String> = vec![
+                e.env.name().to_string(),
+                e.impairment.name().to_string(),
+                e.position_key.clone(),
+            ];
+            row.extend(e.features.to_row().iter().map(|v| format!("{v:.4}")));
+            row.push(match gt.label {
+                Action::Ba => "BA".to_string(),
+                Action::Ra => "RA".to_string(),
+            });
+            row.push(format!("{:.1}", gt.th_ra_mbps));
+            row.push(format!("{:.1}", gt.th_ba_mbps));
+            row.push(format!("{:.2}", gt.delay_ra_ms));
+            row.push(format!("{:.2}", gt.delay_ba_ms));
+            w.row(row);
+        }
+        w.as_str().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::Features;
+    use libra_phy::metrics::{PowerDelayProfile, PDP_BINS};
+
+    fn meas(tput: Vec<f64>, cdr: Vec<f64>) -> PairMeasurement {
+        PairMeasurement {
+            pair: (12, 12),
+            snr_db: 20.0,
+            noise_dbm: -74.0,
+            tof_ns: 30.0,
+            pdp: PowerDelayProfile::from_bins(vec![1e-6; PDP_BINS]),
+            tput_mbps: tput,
+            cdr,
+        }
+    }
+
+    fn entry(kind: Impairment, ra_good: bool, pos: &str) -> DatasetEntry {
+        let initial = meas(
+            vec![300.0, 850.0, 1400.0, 1950.0, 2500.0, 3050.0, 3400.0, 2000.0, 100.0],
+            vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.94, 0.48, 0.02],
+        );
+        let (old_pair, best_pair) = if ra_good {
+            (
+                meas(
+                    vec![300.0, 850.0, 1400.0, 1950.0, 2400.0, 2800.0, 1000.0, 0.0, 0.0],
+                    vec![1.0, 1.0, 1.0, 1.0, 0.96, 0.92, 0.3, 0.0, 0.0],
+                ),
+                meas(
+                    vec![300.0, 850.0, 1300.0, 1700.0, 1100.0, 300.0, 0.0, 0.0, 0.0],
+                    vec![1.0, 1.0, 0.93, 0.87, 0.44, 0.1, 0.0, 0.0, 0.0],
+                ),
+            )
+        } else {
+            (
+                meas(vec![50.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], vec![0.17, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+                meas(
+                    vec![300.0, 850.0, 1400.0, 1900.0, 1500.0, 200.0, 0.0, 0.0, 0.0],
+                    vec![1.0, 1.0, 1.0, 0.97, 0.6, 0.07, 0.0, 0.0, 0.0],
+                ),
+            )
+        };
+        let features = Features::extract(&initial, &old_pair);
+        DatasetEntry {
+            env: Environment::Lobby,
+            impairment: kind,
+            scenario: "test".into(),
+            position_key: pos.into(),
+            features,
+            initial,
+            new_old_pair: old_pair,
+            new_best_pair: best_pair,
+        }
+    }
+
+    fn dataset() -> CampaignDataset {
+        CampaignDataset {
+            entries: vec![
+                entry(Impairment::Displacement, true, "p0"),
+                entry(Impairment::Displacement, false, "p1"),
+                entry(Impairment::Blockage, false, "p2"),
+                entry(Impairment::Interference, true, "p0"),
+            ],
+            na_entries: vec![entry(Impairment::Displacement, true, "p0")],
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_positions() {
+        let d = dataset();
+        let rows = d.summary(&McsTable::x60(), &GroundTruthParams::default());
+        assert_eq!(rows.len(), 4);
+        let overall = &rows[3];
+        assert_eq!(overall.total, 4);
+        assert_eq!(overall.ba + overall.ra, 4);
+        assert_eq!(overall.positions, 3); // p0 shared by two entries
+    }
+
+    #[test]
+    fn labels_match_construction() {
+        let d = dataset();
+        let labels = d.label(&McsTable::x60(), &GroundTruthParams::default());
+        assert_eq!(labels[0].label, Action::Ra);
+        assert_eq!(labels[1].label, Action::Ba);
+        assert_eq!(labels[2].label, Action::Ba);
+    }
+
+    #[test]
+    fn to_ml_shapes() {
+        let d = dataset();
+        let ml = d.to_ml(&McsTable::x60(), &GroundTruthParams::default());
+        assert_eq!(ml.len(), 4);
+        assert_eq!(ml.n_features(), 7);
+        assert_eq!(ml.n_classes, 2);
+        let ml3 = d.to_ml_3class(&McsTable::x60(), &GroundTruthParams::default());
+        assert_eq!(ml3.len(), 5);
+        assert_eq!(ml3.n_classes, 3);
+        assert_eq!(ml3.labels[4], 2);
+    }
+
+    #[test]
+    fn to_ml_impairment_filters() {
+        let d = dataset();
+        let ml = d.to_ml_impairment(
+            Impairment::Displacement,
+            &McsTable::x60(),
+            &GroundTruthParams::default(),
+        );
+        assert_eq!(ml.len(), 2);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let d = dataset();
+        let dir = std::env::temp_dir().join("libra-ds-test");
+        let path = dir.join("campaign.bin");
+        d.save(&path).expect("save");
+        let back = CampaignDataset::load(&path).expect("load");
+        assert_eq!(back.entries.len(), d.entries.len());
+        assert_eq!(back.na_entries.len(), d.na_entries.len());
+        for (a, b) in d.entries.iter().zip(&back.entries) {
+            assert_eq!(a.features, b.features);
+            assert_eq!(a.new_best_pair.tput_mbps, b.new_best_pair.tput_mbps);
+            assert_eq!(a.env, b.env);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let d = dataset();
+        let csv = d.to_csv(&McsTable::x60(), &GroundTruthParams::default());
+        let rows = libra_util::csvio::parse_csv(&csv);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0][0], "env");
+        assert!(rows[1].iter().any(|c| c == "RA" || c == "BA"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Feature extraction (paper §6.1): the seven PHY-layer metrics fed to
+//! the ML models, in the order of Table 3.
+//!
+//! | # | feature | definition |
+//! |---|---|---|
+//! | 0 | SNR difference | `SNR(initial) − SNR(new)`, dB (positive = drop) |
+//! | 1 | ToF difference | `ToF(initial) − ToF(new)`, ns; the sentinel `TOF_INF_SENTINEL` when either end is unmeasurable ("X60 reports the ToF as infinity in cases of extremely weak signal") |
+//! | 2 | Noise level difference | `Noise(new) − Noise(initial)`, dB (positive = noisier) |
+//! | 3 | PDP similarity | Pearson correlation of the two PDPs |
+//! | 4 | CSI similarity | Pearson correlation of the two FFT-of-PDP estimates |
+//! | 5 | CDR | mean CDR at the new state, initial pair, initial MCS |
+//! | 6 | Initial MCS | best MCS at the initial state |
+
+use crate::measure::PairMeasurement;
+use serde::{Deserialize, Serialize};
+
+/// Number of features.
+pub const N_FEATURES: usize = 7;
+
+/// Sentinel replacing an infinite ToF difference (trees split around it;
+/// standardization keeps it finite for SVM/DNN).
+pub const TOF_INF_SENTINEL: f64 = 1_000.0;
+
+/// Feature names in Table 3 order.
+pub const FEATURE_NAMES: [&str; N_FEATURES] =
+    ["SNR", "ToF", "Noise Level", "PDP", "CSI", "CDR", "Initial MCS"];
+
+/// The feature vector of one dataset entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Features {
+    /// SNR drop from initial to new state, dB.
+    pub snr_diff_db: f64,
+    /// ToF difference (initial − new), ns, or `TOF_INF_SENTINEL`.
+    pub tof_diff_ns: f64,
+    /// Noise level rise from initial to new state, dB.
+    pub noise_diff_db: f64,
+    /// PDP Pearson similarity.
+    pub pdp_similarity: f64,
+    /// CSI (FFT-of-PDP) Pearson similarity.
+    pub csi_similarity: f64,
+    /// CDR at new state with the initial pair and MCS.
+    pub cdr: f64,
+    /// Best MCS at the initial state.
+    pub initial_mcs: usize,
+}
+
+impl Features {
+    /// The "nothing changed" observation: zero deltas, unit
+    /// similarities, perfect delivery — what a healthy static link
+    /// reports. Used to pre-fill observation-history buffers.
+    pub fn no_change(initial_mcs: usize) -> Self {
+        Self {
+            snr_diff_db: 0.0,
+            tof_diff_ns: 0.0,
+            noise_diff_db: 0.0,
+            pdp_similarity: 1.0,
+            csi_similarity: 1.0,
+            cdr: 1.0,
+            initial_mcs,
+        }
+    }
+
+    /// Extracts the features from the two measurements sharing the
+    /// initial beam pair.
+    pub fn extract(initial: &PairMeasurement, new_old_pair: &PairMeasurement) -> Self {
+        let init_mcs = initial.best_mcs();
+        let tof_diff = if initial.tof_ns.is_finite() && new_old_pair.tof_ns.is_finite() {
+            initial.tof_ns - new_old_pair.tof_ns
+        } else {
+            TOF_INF_SENTINEL
+        };
+        let pdp_sim = sanitize_similarity(initial.pdp.similarity(&new_old_pair.pdp));
+        let csi_sim = sanitize_similarity(initial.pdp.csi_similarity(&new_old_pair.pdp));
+        Self {
+            snr_diff_db: initial.snr_db - new_old_pair.snr_db,
+            tof_diff_ns: tof_diff.clamp(-TOF_INF_SENTINEL, TOF_INF_SENTINEL),
+            noise_diff_db: new_old_pair.noise_dbm - initial.noise_dbm,
+            pdp_similarity: pdp_sim,
+            csi_similarity: csi_sim,
+            cdr: new_old_pair.cdr[init_mcs],
+            initial_mcs: init_mcs,
+        }
+    }
+
+    /// The row an ML model consumes (Table 3 order).
+    pub fn to_row(&self) -> Vec<f64> {
+        vec![
+            self.snr_diff_db,
+            self.tof_diff_ns,
+            self.noise_diff_db,
+            self.pdp_similarity,
+            self.csi_similarity,
+            self.cdr,
+            self.initial_mcs as f64,
+        ]
+    }
+}
+
+/// A Pearson similarity of a degenerate (e.g. all-zero) PDP is NaN;
+/// treat it as zero similarity ("completely different").
+fn sanitize_similarity(s: f64) -> f64 {
+    if s.is_nan() {
+        0.0
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_phy::metrics::{PowerDelayProfile, PDP_BINS};
+
+    fn meas(snr: f64, noise: f64, tof: f64, peak_bin: usize) -> PairMeasurement {
+        let mut bins = vec![1e-9; PDP_BINS];
+        bins[peak_bin] = 1e-3;
+        bins[peak_bin + 5] = 2e-4;
+        PairMeasurement {
+            pair: (12, 12),
+            snr_db: snr,
+            noise_dbm: noise,
+            tof_ns: tof,
+            pdp: PowerDelayProfile::from_bins(bins),
+            tput_mbps: vec![300.0, 800.0, 1400.0, 1900.0, 2400.0, 2900.0, 3400.0, 2000.0, 100.0],
+            cdr: vec![1.0, 1.0, 1.0, 1.0, 0.98, 0.95, 0.94, 0.45, 0.02],
+        }
+    }
+
+    #[test]
+    fn diffs_have_expected_signs() {
+        let init = meas(25.0, -74.0, 30.0, 0);
+        let new = meas(15.0, -70.0, 36.0, 0);
+        let f = Features::extract(&init, &new);
+        assert!((f.snr_diff_db - 10.0).abs() < 1e-9, "drop positive");
+        assert!((f.noise_diff_db - 4.0).abs() < 1e-9, "rise positive");
+        assert!((f.tof_diff_ns + 6.0).abs() < 1e-9, "backward motion negative");
+        assert_eq!(f.initial_mcs, 6);
+        assert!((f.cdr - 0.94).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_states_have_unit_similarity() {
+        let init = meas(25.0, -74.0, 30.0, 0);
+        let f = Features::extract(&init, &init.clone());
+        assert!((f.pdp_similarity - 1.0).abs() < 1e-9);
+        assert!((f.csi_similarity - 1.0).abs() < 1e-9);
+        assert_eq!(f.snr_diff_db, 0.0);
+    }
+
+    #[test]
+    fn infinite_tof_maps_to_sentinel() {
+        let init = meas(25.0, -74.0, 30.0, 0);
+        let new = meas(-2.0, -74.0, f64::INFINITY, 3);
+        let f = Features::extract(&init, &new);
+        assert_eq!(f.tof_diff_ns, TOF_INF_SENTINEL);
+    }
+
+    #[test]
+    fn row_matches_names() {
+        let init = meas(25.0, -74.0, 30.0, 0);
+        let f = Features::extract(&init, &init.clone());
+        let row = f.to_row();
+        assert_eq!(row.len(), N_FEATURES);
+        assert_eq!(row.len(), FEATURE_NAMES.len());
+        assert_eq!(row[6], 6.0);
+        assert!(row.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn different_multipath_lowers_similarity() {
+        let init = meas(25.0, -74.0, 30.0, 0);
+        let new = meas(20.0, -74.0, 45.0, 20);
+        let f = Features::extract(&init, &new);
+        assert!(f.pdp_similarity < 0.9, "pdp {}", f.pdp_similarity);
+    }
+}

@@ -1,0 +1,341 @@
+//! Ground-truth labelling (paper §5.2).
+//!
+//! Given the measurements at an initial state and at a new state, decide
+//! which adaptation mechanism *should* be triggered:
+//!
+//! * `Th(RA)` — the highest throughput among all MCSs **≤ the initial
+//!   MCS** using the **initial** beam pair at the new state (RA alone).
+//! * `Th(BA)` — the highest throughput among all MCSs ≤ the initial MCS
+//!   using the **new best** beam pair (BA, which is always followed by
+//!   RA — the paper's "RA/BA subtleties").
+//! * A *working MCS* satisfies `CDR > 10 %` **and** `Th > 150 Mbps`
+//!   (50 % of the lowest MCS's PHY rate).
+//! * Link recovery delay: RA probes one frame per MCS downward from the
+//!   initial MCS; a failed full ladder falls back to BA + another
+//!   ladder. `D_max = N_MCS·d_fr + d_BA + N_MCS·d_fr`.
+//! * The utility `U = α·Th/Th_max + (1−α)·(1 − D/D_max)` (Eqn. 1)
+//!   combines both; the winner under `U` is the label.
+
+use crate::measure::PairMeasurement;
+use libra_phy::McsTable;
+use serde::{Deserialize, Serialize};
+
+/// The two adaptation mechanisms (the 2-class label space of §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Beam adaptation first (followed by RA).
+    Ba,
+    /// Rate adaptation alone.
+    Ra,
+}
+
+/// The 3-class label space of LiBRA (§7): BA, RA, or no adaptation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action3 {
+    /// Beam adaptation first.
+    Ba,
+    /// Rate adaptation alone.
+    Ra,
+    /// No adaptation needed.
+    Na,
+}
+
+impl Action3 {
+    /// Class index for ML datasets (BA=0, RA=1, NA=2 — matching the
+    /// 2-class convention BA=0, RA=1).
+    pub fn class_index(self) -> usize {
+        match self {
+            Action3::Ba => 0,
+            Action3::Ra => 1,
+            Action3::Na => 2,
+        }
+    }
+}
+
+impl Action {
+    /// Class index for ML datasets (BA=0, RA=1).
+    pub fn class_index(self) -> usize {
+        match self {
+            Action::Ba => 0,
+            Action::Ra => 1,
+        }
+    }
+
+    /// Widens to the 3-class space.
+    pub fn as_action3(self) -> Action3 {
+        match self {
+            Action::Ba => Action3::Ba,
+            Action::Ra => Action3::Ra,
+        }
+    }
+}
+
+/// Parameters the ground truth depends on: the optimization weight α and
+/// the protocol overheads (§5.2: "selecting the best mechanism ...
+/// depends on the specific RA/BA algorithms used, the MAC/PHY protocol
+/// parameters ... as well as by the metric one wants to optimize").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruthParams {
+    /// Throughput-vs-delay weight α ∈ [0, 1]; α = 1 maximizes throughput.
+    pub alpha: f64,
+    /// Frame (aggregation) duration `d_fr`, ms.
+    pub fat_ms: f64,
+    /// BA (SLS) duration `d_BA`, ms.
+    pub ba_ms: f64,
+    /// Working-MCS CDR threshold (paper: 0.10).
+    pub min_cdr: f64,
+    /// Working-MCS throughput threshold, Mbps (paper: 150).
+    pub min_tput_mbps: f64,
+}
+
+impl Default for GroundTruthParams {
+    fn default() -> Self {
+        Self { alpha: 1.0, fat_ms: 10.0, ba_ms: 0.5, min_cdr: 0.10, min_tput_mbps: 150.0 }
+    }
+}
+
+/// The labelled outcome for one (initial state, new state) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// The winning action under `U`.
+    pub label: Action,
+    /// `Th(RA)`, Mbps.
+    pub th_ra_mbps: f64,
+    /// `Th(BA)`, Mbps.
+    pub th_ba_mbps: f64,
+    /// Link recovery delay when RA is triggered first, ms.
+    pub delay_ra_ms: f64,
+    /// Link recovery delay when BA is triggered first, ms.
+    pub delay_ba_ms: f64,
+    /// Utility of RA.
+    pub u_ra: f64,
+    /// Utility of BA.
+    pub u_ba: f64,
+}
+
+/// True when MCS `m` is *working* at the given pair measurement.
+pub fn is_working(meas: &PairMeasurement, m: usize, params: &GroundTruthParams) -> bool {
+    meas.cdr[m] > params.min_cdr && meas.tput_mbps[m] > params.min_tput_mbps
+}
+
+/// `Th` over MCSs `0..=init_mcs` at a pair (the §5.2 definitions).
+fn best_tput_upto(meas: &PairMeasurement, init_mcs: usize) -> f64 {
+    meas.tput_mbps[..=init_mcs].iter().cloned().fold(0.0, f64::max)
+}
+
+/// Frames spent probing downward from `init_mcs` until the first working
+/// MCS, or `None` when the whole ladder fails. One frame per probe; the
+/// count includes the probe that succeeds.
+fn probes_to_working(
+    meas: &PairMeasurement,
+    init_mcs: usize,
+    params: &GroundTruthParams,
+) -> Option<usize> {
+    for (k, m) in (0..=init_mcs).rev().enumerate() {
+        if is_working(meas, m, params) {
+            return Some(k + 1);
+        }
+    }
+    None
+}
+
+/// Computes the full ground truth for a (initial, new) state pair.
+///
+/// `initial` is the measurement at the initial state (defines the initial
+/// pair and MCS), `new_old_pair` the new-state measurement using the
+/// initial pair, and `new_best_pair` the new-state measurement using the
+/// new SLS winner.
+pub fn ground_truth(
+    table: &McsTable,
+    initial: &PairMeasurement,
+    new_old_pair: &PairMeasurement,
+    new_best_pair: &PairMeasurement,
+    params: &GroundTruthParams,
+) -> GroundTruth {
+    let init_mcs = initial.best_mcs();
+    let th_ra = best_tput_upto(new_old_pair, init_mcs);
+    let th_ba = best_tput_upto(new_best_pair, init_mcs);
+
+    let n_mcs = table.len() as f64;
+    let dmax = n_mcs * params.fat_ms + params.ba_ms + n_mcs * params.fat_ms;
+
+    // RA first: ladder on the old pair; on failure BA + ladder on the new
+    // pair; on double failure the full worst case.
+    let ladder_len = (init_mcs + 1) as f64;
+    let delay_ra = match probes_to_working(new_old_pair, init_mcs, params) {
+        Some(k) => k as f64 * params.fat_ms,
+        None => {
+            ladder_len * params.fat_ms
+                + params.ba_ms
+                + match probes_to_working(new_best_pair, init_mcs, params) {
+                    Some(k) => k as f64 * params.fat_ms,
+                    None => ladder_len * params.fat_ms,
+                }
+        }
+    };
+    // BA first: SLS, then ladder on the new pair.
+    let delay_ba = params.ba_ms
+        + match probes_to_working(new_best_pair, init_mcs, params) {
+            Some(k) => k as f64 * params.fat_ms,
+            None => ladder_len * params.fat_ms,
+        };
+
+    let th_max = table.max_rate_mbps();
+    let u = |th: f64, d: f64| {
+        params.alpha * th / th_max + (1.0 - params.alpha) * (1.0 - (d / dmax).min(1.0))
+    };
+    let u_ra = u(th_ra, delay_ra);
+    let u_ba = u(th_ba, delay_ba);
+
+    GroundTruth {
+        // Ties go to RA ("perform RA when Th(RA) ≥ Th(BA)").
+        label: if u_ra >= u_ba { Action::Ra } else { Action::Ba },
+        th_ra_mbps: th_ra,
+        th_ba_mbps: th_ba,
+        delay_ra_ms: delay_ra,
+        delay_ba_ms: delay_ba,
+        u_ra,
+        u_ba,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_phy::metrics::{PowerDelayProfile, PDP_BINS};
+
+    fn meas(pair: (usize, usize), tput: Vec<f64>, cdr: Vec<f64>) -> PairMeasurement {
+        PairMeasurement {
+            pair,
+            snr_db: 20.0,
+            noise_dbm: -74.0,
+            tof_ns: 30.0,
+            pdp: PowerDelayProfile::from_bins(vec![0.0; PDP_BINS]),
+            tput_mbps: tput,
+            cdr,
+        }
+    }
+
+    fn table() -> McsTable {
+        McsTable::x60()
+    }
+
+    /// Initial state: MCS 6 best (3600 Mbps·0.95).
+    fn initial() -> PairMeasurement {
+        let tput = vec![300.0, 850.0, 1400.0, 1950.0, 2500.0, 3050.0, 3420.0, 2100.0, 230.0];
+        let cdr = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.95, 0.5, 0.05];
+        meas((12, 12), tput, cdr)
+    }
+
+    #[test]
+    fn ra_wins_when_old_pair_still_good() {
+        // New state: old pair supports MCS 5 fine; new pair no better.
+        let old_pair = meas(
+            (12, 12),
+            vec![300.0, 850.0, 1400.0, 1950.0, 2500.0, 2900.0, 1800.0, 420.0, 0.0],
+            vec![1.0, 1.0, 1.0, 1.0, 1.0, 0.95, 0.5, 0.1, 0.0],
+        );
+        let best_pair = meas(
+            (10, 12),
+            vec![300.0, 850.0, 1400.0, 1950.0, 2400.0, 2750.0, 1700.0, 400.0, 0.0],
+            vec![1.0, 1.0, 1.0, 1.0, 0.96, 0.9, 0.47, 0.1, 0.0],
+        );
+        let gt =
+            ground_truth(&table(), &initial(), &old_pair, &best_pair, &GroundTruthParams::default());
+        assert_eq!(gt.label, Action::Ra);
+        assert!(gt.th_ra_mbps >= gt.th_ba_mbps);
+    }
+
+    #[test]
+    fn ba_wins_when_old_pair_dead() {
+        let old_pair = meas((12, 12), vec![0.0; 9], vec![0.0; 9]);
+        let best_pair = meas(
+            (4, 18),
+            vec![300.0, 850.0, 1400.0, 1800.0, 1200.0, 200.0, 0.0, 0.0, 0.0],
+            vec![1.0, 1.0, 1.0, 0.92, 0.5, 0.06, 0.0, 0.0, 0.0],
+        );
+        let gt =
+            ground_truth(&table(), &initial(), &old_pair, &best_pair, &GroundTruthParams::default());
+        assert_eq!(gt.label, Action::Ba);
+        assert_eq!(gt.th_ra_mbps, 0.0);
+        assert!(gt.th_ba_mbps > 1000.0);
+    }
+
+    #[test]
+    fn th_ba_capped_at_initial_mcs() {
+        // New pair supports MCS 8 better than anything ≤ 6, but the §5.2
+        // redefinition caps the search at the initial MCS.
+        let old_pair = meas((12, 12), vec![0.0; 9], vec![0.0; 9]);
+        let mut high = vec![0.0; 9];
+        high[8] = 4700.0;
+        high[6] = 3000.0;
+        let mut cdr = vec![0.0; 9];
+        cdr[8] = 0.99;
+        cdr[6] = 0.85;
+        let best_pair = meas((4, 18), high, cdr);
+        let gt =
+            ground_truth(&table(), &initial(), &old_pair, &best_pair, &GroundTruthParams::default());
+        assert_eq!(gt.th_ba_mbps, 3000.0, "must not see MCS 8");
+    }
+
+    #[test]
+    fn delay_ra_counts_probes() {
+        // Old pair: first working MCS is 3 → probes 6,5,4,3 = 4 frames.
+        let old_pair = meas(
+            (12, 12),
+            vec![300.0, 850.0, 1400.0, 1950.0, 90.0, 80.0, 50.0, 0.0, 0.0],
+            vec![1.0, 1.0, 1.0, 1.0, 0.04, 0.03, 0.01, 0.0, 0.0],
+        );
+        let best_pair = old_pair.clone();
+        let p = GroundTruthParams { fat_ms: 2.0, ..Default::default() };
+        let gt = ground_truth(&table(), &initial(), &old_pair, &best_pair, &p);
+        assert_eq!(gt.delay_ra_ms, 8.0);
+        // BA first: 0.5 + 4 probes × 2 ms = 8.5.
+        assert_eq!(gt.delay_ba_ms, 8.5);
+    }
+
+    #[test]
+    fn double_failure_hits_dmax() {
+        let dead = meas((12, 12), vec![0.0; 9], vec![0.0; 9]);
+        let p = GroundTruthParams { fat_ms: 10.0, ba_ms: 250.0, ..Default::default() };
+        let gt = ground_truth(&table(), &initial(), &dead, &dead, &p);
+        // Ladder from MCS 6 = 7 probes: 70 + 250 + 70 = 390.
+        assert_eq!(gt.delay_ra_ms, 390.0);
+        assert_eq!(gt.delay_ba_ms, 320.0);
+    }
+
+    #[test]
+    fn alpha_zero_prefers_fast_recovery() {
+        // RA recovers instantly at moderate tput; BA recovers slowly at
+        // high tput. α=0 → RA; α=1 → BA.
+        let old_pair = meas(
+            (12, 12),
+            vec![300.0, 850.0, 1400.0, 1900.0, 2300.0, 2600.0, 2000.0, 0.0, 0.0],
+            vec![1.0, 1.0, 1.0, 0.97, 0.92, 0.85, 0.55, 0.0, 0.0],
+        );
+        let best_pair = meas(
+            (3, 19),
+            vec![300.0, 850.0, 1400.0, 1950.0, 2500.0, 3050.0, 3500.0, 0.0, 0.0],
+            vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.97, 0.0, 0.0],
+        );
+        let mut p = GroundTruthParams { ba_ms: 250.0, fat_ms: 2.0, alpha: 0.0, ..Default::default() };
+        let gt0 = ground_truth(&table(), &initial(), &old_pair, &best_pair, &p);
+        assert_eq!(gt0.label, Action::Ra);
+        p.alpha = 1.0;
+        let gt1 = ground_truth(&table(), &initial(), &old_pair, &best_pair, &p);
+        assert_eq!(gt1.label, Action::Ba);
+    }
+
+    #[test]
+    fn working_mcs_needs_both_conditions() {
+        let p = GroundTruthParams::default();
+        let m = meas(
+            (0, 0),
+            vec![160.0, 100.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.6, 0.05, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        );
+        assert!(is_working(&m, 0, &p)); // 160 Mbps, CDR 0.6
+        assert!(!is_working(&m, 1, &p)); // CDR too low
+        assert!(!is_working(&m, 2, &p)); // zero throughput
+    }
+}

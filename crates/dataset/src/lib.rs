@@ -1,0 +1,33 @@
+//! # libra-dataset
+//!
+//! The measurement-campaign emulation: everything the paper's §4–5
+//! dataset pipeline does, over the simulated X60 substrate.
+//!
+//! * [`measure`] — the per-state collection procedure (exhaustive SLS →
+//!   best pair → 1 s traces for all 9 MCSs).
+//! * [`features`] — the seven PHY-layer features of §6.1 / Table 3.
+//! * [`ground_truth`] — the §5.2 labelling rules: Th(RA), Th(BA),
+//!   working-MCS thresholds, recovery delays, and the utility U(α).
+//! * [`campaign`] — scenario plans per environment (displacement /
+//!   blockage / interference; main + held-out buildings) and the
+//!   generator.
+//! * [`entry`] — labelled-on-demand dataset entries, Table 1/2
+//!   summaries, and conversions to `libra_ml::Dataset` (2- and 3-class).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod entry;
+pub mod features;
+pub mod ground_truth;
+pub mod measure;
+
+pub use campaign::{
+    generate, main_campaign_plan, testing_campaign_plan, CampaignConfig, NewStateSpec,
+    ScenarioSpec,
+};
+pub use entry::{CampaignDataset, DatasetEntry, Impairment, SummaryRow};
+pub use features::{Features, FEATURE_NAMES, N_FEATURES, TOF_INF_SENTINEL};
+pub use ground_truth::{ground_truth, Action, Action3, GroundTruth, GroundTruthParams};
+pub use measure::{measure_pair, measure_state, Instruments, PairMeasurement, StateMeasurement};

@@ -1,0 +1,51 @@
+//! End-to-end campaign generation: emergent class balance should follow
+//! the paper's Table 1 trends (run in release mode; see also the
+//! `experiments table1` binary).
+
+use libra_dataset::*;
+use libra_phy::McsTable;
+
+fn summarize(name: &str, ds: &CampaignDataset) {
+    let table = McsTable::x60();
+    let params = GroundTruthParams::default();
+    println!("== {name} ==");
+    for row in ds.summary(&table, &params) {
+        println!(
+            "{:14} total {:4}  BA {:4}  RA {:4}  positions {:3}",
+            row.name, row.total, row.ba, row.ra, row.positions
+        );
+    }
+    println!("NA entries: {}", ds.na_entries.len());
+}
+
+#[test]
+#[ignore = "slow; run explicitly with --ignored --nocapture in release"]
+fn campaign_balance_smoke() {
+    let cfg = CampaignConfig::default();
+    let main = generate(&main_campaign_plan(), &cfg);
+    summarize("main", &main);
+    let test = generate(&testing_campaign_plan(), &cfg);
+    summarize("testing", &test);
+}
+
+#[test]
+#[ignore = "slow; run explicitly"]
+fn ml_pipeline_smoke() {
+    let cfg = CampaignConfig::default();
+    let main = generate(&main_campaign_plan(), &cfg);
+    let test = generate(&testing_campaign_plan(), &cfg);
+    let table = McsTable::x60();
+    let params = GroundTruthParams::default();
+    let train = main.to_ml(&table, &params);
+    let held = test.to_ml(&table, &params);
+    for kind in libra_ml::ModelKind::ALL {
+        let cv = libra_ml::cross_validate(kind, &train, 5, 2, 7);
+        let (acc, f1) = libra_ml::train_test_eval(kind, &train, &held, 9);
+        println!("{:4}  cv acc {:.3} f1 {:.3}   cross-building acc {:.3} f1 {:.3}",
+                 kind.name(), cv.accuracy, cv.weighted_f1, acc, f1);
+    }
+    // 3-class
+    let train3 = main.to_ml_3class(&table, &params);
+    let cv3 = libra_ml::cross_validate(libra_ml::ModelKind::RandomForest, &train3, 5, 2, 7);
+    println!("RF 3-class cv acc {:.3}", cv3.accuracy);
+}

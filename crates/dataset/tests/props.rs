@@ -1,0 +1,146 @@
+//! Property-based tests for the ground-truth machinery.
+
+use libra_dataset::ground_truth::{ground_truth, Action, GroundTruthParams};
+use libra_dataset::measure::PairMeasurement;
+use libra_dataset::Features;
+use libra_phy::metrics::{PowerDelayProfile, PDP_BINS};
+use libra_phy::{ErrorModel, McsTable};
+use proptest::prelude::*;
+
+/// Builds a physically-consistent measurement from an SNR (throughputs
+/// and CDRs follow the error model).
+fn meas_at(snr: f64, pair: (usize, usize), tof: f64) -> PairMeasurement {
+    let table = McsTable::x60();
+    let model = ErrorModel::default();
+    let mut tput = Vec::new();
+    let mut cdr = Vec::new();
+    for e in table.iter() {
+        let c = model.cdr(e, snr, 1.5);
+        cdr.push(c);
+        tput.push(e.rate_mbps * c);
+    }
+    let mut bins = vec![1e-9; PDP_BINS];
+    bins[0] = libra_util::db::dbm_to_mw(snr - 74.0);
+    bins[6] = bins[0] * 0.1;
+    PairMeasurement {
+        pair,
+        snr_db: snr,
+        noise_dbm: -74.0,
+        tof_ns: tof,
+        pdp: PowerDelayProfile::from_bins(bins),
+        tput_mbps: tput,
+        cdr,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Utilities are bounded in [0, 1] for any α and overhead choices,
+    /// and delays never exceed D_max.
+    #[test]
+    fn utility_and_delay_bounded(
+        snr_init in 5.0f64..35.0,
+        snr_old in -10.0f64..35.0,
+        snr_best in -10.0f64..35.0,
+        alpha in 0.0f64..1.0,
+        fat in 1.0f64..12.0,
+        ba in 0.5f64..260.0,
+    ) {
+        let table = McsTable::x60();
+        let params = GroundTruthParams { alpha, fat_ms: fat, ba_ms: ba, ..Default::default() };
+        let init = meas_at(snr_init, (12, 12), 30.0);
+        let old = meas_at(snr_old, (12, 12), 34.0);
+        let best = meas_at(snr_best, (10, 14), 40.0);
+        let gt = ground_truth(&table, &init, &old, &best, &params);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&gt.u_ra), "u_ra {}", gt.u_ra);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&gt.u_ba), "u_ba {}", gt.u_ba);
+        let dmax = 2.0 * 9.0 * fat + ba;
+        prop_assert!(gt.delay_ra_ms <= dmax + 1e-9);
+        prop_assert!(gt.delay_ba_ms <= dmax + 1e-9);
+        prop_assert!(gt.th_ra_mbps <= table.max_rate_mbps() + 1e-9);
+        prop_assert!(gt.th_ba_mbps <= table.max_rate_mbps() + 1e-9);
+    }
+
+    /// At α = 1 the label is exactly the throughput comparison with the
+    /// RA-favouring tie rule.
+    #[test]
+    fn alpha_one_label_is_throughput_argmax(
+        snr_init in 5.0f64..35.0,
+        snr_old in -10.0f64..35.0,
+        snr_best in -10.0f64..35.0,
+    ) {
+        let table = McsTable::x60();
+        let params = GroundTruthParams::default(); // α = 1
+        let init = meas_at(snr_init, (12, 12), 30.0);
+        let old = meas_at(snr_old, (12, 12), 34.0);
+        let best = meas_at(snr_best, (9, 15), 40.0);
+        let gt = ground_truth(&table, &init, &old, &best, &params);
+        if gt.th_ra_mbps >= gt.th_ba_mbps {
+            prop_assert_eq!(gt.label, Action::Ra);
+        } else {
+            prop_assert_eq!(gt.label, Action::Ba);
+        }
+    }
+
+    /// A strictly better best-pair SNR never *decreases* Th(BA).
+    #[test]
+    fn th_ba_monotone_in_best_snr(
+        snr_init in 10.0f64..30.0,
+        snr_best in -5.0f64..30.0,
+        bump in 0.5f64..10.0,
+    ) {
+        let table = McsTable::x60();
+        let params = GroundTruthParams::default();
+        let init = meas_at(snr_init, (12, 12), 30.0);
+        let old = meas_at(snr_init - 12.0, (12, 12), 34.0);
+        let lo = ground_truth(&table, &init, &old, &meas_at(snr_best, (9, 15), 40.0), &params);
+        let hi = ground_truth(
+            &table,
+            &init,
+            &old,
+            &meas_at(snr_best + bump, (9, 15), 40.0),
+            &params,
+        );
+        prop_assert!(hi.th_ba_mbps >= lo.th_ba_mbps - 1e-9);
+    }
+
+    /// Features extracted from physically-consistent measurements are
+    /// always finite (the ±∞ ToF path goes through the sentinel).
+    #[test]
+    fn features_always_finite(
+        snr_a in -10.0f64..35.0,
+        snr_b in -10.0f64..35.0,
+        tof_a in prop::option::of(10.0f64..120.0),
+        tof_b in prop::option::of(10.0f64..120.0),
+    ) {
+        let a = meas_at(snr_a, (12, 12), tof_a.unwrap_or(f64::INFINITY));
+        let b = meas_at(snr_b, (12, 12), tof_b.unwrap_or(f64::INFINITY));
+        let f = Features::extract(&a, &b);
+        for v in f.to_row() {
+            prop_assert!(v.is_finite(), "non-finite feature {v}");
+        }
+        prop_assert!((-1.0 - 1e9..=1e9).contains(&f.tof_diff_ns));
+        prop_assert!((0.0..=1.0).contains(&f.cdr));
+    }
+
+    /// Increasing α never flips a label from BA to RA when BA is the
+    /// throughput winner and the delay winner simultaneously.
+    #[test]
+    fn alpha_consistent_when_ba_dominates(alpha in 0.0f64..1.0) {
+        let table = McsTable::x60();
+        // Old pair dead (slow recovery AND zero throughput), best pair
+        // strong and cheap to reach.
+        let init = meas_at(25.0, (12, 12), 30.0);
+        let old = meas_at(-8.0, (12, 12), 34.0);
+        let best = meas_at(24.0, (9, 15), 40.0);
+        let params = GroundTruthParams {
+            alpha,
+            ba_ms: 0.5,
+            fat_ms: 10.0,
+            ..Default::default()
+        };
+        let gt = ground_truth(&table, &init, &old, &best, &params);
+        prop_assert_eq!(gt.label, Action::Ba, "alpha {}: {:?}", alpha, gt);
+    }
+}

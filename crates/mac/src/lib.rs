@@ -1,0 +1,30 @@
+//! # libra-mac
+//!
+//! 60 GHz MAC-layer procedures: the beam-training primitives, adaptation
+//! overhead models, and the COTS-device emulation of paper §3.
+//!
+//! * [`sweep`] — sector-level sweep procedures (O(N) Tx-only with
+//!   quasi-omni reception, 802.11ad separate-side training, and the
+//!   naive O(N²) pair search used for dataset collection), all with
+//!   per-measurement noise — the mechanism behind COTS sector flapping.
+//! * [`overhead`] — the BA-overhead presets (0.5/5/150/250 ms) and
+//!   FAT (2/10 ms) grid of the evaluation, plus the worst-case recovery
+//!   delay `D_max` of §5.2.
+//! * [`cots`] — emulation of the COTS heuristic (RA on missing Block
+//!   ACK, BA when no working MCS) reproducing Figs 1–3.
+//! * [`bft`] — 802.11ad beamforming-training protocol accounting: SSW
+//!   frame timing, O(N)/O(N²) sweep durations (deriving the §8.1
+//!   presets from first principles), and beacon-interval scheduling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bft;
+pub mod cots;
+pub mod overhead;
+pub mod sweep;
+
+pub use bft::{derive_directional_ba_ms, derive_quasi_omni_ba_ms, BeaconInterval};
+pub use cots::{best_fixed_sector_run, run_cots, CotsConfig, CotsRunLog, CotsScenario, DeviceProfile};
+pub use overhead::{BaOverheadPreset, ProtocolParams};
+pub use sweep::{exhaustive_sweep, separate_sweep, tx_sweep, PairSweepResult, TxSweepResult};

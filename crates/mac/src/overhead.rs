@@ -1,0 +1,177 @@
+//! Adaptation overhead models (paper §8.1).
+//!
+//! **BA overhead.** The time to complete beam training depends on the
+//! beamwidth (number of beams to test) and the algorithm. The paper
+//! evaluates four realistic values:
+//!
+//! | preset | duration | provenance |
+//! |---|---|---|
+//! | `QuasiOmni30` | 0.5 ms | O(N) COTS-style sweep, 30° beams (Eqn. 2 of [24]) |
+//! | `QuasiOmni3`  | 5 ms   | O(N) sweep, 3° beams — the narrowest 802.11ad allows |
+//! | `Directional9`| 150 ms | O(N²) both-sides training, 9° beams (Fig. 11 of [56]) |
+//! | `Directional7`| 250 ms | O(N²) both-sides training, 7° beams |
+//!
+//! **RA overhead.** RA probes MCSs by sending one aggregated frame at
+//! each; the time to restore a link via RA is
+//! `MCSs traversed × frame aggregation time` (FAT ∈ {2 ms, 10 ms}).
+//!
+//! **Worst-case delay.** `D_max = N_MCS·d_fr + d_BA + N_MCS·d_fr`
+//! (§5.2): a full failed downward RA ladder, then BA, then another full
+//! ladder that only succeeds at MCS 0.
+
+use libra_phy::{FrameConfig, McsTable};
+use serde::{Deserialize, Serialize};
+
+/// The four BA-overhead operating points of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaOverheadPreset {
+    /// 0.5 ms — O(N) quasi-omni sweep with 30° beams (today's COTS).
+    QuasiOmni30,
+    /// 5 ms — O(N) quasi-omni sweep with 3° beams.
+    QuasiOmni3,
+    /// 150 ms — O(N²) directional-reception training with 9° beams.
+    Directional9,
+    /// 250 ms — O(N²) directional-reception training with 7° beams.
+    Directional7,
+}
+
+impl BaOverheadPreset {
+    /// All four presets, in increasing-overhead order.
+    pub const ALL: [BaOverheadPreset; 4] = [
+        BaOverheadPreset::QuasiOmni30,
+        BaOverheadPreset::QuasiOmni3,
+        BaOverheadPreset::Directional9,
+        BaOverheadPreset::Directional7,
+    ];
+
+    /// The two presets shown in the multi-impairment figures (space
+    /// limits trimmed the paper's Figs 12–13 to these).
+    pub const FIGURE12: [BaOverheadPreset; 2] =
+        [BaOverheadPreset::QuasiOmni30, BaOverheadPreset::Directional7];
+
+    /// BA duration, milliseconds.
+    pub fn duration_ms(self) -> f64 {
+        match self {
+            BaOverheadPreset::QuasiOmni30 => 0.5,
+            BaOverheadPreset::QuasiOmni3 => 5.0,
+            BaOverheadPreset::Directional9 => 150.0,
+            BaOverheadPreset::Directional7 => 250.0,
+        }
+    }
+
+    /// The α weight the paper pairs with this overhead in the utility
+    /// metric: 0.7 (throughput-leaning) for the low-overhead presets,
+    /// 0.5 for the high-overhead ones (§8.1).
+    pub fn paper_alpha(self) -> f64 {
+        match self {
+            BaOverheadPreset::QuasiOmni30 | BaOverheadPreset::QuasiOmni3 => 0.7,
+            BaOverheadPreset::Directional9 | BaOverheadPreset::Directional7 => 0.5,
+        }
+    }
+
+    /// Short label used in figure/table output.
+    pub fn label(self) -> &'static str {
+        match self {
+            BaOverheadPreset::QuasiOmni30 => "BA 0.5ms",
+            BaOverheadPreset::QuasiOmni3 => "BA 5ms",
+            BaOverheadPreset::Directional9 => "BA 150ms",
+            BaOverheadPreset::Directional7 => "BA 250ms",
+        }
+    }
+}
+
+/// The protocol parameter grid of one evaluation cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolParams {
+    /// BA overhead preset.
+    pub ba: BaOverheadPreset,
+    /// Frame aggregation time, milliseconds (2 or 10 in the paper).
+    pub fat_ms: f64,
+}
+
+impl ProtocolParams {
+    /// Builds the params and derived frame config.
+    pub fn new(ba: BaOverheadPreset, fat_ms: f64) -> Self {
+        Self { ba, fat_ms }
+    }
+
+    /// The full 4×2 grid of §8.2.
+    pub fn grid() -> Vec<ProtocolParams> {
+        let mut v = Vec::new();
+        for ba in BaOverheadPreset::ALL {
+            for fat in [2.0, 10.0] {
+                v.push(ProtocolParams::new(ba, fat));
+            }
+        }
+        v
+    }
+
+    /// Frame config at this FAT.
+    pub fn frame_config(&self) -> FrameConfig {
+        FrameConfig::with_fat_ms(self.fat_ms)
+    }
+
+    /// BA duration, ms.
+    pub fn ba_ms(&self) -> f64 {
+        self.ba.duration_ms()
+    }
+
+    /// RA overhead for probing `mcs_count` MCSs, ms.
+    pub fn ra_ms(&self, mcs_count: usize) -> f64 {
+        mcs_count as f64 * self.fat_ms
+    }
+
+    /// Worst-case link recovery delay `D_max` (§5.2), ms.
+    pub fn dmax_ms(&self, table: &McsTable) -> f64 {
+        let n = table.len() as f64;
+        n * self.fat_ms + self.ba_ms() + n * self.fat_ms
+    }
+
+    /// Label like `"BA 0.5ms, FAT 2ms"`.
+    pub fn label(&self) -> String {
+        format!("{}, FAT {:.0}ms", self.ba.label(), self.fat_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_durations_match_paper() {
+        assert_eq!(BaOverheadPreset::QuasiOmni30.duration_ms(), 0.5);
+        assert_eq!(BaOverheadPreset::QuasiOmni3.duration_ms(), 5.0);
+        assert_eq!(BaOverheadPreset::Directional9.duration_ms(), 150.0);
+        assert_eq!(BaOverheadPreset::Directional7.duration_ms(), 250.0);
+    }
+
+    #[test]
+    fn alphas_match_paper() {
+        assert_eq!(BaOverheadPreset::QuasiOmni30.paper_alpha(), 0.7);
+        assert_eq!(BaOverheadPreset::Directional7.paper_alpha(), 0.5);
+    }
+
+    #[test]
+    fn grid_has_eight_cells() {
+        let g = ProtocolParams::grid();
+        assert_eq!(g.len(), 8);
+        // All combinations distinct.
+        let set: std::collections::HashSet<String> = g.iter().map(|p| p.label()).collect();
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn dmax_formula() {
+        let t = McsTable::x60(); // 9 MCSs
+        let p = ProtocolParams::new(BaOverheadPreset::Directional7, 10.0);
+        // 9·10 + 250 + 9·10 = 430 ms
+        assert_eq!(p.dmax_ms(&t), 430.0);
+    }
+
+    #[test]
+    fn ra_overhead_scales_with_probes() {
+        let p = ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0);
+        assert_eq!(p.ra_ms(0), 0.0);
+        assert_eq!(p.ra_ms(5), 10.0);
+    }
+}

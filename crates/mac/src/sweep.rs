@@ -1,0 +1,242 @@
+//! Sector-level sweep (SLS) beam-training procedures.
+//!
+//! Three procedures from the paper (§2):
+//!
+//! * [`exhaustive_sweep`] — the naive O(N²) search over all Tx×Rx beam
+//!   pairs. This is what the dataset collection methodology emulates
+//!   ("we first performed a SLS to collect SNR measurements for all 625
+//!   (25 × 25) beam pairs and selected the best beam pair based on SNR",
+//!   §5.1) and what the high-overhead directional-reception BA variants
+//!   of §8.1 use.
+//! * [`tx_sweep`] — Tx-side-only training with quasi-omni reception,
+//!   the O(N) procedure COTS devices use.
+//! * [`separate_sweep`] — 802.11ad-style O(N) training of each side
+//!   separately (Tx SLS with the other side quasi-omni, then Rx SLS).
+//!
+//! Every sweep measurement is the *received sounding power* over the
+//! thermal floor (`BeamPairResponse::sweep_metric_db`) — a receiver
+//! cannot separate signal from co-channel interference within a short
+//! sounding window — plus Gaussian measurement noise.
+//! Because codebook beams overlap heavily (25°–35° beamwidths at 5°
+//! spacing), several beams are near-equal on a clean link, and
+//! measurement noise makes repeated sweeps pick different winners — the
+//! root cause of the sector flapping the paper demonstrates on COTS
+//! hardware (§3, Figs 1–3).
+
+use libra_arrays::{BeamId, BeamPattern, Codebook};
+use libra_channel::{RayPath, Scene};
+use libra_phy::trace::standard_normal;
+use rand::Rng;
+
+/// SNR threshold below which a swept beam (pair) is considered unusable;
+/// a sweep in which no candidate clears it reports a failure — the
+/// "sector ID 255" of the paper's Fig. 2.
+pub const SWEEP_LOCK_THRESHOLD_DB: f64 = 0.0;
+
+/// Result of an exhaustive O(N²) pair sweep.
+#[derive(Debug, Clone)]
+pub struct PairSweepResult {
+    /// Measured SNR per `[tx][rx]` beam pair, dB (with measurement noise).
+    pub snr_db: Vec<Vec<f64>>,
+    /// The measured-best pair, or `None` when nothing cleared the lock
+    /// threshold.
+    pub best_pair: Option<(BeamId, BeamId)>,
+    /// Measured SNR of the best pair, dB.
+    pub best_snr_db: f64,
+}
+
+/// Result of a one-sided sweep.
+#[derive(Debug, Clone)]
+pub struct TxSweepResult {
+    /// Measured SNR per Tx beam (Rx in quasi-omni), dB.
+    pub snr_db: Vec<f64>,
+    /// Measured-best Tx beam, or `None` on lock failure.
+    pub best_beam: Option<BeamId>,
+    /// Measured SNR of the best beam, dB.
+    pub best_snr_db: f64,
+}
+
+/// Exhaustive O(N²) sweep of all Tx×Rx beam pairs.
+pub fn exhaustive_sweep(
+    scene: &Scene,
+    rays: &[RayPath],
+    tx_cb: &Codebook,
+    rx_cb: &Codebook,
+    noise_sigma_db: f64,
+    rng: &mut impl Rng,
+) -> PairSweepResult {
+    let mut snr = vec![vec![f64::NEG_INFINITY; rx_cb.len()]; tx_cb.len()];
+    let mut best = f64::NEG_INFINITY;
+    let mut best_pair = None;
+    for (ti, tb) in tx_cb.iter() {
+        for (ri, rb) in rx_cb.iter() {
+            let resp = scene.response_with_rays(rays, tb, rb);
+            let measured = resp.sweep_metric_db() + noise_sigma_db * standard_normal(rng);
+            snr[ti][ri] = measured;
+            if measured > best {
+                best = measured;
+                best_pair = Some((ti, ri));
+            }
+        }
+    }
+    if best < SWEEP_LOCK_THRESHOLD_DB {
+        best_pair = None;
+    }
+    PairSweepResult { snr_db: snr, best_pair, best_snr_db: best }
+}
+
+/// Tx-side O(N) sweep with the Rx in quasi-omni (the COTS procedure).
+pub fn tx_sweep(
+    scene: &Scene,
+    rays: &[RayPath],
+    tx_cb: &Codebook,
+    noise_sigma_db: f64,
+    rng: &mut impl Rng,
+) -> TxSweepResult {
+    let quasi = BeamPattern::quasi_omni();
+    let mut snr = vec![f64::NEG_INFINITY; tx_cb.len()];
+    let mut best = f64::NEG_INFINITY;
+    let mut best_beam = None;
+    for (ti, tb) in tx_cb.iter() {
+        let resp = scene.response_with_rays(rays, tb, &quasi);
+        let measured = resp.sweep_metric_db() + noise_sigma_db * standard_normal(rng);
+        snr[ti] = measured;
+        if measured > best {
+            best = measured;
+            best_beam = Some(ti);
+        }
+    }
+    if best < SWEEP_LOCK_THRESHOLD_DB {
+        best_beam = None;
+    }
+    TxSweepResult { snr_db: snr, best_beam, best_snr_db: best }
+}
+
+/// 802.11ad-style separate training: Tx SLS under quasi-omni reception,
+/// then an Rx SLS with the chosen Tx beam. O(N + M) measurements.
+/// Returns the chosen pair, or `None` when the Tx stage fails to lock.
+pub fn separate_sweep(
+    scene: &Scene,
+    rays: &[RayPath],
+    tx_cb: &Codebook,
+    rx_cb: &Codebook,
+    noise_sigma_db: f64,
+    rng: &mut impl Rng,
+) -> Option<(BeamId, BeamId)> {
+    let tx_stage = tx_sweep(scene, rays, tx_cb, noise_sigma_db, rng);
+    let tx_beam = tx_stage.best_beam?;
+    let tb = tx_cb.beam(tx_beam);
+    let mut best = f64::NEG_INFINITY;
+    let mut best_rx = None;
+    for (ri, rb) in rx_cb.iter() {
+        let resp = scene.response_with_rays(rays, tb, rb);
+        let measured = resp.sweep_metric_db() + noise_sigma_db * standard_normal(rng);
+        if measured > best {
+            best = measured;
+            best_rx = Some(ri);
+        }
+    }
+    if best < SWEEP_LOCK_THRESHOLD_DB {
+        return None;
+    }
+    best_rx.map(|r| (tx_beam, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_channel::{Material, Point, Pose, Room};
+    use libra_util::rng::rng_from_seed;
+
+    fn scene() -> Scene {
+        let room = Room::rectangular("t", 30.0, 3.0, [Material::Drywall; 4]);
+        Scene::new(
+            room,
+            Pose::new(Point::new(1.0, 1.5), 0.0),
+            Pose::new(Point::new(11.0, 1.5), 180.0),
+        )
+    }
+
+    #[test]
+    fn noiseless_exhaustive_sweep_finds_boresight() {
+        let s = scene();
+        let rays = s.rays();
+        let cb = Codebook::sibeam_25();
+        let mut rng = rng_from_seed(1);
+        let res = exhaustive_sweep(&s, &rays, &cb, &cb, 0.0, &mut rng);
+        let (t, r) = res.best_pair.expect("locked");
+        // LOS at 0° from Tx, 180° from Rx (whose boresight faces the Tx):
+        // both ends should pick a beam near boresight (id 12 ± 1).
+        assert!((11..=13).contains(&t), "tx beam {t}");
+        assert!((11..=13).contains(&r), "rx beam {r}");
+        assert!(res.best_snr_db > 25.0);
+    }
+
+    #[test]
+    fn sweep_matrix_dimensions() {
+        let s = scene();
+        let rays = s.rays();
+        let cb = Codebook::sibeam_25();
+        let mut rng = rng_from_seed(2);
+        let res = exhaustive_sweep(&s, &rays, &cb, &cb, 0.5, &mut rng);
+        assert_eq!(res.snr_db.len(), 25);
+        assert!(res.snr_db.iter().all(|row| row.len() == 25));
+        // 625 measurements, as the paper's collection methodology states.
+        assert_eq!(res.snr_db.iter().map(Vec::len).sum::<usize>(), 625);
+    }
+
+    #[test]
+    fn tx_sweep_agrees_with_geometry() {
+        let s = scene();
+        let rays = s.rays();
+        let cb = Codebook::sibeam_25();
+        let mut rng = rng_from_seed(3);
+        let res = tx_sweep(&s, &rays, &cb, 0.0, &mut rng);
+        let b = res.best_beam.expect("locked");
+        assert!((11..=13).contains(&b), "tx beam {b}");
+    }
+
+    #[test]
+    fn measurement_noise_causes_flapping() {
+        // With realistic noise, repeated sweeps pick multiple distinct
+        // winners — the §3 sector-flapping phenomenon.
+        let s = scene();
+        let rays = s.rays();
+        let cb = Codebook::sibeam_25();
+        let mut rng = rng_from_seed(4);
+        let mut winners = std::collections::HashSet::new();
+        for _ in 0..40 {
+            let res = tx_sweep(&s, &rays, &cb, 2.0, &mut rng);
+            winners.insert(res.best_beam);
+        }
+        assert!(winners.len() >= 2, "no flapping: {winners:?}");
+    }
+
+    #[test]
+    fn hopeless_link_fails_to_lock() {
+        // Rx facing away at extreme range in an absorbing room.
+        let room = Room::rectangular("t", 200.0, 3.0, [Material::Brick; 4]);
+        let mut s = Scene::new(
+            room,
+            Pose::new(Point::new(1.0, 1.5), 0.0),
+            Pose::new(Point::new(199.0, 1.5), 0.0), // facing away
+        );
+        s.tx_power_dbm = -30.0;
+        let rays = s.rays();
+        let cb = Codebook::sibeam_25();
+        let mut rng = rng_from_seed(5);
+        let res = exhaustive_sweep(&s, &rays, &cb, &cb, 0.0, &mut rng);
+        assert!(res.best_pair.is_none(), "snr {}", res.best_snr_db);
+    }
+
+    #[test]
+    fn separate_sweep_returns_reasonable_pair() {
+        let s = scene();
+        let rays = s.rays();
+        let cb = Codebook::sibeam_25();
+        let mut rng = rng_from_seed(6);
+        let (t, r) = separate_sweep(&s, &rays, &cb, &cb, 0.0, &mut rng).expect("locked");
+        assert!((10..=14).contains(&t));
+        assert!((10..=14).contains(&r));
+    }
+}

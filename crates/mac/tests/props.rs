@@ -1,0 +1,114 @@
+//! Property-based tests for the MAC procedures.
+
+use libra_arrays::Codebook;
+use libra_channel::{Material, Point, Pose, Room, Scene};
+use libra_mac::cots::{run_cots, CotsConfig, CotsScenario, DeviceProfile};
+use libra_mac::sweep::{exhaustive_sweep, separate_sweep, tx_sweep};
+use libra_mac::{BaOverheadPreset, ProtocolParams};
+use libra_util::rng::rng_from_seed;
+use proptest::prelude::*;
+
+fn scene(dist: f64, rot: f64) -> Scene {
+    let room = Room::rectangular("prop", 30.0, 4.0, [Material::Drywall; 4]);
+    Scene::new(
+        room,
+        Pose::new(Point::new(1.0, 2.0), 0.0),
+        Pose::new(Point::new(1.0 + dist, 2.0), 180.0 + rot),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A noiseless exhaustive sweep result is at least as good (in true
+    /// sweep metric) as every other pair.
+    #[test]
+    fn noiseless_sweep_finds_optimum(dist in 3.0f64..20.0, rot in -30.0f64..30.0) {
+        let s = scene(dist, rot);
+        let rays = s.rays();
+        let cb = Codebook::sibeam_25();
+        let mut rng = rng_from_seed(1);
+        let res = exhaustive_sweep(&s, &rays, &cb, &cb, 0.0, &mut rng);
+        if let Some((bt, br)) = res.best_pair {
+            let best = s
+                .response_with_rays(&rays, cb.beam(bt), cb.beam(br))
+                .sweep_metric_db();
+            for (_, tb) in cb.iter() {
+                for (_, rb) in cb.iter() {
+                    let m = s.response_with_rays(&rays, tb, rb).sweep_metric_db();
+                    prop_assert!(best >= m - 1e-9);
+                }
+            }
+        }
+    }
+
+    /// The O(N) Tx sweep picks a beam whose full-pair potential is
+    /// within a bounded gap of the O(N²) optimum (quasi-omni reception
+    /// loses information, but not unboundedly).
+    #[test]
+    fn tx_sweep_reasonable(dist in 3.0f64..18.0) {
+        let s = scene(dist, 0.0);
+        let rays = s.rays();
+        let cb = Codebook::sibeam_25();
+        let mut rng = rng_from_seed(2);
+        let pair = exhaustive_sweep(&s, &rays, &cb, &cb, 0.0, &mut rng).best_pair;
+        let txb = tx_sweep(&s, &rays, &cb, 0.0, &mut rng).best_beam;
+        if let (Some((bt, _)), Some(t)) = (pair, txb) {
+            let full = s.response_with_rays(&rays, cb.beam(bt), cb.beam(12)).snr_db;
+            let oneside = s.response_with_rays(&rays, cb.beam(t), cb.beam(12)).snr_db;
+            prop_assert!(oneside >= full - 6.0, "Tx-only sweep lost {} dB", full - oneside);
+        }
+    }
+
+    /// Separate (two-stage) training never returns an out-of-range pair.
+    #[test]
+    fn separate_sweep_valid_ids(dist in 3.0f64..20.0, noise in 0.0f64..3.0, seed in 0u64..50) {
+        let s = scene(dist, 0.0);
+        let rays = s.rays();
+        let cb = Codebook::sibeam_25();
+        let mut rng = rng_from_seed(seed);
+        if let Some((t, r)) = separate_sweep(&s, &rays, &cb, &cb, noise, &mut rng) {
+            prop_assert!(t < cb.len() && r < cb.len());
+        }
+    }
+
+    /// Protocol parameter arithmetic: D_max dominates both single-sided
+    /// overheads for every preset/FAT combination.
+    #[test]
+    fn dmax_dominates(fat in 0.5f64..20.0, preset in 0usize..4) {
+        let t = libra_phy::McsTable::x60();
+        let p = ProtocolParams::new(BaOverheadPreset::ALL[preset], fat);
+        let dmax = p.dmax_ms(&t);
+        prop_assert!(dmax >= p.ba_ms());
+        prop_assert!(dmax >= p.ra_ms(t.len()));
+        prop_assert!((dmax - (2.0 * p.ra_ms(t.len()) + p.ba_ms())).abs() < 1e-9);
+    }
+
+    /// COTS sessions conserve sanity for arbitrary short configs: bytes
+    /// and throughput non-negative, BA disabled ⇒ zero triggers and a
+    /// single fixed sector.
+    #[test]
+    fn cots_session_invariants(
+        dist in 4.0f64..15.0,
+        seed in 0u64..30,
+        ba_enabled in any::<bool>(),
+        sector in 0usize..32,
+    ) {
+        let cfg = CotsConfig {
+            profile: DeviceProfile::talon_ap(),
+            ba_enabled,
+            fixed_sector: sector,
+            duration_s: 2.0,
+            seed,
+        };
+        let log = run_cots(&CotsScenario::Static { distance_m: dist }, &cfg);
+        prop_assert!(log.bytes_delivered >= 0.0);
+        prop_assert!(log.mean_tput_mbps >= 0.0);
+        if !ba_enabled {
+            prop_assert_eq!(log.ba_trigger_count, 0);
+            prop_assert_eq!(log.distinct_sectors, 1);
+        } else {
+            prop_assert!(log.ba_trigger_count >= 1, "initial SLS counts");
+        }
+    }
+}

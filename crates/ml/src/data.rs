@@ -1,0 +1,253 @@
+//! Dataset containers and splitting utilities.
+//!
+//! [`Dataset`] is the tabular form every model consumes: rows of `f64`
+//! features plus integer class labels. Splitting follows the paper's
+//! protocol: *stratified* k-fold cross validation with shuffling (§6.2
+//! runs "a stratified 5-fold cross validation on the entire dataset ...
+//! repeated 500 times with random splits").
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A tabular classification dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature rows; all rows have `n_features()` columns.
+    pub features: Vec<Vec<f64>>,
+    /// Class label per row, in `0..n_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Column names (for importance tables).
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating shape invariants.
+    pub fn new(
+        features: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        n_classes: usize,
+        feature_names: Vec<String>,
+    ) -> Self {
+        assert_eq!(features.len(), labels.len(), "row/label count mismatch");
+        assert!(n_classes >= 2, "need at least two classes");
+        if let Some(first) = features.first() {
+            assert!(
+                features.iter().all(|r| r.len() == first.len()),
+                "ragged feature rows"
+            );
+            assert_eq!(feature_names.len(), first.len(), "name/column mismatch");
+        }
+        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
+        assert!(
+            features.iter().flatten().all(|v| !v.is_nan()),
+            "NaN features must be sanitized before model fitting"
+        );
+        Self { features, labels, n_classes, feature_names }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Rows with the given indices, as a new dataset.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            features: idx.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+            n_classes: self.n_classes,
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Per-class row counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Stratified k-fold split: returns `k` disjoint index sets whose
+    /// class proportions match the full dataset. Rows are shuffled first.
+    pub fn stratified_folds(&self, k: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+        assert!(k >= 2, "need at least 2 folds");
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes];
+        for (i, &l) in self.labels.iter().enumerate() {
+            by_class[l].push(i);
+        }
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for class_idx in &mut by_class {
+            class_idx.shuffle(rng);
+            for (j, &row) in class_idx.iter().enumerate() {
+                folds[j % k].push(row);
+            }
+        }
+        folds
+    }
+
+    /// Per-column mean and standard deviation (for standardization).
+    pub fn column_stats(&self) -> (Vec<f64>, Vec<f64>) {
+        let n = self.len().max(1) as f64;
+        let d = self.n_features();
+        let mut mean = vec![0.0; d];
+        for row in &self.features {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v / n;
+            }
+        }
+        let mut sd = vec![0.0; d];
+        for row in &self.features {
+            for ((s, &v), m) in sd.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m) / n;
+            }
+        }
+        for s in &mut sd {
+            *s = s.sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant column: leave unscaled
+            }
+        }
+        (mean, sd)
+    }
+}
+
+/// A fitted standardizer (`z = (x − μ)/σ` per column). SVM and the neural
+/// network need standardized inputs; trees do not.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    sd: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits to a dataset's columns.
+    pub fn fit(data: &Dataset) -> Self {
+        let (mean, sd) = data.column_stats();
+        Self { mean, sd }
+    }
+
+    /// Transforms one row.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter().zip(self.mean.iter().zip(&self.sd)).map(|(&v, (m, s))| (v - m) / s).collect()
+    }
+
+    /// Transforms a whole dataset.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        Dataset {
+            features: data.features.iter().map(|r| self.transform_row(r)).collect(),
+            labels: data.labels.clone(),
+            n_classes: data.n_classes,
+            feature_names: data.feature_names.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_util::rng::rng_from_seed;
+
+    fn toy(n_per_class: usize) -> Dataset {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2usize {
+            for i in 0..n_per_class {
+                features.push(vec![c as f64 * 10.0 + i as f64, -(c as f64)]);
+                labels.push(c);
+            }
+        }
+        Dataset::new(features, labels, 2, vec!["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let d = toy(5);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.class_counts(), vec![5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn rejects_mismatched_labels() {
+        Dataset::new(vec![vec![1.0]], vec![0, 1], 2, vec!["a".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan_features() {
+        Dataset::new(vec![vec![f64::NAN]], vec![0], 2, vec!["a".into()]);
+    }
+
+    #[test]
+    fn stratified_folds_preserve_ratio() {
+        let d = toy(25); // 25 per class
+        let mut rng = rng_from_seed(1);
+        let folds = d.stratified_folds(5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let total: usize = folds.iter().map(Vec::len).sum();
+        assert_eq!(total, 50);
+        for fold in &folds {
+            let c0 = fold.iter().filter(|&&i| d.labels[i] == 0).count();
+            let c1 = fold.len() - c0;
+            assert_eq!(c0, 5);
+            assert_eq!(c1, 5);
+        }
+    }
+
+    #[test]
+    fn folds_are_disjoint_and_cover() {
+        let d = toy(10);
+        let mut rng = rng_from_seed(2);
+        let folds = d.stratified_folds(4, &mut rng);
+        let mut all: Vec<usize> = folds.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = toy(3);
+        let s = d.subset(&[0, 5]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_sd() {
+        let d = toy(50);
+        let std = Standardizer::fit(&d);
+        let t = std.transform(&d);
+        let (mean, sd) = t.column_stats();
+        assert!(mean.iter().all(|m| m.abs() < 1e-9));
+        assert!(sd.iter().all(|s| (s - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn standardizer_handles_constant_column() {
+        let d = Dataset::new(
+            vec![vec![5.0, 1.0], vec![5.0, 2.0]],
+            vec![0, 1],
+            2,
+            vec!["c".into(), "v".into()],
+        );
+        let std = Standardizer::fit(&d);
+        let t = std.transform(&d);
+        assert!(t.features.iter().flatten().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,158 @@
+//! k-nearest-neighbours classification.
+//!
+//! Not part of the paper's model set — included as a cheap instance-based
+//! baseline for the extended model comparison. Inputs are standardized
+//! internally (distances are scale-sensitive); ties in the vote break
+//! toward the nearer neighbours.
+
+use crate::data::{Dataset, Standardizer};
+use serde::{Deserialize, Serialize};
+
+/// k-NN hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnnConfig {
+    /// Number of neighbours consulted.
+    pub k: usize,
+    /// Weight votes by inverse distance instead of uniformly.
+    pub distance_weighted: bool,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        Self { k: 5, distance_weighted: true }
+    }
+}
+
+/// A fitted k-NN classifier (stores the standardized training set).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnClassifier {
+    config: KnnConfig,
+    train_x: Vec<Vec<f64>>,
+    train_y: Vec<usize>,
+    n_classes: usize,
+    standardizer: Option<Standardizer>,
+}
+
+impl KnnClassifier {
+    /// Creates an unfitted classifier.
+    pub fn new(config: KnnConfig) -> Self {
+        assert!(config.k >= 1, "k must be at least 1");
+        Self { config, train_x: Vec::new(), train_y: Vec::new(), n_classes: 0, standardizer: None }
+    }
+
+    /// "Fits" by memorizing the standardized training set.
+    pub fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit on empty dataset");
+        let std = Standardizer::fit(data);
+        let scaled = std.transform(data);
+        self.train_x = scaled.features;
+        self.train_y = scaled.labels;
+        self.n_classes = data.n_classes;
+        self.standardizer = Some(std);
+    }
+
+    /// Predicted class for one row.
+    pub fn predict_one(&self, row: &[f64]) -> usize {
+        let std = self.standardizer.as_ref().expect("k-NN not fitted");
+        let q = std.transform_row(row);
+        // Distances to all training rows (datasets here are small).
+        let mut dists: Vec<(f64, usize)> = self
+            .train_x
+            .iter()
+            .zip(&self.train_y)
+            .map(|(x, &y)| {
+                let d2: f64 = x.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2, y)
+            })
+            .collect();
+        let k = self.config.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut votes = vec![0.0f64; self.n_classes];
+        for &(d2, y) in &dists[..k] {
+            let w = if self.config.distance_weighted { 1.0 / (d2.sqrt() + 1e-9) } else { 1.0 };
+            votes[y] += w;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+
+    /// Predicted classes for many rows.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use libra_util::rng::{rng_from_seed, standard_normal};
+
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = rng_from_seed(seed);
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 3;
+            let center = [(0.0, 0.0), (4.0, 0.0), (0.0, 4.0)][c];
+            features.push(vec![
+                center.0 + standard_normal(&mut rng) * 0.6,
+                center.1 + standard_normal(&mut rng) * 0.6,
+            ]);
+            labels.push(c);
+        }
+        Dataset::new(features, labels, 3, vec!["x".into(), "y".into()])
+    }
+
+    #[test]
+    fn classifies_blobs() {
+        let train = blobs(150, 1);
+        let test = blobs(60, 2);
+        let mut knn = KnnClassifier::new(KnnConfig::default());
+        knn.fit(&train);
+        let acc = accuracy(&test.labels, &knn.predict(&test.features));
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn k1_memorizes_training_set() {
+        let train = blobs(80, 3);
+        let mut knn = KnnClassifier::new(KnnConfig { k: 1, distance_weighted: false });
+        knn.fit(&train);
+        let acc = accuracy(&train.labels, &knn.predict(&train.features));
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let train = blobs(6, 4);
+        let mut knn = KnnClassifier::new(KnnConfig { k: 50, distance_weighted: false });
+        knn.fit(&train);
+        // With k = n and uniform weights this is just the majority class.
+        let p = knn.predict_one(&[0.0, 0.0]);
+        assert!(p < 3);
+    }
+
+    #[test]
+    fn distance_weighting_beats_uniform_on_boundary_points() {
+        let train = blobs(150, 5);
+        let mut uni = KnnClassifier::new(KnnConfig { k: 15, distance_weighted: false });
+        let mut wei = KnnClassifier::new(KnnConfig { k: 15, distance_weighted: true });
+        uni.fit(&train);
+        wei.fit(&train);
+        let test = blobs(100, 6);
+        let au = accuracy(&test.labels, &uni.predict(&test.features));
+        let aw = accuracy(&test.labels, &wei.predict(&test.features));
+        assert!(aw + 0.05 >= au, "weighted {aw} much worse than uniform {au}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn rejects_zero_k() {
+        KnnClassifier::new(KnnConfig { k: 0, distance_weighted: false });
+    }
+}

@@ -1,0 +1,44 @@
+//! # libra-ml
+//!
+//! From-scratch machine learning for the LiBRA reproduction — the models
+//! the paper evaluates in §6.2, with no external ML dependency:
+//!
+//! * [`tree`] — CART decision trees (Gini / entropy impurity, depth
+//!   limits, Gini importances).
+//! * [`forest`] — random forests (bagging + per-split feature
+//!   subsampling, soft voting) — the paper's headline 98 %-accuracy
+//!   model and the source of Table 3's importances.
+//! * [`svm`] — SVMs trained with simplified SMO (linear and RBF
+//!   kernels, one-vs-rest multi-class).
+//! * [`nn`] — a dense neural network matching the paper's 4-layer
+//!   ReLU+dropout architecture, trained with Adam.
+//! * [`knn`] / [`gbdt`] — extension baselines beyond the paper's set:
+//!   k-nearest-neighbours and second-order gradient-boosted trees.
+//! * [`data`] — dataset containers, stratified k-fold splits,
+//!   standardization.
+//! * [`metrics`] — accuracy, weighted F1, confusion matrices.
+//! * [`cv`] — the evaluation protocols: repeated stratified k-fold CV
+//!   and cross-dataset train/test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod data;
+pub mod gbdt;
+pub mod knn;
+pub mod forest;
+pub mod metrics;
+pub mod nn;
+pub mod svm;
+pub mod tree;
+
+pub use cv::{cross_validate, train_test_eval, CvResult, Model, ModelKind};
+pub use data::{Dataset, Standardizer};
+pub use forest::{ForestConfig, RandomForest};
+pub use gbdt::{GbdtClassifier, GbdtConfig};
+pub use knn::{KnnClassifier, KnnConfig};
+pub use metrics::{accuracy, confusion_matrix, weighted_f1};
+pub use nn::{NeuralNet, NnConfig};
+pub use svm::{Kernel, SvmClassifier, SvmConfig};
+pub use tree::{DecisionTree, Impurity, TreeConfig};

@@ -1,0 +1,107 @@
+//! Classification quality metrics: accuracy, per-class precision/recall/
+//! F1, the *weighted* F1 the paper reports (§6.2), and confusion
+//! matrices.
+
+/// Fraction of predictions matching the truth.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    let hits = truth.iter().zip(pred).filter(|(t, p)| t == p).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Confusion matrix: `m[t][p]` counts rows with truth `t` predicted `p`.
+pub fn confusion_matrix(truth: &[usize], pred: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(truth.len(), pred.len());
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in truth.iter().zip(pred) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Per-class F1 scores.
+pub fn f1_per_class(truth: &[usize], pred: &[usize], n_classes: usize) -> Vec<f64> {
+    let m = confusion_matrix(truth, pred, n_classes);
+    (0..n_classes)
+        .map(|c| {
+            let tp = m[c][c] as f64;
+            let fp: f64 = (0..n_classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
+            let fn_: f64 = (0..n_classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+            if tp == 0.0 {
+                0.0
+            } else {
+                let prec = tp / (tp + fp);
+                let rec = tp / (tp + fn_);
+                2.0 * prec * rec / (prec + rec)
+            }
+        })
+        .collect()
+}
+
+/// Weighted F1: per-class F1 averaged with class-support weights — the
+/// "weighted F1 score" of §6.2 (scikit-learn's `average='weighted'`).
+pub fn weighted_f1(truth: &[usize], pred: &[usize], n_classes: usize) -> f64 {
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    let f1 = f1_per_class(truth, pred, n_classes);
+    let mut support = vec![0usize; n_classes];
+    for &t in truth {
+        support[t] += 1;
+    }
+    let total = truth.len() as f64;
+    f1.iter().zip(&support).map(|(f, &s)| f * s as f64 / total).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0, 0, 1, 1, 1], &[0, 1, 1, 1, 0], 2);
+        assert_eq!(m, vec![vec![1, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn perfect_prediction_f1_one() {
+        let truth = [0, 1, 2, 0, 1, 2];
+        let f1 = weighted_f1(&truth, &truth, 3);
+        assert!((f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_wrong_f1_zero() {
+        let truth = [0, 0, 1, 1];
+        let pred = [1, 1, 0, 0];
+        assert_eq!(weighted_f1(&truth, &pred, 2), 0.0);
+    }
+
+    #[test]
+    fn weighted_f1_weights_by_support() {
+        // Class 0: 8 rows all correct (F1 = 1); class 1: 2 rows all
+        // missed (F1 = 0) → weighted F1 < macro would be 0.5, here 0.8·1.
+        let truth = [0, 0, 0, 0, 0, 0, 0, 0, 1, 1];
+        let pred = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let w = weighted_f1(&truth, &pred, 2);
+        // class 0: prec 8/10, rec 1 → F1 = 16/18 = 0.888…, weight 0.8
+        assert!((w - 0.8 * (16.0 / 18.0)).abs() < 1e-9, "{w}");
+    }
+
+    #[test]
+    fn f1_handles_absent_predicted_class() {
+        let truth = [0, 1];
+        let pred = [0, 0];
+        let f1 = f1_per_class(&truth, &pred, 2);
+        assert_eq!(f1[1], 0.0);
+    }
+}

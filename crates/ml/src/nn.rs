@@ -1,0 +1,370 @@
+//! A small dense neural network with dropout, trained with Adam.
+//!
+//! The paper's DNN is "a fully connected dense network with 4 dense
+//! layers. Rectified linear (relu) activation was used in the first 3
+//! layers and sigmoid activation was used in the last layer. ...
+//! inclusion of Dropout after each layer gave the best results" (§6.2).
+//! We mirror that: three ReLU hidden layers with dropout, and a softmax
+//! output (the multi-class generalization of the paper's sigmoid head —
+//! identical for 2 classes up to parameterization). Inputs are
+//! standardized internally.
+
+use crate::data::{Dataset, Standardizer};
+use libra_util::rng::standard_normal;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Network and training hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NnConfig {
+    /// Hidden layer widths (the paper's 4-dense-layer network = 3 hidden
+    /// + 1 output).
+    pub hidden: Vec<usize>,
+    /// Dropout probability applied after each hidden layer.
+    pub dropout: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+}
+
+impl Default for NnConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![64, 32, 16],
+            dropout: 0.2,
+            epochs: 120,
+            batch_size: 32,
+            learning_rate: 1e-3,
+        }
+    }
+}
+
+/// One dense layer with its Adam state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Layer {
+    inputs: usize,
+    outputs: usize,
+    /// Row-major `outputs × inputs` weights.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    // Adam moments.
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut impl Rng) -> Self {
+        // He initialization for ReLU layers.
+        let scale = (2.0 / inputs as f64).sqrt();
+        let w = (0..inputs * outputs).map(|_| scale * standard_normal(rng)).collect();
+        Self {
+            inputs,
+            outputs,
+            w,
+            b: vec![0.0; outputs],
+            mw: vec![0.0; inputs * outputs],
+            vw: vec![0.0; inputs * outputs],
+            mb: vec![0.0; outputs],
+            vb: vec![0.0; outputs],
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.outputs)
+            .map(|o| {
+                let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
+                row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.b[o]
+            })
+            .collect()
+    }
+}
+
+/// A fitted dense neural-network classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NeuralNet {
+    config: NnConfig,
+    layers: Vec<Layer>,
+    standardizer: Option<Standardizer>,
+    n_classes: usize,
+    adam_t: u64,
+}
+
+impl NeuralNet {
+    /// Creates an unfitted network.
+    pub fn new(config: NnConfig) -> Self {
+        Self { config, layers: Vec::new(), standardizer: None, n_classes: 0, adam_t: 0 }
+    }
+
+    /// Trains with mini-batch Adam on softmax cross-entropy.
+    pub fn fit(&mut self, data: &Dataset, rng: &mut impl Rng) {
+        assert!(!data.is_empty(), "cannot fit on empty dataset");
+        let std = Standardizer::fit(data);
+        let scaled = std.transform(data);
+        self.standardizer = Some(std);
+        self.n_classes = data.n_classes;
+        self.adam_t = 0;
+
+        // Build layers: input → hidden... → n_classes.
+        let mut sizes = vec![data.n_features()];
+        sizes.extend_from_slice(&self.config.hidden);
+        sizes.push(data.n_classes);
+        self.layers =
+            sizes.windows(2).map(|w| Layer::new(w[0], w[1], rng)).collect();
+
+        let n = scaled.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..self.config.epochs {
+            order.shuffle(rng);
+            for batch in order.chunks(self.config.batch_size) {
+                self.train_batch(&scaled, batch, rng);
+            }
+        }
+    }
+
+    fn train_batch(&mut self, data: &Dataset, batch: &[usize], rng: &mut impl Rng) {
+        let n_layers = self.layers.len();
+        // Gradient accumulators.
+        let mut gw: Vec<Vec<f64>> =
+            self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut gb: Vec<Vec<f64>> =
+            self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+
+        for &i in batch {
+            // Forward with dropout.
+            let mut acts: Vec<Vec<f64>> = vec![data.features[i].clone()];
+            let mut masks: Vec<Vec<f64>> = Vec::new();
+            for (li, layer) in self.layers.iter().enumerate() {
+                let mut z = layer.forward(acts.last().expect("input"));
+                if li < n_layers - 1 {
+                    // ReLU + inverted dropout.
+                    let keep = 1.0 - self.config.dropout;
+                    let mask: Vec<f64> = z
+                        .iter()
+                        .map(|_| if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 })
+                        .collect();
+                    for (v, m) in z.iter_mut().zip(&mask) {
+                        *v = v.max(0.0) * m;
+                    }
+                    masks.push(mask);
+                }
+                acts.push(z);
+            }
+            let probs = softmax(acts.last().expect("output"));
+
+            // Backward: delta at output = p − onehot.
+            let mut delta: Vec<f64> = probs.clone();
+            delta[data.labels[i]] -= 1.0;
+            for li in (0..n_layers).rev() {
+                let input = &acts[li];
+                let layer = &self.layers[li];
+                for o in 0..layer.outputs {
+                    gb[li][o] += delta[o];
+                    let row = &mut gw[li][o * layer.inputs..(o + 1) * layer.inputs];
+                    for (g, &x) in row.iter_mut().zip(input) {
+                        *g += delta[o] * x;
+                    }
+                }
+                if li > 0 {
+                    // Propagate through weights, then through dropout+ReLU
+                    // of the previous layer.
+                    let mut new_delta = vec![0.0; layer.inputs];
+                    for o in 0..layer.outputs {
+                        let row = &layer.w[o * layer.inputs..(o + 1) * layer.inputs];
+                        for (nd, &w) in new_delta.iter_mut().zip(row) {
+                            *nd += delta[o] * w;
+                        }
+                    }
+                    let mask = &masks[li - 1];
+                    let a_prev = &acts[li]; // post-activation of layer li-1
+                    for ((nd, &m), &a) in new_delta.iter_mut().zip(mask).zip(a_prev) {
+                        // ReLU derivative: active iff post-activation > 0
+                        // (mask already folds dropout scaling in).
+                        *nd *= if a > 0.0 { m } else { 0.0 };
+                    }
+                    delta = new_delta;
+                }
+            }
+        }
+
+        // Adam step.
+        self.adam_t += 1;
+        let t = self.adam_t as f64;
+        let (b1, b2, eps) = (0.9, 0.999, 1e-8);
+        let lr = self.config.learning_rate;
+        let scale = 1.0 / batch.len() as f64;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for (idx, g) in gw[li].iter().enumerate() {
+                let g = g * scale;
+                layer.mw[idx] = b1 * layer.mw[idx] + (1.0 - b1) * g;
+                layer.vw[idx] = b2 * layer.vw[idx] + (1.0 - b2) * g * g;
+                let mhat = layer.mw[idx] / (1.0 - b1.powf(t));
+                let vhat = layer.vw[idx] / (1.0 - b2.powf(t));
+                layer.w[idx] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            for (idx, g) in gb[li].iter().enumerate() {
+                let g = g * scale;
+                layer.mb[idx] = b1 * layer.mb[idx] + (1.0 - b1) * g;
+                layer.vb[idx] = b2 * layer.vb[idx] + (1.0 - b2) * g * g;
+                let mhat = layer.mb[idx] / (1.0 - b1.powf(t));
+                let vhat = layer.vb[idx] / (1.0 - b2.powf(t));
+                layer.b[idx] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+
+    /// Class probabilities for one (raw, unstandardized) row.
+    pub fn predict_proba_one(&self, row: &[f64]) -> Vec<f64> {
+        let std = self.standardizer.as_ref().expect("network not fitted");
+        let mut a = std.transform_row(row);
+        let n_layers = self.layers.len();
+        for (li, layer) in self.layers.iter().enumerate() {
+            a = layer.forward(&a);
+            if li < n_layers - 1 {
+                for v in &mut a {
+                    *v = v.max(0.0);
+                }
+            }
+        }
+        softmax(&a)
+    }
+
+    /// Predicted class for one row.
+    pub fn predict_one(&self, row: &[f64]) -> usize {
+        let p = self.predict_proba_one(row);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+
+    /// Predicted classes for many rows.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+}
+
+fn softmax(z: &[f64]) -> Vec<f64> {
+    let max = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use libra_util::rng::rng_from_seed;
+
+    fn xor_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = rng_from_seed(seed);
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let a = if rng.gen::<bool>() { 1.0 } else { 0.0 };
+            let b = if rng.gen::<bool>() { 1.0 } else { 0.0 };
+            let jx: f64 = rng.gen::<f64>() * 0.1;
+            let jy: f64 = rng.gen::<f64>() * 0.1;
+            features.push(vec![a + jx, b + jy]);
+            labels.push(((a as usize) ^ (b as usize)) as usize);
+        }
+        Dataset::new(features, labels, 2, vec!["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[1001.0, 1002.0]);
+        assert!((a[0] - b[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learns_xor() {
+        let train = xor_dataset(240, 1);
+        let test = xor_dataset(80, 2);
+        let mut nn = NeuralNet::new(NnConfig {
+            hidden: vec![16, 8],
+            dropout: 0.1,
+            epochs: 150,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(3);
+        nn.fit(&train, &mut rng);
+        let acc = accuracy(&test.labels, &nn.predict(&test.features));
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn three_class_blobs() {
+        let mut rng = rng_from_seed(4);
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..240 {
+            let c = i % 3;
+            let center = [(0.0, 0.0), (5.0, 0.0), (0.0, 5.0)][c];
+            features.push(vec![
+                center.0 + standard_normal(&mut rng) * 0.5,
+                center.1 + standard_normal(&mut rng) * 0.5,
+            ]);
+            labels.push(c);
+        }
+        let data = Dataset::new(features, labels, 3, vec!["x".into(), "y".into()]);
+        let mut nn = NeuralNet::new(NnConfig { epochs: 60, ..Default::default() });
+        nn.fit(&data, &mut rng);
+        let acc = accuracy(&data.labels, &nn.predict(&data.features));
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let data = xor_dataset(100, 5);
+        let mut nn = NeuralNet::new(NnConfig { epochs: 10, ..Default::default() });
+        let mut rng = rng_from_seed(6);
+        nn.fit(&data, &mut rng);
+        let p = nn.predict_proba_one(&data.features[0]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = xor_dataset(60, 7);
+        let run = || {
+            let mut nn = NeuralNet::new(NnConfig { epochs: 5, ..Default::default() });
+            let mut rng = rng_from_seed(8);
+            nn.fit(&data, &mut rng);
+            nn.predict(&data.features)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dropout_zero_trains_fine() {
+        let data = xor_dataset(160, 9);
+        let mut nn = NeuralNet::new(NnConfig {
+            dropout: 0.0,
+            epochs: 120,
+            hidden: vec![16, 8],
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(10);
+        nn.fit(&data, &mut rng);
+        let acc = accuracy(&data.labels, &nn.predict(&data.features));
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the ML library.
+
+use libra_ml::{
+    accuracy, confusion_matrix, weighted_f1, Dataset, DecisionTree, ForestConfig, RandomForest,
+    Standardizer, TreeConfig,
+};
+use libra_util::rng::{rng_from_seed, standard_normal};
+use proptest::prelude::*;
+use rand::Rng as _;
+
+/// Random 2-class blobs with tunable separation.
+fn blobs(n: usize, sep: f64, seed: u64) -> Dataset {
+    let mut rng = rng_from_seed(seed);
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let c = i % 2;
+        let off = if c == 0 { -sep } else { sep };
+        features.push(vec![off + standard_normal(&mut rng), standard_normal(&mut rng)]);
+        labels.push(c);
+    }
+    Dataset::new(features, labels, 2, vec!["x".into(), "y".into()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A fitted tree reproduces its training labels perfectly when
+    /// unconstrained and the data has no duplicate-feature conflicts.
+    #[test]
+    fn tree_memorizes_separable_data(seed in 0u64..200) {
+        let data = blobs(60, 10.0, seed); // far-separated blobs
+        let mut tree = DecisionTree::new(TreeConfig { max_depth: 30, ..Default::default() });
+        let mut rng = rng_from_seed(seed);
+        tree.fit(&data, &mut rng);
+        let acc = accuracy(&data.labels, &tree.predict(&data.features));
+        prop_assert!(acc > 0.99, "training accuracy {acc}");
+    }
+
+    /// Tree predictions are always valid class indices.
+    #[test]
+    fn tree_predicts_valid_classes(seed in 0u64..100, x in -100.0f64..100.0, y in -100.0f64..100.0) {
+        let data = blobs(40, 1.0, seed);
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        let mut rng = rng_from_seed(seed);
+        tree.fit(&data, &mut rng);
+        prop_assert!(tree.predict_one(&[x, y]) < 2);
+    }
+
+    /// Forest class probabilities form a simplex.
+    #[test]
+    fn forest_probabilities_simplex(seed in 0u64..50, x in -10.0f64..10.0, y in -10.0f64..10.0) {
+        let data = blobs(50, 2.0, seed);
+        let mut rf = RandomForest::new(ForestConfig { n_trees: 8, ..Default::default() });
+        let mut rng = rng_from_seed(seed);
+        rf.fit(&data, &mut rng);
+        let p = rf.predict_proba_one(&[x, y]);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Gini importances are a probability vector over features.
+    #[test]
+    fn importances_are_distribution(seed in 0u64..50) {
+        let data = blobs(60, 2.0, seed);
+        let mut rf = RandomForest::new(ForestConfig { n_trees: 10, ..Default::default() });
+        let mut rng = rng_from_seed(seed);
+        rf.fit(&data, &mut rng);
+        let imp = rf.feature_importances();
+        prop_assert!(imp.iter().all(|&v| v >= 0.0));
+        let sum: f64 = imp.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9 || sum == 0.0);
+    }
+
+    /// Standardization is invertible in distribution: transforming twice
+    /// with the same fitted standardizer is idempotent on stats.
+    #[test]
+    fn standardizer_idempotent_stats(seed in 0u64..50) {
+        let data = blobs(80, 3.0, seed);
+        let s = Standardizer::fit(&data);
+        let t1 = s.transform(&data);
+        let s2 = Standardizer::fit(&t1);
+        let t2 = s2.transform(&t1);
+        let (m1, sd1) = t1.column_stats();
+        let (m2, sd2) = t2.column_stats();
+        for i in 0..2 {
+            prop_assert!((m1[i] - m2[i]).abs() < 1e-9);
+            prop_assert!((sd1[i] - sd2[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Accuracy and weighted F1 agree at the extremes.
+    #[test]
+    fn metrics_extremes(labels in prop::collection::vec(0usize..3, 1..50)) {
+        let acc = accuracy(&labels, &labels);
+        prop_assert_eq!(acc, 1.0);
+        prop_assert!((weighted_f1(&labels, &labels, 3) - 1.0).abs() < 1e-12);
+    }
+
+    /// Confusion matrix row sums equal per-class support.
+    #[test]
+    fn confusion_rows_sum_to_support(
+        truth in prop::collection::vec(0usize..3, 1..60),
+        seed in 0u64..100,
+    ) {
+        let mut rng = rng_from_seed(seed);
+        let pred: Vec<usize> = truth.iter().map(|_| rng.gen_range(0..3)).collect();
+        let m = confusion_matrix(&truth, &pred, 3);
+        for c in 0..3 {
+            let support = truth.iter().filter(|&&t| t == c).count();
+            let row: usize = m[c].iter().sum();
+            prop_assert_eq!(row, support);
+        }
+    }
+
+    /// Stratified folds: every fold's class ratio is within one sample
+    /// of the global ratio.
+    #[test]
+    fn folds_stratified(seed in 0u64..100, k in 2usize..6) {
+        let data = blobs(60, 1.0, seed);
+        let mut rng = rng_from_seed(seed);
+        let folds = data.stratified_folds(k, &mut rng);
+        for fold in &folds {
+            let c0 = fold.iter().filter(|&&i| data.labels[i] == 0).count();
+            let c1 = fold.len() - c0;
+            prop_assert!((c0 as i64 - c1 as i64).abs() <= 1, "fold {c0}/{c1}");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! SNR → codeword error rate model with an ISI penalty.
+//!
+//! The core abstraction: for a given MCS and channel observation, what
+//! fraction of codewords decodes? We use a logistic ramp in SNR around
+//! the MCS's midpoint — the standard shape of block error curves — with
+//! one crucial addition: an **inter-symbol-interference penalty** that
+//! grows with the channel's RMS delay spread and with the MCS order.
+//!
+//! The penalty is what reproduces the paper's observation that *"MCS is
+//! only weakly correlated with SNR in 60 GHz WLANs"* (§2, citing the
+//! authors' earlier measurement studies [49, 50]): two beam pairs with
+//! identical SNR but different multipath structure support different
+//! MCSs, because a single-carrier PHY with short equalization suffers
+//! from delayed taps at high symbol rates. Without this term the
+//! classification problem of §6 collapses (SNR would fully determine the
+//! label); `libra-bench` ships an ablation (`ablation_isi`) quantifying
+//! exactly that.
+
+use crate::mcs::{McsEntry, McsIndex, McsTable};
+use libra_channel::BeamPairResponse;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the error model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorModel {
+    /// Logistic steepness, dB⁻¹: how fast CER falls around the midpoint.
+    /// Measured block-error curves drop from 90 % to 10 % over ~2 dB,
+    /// corresponding to `k ≈ 2.2`.
+    pub steepness_per_db: f64,
+    /// ISI sensitivity of the lowest MCS, dB of effective-SNR loss per
+    /// ns of RMS delay spread.
+    pub isi_base_db_per_ns: f64,
+    /// Additional ISI sensitivity per MCS step, dB per ns.
+    pub isi_step_db_per_ns: f64,
+}
+
+impl Default for ErrorModel {
+    fn default() -> Self {
+        Self { steepness_per_db: 2.2, isi_base_db_per_ns: 0.05, isi_step_db_per_ns: 0.09 }
+    }
+}
+
+impl ErrorModel {
+    /// An error model with the ISI term disabled (ablation baseline).
+    pub fn without_isi() -> Self {
+        Self { isi_base_db_per_ns: 0.0, isi_step_db_per_ns: 0.0, ..Self::default() }
+    }
+
+    /// Effective SNR after the ISI penalty for `mcs`, dB.
+    pub fn effective_snr_db(&self, snr_db: f64, rms_delay_spread_ns: f64, mcs: McsIndex) -> f64 {
+        let sens = self.isi_base_db_per_ns + self.isi_step_db_per_ns * mcs as f64;
+        snr_db - sens * rms_delay_spread_ns
+    }
+
+    /// Codeword error rate for `entry` at the given effective conditions.
+    pub fn cer(&self, entry: &McsEntry, snr_db: f64, rms_delay_spread_ns: f64) -> f64 {
+        let eff = self.effective_snr_db(snr_db, rms_delay_spread_ns, entry.index);
+        logistic(self.steepness_per_db * (entry.snr_midpoint_db - eff))
+    }
+
+    /// Expected codeword delivery ratio (`1 − CER`).
+    pub fn cdr(&self, entry: &McsEntry, snr_db: f64, rms_delay_spread_ns: f64) -> f64 {
+        1.0 - self.cer(entry, snr_db, rms_delay_spread_ns)
+    }
+
+    /// Expected MAC throughput of `entry` under the given conditions,
+    /// Mbps (`rate × CDR`).
+    pub fn expected_throughput_mbps(
+        &self,
+        entry: &McsEntry,
+        snr_db: f64,
+        rms_delay_spread_ns: f64,
+    ) -> f64 {
+        entry.rate_mbps * self.cdr(entry, snr_db, rms_delay_spread_ns)
+    }
+
+    /// Expected throughput of `mcs` over an observed beam-pair channel.
+    pub fn throughput_for_response(
+        &self,
+        table: &McsTable,
+        mcs: McsIndex,
+        resp: &BeamPairResponse,
+    ) -> f64 {
+        self.expected_throughput_mbps(table.get(mcs), resp.snr_db, resp.rms_delay_spread_ns())
+    }
+
+    /// The MCS with the highest expected throughput over `resp`
+    /// (exhaustive scan — 9 entries).
+    pub fn best_mcs(&self, table: &McsTable, resp: &BeamPairResponse) -> McsIndex {
+        let spread = resp.rms_delay_spread_ns();
+        table
+            .iter()
+            .max_by(|a, b| {
+                let ta = self.expected_throughput_mbps(a, resp.snr_db, spread);
+                let tb = self.expected_throughput_mbps(b, resp.snr_db, spread);
+                ta.partial_cmp(&tb).expect("finite throughputs")
+            })
+            .map(|e| e.index)
+            .expect("non-empty table")
+    }
+}
+
+#[inline]
+fn logistic(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ErrorModel {
+        ErrorModel::default()
+    }
+
+    #[test]
+    fn cer_half_at_midpoint() {
+        let t = McsTable::x60();
+        let m = model();
+        for e in t.iter() {
+            let cer = m.cer(e, e.snr_midpoint_db, 0.0);
+            assert!((cer - 0.5).abs() < 1e-9, "mcs {} cer {}", e.index, cer);
+        }
+    }
+
+    #[test]
+    fn cer_monotone_in_snr() {
+        let t = McsTable::x60();
+        let m = model();
+        let e = t.get(4);
+        let mut prev = 1.0;
+        for snr10 in -50..300 {
+            let cer = m.cer(e, snr10 as f64 / 10.0, 0.0);
+            assert!(cer <= prev + 1e-12);
+            prev = cer;
+        }
+    }
+
+    #[test]
+    fn high_snr_delivers_everything() {
+        let t = McsTable::x60();
+        let m = model();
+        assert!(m.cdr(t.get(8), 35.0, 0.0) > 0.999);
+        assert!(m.cdr(t.get(0), 35.0, 0.0) > 0.999);
+    }
+
+    #[test]
+    fn low_snr_delivers_nothing() {
+        let t = McsTable::x60();
+        let m = model();
+        assert!(m.cdr(t.get(8), 5.0, 0.0) < 0.001);
+    }
+
+    #[test]
+    fn isi_penalty_grows_with_mcs() {
+        let m = model();
+        let snr = 25.0;
+        let spread = 6.0;
+        let eff_low = m.effective_snr_db(snr, spread, 0);
+        let eff_high = m.effective_snr_db(snr, spread, 8);
+        assert!(eff_low > eff_high);
+        assert!((eff_low - (snr - 0.05 * 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_spread_can_flip_best_mcs() {
+        // Same SNR, different multipath: the best MCS must differ —
+        // this is the "MCS weakly correlated with SNR" property.
+        let t = McsTable::x60();
+        let m = model();
+        let snr = 22.0;
+        let best_clean = t
+            .iter()
+            .max_by(|a, b| {
+                m.expected_throughput_mbps(a, snr, 0.0)
+                    .partial_cmp(&m.expected_throughput_mbps(b, snr, 0.0))
+                    .unwrap()
+            })
+            .unwrap()
+            .index;
+        let best_dispersive = t
+            .iter()
+            .max_by(|a, b| {
+                m.expected_throughput_mbps(a, snr, 8.0)
+                    .partial_cmp(&m.expected_throughput_mbps(b, snr, 8.0))
+                    .unwrap()
+            })
+            .unwrap()
+            .index;
+        assert!(best_dispersive < best_clean, "{best_dispersive} !< {best_clean}");
+    }
+
+    #[test]
+    fn without_isi_ignores_spread() {
+        let t = McsTable::x60();
+        let m = ErrorModel::without_isi();
+        let e = t.get(6);
+        assert_eq!(m.cer(e, 20.0, 0.0), m.cer(e, 20.0, 50.0));
+    }
+
+    #[test]
+    fn best_mcs_tracks_snr() {
+        let t = McsTable::x60();
+        let m = model();
+        let resp_at = |snr: f64| BeamPairResponse {
+            taps: vec![],
+            signal_power_dbm: snr - 74.0,
+            thermal_noise_dbm: -74.0,
+            interference_dbm: f64::NEG_INFINITY,
+            effective_noise_dbm: -74.0,
+            snr_db: snr,
+            tof_ns: 10.0,
+        };
+        assert_eq!(m.best_mcs(&t, &resp_at(30.0)), 8);
+        let mid = m.best_mcs(&t, &resp_at(12.0));
+        assert!((3..=5).contains(&mid), "mid-SNR best MCS {mid}");
+        assert_eq!(m.best_mcs(&t, &resp_at(2.0)), 0);
+    }
+
+    #[test]
+    fn throughput_peaks_at_interior_mcs_for_mid_snr() {
+        let t = McsTable::x60();
+        let m = model();
+        let tputs: Vec<f64> =
+            t.iter().map(|e| m.expected_throughput_mbps(e, 12.0, 0.0)).collect();
+        let argmax = tputs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(argmax > 0 && argmax < 8);
+    }
+}

@@ -1,0 +1,111 @@
+//! TDMA framing of the X60 MAC and the 802.11ad frame-aggregation
+//! parameters used by the evaluation.
+//!
+//! X60 transmits 10 ms frames of 100 slots × 100 µs; a slot carries 92
+//! codewords, each with its own CRC (paper §4.1). The structure of an X60
+//! frame therefore resembles an 802.11 AMPDU — many individually-checked
+//! units per transmission — which is why the paper treats the X60
+//! codeword delivery ratio (CDR) as the analogue of WiFi's sub-frame
+//! error rate (§6.1, "Error/Delivery Rate").
+//!
+//! For the LiBRA evaluation the *frame aggregation time* (FAT) is the
+//! knob: each RA probe costs one aggregated frame, so the RA overhead is
+//! `MCSs tried × FAT` (§8.1, with FAT ∈ {2 ms, 10 ms}).
+
+use serde::{Deserialize, Serialize};
+
+/// Framing parameters of the simulated MAC/PHY.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameConfig {
+    /// Duration of one (aggregated) frame, microseconds. Equals the FAT
+    /// of the evaluation: 10 000 µs for X60, 2 000 µs max in 802.11ad.
+    pub frame_duration_us: f64,
+    /// Number of TDMA slots per frame (X60: 100).
+    pub slots_per_frame: usize,
+    /// Codewords per slot (X60: 92).
+    pub codewords_per_slot: usize,
+}
+
+impl FrameConfig {
+    /// X60 framing: 10 ms frames, 100 slots, 92 codewords per slot.
+    pub fn x60() -> Self {
+        Self { frame_duration_us: 10_000.0, slots_per_frame: 100, codewords_per_slot: 92 }
+    }
+
+    /// 802.11ad framing with the maximum 2 ms AMPDU duration. The slot
+    /// subdivision is kept proportional so CDR statistics stay
+    /// comparable.
+    pub fn ieee80211ad() -> Self {
+        Self { frame_duration_us: 2_000.0, slots_per_frame: 20, codewords_per_slot: 92 }
+    }
+
+    /// A frame config with a custom frame duration (FAT sweep), keeping
+    /// X60's slot granularity of 100 µs.
+    pub fn with_fat_ms(fat_ms: f64) -> Self {
+        assert!(fat_ms > 0.0);
+        let slots = ((fat_ms * 1000.0 / 100.0).round() as usize).max(1);
+        Self { frame_duration_us: fat_ms * 1000.0, slots_per_frame: slots, codewords_per_slot: 92 }
+    }
+
+    /// Frame duration in milliseconds (`d_fr` of §5.2).
+    pub fn frame_duration_ms(&self) -> f64 {
+        self.frame_duration_us / 1000.0
+    }
+
+    /// Codewords per frame.
+    pub fn codewords_per_frame(&self) -> usize {
+        self.slots_per_frame * self.codewords_per_slot
+    }
+
+    /// Frames per second.
+    pub fn frames_per_second(&self) -> f64 {
+        1e6 / self.frame_duration_us
+    }
+
+    /// Payload bytes delivered by one frame at `rate_mbps` with the given
+    /// delivery ratio.
+    pub fn bytes_per_frame(&self, rate_mbps: f64, cdr: f64) -> f64 {
+        rate_mbps * 1e6 * (self.frame_duration_us / 1e6) * cdr / 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x60_frame_structure() {
+        let f = FrameConfig::x60();
+        assert_eq!(f.codewords_per_frame(), 9200);
+        assert_eq!(f.frame_duration_ms(), 10.0);
+        assert_eq!(f.frames_per_second(), 100.0);
+    }
+
+    #[test]
+    fn ad_frame_is_2ms() {
+        let f = FrameConfig::ieee80211ad();
+        assert_eq!(f.frame_duration_ms(), 2.0);
+    }
+
+    #[test]
+    fn fat_constructor_rounds_slots() {
+        let f = FrameConfig::with_fat_ms(2.0);
+        assert_eq!(f.slots_per_frame, 20);
+        assert_eq!(f.frame_duration_ms(), 2.0);
+    }
+
+    #[test]
+    fn bytes_per_frame_full_rate() {
+        let f = FrameConfig::x60();
+        // 4750 Mbps × 10 ms / 8 = 5.9375 MB
+        let b = f.bytes_per_frame(4750.0, 1.0);
+        assert!((b - 5_937_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bytes_scale_with_cdr() {
+        let f = FrameConfig::x60();
+        assert_eq!(f.bytes_per_frame(1000.0, 0.5), f.bytes_per_frame(500.0, 1.0));
+        assert_eq!(f.bytes_per_frame(1000.0, 0.0), 0.0);
+    }
+}

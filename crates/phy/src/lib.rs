@@ -1,0 +1,31 @@
+//! # libra-phy
+//!
+//! An X60-like single-carrier 60 GHz PHY model: the substrate standing in
+//! for the programmable PHY of the X60 testbed (paper §4.1).
+//!
+//! * [`mcs`] — the 9-MCS X60 table (300 Mbps – 4.75 Gbps) and the 12-MCS
+//!   802.11ad table (385 – 4620 Mbps).
+//! * [`error_model`] — SNR → codeword-error-rate curves with an
+//!   ISI/delay-spread penalty that reproduces the weak SNR↔MCS coupling
+//!   the authors measured on real hardware.
+//! * [`framing`] — X60 TDMA framing (10 ms frames, 100 × 100 µs slots,
+//!   92 codewords per slot) and 802.11ad frame-aggregation parameters.
+//! * [`metrics`] — power delay profiles, FFT-based CSI estimates, and
+//!   Pearson similarity (the multipath metrics of §6.1).
+//! * [`trace`] — per-frame PHY logs with realistic measurement jitter
+//!   (the raw material of the dataset and the trace-based simulation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error_model;
+pub mod framing;
+pub mod mcs;
+pub mod metrics;
+pub mod trace;
+
+pub use error_model::ErrorModel;
+pub use framing::FrameConfig;
+pub use mcs::{McsEntry, McsIndex, McsTable};
+pub use metrics::{PowerDelayProfile, PDP_BINS, PDP_BIN_NS};
+pub use trace::{generate_trace, FrameLog, TraceJitter};

@@ -1,0 +1,189 @@
+//! Modulation-and-coding-scheme tables.
+//!
+//! Two tables are provided:
+//!
+//! * [`McsTable::x60`] — the 9 single-carrier MCSs of the X60 PHY
+//!   reference implementation, spanning 300 Mbps – 4.75 Gbps (paper §4.1).
+//!   This is the table used for dataset generation and the LiBRA
+//!   evaluation.
+//! * [`McsTable::ieee80211ad`] — the 12 SC MCSs of 802.11ad (MCS 1–12,
+//!   385 – 4620 Mbps; MCS 0 at 27.5 Mbps is control-only and excluded,
+//!   as in the paper's §2). Used by the COTS device emulation and the
+//!   scaled VR study.
+//!
+//! Each entry carries the PHY data rate, the SNR at which its codeword
+//! error rate is 50 % (the logistic midpoint of the error model), and the
+//! codeword length (X60 codewords are 180–1080 bytes depending on MCS;
+//! §6.1 notes this is comparable to an MPDU).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an MCS within its table (0-based).
+pub type McsIndex = usize;
+
+/// One modulation-and-coding scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McsEntry {
+    /// Index within the table.
+    pub index: McsIndex,
+    /// PHY data rate, Mbps.
+    pub rate_mbps: f64,
+    /// SNR at which the codeword error rate is 50 %, dB.
+    pub snr_midpoint_db: f64,
+    /// Codeword payload length, bytes.
+    pub codeword_bytes: usize,
+}
+
+/// An ordered set of MCSs (ascending rate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McsTable {
+    name: String,
+    entries: Vec<McsEntry>,
+}
+
+impl McsTable {
+    /// Builds a table from entries; they must be in ascending-rate order.
+    pub fn new(name: &str, entries: Vec<McsEntry>) -> Self {
+        assert!(!entries.is_empty(), "empty MCS table");
+        assert!(
+            entries.windows(2).all(|w| w[0].rate_mbps < w[1].rate_mbps),
+            "MCS rates must be strictly increasing"
+        );
+        assert!(
+            entries.iter().enumerate().all(|(i, e)| e.index == i),
+            "MCS indices must be 0..n"
+        );
+        Self { name: name.to_string(), entries }
+    }
+
+    /// The 9-MCS X60 single-carrier table (300 Mbps – 4.75 Gbps).
+    ///
+    /// Intermediate rates interpolate the BPSK→16QAM, rate-1/2→7/8
+    /// progression of the 802.11ad SC PHY scaled to X60's symbol rate;
+    /// SNR midpoints follow the usual ~2–2.5 dB per-step ladder for SC
+    /// modulation at these spectral efficiencies.
+    pub fn x60() -> Self {
+        let rates = [300.0, 850.0, 1400.0, 1950.0, 2500.0, 3050.0, 3600.0, 4200.0, 4750.0];
+        let midpoints = [1.0, 3.5, 6.0, 8.5, 11.0, 13.5, 16.0, 18.5, 21.0];
+        let cw_bytes = [180, 270, 360, 450, 540, 660, 780, 920, 1080];
+        let entries = (0..9)
+            .map(|i| McsEntry {
+                index: i,
+                rate_mbps: rates[i],
+                snr_midpoint_db: midpoints[i],
+                codeword_bytes: cw_bytes[i],
+            })
+            .collect();
+        Self::new("x60-sc", entries)
+    }
+
+    /// The 12 data MCSs of the 802.11ad SC PHY (MCS 1–12 renumbered to
+    /// indices 0–11), 385 – 4620 Mbps.
+    pub fn ieee80211ad() -> Self {
+        let rates = [
+            385.0, 770.0, 962.5, 1155.0, 1251.25, 1540.0, 1925.0, 2310.0, 2502.5, 3080.0,
+            3850.0, 4620.0,
+        ];
+        let midpoints = [1.0, 3.0, 4.5, 5.5, 6.5, 8.0, 10.0, 12.0, 13.0, 15.0, 18.0, 21.0];
+        let entries = (0..12)
+            .map(|i| McsEntry {
+                index: i,
+                rate_mbps: rates[i],
+                snr_midpoint_db: midpoints[i],
+                codeword_bytes: 672,
+            })
+            .collect();
+        Self::new("802.11ad-sc", entries)
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of MCSs (`N_MCS` in the worst-case-delay formula of §5.2).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry accessor.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range.
+    pub fn get(&self, idx: McsIndex) -> &McsEntry {
+        &self.entries[idx]
+    }
+
+    /// Highest MCS index.
+    pub fn max_index(&self) -> McsIndex {
+        self.entries.len() - 1
+    }
+
+    /// PHY data rate of the highest MCS, Mbps (`Th_max` in the utility
+    /// metric, Eqn. (1) of §5.2).
+    pub fn max_rate_mbps(&self) -> f64 {
+        self.entries.last().expect("non-empty").rate_mbps
+    }
+
+    /// Iterator over entries in ascending-rate order.
+    pub fn iter(&self) -> impl Iterator<Item = &McsEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x60_table_matches_paper_envelope() {
+        let t = McsTable::x60();
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.get(0).rate_mbps, 300.0);
+        assert_eq!(t.get(8).rate_mbps, 4750.0);
+        assert_eq!(t.max_rate_mbps(), 4750.0);
+    }
+
+    #[test]
+    fn ad_table_matches_standard_envelope() {
+        let t = McsTable::ieee80211ad();
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.get(0).rate_mbps, 385.0);
+        assert_eq!(t.get(11).rate_mbps, 4620.0);
+    }
+
+    #[test]
+    fn rates_and_midpoints_increase() {
+        for t in [McsTable::x60(), McsTable::ieee80211ad()] {
+            let rates: Vec<f64> = t.iter().map(|e| e.rate_mbps).collect();
+            assert!(rates.windows(2).all(|w| w[0] < w[1]));
+            let mids: Vec<f64> = t.iter().map(|e| e.snr_midpoint_db).collect();
+            assert!(mids.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn x60_codeword_sizes_in_paper_range() {
+        let t = McsTable::x60();
+        for e in t.iter() {
+            assert!((180..=1080).contains(&e.codeword_bytes));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_rates() {
+        let e = |i: usize, r: f64| McsEntry {
+            index: i,
+            rate_mbps: r,
+            snr_midpoint_db: 0.0,
+            codeword_bytes: 100,
+        };
+        McsTable::new("bad", vec![e(0, 500.0), e(1, 400.0)]);
+    }
+}

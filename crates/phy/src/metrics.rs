@@ -1,0 +1,197 @@
+//! PHY-layer metric extraction: power delay profiles, CSI estimates, and
+//! the similarity measures of paper §6.1.
+//!
+//! X60 logs, per frame: SNR, noise level, PDP, and CDR; ToF is measured
+//! offline (§5.1). This module turns a channel observation
+//! ([`BeamPairResponse`]) into the discretized PDP the hardware would
+//! log, and computes the derived quantities:
+//!
+//! * **PDP** — 64 power bins of 2 ns (the resolution of a ~500 Msps
+//!   correlator), aligned to the first arriving tap.
+//! * **CSI estimate** — `|FFT(PDP)|`: the paper cannot measure CSI on a
+//!   single-carrier PHY and instead FFTs the PDP into the frequency
+//!   domain (§6.1, "FFT PDP Similarity", Fig. 7).
+//! * **Similarity** — Pearson correlation between two instances of a
+//!   metric, following [55].
+
+use libra_channel::BeamPairResponse;
+use libra_util::fft::magnitude_spectrum;
+use libra_util::stats::pearson;
+use serde::{Deserialize, Serialize};
+
+/// Number of PDP bins logged per measurement.
+pub const PDP_BINS: usize = 64;
+
+/// PDP bin width, nanoseconds.
+pub const PDP_BIN_NS: f64 = 2.0;
+
+/// Relative noise floor of the PDP measurement: each bin carries at least
+/// this fraction of the strongest tap's power (correlator leakage).
+const PDP_FLOOR_REL: f64 = 1e-4;
+
+/// A discretized power delay profile (linear power per bin, mW).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerDelayProfile {
+    bins: Vec<f64>,
+}
+
+impl PowerDelayProfile {
+    /// Builds the PDP a receiver would log for the given channel
+    /// observation. Taps are binned by delay relative to the first
+    /// arrival; taps beyond the 128 ns window are folded into the last
+    /// bin (they are far too weak to matter by then).
+    pub fn from_response(resp: &BeamPairResponse) -> Self {
+        let mut bins = vec![0.0f64; PDP_BINS];
+        if let Some(first) = resp.taps.first() {
+            let t0 = first.delay_ns;
+            let mut peak_mw = 0.0f64;
+            for tap in &resp.taps {
+                let mw = 10f64.powf(tap.power_dbm / 10.0);
+                peak_mw = peak_mw.max(mw);
+                let bin = (((tap.delay_ns - t0) / PDP_BIN_NS) as usize).min(PDP_BINS - 1);
+                bins[bin] += mw;
+            }
+            // Correlator leakage floor.
+            let floor = peak_mw * PDP_FLOOR_REL;
+            for b in &mut bins {
+                *b += floor;
+            }
+        }
+        Self { bins }
+    }
+
+    /// Builds a PDP from raw bin powers (tests, deserialization).
+    pub fn from_bins(bins: Vec<f64>) -> Self {
+        assert_eq!(bins.len(), PDP_BINS, "PDP must have {PDP_BINS} bins");
+        Self { bins }
+    }
+
+    /// Linear bin powers, mW.
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// The CSI estimate: magnitude of the FFT of the (amplitude) profile.
+    ///
+    /// Only the first half of the spectrum is kept (the input is real, so
+    /// the spectrum is conjugate-symmetric and the second half carries no
+    /// information).
+    pub fn csi_estimate(&self) -> Vec<f64> {
+        let amplitudes: Vec<f64> = self.bins.iter().map(|&p| p.max(0.0).sqrt()).collect();
+        let spec = magnitude_spectrum(&amplitudes);
+        spec[..PDP_BINS / 2].to_vec()
+    }
+
+    /// Pearson similarity between two PDPs (paper Fig. 6).
+    pub fn similarity(&self, other: &PowerDelayProfile) -> f64 {
+        pearson(&self.bins, &other.bins)
+    }
+
+    /// Pearson similarity between the CSI estimates of two PDPs
+    /// (paper Fig. 7).
+    pub fn csi_similarity(&self, other: &PowerDelayProfile) -> f64 {
+        pearson(&self.csi_estimate(), &other.csi_estimate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_channel::{Material, Point, Pose, Room, Scene};
+    use libra_arrays::BeamPattern;
+
+    fn scene(dist: f64) -> Scene {
+        let room = Room::rectangular("t", 30.0, 3.0, [Material::Drywall; 4]);
+        Scene::new(
+            room,
+            Pose::new(Point::new(1.0, 1.5), 0.0),
+            Pose::new(Point::new(1.0 + dist, 1.5), 180.0),
+        )
+    }
+
+    fn quasi_resp(dist: f64) -> BeamPairResponse {
+        scene(dist).response(&BeamPattern::quasi_omni(), &BeamPattern::quasi_omni())
+    }
+
+    #[test]
+    fn pdp_has_64_bins_and_energy() {
+        let pdp = PowerDelayProfile::from_response(&quasi_resp(10.0));
+        assert_eq!(pdp.bins().len(), PDP_BINS);
+        assert!(pdp.bins().iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn first_bin_holds_los() {
+        let pdp = PowerDelayProfile::from_response(&quasi_resp(10.0));
+        let max_bin = pdp
+            .bins()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_bin, 0, "LOS should be first and strongest");
+    }
+
+    #[test]
+    fn multipath_spreads_energy_over_bins() {
+        let pdp = PowerDelayProfile::from_response(&quasi_resp(10.0));
+        let occupied = pdp.bins().iter().filter(|&&p| p > pdp.bins()[0] * 1e-3).count();
+        assert!(occupied >= 2, "only {occupied} occupied bins");
+    }
+
+    #[test]
+    fn identical_states_similarity_one() {
+        let pdp1 = PowerDelayProfile::from_response(&quasi_resp(10.0));
+        let pdp2 = PowerDelayProfile::from_response(&quasi_resp(10.0));
+        assert!((pdp1.similarity(&pdp2) - 1.0).abs() < 1e-9);
+        assert!((pdp1.csi_similarity(&pdp2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdp_similarity_stays_high_across_small_moves() {
+        // The paper: 60 GHz channels are sparse, so PDP similarity is
+        // high (≥ 0.65 always, ≥ 0.9 in most cases) even across states.
+        let a = PowerDelayProfile::from_response(&quasi_resp(10.0));
+        let b = PowerDelayProfile::from_response(&quasi_resp(11.0));
+        assert!(a.similarity(&b) > 0.65, "got {}", a.similarity(&b));
+    }
+
+    #[test]
+    fn csi_more_discriminative_than_pdp() {
+        // Frequency-domain similarity should vary more than time-domain
+        // similarity for a displaced receiver (paper Figs 6–7).
+        let a = PowerDelayProfile::from_response(&quasi_resp(10.0));
+        let b = PowerDelayProfile::from_response(&quasi_resp(14.0));
+        let d_pdp = 1.0 - a.similarity(&b);
+        let d_csi = 1.0 - a.csi_similarity(&b);
+        assert!(d_csi > d_pdp, "csi delta {d_csi} <= pdp delta {d_pdp}");
+    }
+
+    #[test]
+    fn empty_response_gives_flat_pdp() {
+        let resp = BeamPairResponse {
+            taps: vec![],
+            signal_power_dbm: f64::NEG_INFINITY,
+            thermal_noise_dbm: -74.0,
+            interference_dbm: f64::NEG_INFINITY,
+            effective_noise_dbm: -74.0,
+            snr_db: f64::NEG_INFINITY,
+            tof_ns: f64::INFINITY,
+        };
+        let pdp = PowerDelayProfile::from_response(&resp);
+        assert!(pdp.bins().iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn csi_estimate_is_half_spectrum() {
+        let pdp = PowerDelayProfile::from_response(&quasi_resp(8.0));
+        assert_eq!(pdp.csi_estimate().len(), PDP_BINS / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "64 bins")]
+    fn from_bins_validates_length() {
+        PowerDelayProfile::from_bins(vec![0.0; 10]);
+    }
+}

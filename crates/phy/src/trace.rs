@@ -1,0 +1,275 @@
+//! Per-frame PHY trace generation.
+//!
+//! X60 "logs all these metrics for every frame" (§5.1); the dataset
+//! entries and the trace-based simulation of §8 are built from 1 s (100
+//! frame) logs. This module generates those logs: given a channel
+//! observation and an MCS, it produces a sequence of [`FrameLog`]s with
+//! realistic frame-to-frame variation:
+//!
+//! * SNR follows an AR(1) process around the deterministic mean (thermal
+//!   drift, micro-motion);
+//! * delivered codewords are drawn from a binomial with the per-frame
+//!   error probability (normal approximation — frames carry thousands of
+//!   codewords);
+//! * the noise-level reading carries measurement jitter (the paper notes
+//!   X60's noise readings "span a large range ... even in the absence of
+//!   interference", §6.2).
+
+use crate::error_model::ErrorModel;
+use crate::framing::FrameConfig;
+use crate::mcs::{McsIndex, McsTable};
+use libra_channel::BeamPairResponse;
+use rand::Rng;
+use libra_util::rng::standard_normal as sample_standard_normal;
+use serde::{Deserialize, Serialize};
+
+/// What one frame's log line carries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameLog {
+    /// Measured SNR for this frame, dB.
+    pub snr_db: f64,
+    /// Measured noise level, dBm.
+    pub noise_dbm: f64,
+    /// Codeword delivery ratio in this frame, `[0, 1]`.
+    pub cdr: f64,
+    /// MAC throughput achieved by this frame, Mbps.
+    pub tput_mbps: f64,
+    /// MCS used.
+    pub mcs: McsIndex,
+}
+
+/// Stochastic parameters of the trace generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceJitter {
+    /// Standard deviation of the AR(1) SNR process, dB.
+    pub snr_sigma_db: f64,
+    /// AR(1) coefficient (`0` = white, `→1` = slow drift).
+    pub snr_rho: f64,
+    /// Noise-level measurement jitter, dB.
+    pub noise_sigma_db: f64,
+}
+
+impl Default for TraceJitter {
+    fn default() -> Self {
+        Self { snr_sigma_db: 0.5, snr_rho: 0.7, noise_sigma_db: 1.5 }
+    }
+}
+
+impl TraceJitter {
+    /// No jitter at all (deterministic traces for tests/ablations).
+    pub fn none() -> Self {
+        Self { snr_sigma_db: 0.0, snr_rho: 0.0, noise_sigma_db: 0.0 }
+    }
+}
+
+/// Generates `n_frames` frame logs for transmitting at `mcs` over the
+/// channel `resp`.
+pub fn generate_trace(
+    table: &McsTable,
+    model: &ErrorModel,
+    frame: &FrameConfig,
+    resp: &BeamPairResponse,
+    mcs: McsIndex,
+    n_frames: usize,
+    jitter: &TraceJitter,
+    rng: &mut impl Rng,
+) -> Vec<FrameLog> {
+    let entry = table.get(mcs);
+    let spread = resp.rms_delay_spread_ns();
+    let cw_per_frame = frame.codewords_per_frame() as f64;
+    let mut ar_state = 0.0f64;
+    // Innovation sd so the AR(1) process has stationary sd = snr_sigma.
+    let innov_sd = jitter.snr_sigma_db * (1.0 - jitter.snr_rho * jitter.snr_rho).sqrt();
+    (0..n_frames)
+        .map(|_| {
+            ar_state = jitter.snr_rho * ar_state + innov_sd * sample_standard_normal(rng);
+            let snr = resp.snr_db + ar_state;
+            let noise =
+                resp.effective_noise_dbm + jitter.noise_sigma_db * sample_standard_normal(rng);
+            let p = model.cdr(entry, snr, spread).clamp(0.0, 1.0);
+            // Binomial(n, p) via normal approximation (n ≈ 9200).
+            let mean = cw_per_frame * p;
+            let sd = (cw_per_frame * p * (1.0 - p)).sqrt();
+            let delivered =
+                (mean + sd * sample_standard_normal(rng)).round().clamp(0.0, cw_per_frame);
+            let cdr = delivered / cw_per_frame;
+            FrameLog { snr_db: snr, noise_dbm: noise, cdr, tput_mbps: entry.rate_mbps * cdr, mcs }
+        })
+        .collect()
+}
+
+/// Mean throughput over a trace, Mbps.
+pub fn trace_mean_tput_mbps(trace: &[FrameLog]) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    trace.iter().map(|f| f.tput_mbps).sum::<f64>() / trace.len() as f64
+}
+
+/// Mean CDR over a trace.
+pub fn trace_mean_cdr(trace: &[FrameLog]) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    trace.iter().map(|f| f.cdr).sum::<f64>() / trace.len() as f64
+}
+
+/// Mean SNR over a trace, dB.
+pub fn trace_mean_snr_db(trace: &[FrameLog]) -> f64 {
+    if trace.is_empty() {
+        return f64::NAN;
+    }
+    trace.iter().map(|f| f.snr_db).sum::<f64>() / trace.len() as f64
+}
+
+/// Mean noise level over a trace, dBm.
+pub fn trace_mean_noise_dbm(trace: &[FrameLog]) -> f64 {
+    if trace.is_empty() {
+        return f64::NAN;
+    }
+    trace.iter().map(|f| f.noise_dbm).sum::<f64>() / trace.len() as f64
+}
+
+pub use libra_util::rng::standard_normal;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_util::rng::rng_from_seed;
+
+    fn resp_at(snr: f64) -> BeamPairResponse {
+        BeamPairResponse {
+            taps: vec![],
+            signal_power_dbm: snr - 74.0,
+            thermal_noise_dbm: -74.0,
+            interference_dbm: f64::NEG_INFINITY,
+            effective_noise_dbm: -74.0,
+            snr_db: snr,
+            tof_ns: 20.0,
+        }
+    }
+
+    #[test]
+    fn trace_length_and_mcs() {
+        let mut rng = rng_from_seed(1);
+        let t = McsTable::x60();
+        let logs = generate_trace(
+            &t,
+            &ErrorModel::default(),
+            &FrameConfig::x60(),
+            &resp_at(25.0),
+            4,
+            100,
+            &TraceJitter::default(),
+            &mut rng,
+        );
+        assert_eq!(logs.len(), 100);
+        assert!(logs.iter().all(|l| l.mcs == 4));
+    }
+
+    #[test]
+    fn high_snr_mean_cdr_near_one() {
+        let mut rng = rng_from_seed(3);
+        let t = McsTable::x60();
+        let logs = generate_trace(
+            &t,
+            &ErrorModel::default(),
+            &FrameConfig::x60(),
+            &resp_at(35.0),
+            8,
+            200,
+            &TraceJitter::default(),
+            &mut rng,
+        );
+        assert!(trace_mean_cdr(&logs) > 0.99);
+        assert!(trace_mean_tput_mbps(&logs) > 4700.0);
+    }
+
+    #[test]
+    fn low_snr_trace_delivers_nothing() {
+        let mut rng = rng_from_seed(4);
+        let t = McsTable::x60();
+        let logs = generate_trace(
+            &t,
+            &ErrorModel::default(),
+            &FrameConfig::x60(),
+            &resp_at(2.0),
+            8,
+            200,
+            &TraceJitter::default(),
+            &mut rng,
+        );
+        assert!(trace_mean_cdr(&logs) < 0.01);
+    }
+
+    #[test]
+    fn no_jitter_is_deterministic() {
+        let t = McsTable::x60();
+        let run = |seed| {
+            let mut rng = rng_from_seed(seed);
+            generate_trace(
+                &t,
+                &ErrorModel::default(),
+                &FrameConfig::x60(),
+                &resp_at(20.0),
+                5,
+                50,
+                &TraceJitter::none(),
+                &mut rng,
+            )
+        };
+        let a = run(1);
+        let b = run(999);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.snr_db, y.snr_db);
+            assert_eq!(x.cdr, y.cdr);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_trace() {
+        let t = McsTable::x60();
+        let run = || {
+            let mut rng = rng_from_seed(77);
+            generate_trace(
+                &t,
+                &ErrorModel::default(),
+                &FrameConfig::x60(),
+                &resp_at(15.0),
+                3,
+                50,
+                &TraceJitter::default(),
+                &mut rng,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn snr_jitter_has_right_scale() {
+        let mut rng = rng_from_seed(5);
+        let t = McsTable::x60();
+        let logs = generate_trace(
+            &t,
+            &ErrorModel::default(),
+            &FrameConfig::x60(),
+            &resp_at(20.0),
+            5,
+            5000,
+            &TraceJitter::default(),
+            &mut rng,
+        );
+        let snrs: Vec<f64> = logs.iter().map(|l| l.snr_db).collect();
+        let sd = libra_util::stats::stddev(&snrs);
+        assert!((sd - 0.5).abs() < 0.1, "AR(1) sd {sd}");
+        assert!((trace_mean_snr_db(&logs) - 20.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng_from_seed(6);
+        let xs: Vec<f64> = (0..20000).map(|_| standard_normal(&mut rng)).collect();
+        assert!(libra_util::stats::mean(&xs).abs() < 0.03);
+        assert!((libra_util::stats::stddev(&xs) - 1.0).abs() < 0.03);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the PHY model.
+
+use libra_channel::{BeamPairResponse, Tap};
+use libra_phy::metrics::{PowerDelayProfile, PDP_BINS};
+use libra_phy::trace::{generate_trace, trace_mean_cdr};
+use libra_phy::{ErrorModel, FrameConfig, McsTable, TraceJitter};
+use libra_util::rng::rng_from_seed;
+use proptest::prelude::*;
+
+fn resp_at(snr: f64, taps: Vec<Tap>) -> BeamPairResponse {
+    BeamPairResponse {
+        taps,
+        signal_power_dbm: snr - 74.0,
+        thermal_noise_dbm: -74.0,
+        interference_dbm: f64::NEG_INFINITY,
+        effective_noise_dbm: -74.0,
+        snr_db: snr,
+        tof_ns: 10.0,
+    }
+}
+
+proptest! {
+    /// CER is a probability, decreasing in SNR, increasing in MCS order
+    /// (at fixed SNR above the ladder), and increasing in delay spread.
+    #[test]
+    fn cer_is_probability_and_monotone(
+        snr in -10.0f64..40.0,
+        spread in 0.0f64..20.0,
+        mcs in 0usize..9,
+    ) {
+        let t = McsTable::x60();
+        let m = ErrorModel::default();
+        let e = t.get(mcs);
+        let cer = m.cer(e, snr, spread);
+        prop_assert!((0.0..=1.0).contains(&cer));
+        // More SNR → no worse.
+        prop_assert!(m.cer(e, snr + 1.0, spread) <= cer + 1e-12);
+        // More delay spread → no better.
+        prop_assert!(m.cer(e, snr, spread + 1.0) >= cer - 1e-12);
+    }
+
+    /// Expected throughput never exceeds the PHY rate and is
+    /// non-negative.
+    #[test]
+    fn throughput_bounded(snr in -10.0f64..40.0, spread in 0.0f64..20.0, mcs in 0usize..9) {
+        let t = McsTable::x60();
+        let m = ErrorModel::default();
+        let e = t.get(mcs);
+        let tput = m.expected_throughput_mbps(e, snr, spread);
+        prop_assert!(tput >= 0.0 && tput <= e.rate_mbps + 1e-9);
+    }
+
+    /// `best_mcs` is truly the argmax over the table.
+    #[test]
+    fn best_mcs_is_argmax(snr in -5.0f64..35.0) {
+        let t = McsTable::x60();
+        let m = ErrorModel::default();
+        let resp = resp_at(snr, vec![]);
+        let best = m.best_mcs(&t, &resp);
+        let best_tput = m.throughput_for_response(&t, best, &resp);
+        for e in t.iter() {
+            prop_assert!(
+                best_tput >= m.throughput_for_response(&t, e.index, &resp) - 1e-9
+            );
+        }
+    }
+
+    /// A generated trace's mean CDR concentrates near the model's
+    /// expected CDR (law of large numbers over ~9200 codewords/frame).
+    #[test]
+    fn trace_cdr_concentrates(snr in 0.0f64..30.0, mcs in 0usize..9, seed in 0u64..1000) {
+        let t = McsTable::x60();
+        let m = ErrorModel::default();
+        let f = FrameConfig::x60();
+        let resp = resp_at(snr, vec![]);
+        let mut rng = rng_from_seed(seed);
+        let trace = generate_trace(&t, &m, &f, &resp, mcs, 60, &TraceJitter::none(), &mut rng);
+        let expect = m.cdr(t.get(mcs), snr, 0.0);
+        let got = trace_mean_cdr(&trace);
+        prop_assert!((got - expect).abs() < 0.05, "expect {expect} got {got}");
+    }
+
+    /// Frame logs never report impossible values.
+    #[test]
+    fn frame_logs_in_range(snr in -5.0f64..35.0, mcs in 0usize..9, seed in 0u64..50) {
+        let t = McsTable::x60();
+        let m = ErrorModel::default();
+        let f = FrameConfig::x60();
+        let resp = resp_at(snr, vec![]);
+        let mut rng = rng_from_seed(seed);
+        let trace =
+            generate_trace(&t, &m, &f, &resp, mcs, 30, &TraceJitter::default(), &mut rng);
+        for log in &trace {
+            prop_assert!((0.0..=1.0).contains(&log.cdr));
+            prop_assert!(log.tput_mbps >= 0.0);
+            prop_assert!(log.tput_mbps <= t.get(mcs).rate_mbps + 1e-9);
+            prop_assert!(log.snr_db.is_finite());
+        }
+    }
+
+    /// PDP bins are non-negative; CSI estimates are non-negative and the
+    /// DC bin carries the total amplitude.
+    #[test]
+    fn pdp_and_csi_non_negative(powers in prop::collection::vec(-90.0f64..-40.0, 1..6)) {
+        let taps: Vec<Tap> = powers
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Tap {
+                delay_ns: 10.0 + 3.0 * i as f64,
+                power_dbm: p,
+                aod_local_deg: 0.0,
+                aoa_local_deg: 0.0,
+                order: i.min(2),
+            })
+            .collect();
+        let pdp = PowerDelayProfile::from_response(&resp_at(20.0, taps));
+        prop_assert_eq!(pdp.bins().len(), PDP_BINS);
+        prop_assert!(pdp.bins().iter().all(|&b| b >= 0.0));
+        let csi = pdp.csi_estimate();
+        prop_assert!(csi.iter().all(|&c| c >= -1e-12));
+        // DC bin = sum of amplitudes ≥ any other bin magnitude.
+        prop_assert!(csi.iter().all(|&c| c <= csi[0] + 1e-9));
+    }
+
+    /// Self-similarity is always exactly 1 for a non-degenerate PDP.
+    #[test]
+    fn pdp_self_similarity(powers in prop::collection::vec(-90.0f64..-40.0, 2..6)) {
+        let taps: Vec<Tap> = powers
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Tap {
+                delay_ns: 10.0 + 4.0 * i as f64,
+                power_dbm: p,
+                aod_local_deg: 0.0,
+                aoa_local_deg: 0.0,
+                order: 0,
+            })
+            .collect();
+        let pdp = PowerDelayProfile::from_response(&resp_at(20.0, taps));
+        prop_assert!((pdp.similarity(&pdp) - 1.0).abs() < 1e-9);
+        prop_assert!((pdp.csi_similarity(&pdp) - 1.0).abs() < 1e-9);
+    }
+
+    /// Frame config arithmetic is self-consistent for any FAT.
+    #[test]
+    fn frame_config_consistent(fat_ms in 0.5f64..50.0) {
+        let f = FrameConfig::with_fat_ms(fat_ms);
+        prop_assert!((f.frame_duration_ms() - fat_ms).abs() < 1e-9);
+        prop_assert!(f.codewords_per_frame() > 0);
+        let full = f.bytes_per_frame(1000.0, 1.0);
+        let half = f.bytes_per_frame(1000.0, 0.5);
+        prop_assert!((full - 2.0 * half).abs() < 1e-6);
+    }
+}

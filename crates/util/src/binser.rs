@@ -1,0 +1,645 @@
+//! A minimal self-describing binary serialization format over serde.
+//!
+//! The allowed dependency set has `serde` but no format crate, so this
+//! module provides one: a compact little-endian binary encoding
+//! (bincode-like) sufficient for every type in this workspace — datasets,
+//! trained models, experiment results. It supports the full serde data
+//! model except `deserialize_any` (the format is not self-describing by
+//! type, like bincode).
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//! use libra_util::binser;
+//!
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct Model { weights: Vec<f64>, name: String }
+//!
+//! let m = Model { weights: vec![1.0, 2.5], name: "rf".into() };
+//! let bytes = binser::to_bytes(&m).unwrap();
+//! let back: Model = binser::from_bytes(&bytes).unwrap();
+//! assert_eq!(m, back);
+//! ```
+
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "binser: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes a value to bytes.
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    let mut ser = BinSerializer { out: Vec::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Deserializes a value from bytes produced by [`to_bytes`].
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let mut de = BinDeserializer { input: bytes, pos: 0 };
+    let value = T::deserialize(&mut de)?;
+    if de.pos != bytes.len() {
+        return Err(Error(format!("{} trailing bytes", bytes.len() - de.pos)));
+    }
+    Ok(value)
+}
+
+/// Writes a value to a file, creating parent directories.
+pub fn write_file<T: Serialize>(path: impl AsRef<std::path::Path>, value: &T) -> Result<(), Error> {
+    let bytes = to_bytes(value)?;
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent).map_err(|e| Error(e.to_string()))?;
+    }
+    std::fs::write(path, bytes).map_err(|e| Error(e.to_string()))
+}
+
+/// Reads a value from a file written by [`write_file`].
+pub fn read_file<T: DeserializeOwned>(path: impl AsRef<std::path::Path>) -> Result<T, Error> {
+    let bytes = std::fs::read(path).map_err(|e| Error(e.to_string()))?;
+    from_bytes(&bytes)
+}
+
+// ---------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------
+
+struct BinSerializer {
+    out: Vec<u8>,
+}
+
+impl BinSerializer {
+    fn put_u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_len(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut BinSerializer {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), Error> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), Error> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), Error> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), Error> {
+        self.out.push(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), Error> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), Error> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.put_u64(v);
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), Error> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), Error> {
+        self.serialize_u32(v as u32)
+    }
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push(0);
+        Ok(())
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Error> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), Error> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), Error> {
+        self.serialize_u32(variant_index)
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, Error> {
+        let len = len.ok_or_else(|| Error("sequences need a known length".into()))?;
+        self.put_len(len);
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self, Error> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, Error> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, Error> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, Error> {
+        let len = len.ok_or_else(|| Error("maps need a known length".into()))?;
+        self.put_len(len);
+        Ok(self)
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, Error> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, Error> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+}
+
+macro_rules! impl_compound_ser {
+    ($trait:path, $method:ident $(, $key_method:ident)?) => {
+        impl<'a> $trait for &'a mut BinSerializer {
+            type Ok = ();
+            type Error = Error;
+            $(fn $key_method<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Error> {
+                key.serialize(&mut **self)
+            })?
+            fn $method<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+                value.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), Error> {
+                Ok(())
+            }
+        }
+    };
+}
+
+impl_compound_ser!(ser::SerializeSeq, serialize_element);
+impl_compound_ser!(ser::SerializeTuple, serialize_element);
+impl_compound_ser!(ser::SerializeTupleStruct, serialize_field);
+impl_compound_ser!(ser::SerializeTupleVariant, serialize_field);
+impl_compound_ser!(ser::SerializeMap, serialize_value, serialize_key);
+
+impl<'a> ser::SerializeStruct for &'a mut BinSerializer {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeStructVariant for &'a mut BinSerializer {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserializer
+// ---------------------------------------------------------------------
+
+struct BinDeserializer<'de> {
+    input: &'de [u8],
+    pos: usize,
+}
+
+impl<'de> BinDeserializer<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], Error> {
+        if self.pos + n > self.input.len() {
+            return Err(Error(format!(
+                "unexpected end of input (need {n} at {}/{})",
+                self.pos,
+                self.input.len()
+            )));
+        }
+        let s = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn get_u64(&mut self) -> Result<u64, Error> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn get_len(&mut self) -> Result<usize, Error> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| Error("length overflow".into()))
+    }
+}
+
+macro_rules! de_num {
+    ($method:ident, $visit:ident, $ty:ty, $n:expr) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            let bytes = self.take($n)?;
+            visitor.$visit(<$ty>::from_le_bytes(bytes.try_into().expect("sized")))
+        }
+    };
+}
+
+impl<'de, 'a> de::Deserializer<'de> for &'a mut BinDeserializer<'de> {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
+        Err(Error("binser is not self-describing (deserialize_any unsupported)".into()))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let b = self.take(1)?[0];
+        visitor.visit_bool(b != 0)
+    }
+
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_i8(self.take(1)?[0] as i8)
+    }
+    de_num!(deserialize_i16, visit_i16, i16, 2);
+    de_num!(deserialize_i32, visit_i32, i32, 4);
+    de_num!(deserialize_i64, visit_i64, i64, 8);
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_u8(self.take(1)?[0])
+    }
+    de_num!(deserialize_u16, visit_u16, u16, 2);
+    de_num!(deserialize_u32, visit_u32, u32, 4);
+    de_num!(deserialize_u64, visit_u64, u64, 8);
+    de_num!(deserialize_f32, visit_f32, f32, 4);
+    de_num!(deserialize_f64, visit_f64, f64, 8);
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let v = u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes"));
+        visitor.visit_char(char::from_u32(v).ok_or_else(|| Error("invalid char".into()))?)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let len = self.get_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let len = self.get_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            other => Err(Error(format!("invalid option tag {other}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let len = self.get_len()?;
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        let len = self.get_len()?;
+        visitor.visit_map(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
+        Err(Error("identifiers are positional in binser".into()))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
+        Err(Error("cannot skip unknown fields in a positional format".into()))
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+    remaining: usize,
+}
+
+impl<'a, 'de> de::SeqAccess<'de> for Counted<'a, 'de> {
+    type Error = Error;
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Error> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'a, 'de> de::MapAccess<'de> for Counted<'a, 'de> {
+    type Error = Error;
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Error> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, Error> {
+        seed.deserialize(&mut *self.de)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = Error;
+    type Variant = Self;
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), Error> {
+        let idx = u32::from_le_bytes(self.de.take(4)?.try_into().expect("4 bytes"));
+        let value = seed.deserialize(IntoDeserializer::<Error>::into_deserializer(idx))?;
+        Ok((value, self))
+    }
+}
+
+impl<'a, 'de> de::VariantAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = Error;
+    fn unit_variant(self) -> Result<(), Error> {
+        Ok(())
+    }
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, Error> {
+        seed.deserialize(self.de)
+    }
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, Error> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + fmt::Debug>(v: &T) {
+        let bytes = to_bytes(v).expect("serialize");
+        let back: T = from_bytes(&bytes).expect("deserialize");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives() {
+        roundtrip(&true);
+        roundtrip(&42u8);
+        roundtrip(&-7i32);
+        roundtrip(&u64::MAX);
+        roundtrip(&3.25f64);
+        roundtrip(&f64::NEG_INFINITY);
+        roundtrip(&'λ');
+        roundtrip(&"hello world".to_string());
+    }
+
+    #[test]
+    fn collections() {
+        roundtrip(&vec![1.5f64, -2.0, 0.0]);
+        roundtrip(&vec![vec![1u32, 2], vec![], vec![3]]);
+        roundtrip(&Some(9i64));
+        roundtrip(&Option::<String>::None);
+        roundtrip(&(1u8, "two".to_string(), 3.0f32));
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2);
+        roundtrip(&m);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Kind {
+        Unit,
+        Newtype(f64),
+        Tuple(u8, u8),
+        Struct { x: i32, label: String },
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Nested {
+        kinds: Vec<Kind>,
+        grid: Vec<Vec<f64>>,
+        maybe: Option<Box<Nested>>,
+    }
+
+    #[test]
+    fn enums_and_nesting() {
+        roundtrip(&Kind::Unit);
+        roundtrip(&Kind::Newtype(2.5));
+        roundtrip(&Kind::Tuple(1, 2));
+        roundtrip(&Kind::Struct { x: -3, label: "hi".into() });
+        let inner = Nested { kinds: vec![Kind::Unit], grid: vec![vec![1.0]], maybe: None };
+        roundtrip(&Nested {
+            kinds: vec![Kind::Newtype(0.5), Kind::Tuple(9, 8)],
+            grid: vec![vec![], vec![1.0, 2.0]],
+            maybe: Some(Box::new(inner)),
+        });
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&1u8).unwrap();
+        bytes.push(0xFF);
+        let r: Result<u8, _> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = to_bytes(&12345u64).unwrap();
+        let r: Result<u64, _> = from_bytes(&bytes[..4]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn invalid_option_tag_rejected() {
+        let r: Result<Option<u8>, _> = from_bytes(&[7]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("libra-binser-test");
+        let path = dir.join("value.bin");
+        let v = vec![(1u32, "x".to_string()), (2, "y".to_string())];
+        write_file(&path, &v).unwrap();
+        let back: Vec<(u32, String)> = read_file(&path).unwrap();
+        assert_eq!(back, v);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,155 @@
+//! Minimal CSV reading/writing.
+//!
+//! Dataset exports and figure series are written as CSV so they can be fed
+//! to external plotting tools. The format here is deliberately simple:
+//! comma-separated, quotes around fields containing commas/quotes/newlines,
+//! `"` escaped by doubling — the common subset every CSV consumer accepts.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Serialises rows of string-able cells into CSV text.
+#[derive(Debug, Clone, Default)]
+pub struct CsvWriter {
+    buf: String,
+}
+
+impl CsvWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one row.
+    pub fn row<S: AsRef<str>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut first = true;
+        for cell in cells {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            self.buf.push_str(&escape(cell.as_ref()));
+        }
+        self.buf.push('\n');
+        self
+    }
+
+    /// Appends a row of floats formatted with `digits` decimals.
+    pub fn row_f(&mut self, cells: &[f64], digits: usize) -> &mut Self {
+        let mut first = true;
+        for &c in cells {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            let _ = write!(self.buf, "{c:.digits$}");
+        }
+        self.buf.push('\n');
+        self
+    }
+
+    /// The CSV text accumulated so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Writes the accumulated CSV to a file, creating parent directories.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        File::create(path)?.write_all(self.buf.as_bytes())
+    }
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Parses CSV text into rows of fields (supporting the quoting rules
+/// produced by [`CsvWriter`]). Used by tests and by dataset re-loading.
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\r' => {}
+                other => field.push(other),
+            }
+        }
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut w = CsvWriter::new();
+        w.row(["a", "b", "c"]).row(["1", "2", "3"]);
+        let rows = parse_csv(w.as_str());
+        assert_eq!(rows, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn roundtrip_quoted() {
+        let mut w = CsvWriter::new();
+        w.row(["plain", "with,comma", "with\"quote", "multi\nline"]);
+        let rows = parse_csv(w.as_str());
+        assert_eq!(rows[0], vec!["plain", "with,comma", "with\"quote", "multi\nline"]);
+    }
+
+    #[test]
+    fn row_f_formats_digits() {
+        let mut w = CsvWriter::new();
+        w.row_f(&[1.23456, 2.0], 3);
+        assert_eq!(w.as_str(), "1.235,2.000\n");
+    }
+
+    #[test]
+    fn parse_handles_crlf() {
+        let rows = parse_csv("a,b\r\nc,d\r\n");
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn parse_empty_is_empty() {
+        assert!(parse_csv("").is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Decibel/linear conversions and 60 GHz physical constants.
+//!
+//! The propagation and PHY models work in dB / dBm almost everywhere (the
+//! paper reports SNR and noise levels in dB). These helpers keep the
+//! conversions in one place and give the constants descriptive names with
+//! explicit units.
+
+/// Speed of light in metres per second.
+pub const SPEED_OF_LIGHT_M_PER_S: f64 = 299_792_458.0;
+
+/// Carrier frequency used by 802.11ad / the X60 testbed, in hertz.
+pub const CARRIER_FREQ_HZ: f64 = 60.48e9;
+
+/// Carrier wavelength at 60.48 GHz, in metres (≈ 4.96 mm).
+pub const WAVELENGTH_M: f64 = SPEED_OF_LIGHT_M_PER_S / CARRIER_FREQ_HZ;
+
+/// Channel bandwidth of an 802.11ad / X60 channel, in hertz (2 GHz wide,
+/// of which ~1.76 GHz is occupied; we use the nominal 1.76 GHz for noise).
+pub const CHANNEL_BANDWIDTH_HZ: f64 = 1.76e9;
+
+/// Thermal noise power spectral density at 290 K, in dBm per hertz.
+pub const THERMAL_NOISE_DBM_PER_HZ: f64 = -173.93;
+
+/// Typical receiver noise figure for a 60 GHz front end, in dB.
+pub const NOISE_FIGURE_DB: f64 = 7.0;
+
+/// Thermal noise floor over the full 802.11ad channel including the noise
+/// figure, in dBm: `-173.93 + 10·log10(1.76e9) + 7 ≈ -74.5 dBm`.
+pub fn noise_floor_dbm() -> f64 {
+    THERMAL_NOISE_DBM_PER_HZ + 10.0 * CHANNEL_BANDWIDTH_HZ.log10() + NOISE_FIGURE_DB
+}
+
+/// Converts a power ratio from decibels to linear scale.
+#[inline]
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to decibels.
+///
+/// Returns `f64::NEG_INFINITY` for non-positive inputs, which models a
+/// signal below any measurable level (the X60 logs report such values as
+/// "infinite" ToF / unmeasurable SNR; see paper §6.1.1).
+#[inline]
+pub fn linear_to_db(linear: f64) -> f64 {
+    if linear <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * linear.log10()
+    }
+}
+
+/// Converts dBm to milliwatts.
+#[inline]
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    db_to_linear(dbm)
+}
+
+/// Converts milliwatts to dBm (`NEG_INFINITY` for non-positive input).
+#[inline]
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    linear_to_db(mw)
+}
+
+/// Free-space (Friis) path loss at 60 GHz over `distance_m` metres, in dB.
+///
+/// `PL(d) = 20·log10(4πd/λ)`. At 1 m this is ≈ 68 dB, which is the usual
+/// headline number for the 60 GHz band and the reason mmWave links need
+/// directional antenna gain to close the budget.
+pub fn friis_path_loss_db(distance_m: f64) -> f64 {
+    debug_assert!(distance_m > 0.0, "distance must be positive");
+    20.0 * (4.0 * std::f64::consts::PI * distance_m / WAVELENGTH_M).log10()
+}
+
+/// Sums a slice of powers expressed in dBm, returning the total in dBm.
+///
+/// Powers are summed in the linear domain; an empty slice yields
+/// `NEG_INFINITY` (no power).
+pub fn sum_powers_dbm(powers_dbm: &[f64]) -> f64 {
+    let total_mw: f64 = powers_dbm
+        .iter()
+        .copied()
+        .filter(|p| p.is_finite())
+        .map(dbm_to_mw)
+        .sum();
+    mw_to_dbm(total_mw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn db_roundtrip() {
+        for &x in &[-40.0, -3.0, 0.0, 3.0, 10.0, 30.0] {
+            assert!(close(linear_to_db(db_to_linear(x)), x, 1e-9));
+        }
+    }
+
+    #[test]
+    fn zero_linear_is_neg_infinity() {
+        assert_eq!(linear_to_db(0.0), f64::NEG_INFINITY);
+        assert_eq!(mw_to_dbm(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn three_db_doubles_power() {
+        assert!(close(db_to_linear(3.0103), 2.0, 1e-3));
+    }
+
+    #[test]
+    fn friis_at_one_metre_is_about_68_db() {
+        let pl = friis_path_loss_db(1.0);
+        assert!(close(pl, 68.0, 0.5), "got {pl}");
+    }
+
+    #[test]
+    fn friis_doubles_distance_adds_6_db() {
+        let d1 = friis_path_loss_db(5.0);
+        let d2 = friis_path_loss_db(10.0);
+        assert!(close(d2 - d1, 6.0206, 1e-3));
+    }
+
+    #[test]
+    fn noise_floor_matches_expectation() {
+        // -173.93 + 92.46 + 7 = -74.47 dBm
+        assert!(close(noise_floor_dbm(), -74.47, 0.1), "got {}", noise_floor_dbm());
+    }
+
+    #[test]
+    fn sum_powers_two_equal_adds_3db() {
+        let total = sum_powers_dbm(&[-60.0, -60.0]);
+        assert!(close(total, -56.9897, 1e-3));
+    }
+
+    #[test]
+    fn sum_powers_ignores_neg_infinity() {
+        let total = sum_powers_dbm(&[-60.0, f64::NEG_INFINITY]);
+        assert!(close(total, -60.0, 1e-9));
+    }
+
+    #[test]
+    fn sum_powers_empty_is_neg_infinity() {
+        assert_eq!(sum_powers_dbm(&[]), f64::NEG_INFINITY);
+    }
+}

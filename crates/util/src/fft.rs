@@ -1,0 +1,226 @@
+//! A small iterative radix-2 FFT.
+//!
+//! The paper estimates CSI on a single-carrier PHY by taking the FFT of the
+//! measured power delay profile (§6.1, "we also perform an FFT of the PDP
+//! to convert it from the time domain to the frequency domain and use it as
+//! an estimate of CSI"). PDPs in this reproduction are 64-tap vectors, so a
+//! textbook radix-2 Cooley–Tukey implementation is all that is needed.
+
+use std::ops::{Add, Mul, Sub};
+
+/// A complex number over `f64`. Minimal on purpose — only what the FFT and
+/// channel model need.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    pub const ZERO: Complex = Complex::new(0.0, 0.0);
+
+    /// `e^{iθ}` — a unit phasor at angle `theta` radians.
+    pub fn from_angle(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (power).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Multiplication by a real scalar.
+    pub fn scale(self, k: f64) -> Self {
+        Self { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two (zero-pad first; PDPs in
+/// this codebase are always 64 taps).
+pub fn fft_in_place(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real-valued signal, returning complex spectrum bins.
+///
+/// The input length must be a power of two.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// Magnitude spectrum of a real signal: `|FFT(x)|` per bin.
+///
+/// This is what the reproduction uses as the "CSI estimate" of a power
+/// delay profile (frequency-domain channel response magnitude).
+pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
+    fft_real(signal).into_iter().map(Complex::abs).collect()
+}
+
+/// Inverse in-place FFT (for testing round-trips).
+pub fn ifft_in_place(data: &mut [Complex]) {
+    for z in data.iter_mut() {
+        *z = z.conj();
+    }
+    fft_in_place(data);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.conj().scale(1.0 / n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut sig = vec![0.0; 8];
+        sig[0] = 1.0;
+        let spec = magnitude_spectrum(&sig);
+        assert!(spec.iter().all(|&m| close(m, 1.0)));
+    }
+
+    #[test]
+    fn fft_of_constant_is_dc_only() {
+        let spec = fft_real(&[1.0; 8]);
+        assert!(close(spec[0].re, 8.0));
+        assert!(spec[1..].iter().all(|z| z.abs() < 1e-9));
+    }
+
+    #[test]
+    fn fft_of_single_tone_peaks_at_bin() {
+        let n = 64;
+        let k = 5;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = magnitude_spectrum(&sig);
+        // Energy splits between bins k and n-k.
+        assert!(close(spec[k], n as f64 / 2.0));
+        assert!(close(spec[n - k], n as f64 / 2.0));
+        assert!(spec[k + 1] < 1e-9);
+    }
+
+    #[test]
+    fn fft_roundtrip_recovers_signal() {
+        let sig = [3.0, -1.0, 2.5, 0.0, 7.0, 7.0, -2.0, 1.0];
+        let mut buf: Vec<Complex> = sig.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        fft_in_place(&mut buf);
+        ifft_in_place(&mut buf);
+        for (orig, rec) in sig.iter().zip(&buf) {
+            assert!(close(*orig, rec.re));
+            assert!(rec.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::ZERO; 6];
+        fft_in_place(&mut data);
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let sig = [1.0, 2.0, 3.0, 4.0, 0.5, -0.5, 0.0, 2.0];
+        let time_energy: f64 = sig.iter().map(|x| x * x).sum();
+        let freq_energy: f64 =
+            fft_real(&sig).iter().map(|z| z.norm_sqr()).sum::<f64>() / sig.len() as f64;
+        assert!(close(time_energy, freq_energy));
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let p = a * b;
+        assert!(close(p.re, 5.0) && close(p.im, 5.0));
+        assert!(close((a + b).re, 4.0) && close((a - b).im, 3.0));
+        assert!(close(a.abs(), 5f64.sqrt()));
+    }
+}

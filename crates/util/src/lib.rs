@@ -1,0 +1,39 @@
+//! # libra-util
+//!
+//! Shared math and statistics utilities for the LiBRA 60 GHz link
+//! adaptation reproduction.
+//!
+//! The crate is deliberately dependency-light: everything here is a pure
+//! function or a small value type so that the simulation crates built on
+//! top stay deterministic and easy to test.
+//!
+//! Modules:
+//!
+//! - [`db`] — decibel/linear conversions and physical constants used by the
+//!   60 GHz propagation model (speed of light, wavelength, thermal noise).
+//! - [`stats`] — descriptive statistics, empirical CDFs, Pearson
+//!   correlation, and boxplot summaries used throughout the evaluation.
+//! - [`fft`] — a small radix-2 FFT used to convert power delay profiles to
+//!   frequency-domain CSI estimates (paper §6.1, "FFT PDP similarity").
+//! - [`rng`] — deterministic RNG construction helpers so every experiment
+//!   is reproducible from a single `u64` seed.
+//! - [`table`] — plain-text table rendering for the experiment harness.
+//! - [`csvio`] — minimal CSV writing for exporting datasets and figure
+//!   series without an external CSV dependency.
+//! - [`binser`] — a compact binary serde format (bincode-like) for
+//!   persisting datasets and trained models to disk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binser;
+pub mod csvio;
+pub mod db;
+pub mod fft;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use db::{db_to_linear, dbm_to_mw, linear_to_db, mw_to_dbm};
+pub use fft::Complex;
+pub use stats::{mean, pearson, percentile, stddev, BoxplotSummary, EmpiricalCdf};

@@ -1,0 +1,308 @@
+//! Descriptive statistics used throughout the evaluation harness.
+//!
+//! The paper reports its results as empirical CDFs (Figs 4–11), boxplots
+//! (Figs 12–13) and scalar summaries (Tables 1–4). This module provides the
+//! corresponding estimators: [`EmpiricalCdf`], [`BoxplotSummary`],
+//! [`pearson`] correlation (used for PDP/CSI similarity, §6.1) and the
+//! usual mean/stddev/percentile helpers.
+
+/// Arithmetic mean of a slice. Returns `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of a slice. Returns `NaN` for an empty slice.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a slice.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median of a slice (50th percentile). Returns `NaN` for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`.
+///
+/// Uses the same convention as NumPy's default (`linear` interpolation
+/// between closest ranks), so figures regenerated here match what the
+/// paper's matplotlib pipeline would produce. Returns `NaN` for an empty
+/// slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// This is the similarity measure the paper borrows from prior CSI work
+/// (§6.1: "we calculate the similarity between the two instances of the
+/// metric ... in the form of the Pearson correlation coefficient").
+///
+/// Returns `NaN` when either input has zero variance or the slices are
+/// empty / of different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return f64::NAN;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return f64::NAN;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// An empirical cumulative distribution function over a sample.
+///
+/// Construction sorts the sample once; evaluation is `O(log n)`. The CDF is
+/// right-continuous: `F(x) = P[X <= x]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the CDF from a sample. NaN values are dropped.
+    pub fn new(sample: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = sample.into_iter().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        Self { sorted }
+    }
+
+    /// Number of (non-NaN) points backing the CDF.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the CDF holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P[X <= x]`. Returns `NaN` on an empty CDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        // partition_point gives the count of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (quantile). `q` in `[0, 1]`. Returns `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        percentile(&self.sorted, q * 100.0)
+    }
+
+    /// The underlying sorted sample.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Emits `(x, F(x))` pairs for plotting — one step per sample point,
+    /// like matplotlib's `plot(sorted, arange(1, n+1)/n)` idiom used for
+    /// every CDF figure in the paper.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Samples the CDF on a fixed grid of `points` x-values spanning
+    /// `[lo, hi]` — handy for compact textual figure output.
+    pub fn sampled(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two grid points");
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+/// Five-number boxplot summary matching matplotlib's default convention
+/// (whiskers at 1.5·IQR, fliers beyond), used for Figs 12–13.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxplotSummary {
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Lowest datum within `q1 - 1.5·IQR`.
+    pub whisker_lo: f64,
+    /// Highest datum within `q3 + 1.5·IQR`.
+    pub whisker_hi: f64,
+    /// Points outside the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxplotSummary {
+    /// Computes the summary from a sample. Panics on an empty sample.
+    pub fn new(sample: &[f64]) -> Self {
+        assert!(!sample.is_empty(), "boxplot of empty sample");
+        let q1 = percentile(sample, 25.0);
+        let med = percentile(sample, 50.0);
+        let q3 = percentile(sample, 75.0);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let mut whisker_lo = f64::INFINITY;
+        let mut whisker_hi = f64::NEG_INFINITY;
+        let mut outliers = Vec::new();
+        for &x in sample {
+            if x < lo_fence || x > hi_fence {
+                outliers.push(x);
+            } else {
+                whisker_lo = whisker_lo.min(x);
+                whisker_hi = whisker_hi.max(x);
+            }
+        }
+        Self { q1, median: med, q3, whisker_lo, whisker_hi, outliers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_empty_is_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[]).is_nan());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        // NumPy: np.percentile([1,2,3,4], 25) == 1.75
+        assert!((percentile(&xs, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_length() {
+        assert!((median(&[3.0, 1.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_anticorrelation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_nan() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_nan());
+    }
+
+    #[test]
+    fn pearson_mismatched_lengths_is_nan() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_nan());
+    }
+
+    #[test]
+    fn cdf_eval_matches_definition() {
+        let cdf = EmpiricalCdf::new([1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_drops_nan() {
+        let cdf = EmpiricalCdf::new([1.0, f64::NAN, 3.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn cdf_quantile_inverts() {
+        let cdf = EmpiricalCdf::new((1..=100).map(|i| i as f64));
+        assert!((cdf.quantile(0.5) - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_steps_monotone() {
+        let cdf = EmpiricalCdf::new([5.0, 1.0, 3.0]);
+        let steps = cdf.steps();
+        assert_eq!(steps.len(), 3);
+        assert!(steps.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(steps.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn boxplot_no_outliers() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = BoxplotSummary::new(&xs);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 5.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn boxplot_flags_outlier() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let b = BoxplotSummary::new(&xs);
+        assert_eq!(b.outliers, vec![100.0]);
+        assert!(b.whisker_hi <= 4.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the math utilities.
+
+use libra_util::csvio::{parse_csv, CsvWriter};
+use libra_util::db::{db_to_linear, linear_to_db, sum_powers_dbm};
+use libra_util::fft::{fft_in_place, ifft_in_place, Complex};
+use libra_util::stats::{mean, pearson, percentile, BoxplotSummary, EmpiricalCdf};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn db_roundtrip(x in -100.0f64..100.0) {
+        let back = linear_to_db(db_to_linear(x));
+        prop_assert!((back - x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_sum_at_least_max(powers in prop::collection::vec(-120.0f64..10.0, 1..12)) {
+        let total = sum_powers_dbm(&powers);
+        let max = powers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(total >= max - 1e-9);
+        // And no more than max + 10·log10(n).
+        prop_assert!(total <= max + 10.0 * (powers.len() as f64).log10() + 1e-9);
+    }
+
+    #[test]
+    fn percentile_within_range(xs in prop::collection::vec(-1e6f64..1e6, 1..200), p in 0.0f64..100.0) {
+        let v = percentile(&xs, p);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn percentile_monotone(xs in prop::collection::vec(-1e3f64..1e3, 2..100)) {
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let v = percentile(&xs, p);
+            prop_assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn pearson_bounded(
+        xs in prop::collection::vec(-100.0f64..100.0, 3..50),
+        ys in prop::collection::vec(-100.0f64..100.0, 3..50),
+    ) {
+        let n = xs.len().min(ys.len());
+        let r = pearson(&xs[..n], &ys[..n]);
+        if !r.is_nan() {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn pearson_affine_invariant(
+        xs in prop::collection::vec(-50.0f64..50.0, 5..40),
+        a in 0.1f64..10.0,
+        b in -100.0f64..100.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|&x| a * x + b).collect();
+        let r = pearson(&xs, &ys);
+        if !r.is_nan() {
+            prop_assert!((r - 1.0).abs() < 1e-6, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalized(xs in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+        let cdf = EmpiricalCdf::new(xs.iter().copied());
+        let mut prev = 0.0;
+        for (x, y) in cdf.steps() {
+            prop_assert!(y >= prev);
+            prop_assert!(cdf.eval(x) >= y - 1e-12);
+            prev = y;
+        }
+        prop_assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_eval_bounds(xs in prop::collection::vec(-1e3f64..1e3, 1..100), q in -2e3f64..2e3) {
+        let cdf = EmpiricalCdf::new(xs.iter().copied());
+        let v = cdf.eval(q);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn boxplot_ordering(xs in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let b = BoxplotSummary::new(&xs);
+        // Quartiles are interpolated, so whiskers (actual data points)
+        // need not bracket them — but quartiles order among themselves,
+        // whiskers order among themselves and stay within the data
+        // range, and every outlier lies strictly outside the whiskers.
+        prop_assert!(b.q1 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.q3 + 1e-9);
+        prop_assert!(b.whisker_lo <= b.whisker_hi + 1e-9);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(b.whisker_lo >= lo && b.whisker_hi <= hi);
+        for o in &b.outliers {
+            prop_assert!(*o < b.whisker_lo || *o > b.whisker_hi);
+        }
+        // Non-outlier count + outlier count = sample size.
+        let inside = xs
+            .iter()
+            .filter(|&&x| (b.whisker_lo..=b.whisker_hi).contains(&x))
+            .count();
+        prop_assert_eq!(inside + b.outliers.len(), xs.len());
+    }
+
+    #[test]
+    fn fft_roundtrip(xs in prop::collection::vec(-100.0f64..100.0, 1..5)) {
+        // Zero-pad to 8.
+        let mut data: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        data.resize(8, Complex::ZERO);
+        let orig = data.clone();
+        fft_in_place(&mut data);
+        ifft_in_place(&mut data);
+        for (a, b) in orig.iter().zip(&data) {
+            prop_assert!((a.re - b.re).abs() < 1e-9 && b.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_linearity(
+        xs in prop::collection::vec(-10.0f64..10.0, 8..9),
+        ys in prop::collection::vec(-10.0f64..10.0, 8..9),
+        k in -5.0f64..5.0,
+    ) {
+        use libra_util::fft::fft_real;
+        let combo: Vec<f64> = xs.iter().zip(&ys).map(|(a, b)| a + k * b).collect();
+        let fx = fft_real(&xs);
+        let fy = fft_real(&ys);
+        let fc = fft_real(&combo);
+        for i in 0..8 {
+            let expect = fx[i] + fy[i].scale(k);
+            prop_assert!((fc[i].re - expect.re).abs() < 1e-8);
+            prop_assert!((fc[i].im - expect.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip(rows in prop::collection::vec(
+        prop::collection::vec("[ -~]{0,20}", 1..6), 1..10,
+    )) {
+        let mut w = CsvWriter::new();
+        for row in &rows {
+            w.row(row.iter().map(String::as_str));
+        }
+        let parsed = parse_csv(w.as_str());
+        prop_assert_eq!(parsed.len(), rows.len());
+        for (a, b) in rows.iter().zip(&parsed) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mean_between_extremes(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let m = mean(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+    }
+}

@@ -1,0 +1,76 @@
+//! COTS sector flapping (paper §3, Fig. 1): watch an emulated ROG phone
+//! and Talon AP keep re-triggering beam training on a perfectly static
+//! link, then see what disabling BA does to throughput.
+//!
+//! Optional fault injection: pass an ACK-loss probability to stress the
+//! heuristic further (`--ack-drop 0.05`), in the spirit of the fault
+//! injection hooks in smoltcp's examples.
+//!
+//! ```text
+//! cargo run --release --example cots_flapping [-- --ack-drop 0.05]
+//! ```
+
+use libra_mac::cots::{best_fixed_sector_run, run_cots, CotsConfig, CotsScenario, DeviceProfile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ack_drop = args
+        .iter()
+        .position(|a| a == "--ack-drop")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.0);
+
+    let scenario = CotsScenario::Static { distance_m: 9.1 };
+    let duration_s = 30.0;
+
+    for (name, mut profile) in
+        [("ROG phone", DeviceProfile::rog_phone()), ("Talon AP", DeviceProfile::talon_ap())]
+    {
+        // Fault injection: extra random ACK losses look like extra fades.
+        profile.fade_prob += ack_drop;
+        let cfg = CotsConfig {
+            profile,
+            ba_enabled: true,
+            fixed_sector: 0,
+            duration_s,
+            seed: 0xC07,
+        };
+        let log = run_cots(&scenario, &cfg);
+        println!(
+            "{name}: {} BA triggers in {duration_s} s, {} distinct sectors, {:.0} Mbps",
+            log.ba_trigger_count, log.distinct_sectors, log.mean_tput_mbps
+        );
+        print!("  sector timeline (t ms → sector): ");
+        for e in log.sector_timeline.iter().take(12) {
+            match e.sector {
+                Some(s) => print!("{:.0}→{} ", e.t_ms, s),
+                None => print!("{:.0}→255 ", e.t_ms),
+            }
+        }
+        if log.sector_timeline.len() > 12 {
+            print!("… ({} more)", log.sector_timeline.len() - 12);
+        }
+        println!();
+    }
+
+    println!("\nlocking the best sector by hand (BA disabled):");
+    let (sector, fixed) =
+        best_fixed_sector_run(&scenario, &DeviceProfile::talon_ap(), duration_s, 0xC07);
+    println!("  best fixed sector {sector}: {:.0} Mbps", fixed.mean_tput_mbps);
+
+    let cfg = CotsConfig {
+        profile: DeviceProfile::talon_ap(),
+        ba_enabled: true,
+        fixed_sector: 0,
+        duration_s,
+        seed: 0xC07,
+    };
+    let with_ba = run_cots(&scenario, &cfg);
+    let gain =
+        (fixed.mean_tput_mbps - with_ba.mean_tput_mbps) / with_ba.mean_tput_mbps * 100.0;
+    println!(
+        "  with BA enabled: {:.0} Mbps → disabling BA is {gain:+.0}% (paper Fig. 1c: +26%)",
+        with_ba.mean_tput_mbps
+    );
+}

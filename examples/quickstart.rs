@@ -1,0 +1,74 @@
+//! Quickstart: the whole LiBRA pipeline in one sitting.
+//!
+//! 1. Emulate the X60 measurement campaign (paper §4–5) to build the
+//!    training dataset.
+//! 2. Train LiBRA's 3-class (BA / RA / NA) random forest (§6–7).
+//! 3. Replay a link break from a held-out building and compare LiBRA
+//!    against the two COTS heuristics and the oracles (§8).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use libra::prelude::*;
+use libra::sim::run_policy_segment;
+use libra::{LinkState, PolicyKind, SegmentData, SimConfig};
+use libra_phy::McsTable;
+use libra_util::rng::rng_from_seed;
+
+fn main() {
+    let table = McsTable::x60();
+    let params = GroundTruthParams::default();
+
+    println!("generating the training dataset (emulated measurement campaign)...");
+    let cfg = CampaignConfig::default();
+    let train = generate(&main_campaign_plan(), &cfg);
+    let summary = train.summary(&table, &params);
+    for row in &summary {
+        println!(
+            "  {:14} {:4} entries  (BA {:4} / RA {:4})",
+            row.name, row.total, row.ba, row.ra
+        );
+    }
+
+    println!("\ntraining the 3-class classifier (random forest)...");
+    let mut rng = rng_from_seed(7);
+    let clf = LibraClassifier::train(&train.to_ml_3class(&table, &params), &mut rng);
+    println!("  {} trees", clf.forest().n_trees());
+
+    println!("\nreplaying a link break from a held-out building:");
+    let test = generate(&testing_campaign_plan(), &cfg);
+    let entry = test
+        .entries
+        .iter()
+        .find(|e| e.impairment == Impairment::Blockage)
+        .expect("testing dataset has blockage entries");
+    println!(
+        "  entry: {} / {} (SNR drop {:.1} dB, CDR {:.2}, initial MCS {})",
+        entry.env.name(),
+        entry.position_key,
+        entry.features.snr_diff_db,
+        entry.features.cdr,
+        entry.features.initial_mcs,
+    );
+
+    let sim = SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0));
+    let seg = SegmentData::from_entry(entry, 1000.0);
+    let state = LinkState::at_mcs(entry.initial.best_mcs());
+    println!("\n  {:14} {:>10} {:>14}", "algorithm", "MB in 1 s", "recovery (ms)");
+    for policy in [
+        PolicyKind::Libra,
+        PolicyKind::BaFirst,
+        PolicyKind::RaFirst,
+        PolicyKind::OracleData,
+        PolicyKind::OracleDelay,
+    ] {
+        let out = run_policy_segment(&seg, policy, Some(&clf), state, &sim);
+        println!(
+            "  {:14} {:>10.1} {:>14}",
+            policy.label(),
+            out.bytes / 1e6,
+            out.recovery_delay_ms.map_or("-".to_string(), |d| format!("{d:.1}")),
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Train and inspect LiBRA's classifiers: runs the paper's §6.2 model
+//! comparison (DT / RF / SVM / DNN, 5-fold stratified CV, cross-building
+//! generalization), prints the Gini importances of Table 3, and shows a
+//! few live classifications.
+//!
+//! ```text
+//! cargo run --release --example train_classifier
+//! ```
+
+use libra::LibraClassifier;
+use libra_dataset::{
+    generate, main_campaign_plan, testing_campaign_plan, Action3, CampaignConfig, Features,
+    GroundTruthParams, FEATURE_NAMES,
+};
+use libra_ml::{cross_validate, train_test_eval, ModelKind};
+use libra_phy::McsTable;
+use libra_util::rng::rng_from_seed;
+
+fn main() {
+    let table = McsTable::x60();
+    let params = GroundTruthParams::default();
+    let cfg = CampaignConfig::default();
+
+    println!("generating datasets...");
+    let main_ds = generate(&main_campaign_plan(), &cfg);
+    let test_ds = generate(&testing_campaign_plan(), &cfg);
+    let train = main_ds.to_ml(&table, &params);
+    let held = test_ds.to_ml(&table, &params);
+
+    println!("\n5-fold stratified CV (2 repeats) and cross-building accuracy:");
+    for kind in ModelKind::ALL {
+        let cv = cross_validate(kind, &train, 5, 2, 1);
+        let (acc, f1) = train_test_eval(kind, &train, &held, 2);
+        println!(
+            "  {:4}  cv acc {:.3} / f1 {:.3}   cross-building acc {:.3} / f1 {:.3}",
+            kind.name(),
+            cv.accuracy,
+            cv.weighted_f1,
+            acc,
+            f1
+        );
+    }
+
+    println!("\ntraining LiBRA's 3-class forest and reading its importances:");
+    let mut rng = rng_from_seed(3);
+    let clf = LibraClassifier::train(&main_ds.to_ml_3class(&table, &params), &mut rng);
+    for (name, imp) in FEATURE_NAMES.iter().zip(clf.forest().feature_importances()) {
+        println!("  {name:12} {imp:.3}");
+    }
+
+    println!("\nlive classifications:");
+    let cases = [
+        ("big SNR drop after rotation", Features {
+            snr_diff_db: 18.0,
+            tof_diff_ns: 0.0,
+            noise_diff_db: 0.3,
+            pdp_similarity: 0.85,
+            csi_similarity: 0.6,
+            cdr: 0.0,
+            initial_mcs: 5,
+        }),
+        ("mild drop from backward motion", Features {
+            snr_diff_db: 2.5,
+            tof_diff_ns: -20.0,
+            noise_diff_db: 0.1,
+            pdp_similarity: 1.0,
+            csi_similarity: 0.99,
+            cdr: 0.85,
+            initial_mcs: 8,
+        }),
+        ("nothing changed", Features {
+            snr_diff_db: 0.2,
+            tof_diff_ns: 0.0,
+            noise_diff_db: 0.0,
+            pdp_similarity: 1.0,
+            csi_similarity: 1.0,
+            cdr: 0.99,
+            initial_mcs: 7,
+        }),
+    ];
+    for (desc, f) in cases {
+        let action = match clf.classify(&f) {
+            Action3::Ba => "trigger BA",
+            Action3::Ra => "trigger RA",
+            Action3::Na => "no adaptation",
+        };
+        println!("  {desc:32} → {action}");
+    }
+
+    println!("\nmissing-ACK fallback rule:");
+    for (mcs, ba_ms) in [(3usize, 250.0), (7, 0.5), (7, 250.0)] {
+        let action = match clf.fallback(mcs, ba_ms) {
+            Action3::Ba => "BA",
+            Action3::Ra => "RA",
+            Action3::Na => "NA",
+        };
+        println!("  MCS {mcs}, BA overhead {ba_ms:6.1} ms → {action}");
+    }
+}

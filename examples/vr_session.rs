@@ -1,0 +1,72 @@
+//! VR over 60 GHz (paper §8.4): stream a synthetic 8K@60FPS session over
+//! a mobility timeline with each adaptation policy and compare the
+//! stalls the viewer suffers.
+//!
+//! ```text
+//! cargo run --release --example vr_session [-- <ba_overhead_ms>]
+//! ```
+
+use libra::prelude::*;
+use libra::{PolicyKind, SimConfig, VrTrace};
+use libra_dataset::Instruments;
+use libra_phy::McsTable;
+use libra_util::rng::rng_from_seed;
+
+fn main() {
+    let ba = match std::env::args().nth(1).as_deref() {
+        Some("5") => BaOverheadPreset::QuasiOmni3,
+        Some("150") => BaOverheadPreset::Directional9,
+        Some("250") => BaOverheadPreset::Directional7,
+        _ => BaOverheadPreset::QuasiOmni30,
+    };
+    println!("BA overhead: {} — pass 5 / 150 / 250 to change it", ba.label());
+
+    let table = McsTable::x60();
+    let params = GroundTruthParams::default();
+    let cfg = CampaignConfig::default();
+    println!("training LiBRA...");
+    let ds = generate(&main_campaign_plan(), &cfg);
+    let mut rng = rng_from_seed(11);
+    let clf = LibraClassifier::train(&ds.to_ml_3class(&table, &params), &mut rng);
+
+    // A ~35 s mobility timeline and a 30 s 8K trace.
+    let tl_cfg = TimelineConfig {
+        n_segments: 16,
+        min_segment_ms: 2000.0,
+        max_segment_ms: 3000.0,
+        tx_power_dbm: 6.0,
+        ..Default::default()
+    };
+    let tl = generate_timeline(ScenarioType::Mobility, &tl_cfg, &mut rng);
+    let trace = VrTrace::synthetic_8k(30.0, 1.2, &mut rng);
+    println!(
+        "timeline: {:.1} s over {} segments; VR demand {:.2} Gbps mean",
+        tl.duration_ms() / 1000.0,
+        tl.segments.len(),
+        trace.mean_gbps()
+    );
+
+    let mut sim = SimConfig::new(ProtocolParams::new(ba, 2.0));
+    sim.tput_scale = COTS_TPUT_SCALE; // scale X60 rates to COTS levels
+    sim.min_tput_mbps *= COTS_TPUT_SCALE;
+    let instruments = Instruments::default();
+
+    println!("\n{:14} {:>8} {:>18} {:>14}", "policy", "stalls", "total stall (ms)", "mean (ms)");
+    for policy in [
+        PolicyKind::Libra,
+        PolicyKind::BaFirst,
+        PolicyKind::RaFirst,
+        PolicyKind::OracleData,
+        PolicyKind::OracleDelay,
+    ] {
+        let r = run_timeline(&tl, policy, Some(&clf), &sim, &instruments);
+        let rep = play(&trace, &r.spans);
+        println!(
+            "{:14} {:>8} {:>18.1} {:>14.1}",
+            policy.label(),
+            rep.n_stalls,
+            rep.total_stall_ms,
+            rep.mean_stall_ms
+        );
+    }
+}

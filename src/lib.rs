@@ -1,0 +1,16 @@
+//! Umbrella crate of the LiBRA reproduction workspace.
+//!
+//! This crate exists to host the runnable `examples/` and the
+//! cross-crate `tests/`; the actual functionality lives in the member
+//! crates re-exported below. See the repository README for the tour.
+
+#![forbid(unsafe_code)]
+
+pub use libra;
+pub use libra_arrays;
+pub use libra_channel;
+pub use libra_dataset;
+pub use libra_mac;
+pub use libra_ml;
+pub use libra_phy;
+pub use libra_util;

@@ -1,0 +1,94 @@
+//! Determinism across the full stack: every artifact must be exactly
+//! reproducible from its seed — the property that makes the experiment
+//! suite trustworthy.
+
+use libra::prelude::*;
+use libra::sim::run_policy_segment;
+use libra::{LinkState, PolicyKind, SegmentData, SimConfig};
+use libra_dataset::Instruments;
+use libra_phy::McsTable;
+use libra_util::rng::rng_from_seed;
+
+#[test]
+fn campaign_is_bit_reproducible() {
+    let cfg = CampaignConfig::default();
+    let plan = testing_campaign_plan();
+    let a = generate(&plan, &cfg);
+    let b = generate(&plan, &cfg);
+    assert_eq!(a.entries.len(), b.entries.len());
+    for (x, y) in a.entries.iter().zip(&b.entries) {
+        assert_eq!(x.features, y.features);
+        assert_eq!(x.new_old_pair.tput_mbps, y.new_old_pair.tput_mbps);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let plan = testing_campaign_plan();
+    let a = generate(&plan, &CampaignConfig::default());
+    let b = generate(&plan, &CampaignConfig { seed: 12345, ..CampaignConfig::default() });
+    let differs = a
+        .entries
+        .iter()
+        .zip(&b.entries)
+        .any(|(x, y)| x.features.snr_diff_db != y.features.snr_diff_db);
+    assert!(differs, "seed change must perturb measurements");
+}
+
+#[test]
+fn classifier_training_is_reproducible() {
+    let ds = generate(&testing_campaign_plan(), &CampaignConfig::default());
+    let table = McsTable::x60();
+    let params = GroundTruthParams::default();
+    let data = ds.to_ml_3class(&table, &params);
+    let train = || {
+        let mut rng = rng_from_seed(21);
+        LibraClassifier::train(&data, &mut rng)
+    };
+    let a = train();
+    let b = train();
+    for entry in &ds.entries {
+        assert_eq!(a.classify(&entry.features), b.classify(&entry.features));
+    }
+    assert_eq!(a.forest().feature_importances(), b.forest().feature_importances());
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let ds = generate(&testing_campaign_plan(), &CampaignConfig::default());
+    let sim = SimConfig::new(ProtocolParams::new(BaOverheadPreset::Directional9, 10.0));
+    for entry in ds.entries.iter().take(20) {
+        let seg = SegmentData::from_entry(entry, 700.0);
+        let state = LinkState::at_mcs(entry.initial.best_mcs());
+        let a = run_policy_segment(&seg, PolicyKind::OracleData, None, state, &sim);
+        let b = run_policy_segment(&seg, PolicyKind::OracleData, None, state, &sim);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.recovery_delay_ms, b.recovery_delay_ms);
+        assert_eq!(a.spans, b.spans);
+    }
+}
+
+#[test]
+fn timelines_are_reproducible_end_to_end() {
+    let make = || {
+        let mut rng = rng_from_seed(31);
+        generate_timeline(ScenarioType::Mixed, &TimelineConfig::default(), &mut rng)
+    };
+    let sim = SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0));
+    let instruments = Instruments::default();
+    let a = run_timeline(&make(), PolicyKind::BaFirst, None, &sim, &instruments);
+    let b = run_timeline(&make(), PolicyKind::BaFirst, None, &sim, &instruments);
+    assert_eq!(a.bytes, b.bytes);
+    assert_eq!(a.recovery_delays_ms, b.recovery_delays_ms);
+}
+
+#[test]
+fn vr_playback_is_deterministic() {
+    let mut rng = rng_from_seed(41);
+    let trace = VrTrace::synthetic_8k(10.0, 1.2, &mut rng);
+    let spans = [libra::RateSpan { start_ms: 0.0, len_ms: 11_000.0, mbps: 1500.0 }];
+    let a = libra::play(&trace, &spans);
+    let b = libra::play(&trace, &spans);
+    assert_eq!(a.n_stalls, b.n_stalls);
+    assert_eq!(a.total_stall_ms, b.total_stall_ms);
+}

@@ -1,0 +1,181 @@
+//! Cross-crate integration: the complete paper pipeline, from channel
+//! model to policy evaluation, with assertions on the qualitative
+//! results the paper reports. Run in release mode (`cargo test --release`)
+//! — the campaign emulation is numeric-heavy.
+
+use libra::prelude::*;
+use libra::sim::run_policy_segment;
+use libra::{LinkState, PolicyKind, SegmentData, SimConfig};
+use libra_dataset::Action;
+use libra_phy::McsTable;
+use libra_util::rng::rng_from_seed;
+use std::sync::OnceLock;
+
+fn table() -> McsTable {
+    McsTable::x60()
+}
+
+fn params() -> GroundTruthParams {
+    GroundTruthParams::default()
+}
+
+static MAIN: OnceLock<CampaignDataset> = OnceLock::new();
+static TEST: OnceLock<CampaignDataset> = OnceLock::new();
+static CLF: OnceLock<LibraClassifier> = OnceLock::new();
+
+fn main_ds() -> &'static CampaignDataset {
+    MAIN.get_or_init(|| generate(&main_campaign_plan(), &CampaignConfig::default()))
+}
+
+fn test_ds() -> &'static CampaignDataset {
+    TEST.get_or_init(|| generate(&testing_campaign_plan(), &CampaignConfig::default()))
+}
+
+fn clf() -> &'static LibraClassifier {
+    CLF.get_or_init(|| {
+        let mut rng = rng_from_seed(99);
+        LibraClassifier::train(&main_ds().to_ml_3class(&table(), &params()), &mut rng)
+    })
+}
+
+#[test]
+fn dataset_counts_track_table1() {
+    let rows = main_ds().summary(&table(), &params());
+    let overall = rows.last().unwrap();
+    // Paper Table 1: 668 entries, 488 BA / 180 RA (73 % BA), 118 positions.
+    assert!((600..=800).contains(&overall.total), "total {}", overall.total);
+    let ba_share = overall.ba as f64 / overall.total as f64;
+    assert!((0.6..=0.85).contains(&ba_share), "BA share {ba_share}");
+    assert!((80..=130).contains(&overall.positions), "positions {}", overall.positions);
+}
+
+#[test]
+fn impairment_class_preferences_match_paper() {
+    let ds = main_ds();
+    let labels = ds.label(&table(), &params());
+    let share = |kind| {
+        let (mut ba, mut n) = (0usize, 0usize);
+        for (e, gt) in ds.entries.iter().zip(&labels) {
+            if e.impairment == kind {
+                n += 1;
+                if gt.label == Action::Ba {
+                    ba += 1;
+                }
+            }
+        }
+        ba as f64 / n as f64
+    };
+    // Displacement: BA wins in ~79 % of cases.
+    assert!(share(Impairment::Displacement) > 0.65);
+    // Blockage: BA almost always.
+    assert!(share(Impairment::Blockage) > 0.75);
+    // Interference: RA is the preferred option (~67 %).
+    assert!(share(Impairment::Interference) < 0.5);
+}
+
+#[test]
+fn random_forest_reaches_paper_accuracy_band() {
+    let train = main_ds().to_ml(&table(), &params());
+    let cv = libra_ml::cross_validate(libra_ml::ModelKind::RandomForest, &train, 5, 1, 5);
+    // Paper: 98 % — accept the mid-90s band for a single repeat.
+    assert!(cv.accuracy > 0.93, "RF CV accuracy {}", cv.accuracy);
+    assert!(cv.weighted_f1 > 0.93);
+}
+
+#[test]
+fn cross_building_accuracy_drops_but_stays_useful() {
+    let train = main_ds().to_ml(&table(), &params());
+    let held = test_ds().to_ml(&table(), &params());
+    let (acc, _) =
+        libra_ml::train_test_eval(libra_ml::ModelKind::RandomForest, &train, &held, 6);
+    let cv = libra_ml::cross_validate(libra_ml::ModelKind::RandomForest, &train, 5, 1, 6);
+    // Paper: 98 % → 88 %. The drop exists but accuracy stays well above
+    // the majority-class baseline.
+    assert!(acc < cv.accuracy, "no generalization gap: {acc} vs {}", cv.accuracy);
+    let majority = {
+        let counts = held.class_counts();
+        *counts.iter().max().unwrap() as f64 / held.len() as f64
+    };
+    assert!(acc > majority + 0.05, "cross-building acc {acc} vs majority {majority}");
+}
+
+#[test]
+fn libra_beats_ra_first_and_tracks_oracle_at_low_overhead() {
+    let sim = SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0));
+    let mut libra_deficit = 0.0;
+    let mut ra_deficit = 0.0;
+    let mut ba_deficit = 0.0;
+    for entry in &test_ds().entries {
+        let seg = SegmentData::from_entry(entry, 1000.0);
+        let state = LinkState::at_mcs(entry.initial.best_mcs());
+        let oracle = run_policy_segment(&seg, PolicyKind::OracleData, None, state, &sim);
+        let l = run_policy_segment(&seg, PolicyKind::Libra, Some(clf()), state, &sim);
+        let r = run_policy_segment(&seg, PolicyKind::RaFirst, None, state, &sim);
+        let b = run_policy_segment(&seg, PolicyKind::BaFirst, None, state, &sim);
+        libra_deficit += (oracle.bytes - l.bytes).max(0.0);
+        ra_deficit += (oracle.bytes - r.bytes).max(0.0);
+        ba_deficit += (oracle.bytes - b.bytes).max(0.0);
+    }
+    assert!(
+        libra_deficit < 0.5 * ra_deficit,
+        "LiBRA deficit {libra_deficit:.0} vs RA First {ra_deficit:.0}"
+    );
+    assert!(
+        libra_deficit < 1.3 * ba_deficit,
+        "LiBRA should be near BA First at low overhead: {libra_deficit:.0} vs {ba_deficit:.0}"
+    );
+}
+
+#[test]
+fn oracles_dominate_per_entry() {
+    let sim = SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni3, 10.0));
+    for entry in test_ds().entries.iter().step_by(7) {
+        let seg = SegmentData::from_entry(entry, 400.0);
+        let state = LinkState::at_mcs(entry.initial.best_mcs());
+        let od = run_policy_segment(&seg, PolicyKind::OracleData, None, state, &sim);
+        let odelay = run_policy_segment(&seg, PolicyKind::OracleDelay, None, state, &sim);
+        for p in [PolicyKind::RaFirst, PolicyKind::BaFirst] {
+            let out = run_policy_segment(&seg, p, None, state, &sim);
+            assert!(
+                od.bytes + 1.0 >= out.bytes,
+                "{} out-delivered Oracle-Data on {}",
+                p.label(),
+                entry.scenario
+            );
+            if let (Some(d), Some(o)) = (out.recovery_delay_ms, odelay.recovery_delay_ms) {
+                assert!(
+                    o <= d + 1e-9,
+                    "{} out-recovered Oracle-Delay on {}",
+                    p.label(),
+                    entry.scenario
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ground_truth_action_actually_wins_in_simulation() {
+    // Consistency between §5.2 labelling and the §8 simulator: replaying
+    // the labelled action must deliver at least as much as the opposite
+    // action in the vast majority of entries (α = 1 labels vs a
+    // low-overhead simulation).
+    let sim = SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0));
+    let ds = test_ds();
+    let labels = ds.label(&table(), &params());
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (entry, gt) in ds.entries.iter().zip(&labels) {
+        let seg = SegmentData::from_entry(entry, 1000.0);
+        let state = LinkState::at_mcs(entry.initial.best_mcs());
+        let ra = libra::sim::execute(&seg, libra_dataset::Action3::Ra, state, &sim);
+        let ba = libra::sim::execute(&seg, libra_dataset::Action3::Ba, state, &sim);
+        let sim_winner = if ra.bytes >= ba.bytes { Action::Ra } else { Action::Ba };
+        total += 1;
+        if sim_winner == gt.label {
+            agree += 1;
+        }
+    }
+    let rate = agree as f64 / total as f64;
+    assert!(rate > 0.8, "label/simulation agreement only {rate:.2}");
+}

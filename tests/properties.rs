@@ -1,0 +1,142 @@
+//! Cross-crate property-based tests (proptest): randomized scenes,
+//! channels, and simulator inputs must uphold the physical and
+//! accounting invariants of the whole stack.
+
+use libra::sim::{execute, ConfigData, LinkState, SegmentData, SimConfig};
+use libra_arrays::{BeamPattern, Codebook};
+use libra_channel::{Material, Point, Pose, Room, Scene};
+use libra_dataset::{Action3, Features};
+use libra_mac::{BaOverheadPreset, ProtocolParams};
+use proptest::prelude::*;
+
+fn room() -> Room {
+    Room::rectangular("prop", 24.0, 10.0, [Material::Drywall; 4])
+}
+
+fn scene(tx: (f64, f64), rx: (f64, f64), rx_orient: f64) -> Scene {
+    Scene::new(
+        room(),
+        Pose::new(Point::new(tx.0, tx.1), 0.0),
+        Pose::new(Point::new(rx.0, rx.1), rx_orient),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every traced path is at least as long as the straight line, and
+    /// the LOS path (when present) is exactly it.
+    #[test]
+    fn paths_no_shorter_than_los(
+        txx in 1.0f64..8.0, txy in 1.0f64..9.0,
+        rxx in 9.0f64..23.0, rxy in 1.0f64..9.0,
+    ) {
+        let s = scene((txx, txy), (rxx, rxy), 180.0);
+        let los = Point::new(txx, txy).distance(Point::new(rxx, rxy));
+        for p in s.rays() {
+            prop_assert!(p.length_m >= los - 1e-9);
+            if p.is_los() {
+                prop_assert!((p.length_m - los).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Channel responses stay physical: signal power finite or -inf,
+    /// SNR consistent with its components, taps sorted.
+    #[test]
+    fn response_is_consistent(
+        rxx in 9.0f64..23.0, rxy in 1.0f64..9.0,
+        orient in -180.0f64..180.0,
+        tx_beam in 0usize..25, rx_beam in 0usize..25,
+    ) {
+        let cb = Codebook::sibeam_25();
+        let s = scene((2.0, 5.0), (rxx, rxy), orient);
+        let r = s.response(cb.beam(tx_beam), cb.beam(rx_beam));
+        prop_assert!(!r.signal_power_dbm.is_nan());
+        prop_assert!(
+            (r.snr_db - (r.signal_power_dbm - r.effective_noise_dbm)).abs() < 1e-9
+        );
+        prop_assert!(r.taps.windows(2).all(|w| w[0].delay_ns <= w[1].delay_ns));
+        prop_assert!(r.rms_delay_spread_ns() >= 0.0);
+    }
+
+    /// Beam gains live between the back-lobe floor and the peak gain
+    /// plus the side-lobe/floor power sum margin (~0.5 dB).
+    #[test]
+    fn gains_bounded(beam in 0usize..25, angle in -180.0f64..180.0) {
+        let cb = Codebook::sibeam_25();
+        let b = cb.beam(beam);
+        let g = b.gain_dbi(angle);
+        prop_assert!(g >= -10.0 - 1e-9, "below floor: {g}");
+        prop_assert!(g <= b.peak_gain_dbi() + 0.5, "above peak: {g}");
+    }
+
+    /// The quasi-omni pattern never deviates far from its nominal gain.
+    #[test]
+    fn quasi_omni_flat(angle in -720.0f64..720.0) {
+        let q = BeamPattern::quasi_omni();
+        let g = q.gain_dbi(angle);
+        prop_assert!((0.0..=2.0).contains(&g), "quasi-omni {g}");
+    }
+
+    /// Executor accounting: bytes never exceed rate × time, recovery
+    /// delay (when present) never exceeds the segment duration, spans
+    /// reproduce the byte total.
+    #[test]
+    fn executor_invariants(
+        duration in 50.0f64..3000.0,
+        start_mcs in 0usize..9,
+        action in 0usize..3,
+        snr_old in -5.0f64..30.0,
+        snr_best in -5.0f64..30.0,
+    ) {
+        let table = libra_phy::McsTable::x60();
+        let model = libra_phy::ErrorModel::default();
+        let cfg_data = |snr: f64| {
+            let (mut t, mut c) = (Vec::new(), Vec::new());
+            for e in table.iter() {
+                let cdr = model.cdr(e, snr, 2.0);
+                c.push(cdr);
+                t.push(e.rate_mbps * cdr);
+            }
+            ConfigData { tput_mbps: t, cdr: c }
+        };
+        let seg = SegmentData {
+            old: cfg_data(snr_old),
+            best: cfg_data(snr_best),
+            features: Features {
+                snr_diff_db: 0.0, tof_diff_ns: 0.0, noise_diff_db: 0.0,
+                pdp_similarity: 1.0, csi_similarity: 1.0, cdr: 1.0, initial_mcs: start_mcs,
+            },
+            duration_ms: duration,
+        };
+        let sim = SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni3, 2.0));
+        let act = [Action3::Na, Action3::Ra, Action3::Ba][action];
+        let out = execute(&seg, act, LinkState::at_mcs(start_mcs), &sim);
+
+        let max_bytes = table.max_rate_mbps() * 1e6 * duration / 1000.0 / 8.0;
+        prop_assert!(out.bytes <= max_bytes * 1.001, "bytes {} > cap {max_bytes}", out.bytes);
+        prop_assert!(out.bytes >= 0.0);
+        if let Some(d) = out.recovery_delay_ms {
+            prop_assert!((0.0..=duration + 1e-6).contains(&d), "delay {d}");
+        }
+        let span_bytes: f64 =
+            out.spans.iter().map(|s| s.mbps * 1e6 * s.len_ms / 1000.0 / 8.0).sum();
+        prop_assert!((span_bytes - out.bytes).abs() < 1.0, "span mismatch");
+        prop_assert!(out.end_state.mcs < table.len());
+    }
+
+    /// VR playback: stalls are non-negative and a faster link never
+    /// stalls more (in total time) than a strictly slower one.
+    #[test]
+    fn vr_monotone_in_rate(rate in 400.0f64..3000.0) {
+        let mut rng = libra_util::rng::rng_from_seed(5);
+        let trace = libra::VrTrace::synthetic_8k(5.0, 1.2, &mut rng);
+        let fast = [libra::RateSpan { start_ms: 0.0, len_ms: 60_000.0, mbps: rate * 1.5 }];
+        let slow = [libra::RateSpan { start_ms: 0.0, len_ms: 60_000.0, mbps: rate }];
+        let rf = libra::play(&trace, &fast);
+        let rs = libra::play(&trace, &slow);
+        prop_assert!(rf.total_stall_ms >= 0.0);
+        prop_assert!(rf.total_stall_ms <= rs.total_stall_ms + 1e-6);
+    }
+}
