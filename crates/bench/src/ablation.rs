@@ -22,6 +22,7 @@ use libra::{LinkState, PolicyKind, SegmentData, SimConfig};
 use libra_dataset::{generate, main_campaign_plan, Instruments};
 use libra_mac::ProtocolParams;
 use libra_phy::ErrorModel;
+use libra_util::par::{par_map, par_map_index};
 use libra_util::rng::{derive_seed_index, rng_from_seed};
 use libra_util::table::{fmt_f, TextTable};
 
@@ -114,14 +115,13 @@ pub fn ablation_fallback() -> String {
 
     let mut t = TextTable::new(["fallback", "mean deficit MB", "p90 deficit MB"]);
     for (name, clf) in &variants {
-        let mut deficits = Vec::new();
-        for entry in &ds.entries {
+        let deficits: Vec<f64> = par_map(&ds.entries, |_, entry| {
             let seg = SegmentData::from_entry(entry, 1000.0);
             let state = LinkState::at_mcs(entry.initial.best_mcs());
             let oracle = run_policy_segment(&seg, PolicyKind::OracleData, None, state, &sim);
             let out = run_policy_segment(&seg, PolicyKind::Libra, Some(clf), state, &sim);
-            deficits.push(((oracle.bytes - out.bytes) / 1e6).max(0.0));
-        }
+            ((oracle.bytes - out.bytes) / 1e6).max(0.0)
+        });
         t.row([
             name.to_string(),
             fmt_f(libra_util::stats::mean(&deficits), 2),
@@ -151,13 +151,12 @@ pub fn ablation_probe(n_timelines: usize) -> String {
     {
         let mut sim = SimConfig::new(params);
         sim.t0_frames = t0;
-        let mut bytes = Vec::new();
-        for i in 0..n_timelines {
+        let bytes: Vec<f64> = par_map_index(n_timelines, |i| {
             let mut rng = rng_from_seed(derive_seed_index(SUITE_SEED ^ 0xAB, i as u64));
             let tl = generate_timeline(ScenarioType::Mobility, &tl_cfg, &mut rng);
             let r = run_timeline(&tl, PolicyKind::Libra, Some(clf), &sim, &instruments);
-            bytes.push(r.bytes / 1e6);
-        }
+            r.bytes / 1e6
+        });
         t.row([name.to_string(), fmt_f(libra_util::stats::mean(&bytes), 1)]);
     }
     format!("Ablation: upward-probe interval ({n_timelines} mobility timelines)\n{}", t.render())
@@ -175,14 +174,13 @@ pub fn ablation_confidence_gate() -> String {
     for gate in [None, Some(0.5), Some(0.7), Some(0.9)] {
         let mut sim = SimConfig::new(params);
         sim.libra_confidence_gate = gate;
-        let mut deficits = Vec::new();
-        for entry in &ds.entries {
+        let deficits: Vec<f64> = par_map(&ds.entries, |_, entry| {
             let seg = SegmentData::from_entry(entry, 1000.0);
             let state = LinkState::at_mcs(entry.initial.best_mcs());
             let oracle = run_policy_segment(&seg, PolicyKind::OracleData, None, state, &sim);
             let out = run_policy_segment(&seg, PolicyKind::Libra, Some(clf), state, &sim);
-            deficits.push(((oracle.bytes - out.bytes) / 1e6).max(0.0));
-        }
+            ((oracle.bytes - out.bytes) / 1e6).max(0.0)
+        });
         t.row([
             gate.map_or("none (paper)".to_string(), |g| format!("{g:.1}")),
             fmt_f(libra_util::stats::mean(&deficits), 2),
@@ -209,19 +207,18 @@ pub fn ablation_history(n_train: usize, n_eval: usize) -> String {
 
     let mut t = TextTable::new(["variant", "mean bytes (MB)", "vs single-window"]);
     // Baseline: single-window LiBRA on the eval timelines.
-    let eval_timelines: Vec<_> = (0..n_eval)
+    let eval_pairs: Vec<(ScenarioType, usize)> = (0..n_eval)
         .flat_map(|i| {
             scenarios.iter().map(move |&sc| (sc, i)).collect::<Vec<_>>()
         })
-        .map(|(sc, i)| {
-            let mut rng = rng_from_seed(derive_seed_index(SUITE_SEED ^ 0x415, i as u64 * 31 + sc as u64));
-            libra::generate_timeline(sc, &libra::TimelineConfig::default(), &mut rng)
-        })
         .collect();
-    let baseline: Vec<f64> = eval_timelines
-        .iter()
-        .map(|tl| run_timeline_single_window(tl, fallback, &sim, &instruments) / 1e6)
-        .collect();
+    let eval_timelines: Vec<_> = par_map(&eval_pairs, |_, &(sc, i)| {
+        let mut rng = rng_from_seed(derive_seed_index(SUITE_SEED ^ 0x415, i as u64 * 31 + sc as u64));
+        libra::generate_timeline(sc, &libra::TimelineConfig::default(), &mut rng)
+    });
+    let baseline: Vec<f64> = par_map(&eval_timelines, |_, tl| {
+        run_timeline_single_window(tl, fallback, &sim, &instruments) / 1e6
+    });
     let base_mean = libra_util::stats::mean(&baseline);
     t.row(["single window (LiBRA)".to_string(), fmt_f(base_mean, 1), "—".into()]);
 
@@ -236,10 +233,9 @@ pub fn ablation_history(n_train: usize, n_eval: usize) -> String {
         );
         let mut rng = rng_from_seed(SUITE_SEED ^ 0x417);
         let hclf = HistoryClassifier::train(&data, window, &mut rng);
-        let bytes: Vec<f64> = eval_timelines
-            .iter()
-            .map(|tl| run_timeline_with_history(tl, &hclf, fallback, &sim, &instruments) / 1e6)
-            .collect();
+        let bytes: Vec<f64> = par_map(&eval_timelines, |_, tl| {
+            run_timeline_with_history(tl, &hclf, fallback, &sim, &instruments) / 1e6
+        });
         let mean = libra_util::stats::mean(&bytes);
         t.row([
             format!("history K = {window}"),
@@ -272,18 +268,21 @@ pub fn ablation_online(n_timelines: usize) -> String {
     let mut online = OnlineLibra::new(offline, 20, SUITE_SEED ^ 0x0A1);
     let static_clf = classifier();
 
-    let timelines: Vec<libra::Timeline> = (0..n_timelines)
-        .map(|i| {
-            let mut rng = rng_from_seed(derive_seed_index(SUITE_SEED ^ 0x0A2, i as u64));
-            generate_timeline(ScenarioType::Mixed, &tl_cfg, &mut rng)
-        })
-        .collect();
+    let timelines: Vec<libra::Timeline> = par_map_index(n_timelines, |i| {
+        let mut rng = rng_from_seed(derive_seed_index(SUITE_SEED ^ 0x0A2, i as u64));
+        generate_timeline(ScenarioType::Mixed, &tl_cfg, &mut rng)
+    });
 
-    // Ratio vs Oracle-Data per timeline, for static and online variants.
-    let mut rows: Vec<(f64, f64)> = Vec::new();
-    for tl in &timelines {
+    // The oracle and static passes are stateless per timeline and run in
+    // parallel; the online learner mutates as it goes, so its pass stays
+    // sequential in deployment order.
+    let reference: Vec<(f64, f64)> = par_map(&timelines, |_, tl| {
         let oracle = run_timeline(tl, PolicyKind::OracleData, None, &sim, &instruments).bytes;
         let stat = run_timeline(tl, PolicyKind::Libra, Some(static_clf), &sim, &instruments).bytes;
+        (oracle, stat)
+    });
+    let mut rows: Vec<(f64, f64)> = Vec::new();
+    for (tl, &(oracle, stat)) in timelines.iter().zip(&reference) {
         let onl = run_timeline_online(tl, &mut online, &sim, &instruments);
         if oracle > 0.0 {
             rows.push((stat / oracle, onl / oracle));

@@ -3,16 +3,30 @@
 //! ```text
 //! experiments all                 # the full suite (minutes)
 //! experiments quick               # reduced repeats/timelines (~1 min)
+//! experiments quick fig10         # reduced knobs, fig10 only
 //! experiments table1 fig10 ...    # individual artifacts
 //! experiments --csv-dir out/ figs # also export CSV series
+//! experiments --threads 4 all     # explicit worker-thread count
 //! ```
 //!
 //! Artifact names: fig1 fig2 fig3 table1 table2 fig4 fig5 fig6 fig7 fig8
 //! fig9 cv crossbuilding table3 threeclass extmodels fig10 fig11 fig12 fig13
 //! table4 ablations.
+//!
+//! Parallelism: every section runs on the worker count from `--threads N`,
+//! else `LIBRA_THREADS`, else the machine's available parallelism — with
+//! bitwise-identical output at any setting. A sequential run
+//! (`--threads 1`) records per-section wall-clock times to
+//! `results/seq_baseline.txt`; later parallel runs report their speedup
+//! against that baseline.
 
 use libra_bench::{ablation, context, evaluation, motivation, study};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Where a sequential run records per-section wall-clock seconds.
+const BASELINE_PATH: &str = "results/seq_baseline.txt";
 
 struct Opts {
     csv_dir: Option<String>,
@@ -21,42 +35,104 @@ struct Opts {
     vr_timelines: usize,
 }
 
+fn load_baseline() -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    if let Ok(text) = std::fs::read_to_string(BASELINE_PATH) {
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            if let (Some(name), Some(secs)) = (parts.next(), parts.next()) {
+                if let Ok(s) = secs.parse::<f64>() {
+                    map.insert(name.to_string(), s);
+                }
+            }
+        }
+    }
+    map
+}
+
+fn store_baseline(map: &BTreeMap<String, f64>) {
+    if map.is_empty() {
+        return;
+    }
+    let mut text = String::new();
+    for (name, secs) in map {
+        text.push_str(&format!("{name} {secs:.3}\n"));
+    }
+    if let Some(dir) = std::path::Path::new(BASELINE_PATH).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(BASELINE_PATH, text) {
+        eprintln!("warning: could not write {BASELINE_PATH}: {e}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts =
         Opts { csv_dir: None, cv_repeats: 10, timelines: 50, vr_timelines: 50 };
     let mut wanted: Vec<String> = Vec::new();
+    let mut quick = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--csv-dir" => {
                 opts.csv_dir = Some(it.next().expect("--csv-dir needs a path"));
             }
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("--threads needs a positive integer");
+                assert!(n > 0, "--threads needs a positive integer");
+                libra_util::par::set_threads(n);
+            }
             "quick" => {
                 opts.cv_repeats = 2;
                 opts.timelines = 10;
                 opts.vr_timelines = 10;
-                wanted.push("all".into());
+                quick = true;
             }
             other => wanted.push(other.to_string()),
         }
     }
+    // Bare `quick` means the whole (reduced) suite; `quick fig10` means
+    // only fig10 at the reduced knobs.
+    if quick && wanted.is_empty() {
+        wanted.push("all".into());
+    }
     if wanted.is_empty() {
         eprintln!(
-            "usage: experiments [--csv-dir DIR] [all|quick|fig1..fig13|table1..table4|cv|crossbuilding|threeclass|ablations]"
+            "usage: experiments [--csv-dir DIR] [--threads N] [all|quick|fig1..fig13|table1..table4|cv|crossbuilding|threeclass|ablations]"
         );
         std::process::exit(2);
     }
     let all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
 
+    let threads = libra_util::par::threads();
+    eprintln!("workers: {threads}");
+    let sequential = threads == 1;
+    let baseline = RefCell::new(load_baseline());
+
     let t0 = Instant::now();
     let section = |name: &str, body: &mut dyn FnMut() -> String| {
         if want(name) {
             let t = Instant::now();
             let out = body();
+            let secs = t.elapsed().as_secs_f64();
             println!("{out}");
-            println!("[{name} took {:.1} s]\n", t.elapsed().as_secs_f64());
+            let base = baseline.borrow().get(name).copied();
+            match base {
+                Some(b) if !sequential && secs > 0.0 && b > 0.0 => println!(
+                    "[{name} took {secs:.1} s — {:.1}x vs sequential baseline {b:.1} s]\n",
+                    b / secs
+                ),
+                _ => println!("[{name} took {secs:.1} s]\n"),
+            }
+            if sequential {
+                baseline.borrow_mut().insert(name.to_string(), secs);
+            }
         }
     };
 
@@ -143,5 +219,8 @@ fn main() {
         )
     });
 
+    if sequential {
+        store_baseline(&baseline.borrow());
+    }
     eprintln!("total: {:.1} s", t0.elapsed().as_secs_f64());
 }

@@ -14,6 +14,7 @@ use libra::prelude::*;
 use libra::sim::run_policy_segment;
 use libra::{LinkState, PolicyKind, SegmentData, SimConfig, TimelineResult};
 use libra_mac::ProtocolParams;
+use libra_util::par::{par_map, par_map_index};
 use libra_util::rng::{derive_seed_index, rng_from_seed};
 use libra_util::stats::{BoxplotSummary, EmpiricalCdf};
 use libra_util::table::{fmt_f, TextTable};
@@ -43,17 +44,35 @@ pub fn single_impairment_cell(params: ProtocolParams, flow_ms: f64) -> SingleImp
     let mut excesses: Vec<(PolicyKind, Vec<f64>)> =
         PolicyKind::HEURISTICS.iter().map(|&p| (p, Vec::new())).collect();
 
-    for entry in &ds.entries {
+    // Entries are independent and RNG-free; evaluate them in parallel and
+    // fold the per-entry rows back in entry order so the CDF inputs are
+    // identical to a sequential pass.
+    let per_entry: Vec<Vec<(f64, Option<f64>)>> = par_map(&ds.entries, |_, entry| {
         let seg = SegmentData::from_entry(entry, flow_ms);
         let state = LinkState::at_mcs(entry.initial.best_mcs());
         let oracle_data = run_policy_segment(&seg, PolicyKind::OracleData, None, state, &sim);
         let oracle_delay = run_policy_segment(&seg, PolicyKind::OracleDelay, None, state, &sim);
         let od_delay = oracle_delay.recovery_delay_ms;
-        for ((p, dvec), (_, evec)) in deficits.iter_mut().zip(excesses.iter_mut()) {
-            let out = run_policy_segment(&seg, *p, Some(clf), state, &sim);
-            dvec.push(((oracle_data.bytes - out.bytes) / 1e6).max(0.0));
-            if let (Some(d), Some(od)) = (out.recovery_delay_ms, od_delay) {
-                evec.push((d - od).max(0.0));
+        PolicyKind::HEURISTICS
+            .iter()
+            .map(|&p| {
+                let out = run_policy_segment(&seg, p, Some(clf), state, &sim);
+                let deficit = ((oracle_data.bytes - out.bytes) / 1e6).max(0.0);
+                let excess = match (out.recovery_delay_ms, od_delay) {
+                    (Some(d), Some(od)) => Some((d - od).max(0.0)),
+                    _ => None,
+                };
+                (deficit, excess)
+            })
+            .collect()
+    });
+    for row in per_entry {
+        for (((_, dvec), (_, evec)), (deficit, excess)) in
+            deficits.iter_mut().zip(excesses.iter_mut()).zip(row)
+        {
+            dvec.push(deficit);
+            if let Some(e) = excess {
+                evec.push(e);
             }
         }
     }
@@ -181,17 +200,34 @@ pub fn timeline_cell(
     let mut delay_excess: Vec<(PolicyKind, Vec<f64>)> =
         PolicyKind::HEURISTICS.iter().map(|&p| (p, Vec::new())).collect();
 
-    for i in 0..n_timelines {
+    // Each timeline owns its derived RNG stream, so timelines evaluate in
+    // parallel and fold back in timeline order — boxplot inputs match a
+    // sequential run exactly.
+    let per_timeline: Vec<Vec<(Option<f64>, f64)>> = par_map_index(n_timelines, |i| {
         let mut rng = rng_from_seed(derive_seed_index(SUITE_SEED ^ 0x71, i as u64));
         let tl = generate_timeline(scenario, &tl_cfg, &mut rng);
         let od = run_timeline(&tl, PolicyKind::OracleData, None, &sim, &instruments);
         let odelay = run_timeline(&tl, PolicyKind::OracleDelay, None, &sim, &instruments);
-        for ((p, rvec), (_, evec)) in data_ratio.iter_mut().zip(delay_excess.iter_mut()) {
-            let r = run_timeline(&tl, *p, Some(clf), &sim, &instruments);
-            if od.bytes > 0.0 {
-                rvec.push((r.bytes / od.bytes).min(1.2));
+        PolicyKind::HEURISTICS
+            .iter()
+            .map(|&p| {
+                let r = run_timeline(&tl, p, Some(clf), &sim, &instruments);
+                let ratio =
+                    (od.bytes > 0.0).then(|| (r.bytes / od.bytes).min(1.2));
+                let excess =
+                    (r.mean_recovery_delay_ms() - odelay.mean_recovery_delay_ms()).max(0.0);
+                (ratio, excess)
+            })
+            .collect()
+    });
+    for row in per_timeline {
+        for (((_, rvec), (_, evec)), (ratio, excess)) in
+            data_ratio.iter_mut().zip(delay_excess.iter_mut()).zip(row)
+        {
+            if let Some(r) = ratio {
+                rvec.push(r);
             }
-            evec.push((r.mean_recovery_delay_ms() - odelay.mean_recovery_delay_ms()).max(0.0));
+            evec.push(excess);
         }
     }
 
@@ -324,18 +360,23 @@ pub fn table4(n_timelines: usize) -> String {
         sim.min_tput_mbps *= COTS_TPUT_SCALE;
         let mut cells: Vec<String> = vec![params.label()];
         for policy in policies {
-            let mut durs = Vec::new();
-            let mut counts = Vec::new();
-            for i in 0..n_timelines {
+            // One derived stream per timeline index: timelines replay in
+            // parallel and the stall stats fold back in index order.
+            let stalls: Vec<Option<(f64, f64)>> = par_map_index(n_timelines, |i| {
                 let mut rng = rng_from_seed(derive_seed_index(SUITE_SEED ^ 0x74B1E4, i as u64));
                 let tl = generate_timeline(ScenarioType::Mobility, &tl_cfg, &mut rng);
                 let trace = VrTrace::synthetic_8k(30.0, 1.2, &mut rng);
                 let r: TimelineResult = run_timeline(&tl, policy, Some(clf), &sim, &instruments);
                 let rep = play(&trace, &r.spans);
-                if rep.total_stall_ms.is_finite() {
-                    durs.push(rep.mean_stall_ms);
-                    counts.push(rep.n_stalls as f64);
-                }
+                rep.total_stall_ms
+                    .is_finite()
+                    .then_some((rep.mean_stall_ms, rep.n_stalls as f64))
+            });
+            let mut durs = Vec::new();
+            let mut counts = Vec::new();
+            for (d, c) in stalls.into_iter().flatten() {
+                durs.push(d);
+                counts.push(c);
             }
             cells.push(format!(
                 "{}/{}",

@@ -1,0 +1,81 @@
+//! Tier-1 determinism regression for the parallel execution layer.
+//!
+//! The suite's contract is that every artifact is *bitwise identical* at
+//! any worker-thread count. This test exercises the three layers that
+//! parallelised — campaign generation, classifier (forest) training, and
+//! repeated cross-validation — on a reduced but structurally diverse
+//! slice of the main campaign plan, and compares serialized digests
+//! between a forced-sequential run (`--threads 1` equivalent) and a
+//! multi-threaded run.
+//!
+//! The parallel thread count honours `LIBRA_THREADS` when it asks for 2+
+//! workers (CI pins it), and defaults to 4 otherwise.
+
+use libra::LibraClassifier;
+use libra_dataset::{generate, main_campaign_plan, CampaignConfig, GroundTruthParams, Instruments};
+use libra_phy::McsTable;
+use libra_util::binser;
+use libra_util::par::set_threads;
+use libra_util::rng::rng_from_seed;
+
+/// FNV-1a over a serialized artifact; collisions would need adversarial
+/// inputs, far beyond what a regression digest has to resist.
+fn digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Generates the reduced campaign, trains the 3-class classifier, and
+/// runs a small repeated CV, all at the given thread count; returns the
+/// three serialized digests.
+fn artifacts(threads: usize) -> (u64, u64, u64) {
+    set_threads(threads);
+
+    // One scenario of each structural kind — displacement, rotation,
+    // blockage, interference — across three environments, so every label
+    // class shows up while the run stays test-sized.
+    let keep =
+        ["lobby-back", "lobby-rot1", "lobby-blk0", "lobby-intf0", "lab-back", "conf-rot1"];
+    let plan: Vec<_> = main_campaign_plan()
+        .into_iter()
+        .filter(|s| keep.contains(&s.name.as_str()))
+        .collect();
+    assert_eq!(plan.len(), keep.len(), "campaign plan no longer contains the test scenarios");
+
+    let instruments = Instruments { trace_frames: 25, ..Instruments::default() };
+    let cfg = CampaignConfig { seed: 0xD17E, instruments, repeats: 1 };
+    let ds = generate(&plan, &cfg);
+    let ds_digest = digest(&binser::to_bytes(&ds).expect("serialize dataset"));
+
+    let table = McsTable::x60();
+    let data = ds.to_ml_3class(&table, &GroundTruthParams::default());
+    let mut rng = rng_from_seed(0x5EED);
+    let clf = LibraClassifier::train(&data, &mut rng);
+    let clf_digest = digest(&binser::to_bytes(&clf).expect("serialize classifier"));
+
+    let cv = libra_ml::cross_validate(libra_ml::ModelKind::RandomForest, &data, 3, 2, 0xCF);
+    let cv_digest = digest(&binser::to_bytes(&cv).expect("serialize cv result"));
+
+    set_threads(0);
+    (ds_digest, clf_digest, cv_digest)
+}
+
+#[test]
+fn parallel_artifacts_match_sequential_bitwise() {
+    let parallel_threads = std::env::var("LIBRA_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(4);
+
+    let (ds1, clf1, cv1) = artifacts(1);
+    let (dsn, clfn, cvn) = artifacts(parallel_threads);
+
+    assert_eq!(ds1, dsn, "campaign dataset differs at {parallel_threads} threads");
+    assert_eq!(clf1, clfn, "trained classifier differs at {parallel_threads} threads");
+    assert_eq!(cv1, cvn, "cross-validation result differs at {parallel_threads} threads");
+}

@@ -1,0 +1,54 @@
+//! Golden-artifact smoke test: a Table 1-style summary of a reduced
+//! campaign, compared byte-for-byte against a checked-in golden file —
+//! and rendered at 1 and 4 worker threads to prove the stdout artifact
+//! itself is thread-count invariant.
+//!
+//! Blessing: if `tests/golden/table1_small.txt` does not exist yet, the
+//! test writes the current rendering there and passes; commit the file to
+//! pin the artifact. Any later drift (a change to the channel model, the
+//! labelling, the table renderer, …) then fails the comparison until the
+//! golden is deliberately re-blessed by deleting it and re-running.
+
+use libra_bench::study::render_summary;
+use libra_dataset::{generate, main_campaign_plan, CampaignConfig, Instruments};
+use libra_util::par::set_threads;
+
+const GOLDEN_PATH: &str = "tests/golden/table1_small.txt";
+
+fn render_small_table1() -> String {
+    let keep = ["lobby-back", "lobby-rot1", "lobby-blk0", "lobby-intf0"];
+    let plan: Vec<_> = main_campaign_plan()
+        .into_iter()
+        .filter(|s| keep.contains(&s.name.as_str()))
+        .collect();
+    assert_eq!(plan.len(), keep.len(), "campaign plan no longer contains the test scenarios");
+    let instruments = Instruments { trace_frames: 25, ..Instruments::default() };
+    let cfg = CampaignConfig { seed: 0xD17E, instruments, repeats: 1 };
+    let ds = generate(&plan, &cfg);
+    render_summary("Table 1 (reduced golden campaign)", &ds)
+}
+
+#[test]
+fn table1_smoke_matches_golden() {
+    set_threads(1);
+    let sequential = render_small_table1();
+    set_threads(4);
+    let parallel = render_small_table1();
+    set_threads(0);
+    assert_eq!(sequential, parallel, "summary text differs between 1 and 4 threads");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    match std::fs::read_to_string(&path) {
+        Ok(golden) => assert_eq!(
+            sequential, golden,
+            "rendered summary drifted from the golden file {GOLDEN_PATH}; \
+             delete it and re-run to re-bless deliberately"
+        ),
+        Err(_) => {
+            std::fs::create_dir_all(path.parent().expect("golden dir"))
+                .expect("create golden dir");
+            std::fs::write(&path, &sequential).expect("write golden file");
+            eprintln!("blessed new golden file {GOLDEN_PATH}; commit it to pin the artifact");
+        }
+    }
+}

@@ -7,6 +7,7 @@ use libra::{LinkState, PolicyKind, ScenarioType, SegmentData, SimConfig, Timelin
 use libra_dataset::{Features, GroundTruthParams, Instruments};
 use libra_mac::{BaOverheadPreset, ProtocolParams};
 use libra_phy::McsTable;
+use libra_util::par::{par_map, par_map_index};
 use libra_util::rng::rng_from_seed;
 use libra_util::table::{fmt_f, TextTable};
 
@@ -32,14 +33,19 @@ pub fn usage() -> String {
 
 USAGE:
   libractl dataset generate --plan main|testing --out FILE [--csv FILE] [--seed N] [--repeats N]
+                            [--threads N]
   libractl dataset summary  --input FILE [--alpha A] [--ba-ms MS] [--fat-ms MS]
-  libractl train            --dataset FILE --out FILE [--seed N]
+  libractl train            --dataset FILE --out FILE [--seed N] [--threads N]
   libractl classify         --model FILE --snr-diff DB [--tof-diff NS] [--noise-diff DB]
                             [--pdp-sim S] [--csi-sim S] [--cdr C] [--initial-mcs M]
   libractl simulate         --model FILE --dataset FILE [--ba-ms MS] [--fat-ms MS] [--flow-ms MS]
+                            [--threads N]
   libractl timeline         --model FILE [--scenario mobility|blockage|interference|mixed]
-                            [--timelines N] [--ba-ms MS] [--fat-ms MS] [--seed N]
+                            [--timelines N] [--ba-ms MS] [--fat-ms MS] [--seed N] [--threads N]
   libractl info
+
+Parallel commands honour --threads N (else the LIBRA_THREADS environment
+variable, else all cores); output is identical at any thread count.
 "
     .to_string()
 }
@@ -51,6 +57,15 @@ fn ba_preset(ms: f64) -> Result<BaOverheadPreset, ArgError> {
         .ok_or_else(|| {
             ArgError("--ba-ms must be one of the evaluated presets: 0.5, 5, 150, 250".into())
         })
+}
+
+/// Consumes an optional `--threads N`, setting the global worker count.
+fn take_threads(args: &mut Args) -> Result<(), ArgError> {
+    let n: usize = args.opt_parse("threads", 0)?;
+    if n > 0 {
+        libra_util::par::set_threads(n);
+    }
+    Ok(())
 }
 
 fn gt_params(args: &mut Args) -> Result<GroundTruthParams, ArgError> {
@@ -68,6 +83,7 @@ fn dataset_generate(args: &mut Args) -> Result<String, ArgError> {
     let csv = args.opt("csv");
     let seed: u64 = args.opt_parse("seed", 0x11B2A)?;
     let repeats: usize = args.opt_parse("repeats", 3)?;
+    take_threads(args)?;
     args.finish()?;
 
     let plan = match plan_name.as_str() {
@@ -121,6 +137,7 @@ fn train(args: &mut Args) -> Result<String, ArgError> {
     let dataset = args.req("dataset")?;
     let out = args.req("out")?;
     let seed: u64 = args.opt_parse("seed", 7)?;
+    take_threads(args)?;
     args.finish()?;
     let ds = CampaignDataset::load(&dataset).map_err(|e| ArgError(e.to_string()))?;
     let table = McsTable::x60();
@@ -169,6 +186,7 @@ fn simulate(args: &mut Args) -> Result<String, ArgError> {
     let ba_ms: f64 = args.opt_parse("ba-ms", 0.5)?;
     let fat_ms: f64 = args.opt_parse("fat-ms", 2.0)?;
     let flow_ms: f64 = args.opt_parse("flow-ms", 1000.0)?;
+    take_threads(args)?;
     args.finish()?;
     let clf = LibraClassifier::load(&model).map_err(|e| ArgError(e.to_string()))?;
     let ds = CampaignDataset::load(&dataset).map_err(|e| ArgError(e.to_string()))?;
@@ -182,16 +200,26 @@ fn simulate(args: &mut Args) -> Result<String, ArgError> {
         PolicyKind::OracleData,
         PolicyKind::OracleDelay,
     ];
-    let mut totals = vec![0.0f64; policies.len()];
-    let mut deficits = vec![0.0f64; policies.len()];
-    for entry in &ds.entries {
+    // Entries evaluate in parallel; sums fold in entry order so the
+    // floating-point totals match a sequential run exactly.
+    let per_entry: Vec<Vec<(f64, f64)>> = par_map(&ds.entries, |_, entry| {
         let seg = SegmentData::from_entry(entry, flow_ms);
         let state = LinkState::at_mcs(entry.initial.best_mcs());
         let oracle = run_policy_segment(&seg, PolicyKind::OracleData, None, state, &sim);
-        for (i, &p) in policies.iter().enumerate() {
-            let out = run_policy_segment(&seg, p, Some(&clf), state, &sim);
-            totals[i] += out.bytes / 1e6;
-            deficits[i] += (oracle.bytes - out.bytes).max(0.0) / 1e6;
+        policies
+            .iter()
+            .map(|&p| {
+                let out = run_policy_segment(&seg, p, Some(&clf), state, &sim);
+                (out.bytes / 1e6, (oracle.bytes - out.bytes).max(0.0) / 1e6)
+            })
+            .collect()
+    });
+    let mut totals = vec![0.0f64; policies.len()];
+    let mut deficits = vec![0.0f64; policies.len()];
+    for row in per_entry {
+        for (i, (mb, deficit)) in row.into_iter().enumerate() {
+            totals[i] += mb;
+            deficits[i] += deficit;
         }
     }
     let n = ds.entries.len().max(1) as f64;
@@ -218,6 +246,7 @@ fn timeline(args: &mut Args) -> Result<String, ArgError> {
     let ba_ms: f64 = args.opt_parse("ba-ms", 0.5)?;
     let fat_ms: f64 = args.opt_parse("fat-ms", 2.0)?;
     let seed: u64 = args.opt_parse("seed", 1)?;
+    take_threads(args)?;
     args.finish()?;
     let clf = LibraClassifier::load(&model).map_err(|e| ArgError(e.to_string()))?;
     let sim = SimConfig::new(ProtocolParams::new(ba_preset(ba_ms)?, fat_ms));
@@ -227,16 +256,27 @@ fn timeline(args: &mut Args) -> Result<String, ArgError> {
     let mut t = TextTable::new(["algorithm", "data ratio vs Oracle-Data", "mean recovery (ms)"]);
     let mut ratios = vec![Vec::new(); 3];
     let mut delays = vec![Vec::new(); 3];
-    for i in 0..n {
+    // Each timeline owns a derived RNG stream; results fold back in
+    // timeline order, so the means match a sequential run exactly.
+    let per_timeline: Vec<Vec<(Option<f64>, f64)>> = par_map_index(n, |i| {
         let mut rng = rng_from_seed(libra_util::rng::derive_seed_index(seed, i as u64));
         let tl = generate_timeline(scenario, &tl_cfg, &mut rng);
         let oracle = run_timeline(&tl, PolicyKind::OracleData, None, &sim, &instruments);
-        for (j, p) in PolicyKind::HEURISTICS.iter().enumerate() {
-            let r = run_timeline(&tl, *p, Some(&clf), &sim, &instruments);
-            if oracle.bytes > 0.0 {
-                ratios[j].push(r.bytes / oracle.bytes);
+        PolicyKind::HEURISTICS
+            .iter()
+            .map(|&p| {
+                let r = run_timeline(&tl, p, Some(&clf), &sim, &instruments);
+                let ratio = (oracle.bytes > 0.0).then(|| r.bytes / oracle.bytes);
+                (ratio, r.mean_recovery_delay_ms())
+            })
+            .collect()
+    });
+    for row in per_timeline {
+        for (j, (ratio, delay)) in row.into_iter().enumerate() {
+            if let Some(r) = ratio {
+                ratios[j].push(r);
             }
-            delays[j].push(r.mean_recovery_delay_ms());
+            delays[j].push(delay);
         }
     }
     for (j, p) in PolicyKind::HEURISTICS.iter().enumerate() {

@@ -14,6 +14,7 @@ use crate::measure::{measure_pair, measure_state, Instruments};
 use libra_channel::{
     Blocker, BlockerPlacement, Environment, InterferenceLevel, Interferer, Point, Pose, Scene,
 };
+use libra_util::par::par_map;
 use libra_util::rng::{derive_seed, rng_from_seed};
 use serde::{Deserialize, Serialize};
 
@@ -89,59 +90,79 @@ impl Default for CampaignConfig {
 }
 
 /// Runs the campaign over the given scenarios.
+///
+/// Scenarios execute in parallel: each derives an independent RNG stream
+/// from its (unique) name, and the per-scenario results are concatenated
+/// in plan order — the output is bitwise identical to a sequential walk
+/// at any thread count.
 pub fn generate(specs: &[ScenarioSpec], cfg: &CampaignConfig) -> CampaignDataset {
+    let per_scenario = par_map(specs, |_, spec| generate_scenario(spec, cfg));
     let mut entries = Vec::new();
     let mut na_entries = Vec::new();
-    for spec in specs {
-        let mut rng = rng_from_seed(derive_seed(cfg.seed, &spec.name));
-        let initial_scene = spec.initial_scene();
-        let init = measure_state(&initial_scene, &cfg.instruments, &mut rng);
-        for (si, st) in spec.new_states.iter().enumerate() {
-            let new_scene = spec.new_scene(st);
-            // One SLS at the new state (as in §5.1), shared by repeats.
-            let new_state = measure_state(&new_scene, &cfg.instruments, &mut rng);
-            for _ in 0..cfg.repeats {
-                let old_pair = measure_pair(&new_scene, &cfg.instruments, init.best.pair, &mut rng);
-                // When the new SLS lands on the very pair already in use,
-                // BA has nothing to offer: both options are the SAME
-                // configuration, so they must share one measurement
-                // (otherwise independent trace jitter would coin-flip the
-                // Th(RA) ≥ Th(BA) tie that rightfully goes to RA).
-                let best_pair = if new_state.best.pair == init.best.pair {
-                    old_pair.clone()
-                } else {
-                    measure_pair(&new_scene, &cfg.instruments, new_state.best.pair, &mut rng)
-                };
-                let features = Features::extract(&init.best, &old_pair);
-                entries.push(DatasetEntry {
-                    env: spec.env,
-                    impairment: st.kind,
-                    scenario: spec.name.clone(),
-                    position_key: st.position_key.clone(),
-                    features,
-                    initial: init.best.clone(),
-                    new_old_pair: old_pair,
-                    new_best_pair: best_pair,
-                });
-            }
-            // One No-Adaptation twin per new state (§7): the state's own
-            // best pair measured twice.
-            let na_a = measure_pair(&new_scene, &cfg.instruments, new_state.best.pair, &mut rng);
-            let na_b = measure_pair(&new_scene, &cfg.instruments, new_state.best.pair, &mut rng);
-            let na_features = Features::extract(&na_a, &na_b);
-            na_entries.push(DatasetEntry {
-                env: spec.env,
-                impairment: st.kind,
-                scenario: format!("{}#na{}", spec.name, si),
-                position_key: st.position_key.clone(),
-                features: na_features,
-                initial: na_a,
-                new_old_pair: na_b.clone(),
-                new_best_pair: na_b,
-            });
-        }
+    for (e, na) in per_scenario {
+        entries.extend(e);
+        na_entries.extend(na);
     }
     CampaignDataset { entries, na_entries }
+}
+
+/// Walks one scenario: the initial-state SLS, then every new state with
+/// its repeated traces and the No-Adaptation twin. All randomness flows
+/// from the scenario's own seed stream.
+fn generate_scenario(
+    spec: &ScenarioSpec,
+    cfg: &CampaignConfig,
+) -> (Vec<DatasetEntry>, Vec<DatasetEntry>) {
+    let mut entries = Vec::new();
+    let mut na_entries = Vec::new();
+    let mut rng = rng_from_seed(derive_seed(cfg.seed, &spec.name));
+    let initial_scene = spec.initial_scene();
+    let init = measure_state(&initial_scene, &cfg.instruments, &mut rng);
+    for (si, st) in spec.new_states.iter().enumerate() {
+        let new_scene = spec.new_scene(st);
+        // One SLS at the new state (as in §5.1), shared by repeats.
+        let new_state = measure_state(&new_scene, &cfg.instruments, &mut rng);
+        for _ in 0..cfg.repeats {
+            let old_pair = measure_pair(&new_scene, &cfg.instruments, init.best.pair, &mut rng);
+            // When the new SLS lands on the very pair already in use,
+            // BA has nothing to offer: both options are the SAME
+            // configuration, so they must share one measurement
+            // (otherwise independent trace jitter would coin-flip the
+            // Th(RA) ≥ Th(BA) tie that rightfully goes to RA).
+            let best_pair = if new_state.best.pair == init.best.pair {
+                old_pair.clone()
+            } else {
+                measure_pair(&new_scene, &cfg.instruments, new_state.best.pair, &mut rng)
+            };
+            let features = Features::extract(&init.best, &old_pair);
+            entries.push(DatasetEntry {
+                env: spec.env,
+                impairment: st.kind,
+                scenario: spec.name.clone(),
+                position_key: st.position_key.clone(),
+                features,
+                initial: init.best.clone(),
+                new_old_pair: old_pair,
+                new_best_pair: best_pair,
+            });
+        }
+        // One No-Adaptation twin per new state (§7): the state's own
+        // best pair measured twice.
+        let na_a = measure_pair(&new_scene, &cfg.instruments, new_state.best.pair, &mut rng);
+        let na_b = measure_pair(&new_scene, &cfg.instruments, new_state.best.pair, &mut rng);
+        let na_features = Features::extract(&na_a, &na_b);
+        na_entries.push(DatasetEntry {
+            env: spec.env,
+            impairment: st.kind,
+            scenario: format!("{}#na{}", spec.name, si),
+            position_key: st.position_key.clone(),
+            features: na_features,
+            initial: na_a,
+            new_old_pair: na_b.clone(),
+            new_best_pair: na_b,
+        });
+    }
+    (entries, na_entries)
 }
 
 // ---------------------------------------------------------------------

@@ -11,7 +11,8 @@ use crate::metrics::{accuracy, weighted_f1};
 use crate::nn::{NeuralNet, NnConfig};
 use crate::svm::{SvmClassifier, SvmConfig};
 use crate::tree::{DecisionTree, TreeConfig};
-use libra_util::rng::{derive_seed_index, rng_from_seed};
+use libra_util::par::par_map;
+use libra_util::rng::{derive_seed, derive_seed_index, rng_from_seed};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -170,6 +171,13 @@ pub struct CvResult {
 }
 
 /// Repeated stratified k-fold cross validation.
+///
+/// Every `(repeat, fold)` cell is an independent unit of work: the fold
+/// assignment of a repeat comes from a `"folds"`-labelled stream of that
+/// repeat's derived seed, and each cell fits its model from its own
+/// `"fit"`-labelled stream. Cells therefore evaluate in parallel, and the
+/// result — including the order of `fold_accuracies` (repeat-major,
+/// fold-minor) — is identical at any thread count.
 pub fn cross_validate(
     kind: ModelKind,
     data: &Dataset,
@@ -178,33 +186,37 @@ pub fn cross_validate(
     seed: u64,
 ) -> CvResult {
     assert!(repeats >= 1);
-    let mut accs = Vec::new();
-    let mut f1s = Vec::new();
-    for r in 0..repeats {
-        let mut rng = rng_from_seed(derive_seed_index(seed, r as u64));
-        let folds = data.stratified_folds(k, &mut rng);
-        for held_out in 0..k {
-            let test_idx = &folds[held_out];
-            let train_idx: Vec<usize> = folds
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != held_out)
-                .flat_map(|(_, f)| f.iter().copied())
-                .collect();
-            let train = data.subset(&train_idx);
-            let test = data.subset(test_idx);
-            let mut model = kind.build();
-            model.fit(&train, &mut rng);
-            let pred = model.predict(&test.features);
-            accs.push(accuracy(&test.labels, &pred));
-            f1s.push(weighted_f1(&test.labels, &pred, data.n_classes));
-        }
-    }
-    CvResult {
-        accuracy: mean(&accs),
-        weighted_f1: mean(&f1s),
-        fold_accuracies: accs,
-    }
+    let fold_sets: Vec<Vec<Vec<usize>>> = (0..repeats)
+        .map(|r| {
+            let rep_seed = derive_seed_index(seed, r as u64);
+            let mut rng = rng_from_seed(derive_seed(rep_seed, "folds"));
+            data.stratified_folds(k, &mut rng)
+        })
+        .collect();
+    let cells: Vec<(usize, usize)> =
+        (0..repeats).flat_map(|r| (0..k).map(move |h| (r, h))).collect();
+    let scores: Vec<(f64, f64)> = par_map(&cells, |_, &(r, held_out)| {
+        let folds = &fold_sets[r];
+        let test_idx = &folds[held_out];
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != held_out)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        let train = data.subset(&train_idx);
+        let test = data.subset(test_idx);
+        let rep_seed = derive_seed_index(seed, r as u64);
+        let mut rng =
+            rng_from_seed(derive_seed_index(derive_seed(rep_seed, "fit"), held_out as u64));
+        let mut model = kind.build();
+        model.fit(&train, &mut rng);
+        let pred = model.predict(&test.features);
+        (accuracy(&test.labels, &pred), weighted_f1(&test.labels, &pred, data.n_classes))
+    });
+    let accs: Vec<f64> = scores.iter().map(|s| s.0).collect();
+    let f1s: Vec<f64> = scores.iter().map(|s| s.1).collect();
+    CvResult { accuracy: mean(&accs), weighted_f1: mean(&f1s), fold_accuracies: accs }
 }
 
 /// Train on one dataset, evaluate on another (the cross-building study of

@@ -7,6 +7,7 @@
 
 use crate::data::Dataset;
 use crate::tree::{DecisionTree, Impurity, TreeConfig};
+use libra_util::par::par_map_index;
 use libra_util::rng::derive_seed_index;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -55,33 +56,37 @@ impl RandomForest {
 
     /// Fits the forest: each tree sees a bootstrap resample of the data
     /// and considers a random feature subset at each split.
+    ///
+    /// Trees train in parallel: each derives an independent RNG from the
+    /// single `base_seed` draw, and the member list is collected in tree
+    /// order — the fitted forest is identical at any thread count (and to
+    /// the historical sequential implementation).
     pub fn fit(&mut self, data: &Dataset, rng: &mut impl Rng) {
         assert!(!data.is_empty(), "cannot fit on empty dataset");
         self.n_classes = data.n_classes;
         self.n_features = data.n_features();
-        let mtry = self
-            .config
+        let config = self.config;
+        let mtry = config
             .max_features
             .unwrap_or_else(|| (data.n_features() as f64).sqrt().ceil() as usize)
             .clamp(1, data.n_features());
         let base_seed: u64 = rng.gen();
-        self.trees = (0..self.config.n_trees)
-            .map(|t| {
-                let mut tree_rng = libra_util::rng::rng_from_seed(derive_seed_index(base_seed, t as u64));
-                // Bootstrap resample.
-                let idx: Vec<usize> =
-                    (0..data.len()).map(|_| tree_rng.gen_range(0..data.len())).collect();
-                let sample = data.subset(&idx);
-                let mut tree = DecisionTree::new(TreeConfig {
-                    impurity: self.config.impurity,
-                    max_depth: self.config.max_depth,
-                    min_samples_split: self.config.min_samples_split,
-                    max_features: Some(mtry),
-                });
-                tree.fit(&sample, &mut tree_rng);
-                tree
-            })
-            .collect();
+        self.trees = par_map_index(config.n_trees, |t| {
+            let mut tree_rng =
+                libra_util::rng::rng_from_seed(derive_seed_index(base_seed, t as u64));
+            // Bootstrap resample.
+            let idx: Vec<usize> =
+                (0..data.len()).map(|_| tree_rng.gen_range(0..data.len())).collect();
+            let sample = data.subset(&idx);
+            let mut tree = DecisionTree::new(TreeConfig {
+                impurity: config.impurity,
+                max_depth: config.max_depth,
+                min_samples_split: config.min_samples_split,
+                max_features: Some(mtry),
+            });
+            tree.fit(&sample, &mut tree_rng);
+            tree
+        });
     }
 
     /// Mean class-probability vote over all trees.
@@ -212,6 +217,22 @@ mod tests {
         let imp = rf.feature_importances();
         assert_eq!(imp.len(), 2);
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_forest_at_any_thread_count() {
+        // The parallel-training determinism contract: same seed, same
+        // forest, whether trees were fitted on 1 or 4 workers.
+        let data = moons(120, 21);
+        let fit_at = |threads: usize| {
+            libra_util::par::set_threads(threads);
+            let mut rf = RandomForest::new(ForestConfig { n_trees: 12, ..Default::default() });
+            let mut rng = rng_from_seed(5);
+            rf.fit(&data, &mut rng);
+            libra_util::par::set_threads(0);
+            (rf.predict(&data.features), rf.feature_importances())
+        };
+        assert_eq!(fit_at(1), fit_at(4));
     }
 
     #[test]

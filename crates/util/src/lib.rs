@@ -17,6 +17,9 @@
 //!   frequency-domain CSI estimates (paper §6.1, "FFT PDP similarity").
 //! - [`rng`] — deterministic RNG construction helpers so every experiment
 //!   is reproducible from a single `u64` seed.
+//! - [`par`] — deterministic parallel map over scoped threads: per-item
+//!   work is fanned out, results are collected in index order, so output
+//!   is identical at any thread count.
 //! - [`table`] — plain-text table rendering for the experiment harness.
 //! - [`csvio`] — minimal CSV writing for exporting datasets and figure
 //!   series without an external CSV dependency.
@@ -30,6 +33,7 @@ pub mod binser;
 pub mod csvio;
 pub mod db;
 pub mod fft;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod table;

@@ -1,0 +1,187 @@
+//! Deterministic parallel execution.
+//!
+//! Every hot loop in the suite (campaign generation, forest training,
+//! cross-validation folds, the §8 evaluation grid) is *embarrassingly
+//! parallel once each work item owns an independently derived RNG*
+//! (see [`crate::rng::derive_seed`] / [`crate::rng::derive_seed_index`]).
+//! This module supplies the execution side of that bargain: a work-stealing
+//! fan-out over scoped OS threads whose results are collected into
+//! **index-addressed** buffers, so the output of [`par_map_index`] is
+//! bitwise identical to a sequential `(0..n).map(f).collect()` at *any*
+//! thread count. No completion-order reduction ever reaches the caller.
+//!
+//! The thread count resolves, in priority order:
+//!
+//! 1. an explicit [`set_threads`] call (the `--threads N` CLI flag),
+//! 2. the `LIBRA_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Nested calls (e.g. forest training inside a parallel CV fold) run
+//! sequentially on the calling worker instead of spawning a second
+//! generation of threads, so the total worker count stays bounded by the
+//! configured parallelism.
+//!
+//! The workspace bans external dependencies beyond the allowed set, so
+//! this is plain `std::thread::scope` + atomics rather than `rayon`; for
+//! the coarse work items of this suite (a scenario, a tree, a fold, a
+//! timeline) the per-item `fetch_add` cost is negligible.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Explicit thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on worker threads spawned by [`par_map_index`], so nested
+    /// parallel calls degrade to sequential execution.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Sets the global worker-thread count. `0` clears the override, falling
+/// back to `LIBRA_THREADS` and then to the machine's parallelism.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The effective worker-thread count for parallel sections.
+pub fn threads() -> usize {
+    let n = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if n > 0 {
+        return n;
+    }
+    if let Ok(v) = std::env::var("LIBRA_THREADS") {
+        if let Ok(k) = v.trim().parse::<usize>() {
+            if k > 0 {
+                return k;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Maps `f` over `0..n` on the configured number of threads, returning
+/// results in index order. Deterministic: for a pure-per-index `f` the
+/// output is identical to `(0..n).map(f).collect()` at any thread count.
+pub fn par_map_index<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads().min(n);
+    if workers <= 1 || IN_PARALLEL_REGION.with(|c| c.get()) {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                IN_PARALLEL_REGION.with(|c| c.set(true));
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                collected.lock().expect("result collector poisoned").extend(local);
+            });
+        }
+    });
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    for (i, r) in collected.into_inner().expect("result collector poisoned") {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// Maps `f` over a slice in parallel, preserving item order in the
+/// returned vector (see [`par_map_index`] for the determinism contract).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_index(items.len(), |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests that touch the global thread override must not interleave.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock_override() -> std::sync::MutexGuard<'static, ()> {
+        OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn maps_in_index_order() {
+        let out = par_map_index(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_map_preserves_order() {
+        let items: Vec<String> = (0..64).map(|i| format!("item{i}")).collect();
+        let out = par_map(&items, |i, s| format!("{i}:{s}"));
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s, &format!("{i}:item{i}"));
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = par_map_index(0, |_| unreachable!());
+        assert!(none.is_empty());
+        assert_eq!(par_map_index(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        // The determinism contract itself: a pure-per-index computation
+        // yields the same vector at 1, 2, and 8 threads.
+        let work = |i: usize| {
+            let mut h = i as u64;
+            for _ in 0..100 {
+                h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            h
+        };
+        let reference: Vec<u64> = (0..257).map(work).collect();
+        let _g = lock_override();
+        for n in [1usize, 2, 8] {
+            set_threads(n);
+            assert_eq!(par_map_index(257, work), reference, "threads = {n}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn nested_calls_do_not_explode() {
+        let _g = lock_override();
+        set_threads(4);
+        let out = par_map_index(8, |i| par_map_index(8, move |j| i * 8 + j));
+        set_threads(0);
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(*inner, (0..8).map(|j| i * 8 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn override_beats_default() {
+        let _g = lock_override();
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+}
