@@ -73,7 +73,11 @@ impl Codebook {
         assert!(n >= 1);
         let beams = (0..n)
             .map(|i| {
-                let frac = if n == 1 { 0.5 } else { i as f64 / (n - 1) as f64 };
+                let frac = if n == 1 {
+                    0.5
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
                 let nominal = -60.0 + 120.0 * frac;
                 let h = pattern::wrap_deg((i as f64 * 47.0).sin() * 360.0);
                 let steer = nominal + 9.0 * (h / 180.0);
@@ -97,7 +101,11 @@ impl Codebook {
         assert!(n >= 1);
         let beams = (0..n)
             .map(|i| {
-                let frac = if n == 1 { 0.5 } else { i as f64 / (n - 1) as f64 };
+                let frac = if n == 1 {
+                    0.5
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
                 let steer = first_deg + (last_deg - first_deg) * frac;
                 // Beams steered away from broadside broaden (cos-scan loss).
                 let edge_frac = (steer.abs() / last_deg.abs().max(1.0)).min(1.0);

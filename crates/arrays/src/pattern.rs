@@ -88,11 +88,7 @@ impl BeamPattern {
 
     /// A directional pattern with explicit side lobes (for tests and for
     /// building pathological codebooks).
-    pub fn with_side_lobes(
-        steer_deg: f64,
-        beamwidth_deg: f64,
-        side_lobes: Vec<SideLobe>,
-    ) -> Self {
+    pub fn with_side_lobes(steer_deg: f64, beamwidth_deg: f64, side_lobes: Vec<SideLobe>) -> Self {
         assert!(beamwidth_deg > 0.0, "beamwidth must be positive");
         let peak_gain_dbi = 10.0 * (SPHERE_SQ_DEG / (beamwidth_deg * ELEVATION_BW_DEG)).log10();
         Self {
@@ -172,7 +168,12 @@ impl BeamPattern {
         let mut linear = db_to_linear(FLOOR_DBI);
         linear += db_to_linear(self.lobe_gain_db(delta, 0.0, 0.0, self.beamwidth_deg));
         for sl in &self.side_lobes {
-            linear += db_to_linear(self.lobe_gain_db(delta, sl.offset_deg, sl.rel_level_db, sl.width_deg));
+            linear += db_to_linear(self.lobe_gain_db(
+                delta,
+                sl.offset_deg,
+                sl.rel_level_db,
+                sl.width_deg,
+            ));
         }
         linear_to_db(linear)
     }
@@ -213,11 +214,19 @@ fn derive_side_lobes(index: usize, steer_deg: f64) -> Vec<SideLobe> {
         // Offset magnitude 35°..95°, on alternating sides but biased away
         // from the steering direction (grating-lobe-like).
         let mag = 35.0 + (hk % 61) as f64; // 35..95
-        let side = if k % 2 == 0 { -steer_deg.signum_or_one() } else { steer_deg.signum_or_one() };
+        let side = if k % 2 == 0 {
+            -steer_deg.signum_or_one()
+        } else {
+            steer_deg.signum_or_one()
+        };
         let offset = side * mag;
         let level = -(9.0 + ((hk >> 8) % 8) as f64); // −9..−16 dB
         let width = 12.0 + ((hk >> 16) % 9) as f64; // 12°..20°
-        lobes.push(SideLobe { offset_deg: offset, rel_level_db: level, width_deg: width });
+        lobes.push(SideLobe {
+            offset_deg: offset,
+            rel_level_db: level,
+            width_deg: width,
+        });
     }
     lobes
 }
@@ -284,11 +293,18 @@ mod tests {
 
     #[test]
     fn side_lobe_creates_local_bump() {
-        let sl = SideLobe { offset_deg: 60.0, rel_level_db: -10.0, width_deg: 15.0 };
+        let sl = SideLobe {
+            offset_deg: 60.0,
+            rel_level_db: -10.0,
+            width_deg: 15.0,
+        };
         let b = BeamPattern::with_side_lobes(0.0, 30.0, vec![sl]);
         let at_lobe = b.gain_dbi(60.0);
         let beside_lobe = b.gain_dbi(40.0);
-        assert!(at_lobe > beside_lobe, "side lobe bump missing: {at_lobe} vs {beside_lobe}");
+        assert!(
+            at_lobe > beside_lobe,
+            "side lobe bump missing: {at_lobe} vs {beside_lobe}"
+        );
         assert!((b.gain_dbi(0.0) - at_lobe) > 8.0 && (b.gain_dbi(0.0) - at_lobe) < 12.0);
     }
 

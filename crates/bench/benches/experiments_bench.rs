@@ -20,10 +20,7 @@ fn bench_motivation(c: &mut Criterion) {
                 duration_s: 10.0,
                 seed: 1,
             };
-            libra_mac::run_cots(
-                &libra_mac::CotsScenario::Static { distance_m: 9.1 },
-                &cfg,
-            )
+            libra_mac::run_cots(&libra_mac::CotsScenario::Static { distance_m: 9.1 }, &cfg)
         })
     });
     let _ = motivation::fig1(1); // type-check linkage

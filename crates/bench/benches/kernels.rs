@@ -86,7 +86,10 @@ fn synth_dataset(n: usize) -> Dataset {
         features,
         labels,
         2,
-        libra_dataset::FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        libra_dataset::FEATURE_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
     )
 }
 
@@ -96,7 +99,10 @@ fn bench_ml(c: &mut Criterion) {
         b.iter_batched(
             || rng_from_seed(3),
             |mut rng| {
-                let mut rf = RandomForest::new(ForestConfig { n_trees: 20, ..Default::default() });
+                let mut rf = RandomForest::new(ForestConfig {
+                    n_trees: 20,
+                    ..Default::default()
+                });
                 rf.fit(&data, &mut rng);
                 rf
             },
@@ -117,7 +123,9 @@ fn bench_simulator(c: &mut Criterion) {
             cdr: vec![1.0, 1.0, 1.0, 0.97, 0.03, 0.0, 0.0, 0.0, 0.0],
         },
         best: ConfigData {
-            tput_mbps: vec![300.0, 850.0, 1400.0, 1950.0, 2500.0, 3000.0, 1500.0, 0.0, 0.0],
+            tput_mbps: vec![
+                300.0, 850.0, 1400.0, 1950.0, 2500.0, 3000.0, 1500.0, 0.0, 0.0,
+            ],
             cdr: vec![1.0, 1.0, 1.0, 1.0, 0.99, 0.95, 0.4, 0.0, 0.0],
         },
         features: Features {
@@ -145,9 +153,7 @@ fn bench_timeline_measure(c: &mut Criterion) {
     let scene = lobby_scene();
     let instruments = Instruments::default();
     c.bench_function("timeline/expected_pair_measurement", |b| {
-        b.iter(|| {
-            libra_dataset::measure::expected_pair_measurement(&scene, &instruments, (12, 12))
-        })
+        b.iter(|| libra_dataset::measure::expected_pair_measurement(&scene, &instruments, (12, 12)))
     });
 }
 

@@ -16,8 +16,8 @@
 
 use crate::context::{classifier, gt_params, main_dataset, table, testing_dataset, SUITE_SEED};
 use libra::prelude::*;
-use libra::ScenarioType;
 use libra::sim::run_policy_segment;
+use libra::ScenarioType;
 use libra::{LinkState, PolicyKind, SegmentData, SimConfig};
 use libra_dataset::{generate, main_campaign_plan, Instruments};
 use libra_mac::ProtocolParams;
@@ -30,14 +30,21 @@ use libra_util::table::{fmt_f, TextTable};
 /// delay-spread penalty in the error model.
 pub fn ablation_isi() -> String {
     let base = main_dataset();
-    let no_isi_instruments =
-        Instruments { model: ErrorModel::without_isi(), ..Instruments::default() };
-    let cfg = CampaignConfig { instruments: no_isi_instruments, ..CampaignConfig::default() };
+    let no_isi_instruments = Instruments {
+        model: ErrorModel::without_isi(),
+        ..Instruments::default()
+    };
+    let cfg = CampaignConfig {
+        instruments: no_isi_instruments,
+        ..CampaignConfig::default()
+    };
     let no_isi = generate(&main_campaign_plan(), &cfg);
 
     let mut t = TextTable::new(["variant", "BA", "RA", "RF 5-fold acc", "top feature"]);
-    for (name, ds) in [("with ISI penalty (paper-like)", base), ("without ISI penalty", &no_isi)]
-    {
+    for (name, ds) in [
+        ("with ISI penalty (paper-like)", base),
+        ("without ISI penalty", &no_isi),
+    ] {
         let rows = ds.summary(&table(), &gt_params());
         let overall = rows.last().expect("overall row");
         let ml = ds.to_ml(&table(), &gt_params());
@@ -61,7 +68,10 @@ pub fn ablation_isi() -> String {
             top,
         ]);
     }
-    format!("Ablation: ISI/delay-spread penalty in the PHY error model\n{}", t.render())
+    format!(
+        "Ablation: ISI/delay-spread penalty in the PHY error model\n{}",
+        t.render()
+    )
 }
 
 /// Side-lobe ablation: label balance with clean (single-lobe) beams.
@@ -77,12 +87,21 @@ pub fn ablation_sidelobes() -> String {
             })
             .collect(),
     );
-    let instruments = Instruments { codebook: clean, ..Instruments::default() };
-    let cfg = CampaignConfig { instruments, ..CampaignConfig::default() };
+    let instruments = Instruments {
+        codebook: clean,
+        ..Instruments::default()
+    };
+    let cfg = CampaignConfig {
+        instruments,
+        ..CampaignConfig::default()
+    };
     let clean_ds = generate(&main_campaign_plan(), &cfg);
 
     let mut t = TextTable::new(["variant", "displacement BA %", "overall BA %"]);
-    for (name, ds) in [("imperfect side lobes (paper-like)", main_dataset()), ("clean beams", &clean_ds)] {
+    for (name, ds) in [
+        ("imperfect side lobes (paper-like)", main_dataset()),
+        ("clean beams", &clean_ds),
+    ] {
         let rows = ds.summary(&table(), &gt_params());
         let disp = &rows[0];
         let overall = rows.last().expect("overall");
@@ -128,7 +147,10 @@ pub fn ablation_fallback() -> String {
             fmt_f(libra_util::stats::percentile(&deficits, 90.0), 2),
         ]);
     }
-    format!("Ablation: missing-ACK fallback rule (BA 250 ms, FAT 2 ms)\n{}", t.render())
+    format!(
+        "Ablation: missing-ACK fallback rule (BA 250 ms, FAT 2 ms)\n{}",
+        t.render()
+    )
 }
 
 /// Probe-interval ablation: adaptive `T = T0·min(2^k, 25)` vs fixed `T0`
@@ -147,8 +169,11 @@ pub fn ablation_probe(n_timelines: usize) -> String {
     // backoff effect is not directly expressible; we instead compare the
     // default against an aggressive prober (t0 = 1) and a lazy one
     // (t0 = 50).
-    for (name, t0) in [("adaptive, T0 = 5 (paper)", 5u32), ("aggressive, T0 = 1", 1), ("lazy, T0 = 50", 50)]
-    {
+    for (name, t0) in [
+        ("adaptive, T0 = 5 (paper)", 5u32),
+        ("aggressive, T0 = 1", 1),
+        ("lazy, T0 = 50", 50),
+    ] {
         let mut sim = SimConfig::new(params);
         sim.t0_frames = t0;
         let bytes: Vec<f64> = par_map_index(n_timelines, |i| {
@@ -159,7 +184,10 @@ pub fn ablation_probe(n_timelines: usize) -> String {
         });
         t.row([name.to_string(), fmt_f(libra_util::stats::mean(&bytes), 1)]);
     }
-    format!("Ablation: upward-probe interval ({n_timelines} mobility timelines)\n{}", t.render())
+    format!(
+        "Ablation: upward-probe interval ({n_timelines} mobility timelines)\n{}",
+        t.render()
+    )
 }
 
 /// Confidence-gate extension: route low-confidence predictions through
@@ -187,7 +215,10 @@ pub fn ablation_confidence_gate() -> String {
             fmt_f(libra_util::stats::percentile(&deficits, 90.0), 2),
         ]);
     }
-    format!("Extension: confidence-gated LiBRA (BA 250 ms, FAT 2 ms)\n{}", t.render())
+    format!(
+        "Extension: confidence-gated LiBRA (BA 250 ms, FAT 2 ms)\n{}",
+        t.render()
+    )
 }
 
 /// History-window extension (§7 future work): does a classifier that
@@ -201,26 +232,34 @@ pub fn ablation_history(n_train: usize, n_eval: usize) -> String {
     };
     let instruments = Instruments::default();
     let sim = SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0));
-    let scenarios =
-        [ScenarioType::Blockage, ScenarioType::Interference, ScenarioType::Mixed];
+    let scenarios = [
+        ScenarioType::Blockage,
+        ScenarioType::Interference,
+        ScenarioType::Mixed,
+    ];
     let fallback = classifier();
 
     let mut t = TextTable::new(["variant", "mean bytes (MB)", "vs single-window"]);
     // Baseline: single-window LiBRA on the eval timelines.
     let eval_pairs: Vec<(ScenarioType, usize)> = (0..n_eval)
-        .flat_map(|i| {
-            scenarios.iter().map(move |&sc| (sc, i)).collect::<Vec<_>>()
-        })
+        .flat_map(|i| scenarios.iter().map(move |&sc| (sc, i)).collect::<Vec<_>>())
         .collect();
     let eval_timelines: Vec<_> = par_map(&eval_pairs, |_, &(sc, i)| {
-        let mut rng = rng_from_seed(derive_seed_index(SUITE_SEED ^ 0x415, i as u64 * 31 + sc as u64));
+        let mut rng = rng_from_seed(derive_seed_index(
+            SUITE_SEED ^ 0x415,
+            i as u64 * 31 + sc as u64,
+        ));
         libra::generate_timeline(sc, &libra::TimelineConfig::default(), &mut rng)
     });
     let baseline: Vec<f64> = par_map(&eval_timelines, |_, tl| {
         run_timeline_single_window(tl, fallback, &sim, &instruments) / 1e6
     });
     let base_mean = libra_util::stats::mean(&baseline);
-    t.row(["single window (LiBRA)".to_string(), fmt_f(base_mean, 1), "—".into()]);
+    t.row([
+        "single window (LiBRA)".to_string(),
+        fmt_f(base_mean, 1),
+        "—".into(),
+    ]);
 
     for window in [2usize, 3] {
         let data = collect_history_dataset(
@@ -327,7 +366,10 @@ pub fn ablation_alpha() -> String {
                 ..Default::default()
             };
             let labels = ds.label(&table(), &params);
-            let ba = labels.iter().filter(|g| g.label == libra_dataset::Action::Ba).count();
+            let ba = labels
+                .iter()
+                .filter(|g| g.label == libra_dataset::Action::Ba)
+                .count();
             t.row([
                 fmt_f(alpha, 2),
                 format!("{ba_ms} ms"),
@@ -336,7 +378,10 @@ pub fn ablation_alpha() -> String {
             ]);
         }
     }
-    format!("Ablation: utility weight α vs ground-truth class balance\n{}", t.render())
+    format!(
+        "Ablation: utility weight α vs ground-truth class balance\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -11,16 +11,21 @@
 //!
 //! Artifact names: fig1 fig2 fig3 table1 table2 fig4 fig5 fig6 fig7 fig8
 //! fig9 cv crossbuilding table3 threeclass extmodels fig10 fig11 fig12 fig13
-//! table4 ablations.
+//! table4 ablations inferbench.
+//!
+//! `--model NAME[@VER]` (or a file path) runs the evaluation against a
+//! frozen model artifact from the registry instead of retraining the
+//! suite classifier in-process; see `libractl train --save`.
 //!
 //! Parallelism: every section runs on the worker count from `--threads N`,
 //! else `LIBRA_THREADS`, else the machine's available parallelism — with
 //! bitwise-identical output at any setting. A sequential run
 //! (`--threads 1`) records per-section wall-clock times to
 //! `results/seq_baseline.txt`; later parallel runs report their speedup
-//! against that baseline.
+//! against that baseline, or `speedup n/a` when no usable baseline entry
+//! exists (missing file, stale format, zero/non-finite timings).
 
-use libra_bench::{ablation, context, evaluation, motivation, study};
+use libra_bench::{ablation, context, evaluation, motivation, serving, study};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -28,20 +33,38 @@ use std::time::Instant;
 /// Where a sequential run records per-section wall-clock seconds.
 const BASELINE_PATH: &str = "results/seq_baseline.txt";
 
+/// Format marker heading the baseline file. A baseline without it (an
+/// older or hand-edited file) is treated as stale and ignored rather
+/// than risking nonsense speedups.
+const BASELINE_HEADER: &str = "# seq-baseline v1";
+
 struct Opts {
     csv_dir: Option<String>,
     cv_repeats: usize,
     timelines: usize,
     vr_timelines: usize,
+    bench_passes: usize,
 }
 
 fn load_baseline() -> BTreeMap<String, f64> {
     let mut map = BTreeMap::new();
-    if let Ok(text) = std::fs::read_to_string(BASELINE_PATH) {
-        for line in text.lines() {
-            let mut parts = line.split_whitespace();
-            if let (Some(name), Some(secs)) = (parts.next(), parts.next()) {
-                if let Ok(s) = secs.parse::<f64>() {
+    let Ok(text) = std::fs::read_to_string(BASELINE_PATH) else {
+        return map;
+    };
+    if text.lines().next().map(str::trim) != Some(BASELINE_HEADER) {
+        eprintln!(
+            "note: {BASELINE_PATH} is stale (missing `{BASELINE_HEADER}` header); \
+             ignoring it — re-record with --threads 1"
+        );
+        return map;
+    }
+    for line in text.lines().skip(1) {
+        let mut parts = line.split_whitespace();
+        if let (Some(name), Some(secs)) = (parts.next(), parts.next()) {
+            if let Ok(s) = secs.parse::<f64>() {
+                // Zero, negative, or non-finite entries can only produce
+                // ±inf/NaN speedups — drop them here.
+                if s.is_finite() && s > 0.0 {
                     map.insert(name.to_string(), s);
                 }
             }
@@ -54,7 +77,7 @@ fn store_baseline(map: &BTreeMap<String, f64>) {
     if map.is_empty() {
         return;
     }
-    let mut text = String::new();
+    let mut text = format!("{BASELINE_HEADER}\n");
     for (name, secs) in map {
         text.push_str(&format!("{name} {secs:.3}\n"));
     }
@@ -68,8 +91,13 @@ fn store_baseline(map: &BTreeMap<String, f64>) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut opts =
-        Opts { csv_dir: None, cv_repeats: 10, timelines: 50, vr_timelines: 50 };
+    let mut opts = Opts {
+        csv_dir: None,
+        cv_repeats: 10,
+        timelines: 50,
+        vr_timelines: 50,
+        bench_passes: 5,
+    };
     let mut wanted: Vec<String> = Vec::new();
     let mut quick = false;
     let mut it = args.into_iter();
@@ -77,6 +105,9 @@ fn main() {
         match a.as_str() {
             "--csv-dir" => {
                 opts.csv_dir = Some(it.next().expect("--csv-dir needs a path"));
+            }
+            "--model" => {
+                context::set_model(&it.next().expect("--model needs a name[@version] or path"));
             }
             "--threads" => {
                 let n: usize = it
@@ -91,6 +122,7 @@ fn main() {
                 opts.cv_repeats = 2;
                 opts.timelines = 10;
                 opts.vr_timelines = 10;
+                opts.bench_passes = 2;
                 quick = true;
             }
             other => wanted.push(other.to_string()),
@@ -103,7 +135,8 @@ fn main() {
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: experiments [--csv-dir DIR] [--threads N] [all|quick|fig1..fig13|table1..table4|cv|crossbuilding|threeclass|ablations]"
+            "usage: experiments [--csv-dir DIR] [--threads N] [--model NAME[@VER]|PATH] \
+             [all|quick|fig1..fig13|table1..table4|cv|crossbuilding|threeclass|ablations|inferbench]"
         );
         std::process::exit(2);
     }
@@ -123,12 +156,21 @@ fn main() {
             let secs = t.elapsed().as_secs_f64();
             println!("{out}");
             let base = baseline.borrow().get(name).copied();
-            match base {
-                Some(b) if !sequential && secs > 0.0 && b > 0.0 => println!(
-                    "[{name} took {secs:.1} s — {:.1}x vs sequential baseline {b:.1} s]\n",
-                    b / secs
-                ),
-                _ => println!("[{name} took {secs:.1} s]\n"),
+            if sequential {
+                println!("[{name} took {secs:.1} s]\n");
+            } else {
+                // `load_baseline` only admits finite positive entries, so
+                // the division below cannot produce ±inf or NaN.
+                match base {
+                    Some(b) if secs > 0.0 => println!(
+                        "[{name} took {secs:.1} s — {:.1}x vs sequential baseline {b:.1} s]\n",
+                        b / secs
+                    ),
+                    _ => println!(
+                        "[{name} took {secs:.1} s — speedup n/a \
+                         (no sequential baseline; record one with --threads 1)]\n"
+                    ),
+                }
             }
             if sequential {
                 baseline.borrow_mut().insert(name.to_string(), secs);
@@ -180,8 +222,12 @@ fn main() {
     section("cv", &mut || study::cv_study(opts.cv_repeats));
     section("crossbuilding", &mut || study::crossbuilding_study());
     section("table3", &mut || study::table3());
-    section("threeclass", &mut || study::threeclass_study(opts.cv_repeats));
-    section("extmodels", &mut || study::extended_models_study(opts.cv_repeats.min(3)));
+    section("threeclass", &mut || {
+        study::threeclass_study(opts.cv_repeats)
+    });
+    section("extmodels", &mut || {
+        study::extended_models_study(opts.cv_repeats.min(3))
+    });
 
     // --- §8 evaluation ----------------------------------------------------
     section("fig10", &mut || {
@@ -217,6 +263,11 @@ fn main() {
             ablation::ablation_history(opts.timelines.min(15), opts.timelines.min(10)),
             ablation::ablation_alpha()
         )
+    });
+
+    // --- serving ----------------------------------------------------------
+    section("inferbench", &mut || {
+        serving::serving_bench(opts.bench_passes)
     });
 
     if sequential {

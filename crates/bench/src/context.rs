@@ -16,9 +16,13 @@ use std::sync::OnceLock;
 /// Master seed of the whole experiment suite.
 pub const SUITE_SEED: u64 = 0x11B2A;
 
+/// Seed the suite classifier is trained from.
+pub const CLASSIFIER_SEED: u64 = SUITE_SEED ^ 0xC1A5_51F1_E5;
+
 static MAIN: OnceLock<CampaignDataset> = OnceLock::new();
 static TESTING: OnceLock<CampaignDataset> = OnceLock::new();
 static CLASSIFIER: OnceLock<LibraClassifier> = OnceLock::new();
+static MODEL_SOURCE: OnceLock<String> = OnceLock::new();
 
 /// The main (training) dataset — Table 1.
 pub fn main_dataset() -> &'static CampaignDataset {
@@ -42,11 +46,55 @@ pub fn gt_params() -> GroundTruthParams {
     GroundTruthParams::default()
 }
 
-/// LiBRA's 3-class classifier, trained once on the main dataset.
+/// Routes [`classifier`] to a frozen model artifact — a file path or a
+/// registry `name[@version]` reference — instead of training in-process.
+/// Must be called before the first `classifier()` use; later calls are
+/// ignored (the suite classifier is built once per process).
+pub fn set_model(reference: &str) {
+    let _ = MODEL_SOURCE.set(reference.to_string());
+}
+
+fn model_reference() -> Option<String> {
+    MODEL_SOURCE
+        .get()
+        .cloned()
+        .or_else(|| std::env::var("LIBRA_MODEL").ok())
+}
+
+fn load_frozen(reference: &str) -> Result<LibraClassifier, libra_infer::Error> {
+    let path = std::path::Path::new(reference);
+    let artifact = if path.is_file() {
+        libra_infer::ModelArtifact::read(path)?
+    } else {
+        let spec = libra_infer::ModelSpec::parse(reference)?;
+        libra_infer::ModelRegistry::open_default().load(&spec)?.1
+    };
+    LibraClassifier::from_artifact(&artifact)
+}
+
+/// LiBRA's 3-class classifier: trained once on the main dataset, or —
+/// when [`set_model`] / the `LIBRA_MODEL` environment variable names a
+/// frozen artifact — loaded from the model store instead.
 pub fn classifier() -> &'static LibraClassifier {
     CLASSIFIER.get_or_init(|| {
-        let mut rng = rng_from_seed(SUITE_SEED ^ 0xC1A551F1E5);
+        if let Some(reference) = model_reference() {
+            return load_frozen(&reference)
+                .unwrap_or_else(|e| panic!("cannot load frozen model {reference:?}: {e}"));
+        }
+        let mut rng = rng_from_seed(CLASSIFIER_SEED);
         let data = main_dataset().to_ml_3class(&table(), &gt_params());
         LibraClassifier::train(&data, &mut rng)
     })
+}
+
+/// The suite classifier frozen as a registry-ready artifact, with
+/// provenance stamped from the suite constants.
+pub fn classifier_artifact() -> libra_infer::ModelArtifact {
+    let rows = main_dataset().to_ml_3class(&table(), &gt_params()).len() as u64;
+    classifier().to_artifact(
+        "suite",
+        CLASSIFIER_SEED,
+        rows,
+        "experiment-suite classifier (main campaign, 3-class)",
+    )
 }

@@ -39,10 +39,14 @@ pub fn single_impairment_cell(params: ProtocolParams, flow_ms: f64) -> SingleImp
     let clf = classifier();
     let sim = SimConfig::new(params);
 
-    let mut deficits: Vec<(PolicyKind, Vec<f64>)> =
-        PolicyKind::HEURISTICS.iter().map(|&p| (p, Vec::new())).collect();
-    let mut excesses: Vec<(PolicyKind, Vec<f64>)> =
-        PolicyKind::HEURISTICS.iter().map(|&p| (p, Vec::new())).collect();
+    let mut deficits: Vec<(PolicyKind, Vec<f64>)> = PolicyKind::HEURISTICS
+        .iter()
+        .map(|&p| (p, Vec::new()))
+        .collect();
+    let mut excesses: Vec<(PolicyKind, Vec<f64>)> = PolicyKind::HEURISTICS
+        .iter()
+        .map(|&p| (p, Vec::new()))
+        .collect();
 
     // Entries are independent and RNG-free; evaluate them in parallel and
     // fold the per-entry rows back in entry order so the CDF inputs are
@@ -88,11 +92,17 @@ pub fn single_impairment_cell(params: ProtocolParams, flow_ms: f64) -> SingleImp
 /// Renders Fig 10-style output: per algorithm, the fraction of entries
 /// matching the oracle and the deficit quantiles.
 pub fn render_fig10() -> String {
-    let mut out = String::from(
-        "Fig 10: difference in bytes delivered vs Oracle-Data (single impairment)\n",
-    );
+    let mut out =
+        String::from("Fig 10: difference in bytes delivered vs Oracle-Data (single impairment)\n");
     let mut t = TextTable::new([
-        "combo", "flow", "algorithm", "=oracle %", "<10MB %", "p50 MB", "p90 MB", "max MB",
+        "combo",
+        "flow",
+        "algorithm",
+        "=oracle %",
+        "<10MB %",
+        "p50 MB",
+        "p90 MB",
+        "max MB",
     ]);
     for params in ProtocolParams::grid() {
         for flow_ms in [400.0, 1000.0] {
@@ -118,11 +128,15 @@ pub fn render_fig10() -> String {
 
 /// Renders Fig 11-style output: recovery-delay excess vs Oracle-Delay.
 pub fn render_fig11() -> String {
-    let mut out = String::from(
-        "Fig 11: difference in recovery delay vs Oracle-Delay (single impairment)\n",
-    );
+    let mut out =
+        String::from("Fig 11: difference in recovery delay vs Oracle-Delay (single impairment)\n");
     let mut t = TextTable::new([
-        "combo", "algorithm", "<=5ms %", "p50 ms", "p90 ms", "max ms",
+        "combo",
+        "algorithm",
+        "<=5ms %",
+        "p50 ms",
+        "p90 ms",
+        "max ms",
     ]);
     for params in ProtocolParams::grid() {
         let cell = single_impairment_cell(params, 1000.0);
@@ -195,10 +209,14 @@ pub fn timeline_cell(
     let instruments = libra_dataset::Instruments::default();
     let tl_cfg = TimelineConfig::default();
 
-    let mut data_ratio: Vec<(PolicyKind, Vec<f64>)> =
-        PolicyKind::HEURISTICS.iter().map(|&p| (p, Vec::new())).collect();
-    let mut delay_excess: Vec<(PolicyKind, Vec<f64>)> =
-        PolicyKind::HEURISTICS.iter().map(|&p| (p, Vec::new())).collect();
+    let mut data_ratio: Vec<(PolicyKind, Vec<f64>)> = PolicyKind::HEURISTICS
+        .iter()
+        .map(|&p| (p, Vec::new()))
+        .collect();
+    let mut delay_excess: Vec<(PolicyKind, Vec<f64>)> = PolicyKind::HEURISTICS
+        .iter()
+        .map(|&p| (p, Vec::new()))
+        .collect();
 
     // Each timeline owns its derived RNG stream, so timelines evaluate in
     // parallel and fold back in timeline order — boxplot inputs match a
@@ -212,8 +230,7 @@ pub fn timeline_cell(
             .iter()
             .map(|&p| {
                 let r = run_timeline(&tl, p, Some(clf), &sim, &instruments);
-                let ratio =
-                    (od.bytes > 0.0).then(|| (r.bytes / od.bytes).min(1.2));
+                let ratio = (od.bytes > 0.0).then(|| (r.bytes / od.bytes).min(1.2));
                 let excess =
                     (r.mean_recovery_delay_ms() - odelay.mean_recovery_delay_ms()).max(0.0);
                 (ratio, excess)
@@ -231,7 +248,12 @@ pub fn timeline_cell(
         }
     }
 
-    TimelineCell { scenario, params, data_ratio, delay_excess_ms: delay_excess }
+    TimelineCell {
+        scenario,
+        params,
+        data_ratio,
+        delay_excess_ms: delay_excess,
+    }
 }
 
 fn render_boxplot_rows(
@@ -261,14 +283,30 @@ fn render_boxplot_rows(
 
 /// Fig 12 — ratio of data delivered vs Oracle-Data (boxplots).
 pub fn render_fig12(n_timelines: usize) -> String {
-    let mut t =
-        TextTable::new(["combo", "scenario", "algorithm", "lo", "q1", "median", "q3", "hi"]);
+    let mut t = TextTable::new([
+        "combo",
+        "scenario",
+        "algorithm",
+        "lo",
+        "q1",
+        "median",
+        "q3",
+        "hi",
+    ]);
     for params in fig12_combos() {
-        let mut all: Vec<(PolicyKind, Vec<f64>)> =
-            PolicyKind::HEURISTICS.iter().map(|&p| (p, Vec::new())).collect();
+        let mut all: Vec<(PolicyKind, Vec<f64>)> = PolicyKind::HEURISTICS
+            .iter()
+            .map(|&p| (p, Vec::new()))
+            .collect();
         for scenario in ScenarioType::ALL {
             let cell = timeline_cell(scenario, params, n_timelines);
-            render_boxplot_rows(&mut t, &params.label(), scenario.label(), &cell.data_ratio, 3);
+            render_boxplot_rows(
+                &mut t,
+                &params.label(),
+                scenario.label(),
+                &cell.data_ratio,
+                3,
+            );
             for ((_, acc), (_, xs)) in all.iter_mut().zip(&cell.data_ratio) {
                 acc.extend_from_slice(xs);
             }
@@ -283,11 +321,21 @@ pub fn render_fig12(n_timelines: usize) -> String {
 
 /// Fig 13 — mean recovery-delay difference vs Oracle-Delay (boxplots).
 pub fn render_fig13(n_timelines: usize) -> String {
-    let mut t =
-        TextTable::new(["combo", "scenario", "algorithm", "lo", "q1", "median", "q3", "hi"]);
+    let mut t = TextTable::new([
+        "combo",
+        "scenario",
+        "algorithm",
+        "lo",
+        "q1",
+        "median",
+        "q3",
+        "hi",
+    ]);
     for params in fig12_combos() {
-        let mut all: Vec<(PolicyKind, Vec<f64>)> =
-            PolicyKind::HEURISTICS.iter().map(|&p| (p, Vec::new())).collect();
+        let mut all: Vec<(PolicyKind, Vec<f64>)> = PolicyKind::HEURISTICS
+            .iter()
+            .map(|&p| (p, Vec::new()))
+            .collect();
         for scenario in ScenarioType::ALL {
             let cell = timeline_cell(scenario, params, n_timelines);
             render_boxplot_rows(
@@ -424,7 +472,11 @@ mod tests {
             .map(|(_, d)| d)
             .unwrap();
         let near = libra.iter().filter(|&&d| d < 10.0).count() as f64 / libra.len() as f64;
-        assert!(near > 0.6, "LiBRA within 10 MB of oracle only {:.0}%", near * 100.0);
+        assert!(
+            near > 0.6,
+            "LiBRA within 10 MB of oracle only {:.0}%",
+            near * 100.0
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`study`] | E4–E10: Tables 1–3, Figs 4–9, §6.2 ML study, §7 3-class model |
 //! | [`evaluation`] | E11–E15: Figs 10–13, Table 4 |
 //! | [`ablation`] | DESIGN.md §5 ablations |
+//! | [`serving`] | inference microbenchmark: recursive vs flattened engine |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,4 +29,5 @@ pub mod ablation;
 pub mod context;
 pub mod evaluation;
 pub mod motivation;
+pub mod serving;
 pub mod study;

@@ -66,7 +66,10 @@ fn run(scenario: CotsScenario, name: &str, duration_s: f64, seed: u64) -> Motiva
     let mut with_ba = Vec::new();
     let mut fixed_best = Vec::new();
     for r in 0..THROUGHPUT_RUNS {
-        let cfg = CotsConfig { seed: seed.wrapping_add(r * 7919) ^ 0xA9, ..ap_cfg };
+        let cfg = CotsConfig {
+            seed: seed.wrapping_add(r * 7919) ^ 0xA9,
+            ..ap_cfg
+        };
         with_ba.push(run_cots(&scenario, &cfg).mean_tput_mbps);
         let (_, fixed) = best_fixed_sector_run(
             &scenario,
@@ -95,18 +98,31 @@ fn run(scenario: CotsScenario, name: &str, duration_s: f64, seed: u64) -> Motiva
 
 /// Fig. 1 — static client at 30 ft (~9 m), 60 s.
 pub fn fig1(seed: u64) -> MotivationResult {
-    run(CotsScenario::Static { distance_m: 9.1 }, "static", 60.0, seed)
+    run(
+        CotsScenario::Static { distance_m: 9.1 },
+        "static",
+        60.0,
+        seed,
+    )
 }
 
 /// Fig. 2 — human blockage on the LOS, 55 s.
 pub fn fig2(seed: u64) -> MotivationResult {
-    run(CotsScenario::Blockage { distance_m: 8.0 }, "blockage", 55.0, seed)
+    run(
+        CotsScenario::Blockage { distance_m: 8.0 },
+        "blockage",
+        55.0,
+        seed,
+    )
 }
 
 /// Fig. 3 — walking away from the AP while facing it, 20 s.
 pub fn fig3(seed: u64) -> MotivationResult {
     run(
-        CotsScenario::Mobility { start_m: 2.0, speed_m_per_s: 1.2 },
+        CotsScenario::Mobility {
+            start_m: 2.0,
+            speed_m_per_s: 1.2,
+        },
         "mobility",
         20.0,
         seed,

@@ -1,0 +1,101 @@
+//! Inference-serving microbenchmark: recursive trees vs the flattened
+//! engine of `libra-infer`.
+//!
+//! LiBRA consults its classifier every other frame (2×20 ms observation
+//! windows, §7), so prediction latency is a deployment concern the paper
+//! leaves implicit. This section measures batched prediction over the
+//! full §5 main-campaign feature matrix with both implementations,
+//! asserts they are prediction-identical row by row, and records the
+//! measured throughputs to `results/infer_bench.txt` so successive runs
+//! can be compared.
+
+use crate::context::{classifier, gt_params, main_dataset, table, CLASSIFIER_SEED};
+use libra_ml::{ForestConfig, RandomForest};
+use libra_util::rng::rng_from_seed;
+use libra_util::table::{fmt_f, TextTable};
+use std::time::Instant;
+
+/// Where the microbenchmark records its measurements.
+pub fn report_path() -> std::path::PathBuf {
+    libra_util::paths::results_root().join("infer_bench.txt")
+}
+
+/// The recursive forest the suite classifier was compiled from —
+/// retrained from the suite seed, it is the exact pre-compilation model.
+pub fn recursive_reference() -> RandomForest {
+    let data = main_dataset().to_ml_3class(&table(), &gt_params());
+    let mut forest = RandomForest::new(ForestConfig::default());
+    let mut rng = rng_from_seed(CLASSIFIER_SEED);
+    forest.fit(&data, &mut rng);
+    forest
+}
+
+/// Times `passes` full-matrix prediction passes, returning (total
+/// seconds, predictions from the last pass).
+fn time_passes<F: FnMut() -> Vec<usize>>(passes: usize, mut run: F) -> (f64, Vec<usize>) {
+    let mut preds = run(); // warm-up, untimed
+    let t = Instant::now();
+    for _ in 0..passes {
+        preds = run();
+    }
+    (t.elapsed().as_secs_f64(), preds)
+}
+
+/// Runs the microbenchmark: `passes` timed prediction passes over the
+/// full campaign feature matrix per engine. Panics if the two engines
+/// ever disagree on a single row — speed without identity is worthless.
+pub fn serving_bench(passes: usize) -> String {
+    let data = main_dataset().to_ml_3class(&table(), &gt_params());
+    let rows = &data.features;
+    let recursive = recursive_reference();
+    let engine = classifier().engine();
+
+    // Prediction identity on every row of the §5 campaign dataset.
+    let reference = recursive.predict(rows);
+    let flat = engine.predict_batch(rows);
+    assert_eq!(
+        reference, flat,
+        "flattened engine diverged from the recursive forest on the campaign dataset"
+    );
+
+    let (rec_s, rec_preds) = time_passes(passes, || recursive.predict(rows));
+    let mut out = Vec::new();
+    let (flat_s, flat_preds) = time_passes(passes, || {
+        engine.predict_batch_into(rows, &mut out);
+        out.clone()
+    });
+    assert_eq!(
+        rec_preds, flat_preds,
+        "engines diverged during timing passes"
+    );
+
+    let n = (rows.len() * passes) as f64;
+    let mut t = TextTable::new(["engine", "rows/pass", "passes", "total (s)", "Mrows/s"]);
+    for (name, secs) in [("recursive", rec_s), ("flat", flat_s)] {
+        t.row([
+            name.to_string(),
+            rows.len().to_string(),
+            passes.to_string(),
+            fmt_f(secs, 3),
+            fmt_f(n / secs / 1e6, 2),
+        ]);
+    }
+    let speedup = rec_s / flat_s;
+    let report = format!(
+        "Inference serving: {} trees, {} nodes, {} rows\n{}flat engine speedup: {:.2}x\n",
+        engine.n_trees(),
+        engine.n_nodes(),
+        rows.len(),
+        t.render(),
+        speedup
+    );
+
+    let path = report_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&path, &report) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    report
+}

@@ -4,8 +4,8 @@
 
 use crate::context::{classifier, gt_params, main_dataset, table, testing_dataset, SUITE_SEED};
 use libra_dataset::{
-    generate, main_campaign_plan, testing_campaign_plan, Action, CampaignConfig,
-    CampaignDataset, Impairment, Instruments, FEATURE_NAMES,
+    generate, main_campaign_plan, testing_campaign_plan, Action, CampaignConfig, CampaignDataset,
+    Impairment, Instruments, FEATURE_NAMES,
 };
 use libra_ml::{cross_validate, train_test_eval, ModelKind};
 use libra_util::csvio::CsvWriter;
@@ -118,7 +118,12 @@ pub fn metric_figure_csv(feature_idx: usize) -> String {
     for p in &panels {
         for (class, cdf) in [("BA", &p.ba), ("RA", &p.ra)] {
             for (x, y) in cdf.steps() {
-                w.row([p.panel.as_str(), class, &format!("{x:.4}"), &format!("{y:.4}")]);
+                w.row([
+                    p.panel.as_str(),
+                    class,
+                    &format!("{x:.4}"),
+                    &format!("{y:.4}"),
+                ]);
             }
         }
     }
@@ -130,7 +135,12 @@ pub fn metric_figure_csv(feature_idx: usize) -> String {
 pub fn cv_study(repeats: usize) -> String {
     let train = main_dataset().to_ml(&table(), &gt_params());
     let mut t = TextTable::new(["model", "accuracy", "weighted F1", "paper acc", "paper F1"]);
-    let paper = [("DT", 0.95, 0.95), ("RF", 0.98, 0.98), ("SVM", 0.91, 0.91), ("DNN", 0.95, 0.90)];
+    let paper = [
+        ("DT", 0.95, 0.95),
+        ("RF", 0.98, 0.98),
+        ("SVM", 0.91, 0.91),
+        ("DNN", 0.95, 0.90),
+    ];
     for (kind, (_, pa, pf)) in ModelKind::ALL.iter().zip(paper) {
         let res = cross_validate(*kind, &train, 5, repeats, SUITE_SEED ^ 0xCF);
         t.row([
@@ -141,7 +151,10 @@ pub fn cv_study(repeats: usize) -> String {
             fmt_f(pf, 2),
         ]);
     }
-    format!("5-fold stratified cross validation (main dataset, {repeats} repeats)\n{}", t.render())
+    format!(
+        "5-fold stratified cross validation (main dataset, {repeats} repeats)\n{}",
+        t.render()
+    )
 }
 
 /// Extension: the paper's four models plus k-NN and GBDT, evaluated
@@ -149,7 +162,13 @@ pub fn cv_study(repeats: usize) -> String {
 pub fn extended_models_study(repeats: usize) -> String {
     let train = main_dataset().to_ml(&table(), &gt_params());
     let test = testing_dataset().to_ml(&table(), &gt_params());
-    let mut t = TextTable::new(["model", "cv acc", "cv F1", "cross-building acc", "cross-building F1"]);
+    let mut t = TextTable::new([
+        "model",
+        "cv acc",
+        "cv F1",
+        "cross-building acc",
+        "cross-building F1",
+    ]);
     for kind in ModelKind::EXTENDED {
         let cv = cross_validate(kind, &train, 5, repeats, SUITE_SEED ^ 0xE1);
         let (acc, f1) = train_test_eval(kind, &train, &test, SUITE_SEED ^ 0xE2);
@@ -161,8 +180,11 @@ pub fn extended_models_study(repeats: usize) -> String {
             fmt_f(f1, 3),
         ]);
     }
-    format!("Extended model comparison (paper's four + k-NN + GBDT)
-{}", t.render())
+    format!(
+        "Extended model comparison (paper's four + k-NN + GBDT)
+{}",
+        t.render()
+    )
 }
 
 /// §6.2 — train on the main dataset, test on the held-out buildings.
@@ -170,7 +192,12 @@ pub fn crossbuilding_study() -> String {
     let train = main_dataset().to_ml(&table(), &gt_params());
     let test = testing_dataset().to_ml(&table(), &gt_params());
     let mut t = TextTable::new(["model", "accuracy", "weighted F1", "paper acc", "paper F1"]);
-    let paper = [("DT", 0.85, 0.85), ("RF", 0.88, 0.88), ("SVM", 0.88, 0.88), ("DNN", 0.83, 0.76)];
+    let paper = [
+        ("DT", 0.85, 0.85),
+        ("RF", 0.88, 0.88),
+        ("SVM", 0.88, 0.88),
+        ("DNN", 0.83, 0.76),
+    ];
     for (kind, (_, pa, pf)) in ModelKind::ALL.iter().zip(paper) {
         let (acc, f1) = train_test_eval(*kind, &train, &test, SUITE_SEED ^ 0xCB);
         t.row([
@@ -181,15 +208,18 @@ pub fn crossbuilding_study() -> String {
             fmt_f(pf, 2),
         ]);
     }
-    format!("Cross-building generalization (train: main, test: buildings 1–2)\n{}", t.render())
+    format!(
+        "Cross-building generalization (train: main, test: buildings 1–2)\n{}",
+        t.render()
+    )
 }
 
 /// Table 3 — Gini importances of the LiBRA random forest.
 pub fn table3() -> String {
-    let imp = classifier().forest().feature_importances();
+    let imp = classifier().feature_importances();
     let paper = [0.215, 0.08, 0.16, 0.06, 0.12, 0.125, 0.26];
     let mut t = TextTable::new(["feature", "importance", "paper"]);
-    for ((name, v), p) in FEATURE_NAMES.iter().zip(&imp).zip(paper) {
+    for ((name, v), p) in FEATURE_NAMES.iter().zip(imp).zip(paper) {
         t.row([name.to_string(), fmt_f(*v, 3), fmt_f(p, 3)]);
     }
     format!("Table 3: Gini importance\n{}", t.render())
@@ -202,23 +232,47 @@ pub fn threeclass_study(repeats: usize) -> String {
     let params = gt_params();
     let train3 = main_dataset().to_ml_3class(&table(), &params);
     let test3 = testing_dataset().to_ml_3class(&table(), &params);
-    let cv = cross_validate(ModelKind::RandomForest, &train3, 5, repeats, SUITE_SEED ^ 0x3C);
+    let cv = cross_validate(
+        ModelKind::RandomForest,
+        &train3,
+        5,
+        repeats,
+        SUITE_SEED ^ 0x3C,
+    );
     let (acc_test, _) =
         train_test_eval(ModelKind::RandomForest, &train3, &test3, SUITE_SEED ^ 0x3D);
 
     // 40 ms windows: 2 frames per window instead of 100 (1 s).
-    let short = Instruments { trace_frames: 2, ..Instruments::default() };
-    let cfg = CampaignConfig { instruments: short, ..CampaignConfig::default() };
+    let short = Instruments {
+        trace_frames: 2,
+        ..Instruments::default()
+    };
+    let cfg = CampaignConfig {
+        instruments: short,
+        ..CampaignConfig::default()
+    };
     let main_short = generate(&main_campaign_plan(), &cfg);
     let test_short = generate(&testing_campaign_plan(), &cfg);
     let train3s = main_short.to_ml_3class(&table(), &params);
     let test3s = test_short.to_ml_3class(&table(), &params);
-    let (acc_short, _) =
-        train_test_eval(ModelKind::RandomForest, &train3s, &test3s, SUITE_SEED ^ 0x3E);
+    let (acc_short, _) = train_test_eval(
+        ModelKind::RandomForest,
+        &train3s,
+        &test3s,
+        SUITE_SEED ^ 0x3E,
+    );
 
     let mut t = TextTable::new(["setting", "accuracy", "paper"]);
-    t.row(["RF 3-class, 5-fold CV (1 s windows)".to_string(), fmt_f(cv.accuracy, 3), "0.98".into()]);
-    t.row(["RF 3-class, cross-building (1 s windows)".to_string(), fmt_f(acc_test, 3), "0.94".into()]);
+    t.row([
+        "RF 3-class, 5-fold CV (1 s windows)".to_string(),
+        fmt_f(cv.accuracy, 3),
+        "0.98".into(),
+    ]);
+    t.row([
+        "RF 3-class, cross-building (1 s windows)".to_string(),
+        fmt_f(acc_test, 3),
+        "0.94".into(),
+    ]);
     t.row([
         "RF 3-class, cross-building (40 ms windows)".to_string(),
         fmt_f(acc_short, 3),
@@ -262,7 +316,11 @@ mod tests {
         // most entries (paper: ≥0.65 always; we assert the bulk).
         let panels = metric_cdfs(3);
         let overall = &panels[3];
-        assert!(overall.ba.quantile(0.25) > 0.5, "q25 {}", overall.ba.quantile(0.25));
+        assert!(
+            overall.ba.quantile(0.25) > 0.5,
+            "q25 {}",
+            overall.ba.quantile(0.25)
+        );
     }
 
     #[test]

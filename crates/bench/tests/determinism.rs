@@ -38,16 +38,33 @@ fn artifacts(threads: usize) -> (u64, u64, u64) {
     // One scenario of each structural kind — displacement, rotation,
     // blockage, interference — across three environments, so every label
     // class shows up while the run stays test-sized.
-    let keep =
-        ["lobby-back", "lobby-rot1", "lobby-blk0", "lobby-intf0", "lab-back", "conf-rot1"];
+    let keep = [
+        "lobby-back",
+        "lobby-rot1",
+        "lobby-blk0",
+        "lobby-intf0",
+        "lab-back",
+        "conf-rot1",
+    ];
     let plan: Vec<_> = main_campaign_plan()
         .into_iter()
         .filter(|s| keep.contains(&s.name.as_str()))
         .collect();
-    assert_eq!(plan.len(), keep.len(), "campaign plan no longer contains the test scenarios");
+    assert_eq!(
+        plan.len(),
+        keep.len(),
+        "campaign plan no longer contains the test scenarios"
+    );
 
-    let instruments = Instruments { trace_frames: 25, ..Instruments::default() };
-    let cfg = CampaignConfig { seed: 0xD17E, instruments, repeats: 1 };
+    let instruments = Instruments {
+        trace_frames: 25,
+        ..Instruments::default()
+    };
+    let cfg = CampaignConfig {
+        seed: 0xD17E,
+        instruments,
+        repeats: 1,
+    };
     let ds = generate(&plan, &cfg);
     let ds_digest = digest(&binser::to_bytes(&ds).expect("serialize dataset"));
 
@@ -75,7 +92,16 @@ fn parallel_artifacts_match_sequential_bitwise() {
     let (ds1, clf1, cv1) = artifacts(1);
     let (dsn, clfn, cvn) = artifacts(parallel_threads);
 
-    assert_eq!(ds1, dsn, "campaign dataset differs at {parallel_threads} threads");
-    assert_eq!(clf1, clfn, "trained classifier differs at {parallel_threads} threads");
-    assert_eq!(cv1, cvn, "cross-validation result differs at {parallel_threads} threads");
+    assert_eq!(
+        ds1, dsn,
+        "campaign dataset differs at {parallel_threads} threads"
+    );
+    assert_eq!(
+        clf1, clfn,
+        "trained classifier differs at {parallel_threads} threads"
+    );
+    assert_eq!(
+        cv1, cvn,
+        "cross-validation result differs at {parallel_threads} threads"
+    );
 }

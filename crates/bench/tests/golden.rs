@@ -21,9 +21,20 @@ fn render_small_table1() -> String {
         .into_iter()
         .filter(|s| keep.contains(&s.name.as_str()))
         .collect();
-    assert_eq!(plan.len(), keep.len(), "campaign plan no longer contains the test scenarios");
-    let instruments = Instruments { trace_frames: 25, ..Instruments::default() };
-    let cfg = CampaignConfig { seed: 0xD17E, instruments, repeats: 1 };
+    assert_eq!(
+        plan.len(),
+        keep.len(),
+        "campaign plan no longer contains the test scenarios"
+    );
+    let instruments = Instruments {
+        trace_frames: 25,
+        ..Instruments::default()
+    };
+    let cfg = CampaignConfig {
+        seed: 0xD17E,
+        instruments,
+        repeats: 1,
+    };
     let ds = generate(&plan, &cfg);
     render_summary("Table 1 (reduced golden campaign)", &ds)
 }
@@ -35,7 +46,10 @@ fn table1_smoke_matches_golden() {
     set_threads(4);
     let parallel = render_small_table1();
     set_threads(0);
-    assert_eq!(sequential, parallel, "summary text differs between 1 and 4 threads");
+    assert_eq!(
+        sequential, parallel,
+        "summary text differs between 1 and 4 threads"
+    );
 
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
     match std::fs::read_to_string(&path) {
@@ -45,8 +59,7 @@ fn table1_smoke_matches_golden() {
              delete it and re-run to re-bless deliberately"
         ),
         Err(_) => {
-            std::fs::create_dir_all(path.parent().expect("golden dir"))
-                .expect("create golden dir");
+            std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
             std::fs::write(&path, &sequential).expect("write golden file");
             eprintln!("blessed new golden file {GOLDEN_PATH}; commit it to pin the artifact");
         }

@@ -1,0 +1,155 @@
+//! Serving-path regressions for the model artifact store.
+//!
+//! Three contracts:
+//! 1. The flattened engine is prediction-identical to the recursive
+//!    forest on the **full §5 main-campaign dataset** — every row,
+//!    bitwise-equal vote shares.
+//! 2. Artifact bytes are a pure function of the training seed: training
+//!    at 1 worker thread and at N threads freezes to **digest-equal**
+//!    artifacts.
+//! 3. An evaluation driven by a model reloaded from a frozen artifact
+//!    reproduces the evaluation driven by the in-process model exactly.
+
+use libra::sim::run_policy_segment;
+use libra::{LibraClassifier, LinkState, PolicyKind, SegmentData, SimConfig};
+use libra_bench::{context, serving};
+use libra_dataset::{generate, main_campaign_plan, CampaignConfig, GroundTruthParams, Instruments};
+use libra_infer::ModelArtifact;
+use libra_mac::{BaOverheadPreset, ProtocolParams};
+use libra_phy::McsTable;
+use libra_util::par::set_threads;
+use libra_util::rng::rng_from_seed;
+
+#[test]
+fn flat_engine_is_prediction_identical_on_full_campaign() {
+    let data = context::main_dataset().to_ml_3class(&context::table(), &context::gt_params());
+    let recursive = serving::recursive_reference();
+    let engine = context::classifier().engine();
+
+    let rec = recursive.predict(&data.features);
+    let flat = engine.predict_batch(&data.features);
+    assert_eq!(
+        rec, flat,
+        "class predictions diverged on the §5 campaign dataset"
+    );
+
+    // Vote shares, not just argmax, must be bitwise equal.
+    for row in &data.features {
+        let rp = recursive.predict_proba_one(row);
+        let fp = engine.predict_proba_one(row);
+        for (a, b) in rp.iter().zip(fp.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "vote shares diverged");
+        }
+    }
+}
+
+/// A reduced campaign (the determinism-test slice) so training twice
+/// stays test-sized.
+fn small_3class() -> libra_ml::Dataset {
+    let keep = [
+        "lobby-back",
+        "lobby-rot1",
+        "lobby-blk0",
+        "lobby-intf0",
+        "lab-back",
+        "conf-rot1",
+    ];
+    let plan: Vec<_> = main_campaign_plan()
+        .into_iter()
+        .filter(|s| keep.contains(&s.name.as_str()))
+        .collect();
+    assert_eq!(
+        plan.len(),
+        keep.len(),
+        "campaign plan no longer contains the test scenarios"
+    );
+    let instruments = Instruments {
+        trace_frames: 25,
+        ..Instruments::default()
+    };
+    let cfg = CampaignConfig {
+        seed: 0xD17E,
+        instruments,
+        repeats: 1,
+    };
+    generate(&plan, &cfg).to_ml_3class(&McsTable::x60(), &GroundTruthParams::default())
+}
+
+fn train_artifact(threads: usize) -> ModelArtifact {
+    set_threads(threads);
+    let data = small_3class();
+    let mut rng = rng_from_seed(0x5EED);
+    let clf = LibraClassifier::train(&data, &mut rng);
+    set_threads(0);
+    clf.to_artifact(
+        "serving-test",
+        0x5EED,
+        data.len() as u64,
+        "thread-invariance check",
+    )
+}
+
+#[test]
+fn artifacts_are_digest_equal_across_thread_counts() {
+    let parallel_threads = std::env::var("LIBRA_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(4);
+
+    let seq = train_artifact(1);
+    let par = train_artifact(parallel_threads);
+    assert_eq!(
+        seq.to_bytes().unwrap(),
+        par.to_bytes().unwrap(),
+        "artifact bytes differ between 1 and {parallel_threads} worker threads"
+    );
+    assert_eq!(seq.digest().unwrap(), par.digest().unwrap());
+}
+
+#[test]
+fn frozen_artifact_reproduces_the_evaluation() {
+    let keep = ["lobby-back", "lobby-blk0", "lobby-intf0"];
+    let plan: Vec<_> = main_campaign_plan()
+        .into_iter()
+        .filter(|s| keep.contains(&s.name.as_str()))
+        .collect();
+    let instruments = Instruments {
+        trace_frames: 25,
+        ..Instruments::default()
+    };
+    let ds = generate(
+        &plan,
+        &CampaignConfig {
+            seed: 0xD17E,
+            instruments,
+            repeats: 1,
+        },
+    );
+    let data = ds.to_ml_3class(&McsTable::x60(), &GroundTruthParams::default());
+
+    let mut rng = rng_from_seed(0xA57);
+    let trained = LibraClassifier::train(&data, &mut rng);
+
+    // Freeze to artifact bytes, thaw, and compare a §8-style evaluation.
+    let artifact = trained.to_artifact("eval-repro", 0xA57, data.len() as u64, "");
+    let bytes = artifact.to_bytes().expect("serialize");
+    let thawed = LibraClassifier::from_artifact(&ModelArtifact::from_bytes(&bytes).expect("parse"))
+        .expect("unpack");
+
+    let sim = SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0));
+    for entry in &ds.entries {
+        let seg = SegmentData::from_entry(entry, 400.0);
+        let state = LinkState::at_mcs(entry.initial.best_mcs());
+        for policy in [PolicyKind::Libra, PolicyKind::BaFirst, PolicyKind::RaFirst] {
+            let a = run_policy_segment(&seg, policy, Some(&trained), state, &sim);
+            let b = run_policy_segment(&seg, policy, Some(&thawed), state, &sim);
+            assert_eq!(
+                a.bytes.to_bits(),
+                b.bytes.to_bits(),
+                "frozen model changed the evaluation outcome for {entry_name} / {policy:?}",
+                entry_name = entry.scenario
+            );
+        }
+    }
+}

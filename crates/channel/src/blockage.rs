@@ -28,12 +28,20 @@ pub struct Blocker {
 impl Blocker {
     /// A typical adult human: 0.25 m radius, 25 dB centre attenuation.
     pub fn human(position: Point) -> Self {
-        Self { position, radius_m: 0.25, attenuation_db: 25.0 }
+        Self {
+            position,
+            radius_m: 0.25,
+            attenuation_db: 25.0,
+        }
     }
 
     /// A human with custom severity (used for partial-blockage cases).
     pub fn human_with_attenuation(position: Point, attenuation_db: f64) -> Self {
-        Self { position, radius_m: 0.25, attenuation_db }
+        Self {
+            position,
+            radius_m: 0.25,
+            attenuation_db,
+        }
     }
 
     /// Attenuation this blocker imposes on a ray travelling along `leg`.
@@ -70,8 +78,11 @@ pub enum BlockerPlacement {
 
 impl BlockerPlacement {
     /// All three placements.
-    pub const ALL: [BlockerPlacement; 3] =
-        [BlockerPlacement::MidPath, BlockerPlacement::NearTx, BlockerPlacement::NearRx];
+    pub const ALL: [BlockerPlacement; 3] = [
+        BlockerPlacement::MidPath,
+        BlockerPlacement::NearTx,
+        BlockerPlacement::NearRx,
+    ];
 
     /// Short name for tables.
     pub fn name(self) -> &'static str {

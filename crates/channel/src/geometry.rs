@@ -147,7 +147,10 @@ pub struct Pose {
 impl Pose {
     /// Constructs a pose.
     pub const fn new(position: Point, orientation_deg: f64) -> Self {
-        Self { position, orientation_deg }
+        Self {
+            position,
+            orientation_deg,
+        }
     }
 
     /// Converts a world bearing into this pose's antenna-local angle
@@ -158,12 +161,18 @@ impl Pose {
 
     /// The pose rotated by `delta_deg` in place.
     pub fn rotated(&self, delta_deg: f64) -> Pose {
-        Pose::new(self.position, libra_arrays::pattern::wrap_deg(self.orientation_deg + delta_deg))
+        Pose::new(
+            self.position,
+            libra_arrays::pattern::wrap_deg(self.orientation_deg + delta_deg),
+        )
     }
 
     /// The pose translated by `(dx, dy)` metres, orientation unchanged.
     pub fn translated(&self, dx: f64, dy: f64) -> Pose {
-        Pose::new(Point::new(self.position.x + dx, self.position.y + dy), self.orientation_deg)
+        Pose::new(
+            Point::new(self.position.x + dx, self.position.y + dy),
+            self.orientation_deg,
+        )
     }
 }
 
@@ -177,7 +186,10 @@ mod tests {
 
     #[test]
     fn distance_345() {
-        assert!(close(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0));
+        assert!(close(
+            Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)),
+            5.0
+        ));
     }
 
     #[test]

@@ -31,8 +31,11 @@ pub enum InterferenceLevel {
 
 impl InterferenceLevel {
     /// All three levels.
-    pub const ALL: [InterferenceLevel; 3] =
-        [InterferenceLevel::Low, InterferenceLevel::Medium, InterferenceLevel::High];
+    pub const ALL: [InterferenceLevel; 3] = [
+        InterferenceLevel::Low,
+        InterferenceLevel::Medium,
+        InterferenceLevel::High,
+    ];
 
     /// Short name for tables.
     pub fn name(self) -> &'static str {
@@ -73,7 +76,11 @@ pub struct Interferer {
 impl Interferer {
     /// An interferer at `position` with the given nominal severity.
     pub fn at_level(position: Point, level: InterferenceLevel) -> Self {
-        Self { position, eirp_dbm: level.eirp_dbm(), duty_cycle: 1.0 }
+        Self {
+            position,
+            eirp_dbm: level.eirp_dbm(),
+            duty_cycle: 1.0,
+        }
     }
 
     /// Fraction of interference power arriving via the direct bearing;
@@ -132,7 +139,10 @@ mod tests {
         let toward = cb.beam(cb.closest_beam(50.0));
         let away = cb.beam(cb.closest_beam(-50.0));
         let intf = Interferer::at_level(
-            Point::new(50f64.to_radians().cos() * 4.0, 50f64.to_radians().sin() * 4.0),
+            Point::new(
+                50f64.to_radians().cos() * 4.0,
+                50f64.to_radians().sin() * 4.0,
+            ),
             InterferenceLevel::High,
         );
         let p_toward = intf.power_at_rx_dbm(&rx, toward);

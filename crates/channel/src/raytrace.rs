@@ -156,8 +156,7 @@ fn trace_double_bounce(
     {
         return None;
     }
-    let mut loss =
-        wall_i.material.reflection_loss_db() + wall_j.material.reflection_loss_db();
+    let mut loss = wall_i.material.reflection_loss_db() + wall_j.material.reflection_loss_db();
     loss += leg_obstruction_db(room, blockers, tx, bounce1, &[wi]);
     loss += leg_obstruction_db(room, blockers, bounce1, bounce2, &[wi, wj]);
     loss += leg_obstruction_db(room, blockers, bounce2, rx, &[wj]);
@@ -216,7 +215,13 @@ mod tests {
     #[test]
     fn los_path_present_and_first() {
         let room = empty_room();
-        let paths = trace_paths(&room, Point::new(2.0, 5.0), Point::new(12.0, 5.0), &[], 60.0);
+        let paths = trace_paths(
+            &room,
+            Point::new(2.0, 5.0),
+            Point::new(12.0, 5.0),
+            &[],
+            60.0,
+        );
         let los: Vec<_> = paths.iter().filter(|p| p.is_los()).collect();
         assert_eq!(los.len(), 1);
         assert!((los[0].length_m - 10.0).abs() < 1e-9);
@@ -281,11 +286,8 @@ mod tests {
 
     #[test]
     fn interior_occluder_attenuates_los() {
-        let room = empty_room().with_interior(
-            Point::new(7.0, 3.0),
-            Point::new(7.0, 7.0),
-            Material::Metal,
-        );
+        let room =
+            empty_room().with_interior(Point::new(7.0, 3.0), Point::new(7.0, 7.0), Material::Metal);
         let paths = trace_paths(&room, Point::new(2.0, 5.0), Point::new(12.0, 5.0), &[], 1e9);
         let los = paths.iter().find(|p| p.is_los()).unwrap();
         assert!((los.extra_loss_db - Material::Metal.penetration_loss_db()).abs() < 1e-9);
@@ -300,7 +302,13 @@ mod tests {
         );
         // Wall fully separates Tx/Rx: with a tight cutoff nothing survives.
         // (Asymmetric positions so no bounce grazes the wall's endpoint.)
-        let paths = trace_paths(&room, Point::new(2.0, 5.0), Point::new(14.0, 4.0), &[], 30.0);
+        let paths = trace_paths(
+            &room,
+            Point::new(2.0, 5.0),
+            Point::new(14.0, 4.0),
+            &[],
+            30.0,
+        );
         assert!(paths.is_empty(), "survivors: {paths:?}");
     }
 
@@ -311,7 +319,12 @@ mod tests {
             let tx = Point::new(1.0, room.depth_m / 2.0);
             let rx = Point::new(room.width_m.min(10.0) - 1.0, room.depth_m / 2.0);
             let paths = trace_paths(&room, tx, rx, &[], 60.0);
-            assert!(paths.len() >= 2, "{}: only {} paths", room.name, paths.len());
+            assert!(
+                paths.len() >= 2,
+                "{}: only {} paths",
+                room.name,
+                paths.len()
+            );
         }
     }
 }
@@ -325,8 +338,17 @@ mod corner_tests {
     #[test]
     fn same_arm_link_has_clear_los() {
         let room = Environment::LCorridor.room();
-        let paths = trace_paths(&room, Point::new(1.0, 1.25), Point::new(12.0, 1.25), &[], 60.0);
-        let los = paths.iter().find(|p| p.is_los()).expect("LOS in a straight arm");
+        let paths = trace_paths(
+            &room,
+            Point::new(1.0, 1.25),
+            Point::new(12.0, 1.25),
+            &[],
+            60.0,
+        );
+        let los = paths
+            .iter()
+            .find(|p| p.is_los())
+            .expect("LOS in a straight arm");
         assert_eq!(los.extra_loss_db, 0.0);
     }
 

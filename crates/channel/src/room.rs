@@ -69,12 +69,20 @@ pub struct Wall {
 impl Wall {
     /// A boundary wall (non-occluding within a convex room).
     pub fn boundary(a: Point, b: Point, material: Material) -> Self {
-        Self { segment: Segment::new(a, b), material, occluding: false }
+        Self {
+            segment: Segment::new(a, b),
+            material,
+            occluding: false,
+        }
     }
 
     /// An interior face that both reflects and occludes.
     pub fn interior(a: Point, b: Point, material: Material) -> Self {
-        Self { segment: Segment::new(a, b), material, occluding: true }
+        Self {
+            segment: Segment::new(a, b),
+            material,
+            occluding: true,
+        }
     }
 }
 
@@ -107,7 +115,13 @@ impl Room {
             Wall::boundary(p(w, d), p(0.0, d), sides[2]),
             Wall::boundary(p(0.0, d), p(0.0, 0.0), sides[3]),
         ];
-        Self { name: name.to_string(), walls, n_boundary: 4, width_m, depth_m }
+        Self {
+            name: name.to_string(),
+            walls,
+            n_boundary: 4,
+            width_m,
+            depth_m,
+        }
     }
 
     /// A general polygonal room from a counter-clockwise vertex list;
@@ -129,9 +143,15 @@ impl Room {
             .map(|((&a, &b), &m)| Wall::interior(a, b, m))
             .collect();
         let min_x = vertices.iter().map(|v| v.x).fold(f64::INFINITY, f64::min);
-        let max_x = vertices.iter().map(|v| v.x).fold(f64::NEG_INFINITY, f64::max);
+        let max_x = vertices
+            .iter()
+            .map(|v| v.x)
+            .fold(f64::NEG_INFINITY, f64::max);
         let min_y = vertices.iter().map(|v| v.y).fold(f64::INFINITY, f64::min);
-        let max_y = vertices.iter().map(|v| v.y).fold(f64::NEG_INFINITY, f64::max);
+        let max_y = vertices
+            .iter()
+            .map(|v| v.y)
+            .fold(f64::NEG_INFINITY, f64::max);
         let n_boundary = vertices.len();
         Self {
             name: name.to_string(),
@@ -216,8 +236,10 @@ impl Environment {
     ];
 
     /// The held-out environments of the *testing* dataset (Table 2).
-    pub const TESTING: [Environment; 2] =
-        [Environment::Building1Corridor, Environment::Building2OpenArea];
+    pub const TESTING: [Environment; 2] = [
+        Environment::Building1Corridor,
+        Environment::Building2OpenArea,
+    ];
 
     /// Short name used in tables and CSVs.
     pub fn name(self) -> &'static str {
@@ -263,15 +285,24 @@ impl Environment {
                     [Whiteboard, Drywall, Metal, Drywall],
                 )
             }
-            Environment::CorridorNarrow => {
-                Room::rectangular("corridor-1.74m", 30.0, 1.74, [Drywall, Concrete, Drywall, Concrete])
-            }
-            Environment::CorridorMedium => {
-                Room::rectangular("corridor-3.2m", 30.0, 3.2, [Drywall, Concrete, Drywall, Concrete])
-            }
-            Environment::CorridorWide => {
-                Room::rectangular("corridor-6.2m", 30.0, 6.2, [Drywall, Concrete, Drywall, Concrete])
-            }
+            Environment::CorridorNarrow => Room::rectangular(
+                "corridor-1.74m",
+                30.0,
+                1.74,
+                [Drywall, Concrete, Drywall, Concrete],
+            ),
+            Environment::CorridorMedium => Room::rectangular(
+                "corridor-3.2m",
+                30.0,
+                3.2,
+                [Drywall, Concrete, Drywall, Concrete],
+            ),
+            Environment::CorridorWide => Room::rectangular(
+                "corridor-6.2m",
+                30.0,
+                6.2,
+                [Drywall, Concrete, Drywall, Concrete],
+            ),
             Environment::LCorridor => {
                 // Horizontal arm 18 × 2.5 m joining a vertical arm
                 // 2.5 × 12.5 m at its east end (counter-clockwise).
@@ -292,11 +323,21 @@ impl Environment {
             }
             Environment::Building1Corridor => {
                 // Older building: brick walls, fewer reflective surfaces.
-                Room::rectangular("building1-corridor", 35.0, 2.5, [Brick, Brick, Brick, Brick])
+                Room::rectangular(
+                    "building1-corridor",
+                    35.0,
+                    2.5,
+                    [Brick, Brick, Brick, Brick],
+                )
             }
             Environment::Building2OpenArea => {
                 // Wide open area, much larger than the lobby.
-                Room::rectangular("building2-open", 30.0, 22.0, [Drywall, Concrete, Drywall, Glass])
+                Room::rectangular(
+                    "building2-open",
+                    30.0,
+                    22.0,
+                    [Drywall, Concrete, Drywall, Glass],
+                )
             }
         }
     }
@@ -323,8 +364,11 @@ mod tests {
 
     #[test]
     fn interior_faces_occlude() {
-        let r = Room::rectangular("t", 10.0, 5.0, [Material::Drywall; 4])
-            .with_interior(Point::new(1.0, 1.0), Point::new(2.0, 1.0), Material::Metal);
+        let r = Room::rectangular("t", 10.0, 5.0, [Material::Drywall; 4]).with_interior(
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 1.0),
+            Material::Metal,
+        );
         assert_eq!(r.occluders().count(), 1);
     }
 
@@ -393,7 +437,11 @@ mod polygon_tests {
     fn polygon_validates_materials() {
         Room::polygon(
             "bad",
-            &[Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)],
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.0, 1.0),
+            ],
             &[Material::Drywall],
         );
     }

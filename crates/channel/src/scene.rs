@@ -16,9 +16,7 @@ use crate::interference::Interferer;
 use crate::raytrace::{trace_paths, RayPath};
 use crate::room::Room;
 use libra_arrays::BeamPattern;
-use libra_util::db::{
-    friis_path_loss_db, noise_floor_dbm, sum_powers_dbm, SPEED_OF_LIGHT_M_PER_S,
-};
+use libra_util::db::{friis_path_loss_db, noise_floor_dbm, sum_powers_dbm, SPEED_OF_LIGHT_M_PER_S};
 use serde::{Deserialize, Serialize};
 
 /// Extra-loss cutoff beyond which traced paths are discarded, dB.
@@ -89,13 +87,22 @@ impl BeamPairResponse {
         if self.taps.len() < 2 {
             return 0.0;
         }
-        let powers: Vec<f64> = self.taps.iter().map(|t| 10f64.powf(t.power_dbm / 10.0)).collect();
+        let powers: Vec<f64> = self
+            .taps
+            .iter()
+            .map(|t| 10f64.powf(t.power_dbm / 10.0))
+            .collect();
         let total: f64 = powers.iter().sum();
         if total <= 0.0 {
             return 0.0;
         }
-        let mean: f64 =
-            self.taps.iter().zip(&powers).map(|(t, p)| t.delay_ns * p).sum::<f64>() / total;
+        let mean: f64 = self
+            .taps
+            .iter()
+            .zip(&powers)
+            .map(|(t, p)| t.delay_ns * p)
+            .sum::<f64>()
+            / total;
         let var: f64 = self
             .taps
             .iter()
@@ -131,7 +138,14 @@ pub struct Scene {
 impl Scene {
     /// A clear scene (no blockage, no interference) with default power.
     pub fn new(room: Room, tx: Pose, rx: Pose) -> Self {
-        Self { room, tx, rx, blockers: Vec::new(), interferers: Vec::new(), tx_power_dbm: DEFAULT_TX_POWER_DBM }
+        Self {
+            room,
+            tx,
+            rx,
+            blockers: Vec::new(),
+            interferers: Vec::new(),
+            tx_power_dbm: DEFAULT_TX_POWER_DBM,
+        }
     }
 
     /// Returns a copy with the given blockers.
@@ -149,7 +163,13 @@ impl Scene {
     /// Geometric rays between Tx and Rx under the current impairments
     /// (beam-independent part of the computation, cacheable per state).
     pub fn rays(&self) -> Vec<RayPath> {
-        trace_paths(&self.room, self.tx.position, self.rx.position, &self.blockers, PATH_LOSS_CUTOFF_DB)
+        trace_paths(
+            &self.room,
+            self.tx.position,
+            self.rx.position,
+            &self.blockers,
+            PATH_LOSS_CUTOFF_DB,
+        )
     }
 
     /// Computes the channel observation for a beam pair, reusing
@@ -182,7 +202,8 @@ impl Scene {
             .collect();
         taps.sort_by(|a, b| a.delay_ns.partial_cmp(&b.delay_ns).expect("finite delays"));
 
-        let signal_power_dbm = sum_powers_dbm(&taps.iter().map(|t| t.power_dbm).collect::<Vec<_>>());
+        let signal_power_dbm =
+            sum_powers_dbm(&taps.iter().map(|t| t.power_dbm).collect::<Vec<_>>());
         let thermal = noise_floor_dbm();
         let interference_dbm = sum_powers_dbm(
             &self
@@ -198,7 +219,11 @@ impl Scene {
             f64::INFINITY
         } else {
             taps.iter()
-                .max_by(|a, b| a.power_dbm.partial_cmp(&b.power_dbm).expect("finite powers"))
+                .max_by(|a, b| {
+                    a.power_dbm
+                        .partial_cmp(&b.power_dbm)
+                        .expect("finite powers")
+                })
                 .map(|t| t.delay_ns)
                 .unwrap_or(f64::INFINITY)
         };
@@ -227,7 +252,7 @@ mod tests {
     use super::*;
     use crate::blockage::BlockerPlacement;
     use crate::geometry::Point;
-    use crate::interference::{Interferer, InterferenceLevel};
+    use crate::interference::{InterferenceLevel, Interferer};
     use crate::room::{Environment, Material, Room};
     use libra_arrays::Codebook;
 
@@ -288,8 +313,11 @@ mod tests {
         let cb = Codebook::sibeam_25();
         let (t, r) = boresight_pair(&cb);
         let clear = corridor_scene(10.0);
-        let blocked = corridor_scene(10.0).with_blockers(vec![BlockerPlacement::MidPath
-            .blocker(Point::new(1.0, 1.5), Point::new(11.0, 1.5), 0.0)]);
+        let blocked = corridor_scene(10.0).with_blockers(vec![BlockerPlacement::MidPath.blocker(
+            Point::new(1.0, 1.5),
+            Point::new(11.0, 1.5),
+            0.0,
+        )]);
         let snr_clear = clear.response(t, r).snr_db;
         let snr_blocked = blocked.response(t, r).snr_db;
         assert!(snr_clear - snr_blocked > 5.0);
@@ -308,7 +336,11 @@ mod tests {
             }
         }
         assert!(best > snr_blocked, "sweep should find a better pair");
-        assert_ne!(best_pair, (12, 12), "best pair under blockage should not be boresight");
+        assert_ne!(
+            best_pair,
+            (12, 12),
+            "best pair under blockage should not be boresight"
+        );
     }
 
     #[test]
@@ -342,7 +374,13 @@ mod tests {
     #[test]
     fn delay_spread_zero_for_single_tap() {
         let resp = BeamPairResponse {
-            taps: vec![Tap { delay_ns: 10.0, power_dbm: -50.0, aod_local_deg: 0.0, aoa_local_deg: 0.0, order: 0 }],
+            taps: vec![Tap {
+                delay_ns: 10.0,
+                power_dbm: -50.0,
+                aod_local_deg: 0.0,
+                aoa_local_deg: 0.0,
+                order: 0,
+            }],
             signal_power_dbm: -50.0,
             thermal_noise_dbm: -74.0,
             interference_dbm: f64::NEG_INFINITY,

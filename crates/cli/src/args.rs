@@ -58,7 +58,11 @@ impl Args {
                 positionals.push(tok);
             }
         }
-        Ok(Self { positionals, options, consumed: Vec::new() })
+        Ok(Self {
+            positionals,
+            options,
+            consumed: Vec::new(),
+        })
     }
 
     /// The command path (positional words).

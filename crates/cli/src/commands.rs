@@ -5,6 +5,7 @@ use libra::prelude::*;
 use libra::sim::run_policy_segment;
 use libra::{LinkState, PolicyKind, ScenarioType, SegmentData, SimConfig, TimelineConfig};
 use libra_dataset::{Features, GroundTruthParams, Instruments};
+use libra_infer::{ModelArtifact, ModelRegistry, ModelSpec};
 use libra_mac::{BaOverheadPreset, ProtocolParams};
 use libra_phy::McsTable;
 use libra_util::par::{par_map, par_map_index};
@@ -19,11 +20,18 @@ pub fn run(mut args: Args) -> Result<String, ArgError> {
         ["dataset", "summary"] => dataset_summary(&mut args),
         ["train"] => train(&mut args),
         ["classify"] => classify(&mut args),
+        ["predict"] => predict(&mut args),
+        ["models", "list"] => models_list(&mut args),
+        ["models", "inspect"] => models_inspect(&mut args),
         ["simulate"] => simulate(&mut args),
         ["timeline"] => timeline(&mut args),
         ["info"] => info(&mut args),
         [] => Ok(usage()),
-        other => Err(ArgError(format!("unknown command `{}`\n\n{}", other.join(" "), usage()))),
+        other => Err(ArgError(format!(
+            "unknown command `{}`\n\n{}",
+            other.join(" "),
+            usage()
+        ))),
     }
 }
 
@@ -35,14 +43,23 @@ USAGE:
   libractl dataset generate --plan main|testing --out FILE [--csv FILE] [--seed N] [--repeats N]
                             [--threads N]
   libractl dataset summary  --input FILE [--alpha A] [--ba-ms MS] [--fat-ms MS]
-  libractl train            --dataset FILE --out FILE [--seed N] [--threads N]
-  libractl classify         --model FILE --snr-diff DB [--tof-diff NS] [--noise-diff DB]
+  libractl train            --dataset FILE [--out FILE] [--save NAME] [--seed N] [--threads N]
+  libractl models list      [--models-dir DIR]
+  libractl models inspect   --model MODEL [--models-dir DIR]
+  libractl classify         --model MODEL --snr-diff DB [--tof-diff NS] [--noise-diff DB]
                             [--pdp-sim S] [--csi-sim S] [--cdr C] [--initial-mcs M]
-  libractl simulate         --model FILE --dataset FILE [--ba-ms MS] [--fat-ms MS] [--flow-ms MS]
+  libractl predict          --model MODEL [feature flags as for classify]
+  libractl simulate         --model MODEL --dataset FILE [--ba-ms MS] [--fat-ms MS] [--flow-ms MS]
                             [--threads N]
-  libractl timeline         --model FILE [--scenario mobility|blockage|interference|mixed]
+  libractl timeline         --model MODEL [--scenario mobility|blockage|interference|mixed]
                             [--timelines N] [--ba-ms MS] [--fat-ms MS] [--seed N] [--threads N]
   libractl info
+
+MODEL is either a file path or a registry reference `name[@version]`
+resolved against the model registry (results/models/ by default;
+override with --models-dir DIR or the LIBRA_MODELS_DIR environment
+variable). `train --save NAME` freezes the trained model into the
+registry as a checksummed artifact and repoints NAME's latest-pointer.
 
 Parallel commands honour --threads N (else the LIBRA_THREADS environment
 variable, else all cores); output is identical at any thread count.
@@ -68,6 +85,46 @@ fn take_threads(args: &mut Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Consumes an optional `--models-dir DIR`, opening the model registry.
+fn take_registry(args: &mut Args) -> ModelRegistry {
+    match args.opt("models-dir") {
+        Some(dir) => ModelRegistry::open(dir),
+        None => ModelRegistry::open_default(),
+    }
+}
+
+/// Resolves a `--model` reference — a file path or a registry
+/// `name[@version]` spec — to a verified artifact.
+fn load_artifact(reference: &str, registry: &ModelRegistry) -> Result<ModelArtifact, ArgError> {
+    let path = std::path::Path::new(reference);
+    if path.is_file() {
+        return ModelArtifact::read(path).map_err(|e| ArgError(e.to_string()));
+    }
+    let spec = ModelSpec::parse(reference)
+        .map_err(|e| ArgError(format!("--model {reference}: not a file, and {e}")))?;
+    let (_, artifact) = registry.load(&spec).map_err(|e| ArgError(e.to_string()))?;
+    Ok(artifact)
+}
+
+/// Loads a classifier from a `--model` reference. File paths accept both
+/// the checksummed artifact format and the legacy raw `train --out`
+/// format; registry references are always artifacts.
+fn load_model(reference: &str, registry: &ModelRegistry) -> Result<LibraClassifier, ArgError> {
+    let path = std::path::Path::new(reference);
+    if path.is_file() {
+        return match ModelArtifact::read(path) {
+            Ok(art) => LibraClassifier::from_artifact(&art).map_err(|e| ArgError(e.to_string())),
+            // Not an artifact: fall back to the legacy binary format.
+            Err(libra_infer::Error::BadMagic) => {
+                LibraClassifier::load(path).map_err(|e| ArgError(e.to_string()))
+            }
+            Err(e) => Err(ArgError(e.to_string())),
+        };
+    }
+    let artifact = load_artifact(reference, registry)?;
+    LibraClassifier::from_artifact(&artifact).map_err(|e| ArgError(e.to_string()))
+}
+
 fn gt_params(args: &mut Args) -> Result<GroundTruthParams, ArgError> {
     Ok(GroundTruthParams {
         alpha: args.opt_parse("alpha", 1.0)?,
@@ -89,9 +146,17 @@ fn dataset_generate(args: &mut Args) -> Result<String, ArgError> {
     let plan = match plan_name.as_str() {
         "main" => main_campaign_plan(),
         "testing" => testing_campaign_plan(),
-        other => return Err(ArgError(format!("--plan must be main|testing, got `{other}`"))),
+        other => {
+            return Err(ArgError(format!(
+                "--plan must be main|testing, got `{other}`"
+            )))
+        }
     };
-    let cfg = CampaignConfig { seed, repeats, instruments: Instruments::default() };
+    let cfg = CampaignConfig {
+        seed,
+        repeats,
+        instruments: Instruments::default(),
+    };
     let ds = generate(&plan, &cfg);
     ds.save(&out).map_err(|e| ArgError(e.to_string()))?;
     let mut msg = format!(
@@ -135,32 +200,106 @@ fn dataset_summary(args: &mut Args) -> Result<String, ArgError> {
 
 fn train(args: &mut Args) -> Result<String, ArgError> {
     let dataset = args.req("dataset")?;
-    let out = args.req("out")?;
+    let out = args.opt("out");
+    let save = args.opt("save");
     let seed: u64 = args.opt_parse("seed", 7)?;
+    let registry = take_registry(args);
     take_threads(args)?;
     args.finish()?;
+    if out.is_none() && save.is_none() {
+        return Err(ArgError("train needs --out FILE and/or --save NAME".into()));
+    }
     let ds = CampaignDataset::load(&dataset).map_err(|e| ArgError(e.to_string()))?;
     let table = McsTable::x60();
     let data = ds.to_ml_3class(&table, &GroundTruthParams::default());
     let mut rng = rng_from_seed(seed);
     let clf = LibraClassifier::train(&data, &mut rng);
-    clf.save(&out).map_err(|e| ArgError(e.to_string()))?;
-    let imp = clf.forest().feature_importances();
+
+    let mut msg = format!(
+        "trained on {} rows ({} classes)\n",
+        data.len(),
+        data.n_classes
+    );
+    if let Some(out) = &out {
+        clf.save(out).map_err(|e| ArgError(e.to_string()))?;
+        msg.push_str(&format!("wrote model to {out}\n"));
+    }
+    if let Some(name) = &save {
+        let notes = format!("libractl train --dataset {dataset} --seed {seed}");
+        let artifact = clf.to_artifact(name, seed, data.len() as u64, &notes);
+        let version = registry
+            .save(name, &artifact)
+            .map_err(|e| ArgError(e.to_string()))?;
+        let digest = artifact.digest().map_err(|e| ArgError(e.to_string()))?;
+        msg.push_str(&format!(
+            "saved {name}@{version} to {} (digest {digest:016x})\n",
+            registry.root().display()
+        ));
+    }
+    let imp = clf.feature_importances();
     let mut t = TextTable::new(["feature", "Gini importance"]);
-    for (name, v) in libra_dataset::FEATURE_NAMES.iter().zip(imp) {
+    for (name, v) in libra_dataset::FEATURE_NAMES.iter().zip(imp.iter().copied()) {
         t.row([name.to_string(), fmt_f(v, 3)]);
     }
-    Ok(format!(
-        "trained on {} rows ({} classes), wrote model to {out}\n{}",
-        data.len(),
-        data.n_classes,
-        t.render()
-    ))
+    msg.push_str(&t.render());
+    Ok(msg)
 }
 
-fn classify(args: &mut Args) -> Result<String, ArgError> {
-    let model = args.req("model")?;
-    let features = Features {
+fn models_list(args: &mut Args) -> Result<String, ArgError> {
+    let registry = take_registry(args);
+    args.finish()?;
+    let records = registry.list().map_err(|e| ArgError(e.to_string()))?;
+    if records.is_empty() {
+        return Ok(format!("no models in {}\n", registry.root().display()));
+    }
+    let mut t = TextTable::new(["name", "versions", "latest"]);
+    for r in &records {
+        let versions = r
+            .versions
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let latest = r
+            .latest
+            .map_or_else(|| "-".to_string(), |v| format!("v{v}"));
+        t.row([r.name.clone(), versions, latest]);
+    }
+    Ok(format!("{}\n{}", registry.root().display(), t.render()))
+}
+
+fn models_inspect(args: &mut Args) -> Result<String, ArgError> {
+    let reference = args.req("model")?;
+    let registry = take_registry(args);
+    args.finish()?;
+    let artifact = load_artifact(&reference, &registry)?;
+    let digest = artifact.digest().map_err(|e| ArgError(e.to_string()))?;
+    let meta = &artifact.meta;
+    let mut out = format!(
+        "{reference}: {} model, {} classes {:?}\n",
+        artifact.payload.kind(),
+        artifact.payload.n_classes(),
+        meta.class_labels
+    );
+    out.push_str(&format!(
+        "  features     {} ({})\n",
+        artifact.payload.n_features(),
+        meta.feature_names.join(", ")
+    ));
+    out.push_str(&format!("  nodes        {}\n", artifact.payload.n_nodes()));
+    out.push_str(&format!("  train seed   {}\n", meta.train_seed));
+    out.push_str(&format!("  train rows   {}\n", meta.train_rows));
+    out.push_str(&format!("  digest       {digest:016x}\n"));
+    if !meta.notes.is_empty() {
+        out.push_str(&format!("  notes        {}\n", meta.notes));
+    }
+    Ok(out)
+}
+
+/// Consumes the observation-window feature flags shared by `classify`
+/// and `predict`.
+fn take_features(args: &mut Args) -> Result<Features, ArgError> {
+    Ok(Features {
         snr_diff_db: args.opt_parse("snr-diff", 0.0)?,
         tof_diff_ns: args.opt_parse("tof-diff", 0.0)?,
         noise_diff_db: args.opt_parse("noise-diff", 0.0)?,
@@ -168,9 +307,15 @@ fn classify(args: &mut Args) -> Result<String, ArgError> {
         csi_similarity: args.opt_parse("csi-sim", 1.0)?,
         cdr: args.opt_parse("cdr", 1.0)?,
         initial_mcs: args.opt_parse("initial-mcs", 6usize)?,
-    };
+    })
+}
+
+fn classify(args: &mut Args) -> Result<String, ArgError> {
+    let model = args.req("model")?;
+    let features = take_features(args)?;
+    let registry = take_registry(args);
     args.finish()?;
-    let clf = LibraClassifier::load(&model).map_err(|e| ArgError(e.to_string()))?;
+    let clf = load_model(&model, &registry)?;
     let (action, confidence) = clf.classify_proba(&features);
     let verdict = match action {
         libra_dataset::Action3::Ba => "trigger BEAM adaptation (BA)",
@@ -180,15 +325,31 @@ fn classify(args: &mut Args) -> Result<String, ArgError> {
     Ok(format!("{verdict}  (confidence {confidence:.2})\n"))
 }
 
+fn predict(args: &mut Args) -> Result<String, ArgError> {
+    let model = args.req("model")?;
+    let features = take_features(args)?;
+    let registry = take_registry(args);
+    args.finish()?;
+    let clf = load_model(&model, &registry)?;
+    let probs = clf.engine().predict_proba_one(&features.to_row());
+    let (action, _) = clf.classify_proba(&features);
+    let mut t = TextTable::new(["class", "vote share"]);
+    for (label, p) in libra::CLASS_LABELS.iter().zip(&probs) {
+        t.row([label.to_string(), fmt_f(*p, 3)]);
+    }
+    Ok(format!("prediction: {action:?}\n{}", t.render()))
+}
+
 fn simulate(args: &mut Args) -> Result<String, ArgError> {
     let model = args.req("model")?;
     let dataset = args.req("dataset")?;
     let ba_ms: f64 = args.opt_parse("ba-ms", 0.5)?;
     let fat_ms: f64 = args.opt_parse("fat-ms", 2.0)?;
     let flow_ms: f64 = args.opt_parse("flow-ms", 1000.0)?;
+    let registry = take_registry(args);
     take_threads(args)?;
     args.finish()?;
-    let clf = LibraClassifier::load(&model).map_err(|e| ArgError(e.to_string()))?;
+    let clf = load_model(&model, &registry)?;
     let ds = CampaignDataset::load(&dataset).map_err(|e| ArgError(e.to_string()))?;
     let sim = SimConfig::new(ProtocolParams::new(ba_preset(ba_ms)?, fat_ms));
 
@@ -224,7 +385,11 @@ fn simulate(args: &mut Args) -> Result<String, ArgError> {
     }
     let n = ds.entries.len().max(1) as f64;
     for (i, p) in policies.iter().enumerate() {
-        t.row([p.label().to_string(), fmt_f(totals[i] / n, 1), fmt_f(deficits[i] / n, 2)]);
+        t.row([
+            p.label().to_string(),
+            fmt_f(totals[i] / n, 1),
+            fmt_f(deficits[i] / n, 2),
+        ]);
     }
     Ok(format!(
         "{} entries, flow {flow_ms} ms, BA {ba_ms} ms, FAT {fat_ms} ms\n{}",
@@ -246,14 +411,19 @@ fn timeline(args: &mut Args) -> Result<String, ArgError> {
     let ba_ms: f64 = args.opt_parse("ba-ms", 0.5)?;
     let fat_ms: f64 = args.opt_parse("fat-ms", 2.0)?;
     let seed: u64 = args.opt_parse("seed", 1)?;
+    let registry = take_registry(args);
     take_threads(args)?;
     args.finish()?;
-    let clf = LibraClassifier::load(&model).map_err(|e| ArgError(e.to_string()))?;
+    let clf = load_model(&model, &registry)?;
     let sim = SimConfig::new(ProtocolParams::new(ba_preset(ba_ms)?, fat_ms));
     let instruments = Instruments::default();
     let tl_cfg = TimelineConfig::default();
 
-    let mut t = TextTable::new(["algorithm", "data ratio vs Oracle-Data", "mean recovery (ms)"]);
+    let mut t = TextTable::new([
+        "algorithm",
+        "data ratio vs Oracle-Data",
+        "mean recovery (ms)",
+    ]);
     let mut ratios = vec![Vec::new(); 3];
     let mut delays = vec![Vec::new(); 3];
     // Each timeline owns a derived RNG stream; results fold back in
@@ -286,7 +456,10 @@ fn timeline(args: &mut Args) -> Result<String, ArgError> {
             fmt_f(libra_util::stats::mean(&delays[j]), 1),
         ]);
     }
-    Ok(format!("{n} {scenario:?} timelines, BA {ba_ms} ms, FAT {fat_ms} ms\n{}", t.render()))
+    Ok(format!(
+        "{n} {scenario:?} timelines, BA {ba_ms} ms, FAT {fat_ms} ms\n{}",
+        t.render()
+    ))
 }
 
 fn info(args: &mut Args) -> Result<String, ArgError> {
@@ -306,12 +479,28 @@ fn info(args: &mut Args) -> Result<String, ArgError> {
     out.push_str("\nBA overhead presets (derived from 802.11ad BFT accounting):\n");
     let mut t = TextTable::new(["preset", "duration (ms)", "derived (ms)"]);
     for (p, derived) in [
-        (BaOverheadPreset::QuasiOmni30, libra_mac::derive_quasi_omni_ba_ms(30.0)),
-        (BaOverheadPreset::QuasiOmni3, libra_mac::derive_quasi_omni_ba_ms(3.0)),
-        (BaOverheadPreset::Directional9, libra_mac::derive_directional_ba_ms(9.0)),
-        (BaOverheadPreset::Directional7, libra_mac::derive_directional_ba_ms(7.0)),
+        (
+            BaOverheadPreset::QuasiOmni30,
+            libra_mac::derive_quasi_omni_ba_ms(30.0),
+        ),
+        (
+            BaOverheadPreset::QuasiOmni3,
+            libra_mac::derive_quasi_omni_ba_ms(3.0),
+        ),
+        (
+            BaOverheadPreset::Directional9,
+            libra_mac::derive_directional_ba_ms(9.0),
+        ),
+        (
+            BaOverheadPreset::Directional7,
+            libra_mac::derive_directional_ba_ms(7.0),
+        ),
     ] {
-        t.row([p.label().to_string(), fmt_f(p.duration_ms(), 1), fmt_f(derived, 1)]);
+        t.row([
+            p.label().to_string(),
+            fmt_f(p.duration_ms(), 1),
+            fmt_f(derived, 1),
+        ]);
     }
     out.push_str(&t.render());
     Ok(out)
@@ -373,8 +562,7 @@ mod tests {
         .unwrap();
         assert!(out.contains("wrote"));
 
-        let out =
-            run_words(&["dataset", "summary", "--input", ds.to_str().unwrap()]).unwrap();
+        let out = run_words(&["dataset", "summary", "--input", ds.to_str().unwrap()]).unwrap();
         assert!(out.contains("Overall"));
 
         let out = run_words(&[
@@ -412,6 +600,127 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("LiBRA") && out.contains("Oracle-Data"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registry_workflow_save_list_inspect_predict() {
+        let dir = std::env::temp_dir().join("libractl-registry-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = dir.join("testing.bin");
+        let models = dir.join("models");
+        let models = models.to_str().unwrap();
+
+        run_words(&[
+            "dataset",
+            "generate",
+            "--plan",
+            "testing",
+            "--out",
+            ds.to_str().unwrap(),
+            "--repeats",
+            "1",
+        ])
+        .unwrap();
+
+        // Train twice into the registry: versions 1 and 2.
+        for _ in 0..2 {
+            let out = run_words(&[
+                "train",
+                "--dataset",
+                ds.to_str().unwrap(),
+                "--save",
+                "ba-forest",
+                "--models-dir",
+                models,
+            ])
+            .unwrap();
+            assert!(out.contains("saved ba-forest@"), "{out}");
+        }
+
+        let out = run_words(&["models", "list", "--models-dir", models]).unwrap();
+        assert!(out.contains("ba-forest") && out.contains("v2"), "{out}");
+
+        let out = run_words(&[
+            "models",
+            "inspect",
+            "--model",
+            "ba-forest@1",
+            "--models-dir",
+            models,
+        ])
+        .unwrap();
+        assert!(
+            out.contains("forest model") && out.contains("digest"),
+            "{out}"
+        );
+
+        // Same seed → same artifact bytes → the two versions share a digest.
+        let out2 = run_words(&[
+            "models",
+            "inspect",
+            "--model",
+            "ba-forest@2",
+            "--models-dir",
+            models,
+        ])
+        .unwrap();
+        let digest_of = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("digest"))
+                .map(|l| l.trim().to_string())
+        };
+        assert_eq!(
+            digest_of(&out).map(|l| l.replace("@1", "")),
+            digest_of(&out2).map(|l| l.replace("@2", ""))
+        );
+
+        // Predict and simulate straight from the registry reference.
+        let out = run_words(&[
+            "predict",
+            "--model",
+            "ba-forest",
+            "--snr-diff",
+            "16",
+            "--cdr",
+            "0.0",
+            "--initial-mcs",
+            "4",
+            "--models-dir",
+            models,
+        ])
+        .unwrap();
+        assert!(
+            out.contains("prediction:") && out.contains("vote share"),
+            "{out}"
+        );
+
+        let out = run_words(&[
+            "simulate",
+            "--model",
+            "ba-forest@2",
+            "--dataset",
+            ds.to_str().unwrap(),
+            "--flow-ms",
+            "400",
+            "--models-dir",
+            models,
+        ])
+        .unwrap();
+        assert!(out.contains("LiBRA"), "{out}");
+
+        // Unknown registry names fail with a registry error.
+        let err = run_words(&[
+            "predict",
+            "--model",
+            "no-such-model",
+            "--models-dir",
+            models,
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("no model named"), "{err}");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

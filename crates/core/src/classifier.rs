@@ -10,16 +10,27 @@
 //! falls back to a rule mined from the training data: *below MCS 6, BA is
 //! right 92 % of the time → always BA; at MCS ≥ 6 it is a coin flip →
 //! BA only when BA is cheap*.
+//!
+//! Serving runs on the flattened engine of `libra_infer`: training fits
+//! the recursive forest, then compiles it into contiguous node tables
+//! whose predictions are bitwise identical to the recursive walk. The
+//! trained model freezes into a checksummed [`ModelArtifact`] for the
+//! registry, and a simulator can [`LibraClassifier::from_artifact`] a
+//! frozen file instead of retraining.
 
-use libra_dataset::{Action3, Features};
+use libra_dataset::{Action3, Features, FEATURE_NAMES};
+use libra_infer::{ArtifactMeta, FlatForest, ModelArtifact, ModelPayload};
 use libra_ml::{ForestConfig, RandomForest};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Class labels in class-index order, as frozen into artifacts.
+pub const CLASS_LABELS: [&str; 3] = ["BA", "RA", "NA"];
+
 /// The trained LiBRA decision model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LibraClassifier {
-    forest: RandomForest,
+    engine: FlatForest,
     /// Below this MCS a missing ACK always triggers BA (§7: "when the
     /// current MCS is lower than 6, BA is the right mechanism 92 % of
     /// the time").
@@ -31,17 +42,79 @@ pub struct LibraClassifier {
 
 impl LibraClassifier {
     /// Trains the 3-class forest on a dataset produced by
-    /// `CampaignDataset::to_ml_3class` (labels BA=0, RA=1, NA=2).
+    /// `CampaignDataset::to_ml_3class` (labels BA=0, RA=1, NA=2) and
+    /// compiles it for serving.
     pub fn train(data: &libra_ml::Dataset, rng: &mut impl Rng) -> Self {
         assert_eq!(data.n_classes, 3, "LiBRA uses the 3-class model");
         let mut forest = RandomForest::new(ForestConfig::default());
         forest.fit(data, rng);
-        Self { forest, fallback_mcs_threshold: 6, fallback_ba_overhead_ms: 10.0 }
+        Self::from_forest(forest)
     }
 
-    /// Wraps an externally fitted forest (ablations).
+    /// Wraps an externally fitted forest (ablations), compiling it into
+    /// the flattened serving form.
     pub fn from_forest(forest: RandomForest) -> Self {
-        Self { forest, fallback_mcs_threshold: 6, fallback_ba_overhead_ms: 10.0 }
+        Self::from_engine(FlatForest::compile(&forest))
+    }
+
+    /// Wraps an already-compiled engine.
+    pub fn from_engine(engine: FlatForest) -> Self {
+        Self {
+            engine,
+            fallback_mcs_threshold: 6,
+            fallback_ba_overhead_ms: 10.0,
+        }
+    }
+
+    /// Unpacks a frozen model artifact. Rejects artifacts whose engine
+    /// kind or feature/class schema does not match the LiBRA pipeline.
+    pub fn from_artifact(artifact: &ModelArtifact) -> Result<Self, libra_infer::Error> {
+        let engine = match &artifact.payload {
+            ModelPayload::Forest(f) => f.clone(),
+            other => {
+                return Err(libra_infer::Error::Payload(format!(
+                    "LiBRA serves forest artifacts, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        if engine.n_features() != FEATURE_NAMES.len() {
+            return Err(libra_infer::Error::Payload(format!(
+                "artifact expects {} features, the LiBRA pipeline produces {}",
+                engine.n_features(),
+                FEATURE_NAMES.len()
+            )));
+        }
+        if artifact.meta.class_labels != CLASS_LABELS {
+            return Err(libra_infer::Error::Payload(format!(
+                "artifact class labels {:?} != {:?}",
+                artifact.meta.class_labels, CLASS_LABELS
+            )));
+        }
+        Ok(Self::from_engine(engine))
+    }
+
+    /// Freezes the model into a registry artifact. `name` is the
+    /// registry name to stamp into the metadata; `train_seed` /
+    /// `train_rows` / `notes` record provenance.
+    pub fn to_artifact(
+        &self,
+        name: &str,
+        train_seed: u64,
+        train_rows: u64,
+        notes: &str,
+    ) -> ModelArtifact {
+        ModelArtifact {
+            meta: ArtifactMeta {
+                name: name.to_string(),
+                feature_names: FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+                class_labels: CLASS_LABELS.iter().map(|s| s.to_string()).collect(),
+                train_seed,
+                train_rows,
+                notes: notes.to_string(),
+            },
+            payload: ModelPayload::Forest(self.engine.clone()),
+        }
     }
 
     /// Classifies an observation-window feature vector.
@@ -52,7 +125,7 @@ impl LibraClassifier {
     /// Classifies and reports the forest's confidence (the vote share of
     /// the winning class).
     pub fn classify_proba(&self, features: &Features) -> (Action3, f64) {
-        let probs = self.forest.predict_proba_one(&features.to_row());
+        let probs = self.engine.predict_proba_one(&features.to_row());
         let (idx, &p) = probs
             .iter()
             .enumerate()
@@ -97,13 +170,20 @@ impl LibraClassifier {
         }
     }
 
-    /// The underlying forest (importances, inspection).
-    pub fn forest(&self) -> &RandomForest {
-        &self.forest
+    /// The compiled serving engine (inspection, batch prediction).
+    pub fn engine(&self) -> &FlatForest {
+        &self.engine
+    }
+
+    /// Gini importances of the compiled forest (Table 3).
+    pub fn feature_importances(&self) -> &[f64] {
+        self.engine.feature_importances()
     }
 
     /// Persists the trained model to a binary file — what a vendor would
-    /// ship in firmware after the offline training of §7.
+    /// ship in firmware after the offline training of §7. Prefer the
+    /// checksummed [`LibraClassifier::to_artifact`] path for anything
+    /// that leaves the machine.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), libra_util::binser::Error> {
         libra_util::binser::write_file(path, self)
     }
@@ -126,8 +206,14 @@ mod tests {
         let mut labels = Vec::new();
         for i in 0..120 {
             let (row, label) = match i % 3 {
-                0 => (vec![12.0 + (i % 5) as f64, 1000.0, 0.5, 0.9, 0.5, 0.0, 3.0], 0usize),
-                1 => (vec![4.0 + (i % 3) as f64 * 0.3, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0], 1),
+                0 => (
+                    vec![12.0 + (i % 5) as f64, 1000.0, 0.5, 0.9, 0.5, 0.0, 3.0],
+                    0usize,
+                ),
+                1 => (
+                    vec![4.0 + (i % 3) as f64 * 0.3, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0],
+                    1,
+                ),
                 _ => (vec![0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 6.0], 2),
             };
             features.push(row);
@@ -137,7 +223,10 @@ mod tests {
             features,
             labels,
             3,
-            libra_dataset::FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+            libra_dataset::FEATURE_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
         )
     }
 
@@ -157,9 +246,38 @@ mod tests {
     fn classifies_separable_classes() {
         let mut rng = rng_from_seed(1);
         let clf = LibraClassifier::train(&tiny_3class(), &mut rng);
-        assert_eq!(clf.classify(&feat([13.0, 1000.0, 0.5, 0.9, 0.5, 0.0, 3.0])), Action3::Ba);
-        assert_eq!(clf.classify(&feat([4.2, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0])), Action3::Ra);
-        assert_eq!(clf.classify(&feat([0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 6.0])), Action3::Na);
+        assert_eq!(
+            clf.classify(&feat([13.0, 1000.0, 0.5, 0.9, 0.5, 0.0, 3.0])),
+            Action3::Ba
+        );
+        assert_eq!(
+            clf.classify(&feat([4.2, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0])),
+            Action3::Ra
+        );
+        assert_eq!(
+            clf.classify(&feat([0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 6.0])),
+            Action3::Na
+        );
+    }
+
+    #[test]
+    fn compiled_engine_matches_recursive_forest() {
+        // The classifier serves from the flattened engine; its calls must
+        // agree bitwise with the recursive forest it was compiled from.
+        let data = tiny_3class();
+        let mut rng = rng_from_seed(7);
+        let mut forest = RandomForest::new(ForestConfig::default());
+        forest.fit(&data, &mut rng);
+        let clf = LibraClassifier::from_forest(forest.clone());
+        for row in &data.features {
+            let rp = forest.predict_proba_one(row);
+            let fp = clf.engine().predict_proba_one(row);
+            assert_eq!(rp.len(), fp.len());
+            for (a, b) in rp.iter().zip(fp.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert_eq!(clf.feature_importances(), forest.feature_importances());
     }
 
     #[test]
@@ -190,11 +308,38 @@ mod tests {
         ] {
             assert_eq!(clf.classify(&feat(row)), back.classify(&feat(row)));
         }
-        assert_eq!(
-            clf.forest().feature_importances(),
-            back.forest().feature_importances()
-        );
+        assert_eq!(clf.feature_importances(), back.feature_importances());
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn artifact_roundtrip_preserves_predictions() {
+        let mut rng = rng_from_seed(5);
+        let clf = LibraClassifier::train(&tiny_3class(), &mut rng);
+        let art = clf.to_artifact("unit-test", 5, 120, "classifier unit test");
+        let bytes = art.to_bytes().expect("serialize");
+        let back =
+            LibraClassifier::from_artifact(&ModelArtifact::from_bytes(&bytes).expect("parse"))
+                .expect("unpack");
+        for row in [
+            [13.0, 1000.0, 0.5, 0.9, 0.5, 0.0, 3.0],
+            [4.2, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0],
+            [0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 6.0],
+        ] {
+            let (a, pa) = clf.classify_proba(&feat(row));
+            let (b, pb) = back.classify_proba(&feat(row));
+            assert_eq!(a, b);
+            assert_eq!(pa.to_bits(), pb.to_bits());
+        }
+    }
+
+    #[test]
+    fn artifact_schema_mismatch_is_rejected() {
+        let mut rng = rng_from_seed(6);
+        let clf = LibraClassifier::train(&tiny_3class(), &mut rng);
+        let mut art = clf.to_artifact("unit-test", 6, 120, "");
+        art.meta.class_labels = vec!["UP".into(), "DOWN".into(), "HOLD".into()];
+        assert!(LibraClassifier::from_artifact(&art).is_err());
     }
 
     #[test]
@@ -204,7 +349,10 @@ mod tests {
             vec![vec![0.0; 7], vec![1.0; 7]],
             vec![0, 1],
             2,
-            libra_dataset::FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+            libra_dataset::FEATURE_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
         );
         let mut rng = rng_from_seed(3);
         LibraClassifier::train(&data, &mut rng);

@@ -114,8 +114,7 @@ pub fn collect_history_dataset(
     let mut labels = Vec::new();
     for (si, &scenario) in scenarios.iter().enumerate() {
         for i in 0..n_timelines_per_scenario {
-            let mut rng =
-                rng_from_seed(derive_seed_index(seed ^ (si as u64) << 32, i as u64));
+            let mut rng = rng_from_seed(derive_seed_index(seed ^ (si as u64) << 32, i as u64));
             let tl = generate_timeline(scenario, &TimelineConfig::default(), &mut rng);
             walk_timeline_collecting(&tl, window, sim, instruments, &mut rows, &mut labels);
         }
@@ -317,7 +316,11 @@ mod tests {
         let clf = HistoryClassifier::train(&data, 2, &mut rng);
         // Run on a fresh timeline — must deliver data without panicking.
         let mut rng2 = libra_util::rng::rng_from_seed(77);
-        let tl = generate_timeline(ScenarioType::Blockage, &TimelineConfig::default(), &mut rng2);
+        let tl = generate_timeline(
+            ScenarioType::Blockage,
+            &TimelineConfig::default(),
+            &mut rng2,
+        );
         let fallback_data = data_single();
         let mut rng3 = libra_util::rng::rng_from_seed(4);
         let fallback = LibraClassifier::train(&fallback_data, &mut rng3);

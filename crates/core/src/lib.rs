@@ -62,14 +62,14 @@ pub mod sim;
 pub mod timeline;
 pub mod vr;
 
-pub use classifier::LibraClassifier;
+pub use classifier::{LibraClassifier, CLASS_LABELS};
 pub use history::{
     collect_history_dataset, run_timeline_with_history, FeatureHistory, HistoryClassifier,
 };
 pub use online::{run_timeline_online, OnlineLibra};
 pub use sim::{
-    execute, run_policy_segment, Config, ConfigData, LinkState, PolicyKind, RateSpan,
-    SegmentData, SegmentOutcome, SimConfig,
+    execute, run_policy_segment, Config, ConfigData, LinkState, PolicyKind, RateSpan, SegmentData,
+    SegmentOutcome, SimConfig,
 };
 pub use timeline::{
     generate_timeline, run_timeline, ScenarioType, Timeline, TimelineConfig, TimelineResult,

@@ -162,8 +162,7 @@ impl OnlineLibra {
             features.push(row.clone());
             labels.push(*label);
         }
-        let data =
-            Dataset::new(features, labels, 3, self.offline.feature_names.clone());
+        let data = Dataset::new(features, labels, 3, self.offline.feature_names.clone());
         self.clf = LibraClassifier::train(&data, &mut self.rng);
         self.observations_since_retrain = 0;
         self.retrain_count += 1;
@@ -231,14 +230,22 @@ mod tests {
         let mut labels = Vec::new();
         for i in 0..90 {
             let (row, label) = match i % 3 {
-                0 => (vec![15.0 + (i % 4) as f64, 0.0, 0.5, 0.9, 0.5, 0.0, 3.0], 0usize),
+                0 => (
+                    vec![15.0 + (i % 4) as f64, 0.0, 0.5, 0.9, 0.5, 0.0, 3.0],
+                    0usize,
+                ),
                 1 => (vec![4.0, -15.0, 0.3, 0.97, 0.9, 0.3, 7.0], 1),
                 _ => (vec![0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 7.0], 2),
             };
             features.push(row);
             labels.push(label);
         }
-        Dataset::new(features, labels, 3, FEATURE_NAMES.iter().map(|s| s.to_string()).collect())
+        Dataset::new(
+            features,
+            labels,
+            3,
+            FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        )
     }
 
     fn sim() -> SimConfig {
@@ -246,9 +253,14 @@ mod tests {
     }
 
     fn seg(old_ok: bool) -> SegmentData {
-        let dead = ConfigData { tput_mbps: vec![0.0; 9], cdr: vec![0.0; 9] };
+        let dead = ConfigData {
+            tput_mbps: vec![0.0; 9],
+            cdr: vec![0.0; 9],
+        };
         let alive = ConfigData {
-            tput_mbps: vec![300.0, 850.0, 1400.0, 1950.0, 2400.0, 2800.0, 1200.0, 0.0, 0.0],
+            tput_mbps: vec![
+                300.0, 850.0, 1400.0, 1950.0, 2400.0, 2800.0, 1200.0, 0.0, 0.0,
+            ],
             cdr: vec![1.0, 1.0, 1.0, 1.0, 0.97, 0.92, 0.35, 0.0, 0.0],
         };
         SegmentData {
@@ -333,6 +345,9 @@ mod tests {
         let tl = generate_timeline(ScenarioType::Mixed, &TimelineConfig::default(), &mut rng);
         let bytes = run_timeline_online(&tl, &mut online, &sim(), &Instruments::default());
         assert!(bytes > 0.0);
-        assert!(online.buffer_len() > 0, "should derive labels from outcomes");
+        assert!(
+            online.buffer_len() > 0,
+            "should derive labels from outcomes"
+        );
     }
 }

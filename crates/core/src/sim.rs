@@ -33,7 +33,10 @@ pub struct ConfigData {
 impl ConfigData {
     /// Builds from a pair measurement.
     pub fn from_measurement(m: &libra_dataset::PairMeasurement) -> Self {
-        Self { tput_mbps: m.tput_mbps.clone(), cdr: m.cdr.clone() }
+        Self {
+            tput_mbps: m.tput_mbps.clone(),
+            cdr: m.cdr.clone(),
+        }
     }
 }
 
@@ -182,7 +185,12 @@ pub struct LinkState {
 impl LinkState {
     /// Fresh state at the given MCS.
     pub fn at_mcs(mcs: usize) -> Self {
-        Self { mcs, probe_wait_frames: 5, failed_probes: 0, did_ba: false }
+        Self {
+            mcs,
+            probe_wait_frames: 5,
+            failed_probes: 0,
+            did_ba: false,
+        }
     }
 }
 
@@ -315,7 +323,11 @@ pub fn execute(
                 return;
             }
         }
-        spans.push(RateSpan { start_ms, len_ms, mbps });
+        spans.push(RateSpan {
+            start_ms,
+            len_ms,
+            mbps,
+        });
     }
 
     // --- Phase 1: the chosen adaptation action. -----------------------
@@ -379,8 +391,15 @@ pub fn execute(
         }
         Action3::Ra => {
             let from = state.mcs;
-            let settled =
-                ladder(Config::Old, from, &mut t, &mut bytes, &mut spans, &mut state, &mut recovery);
+            let settled = ladder(
+                Config::Old,
+                from,
+                &mut t,
+                &mut bytes,
+                &mut spans,
+                &mut state,
+                &mut recovery,
+            );
             if !settled && t < duration {
                 // Algorithm 1: failed ladder → BA, then RA again from the
                 // MCS in use before adaptation was triggered.
@@ -388,7 +407,15 @@ pub fn execute(
                 t += cfg.params.ba_ms();
                 config = Config::Best;
                 state.did_ba = true;
-                ladder(Config::Best, from, &mut t, &mut bytes, &mut spans, &mut state, &mut recovery);
+                ladder(
+                    Config::Best,
+                    from,
+                    &mut t,
+                    &mut bytes,
+                    &mut spans,
+                    &mut state,
+                    &mut recovery,
+                );
             }
         }
         Action3::Ba => {
@@ -396,7 +423,15 @@ pub fn execute(
             t += cfg.params.ba_ms();
             config = Config::Best;
             state.did_ba = true;
-            ladder(Config::Best, state.mcs, &mut t, &mut bytes, &mut spans, &mut state, &mut recovery);
+            ladder(
+                Config::Best,
+                state.mcs,
+                &mut t,
+                &mut bytes,
+                &mut spans,
+                &mut state,
+                &mut recovery,
+            );
         }
     }
 
@@ -409,10 +444,7 @@ pub fn execute(
         if recovery.is_none() && cfg.working(seg, config, state.mcs) {
             recovery = Some(t);
         }
-        if state.probe_wait_frames == 0
-            && state.mcs < max_mcs
-            && d.cdr[state.mcs] > cfg.cdr_ori
-        {
+        if state.probe_wait_frames == 0 && state.mcs < max_mcs && d.cdr[state.mcs] > cfg.cdr_ori {
             // Probe the next MCS up with one frame.
             let up = state.mcs + 1;
             bytes += SimConfig::bytes(cfg.tput(seg, config, up), span);
@@ -444,10 +476,18 @@ pub fn execute(
     // Recovery delay is only defined when the link was actually broken
     // at segment entry; a break that never recovers is capped at the
     // segment duration so CDFs remain well-defined.
-    let recovery_delay_ms =
-        if broken_at_entry { Some(recovery.unwrap_or(duration).min(duration)) } else { None };
+    let recovery_delay_ms = if broken_at_entry {
+        Some(recovery.unwrap_or(duration).min(duration))
+    } else {
+        None
+    };
 
-    SegmentOutcome { bytes, recovery_delay_ms, end_state: state, spans }
+    SegmentOutcome {
+        bytes,
+        recovery_delay_ms,
+        end_state: state,
+        spans,
+    }
 }
 
 #[cfg(test)]
@@ -456,7 +496,10 @@ mod tests {
     use libra_mac::BaOverheadPreset;
 
     fn cfgdata(tputs: [f64; 9], cdrs: [f64; 9]) -> ConfigData {
-        ConfigData { tput_mbps: tputs.to_vec(), cdr: cdrs.to_vec() }
+        ConfigData {
+            tput_mbps: tputs.to_vec(),
+            cdr: cdrs.to_vec(),
+        }
     }
 
     fn feat_zero() -> Features {
@@ -474,7 +517,10 @@ mod tests {
     /// Old pair dead, best pair working at MCS 3.
     fn seg_ba_needed(duration_ms: f64) -> SegmentData {
         SegmentData {
-            old: cfgdata([40.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], [0.13, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+            old: cfgdata(
+                [40.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+                [0.13, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            ),
             best: cfgdata(
                 [300.0, 850.0, 1400.0, 1900.0, 1100.0, 150.0, 0.0, 0.0, 0.0],
                 [1.0, 1.0, 1.0, 0.97, 0.45, 0.05, 0.0, 0.0, 0.0],
@@ -488,11 +534,15 @@ mod tests {
     fn seg_ra_enough(duration_ms: f64) -> SegmentData {
         SegmentData {
             old: cfgdata(
-                [300.0, 850.0, 1400.0, 1950.0, 2400.0, 2800.0, 900.0, 0.0, 0.0],
+                [
+                    300.0, 850.0, 1400.0, 1950.0, 2400.0, 2800.0, 900.0, 0.0, 0.0,
+                ],
                 [1.0, 1.0, 1.0, 1.0, 0.96, 0.92, 0.25, 0.0, 0.0],
             ),
             best: cfgdata(
-                [300.0, 850.0, 1400.0, 1950.0, 2450.0, 2850.0, 950.0, 0.0, 0.0],
+                [
+                    300.0, 850.0, 1400.0, 1950.0, 2450.0, 2850.0, 950.0, 0.0, 0.0,
+                ],
                 [1.0, 1.0, 1.0, 1.0, 0.97, 0.93, 0.26, 0.0, 0.0],
             ),
             features: feat_zero(),
@@ -508,8 +558,7 @@ mod tests {
     fn ba_first_pays_overhead_then_recovers() {
         let seg = seg_ba_needed(1000.0);
         let cfg = sim(BaOverheadPreset::Directional7, 2.0);
-        let out =
-            run_policy_segment(&seg, PolicyKind::BaFirst, None, LinkState::at_mcs(6), &cfg);
+        let out = run_policy_segment(&seg, PolicyKind::BaFirst, None, LinkState::at_mcs(6), &cfg);
         // 250 ms BA + descending probes 6,5,4 — MCS 4 is the first
         // *working* MCS (CDR 0.45, 1100 Mbps) → recovery at 256 ms; the
         // ladder keeps descending while throughput improves and settles
@@ -524,8 +573,7 @@ mod tests {
     fn ra_first_fails_ladder_then_does_ba() {
         let seg = seg_ba_needed(1000.0);
         let cfg = sim(BaOverheadPreset::QuasiOmni30, 2.0);
-        let out =
-            run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(6), &cfg);
+        let out = run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(6), &cfg);
         // The old-pair ladder descends 6..0 (tput improves 0→40 Mbps all
         // the way down but MCS 0 is not working) = 7 probes (14 ms),
         // fails → BA 0.5 ms → new-pair probes 6,5,4 discover working
@@ -539,8 +587,7 @@ mod tests {
     fn ra_first_quick_when_ra_enough() {
         let seg = seg_ra_enough(1000.0);
         let cfg = sim(BaOverheadPreset::Directional7, 2.0);
-        let out =
-            run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(6), &cfg);
+        let out = run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(6), &cfg);
         // 6 not working (cdr 0.25 > 0.1 but tput 900 > 150 → working!).
         // Actually MCS 6 IS working here → link not broken → Na.
         assert_eq!(out.recovery_delay_ms, None);
@@ -554,8 +601,7 @@ mod tests {
         seg.old.cdr[6] = 0.02;
         seg.old.tput_mbps[6] = 60.0;
         let cfg = sim(BaOverheadPreset::Directional7, 2.0);
-        let out =
-            run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(6), &cfg);
+        let out = run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(6), &cfg);
         // Probes 6 (fail), 5 (working, 2800 Mbps and throughput peaks
         // there) → recovery after 2 probes = 4 ms, settle at MCS 5.
         assert_eq!(out.recovery_delay_ms, Some(4.0));
@@ -591,8 +637,7 @@ mod tests {
     fn healthy_link_delivers_full_rate() {
         let seg = seg_ra_enough(1000.0);
         let cfg = sim(BaOverheadPreset::QuasiOmni30, 10.0);
-        let out =
-            run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(5), &cfg);
+        let out = run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(5), &cfg);
         // ~2800 Mbps × 1 s = 350 MB; allow for the probe overhead.
         assert!(out.bytes > 0.9 * 350e6, "bytes {}", out.bytes);
     }
@@ -620,8 +665,7 @@ mod tests {
     fn bytes_clamped_to_duration() {
         let seg = seg_ra_enough(5.0); // shorter than one 10 ms frame
         let cfg = sim(BaOverheadPreset::QuasiOmni30, 10.0);
-        let out =
-            run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(5), &cfg);
+        let out = run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(5), &cfg);
         let max_bytes = 2800.0 * 1e6 * 0.005 / 8.0;
         assert!(out.bytes <= max_bytes * 1.001, "bytes {}", out.bytes);
     }
@@ -635,8 +679,7 @@ mod tests {
             duration_ms: 400.0,
         };
         let cfg = sim(BaOverheadPreset::QuasiOmni30, 2.0);
-        let out =
-            run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(8), &cfg);
+        let out = run_policy_segment(&seg, PolicyKind::RaFirst, None, LinkState::at_mcs(8), &cfg);
         assert_eq!(out.recovery_delay_ms, Some(400.0));
         assert_eq!(out.bytes, 0.0);
     }
@@ -669,7 +712,10 @@ mod gate_tests {
             features,
             labels,
             3,
-            libra_dataset::FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+            libra_dataset::FEATURE_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
         );
         let mut rng = rng_from_seed(5);
         LibraClassifier::train(&data, &mut rng)

@@ -168,11 +168,9 @@ pub fn generate_timeline(
             1 => {
                 // Blockage on odd segments.
                 if k % 2 == 1 {
-                    let placement =
-                        BlockerPlacement::ALL[rng.gen_range(0..3)];
+                    let placement = BlockerPlacement::ALL[rng.gen_range(0..3)];
                     let offset = rng.gen_range(0.0..0.2);
-                    blockers
-                        .push(placement.blocker(tx.position, rx.position, offset));
+                    blockers.push(placement.blocker(tx.position, rx.position, offset));
                 }
             }
             _ => {
@@ -268,7 +266,10 @@ pub fn run_timeline(
             delays.push(d);
         }
         for sp in &out.spans {
-            spans.push(RateSpan { start_ms: t_base + sp.start_ms, ..*sp });
+            spans.push(RateSpan {
+                start_ms: t_base + sp.start_ms,
+                ..*sp
+            });
         }
         t_base += segment.duration_ms;
         state = out.end_state;
@@ -280,7 +281,11 @@ pub fn run_timeline(
         }
     }
 
-    TimelineResult { bytes, recovery_delays_ms: delays, spans }
+    TimelineResult {
+        bytes,
+        recovery_delays_ms: delays,
+        spans,
+    }
 }
 
 #[cfg(test)]
@@ -317,8 +322,11 @@ mod tests {
     #[test]
     fn interference_timeline_alternates() {
         let mut rng = rng_from_seed(3);
-        let tl =
-            generate_timeline(ScenarioType::Interference, &TimelineConfig::default(), &mut rng);
+        let tl = generate_timeline(
+            ScenarioType::Interference,
+            &TimelineConfig::default(),
+            &mut rng,
+        );
         for (k, s) in tl.segments.iter().enumerate() {
             assert_eq!(s.scene.interferers.len(), k % 2, "segment {k}");
         }
@@ -377,10 +385,17 @@ mod tests {
         let span_total: f64 = r.spans.iter().map(|s| s.len_ms).sum();
         // Spans cover at least 90 % of the timeline (BA gaps counted as
         // zero-rate spans; small clamping slack at segment ends).
-        assert!(span_total >= 0.9 * tl.duration_ms(), "{span_total} of {}", tl.duration_ms());
+        assert!(
+            span_total >= 0.9 * tl.duration_ms(),
+            "{span_total} of {}",
+            tl.duration_ms()
+        );
         // Bytes from spans must equal reported bytes.
-        let span_bytes: f64 =
-            r.spans.iter().map(|s| s.mbps * 1e6 * s.len_ms / 1000.0 / 8.0).sum();
+        let span_bytes: f64 = r
+            .spans
+            .iter()
+            .map(|s| s.mbps * 1e6 * s.len_ms / 1000.0 / 8.0)
+            .sum();
         assert!((span_bytes - r.bytes).abs() < 1.0);
     }
 

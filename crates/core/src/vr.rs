@@ -113,7 +113,11 @@ pub fn play(trace: &VrTrace, spans: &[RateSpan]) -> StallReport {
     StallReport {
         n_stalls: stalls,
         total_stall_ms,
-        mean_stall_ms: if stalls == 0 { 0.0 } else { total_stall_ms / stalls as f64 },
+        mean_stall_ms: if stalls == 0 {
+            0.0
+        } else {
+            total_stall_ms / stalls as f64
+        },
     }
 }
 
@@ -180,7 +184,11 @@ mod tests {
     fn fast_link_never_stalls() {
         let t = trace();
         // Constant 2.4 Gbps for the whole 30 s — double the demand.
-        let spans = [RateSpan { start_ms: 0.0, len_ms: 31_000.0, mbps: 2400.0 }];
+        let spans = [RateSpan {
+            start_ms: 0.0,
+            len_ms: 31_000.0,
+            mbps: 2400.0,
+        }];
         let rep = play(&t, &spans);
         assert_eq!(rep.n_stalls, 0);
         assert_eq!(rep.total_stall_ms, 0.0);
@@ -193,9 +201,21 @@ mod tests {
         // cannot prebuffer unrendered frames, so the outage must stall
         // playback for roughly its own duration.
         let spans = [
-            RateSpan { start_ms: 0.0, len_ms: 10_000.0, mbps: 2400.0 },
-            RateSpan { start_ms: 10_000.0, len_ms: 500.0, mbps: 0.0 },
-            RateSpan { start_ms: 10_500.0, len_ms: 25_000.0, mbps: 2400.0 },
+            RateSpan {
+                start_ms: 0.0,
+                len_ms: 10_000.0,
+                mbps: 2400.0,
+            },
+            RateSpan {
+                start_ms: 10_000.0,
+                len_ms: 500.0,
+                mbps: 0.0,
+            },
+            RateSpan {
+                start_ms: 10_500.0,
+                len_ms: 25_000.0,
+                mbps: 2400.0,
+            },
         ];
         let rep = play(&t, &spans);
         assert!(rep.n_stalls >= 1, "outage should stall: {rep:?}");
@@ -208,7 +228,11 @@ mod tests {
     #[test]
     fn starved_link_stalls_constantly() {
         let t = trace();
-        let spans = [RateSpan { start_ms: 0.0, len_ms: 120_000.0, mbps: 600.0 }];
+        let spans = [RateSpan {
+            start_ms: 0.0,
+            len_ms: 120_000.0,
+            mbps: 600.0,
+        }];
         let rep = play(&t, &spans);
         assert!(rep.n_stalls > 100, "stalls {}", rep.n_stalls);
     }
@@ -216,14 +240,22 @@ mod tests {
     #[test]
     fn undelivered_tail_is_infinite_stall() {
         let t = trace();
-        let spans = [RateSpan { start_ms: 0.0, len_ms: 1000.0, mbps: 2400.0 }];
+        let spans = [RateSpan {
+            start_ms: 0.0,
+            len_ms: 1000.0,
+            mbps: 2400.0,
+        }];
         let rep = play(&t, &spans);
         assert!(rep.total_stall_ms.is_infinite());
     }
 
     #[test]
     fn cursor_interpolates_within_span() {
-        let spans = [RateSpan { start_ms: 0.0, len_ms: 1000.0, mbps: 8.0 }];
+        let spans = [RateSpan {
+            start_ms: 0.0,
+            len_ms: 1000.0,
+            mbps: 8.0,
+        }];
         // 8 Mbps = 1000 bytes/ms.
         let mut c = DeliveryCursor::new(&spans);
         assert!((c.finish_time(0.0, 500_000.0) - 500.0).abs() < 1e-6);
@@ -234,9 +266,21 @@ mod tests {
     #[test]
     fn cursor_waits_for_rate_to_resume() {
         let spans = [
-            RateSpan { start_ms: 0.0, len_ms: 100.0, mbps: 8.0 },
-            RateSpan { start_ms: 100.0, len_ms: 200.0, mbps: 0.0 },
-            RateSpan { start_ms: 300.0, len_ms: 1000.0, mbps: 8.0 },
+            RateSpan {
+                start_ms: 0.0,
+                len_ms: 100.0,
+                mbps: 8.0,
+            },
+            RateSpan {
+                start_ms: 100.0,
+                len_ms: 200.0,
+                mbps: 0.0,
+            },
+            RateSpan {
+                start_ms: 300.0,
+                len_ms: 1000.0,
+                mbps: 8.0,
+            },
         ];
         let mut c = DeliveryCursor::new(&spans);
         // 150 000 bytes: 100 ms delivers 100 000, outage, then 50 ms.

@@ -85,7 +85,11 @@ pub struct CampaignConfig {
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        Self { seed: 0x11B2A, instruments: Instruments::default(), repeats: 3 }
+        Self {
+            seed: 0x11B2A,
+            instruments: Instruments::default(),
+            repeats: 3,
+        }
     }
 }
 
@@ -103,7 +107,10 @@ pub fn generate(specs: &[ScenarioSpec], cfg: &CampaignConfig) -> CampaignDataset
         entries.extend(e);
         na_entries.extend(na);
     }
-    CampaignDataset { entries, na_entries }
+    CampaignDataset {
+        entries,
+        na_entries,
+    }
 }
 
 /// Walks one scenario: the initial-state SLS, then every new state with
@@ -171,12 +178,11 @@ fn generate_scenario(
 
 /// The rotation ladder of §4.2: "from 0° to −90° and from 0° to 90° in
 /// steps of 15°" — twelve non-zero orientations.
-pub const ROTATION_ANGLES_DEG: [f64; 12] =
-    [-90.0, -75.0, -60.0, -45.0, -30.0, -15.0, 15.0, 30.0, 45.0, 60.0, 75.0, 90.0];
+pub const ROTATION_ANGLES_DEG: [f64; 12] = [
+    -90.0, -75.0, -60.0, -45.0, -30.0, -15.0, 15.0, 30.0, 45.0, 60.0, 75.0, 90.0,
+];
 
-fn displacement_states(
-    positions: &[(Pose, &str)],
-) -> Vec<NewStateSpec> {
+fn displacement_states(positions: &[(Pose, &str)]) -> Vec<NewStateSpec> {
     positions
         .iter()
         .map(|(rx, key)| NewStateSpec {
@@ -204,7 +210,12 @@ fn rotation_states(site: Pose, key: &str) -> Vec<NewStateSpec> {
 
 /// Blockage states at one link geometry: a subset of the three canonical
 /// placements with varying lateral offsets (partial blockage).
-fn blockage_states(tx: Point, rx: Pose, placements: &[BlockerPlacement], key: &str) -> Vec<NewStateSpec> {
+fn blockage_states(
+    tx: Point,
+    rx: Pose,
+    placements: &[BlockerPlacement],
+    key: &str,
+) -> Vec<NewStateSpec> {
     placements
         .iter()
         .enumerate()
@@ -258,7 +269,10 @@ fn backward_scenario(
     let initial = Pose::new(Point::new(first_x, y), 180.0);
     let positions: Vec<(Pose, String)> = (1..=n_moves)
         .map(|k| {
-            (Pose::new(Point::new(first_x + step * k as f64, y), 180.0), format!("{name}-p{k}"))
+            (
+                Pose::new(Point::new(first_x + step * k as f64, y), 180.0),
+                format!("{name}-p{k}"),
+            )
         })
         .collect();
     let refs: Vec<(Pose, &str)> = positions.iter().map(|(p, k)| (*p, k.as_str())).collect();
@@ -319,12 +333,25 @@ pub fn main_campaign_plan() -> Vec<ScenarioSpec> {
 
     // ---- Lobby (20 × 14 m, Tx1 on the west wall, Tx2 on the north). --
     let tx1 = Pose::new(p(1.0, 7.0), 0.0);
-    specs.push(backward_scenario(Environment::Lobby, "lobby-back", tx1, 7.0, 3.0, 2.0, 7));
+    specs.push(backward_scenario(
+        Environment::Lobby,
+        "lobby-back",
+        tx1,
+        7.0,
+        3.0,
+        2.0,
+        7,
+    ));
     // Lateral: Rx slides parallel to the wall while facing west.
     {
         let initial = Pose::new(p(9.0, 7.0), 180.0);
         let positions: Vec<(Pose, String)> = (1..=4)
-            .map(|k| (Pose::new(p(9.0, 7.0 + 1.2 * k as f64), 180.0), format!("lobby-lat-p{k}")))
+            .map(|k| {
+                (
+                    Pose::new(p(9.0, 7.0 + 1.2 * k as f64), 180.0),
+                    format!("lobby-lat-p{k}"),
+                )
+            })
             .collect();
         let refs: Vec<(Pose, &str)> = positions.iter().map(|(q, k)| (*q, k.as_str())).collect();
         specs.push(ScenarioSpec {
@@ -396,7 +423,15 @@ pub fn main_campaign_plan() -> Vec<ScenarioSpec> {
 
     // ---- Lab (aisle between the cabinet rows at y ≈ 4.6). -----------
     let txl = Pose::new(p(1.0, 4.6), 0.0);
-    specs.push(backward_scenario(Environment::Lab, "lab-back", txl, 4.6, 3.0, 1.5, 5));
+    specs.push(backward_scenario(
+        Environment::Lab,
+        "lab-back",
+        txl,
+        4.6,
+        3.0,
+        1.5,
+        5,
+    ));
     specs.push(rotation_scenario(
         Environment::Lab,
         "lab-rot1",
@@ -448,9 +483,25 @@ pub fn main_campaign_plan() -> Vec<ScenarioSpec> {
     ] {
         let y = env.room().depth_m / 2.0;
         let tx = Pose::new(p(1.0, y), 0.0);
-        let n_moves = if matches!(env, Environment::CorridorNarrow) { 16 } else { 9 };
-        let step = if matches!(env, Environment::CorridorNarrow) { 1.25 } else { 1.9 };
-        specs.push(backward_scenario(env, &format!("{name}-back"), tx, y, 3.5, step, n_moves));
+        let n_moves = if matches!(env, Environment::CorridorNarrow) {
+            16
+        } else {
+            9
+        };
+        let step = if matches!(env, Environment::CorridorNarrow) {
+            1.25
+        } else {
+            1.9
+        };
+        specs.push(backward_scenario(
+            env,
+            &format!("{name}-back"),
+            tx,
+            y,
+            3.5,
+            step,
+            n_moves,
+        ));
         for (i, x) in rot_sites.iter().enumerate() {
             specs.push(rotation_scenario(
                 env,
@@ -468,12 +519,29 @@ pub fn main_campaign_plan() -> Vec<ScenarioSpec> {
         (Pose::new(p(15.0, 7.0), 180.0), 2),
         (Pose::new(p(10.0, 9.0), 180.0), 2),
     ];
-    specs.extend(impairment_scenarios(Environment::Lobby, "lobby", tx1, &lobby_links));
+    specs.extend(impairment_scenarios(
+        Environment::Lobby,
+        "lobby",
+        tx1,
+        &lobby_links,
+    ));
     let lab_links: Vec<(Pose, usize)> = vec![(Pose::new(p(8.0, 4.6), 180.0), 3)];
-    specs.extend(impairment_scenarios(Environment::Lab, "lab", txl, &lab_links));
-    let conf_links: Vec<(Pose, usize)> =
-        vec![(Pose::new(p(6.0, 3.4), 180.0), 3), (Pose::new(p(9.0, 3.4), 180.0), 2)];
-    specs.extend(impairment_scenarios(Environment::ConferenceRoom, "conf", txc, &conf_links));
+    specs.extend(impairment_scenarios(
+        Environment::Lab,
+        "lab",
+        txl,
+        &lab_links,
+    ));
+    let conf_links: Vec<(Pose, usize)> = vec![
+        (Pose::new(p(6.0, 3.4), 180.0), 3),
+        (Pose::new(p(9.0, 3.4), 180.0), 2),
+    ];
+    specs.extend(impairment_scenarios(
+        Environment::ConferenceRoom,
+        "conf",
+        txc,
+        &conf_links,
+    ));
     for (env, name, xs) in [
         (Environment::CorridorNarrow, "corn", vec![9.0, 16.0]),
         (Environment::CorridorMedium, "corm", vec![9.0, 16.0]),
@@ -518,7 +586,15 @@ pub fn testing_campaign_plan() -> Vec<ScenarioSpec> {
 
     // Building 2: wide open area.
     let txb2 = Pose::new(p(1.0, 11.0), 0.0);
-    specs.push(backward_scenario(Environment::Building2OpenArea, "b2-back", txb2, 11.0, 3.0, 2.2, 8));
+    specs.push(backward_scenario(
+        Environment::Building2OpenArea,
+        "b2-back",
+        txb2,
+        11.0,
+        3.0,
+        2.2,
+        8,
+    ));
     {
         let initial = Pose::new(p(8.0, 11.0), 180.0);
         let positions: Vec<(Pose, String)> = (1..=8)
@@ -548,12 +624,26 @@ pub fn testing_campaign_plan() -> Vec<ScenarioSpec> {
     ));
 
     // Blockage + interference: 2 positions per building.
-    let b1_links: Vec<(Pose, usize)> =
-        vec![(Pose::new(p(8.0, y1), 180.0), 2), (Pose::new(p(14.0, y1), 180.0), 2)];
-    specs.extend(impairment_scenarios(Environment::Building1Corridor, "b1", txb1, &b1_links));
-    let b2_links: Vec<(Pose, usize)> =
-        vec![(Pose::new(p(9.0, 11.0), 180.0), 3), (Pose::new(p(13.0, 11.0), 180.0), 2)];
-    specs.extend(impairment_scenarios(Environment::Building2OpenArea, "b2", txb2, &b2_links));
+    let b1_links: Vec<(Pose, usize)> = vec![
+        (Pose::new(p(8.0, y1), 180.0), 2),
+        (Pose::new(p(14.0, y1), 180.0), 2),
+    ];
+    specs.extend(impairment_scenarios(
+        Environment::Building1Corridor,
+        "b1",
+        txb1,
+        &b1_links,
+    ));
+    let b2_links: Vec<(Pose, usize)> = vec![
+        (Pose::new(p(9.0, 11.0), 180.0), 3),
+        (Pose::new(p(13.0, 11.0), 180.0), 2),
+    ];
+    specs.extend(impairment_scenarios(
+        Environment::Building2OpenArea,
+        "b2",
+        txb2,
+        &b2_links,
+    ));
 
     specs
 }
@@ -573,8 +663,10 @@ mod tests {
     #[test]
     fn main_plan_covers_all_impairments() {
         let plan = main_campaign_plan();
-        let kinds: std::collections::HashSet<Impairment> =
-            plan.iter().flat_map(|s| s.new_states.iter().map(|n| n.kind)).collect();
+        let kinds: std::collections::HashSet<Impairment> = plan
+            .iter()
+            .flat_map(|s| s.new_states.iter().map(|n| n.kind))
+            .collect();
         assert_eq!(kinds.len(), 3);
     }
 
@@ -599,8 +691,10 @@ mod tests {
 
     #[test]
     fn scenario_names_unique() {
-        let plan: Vec<_> =
-            main_campaign_plan().into_iter().chain(testing_campaign_plan()).collect();
+        let plan: Vec<_> = main_campaign_plan()
+            .into_iter()
+            .chain(testing_campaign_plan())
+            .collect();
         let mut names: Vec<&str> = plan.iter().map(|s| s.name.as_str()).collect();
         let n = names.len();
         names.sort_unstable();
@@ -614,8 +708,11 @@ mod tests {
         let rot = plan.iter().find(|s| s.name == "lobby-rot1").unwrap();
         assert_eq!(rot.new_states.len(), 12);
         // All at the same position key (one measurement position).
-        let keys: std::collections::HashSet<&str> =
-            rot.new_states.iter().map(|n| n.position_key.as_str()).collect();
+        let keys: std::collections::HashSet<&str> = rot
+            .new_states
+            .iter()
+            .map(|n| n.position_key.as_str())
+            .collect();
         assert_eq!(keys.len(), 1);
     }
 
@@ -630,7 +727,10 @@ mod tests {
 
     #[test]
     fn rx_positions_inside_rooms() {
-        for spec in main_campaign_plan().iter().chain(testing_campaign_plan().iter()) {
+        for spec in main_campaign_plan()
+            .iter()
+            .chain(testing_campaign_plan().iter())
+        {
             let room = spec.env.room();
             for st in &spec.new_states {
                 let q = st.rx.position;

@@ -29,8 +29,11 @@ pub enum Impairment {
 
 impl Impairment {
     /// All three, in Table 1 order.
-    pub const ALL: [Impairment; 3] =
-        [Impairment::Displacement, Impairment::Blockage, Impairment::Interference];
+    pub const ALL: [Impairment; 3] = [
+        Impairment::Displacement,
+        Impairment::Blockage,
+        Impairment::Interference,
+    ];
 
     /// Row label used in Tables 1–2.
     pub fn name(self) -> &'static str {
@@ -66,7 +69,13 @@ pub struct DatasetEntry {
 impl DatasetEntry {
     /// Ground truth under the given parameters.
     pub fn ground_truth(&self, table: &McsTable, params: &GroundTruthParams) -> GroundTruth {
-        ground_truth(table, &self.initial, &self.new_old_pair, &self.new_best_pair, params)
+        ground_truth(
+            table,
+            &self.initial,
+            &self.new_old_pair,
+            &self.new_best_pair,
+            params,
+        )
     }
 }
 
@@ -108,12 +117,18 @@ impl CampaignDataset {
 
     /// Labels every impairment entry.
     pub fn label(&self, table: &McsTable, params: &GroundTruthParams) -> Vec<GroundTruth> {
-        self.entries.iter().map(|e| e.ground_truth(table, params)).collect()
+        self.entries
+            .iter()
+            .map(|e| e.ground_truth(table, params))
+            .collect()
     }
 
     /// Entries of one impairment (with indices into `entries`).
     pub fn by_impairment(&self, kind: Impairment) -> Vec<&DatasetEntry> {
-        self.entries.iter().filter(|e| e.impairment == kind).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.impairment == kind)
+            .collect()
     }
 
     /// The Table 1 / Table 2 summary: per impairment and overall.
@@ -141,8 +156,11 @@ impl CampaignDataset {
                 positions: positions.len(),
             });
         }
-        let all_positions: HashSet<&str> =
-            self.entries.iter().map(|e| e.position_key.as_str()).collect();
+        let all_positions: HashSet<&str> = self
+            .entries
+            .iter()
+            .map(|e| e.position_key.as_str())
+            .collect();
         let ba_total: usize = rows.iter().map(|r| r.ba).sum();
         let total: usize = rows.iter().map(|r| r.total).sum();
         rows.push(SummaryRow {
@@ -217,12 +235,19 @@ impl CampaignDataset {
     pub fn to_csv(&self, table: &McsTable, params: &GroundTruthParams) -> String {
         let labels = self.label(table, params);
         let mut w = CsvWriter::new();
-        let mut header: Vec<String> =
-            vec!["env".into(), "impairment".into(), "position".into()];
+        let mut header: Vec<String> = vec!["env".into(), "impairment".into(), "position".into()];
         header.extend(FEATURE_NAMES.iter().map(|s| s.to_string()));
-        header.extend(["label", "th_ra_mbps", "th_ba_mbps", "delay_ra_ms", "delay_ba_ms"]
+        header.extend(
+            [
+                "label",
+                "th_ra_mbps",
+                "th_ba_mbps",
+                "delay_ra_ms",
+                "delay_ba_ms",
+            ]
             .iter()
-            .map(|s| s.to_string()));
+            .map(|s| s.to_string()),
+        );
         w.row(header);
         for (e, gt) in self.entries.iter().zip(&labels) {
             let mut row: Vec<String> = vec![
@@ -265,13 +290,17 @@ mod tests {
 
     fn entry(kind: Impairment, ra_good: bool, pos: &str) -> DatasetEntry {
         let initial = meas(
-            vec![300.0, 850.0, 1400.0, 1950.0, 2500.0, 3050.0, 3400.0, 2000.0, 100.0],
+            vec![
+                300.0, 850.0, 1400.0, 1950.0, 2500.0, 3050.0, 3400.0, 2000.0, 100.0,
+            ],
             vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.94, 0.48, 0.02],
         );
         let (old_pair, best_pair) = if ra_good {
             (
                 meas(
-                    vec![300.0, 850.0, 1400.0, 1950.0, 2400.0, 2800.0, 1000.0, 0.0, 0.0],
+                    vec![
+                        300.0, 850.0, 1400.0, 1950.0, 2400.0, 2800.0, 1000.0, 0.0, 0.0,
+                    ],
                     vec![1.0, 1.0, 1.0, 1.0, 0.96, 0.92, 0.3, 0.0, 0.0],
                 ),
                 meas(
@@ -281,7 +310,10 @@ mod tests {
             )
         } else {
             (
-                meas(vec![50.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], vec![0.17, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+                meas(
+                    vec![50.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+                    vec![0.17, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+                ),
                 meas(
                     vec![300.0, 850.0, 1400.0, 1900.0, 1500.0, 200.0, 0.0, 0.0, 0.0],
                     vec![1.0, 1.0, 1.0, 0.97, 0.6, 0.07, 0.0, 0.0, 0.0],

@@ -22,8 +22,15 @@ pub const N_FEATURES: usize = 7;
 pub const TOF_INF_SENTINEL: f64 = 1_000.0;
 
 /// Feature names in Table 3 order.
-pub const FEATURE_NAMES: [&str; N_FEATURES] =
-    ["SNR", "ToF", "Noise Level", "PDP", "CSI", "CDR", "Initial MCS"];
+pub const FEATURE_NAMES: [&str; N_FEATURES] = [
+    "SNR",
+    "ToF",
+    "Noise Level",
+    "PDP",
+    "CSI",
+    "CDR",
+    "Initial MCS",
+];
 
 /// The feature vector of one dataset entry.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -121,7 +128,9 @@ mod tests {
             noise_dbm: noise,
             tof_ns: tof,
             pdp: PowerDelayProfile::from_bins(bins),
-            tput_mbps: vec![300.0, 800.0, 1400.0, 1900.0, 2400.0, 2900.0, 3400.0, 2000.0, 100.0],
+            tput_mbps: vec![
+                300.0, 800.0, 1400.0, 1900.0, 2400.0, 2900.0, 3400.0, 2000.0, 100.0,
+            ],
             cdr: vec![1.0, 1.0, 1.0, 1.0, 0.98, 0.95, 0.94, 0.45, 0.02],
         }
     }
@@ -133,7 +142,10 @@ mod tests {
         let f = Features::extract(&init, &new);
         assert!((f.snr_diff_db - 10.0).abs() < 1e-9, "drop positive");
         assert!((f.noise_diff_db - 4.0).abs() < 1e-9, "rise positive");
-        assert!((f.tof_diff_ns + 6.0).abs() < 1e-9, "backward motion negative");
+        assert!(
+            (f.tof_diff_ns + 6.0).abs() < 1e-9,
+            "backward motion negative"
+        );
         assert_eq!(f.initial_mcs, 6);
         assert!((f.cdr - 0.94).abs() < 1e-9);
     }

@@ -90,7 +90,13 @@ pub struct GroundTruthParams {
 
 impl Default for GroundTruthParams {
     fn default() -> Self {
-        Self { alpha: 1.0, fat_ms: 10.0, ba_ms: 0.5, min_cdr: 0.10, min_tput_mbps: 150.0 }
+        Self {
+            alpha: 1.0,
+            fat_ms: 10.0,
+            ba_ms: 0.5,
+            min_cdr: 0.10,
+            min_tput_mbps: 150.0,
+        }
     }
 }
 
@@ -120,7 +126,10 @@ pub fn is_working(meas: &PairMeasurement, m: usize, params: &GroundTruthParams) 
 
 /// `Th` over MCSs `0..=init_mcs` at a pair (the §5.2 definitions).
 fn best_tput_upto(meas: &PairMeasurement, init_mcs: usize) -> f64 {
-    meas.tput_mbps[..=init_mcs].iter().cloned().fold(0.0, f64::max)
+    meas.tput_mbps[..=init_mcs]
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max)
 }
 
 /// Frames spent probing downward from `init_mcs` until the first working
@@ -222,7 +231,9 @@ mod tests {
 
     /// Initial state: MCS 6 best (3600 Mbps·0.95).
     fn initial() -> PairMeasurement {
-        let tput = vec![300.0, 850.0, 1400.0, 1950.0, 2500.0, 3050.0, 3420.0, 2100.0, 230.0];
+        let tput = vec![
+            300.0, 850.0, 1400.0, 1950.0, 2500.0, 3050.0, 3420.0, 2100.0, 230.0,
+        ];
         let cdr = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.95, 0.5, 0.05];
         meas((12, 12), tput, cdr)
     }
@@ -232,16 +243,25 @@ mod tests {
         // New state: old pair supports MCS 5 fine; new pair no better.
         let old_pair = meas(
             (12, 12),
-            vec![300.0, 850.0, 1400.0, 1950.0, 2500.0, 2900.0, 1800.0, 420.0, 0.0],
+            vec![
+                300.0, 850.0, 1400.0, 1950.0, 2500.0, 2900.0, 1800.0, 420.0, 0.0,
+            ],
             vec![1.0, 1.0, 1.0, 1.0, 1.0, 0.95, 0.5, 0.1, 0.0],
         );
         let best_pair = meas(
             (10, 12),
-            vec![300.0, 850.0, 1400.0, 1950.0, 2400.0, 2750.0, 1700.0, 400.0, 0.0],
+            vec![
+                300.0, 850.0, 1400.0, 1950.0, 2400.0, 2750.0, 1700.0, 400.0, 0.0,
+            ],
             vec![1.0, 1.0, 1.0, 1.0, 0.96, 0.9, 0.47, 0.1, 0.0],
         );
-        let gt =
-            ground_truth(&table(), &initial(), &old_pair, &best_pair, &GroundTruthParams::default());
+        let gt = ground_truth(
+            &table(),
+            &initial(),
+            &old_pair,
+            &best_pair,
+            &GroundTruthParams::default(),
+        );
         assert_eq!(gt.label, Action::Ra);
         assert!(gt.th_ra_mbps >= gt.th_ba_mbps);
     }
@@ -254,8 +274,13 @@ mod tests {
             vec![300.0, 850.0, 1400.0, 1800.0, 1200.0, 200.0, 0.0, 0.0, 0.0],
             vec![1.0, 1.0, 1.0, 0.92, 0.5, 0.06, 0.0, 0.0, 0.0],
         );
-        let gt =
-            ground_truth(&table(), &initial(), &old_pair, &best_pair, &GroundTruthParams::default());
+        let gt = ground_truth(
+            &table(),
+            &initial(),
+            &old_pair,
+            &best_pair,
+            &GroundTruthParams::default(),
+        );
         assert_eq!(gt.label, Action::Ba);
         assert_eq!(gt.th_ra_mbps, 0.0);
         assert!(gt.th_ba_mbps > 1000.0);
@@ -273,8 +298,13 @@ mod tests {
         cdr[8] = 0.99;
         cdr[6] = 0.85;
         let best_pair = meas((4, 18), high, cdr);
-        let gt =
-            ground_truth(&table(), &initial(), &old_pair, &best_pair, &GroundTruthParams::default());
+        let gt = ground_truth(
+            &table(),
+            &initial(),
+            &old_pair,
+            &best_pair,
+            &GroundTruthParams::default(),
+        );
         assert_eq!(gt.th_ba_mbps, 3000.0, "must not see MCS 8");
     }
 
@@ -287,7 +317,10 @@ mod tests {
             vec![1.0, 1.0, 1.0, 1.0, 0.04, 0.03, 0.01, 0.0, 0.0],
         );
         let best_pair = old_pair.clone();
-        let p = GroundTruthParams { fat_ms: 2.0, ..Default::default() };
+        let p = GroundTruthParams {
+            fat_ms: 2.0,
+            ..Default::default()
+        };
         let gt = ground_truth(&table(), &initial(), &old_pair, &best_pair, &p);
         assert_eq!(gt.delay_ra_ms, 8.0);
         // BA first: 0.5 + 4 probes × 2 ms = 8.5.
@@ -297,7 +330,11 @@ mod tests {
     #[test]
     fn double_failure_hits_dmax() {
         let dead = meas((12, 12), vec![0.0; 9], vec![0.0; 9]);
-        let p = GroundTruthParams { fat_ms: 10.0, ba_ms: 250.0, ..Default::default() };
+        let p = GroundTruthParams {
+            fat_ms: 10.0,
+            ba_ms: 250.0,
+            ..Default::default()
+        };
         let gt = ground_truth(&table(), &initial(), &dead, &dead, &p);
         // Ladder from MCS 6 = 7 probes: 70 + 250 + 70 = 390.
         assert_eq!(gt.delay_ra_ms, 390.0);
@@ -310,15 +347,24 @@ mod tests {
         // high tput. α=0 → RA; α=1 → BA.
         let old_pair = meas(
             (12, 12),
-            vec![300.0, 850.0, 1400.0, 1900.0, 2300.0, 2600.0, 2000.0, 0.0, 0.0],
+            vec![
+                300.0, 850.0, 1400.0, 1900.0, 2300.0, 2600.0, 2000.0, 0.0, 0.0,
+            ],
             vec![1.0, 1.0, 1.0, 0.97, 0.92, 0.85, 0.55, 0.0, 0.0],
         );
         let best_pair = meas(
             (3, 19),
-            vec![300.0, 850.0, 1400.0, 1950.0, 2500.0, 3050.0, 3500.0, 0.0, 0.0],
+            vec![
+                300.0, 850.0, 1400.0, 1950.0, 2500.0, 3050.0, 3500.0, 0.0, 0.0,
+            ],
             vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.97, 0.0, 0.0],
         );
-        let mut p = GroundTruthParams { ba_ms: 250.0, fat_ms: 2.0, alpha: 0.0, ..Default::default() };
+        let mut p = GroundTruthParams {
+            ba_ms: 250.0,
+            fat_ms: 2.0,
+            alpha: 0.0,
+            ..Default::default()
+        };
         let gt0 = ground_truth(&table(), &initial(), &old_pair, &best_pair, &p);
         assert_eq!(gt0.label, Action::Ra);
         p.alpha = 1.0;

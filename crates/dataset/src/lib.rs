@@ -24,8 +24,7 @@ pub mod ground_truth;
 pub mod measure;
 
 pub use campaign::{
-    generate, main_campaign_plan, testing_campaign_plan, CampaignConfig, NewStateSpec,
-    ScenarioSpec,
+    generate, main_campaign_plan, testing_campaign_plan, CampaignConfig, NewStateSpec, ScenarioSpec,
 };
 pub use entry::{CampaignDataset, DatasetEntry, Impairment, SummaryRow};
 pub use features::{Features, FEATURE_NAMES, N_FEATURES, TOF_INF_SENTINEL};

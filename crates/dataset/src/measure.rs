@@ -14,8 +14,7 @@ use libra_channel::Scene;
 use libra_mac::sweep::exhaustive_sweep;
 use libra_phy::metrics::PowerDelayProfile;
 use libra_phy::trace::{
-    generate_trace, trace_mean_cdr, trace_mean_noise_dbm, trace_mean_snr_db,
-    trace_mean_tput_mbps,
+    generate_trace, trace_mean_cdr, trace_mean_noise_dbm, trace_mean_snr_db, trace_mean_tput_mbps,
 };
 use libra_phy::{ErrorModel, FrameConfig, McsTable, TraceJitter};
 use rand::Rng;
@@ -225,7 +224,10 @@ pub fn measure_state(
             (best, false)
         }
     };
-    StateMeasurement { locked, best: measure_pair(scene, instruments, pair, rng) }
+    StateMeasurement {
+        locked,
+        best: measure_pair(scene, instruments, pair, rng),
+    }
 }
 
 #[cfg(test)]

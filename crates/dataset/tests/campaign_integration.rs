@@ -41,8 +41,14 @@ fn ml_pipeline_smoke() {
     for kind in libra_ml::ModelKind::ALL {
         let cv = libra_ml::cross_validate(kind, &train, 5, 2, 7);
         let (acc, f1) = libra_ml::train_test_eval(kind, &train, &held, 9);
-        println!("{:4}  cv acc {:.3} f1 {:.3}   cross-building acc {:.3} f1 {:.3}",
-                 kind.name(), cv.accuracy, cv.weighted_f1, acc, f1);
+        println!(
+            "{:4}  cv acc {:.3} f1 {:.3}   cross-building acc {:.3} f1 {:.3}",
+            kind.name(),
+            cv.accuracy,
+            cv.weighted_f1,
+            acc,
+            f1
+        );
     }
     // 3-class
     let train3 = main.to_ml_3class(&table, &params);

@@ -1,0 +1,419 @@
+//! The frozen model artifact format.
+//!
+//! What a vendor would flash next to the firmware after the offline
+//! training of §7: one self-contained, checksummed binary file holding a
+//! compiled inference engine plus the metadata needed to use it safely —
+//! the feature schema (so a driver can refuse a model trained on a
+//! different feature layout), the class labels, and provenance.
+//!
+//! ## On-disk layout (format version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"LIBRAMDL"
+//! 8       4     format version, u32 LE
+//! 12      8     payload length, u64 LE
+//! 20      n     payload: binser((ArtifactMeta, ModelPayload))
+//! 20+n    4     CRC-32 (IEEE) of bytes [0, 20+n), u32 LE
+//! ```
+//!
+//! Readers check, in order: length, magic, format version, the length
+//! field, the CRC, and finally payload decode plus a structural
+//! validation of the engine (child links in bounds, schema arity).
+//! Truncated, bit-flipped, wrong-magic, and future-version files are all
+//! rejected with a specific error.
+//!
+//! ## Determinism
+//!
+//! Artifact bytes are a pure function of the trained model and its
+//! metadata — no timestamps, hostnames, or map iteration order — so the
+//! same training seed yields byte-identical artifacts at any worker
+//! thread count, and a CRC/digest comparison is a meaningful model
+//! identity check.
+
+use crate::flat::{FlatForest, FlatGbdt};
+use libra_util::checksum::{crc32, fnv1a64};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// File magic: the first eight bytes of every artifact.
+pub const MAGIC: [u8; 8] = *b"LIBRAMDL";
+
+/// Current artifact format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Size of the fixed header preceding the payload.
+const HEADER_LEN: usize = 8 + 4 + 8;
+
+/// Size of the CRC trailer.
+const TRAILER_LEN: usize = 4;
+
+/// Artifact-store error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The file does not start with the artifact magic.
+    BadMagic,
+    /// The artifact was written by an incompatible format version.
+    WrongVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The file is shorter than its header/length field promises.
+    Truncated {
+        /// Bytes required.
+        need: usize,
+        /// Bytes present.
+        have: usize,
+    },
+    /// The CRC trailer does not match the file contents.
+    ChecksumMismatch {
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the file.
+        computed: u32,
+    },
+    /// The payload failed to decode or validate.
+    Payload(String),
+    /// Underlying filesystem failure.
+    Io(String),
+    /// Registry-level failure (unknown model, bad reference, ...).
+    Registry(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadMagic => write!(f, "not a LiBRA model artifact (bad magic)"),
+            Error::WrongVersion { found, expected } => {
+                write!(
+                    f,
+                    "artifact format v{found} is not supported (expected v{expected})"
+                )
+            }
+            Error::Truncated { need, have } => {
+                write!(f, "artifact truncated: need {need} bytes, have {have}")
+            }
+            Error::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact checksum mismatch (stored {stored:08x}, computed {computed:08x})"
+            ),
+            Error::Payload(msg) => write!(f, "artifact payload: {msg}"),
+            Error::Io(msg) => write!(f, "artifact io: {msg}"),
+            Error::Registry(msg) => write!(f, "model registry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Descriptive metadata frozen alongside the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactMeta {
+    /// Registry name the artifact was saved under (empty if unregistered).
+    pub name: String,
+    /// Feature schema: one column name per input feature, in row order.
+    pub feature_names: Vec<String>,
+    /// Class labels, in class-index order (e.g. `["BA", "RA", "NA"]`).
+    pub class_labels: Vec<String>,
+    /// Seed the model was trained from.
+    pub train_seed: u64,
+    /// Number of training rows.
+    pub train_rows: u64,
+    /// Free-form provenance notes (dataset plan, hyper-parameters, ...).
+    pub notes: String,
+}
+
+/// The compiled engine inside an artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelPayload {
+    /// A compiled random forest.
+    Forest(FlatForest),
+    /// A compiled gradient-boosted ensemble.
+    Gbdt(FlatGbdt),
+}
+
+impl ModelPayload {
+    /// Engine kind as a short label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ModelPayload::Forest(_) => "forest",
+            ModelPayload::Gbdt(_) => "gbdt",
+        }
+    }
+
+    /// Number of classes the engine predicts.
+    pub fn n_classes(&self) -> usize {
+        match self {
+            ModelPayload::Forest(m) => m.n_classes(),
+            ModelPayload::Gbdt(m) => m.n_classes(),
+        }
+    }
+
+    /// Number of features the engine expects.
+    pub fn n_features(&self) -> usize {
+        match self {
+            ModelPayload::Forest(m) => m.n_features(),
+            ModelPayload::Gbdt(m) => m.n_features(),
+        }
+    }
+
+    /// Total flattened node count (size estimate / inspection).
+    pub fn n_nodes(&self) -> usize {
+        match self {
+            ModelPayload::Forest(m) => m.n_nodes(),
+            ModelPayload::Gbdt(m) => m.n_nodes(),
+        }
+    }
+
+    /// Structural sanity check of the engine tables.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            ModelPayload::Forest(m) => m.validate(),
+            ModelPayload::Gbdt(m) => m.validate(),
+        }
+    }
+}
+
+impl libra_ml::Classifier for ModelPayload {
+    fn predict_one(&self, row: &[f64]) -> usize {
+        match self {
+            ModelPayload::Forest(m) => m.predict_one(row),
+            ModelPayload::Gbdt(m) => m.predict_one(row),
+        }
+    }
+    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        match self {
+            ModelPayload::Forest(m) => m.predict_batch(rows),
+            ModelPayload::Gbdt(m) => m.predict_batch(rows),
+        }
+    }
+}
+
+/// A frozen, shippable model: metadata + compiled engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    /// Descriptive metadata.
+    pub meta: ArtifactMeta,
+    /// The compiled engine.
+    pub payload: ModelPayload,
+}
+
+impl ModelArtifact {
+    /// Consistency check between the metadata schema and the engine.
+    fn check_schema(&self) -> Result<(), Error> {
+        if self.meta.feature_names.len() != self.payload.n_features() {
+            return Err(Error::Payload(format!(
+                "feature schema has {} names but the engine expects {} features",
+                self.meta.feature_names.len(),
+                self.payload.n_features()
+            )));
+        }
+        if self.meta.class_labels.len() != self.payload.n_classes() {
+            return Err(Error::Payload(format!(
+                "{} class labels for an engine with {} classes",
+                self.meta.class_labels.len(),
+                self.payload.n_classes()
+            )));
+        }
+        self.payload.validate().map_err(Error::Payload)
+    }
+
+    /// Serializes to the checksummed on-disk format.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, Error> {
+        self.check_schema()?;
+        let payload = libra_util::binser::to_bytes(&(&self.meta, &self.payload))
+            .map_err(|e| Error::Payload(e.to_string()))?;
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        Ok(out)
+    }
+
+    /// Parses and fully validates an artifact file image.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, Error> {
+        if bytes.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(Error::Truncated {
+                need: HEADER_LEN + TRAILER_LEN,
+                have: bytes.len(),
+            });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(Error::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(Error::WrongVersion {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let payload_len = usize::try_from(payload_len)
+            .map_err(|_| Error::Payload("payload length overflow".into()))?;
+        let need = HEADER_LEN + payload_len + TRAILER_LEN;
+        if bytes.len() < need {
+            return Err(Error::Truncated {
+                need,
+                have: bytes.len(),
+            });
+        }
+        if bytes.len() > need {
+            return Err(Error::Payload(format!(
+                "{} trailing bytes",
+                bytes.len() - need
+            )));
+        }
+        let body = &bytes[..HEADER_LEN + payload_len];
+        let stored =
+            u32::from_le_bytes(bytes[need - TRAILER_LEN..need].try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(Error::ChecksumMismatch { stored, computed });
+        }
+        let (meta, payload): (ArtifactMeta, ModelPayload) =
+            libra_util::binser::from_bytes(&body[HEADER_LEN..])
+                .map_err(|e| Error::Payload(e.to_string()))?;
+        let artifact = Self { meta, payload };
+        artifact.check_schema()?;
+        Ok(artifact)
+    }
+
+    /// Writes the artifact to a file, creating parent directories.
+    pub fn write(&self, path: impl AsRef<std::path::Path>) -> Result<(), Error> {
+        let bytes = self.to_bytes()?;
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent).map_err(|e| Error::Io(e.to_string()))?;
+        }
+        std::fs::write(path, bytes).map_err(|e| Error::Io(e.to_string()))
+    }
+
+    /// Reads and validates an artifact file.
+    pub fn read(path: impl AsRef<std::path::Path>) -> Result<Self, Error> {
+        let bytes = std::fs::read(&path)
+            .map_err(|e| Error::Io(format!("{}: {e}", path.as_ref().display())))?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// FNV-1a digest of the serialized artifact — a stable content
+    /// identity (equal digests ⇔ byte-identical artifacts, up to hash
+    /// collisions no regression check has to resist).
+    pub fn digest(&self) -> Result<u64, Error> {
+        Ok(fnv1a64(&self.to_bytes()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_ml::{Dataset, ForestConfig, RandomForest};
+    use libra_util::rng::rng_from_seed;
+
+    fn small_artifact() -> ModelArtifact {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let c = i % 3;
+            features.push(vec![c as f64 * 2.0 + (i % 5) as f64 * 0.1, (i % 7) as f64]);
+            labels.push(c);
+        }
+        let data = Dataset::new(features, labels, 3, vec!["a".into(), "b".into()]);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 6,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(11);
+        rf.fit(&data, &mut rng);
+        ModelArtifact {
+            meta: ArtifactMeta {
+                name: "test".into(),
+                feature_names: vec!["a".into(), "b".into()],
+                class_labels: vec!["BA".into(), "RA".into(), "NA".into()],
+                train_seed: 11,
+                train_rows: 60,
+                notes: String::new(),
+            },
+            payload: ModelPayload::Forest(FlatForest::compile(&rf)),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let art = small_artifact();
+        let bytes = art.to_bytes().expect("serialize");
+        let back = ModelArtifact::from_bytes(&bytes).expect("parse");
+        assert_eq!(back, art);
+        // Re-serialization is byte-stable (digest identity).
+        assert_eq!(back.to_bytes().unwrap(), bytes);
+    }
+
+    #[test]
+    fn header_fields_are_where_the_spec_says() {
+        let bytes = small_artifact().to_bytes().unwrap();
+        assert_eq!(&bytes[..8], &MAGIC);
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            FORMAT_VERSION
+        );
+        let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        assert_eq!(bytes.len(), HEADER_LEN + len + TRAILER_LEN);
+    }
+
+    #[test]
+    fn bit_flips_anywhere_are_rejected() {
+        let bytes = small_artifact().to_bytes().unwrap();
+        // Flip a byte in the payload and in the trailer.
+        for at in [HEADER_LEN + 3, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x40;
+            assert!(
+                matches!(
+                    ModelArtifact::from_bytes(&bad),
+                    Err(Error::ChecksumMismatch { .. }) | Err(Error::Payload(_))
+                ),
+                "flip at {at} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let bytes = small_artifact().to_bytes().unwrap();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(ModelArtifact::from_bytes(&bad), Err(Error::BadMagic));
+        let mut future = bytes.clone();
+        future[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            ModelArtifact::from_bytes(&future),
+            Err(Error::WrongVersion { found, expected })
+                if found == FORMAT_VERSION + 1 && expected == FORMAT_VERSION
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = small_artifact().to_bytes().unwrap();
+        for keep in [0, 7, HEADER_LEN, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    ModelArtifact::from_bytes(&bytes[..keep]),
+                    Err(Error::Truncated { .. })
+                ),
+                "keeping {keep} bytes must be a truncation error"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut art = small_artifact();
+        art.meta.feature_names.pop();
+        assert!(matches!(art.to_bytes(), Err(Error::Payload(_))));
+    }
+}

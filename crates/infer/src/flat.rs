@@ -1,0 +1,651 @@
+//! Flattened tree ensembles: the hot inference path.
+//!
+//! `libra-ml` trees are recursive `Box<Node>` structures — ideal for
+//! fitting, terrible for serving: every split is a pointer chase to a
+//! fresh heap allocation, and every prediction allocates a probability
+//! vector per tree. The flattened engines here compile an ensemble once
+//! into contiguous struct-of-arrays node tables (feature index,
+//! threshold, left/right, leaf blocks), then serve batches with zero
+//! allocations per row.
+//!
+//! **Bitwise identity.** The engines reproduce the recursive
+//! implementations exactly, not approximately: leaf probabilities are
+//! copied verbatim, per-tree contributions accumulate in the same order
+//! with the same `f64` operations, and argmax tie-breaking matches
+//! (`Iterator::max_by` keeps the *last* maximal element). Property tests
+//! in `tests/props.rs` enforce this for randomly generated forests.
+
+use libra_ml::tree::DumpNode;
+use libra_ml::{Classifier, DumpRegNode, GbdtClassifier, RandomForest};
+use serde::{Deserialize, Serialize};
+
+/// Sentinel feature index marking a leaf node.
+const LEAF: u32 = u32::MAX;
+
+fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+/// One classification tree in struct-of-arrays form.
+///
+/// Node `i` is a leaf when `feature[i] == LEAF`; its class distribution
+/// is the `left[i]`-th block of `leaf_probs`. Otherwise
+/// `row[feature[i]] <= threshold[i]` descends to `left[i]`, else
+/// `right[i]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FlatTree {
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    /// Leaf class distributions, `n_leaves × n_classes`, contiguous.
+    leaf_probs: Vec<f64>,
+}
+
+impl FlatTree {
+    fn from_dump(dump: &[DumpNode], n_classes: usize) -> Self {
+        assert!(!dump.is_empty(), "empty tree dump");
+        assert!(n_classes >= 1, "tree must have at least one class");
+        let mut t = Self {
+            feature: Vec::with_capacity(dump.len()),
+            threshold: Vec::with_capacity(dump.len()),
+            left: Vec::with_capacity(dump.len()),
+            right: Vec::with_capacity(dump.len()),
+            leaf_probs: Vec::new(),
+        };
+        for node in dump {
+            match node {
+                DumpNode::Leaf { probs } => {
+                    assert_eq!(probs.len(), n_classes, "leaf arity mismatch");
+                    let leaf_id = (t.leaf_probs.len() / n_classes) as u32;
+                    t.feature.push(LEAF);
+                    t.threshold.push(0.0);
+                    t.left.push(leaf_id);
+                    t.right.push(0);
+                    t.leaf_probs.extend_from_slice(probs);
+                }
+                DumpNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let f = u32::try_from(*feature).expect("feature index fits u32");
+                    assert!(f != LEAF, "feature index collides with leaf sentinel");
+                    t.feature.push(f);
+                    t.threshold.push(*threshold);
+                    t.left
+                        .push(u32::try_from(*left).expect("node index fits u32"));
+                    t.right
+                        .push(u32::try_from(*right).expect("node index fits u32"));
+                }
+            }
+        }
+        t
+    }
+
+    /// Walks the node table to the leaf block for `row`.
+    #[inline]
+    fn leaf_probs(&self, row: &[f64], n_classes: usize) -> &[f64] {
+        let mut i = 0usize;
+        loop {
+            let f = self.feature[i];
+            if f == LEAF {
+                let at = self.left[i] as usize * n_classes;
+                return &self.leaf_probs[at..at + n_classes];
+            }
+            i = if row[f as usize] <= self.threshold[i] {
+                self.left[i]
+            } else {
+                self.right[i]
+            } as usize;
+        }
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Structural sanity check for artifacts loaded from disk: child and
+    /// leaf indices in bounds, features within the declared schema.
+    fn validate(&self, n_classes: usize, n_features: usize) -> Result<(), String> {
+        let n = self.feature.len();
+        if n == 0 || self.threshold.len() != n || self.left.len() != n || self.right.len() != n {
+            return Err("inconsistent node table lengths".into());
+        }
+        if n_classes == 0 || self.leaf_probs.len() % n_classes != 0 {
+            return Err("leaf block not a multiple of n_classes".into());
+        }
+        let n_leaves = (self.leaf_probs.len() / n_classes) as u32;
+        for i in 0..n {
+            if self.feature[i] == LEAF {
+                if self.left[i] >= n_leaves {
+                    return Err(format!("leaf index {} out of bounds", self.left[i]));
+                }
+            } else {
+                if self.feature[i] as usize >= n_features {
+                    return Err(format!("feature {} outside schema", self.feature[i]));
+                }
+                // Children must point forward (the dump is pre-order), which
+                // also rules out walk cycles.
+                if self.left[i] as usize <= i
+                    || self.right[i] as usize <= i
+                    || self.left[i] as usize >= n
+                    || self.right[i] as usize >= n
+                {
+                    return Err(format!("bad child links at node {i}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A random forest compiled for serving.
+///
+/// Compiled once from a fitted [`RandomForest`] via [`FlatForest::compile`];
+/// prediction is bitwise identical to the recursive forest, and
+/// [`FlatForest::predict_batch_into`] serves whole batches without
+/// allocating per row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatForest {
+    n_classes: usize,
+    n_features: usize,
+    trees: Vec<FlatTree>,
+    /// Gini importances carried over from the fitted forest (Table 3).
+    importances: Vec<f64>,
+}
+
+impl FlatForest {
+    /// Compiles a fitted forest into node tables. Panics on an unfitted
+    /// forest.
+    pub fn compile(rf: &RandomForest) -> Self {
+        assert!(rf.n_trees() > 0, "forest not fitted");
+        let n_classes = rf.n_classes();
+        let trees = rf
+            .trees()
+            .iter()
+            .map(|t| FlatTree::from_dump(&t.dump_nodes(), n_classes))
+            .collect();
+        Self {
+            n_classes,
+            n_features: rf.n_features(),
+            trees,
+            importances: rf.feature_importances(),
+        }
+    }
+
+    /// Mean class-probability vote over all trees, written into `out`
+    /// (length `n_classes`) — the allocation-free core.
+    pub fn predict_proba_into(&self, row: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.n_classes, "output buffer arity");
+        out.fill(0.0);
+        for tree in &self.trees {
+            let leaf = tree.leaf_probs(row, self.n_classes);
+            for (p, q) in out.iter_mut().zip(leaf) {
+                *p += q;
+            }
+        }
+        let n = self.trees.len() as f64;
+        for p in out.iter_mut() {
+            *p /= n;
+        }
+    }
+
+    /// Mean class-probability vote over all trees (allocating wrapper).
+    pub fn predict_proba_one(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_classes];
+        self.predict_proba_into(row, &mut out);
+        out
+    }
+
+    /// Predicted class for one row (soft vote).
+    pub fn predict_one(&self, row: &[f64]) -> usize {
+        argmax(&self.predict_proba_one(row))
+    }
+
+    /// Predicts a whole batch into `out`, reusing one scratch buffer —
+    /// no allocation per row.
+    pub fn predict_batch_into(&self, rows: &[Vec<f64>], out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(rows.len());
+        let mut probs = vec![0.0; self.n_classes];
+        for row in rows {
+            self.predict_proba_into(row, &mut probs);
+            out.push(argmax(&probs));
+        }
+    }
+
+    /// Predicts a whole batch (allocating wrapper).
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.predict_batch_into(rows, &mut out);
+        out
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of features in the schema.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of member trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total node count across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.trees.iter().map(FlatTree::n_nodes).sum()
+    }
+
+    /// Gini importances carried over from the fitted forest.
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Structural sanity check for engines loaded from disk.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.trees.is_empty() {
+            return Err("forest has no trees".into());
+        }
+        if self.importances.len() != self.n_features {
+            return Err("importances length mismatch".into());
+        }
+        for (i, tree) in self.trees.iter().enumerate() {
+            tree.validate(self.n_classes, self.n_features)
+                .map_err(|e| format!("tree {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+impl Classifier for FlatForest {
+    fn predict_one(&self, row: &[f64]) -> usize {
+        FlatForest::predict_one(self, row)
+    }
+    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        FlatForest::predict_batch(self, rows)
+    }
+}
+
+/// One regression tree in struct-of-arrays form (leaf value per node,
+/// valid where `feature[i] == LEAF`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FlatRegTree {
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    value: Vec<f64>,
+}
+
+impl FlatRegTree {
+    fn from_dump(dump: &[DumpRegNode]) -> Self {
+        assert!(!dump.is_empty(), "empty tree dump");
+        let mut t = Self {
+            feature: Vec::with_capacity(dump.len()),
+            threshold: Vec::with_capacity(dump.len()),
+            left: Vec::with_capacity(dump.len()),
+            right: Vec::with_capacity(dump.len()),
+            value: Vec::with_capacity(dump.len()),
+        };
+        for node in dump {
+            match node {
+                DumpRegNode::Leaf { value } => {
+                    t.feature.push(LEAF);
+                    t.threshold.push(0.0);
+                    t.left.push(0);
+                    t.right.push(0);
+                    t.value.push(*value);
+                }
+                DumpRegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let f = u32::try_from(*feature).expect("feature index fits u32");
+                    assert!(f != LEAF, "feature index collides with leaf sentinel");
+                    t.feature.push(f);
+                    t.threshold.push(*threshold);
+                    t.left
+                        .push(u32::try_from(*left).expect("node index fits u32"));
+                    t.right
+                        .push(u32::try_from(*right).expect("node index fits u32"));
+                    t.value.push(0.0);
+                }
+            }
+        }
+        t
+    }
+
+    #[inline]
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let f = self.feature[i];
+            if f == LEAF {
+                return self.value[i];
+            }
+            i = if row[f as usize] <= self.threshold[i] {
+                self.left[i]
+            } else {
+                self.right[i]
+            } as usize;
+        }
+    }
+
+    fn validate(&self, n_features: usize) -> Result<(), String> {
+        let n = self.feature.len();
+        if n == 0
+            || self.threshold.len() != n
+            || self.left.len() != n
+            || self.right.len() != n
+            || self.value.len() != n
+        {
+            return Err("inconsistent node table lengths".into());
+        }
+        for i in 0..n {
+            if self.feature[i] != LEAF {
+                if self.feature[i] as usize >= n_features {
+                    return Err(format!("feature {} outside schema", self.feature[i]));
+                }
+                if self.left[i] as usize <= i
+                    || self.right[i] as usize <= i
+                    || self.left[i] as usize >= n
+                    || self.right[i] as usize >= n
+                {
+                    return Err(format!("bad child links at node {i}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A gradient-boosted classifier compiled for serving (one flattened
+/// booster per class, one-vs-rest). Bitwise identical to
+/// [`GbdtClassifier`] decision scores and predictions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatGbdt {
+    n_classes: usize,
+    n_features: usize,
+    learning_rate: f64,
+    boosters: Vec<(f64, Vec<FlatRegTree>)>,
+}
+
+impl FlatGbdt {
+    /// Compiles a fitted GBDT into node tables. `n_features` pins the
+    /// feature schema (the recursive model does not record it). Panics
+    /// on an unfitted model.
+    pub fn compile(gbdt: &GbdtClassifier, n_features: usize) -> Self {
+        let dumps = gbdt.dump_boosters();
+        assert!(!dumps.is_empty(), "GBDT not fitted");
+        let boosters = dumps
+            .into_iter()
+            .map(|(base, trees)| {
+                (
+                    base,
+                    trees.iter().map(|t| FlatRegTree::from_dump(t)).collect(),
+                )
+            })
+            .collect();
+        Self {
+            n_classes: gbdt.n_classes(),
+            n_features,
+            learning_rate: gbdt.learning_rate(),
+            boosters,
+        }
+    }
+
+    /// Per-class raw scores (log-odds) written into `out` (length
+    /// `n_classes`) — the allocation-free core.
+    pub fn decision_scores_into(&self, row: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.boosters.len(), "output buffer arity");
+        for (slot, (base, trees)) in out.iter_mut().zip(&self.boosters) {
+            *slot = base + self.learning_rate * trees.iter().map(|t| t.predict(row)).sum::<f64>();
+        }
+    }
+
+    /// Per-class raw scores (allocating wrapper).
+    pub fn decision_scores(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.boosters.len()];
+        self.decision_scores_into(row, &mut out);
+        out
+    }
+
+    /// Predicted class for one row.
+    pub fn predict_one(&self, row: &[f64]) -> usize {
+        let scores = self.decision_scores(row);
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+
+    /// Predicts a whole batch into `out`, reusing one scratch buffer.
+    pub fn predict_batch_into(&self, rows: &[Vec<f64>], out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(rows.len());
+        let mut scores = vec![0.0; self.boosters.len()];
+        for row in rows {
+            self.decision_scores_into(row, &mut scores);
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            out.push(best);
+        }
+    }
+
+    /// Predicts a whole batch (allocating wrapper).
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.predict_batch_into(rows, &mut out);
+        out
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of features in the schema.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of trees per booster.
+    pub fn n_trees(&self) -> usize {
+        self.boosters.first().map_or(0, |(_, t)| t.len())
+    }
+
+    /// Total node count across all boosters.
+    pub fn n_nodes(&self) -> usize {
+        self.boosters
+            .iter()
+            .flat_map(|(_, trees)| trees.iter().map(|t| t.feature.len()))
+            .sum()
+    }
+
+    /// Structural sanity check for engines loaded from disk.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.boosters.is_empty() {
+            return Err("GBDT has no boosters".into());
+        }
+        if self.boosters.len() != self.n_classes {
+            return Err("booster count does not match n_classes".into());
+        }
+        if !self.learning_rate.is_finite() {
+            return Err("non-finite learning rate".into());
+        }
+        for (c, (base, trees)) in self.boosters.iter().enumerate() {
+            if !base.is_finite() {
+                return Err(format!("booster {c}: non-finite base score"));
+            }
+            for (i, tree) in trees.iter().enumerate() {
+                tree.validate(self.n_features)
+                    .map_err(|e| format!("booster {c} tree {i}: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Classifier for FlatGbdt {
+    fn predict_one(&self, row: &[f64]) -> usize {
+        FlatGbdt::predict_one(self, row)
+    }
+    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        FlatGbdt::predict_batch(self, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_ml::{Dataset, ForestConfig, GbdtConfig};
+    use libra_util::rng::rng_from_seed;
+
+    fn blobs(n: usize, seed: u64, n_classes: usize) -> Dataset {
+        let mut rng = rng_from_seed(seed);
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % n_classes;
+            features.push(vec![
+                c as f64 * 3.0 + libra_util::rng::standard_normal(&mut rng),
+                libra_util::rng::standard_normal(&mut rng),
+            ]);
+            labels.push(c);
+        }
+        Dataset::new(features, labels, n_classes, vec!["x".into(), "y".into()])
+    }
+
+    #[test]
+    fn forest_flat_matches_recursive_bitwise() {
+        let data = blobs(150, 1, 3);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 15,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(2);
+        rf.fit(&data, &mut rng);
+        let flat = FlatForest::compile(&rf);
+        for row in &data.features {
+            // Bitwise: probabilities compare equal as full f64 vectors.
+            assert_eq!(flat.predict_proba_one(row), rf.predict_proba_one(row));
+            assert_eq!(flat.predict_one(row), rf.predict_one(row));
+        }
+        assert_eq!(
+            flat.predict_batch(&data.features),
+            rf.predict(&data.features)
+        );
+        assert_eq!(flat.feature_importances(), rf.feature_importances());
+        assert_eq!(flat.n_trees(), rf.n_trees());
+        flat.validate().expect("compiled forest validates");
+    }
+
+    #[test]
+    fn gbdt_flat_matches_recursive_bitwise() {
+        let data = blobs(120, 3, 3);
+        let mut g = GbdtClassifier::new(GbdtConfig {
+            n_rounds: 12,
+            ..Default::default()
+        });
+        g.fit(&data);
+        let flat = FlatGbdt::compile(&g, 2);
+        for row in &data.features {
+            assert_eq!(flat.decision_scores(row), g.decision_scores(row));
+            assert_eq!(flat.predict_one(row), g.predict_one(row));
+        }
+        assert_eq!(
+            flat.predict_batch(&data.features),
+            g.predict(&data.features)
+        );
+        flat.validate().expect("compiled GBDT validates");
+    }
+
+    #[test]
+    fn batch_reuses_buffers_and_matches_per_row() {
+        let data = blobs(60, 5, 2);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 8,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(6);
+        rf.fit(&data, &mut rng);
+        let flat = FlatForest::compile(&rf);
+        let mut out = Vec::new();
+        flat.predict_batch_into(&data.features, &mut out);
+        let per_row: Vec<usize> = data.features.iter().map(|r| flat.predict_one(r)).collect();
+        assert_eq!(out, per_row);
+        // Reuse the same output vector for a second batch.
+        flat.predict_batch_into(&data.features[..10].to_vec(), &mut out);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn handles_infinite_features_like_recursive() {
+        let data = Dataset::new(
+            vec![
+                vec![f64::NEG_INFINITY],
+                vec![0.0],
+                vec![f64::INFINITY],
+                vec![1.0],
+            ],
+            vec![0, 0, 1, 1],
+            2,
+            vec!["tof".into()],
+        );
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 5,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(7);
+        rf.fit(&data, &mut rng);
+        let flat = FlatForest::compile(&rf);
+        for row in [[f64::NEG_INFINITY], [f64::INFINITY], [0.5], [-1e300]] {
+            assert_eq!(flat.predict_one(&row), rf.predict_one(&row));
+        }
+    }
+
+    #[test]
+    fn validate_catches_corrupted_tables() {
+        let data = blobs(60, 8, 2);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 3,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(9);
+        rf.fit(&data, &mut rng);
+        let mut flat = FlatForest::compile(&rf);
+        flat.validate().expect("clean engine validates");
+        // Point a split's feature outside the schema.
+        let mut corrupted = false;
+        'outer: for ti in 0..flat.trees.len() {
+            for ni in 0..flat.trees[ti].feature.len() {
+                if flat.trees[ti].feature[ni] != LEAF {
+                    flat.trees[ti].feature[ni] = 999;
+                    corrupted = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(corrupted, "expected at least one split node");
+        assert!(flat.validate().is_err());
+    }
+}

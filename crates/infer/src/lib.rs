@@ -1,0 +1,39 @@
+//! # libra-infer
+//!
+//! The train-once / serve-many half of the LiBRA reproduction.
+//!
+//! The paper's deployment story (§7, Alg. 1) is a trained classifier
+//! making a BA/RA/NA call every 2×20 ms observation window — an
+//! inference-serving problem. The research crates (`libra-ml`) keep the
+//! pointer-chasing recursive trees that are convenient to fit and
+//! inspect; this crate owns the hot serving path:
+//!
+//! * [`flat`] — recursive tree ensembles compiled into contiguous
+//!   struct-of-arrays node tables ([`FlatForest`], [`FlatGbdt`]) with a
+//!   batched, allocation-free-per-row `predict_batch` API. Predictions
+//!   are **bitwise identical** to the recursive implementation — same
+//!   leaf values, same accumulation order, same tie-breaking — just
+//!   cache-friendly.
+//! * [`artifact`] — a versioned, checksummed binary **model artifact
+//!   format** (magic + format version + feature schema + class labels +
+//!   CRC-32) freezing a trained model for shipment.
+//! * [`registry`] — an on-disk **model registry** (`results/models/` by
+//!   default) with `name@version` resolution and a latest-pointer, so
+//!   simulators and the evaluation harness load a frozen artifact
+//!   instead of retraining in-process.
+//!
+//! Determinism contract: artifact bytes are a pure function of the
+//! trained model and its metadata — no timestamps, no hostnames — so a
+//! model trained at any worker-thread count serializes to the same
+//! bytes, and digests are comparable across machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod flat;
+pub mod registry;
+
+pub use artifact::{ArtifactMeta, Error, ModelArtifact, ModelPayload, FORMAT_VERSION, MAGIC};
+pub use flat::{FlatForest, FlatGbdt};
+pub use registry::{ModelRecord, ModelRegistry, ModelSpec};

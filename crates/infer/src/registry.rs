@@ -1,0 +1,381 @@
+//! On-disk model registry with `name@version` resolution.
+//!
+//! Layout under the registry root (default `results/models/`, overridable
+//! via the `LIBRA_MODELS_DIR` environment variable):
+//!
+//! ```text
+//! results/models/
+//!   ba-forest/
+//!     v1.libra
+//!     v2.libra
+//!     LATEST        # text file holding "2"
+//! ```
+//!
+//! Saving a model allocates the next version number and repoints
+//! `LATEST`. A [`ModelSpec`] reference like `ba-forest@1` pins a version;
+//! bare `ba-forest` follows the latest-pointer. Every load re-verifies
+//! the artifact checksum, so a corrupted file in the store is reported,
+//! never served.
+
+use crate::artifact::{Error, ModelArtifact};
+use std::path::{Path, PathBuf};
+
+/// Extension used for artifact files in the registry.
+pub const ARTIFACT_EXT: &str = "libra";
+
+/// Name of the latest-pointer file inside each model directory.
+const LATEST_FILE: &str = "LATEST";
+
+/// A parsed model reference: `name` or `name@version`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Registry name of the model.
+    pub name: String,
+    /// Pinned version, or `None` to follow the latest-pointer.
+    pub version: Option<u32>,
+}
+
+impl ModelSpec {
+    /// Parses `"name"` or `"name@3"`.
+    pub fn parse(spec: &str) -> Result<Self, Error> {
+        let (name, version) = match spec.split_once('@') {
+            Some((n, v)) => {
+                let ver: u32 = v.parse().map_err(|_| {
+                    Error::Registry(format!("bad version {v:?} in model spec {spec:?}"))
+                })?;
+                (n, Some(ver))
+            }
+            None => (spec, None),
+        };
+        check_name(name)?;
+        Ok(Self {
+            name: name.to_string(),
+            version,
+        })
+    }
+}
+
+impl std::fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.version {
+            Some(v) => write!(f, "{}@{v}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Registry names must stay safe as directory names.
+fn check_name(name: &str) -> Result<(), Error> {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+        && !name.starts_with('.');
+    if ok {
+        Ok(())
+    } else {
+        Err(Error::Registry(format!(
+            "invalid model name {name:?} (use ASCII letters, digits, '-', '_', '.')"
+        )))
+    }
+}
+
+/// Listing entry for one registered model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelRecord {
+    /// Registry name.
+    pub name: String,
+    /// Versions present on disk, ascending.
+    pub versions: Vec<u32>,
+    /// Version the latest-pointer designates.
+    pub latest: Option<u32>,
+}
+
+/// A directory of versioned model artifacts.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    root: PathBuf,
+}
+
+impl ModelRegistry {
+    /// Opens (without creating) a registry rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// Opens the default registry (`results/models/`, or the
+    /// `LIBRA_MODELS_DIR` / `LIBRA_RESULTS_DIR` overrides).
+    pub fn open_default() -> Self {
+        Self::open(libra_util::paths::models_root())
+    }
+
+    /// The registry root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn model_dir(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    fn version_path(&self, name: &str, version: u32) -> PathBuf {
+        self.model_dir(name)
+            .join(format!("v{version}.{ARTIFACT_EXT}"))
+    }
+
+    /// Versions of `name` present on disk, ascending. Empty if the model
+    /// directory does not exist.
+    pub fn versions(&self, name: &str) -> Result<Vec<u32>, Error> {
+        check_name(name)?;
+        let dir = self.model_dir(name);
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(Error::Io(format!("{}: {e}", dir.display()))),
+        };
+        let mut versions = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| Error::Io(e.to_string()))?;
+            let file = entry.file_name();
+            let file = file.to_string_lossy();
+            if let Some(ver) = file
+                .strip_prefix('v')
+                .and_then(|rest| rest.strip_suffix(&format!(".{ARTIFACT_EXT}")))
+                .and_then(|v| v.parse::<u32>().ok())
+            {
+                versions.push(ver);
+            }
+        }
+        versions.sort_unstable();
+        Ok(versions)
+    }
+
+    /// Version the latest-pointer of `name` designates, if any.
+    pub fn latest(&self, name: &str) -> Result<Option<u32>, Error> {
+        check_name(name)?;
+        let path = self.model_dir(name).join(LATEST_FILE);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let ver: u32 = text.trim().parse().map_err(|_| {
+                    Error::Registry(format!("corrupt latest-pointer {}", path.display()))
+                })?;
+                Ok(Some(ver))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(Error::Io(format!("{}: {e}", path.display()))),
+        }
+    }
+
+    /// Resolves a spec to the artifact path it denotes (the file is
+    /// guaranteed to exist on success).
+    pub fn resolve(&self, spec: &ModelSpec) -> Result<(u32, PathBuf), Error> {
+        let version = match spec.version {
+            Some(v) => v,
+            None => match self.latest(&spec.name)? {
+                Some(v) => v,
+                // Tolerate a missing pointer file: fall back to the
+                // highest version on disk.
+                None => self.versions(&spec.name)?.last().copied().ok_or_else(|| {
+                    Error::Registry(format!(
+                        "no model named {:?} in {}",
+                        spec.name,
+                        self.root.display()
+                    ))
+                })?,
+            },
+        };
+        let path = self.version_path(&spec.name, version);
+        if !path.is_file() {
+            return Err(Error::Registry(format!(
+                "{spec} not found ({})",
+                path.display()
+            )));
+        }
+        Ok((version, path))
+    }
+
+    /// Loads and checksum-verifies the artifact a spec denotes.
+    pub fn load(&self, spec: &ModelSpec) -> Result<(u32, ModelArtifact), Error> {
+        let (version, path) = self.resolve(spec)?;
+        Ok((version, ModelArtifact::read(path)?))
+    }
+
+    /// Saves an artifact under `name` at the next free version and
+    /// repoints `LATEST`. Returns the allocated version number.
+    pub fn save(&self, name: &str, artifact: &ModelArtifact) -> Result<u32, Error> {
+        check_name(name)?;
+        let version = self.versions(name)?.last().copied().unwrap_or(0) + 1;
+        let path = self.version_path(name, version);
+        artifact.write(&path)?;
+        let latest = self.model_dir(name).join(LATEST_FILE);
+        std::fs::write(&latest, format!("{version}\n"))
+            .map_err(|e| Error::Io(format!("{}: {e}", latest.display())))?;
+        Ok(version)
+    }
+
+    /// Lists every registered model, sorted by name.
+    pub fn list(&self) -> Result<Vec<ModelRecord>, Error> {
+        let entries = match std::fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(Error::Io(format!("{}: {e}", self.root.display()))),
+        };
+        let mut records = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| Error::Io(e.to_string()))?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if check_name(&name).is_err() {
+                continue;
+            }
+            let versions = self.versions(&name)?;
+            if versions.is_empty() {
+                continue;
+            }
+            let latest = self.latest(&name)?;
+            records.push(ModelRecord {
+                name,
+                versions,
+                latest,
+            });
+        }
+        records.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{ArtifactMeta, ModelPayload};
+    use crate::flat::FlatForest;
+    use libra_ml::{Dataset, ForestConfig, RandomForest};
+    use libra_util::rng::rng_from_seed;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("libra-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn artifact(seed: u64) -> ModelArtifact {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..45 {
+            let c = i % 3;
+            features.push(vec![c as f64 + (i % 4) as f64 * 0.05, (i % 6) as f64]);
+            labels.push(c);
+        }
+        let data = Dataset::new(features, labels, 3, vec!["x".into(), "y".into()]);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 4,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(seed);
+        rf.fit(&data, &mut rng);
+        ModelArtifact {
+            meta: ArtifactMeta {
+                name: "reg-test".into(),
+                feature_names: vec!["x".into(), "y".into()],
+                class_labels: vec!["BA".into(), "RA".into(), "NA".into()],
+                train_seed: seed,
+                train_rows: 45,
+                notes: String::new(),
+            },
+            payload: ModelPayload::Forest(FlatForest::compile(&rf)),
+        }
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(
+            ModelSpec::parse("ba-forest").unwrap(),
+            ModelSpec {
+                name: "ba-forest".into(),
+                version: None
+            }
+        );
+        assert_eq!(
+            ModelSpec::parse("ba-forest@7").unwrap(),
+            ModelSpec {
+                name: "ba-forest".into(),
+                version: Some(7)
+            }
+        );
+        assert!(ModelSpec::parse("bad@x").is_err());
+        assert!(ModelSpec::parse("").is_err());
+        assert!(ModelSpec::parse("../escape").is_err());
+        assert!(ModelSpec::parse(".hidden").is_err());
+    }
+
+    #[test]
+    fn save_load_and_versioning() {
+        let dir = tmpdir("slv");
+        let reg = ModelRegistry::open(&dir);
+        let a1 = artifact(1);
+        let a2 = artifact(2);
+        assert_eq!(reg.save("m", &a1).unwrap(), 1);
+        assert_eq!(reg.save("m", &a2).unwrap(), 2);
+        assert_eq!(reg.latest("m").unwrap(), Some(2));
+
+        // Bare name follows the latest-pointer; @1 pins the old version.
+        let (v, loaded) = reg.load(&ModelSpec::parse("m").unwrap()).unwrap();
+        assert_eq!((v, &loaded), (2, &a2));
+        let (v, loaded) = reg.load(&ModelSpec::parse("m@1").unwrap()).unwrap();
+        assert_eq!((v, &loaded), (1, &a1));
+
+        let records = reg.list().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            records[0],
+            ModelRecord {
+                name: "m".into(),
+                versions: vec![1, 2],
+                latest: Some(2)
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_pointer_falls_back_to_highest_version() {
+        let dir = tmpdir("fallback");
+        let reg = ModelRegistry::open(&dir);
+        reg.save("m", &artifact(3)).unwrap();
+        std::fs::remove_file(dir.join("m").join(LATEST_FILE)).unwrap();
+        let (v, _) = reg.load(&ModelSpec::parse("m").unwrap()).unwrap();
+        assert_eq!(v, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_model_is_a_registry_error() {
+        let dir = tmpdir("unknown");
+        let reg = ModelRegistry::open(&dir);
+        assert!(matches!(
+            reg.load(&ModelSpec::parse("nope").unwrap()),
+            Err(Error::Registry(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_store_file_is_reported_on_load() {
+        let dir = tmpdir("corrupt");
+        let reg = ModelRegistry::open(&dir);
+        reg.save("m", &artifact(4)).unwrap();
+        let path = dir.join("m").join(format!("v1.{ARTIFACT_EXT}"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            reg.load(&ModelSpec::parse("m").unwrap()),
+            Err(Error::ChecksumMismatch { .. }) | Err(Error::Payload(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,176 @@
+//! Artifact round-trip and tamper-rejection tests.
+//!
+//! The determinism half of this suite is run in CI under
+//! `LIBRA_THREADS=4` as well as single-threaded: artifact bytes must be
+//! a pure function of the trained model, so the digest cannot move with
+//! the worker-thread count.
+
+use libra_infer::{
+    ArtifactMeta, Error, FlatForest, ModelArtifact, ModelPayload, ModelRegistry, ModelSpec,
+    FORMAT_VERSION,
+};
+use libra_ml::{Dataset, ForestConfig, RandomForest};
+use libra_util::rng::rng_from_seed;
+use rand::Rng;
+
+fn train_dataset(seed: u64) -> Dataset {
+    let mut rng = rng_from_seed(seed);
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..120 {
+        let class = i % 3;
+        features.push(vec![
+            class as f64 * 2.0 + rng.gen_range(-0.8..0.8),
+            rng.gen_range(0.0..8.0),
+            class as f64 - rng.gen_range(0.0..0.5),
+        ]);
+        labels.push(class);
+    }
+    Dataset::new(
+        features,
+        labels,
+        3,
+        vec!["snr".into(), "evm".into(), "sweep".into()],
+    )
+}
+
+fn build_artifact(seed: u64) -> ModelArtifact {
+    let data = train_dataset(seed);
+    let mut rf = RandomForest::new(ForestConfig {
+        n_trees: 12,
+        ..Default::default()
+    });
+    let mut rng = rng_from_seed(seed);
+    rf.fit(&data, &mut rng);
+    ModelArtifact {
+        meta: ArtifactMeta {
+            name: "roundtrip".into(),
+            feature_names: data.feature_names.clone(),
+            class_labels: vec!["BA".into(), "RA".into(), "NA".into()],
+            train_seed: seed,
+            train_rows: data.features.len() as u64,
+            notes: "artifact_roundtrip integration test".into(),
+        },
+        payload: ModelPayload::Forest(FlatForest::compile(&rf)),
+    }
+}
+
+#[test]
+fn roundtrip_is_digest_identical() {
+    // Honour the CI override so this test exercises the pooled-training
+    // path when LIBRA_THREADS is set.
+    if let Ok(threads) = std::env::var("LIBRA_THREADS") {
+        if let Ok(n) = threads.parse::<usize>() {
+            libra_util::par::set_threads(n);
+        }
+    }
+
+    let art = build_artifact(0x11B2A);
+    let bytes = art.to_bytes().expect("serialize");
+    let back = ModelArtifact::from_bytes(&bytes).expect("parse");
+    assert_eq!(back, art, "decoded artifact differs from the original");
+    assert_eq!(
+        back.digest().unwrap(),
+        art.digest().unwrap(),
+        "round-trip must preserve the content digest"
+    );
+
+    // Training again from the same seed gives byte-identical output:
+    // the format embeds no timestamps or environment.
+    let again = build_artifact(0x11B2A);
+    assert_eq!(
+        again.to_bytes().unwrap(),
+        bytes,
+        "artifact bytes must be seed-deterministic"
+    );
+
+    // And the decoded engine really predicts.
+    let probe = vec![vec![0.1, 4.0, 0.2], vec![4.1, 1.0, 1.8]];
+    match (&art.payload, &back.payload) {
+        (ModelPayload::Forest(a), ModelPayload::Forest(b)) => {
+            assert_eq!(a.predict_batch(&probe), b.predict_batch(&probe));
+        }
+        _ => panic!("payload kind changed in round-trip"),
+    }
+}
+
+#[test]
+fn every_single_byte_is_covered_by_the_checksum() {
+    let bytes = build_artifact(7).to_bytes().unwrap();
+    // Flipping any byte of the file must be detected. Exhaustive over a
+    // stride to keep runtime sane, plus the first and last bytes.
+    let mut positions: Vec<usize> = (0..bytes.len()).step_by(97).collect();
+    positions.push(bytes.len() - 1);
+    for at in positions {
+        let mut bad = bytes.clone();
+        bad[at] ^= 0x01;
+        assert!(
+            ModelArtifact::from_bytes(&bad).is_err(),
+            "single-bit flip at byte {at} went undetected"
+        );
+    }
+}
+
+#[test]
+fn truncated_wrong_magic_and_future_version_are_rejected() {
+    let bytes = build_artifact(9).to_bytes().unwrap();
+
+    for keep in [0usize, 4, 19, 20, bytes.len() - 4, bytes.len() - 1] {
+        assert!(
+            matches!(
+                ModelArtifact::from_bytes(&bytes[..keep]),
+                Err(Error::Truncated { .. })
+            ),
+            "prefix of {keep} bytes must report truncation"
+        );
+    }
+
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[..8].copy_from_slice(b"NOTLIBRA");
+    assert_eq!(
+        ModelArtifact::from_bytes(&wrong_magic),
+        Err(Error::BadMagic)
+    );
+
+    let mut future = bytes.clone();
+    future[8..12].copy_from_slice(&(FORMAT_VERSION + 9).to_le_bytes());
+    assert_eq!(
+        ModelArtifact::from_bytes(&future),
+        Err(Error::WrongVersion {
+            found: FORMAT_VERSION + 9,
+            expected: FORMAT_VERSION
+        })
+    );
+
+    let mut padded = bytes.clone();
+    padded.push(0);
+    assert!(
+        ModelArtifact::from_bytes(&padded).is_err(),
+        "trailing garbage must be rejected"
+    );
+}
+
+#[test]
+fn registry_save_then_load_serves_identical_bytes() {
+    let dir = std::env::temp_dir().join(format!("libra-artifact-roundtrip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let reg = ModelRegistry::open(&dir);
+
+    let art = build_artifact(21);
+    let v1 = reg.save("rt", &art).expect("save v1");
+    let v2 = reg.save("rt", &art).expect("save v2");
+    assert_eq!((v1, v2), (1, 2));
+
+    let (version, loaded) = reg
+        .load(&ModelSpec::parse("rt").unwrap())
+        .expect("load latest");
+    assert_eq!(version, 2);
+    assert_eq!(loaded.digest().unwrap(), art.digest().unwrap());
+
+    let listing = reg.list().expect("list");
+    assert_eq!(listing.len(), 1);
+    assert_eq!(listing[0].versions, vec![1, 2]);
+    assert_eq!(listing[0].latest, Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,113 @@
+//! Property tests: the flattened engines must be prediction-identical to
+//! the recursive `libra-ml` implementations on arbitrary models and
+//! inputs — every class count, every tree shape, every row.
+
+use libra_infer::{FlatForest, FlatGbdt};
+use libra_ml::{Dataset, ForestConfig, GbdtClassifier, GbdtConfig, RandomForest};
+use libra_util::rng::rng_from_seed;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Deterministic synthetic classification data: class-dependent cluster
+/// centres plus noise, so trees have real structure to learn.
+fn synth_dataset(seed: u64, n_rows: usize, n_features: usize, n_classes: usize) -> Dataset {
+    let mut rng = rng_from_seed(seed);
+    let mut features = Vec::with_capacity(n_rows);
+    let mut labels = Vec::with_capacity(n_rows);
+    for i in 0..n_rows {
+        let class = i % n_classes;
+        let row: Vec<f64> = (0..n_features)
+            .map(|f| class as f64 * 1.5 + ((f + 1) as f64) * rng.gen_range(-1.0..1.0))
+            .collect();
+        features.push(row);
+        labels.push(class);
+    }
+    let names = (0..n_features).map(|f| format!("f{f}")).collect();
+    Dataset::new(features, labels, n_classes, names)
+}
+
+/// Fresh rows the model never saw, including values outside the
+/// training range (forces root-to-leaf paths down both extremes).
+fn probe_rows(seed: u64, n_rows: usize, n_features: usize) -> Vec<Vec<f64>> {
+    let mut rng = rng_from_seed(seed ^ 0x9E37_79B9_7F4A_7C15);
+    (0..n_rows)
+        .map(|_| {
+            (0..n_features)
+                .map(|_| rng.gen_range(-10.0..10.0))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn flat_forest_matches_recursive(
+        seed in 0u64..1_000_000,
+        n_rows in 24usize..80,
+        n_features in 1usize..6,
+        n_classes in 2usize..5,
+        n_trees in 1usize..8,
+        max_depth in 1usize..7,
+    ) {
+        let data = synth_dataset(seed, n_rows, n_features, n_classes);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees,
+            max_depth,
+            min_samples_split: 2,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(seed);
+        rf.fit(&data, &mut rng);
+        let flat = FlatForest::compile(&rf);
+        flat.validate().expect("compiled tables are well-formed");
+
+        let probes = probe_rows(seed, 40, n_features);
+        for row in data.features.iter().chain(probes.iter()) {
+            // Classes, probabilities, and tie-breaking all bitwise equal.
+            prop_assert_eq!(flat.predict_one(row), rf.predict_one(row));
+            let (rp, fp) = (rf.predict_proba_one(row), flat.predict_proba_one(row));
+            prop_assert_eq!(rp.len(), fp.len());
+            for (a, b) in rp.iter().zip(fp.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Batch path agrees with the per-row path.
+        let batch = flat.predict_batch(&probes);
+        let per_row: Vec<usize> = probes.iter().map(|r| flat.predict_one(r)).collect();
+        prop_assert_eq!(batch, per_row);
+    }
+
+    #[test]
+    fn flat_gbdt_matches_recursive(
+        seed in 0u64..1_000_000,
+        n_rows in 24usize..60,
+        n_features in 1usize..5,
+        n_classes in 2usize..4,
+        n_rounds in 1usize..6,
+    ) {
+        let data = synth_dataset(seed, n_rows, n_features, n_classes);
+        let mut gbdt = GbdtClassifier::new(GbdtConfig {
+            n_rounds,
+            max_depth: 3,
+            ..Default::default()
+        });
+        gbdt.fit(&data);
+        let flat = FlatGbdt::compile(&gbdt, n_features);
+        flat.validate().expect("compiled tables are well-formed");
+
+        let probes = probe_rows(seed, 30, n_features);
+        for row in data.features.iter().chain(probes.iter()) {
+            prop_assert_eq!(flat.predict_one(row), gbdt.predict_one(row));
+            let (rs, fs) = (gbdt.decision_scores(row), flat.decision_scores(row));
+            prop_assert_eq!(rs.len(), fs.len());
+            for (a, b) in rs.iter().zip(fs.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let batch = flat.predict_batch(&probes);
+        let per_row: Vec<usize> = probes.iter().map(|r| flat.predict_one(r)).collect();
+        prop_assert_eq!(batch, per_row);
+    }
+}

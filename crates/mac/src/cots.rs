@@ -116,11 +116,13 @@ impl CotsScenario {
                 let room = Environment::Lobby.room();
                 let tx = Pose::new(Point::new(1.0, 7.0), 0.0);
                 let rx = Pose::new(Point::new(1.0 + distance_m, 7.0), 180.0);
-                let blocker =
-                    BlockerPlacement::MidPath.blocker(tx.position, rx.position, 0.0);
+                let blocker = BlockerPlacement::MidPath.blocker(tx.position, rx.position, 0.0);
                 Scene::new(room, tx, rx).with_blockers(vec![blocker])
             }
-            CotsScenario::Mobility { start_m, speed_m_per_s } => {
+            CotsScenario::Mobility {
+                start_m,
+                speed_m_per_s,
+            } => {
                 // A walk away from the AP across the lobby. Real walks
                 // are never radial: the client curves across the room
                 // while facing the AP, so the AP-side bearing sweeps
@@ -135,10 +137,8 @@ impl CotsScenario {
                 let d = start_m.max(2.5) + walked;
                 let bearing = 50.0 - 45.0 * walked / 17.0;
                 let rx_pos = Point::new(
-                    (tx.position.x + d * bearing.to_radians().cos())
-                        .min(room.width_m - 0.5),
-                    (tx.position.y + d * bearing.to_radians().sin())
-                        .min(room.depth_m - 0.5),
+                    (tx.position.x + d * bearing.to_radians().cos()).min(room.width_m - 0.5),
+                    (tx.position.y + d * bearing.to_radians().sin()).min(room.depth_m - 0.5),
                 );
                 // The client faces the AP throughout the walk.
                 let rx = Pose::new(rx_pos, rx_pos.bearing_deg(tx.position));
@@ -233,7 +233,14 @@ pub fn run_cots(scenario: &CotsScenario, cfg: &CotsConfig) -> CotsRunLog {
     let mut sector: Option<BeamId> = if cfg.ba_enabled {
         ba_count += 1;
         t_ms += cfg.profile.ba_overhead_ms;
-        tx_sweep(&scene, &rays, &codebook, cfg.profile.sweep_noise_sigma_db, &mut rng).best_beam
+        tx_sweep(
+            &scene,
+            &rays,
+            &codebook,
+            cfg.profile.sweep_noise_sigma_db,
+            &mut rng,
+        )
+        .best_beam
     } else {
         Some(cfg.fixed_sector)
     };
@@ -262,9 +269,7 @@ pub fn run_cots(scenario: &CotsScenario, cfg: &CotsConfig) -> CotsRunLog {
         }
 
         // Fade process (more frequent while the user walks).
-        if fade_left == 0
-            && rng.gen::<f64>() < cfg.profile.fade_prob * scenario.fade_multiplier()
-        {
+        if fade_left == 0 && rng.gen::<f64>() < cfg.profile.fade_prob * scenario.fade_multiplier() {
             fade_left = 1 + (rng.gen::<f64>() * 2.0 * cfg.profile.fade_len_ampdus as f64) as usize;
         }
         let fade_db = if fade_left > 0 {
@@ -366,7 +371,10 @@ pub fn run_cots(scenario: &CotsScenario, cfg: &CotsConfig) -> CotsRunLog {
             )
             .best_beam;
             if new_sector != sector {
-                timeline.push(SectorEvent { t_ms, sector: new_sector });
+                timeline.push(SectorEvent {
+                    t_ms,
+                    sector: new_sector,
+                });
             }
             sector = new_sector;
             // After re-training the device retries at its recent rate;
@@ -411,7 +419,10 @@ pub fn best_fixed_sector_run(
             seed,
         };
         let log = run_cots(scenario, &cfg);
-        if best.as_ref().map_or(true, |(_, b)| log.bytes_delivered > b.bytes_delivered) {
+        if best
+            .as_ref()
+            .map_or(true, |(_, b)| log.bytes_delivered > b.bytes_delivered)
+        {
             best = Some((s, log));
         }
     }
@@ -435,18 +446,37 @@ mod tests {
 
     #[test]
     fn static_phone_flaps() {
-        let log = quick(DeviceProfile::rog_phone(), CotsScenario::Static { distance_m: 9.0 }, 1);
+        let log = quick(
+            DeviceProfile::rog_phone(),
+            CotsScenario::Static { distance_m: 9.0 },
+            1,
+        );
         // Fig. 1a: >100 triggers per 60 s and ~6 sectors → expect ≥ 10
         // triggers and ≥ 2 sectors in 10 s.
-        assert!(log.ba_trigger_count >= 10, "triggers {}", log.ba_trigger_count);
-        assert!(log.distinct_sectors >= 2, "sectors {}", log.distinct_sectors);
+        assert!(
+            log.ba_trigger_count >= 10,
+            "triggers {}",
+            log.ba_trigger_count
+        );
+        assert!(
+            log.distinct_sectors >= 2,
+            "sectors {}",
+            log.distinct_sectors
+        );
     }
 
     #[test]
     fn static_ap_flaps_less_than_phone() {
-        let phone =
-            quick(DeviceProfile::rog_phone(), CotsScenario::Static { distance_m: 9.0 }, 2);
-        let ap = quick(DeviceProfile::talon_ap(), CotsScenario::Static { distance_m: 9.0 }, 2);
+        let phone = quick(
+            DeviceProfile::rog_phone(),
+            CotsScenario::Static { distance_m: 9.0 },
+            2,
+        );
+        let ap = quick(
+            DeviceProfile::talon_ap(),
+            CotsScenario::Static { distance_m: 9.0 },
+            2,
+        );
         assert!(
             ap.ba_trigger_count < phone.ba_trigger_count,
             "ap {} !< phone {}",
@@ -457,14 +487,21 @@ mod tests {
 
     #[test]
     fn static_link_carries_traffic() {
-        let log = quick(DeviceProfile::talon_ap(), CotsScenario::Static { distance_m: 9.0 }, 3);
+        let log = quick(
+            DeviceProfile::talon_ap(),
+            CotsScenario::Static { distance_m: 9.0 },
+            3,
+        );
         assert!(log.mean_tput_mbps > 500.0, "tput {}", log.mean_tput_mbps);
     }
 
     #[test]
     fn blockage_still_delivers_via_reflection() {
-        let log =
-            quick(DeviceProfile::talon_ap(), CotsScenario::Blockage { distance_m: 8.0 }, 4);
+        let log = quick(
+            DeviceProfile::talon_ap(),
+            CotsScenario::Blockage { distance_m: 8.0 },
+            4,
+        );
         assert!(log.mean_tput_mbps > 100.0, "tput {}", log.mean_tput_mbps);
     }
 
@@ -501,7 +538,10 @@ mod tests {
 
     #[test]
     fn mobility_scene_moves_rx_and_changes_bearing() {
-        let s = CotsScenario::Mobility { start_m: 2.0, speed_m_per_s: 1.0 };
+        let s = CotsScenario::Mobility {
+            start_m: 2.0,
+            speed_m_per_s: 1.0,
+        };
         let s0 = s.scene_at(0.0);
         let s10 = s.scene_at(10.0);
         let d0 = s0.tx.position.distance(s0.rx.position);
@@ -512,7 +552,9 @@ mod tests {
         let b10 = s10.tx.position.bearing_deg(s10.rx.position);
         assert!((b0 - b10).abs() > 4.0, "bearing should drift: {b0} → {b10}");
         // The client keeps facing the AP.
-        let facing = s10.rx.local_angle_deg(s10.rx.position.bearing_deg(s10.tx.position));
+        let facing = s10
+            .rx
+            .local_angle_deg(s10.rx.position.bearing_deg(s10.tx.position));
         assert!(facing.abs() < 1.0);
     }
 }

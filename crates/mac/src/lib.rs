@@ -25,6 +25,8 @@ pub mod overhead;
 pub mod sweep;
 
 pub use bft::{derive_directional_ba_ms, derive_quasi_omni_ba_ms, BeaconInterval};
-pub use cots::{best_fixed_sector_run, run_cots, CotsConfig, CotsRunLog, CotsScenario, DeviceProfile};
+pub use cots::{
+    best_fixed_sector_run, run_cots, CotsConfig, CotsRunLog, CotsScenario, DeviceProfile,
+};
 pub use overhead::{BaOverheadPreset, ProtocolParams};
 pub use sweep::{exhaustive_sweep, separate_sweep, tx_sweep, PairSweepResult, TxSweepResult};

@@ -46,8 +46,10 @@ impl BaOverheadPreset {
 
     /// The two presets shown in the multi-impairment figures (space
     /// limits trimmed the paper's Figs 12–13 to these).
-    pub const FIGURE12: [BaOverheadPreset; 2] =
-        [BaOverheadPreset::QuasiOmni30, BaOverheadPreset::Directional7];
+    pub const FIGURE12: [BaOverheadPreset; 2] = [
+        BaOverheadPreset::QuasiOmni30,
+        BaOverheadPreset::Directional7,
+    ];
 
     /// BA duration, milliseconds.
     pub fn duration_ms(self) -> f64 {

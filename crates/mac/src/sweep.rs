@@ -82,7 +82,11 @@ pub fn exhaustive_sweep(
     if best < SWEEP_LOCK_THRESHOLD_DB {
         best_pair = None;
     }
-    PairSweepResult { snr_db: snr, best_pair, best_snr_db: best }
+    PairSweepResult {
+        snr_db: snr,
+        best_pair,
+        best_snr_db: best,
+    }
 }
 
 /// Tx-side O(N) sweep with the Rx in quasi-omni (the COTS procedure).
@@ -109,7 +113,11 @@ pub fn tx_sweep(
     if best < SWEEP_LOCK_THRESHOLD_DB {
         best_beam = None;
     }
-    TxSweepResult { snr_db: snr, best_beam, best_snr_db: best }
+    TxSweepResult {
+        snr_db: snr,
+        best_beam,
+        best_snr_db: best,
+    }
 }
 
 /// 802.11ad-style separate training: Tx SLS under quasi-omni reception,

@@ -1,0 +1,73 @@
+//! The shared prediction-only interface.
+//!
+//! Training and serving have different shapes: fitting wants hyper-
+//! parameters, an RNG, and a mutable model, while serving only ever asks
+//! "which class is this row?". [`Classifier`] captures the serving half,
+//! so simulators, compiled inference engines (`libra_infer`), and the
+//! fitted models of this crate are interchangeable behind one trait.
+
+/// A fitted classifier: maps feature rows to class indices.
+///
+/// Implementors must be deterministic — the same row always yields the
+/// same class — and `predict` must agree element-wise with repeated
+/// `predict_one` calls (the default implementation guarantees this).
+pub trait Classifier {
+    /// Predicted class index for one feature row.
+    fn predict_one(&self, row: &[f64]) -> usize;
+
+    /// Predicted class indices for many rows.
+    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+}
+
+/// Forwards the trait to the inherent `predict_one`/`predict` methods
+/// every fitted model in this crate already provides.
+macro_rules! impl_classifier {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl Classifier for $ty {
+            fn predict_one(&self, row: &[f64]) -> usize {
+                <$ty>::predict_one(self, row)
+            }
+            fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+                <$ty>::predict(self, rows)
+            }
+        }
+    )+};
+}
+
+impl_classifier!(
+    crate::tree::DecisionTree,
+    crate::forest::RandomForest,
+    crate::svm::SvmClassifier,
+    crate::nn::NeuralNet,
+    crate::knn::KnnClassifier,
+    crate::gbdt::GbdtClassifier,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+    use crate::tree::{DecisionTree, TreeConfig};
+    use libra_util::rng::rng_from_seed;
+
+    #[test]
+    fn trait_and_inherent_predictions_agree() {
+        let data = Dataset::new(
+            vec![vec![0.0], vec![0.2], vec![1.0], vec![1.2]],
+            vec![0, 0, 1, 1],
+            2,
+            vec!["x".into()],
+        );
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        let mut rng = rng_from_seed(1);
+        tree.fit(&data, &mut rng);
+        let via_trait: &dyn Classifier = &tree;
+        assert_eq!(
+            via_trait.predict(&data.features),
+            tree.predict(&data.features)
+        );
+        assert_eq!(via_trait.predict_one(&[0.1]), tree.predict_one(&[0.1]));
+    }
+}

@@ -3,6 +3,7 @@
 //! repeated with random splits, reporting accuracy and weighted F1), and
 //! train-on-A / test-on-B evaluation for the cross-building study.
 
+use crate::classify::Classifier;
 use crate::data::Dataset;
 use crate::forest::{ForestConfig, RandomForest};
 use crate::gbdt::{GbdtClassifier, GbdtConfig};
@@ -26,77 +27,45 @@ pub trait Model {
     fn name(&self) -> &'static str;
 }
 
-impl Model for DecisionTree {
-    fn fit(&mut self, data: &Dataset, mut rng: &mut dyn RngCore) {
-        DecisionTree::fit(self, data, &mut rng)
-    }
-    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        DecisionTree::predict(self, rows)
-    }
-    fn name(&self) -> &'static str {
-        "DT"
-    }
+/// Every fitted model already implements [`Classifier`], so a `Model`
+/// impl only has to add a display name and adapt the fit signature —
+/// stochastic trainers thread the harness RNG through, deterministic
+/// ones (`seedless`) ignore it.
+macro_rules! impl_model {
+    ($ty:ty, $name:literal, seeded) => {
+        impl Model for $ty {
+            fn fit(&mut self, data: &Dataset, mut rng: &mut dyn RngCore) {
+                <$ty>::fit(self, data, &mut rng)
+            }
+            fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+                Classifier::predict(self, rows)
+            }
+            fn name(&self) -> &'static str {
+                $name
+            }
+        }
+    };
+    ($ty:ty, $name:literal, seedless) => {
+        impl Model for $ty {
+            fn fit(&mut self, data: &Dataset, _rng: &mut dyn RngCore) {
+                <$ty>::fit(self, data)
+            }
+            fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+                Classifier::predict(self, rows)
+            }
+            fn name(&self) -> &'static str {
+                $name
+            }
+        }
+    };
 }
 
-impl Model for RandomForest {
-    fn fit(&mut self, data: &Dataset, mut rng: &mut dyn RngCore) {
-        RandomForest::fit(self, data, &mut rng)
-    }
-    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        RandomForest::predict(self, rows)
-    }
-    fn name(&self) -> &'static str {
-        "RF"
-    }
-}
-
-impl Model for SvmClassifier {
-    fn fit(&mut self, data: &Dataset, mut rng: &mut dyn RngCore) {
-        SvmClassifier::fit(self, data, &mut rng)
-    }
-    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        SvmClassifier::predict(self, rows)
-    }
-    fn name(&self) -> &'static str {
-        "SVM"
-    }
-}
-
-impl Model for NeuralNet {
-    fn fit(&mut self, data: &Dataset, mut rng: &mut dyn RngCore) {
-        NeuralNet::fit(self, data, &mut rng)
-    }
-    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        NeuralNet::predict(self, rows)
-    }
-    fn name(&self) -> &'static str {
-        "DNN"
-    }
-}
-
-impl Model for KnnClassifier {
-    fn fit(&mut self, data: &Dataset, _rng: &mut dyn RngCore) {
-        KnnClassifier::fit(self, data)
-    }
-    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        KnnClassifier::predict(self, rows)
-    }
-    fn name(&self) -> &'static str {
-        "kNN"
-    }
-}
-
-impl Model for GbdtClassifier {
-    fn fit(&mut self, data: &Dataset, _rng: &mut dyn RngCore) {
-        GbdtClassifier::fit(self, data)
-    }
-    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        GbdtClassifier::predict(self, rows)
-    }
-    fn name(&self) -> &'static str {
-        "GBDT"
-    }
-}
+impl_model!(DecisionTree, "DT", seeded);
+impl_model!(RandomForest, "RF", seeded);
+impl_model!(SvmClassifier, "SVM", seeded);
+impl_model!(NeuralNet, "DNN", seeded);
+impl_model!(KnnClassifier, "kNN", seedless);
+impl_model!(GbdtClassifier, "GBDT", seedless);
 
 /// The four model families of §6.2, with the hyper-parameters that gave
 /// the paper its "best combination of parameters".
@@ -118,8 +87,12 @@ pub enum ModelKind {
 
 impl ModelKind {
     /// The paper's four models, in the order it reports them.
-    pub const ALL: [ModelKind; 4] =
-        [ModelKind::DecisionTree, ModelKind::RandomForest, ModelKind::Svm, ModelKind::NeuralNet];
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::DecisionTree,
+        ModelKind::RandomForest,
+        ModelKind::Svm,
+        ModelKind::NeuralNet,
+    ];
 
     /// The extended set: the paper's four plus the extension baselines.
     pub const EXTENDED: [ModelKind; 6] = [
@@ -193,8 +166,9 @@ pub fn cross_validate(
             data.stratified_folds(k, &mut rng)
         })
         .collect();
-    let cells: Vec<(usize, usize)> =
-        (0..repeats).flat_map(|r| (0..k).map(move |h| (r, h))).collect();
+    let cells: Vec<(usize, usize)> = (0..repeats)
+        .flat_map(|r| (0..k).map(move |h| (r, h)))
+        .collect();
     let scores: Vec<(f64, f64)> = par_map(&cells, |_, &(r, held_out)| {
         let folds = &fold_sets[r];
         let test_idx = &folds[held_out];
@@ -207,31 +181,38 @@ pub fn cross_validate(
         let train = data.subset(&train_idx);
         let test = data.subset(test_idx);
         let rep_seed = derive_seed_index(seed, r as u64);
-        let mut rng =
-            rng_from_seed(derive_seed_index(derive_seed(rep_seed, "fit"), held_out as u64));
+        let mut rng = rng_from_seed(derive_seed_index(
+            derive_seed(rep_seed, "fit"),
+            held_out as u64,
+        ));
         let mut model = kind.build();
         model.fit(&train, &mut rng);
         let pred = model.predict(&test.features);
-        (accuracy(&test.labels, &pred), weighted_f1(&test.labels, &pred, data.n_classes))
+        (
+            accuracy(&test.labels, &pred),
+            weighted_f1(&test.labels, &pred, data.n_classes),
+        )
     });
     let accs: Vec<f64> = scores.iter().map(|s| s.0).collect();
     let f1s: Vec<f64> = scores.iter().map(|s| s.1).collect();
-    CvResult { accuracy: mean(&accs), weighted_f1: mean(&f1s), fold_accuracies: accs }
+    CvResult {
+        accuracy: mean(&accs),
+        weighted_f1: mean(&f1s),
+        fold_accuracies: accs,
+    }
 }
 
 /// Train on one dataset, evaluate on another (the cross-building study of
 /// §6.2). Returns `(accuracy, weighted F1)`.
-pub fn train_test_eval(
-    kind: ModelKind,
-    train: &Dataset,
-    test: &Dataset,
-    seed: u64,
-) -> (f64, f64) {
+pub fn train_test_eval(kind: ModelKind, train: &Dataset, test: &Dataset, seed: u64) -> (f64, f64) {
     let mut rng = rng_from_seed(seed);
     let mut model = kind.build();
     model.fit(train, &mut rng);
     let pred = model.predict(&test.features);
-    (accuracy(&test.labels, &pred), weighted_f1(&test.labels, &pred, train.n_classes))
+    (
+        accuracy(&test.labels, &pred),
+        weighted_f1(&test.labels, &pred, train.n_classes),
+    )
 }
 
 fn mean(xs: &[f64]) -> f64 {

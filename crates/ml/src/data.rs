@@ -45,7 +45,12 @@ impl Dataset {
             features.iter().flatten().all(|v| !v.is_nan()),
             "NaN features must be sanitized before model fitting"
         );
-        Self { features, labels, n_classes, feature_names }
+        Self {
+            features,
+            labels,
+            n_classes,
+            feature_names,
+        }
     }
 
     /// Number of rows.
@@ -143,13 +148,20 @@ impl Standardizer {
 
     /// Transforms one row.
     pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
-        row.iter().zip(self.mean.iter().zip(&self.sd)).map(|(&v, (m, s))| (v - m) / s).collect()
+        row.iter()
+            .zip(self.mean.iter().zip(&self.sd))
+            .map(|(&v, (m, s))| (v - m) / s)
+            .collect()
     }
 
     /// Transforms a whole dataset.
     pub fn transform(&self, data: &Dataset) -> Dataset {
         Dataset {
-            features: data.features.iter().map(|r| self.transform_row(r)).collect(),
+            features: data
+                .features
+                .iter()
+                .map(|r| self.transform_row(r))
+                .collect(),
             labels: data.labels.clone(),
             n_classes: data.n_classes,
             feature_names: data.feature_names.clone(),

@@ -51,7 +51,12 @@ pub struct RandomForest {
 impl RandomForest {
     /// Creates an unfitted forest.
     pub fn new(config: ForestConfig) -> Self {
-        Self { config, trees: Vec::new(), n_classes: 0, n_features: 0 }
+        Self {
+            config,
+            trees: Vec::new(),
+            n_classes: 0,
+            n_features: 0,
+        }
     }
 
     /// Fits the forest: each tree sees a bootstrap resample of the data
@@ -75,8 +80,9 @@ impl RandomForest {
             let mut tree_rng =
                 libra_util::rng::rng_from_seed(derive_seed_index(base_seed, t as u64));
             // Bootstrap resample.
-            let idx: Vec<usize> =
-                (0..data.len()).map(|_| tree_rng.gen_range(0..data.len())).collect();
+            let idx: Vec<usize> = (0..data.len())
+                .map(|_| tree_rng.gen_range(0..data.len()))
+                .collect();
             let sample = data.subset(&idx);
             let mut tree = DecisionTree::new(TreeConfig {
                 impurity: config.impurity,
@@ -142,6 +148,22 @@ impl RandomForest {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// The fitted member trees, in vote order (engine compilation,
+    /// inspection).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Number of classes the forest was fitted on.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of features the forest was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
 }
 
 #[cfg(test)]
@@ -176,7 +198,10 @@ mod tests {
     fn forest_fits_moons_well() {
         let train = moons(300, 1);
         let test = moons(120, 2);
-        let mut rf = RandomForest::new(ForestConfig { n_trees: 40, ..Default::default() });
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 40,
+            ..Default::default()
+        });
         let mut rng = rng_from_seed(3);
         rf.fit(&train, &mut rng);
         let acc = accuracy(&test.labels, &rf.predict(&test.features));
@@ -188,10 +213,17 @@ mod tests {
         let train = moons(300, 4);
         let test = moons(150, 5);
         let mut rng = rng_from_seed(6);
-        let mut tree = DecisionTree::new(TreeConfig { max_depth: 3, ..Default::default() });
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: 3,
+            ..Default::default()
+        });
         tree.fit(&train, &mut rng);
         let tree_acc = accuracy(&test.labels, &tree.predict(&test.features));
-        let mut rf = RandomForest::new(ForestConfig { n_trees: 60, max_depth: 10, ..Default::default() });
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 60,
+            max_depth: 10,
+            ..Default::default()
+        });
         rf.fit(&train, &mut rng);
         let rf_acc = accuracy(&test.labels, &rf.predict(&test.features));
         assert!(rf_acc >= tree_acc, "rf {rf_acc} < tree {tree_acc}");
@@ -200,7 +232,10 @@ mod tests {
     #[test]
     fn probabilities_normalized() {
         let data = moons(100, 7);
-        let mut rf = RandomForest::new(ForestConfig { n_trees: 10, ..Default::default() });
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 10,
+            ..Default::default()
+        });
         let mut rng = rng_from_seed(8);
         rf.fit(&data, &mut rng);
         let p = rf.predict_proba_one(&data.features[0]);
@@ -226,7 +261,10 @@ mod tests {
         let data = moons(120, 21);
         let fit_at = |threads: usize| {
             libra_util::par::set_threads(threads);
-            let mut rf = RandomForest::new(ForestConfig { n_trees: 12, ..Default::default() });
+            let mut rf = RandomForest::new(ForestConfig {
+                n_trees: 12,
+                ..Default::default()
+            });
             let mut rng = rng_from_seed(5);
             rf.fit(&data, &mut rng);
             libra_util::par::set_threads(0);
@@ -239,7 +277,10 @@ mod tests {
     fn deterministic_given_seed() {
         let data = moons(80, 11);
         let fit = |seed| {
-            let mut rf = RandomForest::new(ForestConfig { n_trees: 5, ..Default::default() });
+            let mut rf = RandomForest::new(ForestConfig {
+                n_trees: 5,
+                ..Default::default()
+            });
             let mut rng = rng_from_seed(seed);
             rf.fit(&data, &mut rng);
             rf.predict(&data.features)

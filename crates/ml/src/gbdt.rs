@@ -28,22 +28,62 @@ pub struct GbdtConfig {
 
 impl Default for GbdtConfig {
     fn default() -> Self {
-        Self { n_rounds: 60, learning_rate: 0.15, max_depth: 3, min_samples_leaf: 4, lambda: 1.0 }
+        Self {
+            n_rounds: 60,
+            learning_rate: 0.15,
+            max_depth: 3,
+            min_samples_leaf: 4,
+            lambda: 1.0,
+        }
     }
+}
+
+/// One node of a fitted regression tree in the flat, index-linked export
+/// form produced by [`GbdtClassifier::dump_boosters`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DumpRegNode {
+    /// A leaf carrying its Newton-step value.
+    Leaf {
+        /// Value added to the booster's raw score.
+        value: f64,
+    },
+    /// An internal split; `row[feature] <= threshold` goes left.
+    Split {
+        /// Feature column tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Index of the left child in the dump vector.
+        left: usize,
+        /// Index of the right child in the dump vector.
+        right: usize,
+    },
 }
 
 /// A regression tree over gradient/hessian statistics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum RegNode {
-    Leaf { value: f64 },
-    Split { feature: usize, threshold: f64, left: Box<RegNode>, right: Box<RegNode> },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<RegNode>,
+        right: Box<RegNode>,
+    },
 }
 
 impl RegNode {
     fn predict(&self, row: &[f64]) -> f64 {
         match self {
             RegNode::Leaf { value } => *value,
-            RegNode::Split { feature, threshold, left, right } => {
+            RegNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if row[*feature] <= *threshold {
                     left.predict(row)
                 } else {
@@ -75,7 +115,9 @@ fn build_tree(
     let g_sum: f64 = idx.iter().map(|&i| g[i]).sum();
     let h_sum: f64 = idx.iter().map(|&i| h[i]).sum();
     if depth >= cfg.max_depth || idx.len() < 2 * cfg.min_samples_leaf {
-        return RegNode::Leaf { value: leaf_value(g_sum, h_sum, cfg.lambda) };
+        return RegNode::Leaf {
+            value: leaf_value(g_sum, h_sum, cfg.lambda),
+        };
     }
 
     let parent_gain = gain(g_sum, h_sum, cfg.lambda);
@@ -101,21 +143,28 @@ fn build_tree(
             if nl < cfg.min_samples_leaf || nr < cfg.min_samples_leaf {
                 continue;
             }
-            let improvement = gain(gl, hl, cfg.lambda)
-                + gain(g_sum - gl, h_sum - hl, cfg.lambda)
-                - parent_gain;
-            if best.as_ref().map_or(improvement > 1e-12, |&(_, _, b)| improvement > b) {
-                let thr = if v.is_finite() && v_next.is_finite() { (v + v_next) / 2.0 } else { v };
+            let improvement =
+                gain(gl, hl, cfg.lambda) + gain(g_sum - gl, h_sum - hl, cfg.lambda) - parent_gain;
+            if best
+                .as_ref()
+                .map_or(improvement > 1e-12, |&(_, _, b)| improvement > b)
+            {
+                let thr = if v.is_finite() && v_next.is_finite() {
+                    (v + v_next) / 2.0
+                } else {
+                    v
+                };
                 best = Some((f, thr, improvement));
             }
         }
     }
 
     let Some((feature, threshold, _)) = best else {
-        return RegNode::Leaf { value: leaf_value(g_sum, h_sum, cfg.lambda) };
+        return RegNode::Leaf {
+            value: leaf_value(g_sum, h_sum, cfg.lambda),
+        };
     };
-    let (li, ri): (Vec<usize>, Vec<usize>) =
-        idx.iter().partition(|&&i| x[i][feature] <= threshold);
+    let (li, ri): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| x[i][feature] <= threshold);
     RegNode::Split {
         feature,
         threshold,
@@ -136,7 +185,11 @@ pub struct GbdtClassifier {
 impl GbdtClassifier {
     /// Creates an unfitted classifier.
     pub fn new(config: GbdtConfig) -> Self {
-        Self { config, boosters: Vec::new(), n_classes: 0 }
+        Self {
+            config,
+            boosters: Vec::new(),
+            n_classes: 0,
+        }
     }
 
     /// Trains one-vs-rest boosters.
@@ -147,8 +200,11 @@ impl GbdtClassifier {
         let idx: Vec<usize> = (0..n).collect();
         self.boosters = (0..data.n_classes)
             .map(|c| {
-                let y: Vec<f64> =
-                    data.labels.iter().map(|&l| if l == c { 1.0 } else { 0.0 }).collect();
+                let y: Vec<f64> = data
+                    .labels
+                    .iter()
+                    .map(|&l| if l == c { 1.0 } else { 0.0 })
+                    .collect();
                 let pos = y.iter().sum::<f64>().clamp(1e-6, n as f64 - 1e-6);
                 let base = (pos / (n as f64 - pos)).ln();
                 let mut scores = vec![base; n];
@@ -178,8 +234,7 @@ impl GbdtClassifier {
         self.boosters
             .iter()
             .map(|(base, trees)| {
-                base + self.config.learning_rate
-                    * trees.iter().map(|t| t.predict(row)).sum::<f64>()
+                base + self.config.learning_rate * trees.iter().map(|t| t.predict(row)).sum::<f64>()
             })
             .collect()
     }
@@ -204,6 +259,66 @@ impl GbdtClassifier {
     pub fn n_trees(&self) -> usize {
         self.boosters.first().map_or(0, |(_, t)| t.len())
     }
+
+    /// Number of classes the classifier was fitted on.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The shrinkage applied to every tree's contribution.
+    pub fn learning_rate(&self) -> f64 {
+        self.config.learning_rate
+    }
+
+    /// Exports each class's booster as `(base score, flat trees)` in
+    /// class order — the raw material inference engines compile from.
+    /// Within each tree, node 0 is the root and child fields index into
+    /// that tree's dump vector.
+    pub fn dump_boosters(&self) -> Vec<(f64, Vec<Vec<DumpRegNode>>)> {
+        fn walk(node: &RegNode, out: &mut Vec<DumpRegNode>) -> usize {
+            match node {
+                RegNode::Leaf { value } => {
+                    out.push(DumpRegNode::Leaf { value: *value });
+                    out.len() - 1
+                }
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let at = out.len();
+                    out.push(DumpRegNode::Split {
+                        feature: *feature,
+                        threshold: *threshold,
+                        left: 0,
+                        right: 0,
+                    });
+                    let li = walk(left, out);
+                    let ri = walk(right, out);
+                    if let DumpRegNode::Split { left, right, .. } = &mut out[at] {
+                        *left = li;
+                        *right = ri;
+                    }
+                    at
+                }
+            }
+        }
+        self.boosters
+            .iter()
+            .map(|(base, trees)| {
+                let flat = trees
+                    .iter()
+                    .map(|t| {
+                        let mut out = Vec::new();
+                        walk(t, &mut out);
+                        out
+                    })
+                    .collect();
+                (*base, flat)
+            })
+            .collect()
+    }
 }
 
 fn sigmoid(x: f64) -> f64 {
@@ -224,8 +339,11 @@ mod tests {
         for i in 0..n {
             let t = std::f64::consts::PI * (i as f64 / n as f64);
             let c = i % 2;
-            let (mut x, mut y) =
-                if c == 0 { (t.cos(), t.sin()) } else { (1.0 - t.cos(), 0.5 - t.sin()) };
+            let (mut x, mut y) = if c == 0 {
+                (t.cos(), t.sin())
+            } else {
+                (1.0 - t.cos(), 0.5 - t.sin())
+            };
             x += 0.12 * standard_normal(&mut rng);
             y += 0.12 * standard_normal(&mut rng);
             features.push(vec![x, y]);
@@ -260,7 +378,10 @@ mod tests {
             labels.push(c);
         }
         let data = Dataset::new(features, labels, 3, vec!["x".into(), "y".into()]);
-        let mut g = GbdtClassifier::new(GbdtConfig { n_rounds: 30, ..Default::default() });
+        let mut g = GbdtClassifier::new(GbdtConfig {
+            n_rounds: 30,
+            ..Default::default()
+        });
         g.fit(&data);
         let acc = accuracy(&data.labels, &g.predict(&data.features));
         assert!(acc > 0.96, "accuracy {acc}");
@@ -271,7 +392,10 @@ mod tests {
     fn more_rounds_do_not_hurt_training_fit() {
         let train = moons(200, 4);
         let fit_with = |rounds| {
-            let mut g = GbdtClassifier::new(GbdtConfig { n_rounds: rounds, ..Default::default() });
+            let mut g = GbdtClassifier::new(GbdtConfig {
+                n_rounds: rounds,
+                ..Default::default()
+            });
             g.fit(&train);
             accuracy(&train.labels, &g.predict(&train.features))
         };
@@ -282,7 +406,10 @@ mod tests {
     fn deterministic() {
         let train = moons(100, 5);
         let run = || {
-            let mut g = GbdtClassifier::new(GbdtConfig { n_rounds: 10, ..Default::default() });
+            let mut g = GbdtClassifier::new(GbdtConfig {
+                n_rounds: 10,
+                ..Default::default()
+            });
             g.fit(&train);
             g.predict(&train.features)
         };

@@ -19,7 +19,10 @@ pub struct KnnConfig {
 
 impl Default for KnnConfig {
     fn default() -> Self {
-        Self { k: 5, distance_weighted: true }
+        Self {
+            k: 5,
+            distance_weighted: true,
+        }
     }
 }
 
@@ -37,7 +40,13 @@ impl KnnClassifier {
     /// Creates an unfitted classifier.
     pub fn new(config: KnnConfig) -> Self {
         assert!(config.k >= 1, "k must be at least 1");
-        Self { config, train_x: Vec::new(), train_y: Vec::new(), n_classes: 0, standardizer: None }
+        Self {
+            config,
+            train_x: Vec::new(),
+            train_y: Vec::new(),
+            n_classes: 0,
+            standardizer: None,
+        }
     }
 
     /// "Fits" by memorizing the standardized training set.
@@ -69,7 +78,11 @@ impl KnnClassifier {
         dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
         let mut votes = vec![0.0f64; self.n_classes];
         for &(d2, y) in &dists[..k] {
-            let w = if self.config.distance_weighted { 1.0 / (d2.sqrt() + 1e-9) } else { 1.0 };
+            let w = if self.config.distance_weighted {
+                1.0 / (d2.sqrt() + 1e-9)
+            } else {
+                1.0
+            };
             votes[y] += w;
         }
         votes
@@ -121,7 +134,10 @@ mod tests {
     #[test]
     fn k1_memorizes_training_set() {
         let train = blobs(80, 3);
-        let mut knn = KnnClassifier::new(KnnConfig { k: 1, distance_weighted: false });
+        let mut knn = KnnClassifier::new(KnnConfig {
+            k: 1,
+            distance_weighted: false,
+        });
         knn.fit(&train);
         let acc = accuracy(&train.labels, &knn.predict(&train.features));
         assert_eq!(acc, 1.0);
@@ -130,7 +146,10 @@ mod tests {
     #[test]
     fn k_larger_than_dataset_is_clamped() {
         let train = blobs(6, 4);
-        let mut knn = KnnClassifier::new(KnnConfig { k: 50, distance_weighted: false });
+        let mut knn = KnnClassifier::new(KnnConfig {
+            k: 50,
+            distance_weighted: false,
+        });
         knn.fit(&train);
         // With k = n and uniform weights this is just the majority class.
         let p = knn.predict_one(&[0.0, 0.0]);
@@ -140,19 +159,31 @@ mod tests {
     #[test]
     fn distance_weighting_beats_uniform_on_boundary_points() {
         let train = blobs(150, 5);
-        let mut uni = KnnClassifier::new(KnnConfig { k: 15, distance_weighted: false });
-        let mut wei = KnnClassifier::new(KnnConfig { k: 15, distance_weighted: true });
+        let mut uni = KnnClassifier::new(KnnConfig {
+            k: 15,
+            distance_weighted: false,
+        });
+        let mut wei = KnnClassifier::new(KnnConfig {
+            k: 15,
+            distance_weighted: true,
+        });
         uni.fit(&train);
         wei.fit(&train);
         let test = blobs(100, 6);
         let au = accuracy(&test.labels, &uni.predict(&test.features));
         let aw = accuracy(&test.labels, &wei.predict(&test.features));
-        assert!(aw + 0.05 >= au, "weighted {aw} much worse than uniform {au}");
+        assert!(
+            aw + 0.05 >= au,
+            "weighted {aw} much worse than uniform {au}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "k must be at least 1")]
     fn rejects_zero_k() {
-        KnnClassifier::new(KnnConfig { k: 0, distance_weighted: false });
+        KnnClassifier::new(KnnConfig {
+            k: 0,
+            distance_weighted: false,
+        });
     }
 }

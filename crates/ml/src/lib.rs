@@ -19,26 +19,31 @@
 //! * [`metrics`] — accuracy, weighted F1, confusion matrices.
 //! * [`cv`] — the evaluation protocols: repeated stratified k-fold CV
 //!   and cross-dataset train/test.
+//! * [`classify`] — the shared prediction-only [`Classifier`] trait
+//!   implemented by every fitted model (and by the compiled engines of
+//!   `libra_infer`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod classify;
 pub mod cv;
 pub mod data;
+pub mod forest;
 pub mod gbdt;
 pub mod knn;
-pub mod forest;
 pub mod metrics;
 pub mod nn;
 pub mod svm;
 pub mod tree;
 
+pub use classify::Classifier;
 pub use cv::{cross_validate, train_test_eval, CvResult, Model, ModelKind};
 pub use data::{Dataset, Standardizer};
 pub use forest::{ForestConfig, RandomForest};
-pub use gbdt::{GbdtClassifier, GbdtConfig};
+pub use gbdt::{DumpRegNode, GbdtClassifier, GbdtConfig};
 pub use knn::{KnnClassifier, KnnConfig};
 pub use metrics::{accuracy, confusion_matrix, weighted_f1};
 pub use nn::{NeuralNet, NnConfig};
 pub use svm::{Kernel, SvmClassifier, SvmConfig};
-pub use tree::{DecisionTree, Impurity, TreeConfig};
+pub use tree::{DecisionTree, DumpNode, Impurity, TreeConfig};

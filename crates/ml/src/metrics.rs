@@ -28,8 +28,14 @@ pub fn f1_per_class(truth: &[usize], pred: &[usize], n_classes: usize) -> Vec<f6
     (0..n_classes)
         .map(|c| {
             let tp = m[c][c] as f64;
-            let fp: f64 = (0..n_classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
-            let fn_: f64 = (0..n_classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+            let fp: f64 = (0..n_classes)
+                .filter(|&t| t != c)
+                .map(|t| m[t][c] as f64)
+                .sum();
+            let fn_: f64 = (0..n_classes)
+                .filter(|&p| p != c)
+                .map(|p| m[c][p] as f64)
+                .sum();
             if tp == 0.0 {
                 0.0
             } else {
@@ -53,7 +59,10 @@ pub fn weighted_f1(truth: &[usize], pred: &[usize], n_classes: usize) -> f64 {
         support[t] += 1;
     }
     let total = truth.len() as f64;
-    f1.iter().zip(&support).map(|(f, &s)| f * s as f64 / total).sum()
+    f1.iter()
+        .zip(&support)
+        .map(|(f, &s)| f * s as f64 / total)
+        .sum()
 }
 
 #[cfg(test)]

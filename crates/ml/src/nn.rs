@@ -62,7 +62,9 @@ impl Layer {
     fn new(inputs: usize, outputs: usize, rng: &mut impl Rng) -> Self {
         // He initialization for ReLU layers.
         let scale = (2.0 / inputs as f64).sqrt();
-        let w = (0..inputs * outputs).map(|_| scale * standard_normal(rng)).collect();
+        let w = (0..inputs * outputs)
+            .map(|_| scale * standard_normal(rng))
+            .collect();
         Self {
             inputs,
             outputs,
@@ -98,7 +100,13 @@ pub struct NeuralNet {
 impl NeuralNet {
     /// Creates an unfitted network.
     pub fn new(config: NnConfig) -> Self {
-        Self { config, layers: Vec::new(), standardizer: None, n_classes: 0, adam_t: 0 }
+        Self {
+            config,
+            layers: Vec::new(),
+            standardizer: None,
+            n_classes: 0,
+            adam_t: 0,
+        }
     }
 
     /// Trains with mini-batch Adam on softmax cross-entropy.
@@ -114,8 +122,10 @@ impl NeuralNet {
         let mut sizes = vec![data.n_features()];
         sizes.extend_from_slice(&self.config.hidden);
         sizes.push(data.n_classes);
-        self.layers =
-            sizes.windows(2).map(|w| Layer::new(w[0], w[1], rng)).collect();
+        self.layers = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], rng))
+            .collect();
 
         let n = scaled.len();
         let mut order: Vec<usize> = (0..n).collect();
@@ -130,10 +140,8 @@ impl NeuralNet {
     fn train_batch(&mut self, data: &Dataset, batch: &[usize], rng: &mut impl Rng) {
         let n_layers = self.layers.len();
         // Gradient accumulators.
-        let mut gw: Vec<Vec<f64>> =
-            self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
-        let mut gb: Vec<Vec<f64>> =
-            self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        let mut gw: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut gb: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
 
         for &i in batch {
             // Forward with dropout.
@@ -146,7 +154,13 @@ impl NeuralNet {
                     let keep = 1.0 - self.config.dropout;
                     let mask: Vec<f64> = z
                         .iter()
-                        .map(|_| if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 })
+                        .map(|_| {
+                            if rng.gen::<f64>() < keep {
+                                1.0 / keep
+                            } else {
+                                0.0
+                            }
+                        })
                         .collect();
                     for (v, m) in z.iter_mut().zip(&mask) {
                         *v = v.max(0.0) * m;
@@ -323,7 +337,10 @@ mod tests {
             labels.push(c);
         }
         let data = Dataset::new(features, labels, 3, vec!["x".into(), "y".into()]);
-        let mut nn = NeuralNet::new(NnConfig { epochs: 60, ..Default::default() });
+        let mut nn = NeuralNet::new(NnConfig {
+            epochs: 60,
+            ..Default::default()
+        });
         nn.fit(&data, &mut rng);
         let acc = accuracy(&data.labels, &nn.predict(&data.features));
         assert!(acc > 0.95, "accuracy {acc}");
@@ -332,7 +349,10 @@ mod tests {
     #[test]
     fn probabilities_valid() {
         let data = xor_dataset(100, 5);
-        let mut nn = NeuralNet::new(NnConfig { epochs: 10, ..Default::default() });
+        let mut nn = NeuralNet::new(NnConfig {
+            epochs: 10,
+            ..Default::default()
+        });
         let mut rng = rng_from_seed(6);
         nn.fit(&data, &mut rng);
         let p = nn.predict_proba_one(&data.features[0]);
@@ -345,7 +365,10 @@ mod tests {
     fn deterministic_given_seed() {
         let data = xor_dataset(60, 7);
         let run = || {
-            let mut nn = NeuralNet::new(NnConfig { epochs: 5, ..Default::default() });
+            let mut nn = NeuralNet::new(NnConfig {
+                epochs: 5,
+                ..Default::default()
+            });
             let mut rng = rng_from_seed(8);
             nn.fit(&data, &mut rng);
             nn.predict(&data.features)

@@ -53,7 +53,13 @@ pub struct SvmConfig {
 
 impl Default for SvmConfig {
     fn default() -> Self {
-        Self { kernel: Kernel::Rbf { gamma: 0.5 }, c: 1.0, tol: 1e-3, max_passes: 5, max_iter: 200 }
+        Self {
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            c: 1.0,
+            tol: 1e-3,
+            max_passes: 5,
+            max_iter: 200,
+        }
     }
 }
 
@@ -85,7 +91,12 @@ impl BinarySvm {
         let mut alpha = vec![0.0f64; n];
         let mut b = 0.0f64;
         let f = |alpha: &[f64], b: f64, k: &Vec<Vec<f64>>, idx: usize| -> f64 {
-            alpha.iter().zip(y).enumerate().map(|(j, (&a, &yj))| a * yj * k[j][idx]).sum::<f64>()
+            alpha
+                .iter()
+                .zip(y)
+                .enumerate()
+                .map(|(j, (&a, &yj))| a * yj * k[j][idx])
+                .sum::<f64>()
                 + b
         };
 
@@ -107,9 +118,15 @@ impl BinarySvm {
                     let ej = f(&alpha, b, &k, j) - y[j];
                     let (ai_old, aj_old) = (alpha[i], alpha[j]);
                     let (lo, hi) = if (y[i] - y[j]).abs() > 1e-12 {
-                        ((aj_old - ai_old).max(0.0), (cfg.c + aj_old - ai_old).min(cfg.c))
+                        (
+                            (aj_old - ai_old).max(0.0),
+                            (cfg.c + aj_old - ai_old).min(cfg.c),
+                        )
                     } else {
-                        ((ai_old + aj_old - cfg.c).max(0.0), (ai_old + aj_old).min(cfg.c))
+                        (
+                            (ai_old + aj_old - cfg.c).max(0.0),
+                            (ai_old + aj_old).min(cfg.c),
+                        )
                     };
                     if (hi - lo).abs() < 1e-12 {
                         continue;
@@ -126,12 +143,10 @@ impl BinarySvm {
                     let ai = ai_old + y[i] * y[j] * (aj_old - aj);
                     alpha[i] = ai;
                     alpha[j] = aj;
-                    let b1 = b - ei
-                        - y[i] * (ai - ai_old) * k[i][i]
-                        - y[j] * (aj - aj_old) * k[i][j];
-                    let b2 = b - ej
-                        - y[i] * (ai - ai_old) * k[i][j]
-                        - y[j] * (aj - aj_old) * k[j][j];
+                    let b1 =
+                        b - ei - y[i] * (ai - ai_old) * k[i][i] - y[j] * (aj - aj_old) * k[i][j];
+                    let b2 =
+                        b - ej - y[i] * (ai - ai_old) * k[i][j] - y[j] * (aj - aj_old) * k[j][j];
                     b = if alpha[i] > 0.0 && alpha[i] < cfg.c {
                         b1
                     } else if alpha[j] > 0.0 && alpha[j] < cfg.c {
@@ -158,7 +173,12 @@ impl BinarySvm {
                 coef.push(alpha[i] * y[i]);
             }
         }
-        Self { support_x, coef, bias: b, kernel: cfg.kernel }
+        Self {
+            support_x,
+            coef,
+            bias: b,
+            kernel: cfg.kernel,
+        }
     }
 
     /// Signed decision value.
@@ -185,7 +205,12 @@ pub struct SvmClassifier {
 impl SvmClassifier {
     /// Creates an unfitted classifier.
     pub fn new(config: SvmConfig) -> Self {
-        Self { config, machines: Vec::new(), standardizer: None, n_classes: 0 }
+        Self {
+            config,
+            machines: Vec::new(),
+            standardizer: None,
+            n_classes: 0,
+        }
     }
 
     /// Fits one one-vs-rest machine per class (a single machine for
@@ -196,7 +221,11 @@ impl SvmClassifier {
         let scaled = std.transform(data);
         self.standardizer = Some(std);
         self.n_classes = data.n_classes;
-        let n_machines = if data.n_classes == 2 { 1 } else { data.n_classes };
+        let n_machines = if data.n_classes == 2 {
+            1
+        } else {
+            data.n_classes
+        };
         self.machines = (0..n_machines)
             .map(|c| {
                 let y: Vec<f64> = scaled
@@ -224,7 +253,9 @@ impl SvmClassifier {
                 .iter()
                 .enumerate()
                 .max_by(|a, b| {
-                    a.1.decision(&row).partial_cmp(&b.1.decision(&row)).expect("finite")
+                    a.1.decision(&row)
+                        .partial_cmp(&b.1.decision(&row))
+                        .expect("finite")
                 })
                 .map(|(i, _)| i)
                 .expect("non-empty")
@@ -343,7 +374,11 @@ mod tests {
         });
         let mut rng = rng_from_seed(5);
         svm.fit(&data, &mut rng);
-        assert!(svm.n_support_vectors() < 100, "sv {}", svm.n_support_vectors());
+        assert!(
+            svm.n_support_vectors() < 100,
+            "sv {}",
+            svm.n_support_vectors()
+        );
         assert!(svm.n_support_vectors() >= 2);
     }
 

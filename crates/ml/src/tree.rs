@@ -27,9 +27,7 @@ impl Impurity {
         }
         let n = total as f64;
         match self {
-            Impurity::Gini => {
-                1.0 - counts.iter().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
-            }
+            Impurity::Gini => 1.0 - counts.iter().map(|&c| (c as f64 / n).powi(2)).sum::<f64>(),
             Impurity::Entropy => -counts
                 .iter()
                 .filter(|&&c| c > 0)
@@ -58,8 +56,35 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { impurity: Impurity::Gini, max_depth: 8, min_samples_split: 4, max_features: None }
+        Self {
+            impurity: Impurity::Gini,
+            max_depth: 8,
+            min_samples_split: 4,
+            max_features: None,
+        }
     }
+}
+
+/// One node of a fitted tree in the flat, index-linked export form
+/// produced by [`DecisionTree::dump_nodes`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DumpNode {
+    /// A leaf.
+    Leaf {
+        /// Class-probability distribution at the leaf.
+        probs: Vec<f64>,
+    },
+    /// An internal split; `row[feature] <= threshold` goes left.
+    Split {
+        /// Feature column tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Index of the left child in the dump vector.
+        left: usize,
+        /// Index of the right child in the dump vector.
+        right: usize,
+    },
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -89,7 +114,12 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Creates an unfitted tree.
     pub fn new(config: TreeConfig) -> Self {
-        Self { config, root: None, n_classes: 0, importances: Vec::new() }
+        Self {
+            config,
+            root: None,
+            n_classes: 0,
+            importances: Vec::new(),
+        }
     }
 
     /// Fits the tree. `rng` is only consumed when `max_features` asks for
@@ -127,7 +157,9 @@ impl DecisionTree {
 
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted child impurity)
         for &f in &feats {
-            if let Some((thr, child_imp)) = best_split_on(data, &idx, f, self.config.impurity, self.n_classes) {
+            if let Some((thr, child_imp)) =
+                best_split_on(data, &idx, f, self.config.impurity, self.n_classes)
+            {
                 if best.as_ref().map_or(true, |&(_, _, bi)| child_imp < bi) {
                     best = Some((f, thr, child_imp));
                 }
@@ -144,11 +176,17 @@ impl DecisionTree {
         self.importances[feature] +=
             (idx.len() as f64 / total as f64 * (node_impurity - child_impurity)).max(0.0);
 
-        let (li, ri): (Vec<usize>, Vec<usize>) =
-            idx.into_iter().partition(|&i| data.features[i][feature] <= threshold);
+        let (li, ri): (Vec<usize>, Vec<usize>) = idx
+            .into_iter()
+            .partition(|&i| data.features[i][feature] <= threshold);
         let left = Box::new(self.build(data, li, depth + 1, total, rng));
         let right = Box::new(self.build(data, ri, depth + 1, total, rng));
-        Node::Split { feature, threshold, left, right }
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        }
     }
 
     /// Class-probability estimate for one row (leaf class distribution).
@@ -157,8 +195,17 @@ impl DecisionTree {
         loop {
             match node {
                 Node::Leaf { probs } => return probs.clone(),
-                Node::Split { feature, threshold, left, right } => {
-                    node = if row[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -184,6 +231,52 @@ impl DecisionTree {
         self.importances.iter().map(|&v| v / total).collect()
     }
 
+    /// Number of classes the tree was fitted on.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Exports the fitted tree as a flat, index-linked node list in
+    /// pre-order (node 0 is the root) — the raw material inference
+    /// engines compile from. Panics if the tree is unfitted.
+    pub fn dump_nodes(&self) -> Vec<DumpNode> {
+        fn walk(node: &Node, out: &mut Vec<DumpNode>) -> usize {
+            match node {
+                Node::Leaf { probs } => {
+                    out.push(DumpNode::Leaf {
+                        probs: probs.clone(),
+                    });
+                    out.len() - 1
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let at = out.len();
+                    out.push(DumpNode::Split {
+                        feature: *feature,
+                        threshold: *threshold,
+                        left: 0,
+                        right: 0,
+                    });
+                    let li = walk(left, out);
+                    let ri = walk(right, out);
+                    if let DumpNode::Split { left, right, .. } = &mut out[at] {
+                        *left = li;
+                        *right = ri;
+                    }
+                    at
+                }
+            }
+        }
+        let root = self.root.as_ref().expect("tree not fitted");
+        let mut out = Vec::new();
+        walk(root, &mut out);
+        out
+    }
+
     /// Depth of the fitted tree (leaf-only tree = 0).
     pub fn depth(&self) -> usize {
         fn d(n: &Node) -> usize {
@@ -198,7 +291,9 @@ impl DecisionTree {
 
 fn leaf(counts: &[usize], n: usize) -> Node {
     let n = n.max(1) as f64;
-    Node::Leaf { probs: counts.iter().map(|&c| c as f64 / n).collect() }
+    Node::Leaf {
+        probs: counts.iter().map(|&c| c as f64 / n).collect(),
+    }
 }
 
 fn class_counts(data: &Dataset, idx: &[usize], n_classes: usize) -> Vec<usize> {
@@ -221,7 +316,9 @@ fn best_split_on(
 ) -> Option<(f64, f64)> {
     let mut order: Vec<usize> = idx.to_vec();
     order.sort_by(|&a, &b| {
-        data.features[a][f].partial_cmp(&data.features[b][f]).expect("no NaN features")
+        data.features[a][f]
+            .partial_cmp(&data.features[b][f])
+            .expect("no NaN features")
     });
 
     let n = order.len();
@@ -247,7 +344,11 @@ fn best_split_on(
             + nr as f64 * impurity.of(&right_counts, nr))
             / n as f64;
         // Midpoint threshold; guards against infinities producing NaN.
-        let thr = if v.is_finite() && v_next.is_finite() { (v + v_next) / 2.0 } else { v };
+        let thr = if v.is_finite() && v_next.is_finite() {
+            (v + v_next) / 2.0
+        } else {
+            v
+        };
         if best.as_ref().map_or(true, |&(_, bw)| wi < bw) {
             best = Some((thr, wi));
         }
@@ -295,7 +396,10 @@ mod tests {
 
     #[test]
     fn respects_max_depth() {
-        let mut tree = DecisionTree::new(TreeConfig { max_depth: 1, ..Default::default() });
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        });
         let data = xor_dataset();
         let mut rng = rng_from_seed(2);
         tree.fit(&data, &mut rng);
@@ -362,7 +466,12 @@ mod tests {
         // ToF differences can be ±∞ in the real pipeline when sanitized
         // as large sentinels; the raw tree must survive ±inf too.
         let data = Dataset::new(
-            vec![vec![f64::NEG_INFINITY], vec![0.0], vec![f64::INFINITY], vec![1.0]],
+            vec![
+                vec![f64::NEG_INFINITY],
+                vec![0.0],
+                vec![f64::INFINITY],
+                vec![1.0],
+            ],
             vec![0, 0, 1, 1],
             2,
             vec!["tof".into()],
@@ -375,9 +484,52 @@ mod tests {
     }
 
     #[test]
+    fn dump_nodes_replays_predictions() {
+        let data = xor_dataset();
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        let mut rng = rng_from_seed(8);
+        tree.fit(&data, &mut rng);
+        let dump = tree.dump_nodes();
+        assert!(
+            matches!(dump[0], DumpNode::Split { .. }),
+            "xor tree must split at the root"
+        );
+        let walk = |row: &[f64]| -> usize {
+            let mut i = 0usize;
+            loop {
+                match &dump[i] {
+                    DumpNode::Leaf { probs } => return argmax(probs),
+                    DumpNode::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        i = if row[*feature] <= *threshold {
+                            *left
+                        } else {
+                            *right
+                        };
+                    }
+                }
+            }
+        };
+        for row in &data.features {
+            assert_eq!(walk(row), tree.predict_one(row));
+        }
+    }
+
+    #[test]
     fn three_class_probabilities() {
         let data = Dataset::new(
-            vec![vec![0.0], vec![0.1], vec![1.0], vec![1.1], vec![2.0], vec![2.1]],
+            vec![
+                vec![0.0],
+                vec![0.1],
+                vec![1.0],
+                vec![1.1],
+                vec![2.0],
+                vec![2.1],
+            ],
             vec![0, 0, 1, 1, 2, 2],
             3,
             vec!["x".into()],

@@ -16,7 +16,10 @@ fn blobs(n: usize, sep: f64, seed: u64) -> Dataset {
     for i in 0..n {
         let c = i % 2;
         let off = if c == 0 { -sep } else { sep };
-        features.push(vec![off + standard_normal(&mut rng), standard_normal(&mut rng)]);
+        features.push(vec![
+            off + standard_normal(&mut rng),
+            standard_normal(&mut rng),
+        ]);
         labels.push(c);
     }
     Dataset::new(features, labels, 2, vec!["x".into(), "y".into()])

@@ -36,14 +36,22 @@ pub struct ErrorModel {
 
 impl Default for ErrorModel {
     fn default() -> Self {
-        Self { steepness_per_db: 2.2, isi_base_db_per_ns: 0.05, isi_step_db_per_ns: 0.09 }
+        Self {
+            steepness_per_db: 2.2,
+            isi_base_db_per_ns: 0.05,
+            isi_step_db_per_ns: 0.09,
+        }
     }
 }
 
 impl ErrorModel {
     /// An error model with the ISI term disabled (ablation baseline).
     pub fn without_isi() -> Self {
-        Self { isi_base_db_per_ns: 0.0, isi_step_db_per_ns: 0.0, ..Self::default() }
+        Self {
+            isi_base_db_per_ns: 0.0,
+            isi_step_db_per_ns: 0.0,
+            ..Self::default()
+        }
     }
 
     /// Effective SNR after the ISI penalty for `mcs`, dB.
@@ -187,7 +195,10 @@ mod tests {
             })
             .unwrap()
             .index;
-        assert!(best_dispersive < best_clean, "{best_dispersive} !< {best_clean}");
+        assert!(
+            best_dispersive < best_clean,
+            "{best_dispersive} !< {best_clean}"
+        );
     }
 
     #[test]
@@ -221,8 +232,10 @@ mod tests {
     fn throughput_peaks_at_interior_mcs_for_mid_snr() {
         let t = McsTable::x60();
         let m = model();
-        let tputs: Vec<f64> =
-            t.iter().map(|e| m.expected_throughput_mbps(e, 12.0, 0.0)).collect();
+        let tputs: Vec<f64> = t
+            .iter()
+            .map(|e| m.expected_throughput_mbps(e, 12.0, 0.0))
+            .collect();
         let argmax = tputs
             .iter()
             .enumerate()

@@ -29,14 +29,22 @@ pub struct FrameConfig {
 impl FrameConfig {
     /// X60 framing: 10 ms frames, 100 slots, 92 codewords per slot.
     pub fn x60() -> Self {
-        Self { frame_duration_us: 10_000.0, slots_per_frame: 100, codewords_per_slot: 92 }
+        Self {
+            frame_duration_us: 10_000.0,
+            slots_per_frame: 100,
+            codewords_per_slot: 92,
+        }
     }
 
     /// 802.11ad framing with the maximum 2 ms AMPDU duration. The slot
     /// subdivision is kept proportional so CDR statistics stay
     /// comparable.
     pub fn ieee80211ad() -> Self {
-        Self { frame_duration_us: 2_000.0, slots_per_frame: 20, codewords_per_slot: 92 }
+        Self {
+            frame_duration_us: 2_000.0,
+            slots_per_frame: 20,
+            codewords_per_slot: 92,
+        }
     }
 
     /// A frame config with a custom frame duration (FAT sweep), keeping
@@ -44,7 +52,11 @@ impl FrameConfig {
     pub fn with_fat_ms(fat_ms: f64) -> Self {
         assert!(fat_ms > 0.0);
         let slots = ((fat_ms * 1000.0 / 100.0).round() as usize).max(1);
-        Self { frame_duration_us: fat_ms * 1000.0, slots_per_frame: slots, codewords_per_slot: 92 }
+        Self {
+            frame_duration_us: fat_ms * 1000.0,
+            slots_per_frame: slots,
+            codewords_per_slot: 92,
+        }
     }
 
     /// Frame duration in milliseconds (`d_fr` of §5.2).
@@ -105,7 +117,10 @@ mod tests {
     #[test]
     fn bytes_scale_with_cdr() {
         let f = FrameConfig::x60();
-        assert_eq!(f.bytes_per_frame(1000.0, 0.5), f.bytes_per_frame(500.0, 1.0));
+        assert_eq!(
+            f.bytes_per_frame(1000.0, 0.5),
+            f.bytes_per_frame(500.0, 1.0)
+        );
         assert_eq!(f.bytes_per_frame(1000.0, 0.0), 0.0);
     }
 }

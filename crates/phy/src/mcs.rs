@@ -53,7 +53,10 @@ impl McsTable {
             entries.iter().enumerate().all(|(i, e)| e.index == i),
             "MCS indices must be 0..n"
         );
-        Self { name: name.to_string(), entries }
+        Self {
+            name: name.to_string(),
+            entries,
+        }
     }
 
     /// The 9-MCS X60 single-carrier table (300 Mbps – 4.75 Gbps).
@@ -63,7 +66,9 @@ impl McsTable {
     /// SNR midpoints follow the usual ~2–2.5 dB per-step ladder for SC
     /// modulation at these spectral efficiencies.
     pub fn x60() -> Self {
-        let rates = [300.0, 850.0, 1400.0, 1950.0, 2500.0, 3050.0, 3600.0, 4200.0, 4750.0];
+        let rates = [
+            300.0, 850.0, 1400.0, 1950.0, 2500.0, 3050.0, 3600.0, 4200.0, 4750.0,
+        ];
         let midpoints = [1.0, 3.5, 6.0, 8.5, 11.0, 13.5, 16.0, 18.5, 21.0];
         let cw_bytes = [180, 270, 360, 450, 540, 660, 780, 920, 1080];
         let entries = (0..9)
@@ -81,10 +86,12 @@ impl McsTable {
     /// indices 0–11), 385 – 4620 Mbps.
     pub fn ieee80211ad() -> Self {
         let rates = [
-            385.0, 770.0, 962.5, 1155.0, 1251.25, 1540.0, 1925.0, 2310.0, 2502.5, 3080.0,
-            3850.0, 4620.0,
+            385.0, 770.0, 962.5, 1155.0, 1251.25, 1540.0, 1925.0, 2310.0, 2502.5, 3080.0, 3850.0,
+            4620.0,
         ];
-        let midpoints = [1.0, 3.0, 4.5, 5.5, 6.5, 8.0, 10.0, 12.0, 13.0, 15.0, 18.0, 21.0];
+        let midpoints = [
+            1.0, 3.0, 4.5, 5.5, 6.5, 8.0, 10.0, 12.0, 13.0, 15.0, 18.0, 21.0,
+        ];
         let entries = (0..12)
             .map(|i| McsEntry {
                 index: i,

@@ -97,8 +97,8 @@ impl PowerDelayProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use libra_channel::{Material, Point, Pose, Room, Scene};
     use libra_arrays::BeamPattern;
+    use libra_channel::{Material, Point, Pose, Room, Scene};
 
     fn scene(dist: f64) -> Scene {
         let room = Room::rectangular("t", 30.0, 3.0, [Material::Drywall; 4]);
@@ -136,7 +136,11 @@ mod tests {
     #[test]
     fn multipath_spreads_energy_over_bins() {
         let pdp = PowerDelayProfile::from_response(&quasi_resp(10.0));
-        let occupied = pdp.bins().iter().filter(|&&p| p > pdp.bins()[0] * 1e-3).count();
+        let occupied = pdp
+            .bins()
+            .iter()
+            .filter(|&&p| p > pdp.bins()[0] * 1e-3)
+            .count();
         assert!(occupied >= 2, "only {occupied} occupied bins");
     }
 

@@ -19,8 +19,8 @@ use crate::error_model::ErrorModel;
 use crate::framing::FrameConfig;
 use crate::mcs::{McsIndex, McsTable};
 use libra_channel::BeamPairResponse;
-use rand::Rng;
 use libra_util::rng::standard_normal as sample_standard_normal;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// What one frame's log line carries.
@@ -51,14 +51,22 @@ pub struct TraceJitter {
 
 impl Default for TraceJitter {
     fn default() -> Self {
-        Self { snr_sigma_db: 0.5, snr_rho: 0.7, noise_sigma_db: 1.5 }
+        Self {
+            snr_sigma_db: 0.5,
+            snr_rho: 0.7,
+            noise_sigma_db: 1.5,
+        }
     }
 }
 
 impl TraceJitter {
     /// No jitter at all (deterministic traces for tests/ablations).
     pub fn none() -> Self {
-        Self { snr_sigma_db: 0.0, snr_rho: 0.0, noise_sigma_db: 0.0 }
+        Self {
+            snr_sigma_db: 0.0,
+            snr_rho: 0.0,
+            noise_sigma_db: 0.0,
+        }
     }
 }
 
@@ -90,10 +98,17 @@ pub fn generate_trace(
             // Binomial(n, p) via normal approximation (n ≈ 9200).
             let mean = cw_per_frame * p;
             let sd = (cw_per_frame * p * (1.0 - p)).sqrt();
-            let delivered =
-                (mean + sd * sample_standard_normal(rng)).round().clamp(0.0, cw_per_frame);
+            let delivered = (mean + sd * sample_standard_normal(rng))
+                .round()
+                .clamp(0.0, cw_per_frame);
             let cdr = delivered / cw_per_frame;
-            FrameLog { snr_db: snr, noise_dbm: noise, cdr, tput_mbps: entry.rate_mbps * cdr, mcs }
+            FrameLog {
+                snr_db: snr,
+                noise_dbm: noise,
+                cdr,
+                tput_mbps: entry.rate_mbps * cdr,
+                mcs,
+            }
         })
         .collect()
 }

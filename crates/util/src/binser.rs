@@ -57,7 +57,10 @@ pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
 
 /// Deserializes a value from bytes produced by [`to_bytes`].
 pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
-    let mut de = BinDeserializer { input: bytes, pos: 0 };
+    let mut de = BinDeserializer {
+        input: bytes,
+        pos: 0,
+    };
     let value = T::deserialize(&mut de)?;
     if de.pos != bytes.len() {
         return Err(Error(format!("{} trailing bytes", bytes.len() - de.pos)));
@@ -322,7 +325,9 @@ impl<'de> BinDeserializer<'de> {
         Ok(s)
     }
     fn get_u64(&mut self) -> Result<u64, Error> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn get_len(&mut self) -> Result<usize, Error> {
         let v = self.get_u64()?;
@@ -343,7 +348,9 @@ impl<'de, 'a> de::Deserializer<'de> for &'a mut BinDeserializer<'de> {
     type Error = Error;
 
     fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
-        Err(Error("binser is not self-describing (deserialize_any unsupported)".into()))
+        Err(Error(
+            "binser is not self-describing (deserialize_any unsupported)".into(),
+        ))
     }
 
     fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
@@ -421,11 +428,17 @@ impl<'de, 'a> de::Deserializer<'de> for &'a mut BinDeserializer<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
         let len = self.get_len()?;
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, Error> {
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -439,7 +452,10 @@ impl<'de, 'a> de::Deserializer<'de> for &'a mut BinDeserializer<'de> {
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
         let len = self.get_len()?;
-        visitor.visit_map(Counted { de: self, remaining: len })
+        visitor.visit_map(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -465,7 +481,9 @@ impl<'de, 'a> de::Deserializer<'de> for &'a mut BinDeserializer<'de> {
     }
 
     fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
-        Err(Error("cannot skip unknown fields in a positional format".into()))
+        Err(Error(
+            "cannot skip unknown fields in a positional format".into(),
+        ))
     }
 }
 
@@ -515,10 +533,7 @@ struct EnumAccess<'a, 'de> {
 impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
     type Error = Error;
     type Variant = Self;
-    fn variant_seed<V: de::DeserializeSeed<'de>>(
-        self,
-        seed: V,
-    ) -> Result<(V::Value, Self), Error> {
+    fn variant_seed<V: de::DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self), Error> {
         let idx = u32::from_le_bytes(self.de.take(4)?.try_into().expect("4 bytes"));
         let value = seed.deserialize(IntoDeserializer::<Error>::into_deserializer(idx))?;
         Ok((value, self))
@@ -602,8 +617,15 @@ mod tests {
         roundtrip(&Kind::Unit);
         roundtrip(&Kind::Newtype(2.5));
         roundtrip(&Kind::Tuple(1, 2));
-        roundtrip(&Kind::Struct { x: -3, label: "hi".into() });
-        let inner = Nested { kinds: vec![Kind::Unit], grid: vec![vec![1.0]], maybe: None };
+        roundtrip(&Kind::Struct {
+            x: -3,
+            label: "hi".into(),
+        });
+        let inner = Nested {
+            kinds: vec![Kind::Unit],
+            grid: vec![vec![1.0]],
+            maybe: None,
+        };
         roundtrip(&Nested {
             kinds: vec![Kind::Newtype(0.5), Kind::Tuple(9, 8)],
             grid: vec![vec![], vec![1.0, 2.0]],

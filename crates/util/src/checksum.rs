@@ -1,0 +1,81 @@
+//! Checksums for on-disk artifacts.
+//!
+//! Two classic hashes, both dependency-free:
+//!
+//! - [`crc32`] — the reflected CRC-32 of IEEE 802.3 (polynomial
+//!   `0xEDB88320`), used to detect corruption in model artifact files.
+//! - [`fnv1a64`] — FNV-1a, used as a cheap content digest when two
+//!   serialized artifacts must be compared for bitwise equality (e.g.
+//!   the 1-vs-N-thread determinism harness).
+
+/// Reflected CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) of `bytes`.
+///
+/// Matches zlib's `crc32()` and POSIX `cksum -o 3`; the check value for
+/// `b"123456789"` is `0xCBF4_3926`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit digest of `bytes`.
+///
+/// Not cryptographic — collisions would need adversarial inputs, far
+/// beyond what a content-equality digest has to resist.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_value() {
+        // The standard CRC-32 check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_empty_and_known_strings() {
+        assert_eq!(crc32(b""), 0);
+        // zlib: crc32("The quick brown fox jumps over the lazy dog")
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flip() {
+        let mut data = b"libra model artifact payload".to_vec();
+        let before = crc32(&data);
+        data[7] ^= 0x10;
+        assert_ne!(before, crc32(&data));
+    }
+
+    #[test]
+    fn fnv1a64_known_vectors() {
+        // Canonical FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digests_differ_for_different_inputs() {
+        assert_ne!(fnv1a64(b"model-a"), fnv1a64(b"model-b"));
+        assert_ne!(crc32(b"model-a"), crc32(b"model-b"));
+    }
+}

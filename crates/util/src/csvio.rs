@@ -132,7 +132,10 @@ mod tests {
         let mut w = CsvWriter::new();
         w.row(["plain", "with,comma", "with\"quote", "multi\nline"]);
         let rows = parse_csv(w.as_str());
-        assert_eq!(rows[0], vec!["plain", "with,comma", "with\"quote", "multi\nline"]);
+        assert_eq!(
+            rows[0],
+            vec!["plain", "with,comma", "with\"quote", "multi\nline"]
+        );
     }
 
     #[test]

@@ -128,7 +128,11 @@ mod tests {
     #[test]
     fn noise_floor_matches_expectation() {
         // -173.93 + 92.46 + 7 = -74.47 dBm
-        assert!(close(noise_floor_dbm(), -74.47, 0.1), "got {}", noise_floor_dbm());
+        assert!(
+            close(noise_floor_dbm(), -74.47, 0.1),
+            "got {}",
+            noise_floor_dbm()
+        );
     }
 
     #[test]

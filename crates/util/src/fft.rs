@@ -29,7 +29,10 @@ impl Complex {
 
     /// `e^{iθ}` — a unit phasor at angle `theta` radians.
     pub fn from_angle(theta: f64) -> Self {
-        Self { re: theta.cos(), im: theta.sin() }
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Magnitude `|z|`.
@@ -44,12 +47,18 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Multiplication by a real scalar.
     pub fn scale(self, k: f64) -> Self {
-        Self { re: self.re * k, im: self.im * k }
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 }
 
@@ -85,7 +94,10 @@ impl Mul for Complex {
 /// this codebase are always 64 taps).
 pub fn fft_in_place(data: &mut [Complex]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }

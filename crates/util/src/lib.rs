@@ -25,15 +25,21 @@
 //!   series without an external CSV dependency.
 //! - [`binser`] — a compact binary serde format (bincode-like) for
 //!   persisting datasets and trained models to disk.
+//! - [`checksum`] — CRC-32 and FNV-1a digests for artifact integrity
+//!   checks and content-equality comparisons.
+//! - [`paths`] — canonical on-disk locations (results root, model
+//!   registry root) with environment-variable overrides.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod binser;
+pub mod checksum;
 pub mod csvio;
 pub mod db;
 pub mod fft;
 pub mod par;
+pub mod paths;
 pub mod rng;
 pub mod stats;
 pub mod table;

@@ -87,7 +87,10 @@ where
                     }
                     local.push((i, f(i)));
                 }
-                collected.lock().expect("result collector poisoned").extend(local);
+                collected
+                    .lock()
+                    .expect("result collector poisoned")
+                    .extend(local);
             });
         }
     });
@@ -152,7 +155,9 @@ mod tests {
         let work = |i: usize| {
             let mut h = i as u64;
             for _ in 0..100 {
-                h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                h = h
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
             }
             h
         };

@@ -1,0 +1,49 @@
+//! Canonical on-disk locations for generated artifacts.
+//!
+//! Everything the toolchain writes lives under a single results root so
+//! that experiment outputs, recorded baselines, and the model registry
+//! stay discoverable and easy to clean. The defaults are relative to the
+//! current working directory (the repository root in normal use) and can
+//! be redirected through environment variables — tests point them at
+//! temporary directories.
+
+use std::path::PathBuf;
+
+/// Environment variable overriding the results root (`results/`).
+pub const RESULTS_DIR_ENV: &str = "LIBRA_RESULTS_DIR";
+
+/// Environment variable overriding the model registry root
+/// (`<results>/models/`).
+pub const MODELS_DIR_ENV: &str = "LIBRA_MODELS_DIR";
+
+/// Root directory for generated artifacts (`results/` unless
+/// `LIBRA_RESULTS_DIR` is set).
+pub fn results_root() -> PathBuf {
+    match std::env::var(RESULTS_DIR_ENV) {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("results"),
+    }
+}
+
+/// Root directory of the model registry (`<results>/models/` unless
+/// `LIBRA_MODELS_DIR` is set).
+pub fn models_root() -> PathBuf {
+    match std::env::var(MODELS_DIR_ENV) {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => results_root().join("models"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_nests_models_under_results() {
+        // Guard against env leakage from the outer test process.
+        if std::env::var(RESULTS_DIR_ENV).is_err() && std::env::var(MODELS_DIR_ENV).is_err() {
+            assert_eq!(results_root(), PathBuf::from("results"));
+            assert_eq!(models_root(), PathBuf::from("results").join("models"));
+        }
+    }
+}

@@ -198,7 +198,14 @@ impl BoxplotSummary {
                 whisker_hi = whisker_hi.max(x);
             }
         }
-        Self { q1, median: med, q3, whisker_lo, whisker_hi, outliers }
+        Self {
+            q1,
+            median: med,
+            q3,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+        }
     }
 }
 
@@ -284,7 +291,9 @@ mod tests {
         let cdf = EmpiricalCdf::new([5.0, 1.0, 3.0]);
         let steps = cdf.steps();
         assert_eq!(steps.len(), 3);
-        assert!(steps.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert!(steps
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
         assert_eq!(steps.last().unwrap().1, 1.0);
     }
 

@@ -24,9 +24,10 @@ fn main() {
     let scenario = CotsScenario::Static { distance_m: 9.1 };
     let duration_s = 30.0;
 
-    for (name, mut profile) in
-        [("ROG phone", DeviceProfile::rog_phone()), ("Talon AP", DeviceProfile::talon_ap())]
-    {
+    for (name, mut profile) in [
+        ("ROG phone", DeviceProfile::rog_phone()),
+        ("Talon AP", DeviceProfile::talon_ap()),
+    ] {
         // Fault injection: extra random ACK losses look like extra fades.
         profile.fade_prob += ack_drop;
         let cfg = CotsConfig {
@@ -57,7 +58,10 @@ fn main() {
     println!("\nlocking the best sector by hand (BA disabled):");
     let (sector, fixed) =
         best_fixed_sector_run(&scenario, &DeviceProfile::talon_ap(), duration_s, 0xC07);
-    println!("  best fixed sector {sector}: {:.0} Mbps", fixed.mean_tput_mbps);
+    println!(
+        "  best fixed sector {sector}: {:.0} Mbps",
+        fixed.mean_tput_mbps
+    );
 
     let cfg = CotsConfig {
         profile: DeviceProfile::talon_ap(),
@@ -67,8 +71,7 @@ fn main() {
         seed: 0xC07,
     };
     let with_ba = run_cots(&scenario, &cfg);
-    let gain =
-        (fixed.mean_tput_mbps - with_ba.mean_tput_mbps) / with_ba.mean_tput_mbps * 100.0;
+    let gain = (fixed.mean_tput_mbps - with_ba.mean_tput_mbps) / with_ba.mean_tput_mbps * 100.0;
     println!(
         "  with BA enabled: {:.0} Mbps → disabling BA is {gain:+.0}% (paper Fig. 1c: +26%)",
         with_ba.mean_tput_mbps

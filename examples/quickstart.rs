@@ -55,7 +55,10 @@ fn main() {
     let sim = SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0));
     let seg = SegmentData::from_entry(entry, 1000.0);
     let state = LinkState::at_mcs(entry.initial.best_mcs());
-    println!("\n  {:14} {:>10} {:>14}", "algorithm", "MB in 1 s", "recovery (ms)");
+    println!(
+        "\n  {:14} {:>10} {:>14}",
+        "algorithm", "MB in 1 s", "recovery (ms)"
+    );
     for policy in [
         PolicyKind::Libra,
         PolicyKind::BaFirst,
@@ -68,7 +71,8 @@ fn main() {
             "  {:14} {:>10.1} {:>14}",
             policy.label(),
             out.bytes / 1e6,
-            out.recovery_delay_ms.map_or("-".to_string(), |d| format!("{d:.1}")),
+            out.recovery_delay_ms
+                .map_or("-".to_string(), |d| format!("{d:.1}")),
         );
     }
 }

@@ -50,33 +50,42 @@ fn main() {
 
     println!("\nlive classifications:");
     let cases = [
-        ("big SNR drop after rotation", Features {
-            snr_diff_db: 18.0,
-            tof_diff_ns: 0.0,
-            noise_diff_db: 0.3,
-            pdp_similarity: 0.85,
-            csi_similarity: 0.6,
-            cdr: 0.0,
-            initial_mcs: 5,
-        }),
-        ("mild drop from backward motion", Features {
-            snr_diff_db: 2.5,
-            tof_diff_ns: -20.0,
-            noise_diff_db: 0.1,
-            pdp_similarity: 1.0,
-            csi_similarity: 0.99,
-            cdr: 0.85,
-            initial_mcs: 8,
-        }),
-        ("nothing changed", Features {
-            snr_diff_db: 0.2,
-            tof_diff_ns: 0.0,
-            noise_diff_db: 0.0,
-            pdp_similarity: 1.0,
-            csi_similarity: 1.0,
-            cdr: 0.99,
-            initial_mcs: 7,
-        }),
+        (
+            "big SNR drop after rotation",
+            Features {
+                snr_diff_db: 18.0,
+                tof_diff_ns: 0.0,
+                noise_diff_db: 0.3,
+                pdp_similarity: 0.85,
+                csi_similarity: 0.6,
+                cdr: 0.0,
+                initial_mcs: 5,
+            },
+        ),
+        (
+            "mild drop from backward motion",
+            Features {
+                snr_diff_db: 2.5,
+                tof_diff_ns: -20.0,
+                noise_diff_db: 0.1,
+                pdp_similarity: 1.0,
+                csi_similarity: 0.99,
+                cdr: 0.85,
+                initial_mcs: 8,
+            },
+        ),
+        (
+            "nothing changed",
+            Features {
+                snr_diff_db: 0.2,
+                tof_diff_ns: 0.0,
+                noise_diff_db: 0.0,
+                pdp_similarity: 1.0,
+                csi_similarity: 1.0,
+                cdr: 0.99,
+                initial_mcs: 7,
+            },
+        ),
     ];
     for (desc, f) in cases {
         let action = match clf.classify(&f) {

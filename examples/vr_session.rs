@@ -19,7 +19,10 @@ fn main() {
         Some("250") => BaOverheadPreset::Directional7,
         _ => BaOverheadPreset::QuasiOmni30,
     };
-    println!("BA overhead: {} — pass 5 / 150 / 250 to change it", ba.label());
+    println!(
+        "BA overhead: {} — pass 5 / 150 / 250 to change it",
+        ba.label()
+    );
 
     let table = McsTable::x60();
     let params = GroundTruthParams::default();
@@ -51,7 +54,10 @@ fn main() {
     sim.min_tput_mbps *= COTS_TPUT_SCALE;
     let instruments = Instruments::default();
 
-    println!("\n{:14} {:>8} {:>18} {:>14}", "policy", "stalls", "total stall (ms)", "mean (ms)");
+    println!(
+        "\n{:14} {:>8} {:>18} {:>14}",
+        "policy", "stalls", "total stall (ms)", "mean (ms)"
+    );
     for policy in [
         PolicyKind::Libra,
         PolicyKind::BaFirst,

@@ -26,7 +26,13 @@ fn campaign_is_bit_reproducible() {
 fn different_seeds_differ() {
     let plan = testing_campaign_plan();
     let a = generate(&plan, &CampaignConfig::default());
-    let b = generate(&plan, &CampaignConfig { seed: 12345, ..CampaignConfig::default() });
+    let b = generate(
+        &plan,
+        &CampaignConfig {
+            seed: 12345,
+            ..CampaignConfig::default()
+        },
+    );
     let differs = a
         .entries
         .iter()
@@ -50,7 +56,10 @@ fn classifier_training_is_reproducible() {
     for entry in &ds.entries {
         assert_eq!(a.classify(&entry.features), b.classify(&entry.features));
     }
-    assert_eq!(a.forest().feature_importances(), b.forest().feature_importances());
+    assert_eq!(
+        a.forest().feature_importances(),
+        b.forest().feature_importances()
+    );
 }
 
 #[test]
@@ -86,7 +95,11 @@ fn timelines_are_reproducible_end_to_end() {
 fn vr_playback_is_deterministic() {
     let mut rng = rng_from_seed(41);
     let trace = VrTrace::synthetic_8k(10.0, 1.2, &mut rng);
-    let spans = [libra::RateSpan { start_ms: 0.0, len_ms: 11_000.0, mbps: 1500.0 }];
+    let spans = [libra::RateSpan {
+        start_ms: 0.0,
+        len_ms: 11_000.0,
+        mbps: 1500.0,
+    }];
     let a = libra::play(&trace, &spans);
     let b = libra::play(&trace, &spans);
     assert_eq!(a.n_stalls, b.n_stalls);

@@ -43,10 +43,18 @@ fn dataset_counts_track_table1() {
     let rows = main_ds().summary(&table(), &params());
     let overall = rows.last().unwrap();
     // Paper Table 1: 668 entries, 488 BA / 180 RA (73 % BA), 118 positions.
-    assert!((600..=800).contains(&overall.total), "total {}", overall.total);
+    assert!(
+        (600..=800).contains(&overall.total),
+        "total {}",
+        overall.total
+    );
     let ba_share = overall.ba as f64 / overall.total as f64;
     assert!((0.6..=0.85).contains(&ba_share), "BA share {ba_share}");
-    assert!((80..=130).contains(&overall.positions), "positions {}", overall.positions);
+    assert!(
+        (80..=130).contains(&overall.positions),
+        "positions {}",
+        overall.positions
+    );
 }
 
 #[test]
@@ -86,17 +94,23 @@ fn random_forest_reaches_paper_accuracy_band() {
 fn cross_building_accuracy_drops_but_stays_useful() {
     let train = main_ds().to_ml(&table(), &params());
     let held = test_ds().to_ml(&table(), &params());
-    let (acc, _) =
-        libra_ml::train_test_eval(libra_ml::ModelKind::RandomForest, &train, &held, 6);
+    let (acc, _) = libra_ml::train_test_eval(libra_ml::ModelKind::RandomForest, &train, &held, 6);
     let cv = libra_ml::cross_validate(libra_ml::ModelKind::RandomForest, &train, 5, 1, 6);
     // Paper: 98 % → 88 %. The drop exists but accuracy stays well above
     // the majority-class baseline.
-    assert!(acc < cv.accuracy, "no generalization gap: {acc} vs {}", cv.accuracy);
+    assert!(
+        acc < cv.accuracy,
+        "no generalization gap: {acc} vs {}",
+        cv.accuracy
+    );
     let majority = {
         let counts = held.class_counts();
         *counts.iter().max().unwrap() as f64 / held.len() as f64
     };
-    assert!(acc > majority + 0.05, "cross-building acc {acc} vs majority {majority}");
+    assert!(
+        acc > majority + 0.05,
+        "cross-building acc {acc} vs majority {majority}"
+    );
 }
 
 #[test]
@@ -170,7 +184,11 @@ fn ground_truth_action_actually_wins_in_simulation() {
         let state = LinkState::at_mcs(entry.initial.best_mcs());
         let ra = libra::sim::execute(&seg, libra_dataset::Action3::Ra, state, &sim);
         let ba = libra::sim::execute(&seg, libra_dataset::Action3::Ba, state, &sim);
-        let sim_winner = if ra.bytes >= ba.bytes { Action::Ra } else { Action::Ba };
+        let sim_winner = if ra.bytes >= ba.bytes {
+            Action::Ra
+        } else {
+            Action::Ba
+        };
         total += 1;
         if sim_winner == gt.label {
             agree += 1;
