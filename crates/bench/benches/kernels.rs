@@ -112,21 +112,22 @@ fn bench_ml(c: &mut Criterion) {
     let mut rf = RandomForest::new(ForestConfig::default());
     let mut rng = rng_from_seed(4);
     rf.fit(&data, &mut rng);
-    let row = data.features[0].clone();
+    let row = data.row(0).to_vec();
     c.bench_function("ml/forest_predict_one", |b| b.iter(|| rf.predict_one(&row)));
 }
 
 fn bench_simulator(c: &mut Criterion) {
     let seg = SegmentData {
         old: ConfigData {
-            tput_mbps: vec![300.0, 850.0, 1400.0, 1950.0, 90.0, 0.0, 0.0, 0.0, 0.0],
-            cdr: vec![1.0, 1.0, 1.0, 0.97, 0.03, 0.0, 0.0, 0.0, 0.0],
+            tput_mbps: vec![300.0, 850.0, 1400.0, 1950.0, 90.0, 0.0, 0.0, 0.0, 0.0].into(),
+            cdr: vec![1.0, 1.0, 1.0, 0.97, 0.03, 0.0, 0.0, 0.0, 0.0].into(),
         },
         best: ConfigData {
             tput_mbps: vec![
                 300.0, 850.0, 1400.0, 1950.0, 2500.0, 3000.0, 1500.0, 0.0, 0.0,
-            ],
-            cdr: vec![1.0, 1.0, 1.0, 1.0, 0.99, 0.95, 0.4, 0.0, 0.0],
+            ]
+            .into(),
+            cdr: vec![1.0, 1.0, 1.0, 1.0, 0.99, 0.95, 0.4, 0.0, 0.0].into(),
         },
         features: Features {
             snr_diff_db: 9.0,

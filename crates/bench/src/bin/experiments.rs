@@ -11,7 +11,9 @@
 //!
 //! Artifact names: fig1 fig2 fig3 table1 table2 fig4 fig5 fig6 fig7 fig8
 //! fig9 cv crossbuilding table3 threeclass extmodels fig10 fig11 fig12 fig13
-//! table4 ablations inferbench.
+//! table4 ablations inferbench trainbench. The microbenchmarks also
+//! record their measurements to `results/infer_bench.txt` and
+//! `results/train_bench.txt`.
 //!
 //! `--model NAME[@VER]` (or a file path) runs the evaluation against a
 //! frozen model artifact from the registry instead of retraining the
@@ -25,7 +27,7 @@
 //! against that baseline, or `speedup n/a` when no usable baseline entry
 //! exists (missing file, stale format, zero/non-finite timings).
 
-use libra_bench::{ablation, context, evaluation, motivation, serving, study};
+use libra_bench::{ablation, context, evaluation, motivation, serving, study, trainbench};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -136,7 +138,8 @@ fn main() {
     if wanted.is_empty() {
         eprintln!(
             "usage: experiments [--csv-dir DIR] [--threads N] [--model NAME[@VER]|PATH] \
-             [all|quick|fig1..fig13|table1..table4|cv|crossbuilding|threeclass|ablations|inferbench]"
+             [all|quick|fig1..fig13|table1..table4|cv|crossbuilding|threeclass|ablations\
+             |inferbench|trainbench]"
         );
         std::process::exit(2);
     }
@@ -268,6 +271,9 @@ fn main() {
     // --- serving ----------------------------------------------------------
     section("inferbench", &mut || {
         serving::serving_bench(opts.bench_passes)
+    });
+    section("trainbench", &mut || {
+        trainbench::train_bench(opts.bench_passes)
     });
 
     if sequential {

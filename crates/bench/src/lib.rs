@@ -21,6 +21,7 @@
 //! | [`evaluation`] | E11–E15: Figs 10–13, Table 4 |
 //! | [`ablation`] | DESIGN.md §5 ablations |
 //! | [`serving`] | inference microbenchmark: recursive vs flattened engine |
+//! | [`trainbench`] | training microbenchmark: row-oriented vs columnar fits |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,3 +32,4 @@ pub mod evaluation;
 pub mod motivation;
 pub mod serving;
 pub mod study;
+pub mod trainbench;

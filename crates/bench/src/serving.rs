@@ -42,26 +42,29 @@ fn time_passes<F: FnMut() -> Vec<usize>>(passes: usize, mut run: F) -> (f64, Vec
 }
 
 /// Runs the microbenchmark: `passes` timed prediction passes over the
-/// full campaign feature matrix per engine. Panics if the two engines
-/// ever disagree on a single row — speed without identity is worthless.
+/// full campaign feature matrix per engine. Both engines read borrowed
+/// row slices straight out of the columnar frame — no per-pass feature
+/// copies. Panics if the two engines ever disagree on a single row —
+/// speed without identity is worthless.
 pub fn serving_bench(passes: usize) -> String {
     let data = main_dataset().to_ml_3class(&table(), &gt_params());
-    let rows = &data.features;
+    let view = data.view();
     let recursive = recursive_reference();
     let engine = classifier().engine();
 
     // Prediction identity on every row of the §5 campaign dataset.
-    let reference = recursive.predict(rows);
-    let flat = engine.predict_batch(rows);
+    let reference = recursive.predict_view(&view);
+    let mut flat = Vec::new();
+    engine.predict_batch_view(&view, &mut flat);
     assert_eq!(
         reference, flat,
         "flattened engine diverged from the recursive forest on the campaign dataset"
     );
 
-    let (rec_s, rec_preds) = time_passes(passes, || recursive.predict(rows));
+    let (rec_s, rec_preds) = time_passes(passes, || recursive.predict_view(&view));
     let mut out = Vec::new();
     let (flat_s, flat_preds) = time_passes(passes, || {
-        engine.predict_batch_into(rows, &mut out);
+        engine.predict_batch_view(&view, &mut out);
         out.clone()
     });
     assert_eq!(
@@ -69,12 +72,12 @@ pub fn serving_bench(passes: usize) -> String {
         "engines diverged during timing passes"
     );
 
-    let n = (rows.len() * passes) as f64;
+    let n = (data.len() * passes) as f64;
     let mut t = TextTable::new(["engine", "rows/pass", "passes", "total (s)", "Mrows/s"]);
     for (name, secs) in [("recursive", rec_s), ("flat", flat_s)] {
         t.row([
             name.to_string(),
-            rows.len().to_string(),
+            data.len().to_string(),
             passes.to_string(),
             fmt_f(secs, 3),
             fmt_f(n / secs / 1e6, 2),
@@ -85,7 +88,7 @@ pub fn serving_bench(passes: usize) -> String {
         "Inference serving: {} trees, {} nodes, {} rows\n{}flat engine speedup: {:.2}x\n",
         engine.n_trees(),
         engine.n_nodes(),
-        rows.len(),
+        data.len(),
         t.render(),
         speedup
     );

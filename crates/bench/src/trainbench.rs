@@ -1,0 +1,881 @@
+//! Training-throughput microbenchmark: row-oriented training (the frozen
+//! pre-columnar implementations) vs the columnar [`libra_ml`] frame path.
+//!
+//! The columnar refactor moved every split scan from `rows[i][f]` chasing
+//! to contiguous per-feature columns. This section keeps the historical
+//! row-oriented trainers alive verbatim — same arithmetic, same RNG draw
+//! order — as both the *recorded baseline* for throughput comparisons and
+//! the *bitwise referee*: before timing anything it refits every model
+//! pair from one seed and panics unless predictions, Gini importances,
+//! and (for GBDT) the dumped booster structure are exactly identical.
+//! Measurements go to `results/train_bench.txt`, mirroring the inference
+//! microbenchmark of [`crate::serving`].
+
+use crate::context::{gt_params, main_dataset, table};
+use libra_ml::{
+    Dataset, DecisionTree, DumpRegNode, ForestConfig, GbdtClassifier, GbdtConfig, Impurity,
+    KnnClassifier, KnnConfig, RandomForest, TreeConfig,
+};
+use libra_util::par::par_map_index;
+use libra_util::rng::{derive_seed_index, rng_from_seed};
+use libra_util::table::{fmt_f, TextTable};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::time::Instant;
+
+/// Seed every benchmark fit derives from: both engines see the same draws.
+pub const TRAIN_SEED: u64 = 0x5EED;
+
+/// Where the microbenchmark records its measurements.
+pub fn report_path() -> std::path::PathBuf {
+    libra_util::paths::results_root().join("train_bench.txt")
+}
+
+/// The row-major training-set layout the pre-columnar trainers consumed:
+/// one heap-allocated `Vec<f64>` per row.
+#[derive(Debug, Clone)]
+pub struct RowMatrix {
+    /// Feature rows.
+    pub rows: Vec<Vec<f64>>,
+    /// Class label per row.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl RowMatrix {
+    /// Materializes the row-oriented copy of a columnar frame.
+    pub fn from_frame(frame: &Dataset) -> Self {
+        Self {
+            rows: frame.to_rows(),
+            labels: frame.labels.clone(),
+            n_classes: frame.n_classes,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn n_features(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+}
+
+fn impurity_of(imp: Impurity, counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    match imp {
+        Impurity::Gini => 1.0 - counts.iter().map(|&c| (c as f64 / n).powi(2)).sum::<f64>(),
+        Impurity::Entropy => -counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                p * p.log2()
+            })
+            .sum::<f64>(),
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+#[derive(Debug, Clone)]
+enum RowNode {
+    Leaf {
+        probs: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<RowNode>,
+        right: Box<RowNode>,
+    },
+}
+
+fn row_leaf(counts: &[usize], n: usize) -> RowNode {
+    let n = n.max(1) as f64;
+    RowNode::Leaf {
+        probs: counts.iter().map(|&c| c as f64 / n).collect(),
+    }
+}
+
+fn row_class_counts(data: &RowMatrix, idx: &[usize], n_classes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_classes];
+    for &i in idx {
+        counts[data.labels[i]] += 1;
+    }
+    counts
+}
+
+fn row_best_split_on(
+    data: &RowMatrix,
+    idx: &[usize],
+    f: usize,
+    impurity: Impurity,
+    n_classes: usize,
+) -> Option<(f64, f64)> {
+    let mut order: Vec<usize> = idx.to_vec();
+    order.sort_by(|&a, &b| {
+        data.rows[a][f]
+            .partial_cmp(&data.rows[b][f])
+            .expect("no NaN features")
+    });
+
+    let n = order.len();
+    let mut left_counts = vec![0usize; n_classes];
+    let mut right_counts = vec![0usize; n_classes];
+    for &i in &order {
+        right_counts[data.labels[i]] += 1;
+    }
+
+    let mut best: Option<(f64, f64)> = None;
+    for k in 0..n - 1 {
+        let i = order[k];
+        left_counts[data.labels[i]] += 1;
+        right_counts[data.labels[i]] -= 1;
+        let v = data.rows[i][f];
+        let v_next = data.rows[order[k + 1]][f];
+        if v == v_next {
+            continue; // threshold must separate distinct values
+        }
+        let nl = k + 1;
+        let nr = n - nl;
+        let wi = (nl as f64 * impurity_of(impurity, &left_counts, nl)
+            + nr as f64 * impurity_of(impurity, &right_counts, nr))
+            / n as f64;
+        let thr = if v.is_finite() && v_next.is_finite() {
+            (v + v_next) / 2.0
+        } else {
+            v
+        };
+        if best.as_ref().map_or(true, |&(_, bw)| wi < bw) {
+            best = Some((thr, wi));
+        }
+    }
+    best
+}
+
+/// The frozen row-oriented CART trainer (pre-columnar `DecisionTree`).
+#[derive(Debug, Clone)]
+pub struct RowTree {
+    config: TreeConfig,
+    root: Option<RowNode>,
+    n_classes: usize,
+    importances: Vec<f64>,
+}
+
+impl RowTree {
+    /// Creates an unfitted tree.
+    pub fn new(config: TreeConfig) -> Self {
+        Self {
+            config,
+            root: None,
+            n_classes: 0,
+            importances: Vec::new(),
+        }
+    }
+
+    /// Fits the tree over row-major storage; the RNG is consumed exactly
+    /// as the columnar trainer consumes it.
+    pub fn fit(&mut self, data: &RowMatrix, rng: &mut impl Rng) {
+        assert!(!data.rows.is_empty(), "cannot fit on empty dataset");
+        self.n_classes = data.n_classes;
+        self.importances = vec![0.0; data.n_features()];
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let total = data.len();
+        self.root = Some(self.build(data, idx, 0, total, rng));
+    }
+
+    fn build(
+        &mut self,
+        data: &RowMatrix,
+        idx: Vec<usize>,
+        depth: usize,
+        total: usize,
+        rng: &mut impl Rng,
+    ) -> RowNode {
+        let counts = row_class_counts(data, &idx, self.n_classes);
+        let node_impurity = impurity_of(self.config.impurity, &counts, idx.len());
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        if pure || depth >= self.config.max_depth || idx.len() < self.config.min_samples_split {
+            return row_leaf(&counts, idx.len());
+        }
+
+        let n_features = data.n_features();
+        let mut feats: Vec<usize> = (0..n_features).collect();
+        if let Some(k) = self.config.max_features {
+            feats.shuffle(rng);
+            feats.truncate(k.clamp(1, n_features));
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &f in &feats {
+            if let Some((thr, child_imp)) =
+                row_best_split_on(data, &idx, f, self.config.impurity, self.n_classes)
+            {
+                if best.as_ref().map_or(true, |&(_, _, bi)| child_imp < bi) {
+                    best = Some((f, thr, child_imp));
+                }
+            }
+        }
+
+        let Some((feature, threshold, child_impurity)) = best else {
+            return row_leaf(&counts, idx.len());
+        };
+        self.importances[feature] +=
+            (idx.len() as f64 / total as f64 * (node_impurity - child_impurity)).max(0.0);
+
+        let (li, ri): (Vec<usize>, Vec<usize>) = idx
+            .into_iter()
+            .partition(|&i| data.rows[i][feature] <= threshold);
+        let left = Box::new(self.build(data, li, depth + 1, total, rng));
+        let right = Box::new(self.build(data, ri, depth + 1, total, rng));
+        RowNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        }
+    }
+
+    /// Predicted class for one row.
+    pub fn predict_one(&self, row: &[f64]) -> usize {
+        let mut node = self.root.as_ref().expect("tree not fitted");
+        loop {
+            match node {
+                RowNode::Leaf { probs } => return argmax(probs),
+                RowNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Mean class-probability distribution at the reached leaf.
+    fn proba_one(&self, row: &[f64]) -> Vec<f64> {
+        let mut node = self.root.as_ref().expect("tree not fitted");
+        loop {
+            match node {
+                RowNode::Leaf { probs } => return probs.clone(),
+                RowNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Normalized Gini importances (matches the columnar trainer).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let total: f64 = self.importances.iter().sum();
+        if total <= 0.0 {
+            return self.importances.clone();
+        }
+        self.importances.iter().map(|&v| v / total).collect()
+    }
+}
+
+/// The frozen row-oriented forest trainer (pre-columnar `RandomForest`):
+/// every tree clones its bootstrap sample into fresh row vectors.
+#[derive(Debug, Clone)]
+pub struct RowForest {
+    config: ForestConfig,
+    trees: Vec<RowTree>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl RowForest {
+    /// Creates an unfitted forest.
+    pub fn new(config: ForestConfig) -> Self {
+        Self {
+            config,
+            trees: Vec::new(),
+            n_classes: 0,
+            n_features: 0,
+        }
+    }
+
+    /// Fits the forest with the historical cloned-subset bootstrap; seed
+    /// derivation matches the columnar trainer draw for draw.
+    pub fn fit(&mut self, data: &RowMatrix, rng: &mut impl Rng) {
+        assert!(!data.rows.is_empty(), "cannot fit on empty dataset");
+        self.n_classes = data.n_classes;
+        self.n_features = data.n_features();
+        let config = self.config;
+        let mtry = config
+            .max_features
+            .unwrap_or_else(|| (data.n_features() as f64).sqrt().ceil() as usize)
+            .clamp(1, data.n_features());
+        let base_seed: u64 = rng.gen();
+        self.trees = par_map_index(config.n_trees, |t| {
+            let mut tree_rng = rng_from_seed(derive_seed_index(base_seed, t as u64));
+            let idx: Vec<usize> = (0..data.len())
+                .map(|_| tree_rng.gen_range(0..data.len()))
+                .collect();
+            // The historical per-tree materialized resample.
+            let sample = RowMatrix {
+                rows: idx.iter().map(|&i| data.rows[i].clone()).collect(),
+                labels: idx.iter().map(|&i| data.labels[i]).collect(),
+                n_classes: data.n_classes,
+            };
+            let mut tree = RowTree::new(TreeConfig {
+                impurity: config.impurity,
+                max_depth: config.max_depth,
+                min_samples_split: config.min_samples_split,
+                max_features: Some(mtry),
+            });
+            tree.fit(&sample, &mut tree_rng);
+            tree
+        });
+    }
+
+    /// Predicted class for one row (soft vote, as the columnar forest).
+    pub fn predict_one(&self, row: &[f64]) -> usize {
+        assert!(!self.trees.is_empty(), "forest not fitted");
+        let mut probs = vec![0.0; self.n_classes];
+        for tree in &self.trees {
+            for (p, q) in probs.iter_mut().zip(tree.proba_one(row)) {
+                *p += q;
+            }
+        }
+        let n = self.trees.len() as f64;
+        for p in &mut probs {
+            *p /= n;
+        }
+        argmax(&probs)
+    }
+
+    /// Gini importances averaged over member trees.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.n_features];
+        for tree in &self.trees {
+            for (a, b) in imp.iter_mut().zip(tree.feature_importances()) {
+                *a += b;
+            }
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+}
+
+#[derive(Debug, Clone)]
+enum RowRegNode {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<RowRegNode>,
+        right: Box<RowRegNode>,
+    },
+}
+
+impl RowRegNode {
+    fn predict(&self, row: &[f64]) -> f64 {
+        match self {
+            RowRegNode::Leaf { value } => *value,
+            RowRegNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if row[*feature] <= *threshold {
+                    left.predict(row)
+                } else {
+                    right.predict(row)
+                }
+            }
+        }
+    }
+
+    fn dump(&self, out: &mut Vec<DumpRegNode>) -> usize {
+        match self {
+            RowRegNode::Leaf { value } => {
+                out.push(DumpRegNode::Leaf { value: *value });
+                out.len() - 1
+            }
+            RowRegNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let at = out.len();
+                out.push(DumpRegNode::Split {
+                    feature: *feature,
+                    threshold: *threshold,
+                    left: 0,
+                    right: 0,
+                });
+                let li = left.dump(out);
+                let ri = right.dump(out);
+                if let DumpRegNode::Split { left, right, .. } = &mut out[at] {
+                    *left = li;
+                    *right = ri;
+                }
+                at
+            }
+        }
+    }
+}
+
+fn reg_leaf_value(g: f64, h: f64, lambda: f64) -> f64 {
+    g / (h + lambda)
+}
+
+fn reg_gain(g: f64, h: f64, lambda: f64) -> f64 {
+    g * g / (h + lambda)
+}
+
+fn row_build_reg_tree(
+    x: &[Vec<f64>],
+    g: &[f64],
+    h: &[f64],
+    idx: &[usize],
+    depth: usize,
+    cfg: &GbdtConfig,
+) -> RowRegNode {
+    let g_sum: f64 = idx.iter().map(|&i| g[i]).sum();
+    let h_sum: f64 = idx.iter().map(|&i| h[i]).sum();
+    if depth >= cfg.max_depth || idx.len() < 2 * cfg.min_samples_leaf {
+        return RowRegNode::Leaf {
+            value: reg_leaf_value(g_sum, h_sum, cfg.lambda),
+        };
+    }
+
+    let parent_gain = reg_gain(g_sum, h_sum, cfg.lambda);
+    let n_features = x[0].len();
+    let mut best: Option<(usize, f64, f64)> = None;
+
+    for f in 0..n_features {
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("no NaN features"));
+        let mut gl = 0.0;
+        let mut hl = 0.0;
+        for k in 0..order.len() - 1 {
+            let i = order[k];
+            gl += g[i];
+            hl += h[i];
+            let v = x[i][f];
+            let v_next = x[order[k + 1]][f];
+            if v == v_next {
+                continue;
+            }
+            let nl = k + 1;
+            let nr = order.len() - nl;
+            if nl < cfg.min_samples_leaf || nr < cfg.min_samples_leaf {
+                continue;
+            }
+            let improvement = reg_gain(gl, hl, cfg.lambda)
+                + reg_gain(g_sum - gl, h_sum - hl, cfg.lambda)
+                - parent_gain;
+            if best
+                .as_ref()
+                .map_or(improvement > 1e-12, |&(_, _, b)| improvement > b)
+            {
+                let thr = if v.is_finite() && v_next.is_finite() {
+                    (v + v_next) / 2.0
+                } else {
+                    v
+                };
+                best = Some((f, thr, improvement));
+            }
+        }
+    }
+
+    let Some((feature, threshold, _)) = best else {
+        return RowRegNode::Leaf {
+            value: reg_leaf_value(g_sum, h_sum, cfg.lambda),
+        };
+    };
+    let (li, ri): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| x[i][feature] <= threshold);
+    RowRegNode::Split {
+        feature,
+        threshold,
+        left: Box::new(row_build_reg_tree(x, g, h, &li, depth + 1, cfg)),
+        right: Box::new(row_build_reg_tree(x, g, h, &ri, depth + 1, cfg)),
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// The frozen row-oriented gradient-boosting trainer (pre-columnar
+/// `GbdtClassifier`).
+#[derive(Debug, Clone)]
+pub struct RowGbdt {
+    config: GbdtConfig,
+    boosters: Vec<(f64, Vec<RowRegNode>)>,
+}
+
+impl RowGbdt {
+    /// Creates an unfitted classifier.
+    pub fn new(config: GbdtConfig) -> Self {
+        Self {
+            config,
+            boosters: Vec::new(),
+        }
+    }
+
+    /// Trains one-vs-rest boosters over row-major storage.
+    pub fn fit(&mut self, data: &RowMatrix) {
+        assert!(!data.rows.is_empty(), "cannot fit on empty dataset");
+        let n = data.len();
+        let idx: Vec<usize> = (0..n).collect();
+        self.boosters = (0..data.n_classes)
+            .map(|c| {
+                let y: Vec<f64> = data
+                    .labels
+                    .iter()
+                    .map(|&l| if l == c { 1.0 } else { 0.0 })
+                    .collect();
+                let pos = y.iter().sum::<f64>().clamp(1e-6, n as f64 - 1e-6);
+                let base = (pos / (n as f64 - pos)).ln();
+                let mut scores = vec![base; n];
+                let mut trees = Vec::with_capacity(self.config.n_rounds);
+                for _ in 0..self.config.n_rounds {
+                    let mut g = vec![0.0; n];
+                    let mut h = vec![0.0; n];
+                    for i in 0..n {
+                        let p = sigmoid(scores[i]);
+                        g[i] = y[i] - p;
+                        h[i] = (p * (1.0 - p)).max(1e-9);
+                    }
+                    let tree = row_build_reg_tree(&data.rows, &g, &h, &idx, 0, &self.config);
+                    for i in 0..n {
+                        scores[i] += self.config.learning_rate * tree.predict(&data.rows[i]);
+                    }
+                    trees.push(tree);
+                }
+                (base, trees)
+            })
+            .collect();
+    }
+
+    /// Predicted class for one row.
+    pub fn predict_one(&self, row: &[f64]) -> usize {
+        assert!(!self.boosters.is_empty(), "GBDT not fitted");
+        let scores: Vec<f64> = self
+            .boosters
+            .iter()
+            .map(|(base, trees)| {
+                base + self.config.learning_rate * trees.iter().map(|t| t.predict(row)).sum::<f64>()
+            })
+            .collect();
+        argmax(&scores)
+    }
+
+    /// Flat export of every booster, comparable with
+    /// [`GbdtClassifier::dump_boosters`].
+    pub fn dump_boosters(&self) -> Vec<(f64, Vec<Vec<DumpRegNode>>)> {
+        self.boosters
+            .iter()
+            .map(|(base, trees)| {
+                let dumped = trees
+                    .iter()
+                    .map(|t| {
+                        let mut out = Vec::new();
+                        t.dump(&mut out);
+                        out
+                    })
+                    .collect();
+                (*base, dumped)
+            })
+            .collect()
+    }
+}
+
+/// The frozen row-oriented k-NN (pre-columnar `KnnClassifier`): memorizes
+/// a *second* scaled copy of every training row.
+#[derive(Debug, Clone)]
+pub struct RowKnn {
+    config: KnnConfig,
+    train_x: Vec<Vec<f64>>,
+    train_y: Vec<usize>,
+    n_classes: usize,
+    mean: Vec<f64>,
+    sd: Vec<f64>,
+}
+
+impl RowKnn {
+    /// Creates an unfitted classifier.
+    pub fn new(config: KnnConfig) -> Self {
+        assert!(config.k >= 1, "k must be at least 1");
+        Self {
+            config,
+            train_x: Vec::new(),
+            train_y: Vec::new(),
+            n_classes: 0,
+            mean: Vec::new(),
+            sd: Vec::new(),
+        }
+    }
+
+    /// "Fits" by standardizing and re-cloning the whole training set.
+    pub fn fit(&mut self, data: &RowMatrix) {
+        assert!(!data.rows.is_empty(), "cannot fit on empty dataset");
+        let n = data.len().max(1) as f64;
+        let d = data.n_features();
+        let mut mean = vec![0.0; d];
+        for row in &data.rows {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v / n;
+            }
+        }
+        let mut sd = vec![0.0; d];
+        for row in &data.rows {
+            for ((s, m), &v) in sd.iter_mut().zip(&mean).zip(row) {
+                *s += (v - m) * (v - m) / n;
+            }
+        }
+        for s in &mut sd {
+            *s = s.sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        self.train_x = data
+            .rows
+            .iter()
+            .map(|row| scale_row(row, &mean, &sd))
+            .collect();
+        self.train_y = data.labels.clone();
+        self.n_classes = data.n_classes;
+        self.mean = mean;
+        self.sd = sd;
+    }
+
+    /// Predicted class for one (unscaled) row.
+    pub fn predict_one(&self, row: &[f64]) -> usize {
+        assert!(!self.train_x.is_empty(), "k-NN not fitted");
+        let q = scale_row(row, &self.mean, &self.sd);
+        let mut dists: Vec<(f64, usize)> = self
+            .train_x
+            .iter()
+            .zip(&self.train_y)
+            .map(|(x, &y)| {
+                let d2: f64 = x.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2, y)
+            })
+            .collect();
+        let k = self.config.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut votes = vec![0.0f64; self.n_classes];
+        for &(d2, y) in &dists[..k] {
+            let w = if self.config.distance_weighted {
+                1.0 / (d2.sqrt() + 1e-9)
+            } else {
+                1.0
+            };
+            votes[y] += w;
+        }
+        argmax(&votes)
+    }
+}
+
+fn scale_row(row: &[f64], mean: &[f64], sd: &[f64]) -> Vec<f64> {
+    row.iter()
+        .zip(mean.iter().zip(sd))
+        .map(|(&v, (m, s))| (v - m) / s)
+        .collect()
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Refits every (row-reference, columnar) trainer pair from `seed` and
+/// panics unless the fitted models are indistinguishable: identical
+/// predictions on every training row, bitwise-identical Gini importances
+/// for the tree models, and an identical dumped booster structure for
+/// GBDT. This is the referee the throughput numbers stand on.
+pub fn assert_columnar_matches_rows(frame: &Dataset, seed: u64) {
+    let rows = RowMatrix::from_frame(frame);
+
+    let mut row_tree = RowTree::new(TreeConfig::default());
+    let mut rng = rng_from_seed(seed);
+    row_tree.fit(&rows, &mut rng);
+    let mut col_tree = DecisionTree::new(TreeConfig::default());
+    let mut rng = rng_from_seed(seed);
+    col_tree.fit(frame, &mut rng);
+    let row_pred: Vec<usize> = rows.rows.iter().map(|r| row_tree.predict_one(r)).collect();
+    assert_eq!(row_pred, col_tree.predict_view(frame), "DT predictions diverged");
+    assert_eq!(
+        bits(&row_tree.feature_importances()),
+        bits(&col_tree.feature_importances()),
+        "DT Gini importances diverged"
+    );
+
+    let mut row_forest = RowForest::new(ForestConfig::default());
+    let mut rng = rng_from_seed(seed);
+    row_forest.fit(&rows, &mut rng);
+    let mut col_forest = RandomForest::new(ForestConfig::default());
+    let mut rng = rng_from_seed(seed);
+    col_forest.fit(frame, &mut rng);
+    let row_pred: Vec<usize> = rows
+        .rows
+        .iter()
+        .map(|r| row_forest.predict_one(r))
+        .collect();
+    assert_eq!(
+        row_pred,
+        col_forest.predict_view(frame),
+        "RF predictions diverged"
+    );
+    assert_eq!(
+        bits(&row_forest.feature_importances()),
+        bits(&col_forest.feature_importances()),
+        "RF Gini importances diverged"
+    );
+
+    let mut row_gbdt = RowGbdt::new(GbdtConfig::default());
+    row_gbdt.fit(&rows);
+    let mut col_gbdt = GbdtClassifier::new(GbdtConfig::default());
+    col_gbdt.fit(frame);
+    let row_pred: Vec<usize> = rows.rows.iter().map(|r| row_gbdt.predict_one(r)).collect();
+    assert_eq!(
+        row_pred,
+        col_gbdt.predict_view(frame),
+        "GBDT predictions diverged"
+    );
+    assert_eq!(
+        row_gbdt.dump_boosters(),
+        col_gbdt.dump_boosters(),
+        "GBDT booster structure diverged"
+    );
+
+    let mut row_knn = RowKnn::new(KnnConfig::default());
+    row_knn.fit(&rows);
+    let mut col_knn = KnnClassifier::new(KnnConfig::default());
+    col_knn.fit(frame);
+    let row_pred: Vec<usize> = rows.rows.iter().map(|r| row_knn.predict_one(r)).collect();
+    assert_eq!(
+        row_pred,
+        col_knn.predict_view(frame),
+        "k-NN predictions diverged"
+    );
+}
+
+/// Times `passes` full fits, returning total seconds (one untimed
+/// warm-up fit first).
+fn time_fits<F: FnMut()>(passes: usize, mut run: F) -> f64 {
+    run();
+    let t = Instant::now();
+    for _ in 0..passes {
+        run();
+    }
+    t.elapsed().as_secs_f64()
+}
+
+/// Runs the training microbenchmark: per model, `passes` timed fits of
+/// the frozen row-oriented trainer and of the columnar trainer over the
+/// full §5 main-campaign dataset, after the bitwise referee pass.
+pub fn train_bench(passes: usize) -> String {
+    let frame = main_dataset().to_ml_3class(&table(), &gt_params());
+    assert_columnar_matches_rows(&frame, TRAIN_SEED);
+    let rows = RowMatrix::from_frame(&frame);
+    let n = frame.len();
+
+    let mut measurements: Vec<(&str, f64, f64)> = Vec::new();
+
+    let row_s = time_fits(passes, || {
+        let mut rng = rng_from_seed(TRAIN_SEED);
+        RowTree::new(TreeConfig::default()).fit(&rows, &mut rng);
+    });
+    let col_s = time_fits(passes, || {
+        let mut rng = rng_from_seed(TRAIN_SEED);
+        DecisionTree::new(TreeConfig::default()).fit(&frame, &mut rng);
+    });
+    measurements.push(("DT", row_s, col_s));
+
+    let row_s = time_fits(passes, || {
+        let mut rng = rng_from_seed(TRAIN_SEED);
+        RowForest::new(ForestConfig::default()).fit(&rows, &mut rng);
+    });
+    let col_s = time_fits(passes, || {
+        let mut rng = rng_from_seed(TRAIN_SEED);
+        RandomForest::new(ForestConfig::default()).fit(&frame, &mut rng);
+    });
+    measurements.push(("RF", row_s, col_s));
+
+    let row_s = time_fits(passes, || RowGbdt::new(GbdtConfig::default()).fit(&rows));
+    let col_s = time_fits(passes, || GbdtClassifier::new(GbdtConfig::default()).fit(&frame));
+    measurements.push(("GBDT", row_s, col_s));
+
+    let row_s = time_fits(passes, || RowKnn::new(KnnConfig::default()).fit(&rows));
+    let col_s = time_fits(passes, || KnnClassifier::new(KnnConfig::default()).fit(&frame));
+    measurements.push(("kNN", row_s, col_s));
+
+    let mut t = TextTable::new([
+        "model",
+        "rows/fit",
+        "passes",
+        "row (s)",
+        "columnar (s)",
+        "row krows/s",
+        "col krows/s",
+        "speedup",
+    ]);
+    for &(name, row_s, col_s) in &measurements {
+        let fitted = (n * passes) as f64;
+        t.row([
+            name.to_string(),
+            n.to_string(),
+            passes.to_string(),
+            fmt_f(row_s, 3),
+            fmt_f(col_s, 3),
+            fmt_f(fitted / row_s / 1e3, 1),
+            fmt_f(fitted / col_s / 1e3, 1),
+            fmt_f(row_s / col_s, 2),
+        ]);
+    }
+    let report = format!(
+        "Training throughput: {} rows, row-oriented baseline vs columnar\n{}",
+        n,
+        t.render()
+    );
+
+    let path = report_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&path, &report) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    report
+}

@@ -1,0 +1,112 @@
+//! Columnar-data-plane regressions: the refactor from row-major
+//! `Vec<Vec<f64>>` datasets to one contiguous `FeatureFrame` must be
+//! invisible to every number the suite reports.
+//!
+//! Three contracts:
+//! 1. Every columnar trainer is **bitwise identical** to its frozen
+//!    row-oriented reference (the pre-refactor implementations kept
+//!    verbatim in `libra_bench::trainbench`): same predictions, same
+//!    Gini importances, same GBDT booster structure, from the same seed.
+//! 2. CV accuracies and RF importances on the reduced campaign are
+//!    bitwise equal at 1 and N worker threads.
+//! 3. Those numbers match a checked-in golden file. Blessing: if
+//!    `tests/golden/columnar_cv.txt` does not exist yet, the test writes
+//!    the current rendering and passes; commit the file to pin the
+//!    pre-refactor numbers. Delete it to re-bless deliberately.
+
+use libra_bench::trainbench::{assert_columnar_matches_rows, TRAIN_SEED};
+use libra_dataset::{generate, main_campaign_plan, CampaignConfig, GroundTruthParams, Instruments};
+use libra_ml::{cross_validate, ForestConfig, ModelKind, RandomForest};
+use libra_phy::McsTable;
+use libra_util::par::set_threads;
+use libra_util::rng::rng_from_seed;
+
+const GOLDEN_PATH: &str = "tests/golden/columnar_cv.txt";
+
+/// The determinism-slice campaign: small enough to train every model
+/// twice, rich enough to exercise all three classes.
+fn small_3class() -> libra_ml::Dataset {
+    let keep = [
+        "lobby-back",
+        "lobby-rot1",
+        "lobby-blk0",
+        "lobby-intf0",
+        "lab-back",
+        "conf-rot1",
+    ];
+    let plan: Vec<_> = main_campaign_plan()
+        .into_iter()
+        .filter(|s| keep.contains(&s.name.as_str()))
+        .collect();
+    assert_eq!(
+        plan.len(),
+        keep.len(),
+        "campaign plan no longer contains the test scenarios"
+    );
+    let instruments = Instruments {
+        trace_frames: 25,
+        ..Instruments::default()
+    };
+    let cfg = CampaignConfig {
+        seed: 0xD17E,
+        instruments,
+        repeats: 1,
+    };
+    generate(&plan, &cfg).to_ml_3class(&McsTable::x60(), &GroundTruthParams::default())
+}
+
+/// CV accuracies for the paper's four models plus the RF importances,
+/// rendered as hex f64 bit patterns — any arithmetic drift flips bits.
+fn render_cv_and_importances(data: &libra_ml::Dataset) -> String {
+    let mut out = String::new();
+    for kind in ModelKind::ALL {
+        let cv = cross_validate(kind, data, 5, 2, 0xCF);
+        out.push_str(&format!(
+            "{} acc {:016x} f1 {:016x}\n",
+            kind.name(),
+            cv.accuracy.to_bits(),
+            cv.weighted_f1.to_bits()
+        ));
+    }
+    let mut rf = RandomForest::new(ForestConfig::default());
+    let mut rng = rng_from_seed(TRAIN_SEED);
+    rf.fit(data, &mut rng);
+    for (i, imp) in rf.feature_importances().iter().enumerate() {
+        out.push_str(&format!("rf_importance[{i}] {:016x}\n", imp.to_bits()));
+    }
+    out
+}
+
+#[test]
+fn columnar_trainers_match_frozen_row_references() {
+    let data = small_3class();
+    assert_columnar_matches_rows(&data, TRAIN_SEED);
+}
+
+#[test]
+fn cv_and_importances_are_thread_invariant_and_match_golden() {
+    let data = small_3class();
+    set_threads(1);
+    let sequential = render_cv_and_importances(&data);
+    set_threads(4);
+    let parallel = render_cv_and_importances(&data);
+    set_threads(0);
+    assert_eq!(
+        sequential, parallel,
+        "CV accuracies or RF importances differ between 1 and 4 threads"
+    );
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    match std::fs::read_to_string(&path) {
+        Ok(golden) => assert_eq!(
+            sequential, golden,
+            "CV/importance bits drifted from the golden file {GOLDEN_PATH}; \
+             delete it and re-run to re-bless deliberately"
+        ),
+        Err(_) => {
+            std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+            std::fs::write(&path, &sequential).expect("write golden file");
+            eprintln!("blessed new golden file {GOLDEN_PATH}; commit it to pin the numbers");
+        }
+    }
+}

@@ -26,15 +26,16 @@ fn flat_engine_is_prediction_identical_on_full_campaign() {
     let recursive = serving::recursive_reference();
     let engine = context::classifier().engine();
 
-    let rec = recursive.predict(&data.features);
-    let flat = engine.predict_batch(&data.features);
+    let rec = recursive.predict_view(&data);
+    let mut flat = Vec::new();
+    engine.predict_batch_view(&data.view(), &mut flat);
     assert_eq!(
         rec, flat,
         "class predictions diverged on the §5 campaign dataset"
     );
 
     // Vote shares, not just argmax, must be bitwise equal.
-    for row in &data.features {
+    for row in data.rows() {
         let rp = recursive.predict_proba_one(row);
         let fp = engine.predict_proba_one(row);
         for (a, b) in rp.iter().zip(fp.iter()) {

@@ -175,6 +175,13 @@ impl LibraClassifier {
         &self.engine
     }
 
+    /// Batch-classifies every row of a dataset view on the compiled
+    /// engine — the zero-copy serving path: rows are borrowed slices of
+    /// the backing frame and `out` is reused across calls.
+    pub fn predict_batch_view(&self, data: &libra_ml::FrameView<'_>, out: &mut Vec<usize>) {
+        self.engine.predict_batch_view(data, out);
+    }
+
     /// Gini importances of the compiled forest (Table 3).
     pub fn feature_importances(&self) -> &[f64] {
         self.engine.feature_importances()
@@ -269,7 +276,7 @@ mod tests {
         let mut forest = RandomForest::new(ForestConfig::default());
         forest.fit(&data, &mut rng);
         let clf = LibraClassifier::from_forest(forest.clone());
-        for row in &data.features {
+        for row in data.rows() {
             let rp = forest.predict_proba_one(row);
             let fp = clf.engine().predict_proba_one(row);
             assert_eq!(rp.len(), fp.len());

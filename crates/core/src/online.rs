@@ -156,13 +156,10 @@ impl OnlineLibra {
 
     /// Refits the forest on offline ∪ buffer.
     pub fn retrain(&mut self) {
-        let mut features = self.offline.features.clone();
-        let mut labels = self.offline.labels.clone();
+        let mut data = self.offline.clone();
         for (row, label) in &self.buffer {
-            features.push(row.clone());
-            labels.push(*label);
+            data.push_row(row, *label);
         }
-        let data = Dataset::new(features, labels, 3, self.offline.feature_names.clone());
         self.clf = LibraClassifier::train(&data, &mut self.rng);
         self.observations_since_retrain = 0;
         self.retrain_count += 1;
@@ -254,14 +251,15 @@ mod tests {
 
     fn seg(old_ok: bool) -> SegmentData {
         let dead = ConfigData {
-            tput_mbps: vec![0.0; 9],
-            cdr: vec![0.0; 9],
+            tput_mbps: vec![0.0; 9].into(),
+            cdr: vec![0.0; 9].into(),
         };
         let alive = ConfigData {
             tput_mbps: vec![
                 300.0, 850.0, 1400.0, 1950.0, 2400.0, 2800.0, 1200.0, 0.0, 0.0,
-            ],
-            cdr: vec![1.0, 1.0, 1.0, 1.0, 0.97, 0.92, 0.35, 0.0, 0.0],
+            ]
+            .into(),
+            cdr: vec![1.0, 1.0, 1.0, 1.0, 0.97, 0.92, 0.35, 0.0, 0.0].into(),
         };
         SegmentData {
             old: if old_ok { alive.clone() } else { dead },
@@ -307,8 +305,8 @@ mod tests {
     fn productive_ba_teaches_ba() {
         let mut s = seg(false);
         s.old = ConfigData {
-            tput_mbps: vec![300.0, 600.0, 300.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
-            cdr: vec![1.0, 0.7, 0.2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            tput_mbps: vec![300.0, 600.0, 300.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0].into(),
+            cdr: vec![1.0, 0.7, 0.2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0].into(),
         };
         let state = LinkState::at_mcs(5);
         let out = execute(&s, Action3::Ba, state, &sim());

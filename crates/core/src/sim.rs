@@ -19,19 +19,25 @@
 use crate::classifier::LibraClassifier;
 use libra_dataset::{Action3, DatasetEntry, Features};
 use libra_mac::ProtocolParams;
+use libra_util::SharedSeries;
 use serde::{Deserialize, Serialize};
 
 /// Per-MCS measurements of one link configuration (beam pair).
+///
+/// The per-MCS tables are [`SharedSeries`] handles: building a
+/// `ConfigData` from a measurement bumps a reference count instead of
+/// cloning the vectors, so the thousands of segments of a §8 evaluation
+/// grid all read the same backing tables.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConfigData {
     /// Mean MAC throughput per MCS, Mbps.
-    pub tput_mbps: Vec<f64>,
+    pub tput_mbps: SharedSeries,
     /// Mean CDR per MCS.
-    pub cdr: Vec<f64>,
+    pub cdr: SharedSeries,
 }
 
 impl ConfigData {
-    /// Builds from a pair measurement.
+    /// Builds from a pair measurement, sharing its tables (no copy).
     pub fn from_measurement(m: &libra_dataset::PairMeasurement) -> Self {
         Self {
             tput_mbps: m.tput_mbps.clone(),
@@ -497,8 +503,8 @@ mod tests {
 
     fn cfgdata(tputs: [f64; 9], cdrs: [f64; 9]) -> ConfigData {
         ConfigData {
-            tput_mbps: tputs.to_vec(),
-            cdr: cdrs.to_vec(),
+            tput_mbps: tputs.to_vec().into(),
+            cdr: cdrs.to_vec().into(),
         }
     }
 
@@ -752,12 +758,12 @@ mod gate_tests {
         let seg = SegmentData {
             // Old pair degraded but ACKing (no missing-ACK shortcut).
             old: ConfigData {
-                tput_mbps: vec![300.0, 700.0, 500.0, 100.0, 0.0, 0.0, 0.0, 0.0, 0.0],
-                cdr: vec![1.0, 0.8, 0.4, 0.05, 0.0, 0.0, 0.0, 0.0, 0.0],
+                tput_mbps: vec![300.0, 700.0, 500.0, 100.0, 0.0, 0.0, 0.0, 0.0, 0.0].into(),
+                cdr: vec![1.0, 0.8, 0.4, 0.05, 0.0, 0.0, 0.0, 0.0, 0.0].into(),
             },
             best: ConfigData {
-                tput_mbps: vec![300.0, 850.0, 1400.0, 1950.0, 2400.0, 0.0, 0.0, 0.0, 0.0],
-                cdr: vec![1.0, 1.0, 1.0, 1.0, 0.95, 0.0, 0.0, 0.0, 0.0],
+                tput_mbps: vec![300.0, 850.0, 1400.0, 1950.0, 2400.0, 0.0, 0.0, 0.0, 0.0].into(),
+                cdr: vec![1.0, 1.0, 1.0, 1.0, 0.95, 0.0, 0.0, 0.0, 0.0].into(),
             },
             features: Features {
                 snr_diff_db: 8.0,

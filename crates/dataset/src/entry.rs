@@ -103,6 +103,11 @@ pub struct CampaignDataset {
     pub na_entries: Vec<DatasetEntry>,
 }
 
+/// Feature-name column schema shared by every exported ML frame.
+fn feature_schema() -> Vec<String> {
+    FEATURE_NAMES.iter().map(|s| s.to_string()).collect()
+}
+
 impl CampaignDataset {
     /// Persists the full dataset (raw measurements included) to a binary
     /// file, so expensive campaigns can be generated once and reloaded.
@@ -174,17 +179,15 @@ impl CampaignDataset {
     }
 
     /// The 2-class ML dataset (BA = 0, RA = 1) under the given ground
-    /// truth parameters.
+    /// truth parameters. Rows are appended straight into the columnar
+    /// [`libra_ml::Dataset`] frame — no intermediate `Vec<Vec<f64>>`.
     pub fn to_ml(&self, table: &McsTable, params: &GroundTruthParams) -> libra_ml::Dataset {
         let labels = self.label(table, params);
-        let features: Vec<Vec<f64>> = self.entries.iter().map(|e| e.features.to_row()).collect();
-        let y: Vec<usize> = labels.iter().map(|g| g.label.class_index()).collect();
-        libra_ml::Dataset::new(
-            features,
-            y,
-            2,
-            FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
-        )
+        let mut frame = libra_ml::Dataset::with_schema(2, feature_schema());
+        for (e, gt) in self.entries.iter().zip(&labels) {
+            frame.push_row(&e.features.to_row(), gt.label.class_index());
+        }
+        frame
     }
 
     /// Restricted 2-class dataset for one impairment type (the
@@ -196,39 +199,27 @@ impl CampaignDataset {
         params: &GroundTruthParams,
     ) -> libra_ml::Dataset {
         let labels = self.label(table, params);
-        let mut features = Vec::new();
-        let mut y = Vec::new();
+        let mut frame = libra_ml::Dataset::with_schema(2, feature_schema());
         for (e, gt) in self.entries.iter().zip(&labels) {
             if e.impairment == kind {
-                features.push(e.features.to_row());
-                y.push(gt.label.class_index());
+                frame.push_row(&e.features.to_row(), gt.label.class_index());
             }
         }
-        libra_ml::Dataset::new(
-            features,
-            y,
-            2,
-            FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
-        )
+        frame
     }
 
     /// The 3-class ML dataset (BA = 0, RA = 1, NA = 2): impairment
     /// entries plus the no-adaptation twins (§7).
     pub fn to_ml_3class(&self, table: &McsTable, params: &GroundTruthParams) -> libra_ml::Dataset {
         let labels = self.label(table, params);
-        let mut features: Vec<Vec<f64>> =
-            self.entries.iter().map(|e| e.features.to_row()).collect();
-        let mut y: Vec<usize> = labels.iter().map(|g| g.label.class_index()).collect();
-        for e in &self.na_entries {
-            features.push(e.features.to_row());
-            y.push(2);
+        let mut frame = libra_ml::Dataset::with_schema(3, feature_schema());
+        for (e, gt) in self.entries.iter().zip(&labels) {
+            frame.push_row(&e.features.to_row(), gt.label.class_index());
         }
-        libra_ml::Dataset::new(
-            features,
-            y,
-            3,
-            FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
-        )
+        for e in &self.na_entries {
+            frame.push_row(&e.features.to_row(), 2);
+        }
+        frame
     }
 
     /// Exports the labelled feature table as CSV (one row per entry).
@@ -283,8 +274,8 @@ mod tests {
             noise_dbm: -74.0,
             tof_ns: 30.0,
             pdp: PowerDelayProfile::from_bins(vec![1e-6; PDP_BINS]),
-            tput_mbps: tput,
-            cdr,
+            tput_mbps: tput.into(),
+            cdr: cdr.into(),
         }
     }
 

@@ -130,8 +130,9 @@ mod tests {
             pdp: PowerDelayProfile::from_bins(bins),
             tput_mbps: vec![
                 300.0, 800.0, 1400.0, 1900.0, 2400.0, 2900.0, 3400.0, 2000.0, 100.0,
-            ],
-            cdr: vec![1.0, 1.0, 1.0, 1.0, 0.98, 0.95, 0.94, 0.45, 0.02],
+            ]
+            .into(),
+            cdr: vec![1.0, 1.0, 1.0, 1.0, 0.98, 0.95, 0.94, 0.45, 0.02].into(),
         }
     }
 

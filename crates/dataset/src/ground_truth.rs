@@ -220,8 +220,8 @@ mod tests {
             noise_dbm: -74.0,
             tof_ns: 30.0,
             pdp: PowerDelayProfile::from_bins(vec![0.0; PDP_BINS]),
-            tput_mbps: tput,
-            cdr,
+            tput_mbps: tput.into(),
+            cdr: cdr.into(),
         }
     }
 

@@ -17,6 +17,7 @@ use libra_phy::trace::{
     generate_trace, trace_mean_cdr, trace_mean_noise_dbm, trace_mean_snr_db, trace_mean_tput_mbps,
 };
 use libra_phy::{ErrorModel, FrameConfig, McsTable, TraceJitter};
+use libra_util::SharedSeries;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -66,10 +67,11 @@ pub struct PairMeasurement {
     pub tof_ns: f64,
     /// Logged power delay profile.
     pub pdp: PowerDelayProfile,
-    /// Mean MAC throughput per MCS, Mbps (index = MCS).
-    pub tput_mbps: Vec<f64>,
-    /// Mean CDR per MCS (index = MCS).
-    pub cdr: Vec<f64>,
+    /// Mean MAC throughput per MCS, Mbps (index = MCS). Shared handle:
+    /// simulator `ConfigData` views alias this table instead of cloning.
+    pub tput_mbps: SharedSeries,
+    /// Mean CDR per MCS (index = MCS). Shared handle, like `tput_mbps`.
+    pub cdr: SharedSeries,
 }
 
 impl PairMeasurement {
@@ -124,8 +126,8 @@ pub fn measure_pair(
         noise_dbm: libra_util::stats::mean(&noise_acc),
         tof_ns: resp.tof_ns,
         pdp,
-        tput_mbps: tput,
-        cdr,
+        tput_mbps: tput.into(),
+        cdr: cdr.into(),
     }
 }
 
@@ -157,8 +159,8 @@ pub fn expected_pair_measurement(
         noise_dbm: resp.effective_noise_dbm,
         tof_ns: resp.tof_ns,
         pdp,
-        tput_mbps: tput,
-        cdr,
+        tput_mbps: tput.into(),
+        cdr: cdr.into(),
     }
 }
 

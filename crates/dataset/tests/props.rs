@@ -28,8 +28,8 @@ fn meas_at(snr: f64, pair: (usize, usize), tof: f64) -> PairMeasurement {
         noise_dbm: -74.0,
         tof_ns: tof,
         pdp: PowerDelayProfile::from_bins(bins),
-        tput_mbps: tput,
-        cdr,
+        tput_mbps: tput.into(),
+        cdr: cdr.into(),
     }
 }
 

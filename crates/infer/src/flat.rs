@@ -16,7 +16,7 @@
 //! in `tests/props.rs` enforce this for randomly generated forests.
 
 use libra_ml::tree::DumpNode;
-use libra_ml::{Classifier, DumpRegNode, GbdtClassifier, RandomForest};
+use libra_ml::{Classifier, DumpRegNode, FrameView, GbdtClassifier, RandomForest};
 use serde::{Deserialize, Serialize};
 
 /// Sentinel feature index marking a leaf node.
@@ -225,6 +225,19 @@ impl FlatForest {
         let mut out = Vec::new();
         self.predict_batch_into(rows, &mut out);
         out
+    }
+
+    /// Predicts every row of a columnar frame view into `out`, reusing
+    /// one scratch buffer — rows are borrowed slices of the backing
+    /// frame, so serving allocates nothing per row.
+    pub fn predict_batch_view(&self, data: &FrameView<'_>, out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(data.len());
+        let mut probs = vec![0.0; self.n_classes];
+        for row in data.rows() {
+            self.predict_proba_into(row, &mut probs);
+            out.push(argmax(&probs));
+        }
     }
 
     /// Number of classes.
@@ -458,6 +471,25 @@ impl FlatGbdt {
         out
     }
 
+    /// Predicts every row of a columnar frame view into `out`, reusing
+    /// one scratch buffer — rows are borrowed slices of the backing
+    /// frame, so serving allocates nothing per row.
+    pub fn predict_batch_view(&self, data: &FrameView<'_>, out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(data.len());
+        let mut scores = vec![0.0; self.boosters.len()];
+        for row in data.rows() {
+            self.decision_scores_into(row, &mut scores);
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            out.push(best);
+        }
+    }
+
     /// Number of classes.
     pub fn n_classes(&self) -> usize {
         self.n_classes
@@ -545,15 +577,16 @@ mod tests {
         let mut rng = rng_from_seed(2);
         rf.fit(&data, &mut rng);
         let flat = FlatForest::compile(&rf);
-        for row in &data.features {
+        for row in data.rows() {
             // Bitwise: probabilities compare equal as full f64 vectors.
             assert_eq!(flat.predict_proba_one(row), rf.predict_proba_one(row));
             assert_eq!(flat.predict_one(row), rf.predict_one(row));
         }
-        assert_eq!(
-            flat.predict_batch(&data.features),
-            rf.predict(&data.features)
-        );
+        let rows = data.to_rows();
+        assert_eq!(flat.predict_batch(&rows), rf.predict(&rows));
+        let mut via_view = Vec::new();
+        flat.predict_batch_view(&data.view(), &mut via_view);
+        assert_eq!(via_view, flat.predict_batch(&rows));
         assert_eq!(flat.feature_importances(), rf.feature_importances());
         assert_eq!(flat.n_trees(), rf.n_trees());
         flat.validate().expect("compiled forest validates");
@@ -568,14 +601,15 @@ mod tests {
         });
         g.fit(&data);
         let flat = FlatGbdt::compile(&g, 2);
-        for row in &data.features {
+        for row in data.rows() {
             assert_eq!(flat.decision_scores(row), g.decision_scores(row));
             assert_eq!(flat.predict_one(row), g.predict_one(row));
         }
-        assert_eq!(
-            flat.predict_batch(&data.features),
-            g.predict(&data.features)
-        );
+        let rows = data.to_rows();
+        assert_eq!(flat.predict_batch(&rows), g.predict(&rows));
+        let mut via_view = Vec::new();
+        flat.predict_batch_view(&data.view(), &mut via_view);
+        assert_eq!(via_view, flat.predict_batch(&rows));
         flat.validate().expect("compiled GBDT validates");
     }
 
@@ -590,12 +624,14 @@ mod tests {
         rf.fit(&data, &mut rng);
         let flat = FlatForest::compile(&rf);
         let mut out = Vec::new();
-        flat.predict_batch_into(&data.features, &mut out);
-        let per_row: Vec<usize> = data.features.iter().map(|r| flat.predict_one(r)).collect();
+        flat.predict_batch_view(&data.view(), &mut out);
+        let per_row: Vec<usize> = data.rows().map(|r| flat.predict_one(r)).collect();
         assert_eq!(out, per_row);
-        // Reuse the same output vector for a second batch.
-        flat.predict_batch_into(&data.features[..10].to_vec(), &mut out);
+        // Reuse the same output vector for a second, smaller batch.
+        let first: Vec<usize> = (0..10).collect();
+        flat.predict_batch_view(&data.select(&first), &mut out);
         assert_eq!(out.len(), 10);
+        assert_eq!(out, per_row[..10]);
     }
 
     #[test]

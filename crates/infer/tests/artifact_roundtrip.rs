@@ -48,7 +48,7 @@ fn build_artifact(seed: u64) -> ModelArtifact {
             feature_names: data.feature_names.clone(),
             class_labels: vec!["BA".into(), "RA".into(), "NA".into()],
             train_seed: seed,
-            train_rows: data.features.len() as u64,
+            train_rows: data.len() as u64,
             notes: "artifact_roundtrip integration test".into(),
         },
         payload: ModelPayload::Forest(FlatForest::compile(&rf)),

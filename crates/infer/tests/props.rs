@@ -64,7 +64,7 @@ proptest! {
         flat.validate().expect("compiled tables are well-formed");
 
         let probes = probe_rows(seed, 40, n_features);
-        for row in data.features.iter().chain(probes.iter()) {
+        for row in data.rows().chain(probes.iter().map(Vec::as_slice)) {
             // Classes, probabilities, and tie-breaking all bitwise equal.
             prop_assert_eq!(flat.predict_one(row), rf.predict_one(row));
             let (rp, fp) = (rf.predict_proba_one(row), flat.predict_proba_one(row));
@@ -77,6 +77,11 @@ proptest! {
         let batch = flat.predict_batch(&probes);
         let per_row: Vec<usize> = probes.iter().map(|r| flat.predict_one(r)).collect();
         prop_assert_eq!(batch, per_row);
+        // The zero-copy view path agrees with the row-based batch path.
+        let mut via_view = Vec::new();
+        flat.predict_batch_view(&data.view(), &mut via_view);
+        let frame_rows: Vec<usize> = data.rows().map(|r| flat.predict_one(r)).collect();
+        prop_assert_eq!(via_view, frame_rows);
     }
 
     #[test]
@@ -98,7 +103,7 @@ proptest! {
         flat.validate().expect("compiled tables are well-formed");
 
         let probes = probe_rows(seed, 30, n_features);
-        for row in data.features.iter().chain(probes.iter()) {
+        for row in data.rows().chain(probes.iter().map(Vec::as_slice)) {
             prop_assert_eq!(flat.predict_one(row), gbdt.predict_one(row));
             let (rs, fs) = (gbdt.decision_scores(row), flat.decision_scores(row));
             prop_assert_eq!(rs.len(), fs.len());

@@ -64,10 +64,8 @@ mod tests {
         let mut rng = rng_from_seed(1);
         tree.fit(&data, &mut rng);
         let via_trait: &dyn Classifier = &tree;
-        assert_eq!(
-            via_trait.predict(&data.features),
-            tree.predict(&data.features)
-        );
+        let rows = data.to_rows();
+        assert_eq!(via_trait.predict(&rows), tree.predict(&rows));
         assert_eq!(via_trait.predict_one(&[0.1]), tree.predict_one(&[0.1]));
     }
 }

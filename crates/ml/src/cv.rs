@@ -3,8 +3,7 @@
 //! repeated with random splits, reporting accuracy and weighted F1), and
 //! train-on-A / test-on-B evaluation for the cross-building study.
 
-use crate::classify::Classifier;
-use crate::data::Dataset;
+use crate::data::{Dataset, FrameView};
 use crate::forest::{ForestConfig, RandomForest};
 use crate::gbdt::{GbdtClassifier, GbdtConfig};
 use crate::knn::{KnnClassifier, KnnConfig};
@@ -18,27 +17,29 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 /// A trainable classifier, object-safe so harnesses can sweep models.
+/// Training and prediction both consume zero-copy [`FrameView`] borrows,
+/// so fold cells never materialize cloned sub-datasets.
 pub trait Model {
-    /// Fits on the dataset; all stochastic choices flow through `rng`.
-    fn fit(&mut self, data: &Dataset, rng: &mut dyn RngCore);
-    /// Predicts classes for rows.
-    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize>;
+    /// Fits on a frame view; all stochastic choices flow through `rng`.
+    fn fit(&mut self, data: &FrameView<'_>, rng: &mut dyn RngCore);
+    /// Predicts classes for every row of a frame view.
+    fn predict_view(&self, data: &FrameView<'_>) -> Vec<usize>;
     /// Display name.
     fn name(&self) -> &'static str;
 }
 
-/// Every fitted model already implements [`Classifier`], so a `Model`
-/// impl only has to add a display name and adapt the fit signature —
-/// stochastic trainers thread the harness RNG through, deterministic
-/// ones (`seedless`) ignore it.
+/// Every model exposes inherent view-based `fit`/`predict_view`, so a
+/// `Model` impl only has to add a display name and adapt the fit
+/// signature — stochastic trainers thread the harness RNG through,
+/// deterministic ones (`seedless`) ignore it.
 macro_rules! impl_model {
     ($ty:ty, $name:literal, seeded) => {
         impl Model for $ty {
-            fn fit(&mut self, data: &Dataset, mut rng: &mut dyn RngCore) {
+            fn fit(&mut self, data: &FrameView<'_>, mut rng: &mut dyn RngCore) {
                 <$ty>::fit(self, data, &mut rng)
             }
-            fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-                Classifier::predict(self, rows)
+            fn predict_view(&self, data: &FrameView<'_>) -> Vec<usize> {
+                <$ty>::predict_view(self, data)
             }
             fn name(&self) -> &'static str {
                 $name
@@ -47,11 +48,11 @@ macro_rules! impl_model {
     };
     ($ty:ty, $name:literal, seedless) => {
         impl Model for $ty {
-            fn fit(&mut self, data: &Dataset, _rng: &mut dyn RngCore) {
+            fn fit(&mut self, data: &FrameView<'_>, _rng: &mut dyn RngCore) {
                 <$ty>::fit(self, data)
             }
-            fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-                Classifier::predict(self, rows)
+            fn predict_view(&self, data: &FrameView<'_>) -> Vec<usize> {
+                <$ty>::predict_view(self, data)
             }
             fn name(&self) -> &'static str {
                 $name
@@ -178,8 +179,8 @@ pub fn cross_validate(
             .filter(|(i, _)| *i != held_out)
             .flat_map(|(_, f)| f.iter().copied())
             .collect();
-        let train = data.subset(&train_idx);
-        let test = data.subset(test_idx);
+        let train = data.select(&train_idx);
+        let test = data.select(test_idx);
         let rep_seed = derive_seed_index(seed, r as u64);
         let mut rng = rng_from_seed(derive_seed_index(
             derive_seed(rep_seed, "fit"),
@@ -187,10 +188,11 @@ pub fn cross_validate(
         ));
         let mut model = kind.build();
         model.fit(&train, &mut rng);
-        let pred = model.predict(&test.features);
+        let pred = model.predict_view(&test);
+        let truth = test.labels_vec();
         (
-            accuracy(&test.labels, &pred),
-            weighted_f1(&test.labels, &pred, data.n_classes),
+            accuracy(&truth, &pred),
+            weighted_f1(&truth, &pred, data.n_classes),
         )
     });
     let accs: Vec<f64> = scores.iter().map(|s| s.0).collect();
@@ -207,8 +209,8 @@ pub fn cross_validate(
 pub fn train_test_eval(kind: ModelKind, train: &Dataset, test: &Dataset, seed: u64) -> (f64, f64) {
     let mut rng = rng_from_seed(seed);
     let mut model = kind.build();
-    model.fit(train, &mut rng);
-    let pred = model.predict(&test.features);
+    model.fit(&train.view(), &mut rng);
+    let pred = model.predict_view(&test.view());
     (
         accuracy(&test.labels, &pred),
         weighted_f1(&test.labels, &pred, train.n_classes),
@@ -284,8 +286,8 @@ mod tests {
         for kind in ModelKind::ALL {
             let mut rng = rng_from_seed(8);
             let mut model = kind.build();
-            model.fit(&data, &mut rng);
-            let pred = model.predict(&data.features);
+            model.fit(&data.view(), &mut rng);
+            let pred = model.predict_view(&data.view());
             assert_eq!(pred.len(), data.len());
             let acc = accuracy(&data.labels, &pred);
             assert!(acc > 0.8, "{} training accuracy {}", kind.name(), acc);

@@ -1,135 +1,23 @@
-//! Dataset containers and splitting utilities.
+//! Dataset container and standardization.
 //!
-//! [`Dataset`] is the tabular form every model consumes: rows of `f64`
-//! features plus integer class labels. Splitting follows the paper's
-//! protocol: *stratified* k-fold cross validation with shuffling (§6.2
-//! runs "a stratified 5-fold cross validation on the entire dataset ...
-//! repeated 500 times with random splits").
+//! [`Dataset`] is the tabular form every model consumes. Since the
+//! columnar refactor it is an alias for [`libra_util::frame::FeatureFrame`]:
+//! one flat row-major allocation with labels, class count, and feature
+//! names attached, handed to models as zero-copy [`FrameView`] borrows.
+//! Splitting follows the paper's protocol: *stratified* k-fold cross
+//! validation with shuffling (§6.2 runs "a stratified 5-fold cross
+//! validation on the entire dataset ... repeated 500 times with random
+//! splits") — folds are index lists over the shared frame, not cloned
+//! sub-datasets.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// A tabular classification dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Dataset {
-    /// Feature rows; all rows have `n_features()` columns.
-    pub features: Vec<Vec<f64>>,
-    /// Class label per row, in `0..n_classes`.
-    pub labels: Vec<usize>,
-    /// Number of classes.
-    pub n_classes: usize,
-    /// Column names (for importance tables).
-    pub feature_names: Vec<String>,
-}
+pub use libra_util::frame::{FeatureFrame, FrameView};
 
-impl Dataset {
-    /// Builds a dataset, validating shape invariants.
-    pub fn new(
-        features: Vec<Vec<f64>>,
-        labels: Vec<usize>,
-        n_classes: usize,
-        feature_names: Vec<String>,
-    ) -> Self {
-        assert_eq!(features.len(), labels.len(), "row/label count mismatch");
-        assert!(n_classes >= 2, "need at least two classes");
-        if let Some(first) = features.first() {
-            assert!(
-                features.iter().all(|r| r.len() == first.len()),
-                "ragged feature rows"
-            );
-            assert_eq!(feature_names.len(), first.len(), "name/column mismatch");
-        }
-        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
-        assert!(
-            features.iter().flatten().all(|v| !v.is_nan()),
-            "NaN features must be sanitized before model fitting"
-        );
-        Self {
-            features,
-            labels,
-            n_classes,
-            feature_names,
-        }
-    }
-
-    /// Number of rows.
-    pub fn len(&self) -> usize {
-        self.features.len()
-    }
-
-    /// True when there are no rows.
-    pub fn is_empty(&self) -> bool {
-        self.features.is_empty()
-    }
-
-    /// Number of feature columns.
-    pub fn n_features(&self) -> usize {
-        self.features.first().map_or(0, Vec::len)
-    }
-
-    /// Rows with the given indices, as a new dataset.
-    pub fn subset(&self, idx: &[usize]) -> Dataset {
-        Dataset {
-            features: idx.iter().map(|&i| self.features[i].clone()).collect(),
-            labels: idx.iter().map(|&i| self.labels[i]).collect(),
-            n_classes: self.n_classes,
-            feature_names: self.feature_names.clone(),
-        }
-    }
-
-    /// Per-class row counts.
-    pub fn class_counts(&self) -> Vec<usize> {
-        let mut counts = vec![0usize; self.n_classes];
-        for &l in &self.labels {
-            counts[l] += 1;
-        }
-        counts
-    }
-
-    /// Stratified k-fold split: returns `k` disjoint index sets whose
-    /// class proportions match the full dataset. Rows are shuffled first.
-    pub fn stratified_folds(&self, k: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
-        assert!(k >= 2, "need at least 2 folds");
-        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes];
-        for (i, &l) in self.labels.iter().enumerate() {
-            by_class[l].push(i);
-        }
-        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
-        for class_idx in &mut by_class {
-            class_idx.shuffle(rng);
-            for (j, &row) in class_idx.iter().enumerate() {
-                folds[j % k].push(row);
-            }
-        }
-        folds
-    }
-
-    /// Per-column mean and standard deviation (for standardization).
-    pub fn column_stats(&self) -> (Vec<f64>, Vec<f64>) {
-        let n = self.len().max(1) as f64;
-        let d = self.n_features();
-        let mut mean = vec![0.0; d];
-        for row in &self.features {
-            for (m, &v) in mean.iter_mut().zip(row) {
-                *m += v / n;
-            }
-        }
-        let mut sd = vec![0.0; d];
-        for row in &self.features {
-            for ((s, &v), m) in sd.iter_mut().zip(row).zip(&mean) {
-                *s += (v - m) * (v - m) / n;
-            }
-        }
-        for s in &mut sd {
-            *s = s.sqrt();
-            if *s < 1e-12 {
-                *s = 1.0; // constant column: leave unscaled
-            }
-        }
-        (mean, sd)
-    }
-}
+/// The tabular dataset type consumed by every model: a columnar
+/// [`FeatureFrame`]. Construct with [`FeatureFrame::new`] from
+/// row-oriented input, or grow one with [`FeatureFrame::push_row`].
+pub type Dataset = FeatureFrame;
 
 /// A fitted standardizer (`z = (x − μ)/σ` per column). SVM and the neural
 /// network need standardized inputs; trees do not.
@@ -140,9 +28,9 @@ pub struct Standardizer {
 }
 
 impl Standardizer {
-    /// Fits to a dataset's columns.
-    pub fn fit(data: &Dataset) -> Self {
-        let (mean, sd) = data.column_stats();
+    /// Fits to the columns of a frame (or any view of one).
+    pub fn fit<'a>(data: impl Into<FrameView<'a>>) -> Self {
+        let (mean, sd) = data.into().column_stats();
         Self { mean, sd }
     }
 
@@ -154,18 +42,14 @@ impl Standardizer {
             .collect()
     }
 
-    /// Transforms a whole dataset.
-    pub fn transform(&self, data: &Dataset) -> Dataset {
-        Dataset {
-            features: data
-                .features
-                .iter()
-                .map(|r| self.transform_row(r))
-                .collect(),
-            labels: data.labels.clone(),
-            n_classes: data.n_classes,
-            feature_names: data.feature_names.clone(),
+    /// Transforms a whole frame (or view) into a new owned frame.
+    pub fn transform<'a>(&self, data: impl Into<FrameView<'a>>) -> FeatureFrame {
+        let data = data.into();
+        let mut out = FeatureFrame::with_schema(data.n_classes(), data.feature_names().to_vec());
+        for i in 0..data.len() {
+            out.push_row(&self.transform_row(data.row(i)), data.label(i));
         }
+        out
     }
 }
 
@@ -241,6 +125,16 @@ mod tests {
     }
 
     #[test]
+    fn views_share_storage_with_the_frame() {
+        let d = toy(4);
+        let idx = [1usize, 6, 3];
+        let v = d.select(&idx);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.row(1), d.row(6));
+        assert_eq!(v.label(2), d.labels[3]);
+    }
+
+    #[test]
     fn standardizer_zero_mean_unit_sd() {
         let d = toy(50);
         let std = Standardizer::fit(&d);
@@ -248,6 +142,14 @@ mod tests {
         let (mean, sd) = t.column_stats();
         assert!(mean.iter().all(|m| m.abs() < 1e-9));
         assert!(sd.iter().all(|s| (s - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn standardizer_transforms_views_like_frames() {
+        let d = toy(10);
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let std = Standardizer::fit(&d);
+        assert_eq!(std.transform(&d), std.transform(d.select(&idx)));
     }
 
     #[test]
@@ -260,6 +162,6 @@ mod tests {
         );
         let std = Standardizer::fit(&d);
         let t = std.transform(&d);
-        assert!(t.features.iter().flatten().all(|v| v.is_finite()));
+        assert!(t.rows().flatten().all(|v| v.is_finite()));
     }
 }

@@ -5,7 +5,7 @@
 //! predict the right action with 98 % accuracy" (§1), and the Gini
 //! importances of Table 3 come from this model.
 
-use crate::data::Dataset;
+use crate::data::FrameView;
 use crate::tree::{DecisionTree, Impurity, TreeConfig};
 use libra_util::par::par_map_index;
 use libra_util::rng::derive_seed_index;
@@ -59,16 +59,19 @@ impl RandomForest {
         }
     }
 
-    /// Fits the forest: each tree sees a bootstrap resample of the data
-    /// and considers a random feature subset at each split.
+    /// Fits the forest on a frame or view: each tree sees a bootstrap
+    /// resample of the data and considers a random feature subset at
+    /// each split.
     ///
     /// Trees train in parallel: each derives an independent RNG from the
     /// single `base_seed` draw, and the member list is collected in tree
     /// order — the fitted forest is identical at any thread count (and to
-    /// the historical sequential implementation).
-    pub fn fit(&mut self, data: &Dataset, rng: &mut impl Rng) {
+    /// the historical sequential implementation). Bootstrap samples are
+    /// index lists resolved against the backing frame — no row clones.
+    pub fn fit<'a>(&mut self, data: impl Into<FrameView<'a>>, rng: &mut impl Rng) {
+        let data = data.into();
         assert!(!data.is_empty(), "cannot fit on empty dataset");
-        self.n_classes = data.n_classes;
+        self.n_classes = data.n_classes();
         self.n_features = data.n_features();
         let config = self.config;
         let mtry = config
@@ -79,11 +82,12 @@ impl RandomForest {
         self.trees = par_map_index(config.n_trees, |t| {
             let mut tree_rng =
                 libra_util::rng::rng_from_seed(derive_seed_index(base_seed, t as u64));
-            // Bootstrap resample.
+            // Bootstrap resample: local draws mapped to backing-frame rows.
             let idx: Vec<usize> = (0..data.len())
                 .map(|_| tree_rng.gen_range(0..data.len()))
                 .collect();
-            let sample = data.subset(&idx);
+            let global = data.resolve(&idx);
+            let sample = data.frame().select(&global);
             let mut tree = DecisionTree::new(TreeConfig {
                 impurity: config.impurity,
                 max_depth: config.max_depth,
@@ -125,6 +129,11 @@ impl RandomForest {
     /// Predicted classes for many rows.
     pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
         rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Predicted classes for every row of a frame view (no row copies).
+    pub fn predict_view<'a>(&self, data: impl Into<FrameView<'a>>) -> Vec<usize> {
+        data.into().rows().map(|r| self.predict_one(r)).collect()
     }
 
     /// Gini importances averaged over member trees (Table 3).
@@ -169,6 +178,7 @@ impl RandomForest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::Dataset;
     use crate::metrics::accuracy;
     use libra_util::rng::rng_from_seed;
     use rand::Rng as _;
@@ -204,7 +214,7 @@ mod tests {
         });
         let mut rng = rng_from_seed(3);
         rf.fit(&train, &mut rng);
-        let acc = accuracy(&test.labels, &rf.predict(&test.features));
+        let acc = accuracy(&test.labels, &rf.predict_view(&test));
         assert!(acc > 0.9, "accuracy {acc}");
     }
 
@@ -218,14 +228,14 @@ mod tests {
             ..Default::default()
         });
         tree.fit(&train, &mut rng);
-        let tree_acc = accuracy(&test.labels, &tree.predict(&test.features));
+        let tree_acc = accuracy(&test.labels, &tree.predict_view(&test));
         let mut rf = RandomForest::new(ForestConfig {
             n_trees: 60,
             max_depth: 10,
             ..Default::default()
         });
         rf.fit(&train, &mut rng);
-        let rf_acc = accuracy(&test.labels, &rf.predict(&test.features));
+        let rf_acc = accuracy(&test.labels, &rf.predict_view(&test));
         assert!(rf_acc >= tree_acc, "rf {rf_acc} < tree {tree_acc}");
     }
 
@@ -238,7 +248,7 @@ mod tests {
         });
         let mut rng = rng_from_seed(8);
         rf.fit(&data, &mut rng);
-        let p = rf.predict_proba_one(&data.features[0]);
+        let p = rf.predict_proba_one(data.row(0));
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
     }
@@ -268,7 +278,7 @@ mod tests {
             let mut rng = rng_from_seed(5);
             rf.fit(&data, &mut rng);
             libra_util::par::set_threads(0);
-            (rf.predict(&data.features), rf.feature_importances())
+            (rf.predict_view(&data), rf.feature_importances())
         };
         assert_eq!(fit_at(1), fit_at(4));
     }
@@ -283,7 +293,7 @@ mod tests {
             });
             let mut rng = rng_from_seed(seed);
             rf.fit(&data, &mut rng);
-            rf.predict(&data.features)
+            rf.predict_view(&data)
         };
         assert_eq!(fit(42), fit(42));
     }

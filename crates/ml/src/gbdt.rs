@@ -8,7 +8,8 @@
 //! `Σg²/(Σh + λ)`, and leaf values are Newton steps `Σg/(Σh + λ)`.
 //! Multi-class problems train one booster per class (one-vs-rest).
 
-use crate::data::Dataset;
+use crate::data::FrameView;
+use crate::tree::ColMatrix;
 use serde::{Deserialize, Serialize};
 
 /// GBDT hyper-parameters.
@@ -92,6 +93,26 @@ impl RegNode {
             }
         }
     }
+
+    /// Same walk as `predict`, but reading row `i` of a column matrix
+    /// (used during boosting so score updates stay columnar).
+    fn predict_at(&self, cm: &ColMatrix, i: usize) -> f64 {
+        match self {
+            RegNode::Leaf { value } => *value,
+            RegNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if cm.value(i, *feature) <= *threshold {
+                    left.predict_at(cm, i)
+                } else {
+                    right.predict_at(cm, i)
+                }
+            }
+        }
+    }
 }
 
 fn leaf_value(g: f64, h: f64, lambda: f64) -> f64 {
@@ -103,9 +124,11 @@ fn gain(g: f64, h: f64, lambda: f64) -> f64 {
 }
 
 /// Builds one regression tree on rows `idx` with per-row gradients `g`
-/// and hessians `h`.
+/// and hessians `h`. Each candidate feature is a contiguous column
+/// slice of the gathered matrix, so the sort+sweep stays in one run of
+/// memory.
 fn build_tree(
-    x: &[Vec<f64>],
+    cm: &ColMatrix,
     g: &[f64],
     h: &[f64],
     idx: &[usize],
@@ -121,20 +144,21 @@ fn build_tree(
     }
 
     let parent_gain = gain(g_sum, h_sum, cfg.lambda);
-    let n_features = x[0].len();
+    let n_features = cm.n_features();
     let mut best: Option<(usize, f64, f64)> = None; // (feature, thr, gain improvement)
 
     for f in 0..n_features {
+        let col = cm.col(f);
         let mut order: Vec<usize> = idx.to_vec();
-        order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("no NaN features"));
+        order.sort_by(|&a, &b| col[a].partial_cmp(&col[b]).expect("no NaN features"));
         let mut gl = 0.0;
         let mut hl = 0.0;
         for k in 0..order.len() - 1 {
             let i = order[k];
             gl += g[i];
             hl += h[i];
-            let v = x[i][f];
-            let v_next = x[order[k + 1]][f];
+            let v = col[i];
+            let v_next = col[order[k + 1]];
             if v == v_next {
                 continue;
             }
@@ -164,12 +188,13 @@ fn build_tree(
             value: leaf_value(g_sum, h_sum, cfg.lambda),
         };
     };
-    let (li, ri): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| x[i][feature] <= threshold);
+    let col = cm.col(feature);
+    let (li, ri): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| col[i] <= threshold);
     RegNode::Split {
         feature,
         threshold,
-        left: Box::new(build_tree(x, g, h, &li, depth + 1, cfg)),
-        right: Box::new(build_tree(x, g, h, &ri, depth + 1, cfg)),
+        left: Box::new(build_tree(cm, g, h, &li, depth + 1, cfg)),
+        right: Box::new(build_tree(cm, g, h, &ri, depth + 1, cfg)),
     }
 }
 
@@ -192,18 +217,18 @@ impl GbdtClassifier {
         }
     }
 
-    /// Trains one-vs-rest boosters.
-    pub fn fit(&mut self, data: &Dataset) {
+    /// Trains one-vs-rest boosters from a frame or view.
+    pub fn fit<'a>(&mut self, data: impl Into<FrameView<'a>>) {
+        let data = data.into();
         assert!(!data.is_empty(), "cannot fit on empty dataset");
-        self.n_classes = data.n_classes;
+        self.n_classes = data.n_classes();
         let n = data.len();
+        let cm = ColMatrix::from_view(&data);
         let idx: Vec<usize> = (0..n).collect();
-        self.boosters = (0..data.n_classes)
+        self.boosters = (0..self.n_classes)
             .map(|c| {
-                let y: Vec<f64> = data
-                    .labels
-                    .iter()
-                    .map(|&l| if l == c { 1.0 } else { 0.0 })
+                let y: Vec<f64> = (0..n)
+                    .map(|i| if cm.label(i) == c { 1.0 } else { 0.0 })
                     .collect();
                 let pos = y.iter().sum::<f64>().clamp(1e-6, n as f64 - 1e-6);
                 let base = (pos / (n as f64 - pos)).ln();
@@ -217,9 +242,9 @@ impl GbdtClassifier {
                         g[i] = y[i] - p;
                         h[i] = (p * (1.0 - p)).max(1e-9);
                     }
-                    let tree = build_tree(&data.features, &g, &h, &idx, 0, &self.config);
+                    let tree = build_tree(&cm, &g, &h, &idx, 0, &self.config);
                     for i in 0..n {
-                        scores[i] += self.config.learning_rate * tree.predict(&data.features[i]);
+                        scores[i] += self.config.learning_rate * tree.predict_at(&cm, i);
                     }
                     trees.push(tree);
                 }
@@ -253,6 +278,11 @@ impl GbdtClassifier {
     /// Predicted classes for many rows.
     pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
         rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Predicted classes for every row of a frame view (no row copies).
+    pub fn predict_view<'a>(&self, data: impl Into<FrameView<'a>>) -> Vec<usize> {
+        data.into().rows().map(|r| self.predict_one(r)).collect()
     }
 
     /// Number of trees in each booster.
@@ -328,6 +358,7 @@ fn sigmoid(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::Dataset;
     use crate::metrics::accuracy;
     use libra_util::rng::{rng_from_seed, standard_normal};
     use rand::Rng as _;
@@ -358,7 +389,7 @@ mod tests {
         let test = moons(120, 2);
         let mut g = GbdtClassifier::new(GbdtConfig::default());
         g.fit(&train);
-        let acc = accuracy(&test.labels, &g.predict(&test.features));
+        let acc = accuracy(&test.labels, &g.predict_view(&test));
         assert!(acc > 0.92, "accuracy {acc}");
         assert_eq!(g.n_trees(), 60);
     }
@@ -383,9 +414,9 @@ mod tests {
             ..Default::default()
         });
         g.fit(&data);
-        let acc = accuracy(&data.labels, &g.predict(&data.features));
+        let acc = accuracy(&data.labels, &g.predict_view(&data));
         assert!(acc > 0.96, "accuracy {acc}");
-        assert_eq!(g.decision_scores(&data.features[0]).len(), 3);
+        assert_eq!(g.decision_scores(data.row(0)).len(), 3);
     }
 
     #[test]
@@ -397,7 +428,7 @@ mod tests {
                 ..Default::default()
             });
             g.fit(&train);
-            accuracy(&train.labels, &g.predict(&train.features))
+            accuracy(&train.labels, &g.predict_view(&train))
         };
         assert!(fit_with(60) >= fit_with(5) - 1e-9);
     }
@@ -411,7 +442,7 @@ mod tests {
                 ..Default::default()
             });
             g.fit(&train);
-            g.predict(&train.features)
+            g.predict_view(&train)
         };
         assert_eq!(run(), run());
     }
@@ -431,7 +462,7 @@ mod tests {
         let clean = moons(150, 8);
         let mut g = GbdtClassifier::new(GbdtConfig::default());
         g.fit(&train);
-        let acc = accuracy(&clean.labels, &g.predict(&clean.features));
+        let acc = accuracy(&clean.labels, &g.predict_view(&clean));
         assert!(acc > 0.85, "accuracy {acc}");
     }
 }

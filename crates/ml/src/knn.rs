@@ -5,7 +5,7 @@
 //! internally (distances are scale-sensitive); ties in the vote break
 //! toward the nearer neighbours.
 
-use crate::data::{Dataset, Standardizer};
+use crate::data::{FeatureFrame, FrameView, Standardizer};
 use serde::{Deserialize, Serialize};
 
 /// k-NN hyper-parameters.
@@ -26,13 +26,13 @@ impl Default for KnnConfig {
     }
 }
 
-/// A fitted k-NN classifier (stores the standardized training set).
+/// A fitted k-NN classifier. The standardized training set is memorized
+/// as a single columnar [`FeatureFrame`] — one flat allocation, no
+/// per-row clones.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KnnClassifier {
     config: KnnConfig,
-    train_x: Vec<Vec<f64>>,
-    train_y: Vec<usize>,
-    n_classes: usize,
+    train: Option<FeatureFrame>,
     standardizer: Option<Standardizer>,
 }
 
@@ -42,33 +42,29 @@ impl KnnClassifier {
         assert!(config.k >= 1, "k must be at least 1");
         Self {
             config,
-            train_x: Vec::new(),
-            train_y: Vec::new(),
-            n_classes: 0,
+            train: None,
             standardizer: None,
         }
     }
 
     /// "Fits" by memorizing the standardized training set.
-    pub fn fit(&mut self, data: &Dataset) {
+    pub fn fit<'a>(&mut self, data: impl Into<FrameView<'a>>) {
+        let data = data.into();
         assert!(!data.is_empty(), "cannot fit on empty dataset");
-        let std = Standardizer::fit(data);
-        let scaled = std.transform(data);
-        self.train_x = scaled.features;
-        self.train_y = scaled.labels;
-        self.n_classes = data.n_classes;
+        let std = Standardizer::fit(&data);
+        self.train = Some(std.transform(&data));
         self.standardizer = Some(std);
     }
 
     /// Predicted class for one row.
     pub fn predict_one(&self, row: &[f64]) -> usize {
+        let train = self.train.as_ref().expect("k-NN not fitted");
         let std = self.standardizer.as_ref().expect("k-NN not fitted");
         let q = std.transform_row(row);
         // Distances to all training rows (datasets here are small).
-        let mut dists: Vec<(f64, usize)> = self
-            .train_x
-            .iter()
-            .zip(&self.train_y)
+        let mut dists: Vec<(f64, usize)> = train
+            .rows()
+            .zip(train.labels.iter())
             .map(|(x, &y)| {
                 let d2: f64 = x.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
                 (d2, y)
@@ -76,7 +72,7 @@ impl KnnClassifier {
             .collect();
         let k = self.config.k.min(dists.len());
         dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
-        let mut votes = vec![0.0f64; self.n_classes];
+        let mut votes = vec![0.0f64; train.n_classes];
         for &(d2, y) in &dists[..k] {
             let w = if self.config.distance_weighted {
                 1.0 / (d2.sqrt() + 1e-9)
@@ -97,11 +93,17 @@ impl KnnClassifier {
     pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
         rows.iter().map(|r| self.predict_one(r)).collect()
     }
+
+    /// Predicted classes for every row of a frame view (no row copies).
+    pub fn predict_view<'a>(&self, data: impl Into<FrameView<'a>>) -> Vec<usize> {
+        data.into().rows().map(|r| self.predict_one(r)).collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::Dataset;
     use crate::metrics::accuracy;
     use libra_util::rng::{rng_from_seed, standard_normal};
 
@@ -127,7 +129,7 @@ mod tests {
         let test = blobs(60, 2);
         let mut knn = KnnClassifier::new(KnnConfig::default());
         knn.fit(&train);
-        let acc = accuracy(&test.labels, &knn.predict(&test.features));
+        let acc = accuracy(&test.labels, &knn.predict_view(&test));
         assert!(acc > 0.93, "accuracy {acc}");
     }
 
@@ -139,7 +141,7 @@ mod tests {
             distance_weighted: false,
         });
         knn.fit(&train);
-        let acc = accuracy(&train.labels, &knn.predict(&train.features));
+        let acc = accuracy(&train.labels, &knn.predict_view(&train));
         assert_eq!(acc, 1.0);
     }
 
@@ -170,8 +172,8 @@ mod tests {
         uni.fit(&train);
         wei.fit(&train);
         let test = blobs(100, 6);
-        let au = accuracy(&test.labels, &uni.predict(&test.features));
-        let aw = accuracy(&test.labels, &wei.predict(&test.features));
+        let au = accuracy(&test.labels, &uni.predict_view(&test));
+        let aw = accuracy(&test.labels, &wei.predict_view(&test));
         assert!(
             aw + 0.05 >= au,
             "weighted {aw} much worse than uniform {au}"

@@ -14,8 +14,9 @@
 //!   ReLU+dropout architecture, trained with Adam.
 //! * [`knn`] / [`gbdt`] — extension baselines beyond the paper's set:
 //!   k-nearest-neighbours and second-order gradient-boosted trees.
-//! * [`data`] — dataset containers, stratified k-fold splits,
-//!   standardization.
+//! * [`data`] — the columnar [`FeatureFrame`] dataset (one flat
+//!   allocation, zero-copy [`FrameView`] borrows), stratified k-fold
+//!   splits, standardization.
 //! * [`metrics`] — accuracy, weighted F1, confusion matrices.
 //! * [`cv`] — the evaluation protocols: repeated stratified k-fold CV
 //!   and cross-dataset train/test.
@@ -39,7 +40,7 @@ pub mod tree;
 
 pub use classify::Classifier;
 pub use cv::{cross_validate, train_test_eval, CvResult, Model, ModelKind};
-pub use data::{Dataset, Standardizer};
+pub use data::{Dataset, FeatureFrame, FrameView, Standardizer};
 pub use forest::{ForestConfig, RandomForest};
 pub use gbdt::{DumpRegNode, GbdtClassifier, GbdtConfig};
 pub use knn::{KnnClassifier, KnnConfig};

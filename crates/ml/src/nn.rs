@@ -9,7 +9,7 @@
 //! identical for 2 classes up to parameterization). Inputs are
 //! standardized internally.
 
-use crate::data::{Dataset, Standardizer};
+use crate::data::{Dataset, FrameView, Standardizer};
 use libra_util::rng::standard_normal;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -109,19 +109,21 @@ impl NeuralNet {
         }
     }
 
-    /// Trains with mini-batch Adam on softmax cross-entropy.
-    pub fn fit(&mut self, data: &Dataset, rng: &mut impl Rng) {
+    /// Trains with mini-batch Adam on softmax cross-entropy from a frame
+    /// or any view of one.
+    pub fn fit<'a>(&mut self, data: impl Into<FrameView<'a>>, rng: &mut impl Rng) {
+        let data = data.into();
         assert!(!data.is_empty(), "cannot fit on empty dataset");
-        let std = Standardizer::fit(data);
-        let scaled = std.transform(data);
+        let std = Standardizer::fit(&data);
+        let scaled = std.transform(&data);
         self.standardizer = Some(std);
-        self.n_classes = data.n_classes;
+        self.n_classes = data.n_classes();
         self.adam_t = 0;
 
         // Build layers: input → hidden... → n_classes.
         let mut sizes = vec![data.n_features()];
         sizes.extend_from_slice(&self.config.hidden);
-        sizes.push(data.n_classes);
+        sizes.push(data.n_classes());
         self.layers = sizes
             .windows(2)
             .map(|w| Layer::new(w[0], w[1], rng))
@@ -145,7 +147,7 @@ impl NeuralNet {
 
         for &i in batch {
             // Forward with dropout.
-            let mut acts: Vec<Vec<f64>> = vec![data.features[i].clone()];
+            let mut acts: Vec<Vec<f64>> = vec![data.row(i).to_vec()];
             let mut masks: Vec<Vec<f64>> = Vec::new();
             for (li, layer) in self.layers.iter().enumerate() {
                 let mut z = layer.forward(acts.last().expect("input"));
@@ -262,6 +264,11 @@ impl NeuralNet {
     pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
         rows.iter().map(|r| self.predict_one(r)).collect()
     }
+
+    /// Predicted classes for every row of a frame view (no row copies).
+    pub fn predict_view<'a>(&self, data: impl Into<FrameView<'a>>) -> Vec<usize> {
+        data.into().rows().map(|r| self.predict_one(r)).collect()
+    }
 }
 
 fn softmax(z: &[f64]) -> Vec<f64> {
@@ -318,7 +325,7 @@ mod tests {
         });
         let mut rng = rng_from_seed(3);
         nn.fit(&train, &mut rng);
-        let acc = accuracy(&test.labels, &nn.predict(&test.features));
+        let acc = accuracy(&test.labels, &nn.predict_view(&test));
         assert!(acc > 0.95, "accuracy {acc}");
     }
 
@@ -342,7 +349,7 @@ mod tests {
             ..Default::default()
         });
         nn.fit(&data, &mut rng);
-        let acc = accuracy(&data.labels, &nn.predict(&data.features));
+        let acc = accuracy(&data.labels, &nn.predict_view(&data));
         assert!(acc > 0.95, "accuracy {acc}");
     }
 
@@ -355,7 +362,7 @@ mod tests {
         });
         let mut rng = rng_from_seed(6);
         nn.fit(&data, &mut rng);
-        let p = nn.predict_proba_one(&data.features[0]);
+        let p = nn.predict_proba_one(data.row(0));
         assert_eq!(p.len(), 2);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
@@ -371,7 +378,7 @@ mod tests {
             });
             let mut rng = rng_from_seed(8);
             nn.fit(&data, &mut rng);
-            nn.predict(&data.features)
+            nn.predict_view(&data)
         };
         assert_eq!(run(), run());
     }
@@ -387,7 +394,7 @@ mod tests {
         });
         let mut rng = rng_from_seed(10);
         nn.fit(&data, &mut rng);
-        let acc = accuracy(&data.labels, &nn.predict(&data.features));
+        let acc = accuracy(&data.labels, &nn.predict_view(&data));
         assert!(acc > 0.95, "accuracy {acc}");
     }
 }

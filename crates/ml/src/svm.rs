@@ -8,7 +8,7 @@
 //! standardizes inputs internally (SVMs are scale-sensitive; trees are
 //! not, so standardization lives here rather than in the dataset).
 
-use crate::data::{Dataset, Standardizer};
+use crate::data::{FeatureFrame, FrameView, Standardizer};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -74,15 +74,15 @@ struct BinarySvm {
 }
 
 impl BinarySvm {
-    /// Trains on rows with labels in {−1, +1} via simplified SMO.
-    fn train(x: &[Vec<f64>], y: &[f64], cfg: &SvmConfig, rng: &mut impl Rng) -> Self {
+    /// Trains on frame rows with labels in {−1, +1} via simplified SMO.
+    fn train(x: &FeatureFrame, y: &[f64], cfg: &SvmConfig, rng: &mut impl Rng) -> Self {
         let n = x.len();
         assert!(n >= 2, "need at least 2 rows");
         // Precompute the kernel matrix (datasets here are ≤ ~1000 rows).
         let mut k = vec![vec![0.0f64; n]; n];
         for i in 0..n {
             for j in i..n {
-                let v = cfg.kernel.eval(&x[i], &x[j]);
+                let v = cfg.kernel.eval(x.row(i), x.row(j));
                 k[i][j] = v;
                 k[j][i] = v;
             }
@@ -169,7 +169,7 @@ impl BinarySvm {
         let mut coef = Vec::new();
         for i in 0..n {
             if alpha[i] > 1e-8 {
-                support_x.push(x[i].clone());
+                support_x.push(x.row(i).to_vec());
                 coef.push(alpha[i] * y[i]);
             }
         }
@@ -214,17 +214,18 @@ impl SvmClassifier {
     }
 
     /// Fits one one-vs-rest machine per class (a single machine for
-    /// binary problems).
-    pub fn fit(&mut self, data: &Dataset, rng: &mut impl Rng) {
+    /// binary problems) from a frame or any view of one.
+    pub fn fit<'a>(&mut self, data: impl Into<FrameView<'a>>, rng: &mut impl Rng) {
+        let data = data.into();
         assert!(!data.is_empty(), "cannot fit on empty dataset");
-        let std = Standardizer::fit(data);
-        let scaled = std.transform(data);
+        let std = Standardizer::fit(&data);
+        let scaled = std.transform(&data);
         self.standardizer = Some(std);
-        self.n_classes = data.n_classes;
-        let n_machines = if data.n_classes == 2 {
+        self.n_classes = data.n_classes();
+        let n_machines = if data.n_classes() == 2 {
             1
         } else {
-            data.n_classes
+            data.n_classes()
         };
         self.machines = (0..n_machines)
             .map(|c| {
@@ -233,7 +234,7 @@ impl SvmClassifier {
                     .iter()
                     .map(|&l| if l == c { 1.0 } else { -1.0 })
                     .collect();
-                BinarySvm::train(&scaled.features, &y, &self.config, rng)
+                BinarySvm::train(&scaled, &y, &self.config, rng)
             })
             .collect();
     }
@@ -267,6 +268,11 @@ impl SvmClassifier {
         rows.iter().map(|r| self.predict_one(r)).collect()
     }
 
+    /// Predicted classes for every row of a frame view (no row copies).
+    pub fn predict_view<'a>(&self, data: impl Into<FrameView<'a>>) -> Vec<usize> {
+        data.into().rows().map(|r| self.predict_one(r)).collect()
+    }
+
     /// Total number of support vectors over all machines.
     pub fn n_support_vectors(&self) -> usize {
         self.machines.iter().map(|m| m.support_x.len()).sum()
@@ -276,6 +282,7 @@ impl SvmClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::Dataset;
     use crate::metrics::accuracy;
     use libra_util::rng::rng_from_seed;
 
@@ -315,7 +322,7 @@ mod tests {
         });
         let mut rng = rng_from_seed(1);
         svm.fit(&data, &mut rng);
-        let acc = accuracy(&data.labels, &svm.predict(&data.features));
+        let acc = accuracy(&data.labels, &svm.predict_view(&data));
         assert!(acc > 0.97, "accuracy {acc}");
     }
 
@@ -325,7 +332,7 @@ mod tests {
         let mut svm = SvmClassifier::new(SvmConfig::default());
         let mut rng = rng_from_seed(2);
         svm.fit(&data, &mut rng);
-        let acc = accuracy(&data.labels, &svm.predict(&data.features));
+        let acc = accuracy(&data.labels, &svm.predict_view(&data));
         assert!(acc > 0.95, "accuracy {acc}");
     }
 
@@ -339,7 +346,7 @@ mod tests {
         });
         let mut rng = rng_from_seed(3);
         svm.fit(&data, &mut rng);
-        let acc = accuracy(&data.labels, &svm.predict(&data.features));
+        let acc = accuracy(&data.labels, &svm.predict_view(&data));
         assert!(acc < 0.8, "linear should not separate circles: {acc}");
     }
 
@@ -361,7 +368,7 @@ mod tests {
         let mut rng = rng_from_seed(4);
         svm.fit(&data, &mut rng);
         assert_eq!(svm.machines.len(), 3);
-        let acc = accuracy(&data.labels, &svm.predict(&data.features));
+        let acc = accuracy(&data.labels, &svm.predict_view(&data));
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

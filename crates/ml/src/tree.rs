@@ -5,11 +5,73 @@
 //! This implementation supports both impurities, depth and
 //! min-samples-split limits, per-split feature subsampling (for random
 //! forests), and Gini importance accounting (Table 3).
+//!
+//! Training is columnar: the fit entry point gathers the incoming
+//! [`FrameView`] into a [`ColMatrix`] (column-major, one contiguous
+//! allocation) once, so every split search sorts and partitions a
+//! contiguous column slice instead of chasing per-row allocations.
 
-use crate::data::Dataset;
+use crate::data::FrameView;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Column-major training matrix: `cols[f * n_rows + i]` is feature `f`
+/// of row `i`, with labels alongside. Built once per fit from a
+/// [`FrameView`]; split finding then scans contiguous column slices.
+/// Shared with the GBDT regression trees.
+pub(crate) struct ColMatrix {
+    cols: Vec<f64>,
+    labels: Vec<usize>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl ColMatrix {
+    /// Gathers a view into column-major storage (the only copy the
+    /// training path makes).
+    pub(crate) fn from_view(data: &FrameView<'_>) -> Self {
+        let n_rows = data.len();
+        let n_cols = data.n_features();
+        let mut cols = Vec::with_capacity(n_rows * n_cols);
+        for f in 0..n_cols {
+            for i in 0..n_rows {
+                cols.push(data.value(i, f));
+            }
+        }
+        Self {
+            cols,
+            labels: data.labels_vec(),
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Number of rows.
+    pub(crate) fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of feature columns.
+    pub(crate) fn n_features(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Label of row `i`.
+    pub(crate) fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Contiguous slice of feature column `f`.
+    pub(crate) fn col(&self, f: usize) -> &[f64] {
+        &self.cols[f * self.n_rows..(f + 1) * self.n_rows]
+    }
+
+    /// Feature value at (`row`, `col`).
+    pub(crate) fn value(&self, row: usize, col: usize) -> f64 {
+        self.cols[col * self.n_rows + row]
+    }
+}
 
 /// Split-quality criterion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -122,33 +184,35 @@ impl DecisionTree {
         }
     }
 
-    /// Fits the tree. `rng` is only consumed when `max_features` asks for
-    /// feature subsampling.
-    pub fn fit(&mut self, data: &Dataset, rng: &mut impl Rng) {
+    /// Fits the tree on a frame or view. `rng` is only consumed when
+    /// `max_features` asks for feature subsampling.
+    pub fn fit<'a>(&mut self, data: impl Into<FrameView<'a>>, rng: &mut impl Rng) {
+        let data = data.into();
         assert!(!data.is_empty(), "cannot fit on empty dataset");
-        self.n_classes = data.n_classes;
+        self.n_classes = data.n_classes();
         self.importances = vec![0.0; data.n_features()];
-        let idx: Vec<usize> = (0..data.len()).collect();
-        let total = data.len();
-        self.root = Some(self.build(data, idx, 0, total, rng));
+        let cm = ColMatrix::from_view(&data);
+        let idx: Vec<usize> = (0..cm.len()).collect();
+        let total = cm.len();
+        self.root = Some(self.build(&cm, idx, 0, total, rng));
     }
 
     fn build(
         &mut self,
-        data: &Dataset,
+        cm: &ColMatrix,
         idx: Vec<usize>,
         depth: usize,
         total: usize,
         rng: &mut impl Rng,
     ) -> Node {
-        let counts = class_counts(data, &idx, self.n_classes);
+        let counts = class_counts(cm, &idx, self.n_classes);
         let node_impurity = self.config.impurity.of(&counts, idx.len());
         let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
         if pure || depth >= self.config.max_depth || idx.len() < self.config.min_samples_split {
             return leaf(&counts, idx.len());
         }
 
-        let n_features = data.n_features();
+        let n_features = cm.n_features();
         let mut feats: Vec<usize> = (0..n_features).collect();
         if let Some(k) = self.config.max_features {
             feats.shuffle(rng);
@@ -158,7 +222,7 @@ impl DecisionTree {
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted child impurity)
         for &f in &feats {
             if let Some((thr, child_imp)) =
-                best_split_on(data, &idx, f, self.config.impurity, self.n_classes)
+                best_split_on(cm, &idx, f, self.config.impurity, self.n_classes)
             {
                 if best.as_ref().map_or(true, |&(_, _, bi)| child_imp < bi) {
                     best = Some((f, thr, child_imp));
@@ -176,11 +240,11 @@ impl DecisionTree {
         self.importances[feature] +=
             (idx.len() as f64 / total as f64 * (node_impurity - child_impurity)).max(0.0);
 
-        let (li, ri): (Vec<usize>, Vec<usize>) = idx
-            .into_iter()
-            .partition(|&i| data.features[i][feature] <= threshold);
-        let left = Box::new(self.build(data, li, depth + 1, total, rng));
-        let right = Box::new(self.build(data, ri, depth + 1, total, rng));
+        let col = cm.col(feature);
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            idx.into_iter().partition(|&i| col[i] <= threshold);
+        let left = Box::new(self.build(cm, li, depth + 1, total, rng));
+        let right = Box::new(self.build(cm, ri, depth + 1, total, rng));
         Node::Split {
             feature,
             threshold,
@@ -219,6 +283,11 @@ impl DecisionTree {
     /// Predicted classes for many rows.
     pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
         rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Predicted classes for every row of a frame view (no row copies).
+    pub fn predict_view<'a>(&self, data: impl Into<FrameView<'a>>) -> Vec<usize> {
+        data.into().rows().map(|r| self.predict_one(r)).collect()
     }
 
     /// Normalized Gini feature importances (sum to 1 unless the tree is a
@@ -296,45 +365,43 @@ fn leaf(counts: &[usize], n: usize) -> Node {
     }
 }
 
-fn class_counts(data: &Dataset, idx: &[usize], n_classes: usize) -> Vec<usize> {
+fn class_counts(cm: &ColMatrix, idx: &[usize], n_classes: usize) -> Vec<usize> {
     let mut counts = vec![0usize; n_classes];
     for &i in idx {
-        counts[data.labels[i]] += 1;
+        counts[cm.label(i)] += 1;
     }
     counts
 }
 
 /// Finds the best threshold on feature `f` over rows `idx`; returns
 /// `(threshold, weighted child impurity)` or `None` when the column is
-/// constant.
+/// constant. The column is a contiguous slice, so the sort and the
+/// sweep below touch one cache-friendly run of memory.
 fn best_split_on(
-    data: &Dataset,
+    cm: &ColMatrix,
     idx: &[usize],
     f: usize,
     impurity: Impurity,
     n_classes: usize,
 ) -> Option<(f64, f64)> {
+    let col = cm.col(f);
     let mut order: Vec<usize> = idx.to_vec();
-    order.sort_by(|&a, &b| {
-        data.features[a][f]
-            .partial_cmp(&data.features[b][f])
-            .expect("no NaN features")
-    });
+    order.sort_by(|&a, &b| col[a].partial_cmp(&col[b]).expect("no NaN features"));
 
     let n = order.len();
     let mut left_counts = vec![0usize; n_classes];
     let mut right_counts = vec![0usize; n_classes];
     for &i in &order {
-        right_counts[data.labels[i]] += 1;
+        right_counts[cm.label(i)] += 1;
     }
 
     let mut best: Option<(f64, f64)> = None;
     for k in 0..n - 1 {
         let i = order[k];
-        left_counts[data.labels[i]] += 1;
-        right_counts[data.labels[i]] -= 1;
-        let v = data.features[i][f];
-        let v_next = data.features[order[k + 1]][f];
+        left_counts[cm.label(i)] += 1;
+        right_counts[cm.label(i)] -= 1;
+        let v = col[i];
+        let v_next = col[order[k + 1]];
         if v == v_next {
             continue; // threshold must separate distinct values
         }
@@ -367,6 +434,7 @@ fn argmax(xs: &[f64]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::Dataset;
     use libra_util::rng::rng_from_seed;
 
     fn xor_dataset() -> Dataset {
@@ -389,7 +457,7 @@ mod tests {
         let data = xor_dataset();
         let mut rng = rng_from_seed(1);
         tree.fit(&data, &mut rng);
-        let pred = tree.predict(&data.features);
+        let pred = tree.predict_view(&data);
         assert_eq!(crate::metrics::accuracy(&data.labels, &pred), 1.0);
         assert!(tree.depth() >= 2);
     }
@@ -449,7 +517,7 @@ mod tests {
         let data = xor_dataset();
         let mut rng = rng_from_seed(5);
         tree.fit(&data, &mut rng);
-        let pred = tree.predict(&data.features);
+        let pred = tree.predict_view(&data);
         assert_eq!(crate::metrics::accuracy(&data.labels, &pred), 1.0);
     }
 
@@ -484,6 +552,26 @@ mod tests {
     }
 
     #[test]
+    fn fitting_a_view_matches_fitting_its_materialization() {
+        let data = xor_dataset();
+        let idx: Vec<usize> = (0..data.len()).rev().collect();
+        let owned = data.subset(&idx);
+        let fit_on_view = {
+            let mut tree = DecisionTree::new(TreeConfig::default());
+            let mut rng = rng_from_seed(9);
+            tree.fit(data.select(&idx), &mut rng);
+            (tree.predict_view(&data), tree.feature_importances())
+        };
+        let fit_on_owned = {
+            let mut tree = DecisionTree::new(TreeConfig::default());
+            let mut rng = rng_from_seed(9);
+            tree.fit(&owned, &mut rng);
+            (tree.predict_view(&data), tree.feature_importances())
+        };
+        assert_eq!(fit_on_view, fit_on_owned);
+    }
+
+    #[test]
     fn dump_nodes_replays_predictions() {
         let data = xor_dataset();
         let mut tree = DecisionTree::new(TreeConfig::default());
@@ -514,7 +602,7 @@ mod tests {
                 }
             }
         };
-        for row in &data.features {
+        for row in data.rows() {
             assert_eq!(walk(row), tree.predict_one(row));
         }
     }

@@ -36,7 +36,7 @@ proptest! {
         let mut tree = DecisionTree::new(TreeConfig { max_depth: 30, ..Default::default() });
         let mut rng = rng_from_seed(seed);
         tree.fit(&data, &mut rng);
-        let acc = accuracy(&data.labels, &tree.predict(&data.features));
+        let acc = accuracy(&data.labels, &tree.predict_view(&data));
         prop_assert!(acc > 0.99, "training accuracy {acc}");
     }
 

@@ -1,0 +1,470 @@
+//! Columnar tabular core: one contiguous feature matrix shared by the
+//! whole data plane.
+//!
+//! Every layer of the reproduction is tabular — campaign export,
+//! stratified cross-validation, model fitting, and batched serving —
+//! and all of them used to shuttle rows around as `Vec<Vec<f64>>`,
+//! cloning per-row allocations at every hand-off. [`FeatureFrame`]
+//! stores the feature matrix as a single flat row-major `Vec<f64>`
+//! (`data[row * n_cols + col]`) next to its label vector, class count,
+//! and feature names. [`FrameView`] is a cheap `Copy` borrow of a frame
+//! restricted to an optional row subset, so k-fold splits, bootstrap
+//! samples, and train/test partitions are index lists over one shared
+//! allocation instead of materialized sub-datasets.
+//!
+//! Invariants (enforced by the constructors and `push_row`):
+//!
+//! - `data.len() == n_rows * n_cols` and `labels.len() == n_rows`;
+//! - every label is `< n_classes`, and `n_classes >= 2`;
+//! - no feature value is NaN (infinities are legal sentinels);
+//! - `feature_names.len() == n_cols` whenever the frame has rows.
+//!
+//! A view never copies feature data: `row()` returns a slice into the
+//! backing frame and `value()` indexes the flat buffer directly, so the
+//! layout is friendly both to row-major consumers (serving) and to
+//! column scans (split finding gathers a column once and sorts it in
+//! contiguous memory).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labelled feature matrix in one contiguous allocation.
+///
+/// The feature storage is row-major: row `i` occupies
+/// `data[i * n_cols .. (i + 1) * n_cols]`. Labels, the class count, and
+/// feature names ride along so a frame is a self-describing dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureFrame {
+    /// Flat row-major feature storage (`n_rows * n_cols` values).
+    data: Vec<f64>,
+    /// Number of rows currently stored.
+    n_rows: usize,
+    /// Number of feature columns (0 until the first row is pushed into
+    /// an empty frame built with [`FeatureFrame::with_schema`]).
+    n_cols: usize,
+    /// Class label per row, each in `0..n_classes`.
+    pub labels: Vec<usize>,
+    /// Number of distinct classes.
+    pub n_classes: usize,
+    /// Human-readable name per feature column.
+    pub feature_names: Vec<String>,
+}
+
+impl FeatureFrame {
+    /// Builds a frame from row-oriented features, validating shape and
+    /// values. Panics on ragged rows, label/row count mismatch, labels
+    /// out of range, or NaN features — same contract the row-oriented
+    /// `Dataset` constructor enforced.
+    pub fn new(
+        features: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        n_classes: usize,
+        feature_names: Vec<String>,
+    ) -> Self {
+        assert_eq!(features.len(), labels.len(), "row/label count mismatch");
+        assert!(n_classes >= 2, "need at least two classes");
+        if let Some(first) = features.first() {
+            assert!(
+                features.iter().all(|r| r.len() == first.len()),
+                "ragged feature rows"
+            );
+            assert_eq!(feature_names.len(), first.len(), "name/column mismatch");
+        }
+        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
+        assert!(
+            features.iter().flatten().all(|v| !v.is_nan()),
+            "NaN features must be sanitized before model fitting"
+        );
+        let n_rows = features.len();
+        let n_cols = features.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for row in &features {
+            data.extend_from_slice(row);
+        }
+        Self {
+            data,
+            n_rows,
+            n_cols,
+            labels,
+            n_classes,
+            feature_names,
+        }
+    }
+
+    /// An empty frame carrying only the schema; rows are appended with
+    /// [`FeatureFrame::push_row`]. The column count is adopted from the
+    /// first pushed row (and checked against `feature_names`).
+    pub fn with_schema(n_classes: usize, feature_names: Vec<String>) -> Self {
+        assert!(n_classes >= 2, "need at least two classes");
+        Self {
+            data: Vec::new(),
+            n_rows: 0,
+            n_cols: 0,
+            labels: Vec::new(),
+            n_classes,
+            feature_names,
+        }
+    }
+
+    /// Appends one labelled row. The first row pushed into an empty
+    /// frame fixes the column count; later rows must match it.
+    pub fn push_row(&mut self, row: &[f64], label: usize) {
+        if self.n_rows == 0 {
+            if !self.feature_names.is_empty() {
+                assert_eq!(self.feature_names.len(), row.len(), "name/column mismatch");
+            }
+            self.n_cols = row.len();
+        } else {
+            assert_eq!(row.len(), self.n_cols, "ragged feature rows");
+        }
+        assert!(label < self.n_classes, "label out of range");
+        assert!(
+            row.iter().all(|v| !v.is_nan()),
+            "NaN features must be sanitized before model fitting"
+        );
+        self.data.extend_from_slice(row);
+        self.labels.push(label);
+        self.n_rows += 1;
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True when the frame holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Number of feature columns (0 for an empty frame).
+    pub fn n_features(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Borrow of row `i` as a contiguous slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Feature value at (`row`, `col`) straight from the flat buffer.
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.n_cols + col]
+    }
+
+    /// Iterator over all rows as borrowed slices (no copies).
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.n_cols.max(1)).take(self.n_rows)
+    }
+
+    /// Iterator over column `col`, top to bottom (strided scan of the
+    /// flat buffer).
+    pub fn column(&self, col: usize) -> impl Iterator<Item = f64> + '_ {
+        (0..self.n_rows).map(move |i| self.value(i, col))
+    }
+
+    /// Zero-copy view spanning every row.
+    pub fn view(&self) -> FrameView<'_> {
+        FrameView {
+            frame: self,
+            rows: None,
+        }
+    }
+
+    /// Zero-copy view restricted to the given row indices (in order,
+    /// duplicates allowed — bootstrap samples are index lists too).
+    pub fn select<'a>(&'a self, rows: &'a [usize]) -> FrameView<'a> {
+        debug_assert!(rows.iter().all(|&i| i < self.n_rows), "row index range");
+        FrameView {
+            frame: self,
+            rows: Some(rows),
+        }
+    }
+
+    /// Materializes the selected rows into a new owned frame. Views are
+    /// preferred for training; this exists for owners that outlive the
+    /// source (e.g. online buffers).
+    pub fn subset(&self, idx: &[usize]) -> Self {
+        let mut data = Vec::with_capacity(idx.len() * self.n_cols);
+        let mut labels = Vec::with_capacity(idx.len());
+        for &i in idx {
+            data.extend_from_slice(self.row(i));
+            labels.push(self.labels[i]);
+        }
+        Self {
+            data,
+            n_rows: idx.len(),
+            n_cols: self.n_cols,
+            labels,
+            n_classes: self.n_classes,
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Copies the frame back out as row-oriented `Vec<Vec<f64>>` (for
+    /// row-based APIs and tests; the training path never calls this).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.rows().map(<[f64]>::to_vec).collect()
+    }
+
+    /// Number of rows per class label.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Splits row indices into `k` folds preserving per-class ratios.
+    /// Rows of each class are shuffled, then dealt round-robin across
+    /// folds, so every fold sees roughly the overall class balance.
+    pub fn stratified_folds(&self, k: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+        assert!(k >= 2, "need at least 2 folds");
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes];
+        for (i, &l) in self.labels.iter().enumerate() {
+            by_class[l].push(i);
+        }
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for class_idx in &mut by_class {
+            class_idx.shuffle(rng);
+            for (j, &row) in class_idx.iter().enumerate() {
+                folds[j % k].push(row);
+            }
+        }
+        folds
+    }
+
+    /// Per-column mean and standard deviation (degenerate columns get
+    /// sd forced to 1 so standardization stays finite).
+    pub fn column_stats(&self) -> (Vec<f64>, Vec<f64>) {
+        self.view().column_stats()
+    }
+}
+
+impl<'a> From<&'a FeatureFrame> for FrameView<'a> {
+    fn from(frame: &'a FeatureFrame) -> Self {
+        frame.view()
+    }
+}
+
+/// A borrowed window onto a [`FeatureFrame`]: the whole frame, or an
+/// ordered subset of its rows. Copying a view copies two pointers — no
+/// feature data moves. Local row indices (`0..len()`) address positions
+/// within the view; [`FrameView::global`] maps them back to rows of the
+/// backing frame.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView<'a> {
+    frame: &'a FeatureFrame,
+    rows: Option<&'a [usize]>,
+}
+
+impl<'a> FrameView<'a> {
+    /// Number of rows visible through the view.
+    pub fn len(&self) -> usize {
+        self.rows.map_or(self.frame.n_rows, <[usize]>::len)
+    }
+
+    /// True when the view selects no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of feature columns of the backing frame.
+    pub fn n_features(&self) -> usize {
+        self.frame.n_cols
+    }
+
+    /// Number of classes of the backing frame.
+    pub fn n_classes(&self) -> usize {
+        self.frame.n_classes
+    }
+
+    /// Feature names of the backing frame.
+    pub fn feature_names(&self) -> &'a [String] {
+        &self.frame.feature_names
+    }
+
+    /// The backing frame itself.
+    pub fn frame(&self) -> &'a FeatureFrame {
+        self.frame
+    }
+
+    /// Maps a local row index to the row index in the backing frame.
+    pub fn global(&self, local: usize) -> usize {
+        self.rows.map_or(local, |r| r[local])
+    }
+
+    /// Maps a batch of local indices to backing-frame indices.
+    pub fn resolve(&self, local: &[usize]) -> Vec<usize> {
+        local.iter().map(|&i| self.global(i)).collect()
+    }
+
+    /// Borrow of local row `i` as a contiguous slice of the backing
+    /// frame (zero copies).
+    pub fn row(&self, i: usize) -> &'a [f64] {
+        self.frame.row(self.global(i))
+    }
+
+    /// Feature value at local (`row`, `col`).
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.frame.value(self.global(row), col)
+    }
+
+    /// Label of local row `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.frame.labels[self.global(i)]
+    }
+
+    /// Iterator over the view's rows as borrowed slices.
+    pub fn rows(self) -> impl Iterator<Item = &'a [f64]> {
+        (0..self.len()).map(move |i| self.row(i))
+    }
+
+    /// Labels of the view's rows, materialized in view order.
+    pub fn labels_vec(&self) -> Vec<usize> {
+        (0..self.len()).map(|i| self.label(i)).collect()
+    }
+
+    /// Number of rows per class label within the view.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for i in 0..self.len() {
+            counts[self.label(i)] += 1;
+        }
+        counts
+    }
+
+    /// Per-column mean and standard deviation over the view's rows
+    /// (row-major accumulation; degenerate columns get sd forced to 1).
+    pub fn column_stats(&self) -> (Vec<f64>, Vec<f64>) {
+        let cols = self.n_features();
+        let n = self.len().max(1) as f64;
+        let mut mean = vec![0.0; cols];
+        for i in 0..self.len() {
+            for (m, &v) in mean.iter_mut().zip(self.row(i)) {
+                *m += v / n;
+            }
+        }
+        let mut sd = vec![0.0; cols];
+        for i in 0..self.len() {
+            for ((s, m), &v) in sd.iter_mut().zip(&mean).zip(self.row(i)) {
+                *s += (v - m) * (v - m) / n;
+            }
+        }
+        for s in &mut sd {
+            *s = s.sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        (mean, sd)
+    }
+}
+
+impl<'a, 'b> From<&'b FrameView<'a>> for FrameView<'a> {
+    fn from(view: &'b FrameView<'a>) -> Self {
+        *view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    fn toy(n: usize) -> FeatureFrame {
+        let features: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (2 * i) as f64]).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        FeatureFrame::new(features, labels, 2, vec!["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn round_trips_row_oriented_input() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let frame = FeatureFrame::new(rows.clone(), vec![0, 1, 0], 2, vec!["a".into(), "b".into()]);
+        assert_eq!(frame.to_rows(), rows);
+        assert_eq!(frame.len(), 3);
+        assert_eq!(frame.n_features(), 2);
+        assert_eq!(frame.row(1), &[3.0, 4.0]);
+        assert_eq!(frame.value(2, 1), 6.0);
+        assert_eq!(frame.column(0).collect::<Vec<_>>(), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn push_row_matches_bulk_construction() {
+        let bulk = toy(5);
+        let mut grown = FeatureFrame::with_schema(2, vec!["a".into(), "b".into()]);
+        for i in 0..5 {
+            grown.push_row(bulk.row(i), bulk.labels[i]);
+        }
+        assert_eq!(grown, bulk);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn push_row_rejects_ragged_rows() {
+        let mut f = toy(2);
+        f.push_row(&[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn push_row_rejects_nan() {
+        let mut f = toy(2);
+        f.push_row(&[f64::NAN, 0.0], 0);
+    }
+
+    #[test]
+    fn views_are_zero_copy_windows() {
+        let frame = toy(6);
+        let full = frame.view();
+        assert_eq!(full.len(), 6);
+        assert_eq!(full.row(3), frame.row(3));
+        let idx = [5usize, 1, 1];
+        let sub = frame.select(&idx);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.row(0), frame.row(5));
+        assert_eq!(sub.row(2), frame.row(1));
+        assert_eq!(sub.label(0), frame.labels[5]);
+        assert_eq!(sub.labels_vec(), vec![1, 1, 1]);
+        assert_eq!(sub.global(0), 5);
+        assert_eq!(sub.resolve(&[0, 2]), vec![5, 1]);
+    }
+
+    #[test]
+    fn subset_materializes_view_rows() {
+        let frame = toy(6);
+        let idx = [0usize, 4, 2];
+        let owned = frame.subset(&idx);
+        assert_eq!(owned.len(), 3);
+        for (k, &i) in idx.iter().enumerate() {
+            assert_eq!(owned.row(k), frame.row(i));
+            assert_eq!(owned.labels[k], frame.labels[i]);
+        }
+    }
+
+    #[test]
+    fn stratified_folds_cover_and_balance() {
+        let frame = toy(20);
+        let mut rng = rng_from_seed(7);
+        let folds = frame.stratified_folds(4, &mut rng);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+        for fold in &folds {
+            let ones = fold.iter().filter(|&&i| frame.labels[i] == 1).count();
+            assert_eq!(ones * 2, fold.len(), "fold must keep the class ratio");
+        }
+    }
+
+    #[test]
+    fn view_column_stats_match_frame() {
+        let frame = toy(9);
+        let (m1, s1) = frame.column_stats();
+        let (m2, s2) = frame.view().column_stats();
+        assert_eq!(m1, m2);
+        assert_eq!(s1, s2);
+    }
+}

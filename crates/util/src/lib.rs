@@ -29,6 +29,13 @@
 //!   checks and content-equality comparisons.
 //! - [`paths`] — canonical on-disk locations (results root, model
 //!   registry root) with environment-variable overrides.
+//! - [`frame`] — the columnar data plane: [`frame::FeatureFrame`] stores a
+//!   labelled feature matrix in one flat row-major allocation, and
+//!   [`frame::FrameView`] lends zero-copy row subsets to folds, bootstrap
+//!   samples, and serving batches.
+//! - [`series`] — [`series::SharedSeries`], a copy-on-write `Vec<f64>`
+//!   handle so per-MCS measurement tables are shared across the evaluation
+//!   grid instead of deep-cloned per segment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,12 +45,16 @@ pub mod checksum;
 pub mod csvio;
 pub mod db;
 pub mod fft;
+pub mod frame;
 pub mod par;
 pub mod paths;
 pub mod rng;
+pub mod series;
 pub mod stats;
 pub mod table;
 
 pub use db::{db_to_linear, dbm_to_mw, linear_to_db, mw_to_dbm};
 pub use fft::Complex;
+pub use frame::{FeatureFrame, FrameView};
+pub use series::SharedSeries;
 pub use stats::{mean, pearson, percentile, stddev, BoxplotSummary, EmpiricalCdf};

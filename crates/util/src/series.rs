@@ -1,0 +1,112 @@
+//! Copy-on-write shared `f64` series.
+//!
+//! Per-MCS measurement tables (throughput and codeword-delivery-ratio
+//! curves) are produced once per campaign entry but consumed by every
+//! simulated segment of the §8 evaluation grid: each flow duration ×
+//! overhead-preset cell used to deep-clone both vectors per segment.
+//! [`SharedSeries`] keeps one allocation behind an [`Arc`], so handing a
+//! table to another owner is a reference-count bump, while `DerefMut`
+//! falls back to clone-on-write ([`Arc::make_mut`]) so the few mutation
+//! sites (tests perturbing a curve) keep value semantics.
+//!
+//! The serde representation delegates to the inner `Vec<f64>`, so
+//! on-disk campaign files are byte-identical to the plain-vector era.
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A shared, copy-on-write vector of `f64` samples.
+///
+/// Dereferences to `Vec<f64>`, so indexing, slicing, iteration, and
+/// length checks read straight through; cloning shares the allocation;
+/// mutation clones lazily (value semantics, shared storage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedSeries(Arc<Vec<f64>>);
+
+impl SharedSeries {
+    /// Wraps a vector into a shared handle (no copy).
+    pub fn new(values: Vec<f64>) -> Self {
+        Self(Arc::new(values))
+    }
+
+    /// Number of handles currently sharing this allocation
+    /// (associated function, `Arc`-style, for tests and diagnostics).
+    pub fn ref_count(this: &Self) -> usize {
+        Arc::strong_count(&this.0)
+    }
+}
+
+impl From<Vec<f64>> for SharedSeries {
+    fn from(values: Vec<f64>) -> Self {
+        Self::new(values)
+    }
+}
+
+impl Deref for SharedSeries {
+    type Target = Vec<f64>;
+
+    fn deref(&self) -> &Vec<f64> {
+        &self.0
+    }
+}
+
+impl DerefMut for SharedSeries {
+    fn deref_mut(&mut self) -> &mut Vec<f64> {
+        Arc::make_mut(&mut self.0)
+    }
+}
+
+impl Serialize for SharedSeries {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.0.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for SharedSeries {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<f64>::deserialize(deserializer).map(Self::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = SharedSeries::new(vec![1.0, 2.0, 3.0]);
+        let b = a.clone();
+        assert_eq!(SharedSeries::ref_count(&a), 2);
+        assert_eq!(a, b);
+        assert_eq!(b[1], 2.0);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn mutation_copies_instead_of_aliasing() {
+        let a = SharedSeries::new(vec![1.0, 2.0]);
+        let mut b = a.clone();
+        b[0] = 9.0;
+        assert_eq!(a[0], 1.0, "mutating one handle must not alias the other");
+        assert_eq!(b[0], 9.0);
+        assert_eq!(SharedSeries::ref_count(&a), 1);
+    }
+
+    #[test]
+    fn serde_matches_plain_vector() {
+        let s = SharedSeries::new(vec![0.5, -1.5, 2.25]);
+        let as_series = crate::binser::to_bytes(&s).expect("serialize series");
+        let as_vec = crate::binser::to_bytes(&vec![0.5f64, -1.5, 2.25]).expect("serialize vec");
+        assert_eq!(as_series, as_vec, "wire format must match Vec<f64>");
+        let back: SharedSeries = crate::binser::from_bytes(&as_series).expect("deserialize");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn slicing_and_iteration_read_through() {
+        let s = SharedSeries::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s[..=1].iter().sum::<f64>(), 3.0);
+        assert_eq!(s.iter().copied().fold(0.0, f64::max), 4.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the columnar `FeatureFrame`: row/column
+//! accessor consistency and round-trips from row-oriented input.
+
+use libra_util::frame::FeatureFrame;
+use libra_util::rng::rng_from_seed;
+use proptest::prelude::*;
+
+/// Strategy: a non-ragged row-oriented matrix plus matching labels.
+fn table(
+    max_rows: usize,
+    max_cols: usize,
+) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<usize>, usize)> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(n_rows, n_cols)| {
+        let rows = prop::collection::vec(
+            prop::collection::vec(-1e6f64..1e6, n_cols..=n_cols),
+            n_rows..=n_rows,
+        );
+        let labels = prop::collection::vec(0usize..3, n_rows..=n_rows);
+        (rows, labels, Just(3usize))
+    })
+}
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("f{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Building a frame from rows and reading it back is the identity.
+    #[test]
+    fn round_trip_from_rows((rows, labels, n_classes) in table(20, 6)) {
+        let frame = FeatureFrame::new(rows.clone(), labels.clone(), n_classes, names(rows[0].len()));
+        prop_assert_eq!(frame.to_rows(), rows);
+        prop_assert_eq!(&frame.labels, &labels);
+    }
+
+    /// Row accessors, column iterators, and flat values all agree.
+    #[test]
+    fn row_and_column_views_agree((rows, labels, n_classes) in table(16, 5)) {
+        let frame = FeatureFrame::new(rows.clone(), labels, n_classes, names(rows[0].len()));
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(frame.row(i), row.as_slice());
+            for (f, &v) in row.iter().enumerate() {
+                prop_assert_eq!(frame.value(i, f).to_bits(), v.to_bits());
+            }
+        }
+        for f in 0..frame.n_features() {
+            let col: Vec<f64> = frame.column(f).collect();
+            for (i, row) in rows.iter().enumerate() {
+                prop_assert_eq!(col[i].to_bits(), row[f].to_bits());
+            }
+        }
+    }
+
+    /// A view over explicit indices reads exactly the selected rows, and
+    /// materializing it via `subset` yields the same data.
+    #[test]
+    fn selected_views_match_source(
+        (rows, labels, n_classes) in table(16, 4),
+        pick in prop::collection::vec(0usize..16, 1..24),
+    ) {
+        let frame = FeatureFrame::new(rows.clone(), labels, n_classes, names(rows[0].len()));
+        let idx: Vec<usize> = pick.into_iter().map(|i| i % rows.len()).collect();
+        let view = frame.select(&idx);
+        prop_assert_eq!(view.len(), idx.len());
+        for (local, &global) in idx.iter().enumerate() {
+            prop_assert_eq!(view.row(local), frame.row(global));
+            prop_assert_eq!(view.label(local), frame.labels[global]);
+            prop_assert_eq!(view.global(local), global);
+        }
+        let owned = frame.subset(&idx);
+        prop_assert_eq!(owned.to_rows(), view.rows().map(<[f64]>::to_vec).collect::<Vec<_>>());
+        prop_assert_eq!(owned.labels, view.labels_vec());
+    }
+
+    /// Growing a frame row by row matches bulk construction bitwise.
+    #[test]
+    fn push_row_equals_bulk((rows, labels, n_classes) in table(12, 4)) {
+        let bulk = FeatureFrame::new(rows.clone(), labels.clone(), n_classes, names(rows[0].len()));
+        let mut grown = FeatureFrame::with_schema(n_classes, names(rows[0].len()));
+        for (row, &label) in rows.iter().zip(&labels) {
+            grown.push_row(row, label);
+        }
+        prop_assert_eq!(grown, bulk);
+    }
+
+    /// Stratified folds partition the row indices exactly.
+    #[test]
+    fn folds_partition_rows((rows, labels, n_classes) in table(24, 3), seed in 0u64..100) {
+        let frame = FeatureFrame::new(rows.clone(), labels, n_classes, names(rows[0].len()));
+        let mut rng = rng_from_seed(seed);
+        let folds = frame.stratified_folds(3, &mut rng);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..frame.len()).collect::<Vec<_>>());
+    }
+}

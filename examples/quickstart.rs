@@ -34,7 +34,7 @@ fn main() {
     println!("\ntraining the 3-class classifier (random forest)...");
     let mut rng = rng_from_seed(7);
     let clf = LibraClassifier::train(&train.to_ml_3class(&table, &params), &mut rng);
-    println!("  {} trees", clf.forest().n_trees());
+    println!("  {} trees", clf.engine().n_trees());
 
     println!("\nreplaying a link break from a held-out building:");
     let test = generate(&testing_campaign_plan(), &cfg);

@@ -44,7 +44,7 @@ fn main() {
     println!("\ntraining LiBRA's 3-class forest and reading its importances:");
     let mut rng = rng_from_seed(3);
     let clf = LibraClassifier::train(&main_ds.to_ml_3class(&table, &params), &mut rng);
-    for (name, imp) in FEATURE_NAMES.iter().zip(clf.forest().feature_importances()) {
+    for (name, imp) in FEATURE_NAMES.iter().zip(clf.engine().feature_importances()) {
         println!("  {name:12} {imp:.3}");
     }
 

@@ -57,8 +57,8 @@ fn classifier_training_is_reproducible() {
         assert_eq!(a.classify(&entry.features), b.classify(&entry.features));
     }
     assert_eq!(
-        a.forest().feature_importances(),
-        b.forest().feature_importances()
+        a.engine().feature_importances(),
+        b.engine().feature_importances()
     );
 }
 

@@ -99,7 +99,7 @@ proptest! {
                 c.push(cdr);
                 t.push(e.rate_mbps * cdr);
             }
-            ConfigData { tput_mbps: t, cdr: c }
+            ConfigData { tput_mbps: t.into(), cdr: c.into() }
         };
         let seg = SegmentData {
             old: cfg_data(snr_old),
