@@ -7,6 +7,8 @@
 //! experiments table1 fig10 ...    # individual artifacts
 //! experiments --csv-dir out/ figs # also export CSV series
 //! experiments --threads 4 all     # explicit worker-thread count
+//! experiments quick --trace       # also write results/trace.jsonl
+//!                                 # and results/obs_summary.txt
 //! ```
 //!
 //! Artifact names: fig1 fig2 fig3 table1 table2 fig4 fig5 fig6 fig7 fig8
@@ -102,12 +104,14 @@ fn main() {
     };
     let mut wanted: Vec<String> = Vec::new();
     let mut quick = false;
+    let mut trace = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--csv-dir" => {
                 opts.csv_dir = Some(it.next().expect("--csv-dir needs a path"));
             }
+            "--trace" => trace = true,
             "--model" => {
                 context::set_model(&it.next().expect("--model needs a name[@version] or path"));
             }
@@ -137,11 +141,15 @@ fn main() {
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: experiments [--csv-dir DIR] [--threads N] [--model NAME[@VER]|PATH] \
+            "usage: experiments [--csv-dir DIR] [--threads N] [--trace] \
+             [--model NAME[@VER]|PATH] \
              [all|quick|fig1..fig13|table1..table4|cv|crossbuilding|threeclass|ablations\
              |inferbench|trainbench]"
         );
         std::process::exit(2);
+    }
+    if trace {
+        libra_obs::set_enabled(true);
     }
     let all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
@@ -278,6 +286,16 @@ fn main() {
 
     if sequential {
         store_baseline(&baseline.borrow());
+    }
+    if trace {
+        libra_obs::set_enabled(false);
+        let report = libra_obs::take_root_report();
+        match libra_obs::write_trace_files(&report, &libra_util::paths::results_root()) {
+            Ok((jsonl, summary)) => {
+                eprintln!("trace: wrote {} and {}", jsonl.display(), summary.display())
+            }
+            Err(e) => eprintln!("warning: could not write trace files: {e}"),
+        }
     }
     eprintln!("total: {:.1} s", t0.elapsed().as_secs_f64());
 }

@@ -10,10 +10,10 @@
 //! can be compared.
 
 use crate::context::{classifier, gt_params, main_dataset, table, CLASSIFIER_SEED};
-use libra_ml::{ForestConfig, RandomForest};
+use libra_ml::{Classifier, ForestConfig, RandomForest};
+use libra_obs as obs;
 use libra_util::rng::rng_from_seed;
 use libra_util::table::{fmt_f, TextTable};
-use std::time::Instant;
 
 /// Where the microbenchmark records its measurements.
 pub fn report_path() -> std::path::PathBuf {
@@ -31,14 +31,27 @@ pub fn recursive_reference() -> RandomForest {
 }
 
 /// Times `passes` full-matrix prediction passes, returning (total
-/// seconds, predictions from the last pass).
-fn time_passes<F: FnMut() -> Vec<usize>>(passes: usize, mut run: F) -> (f64, Vec<usize>) {
+/// seconds, predictions from the last pass, scope report). Timing flows
+/// through the telemetry spine: each pass runs under a
+/// `bench.serving.pass` span inside a collection scope, and the total
+/// is read back from the scope report's wall histogram. The report also
+/// carries whatever the engine recorded (per-row latency, batch sizes).
+fn time_passes<F: FnMut() -> Vec<usize>>(
+    passes: usize,
+    mut run: F,
+) -> (f64, Vec<usize>, obs::Report) {
     let mut preds = run(); // warm-up, untimed
-    let t = Instant::now();
-    for _ in 0..passes {
-        preds = run();
-    }
-    (t.elapsed().as_secs_f64(), preds)
+    let ((), report) = obs::with_scope(|| {
+        for _ in 0..passes {
+            let _span = obs::span("bench.serving.pass");
+            preds = run();
+        }
+    });
+    (
+        report.wall_nanos("bench.serving.pass") as f64 / 1e9,
+        preds,
+        report,
+    )
 }
 
 /// Runs the microbenchmark: `passes` timed prediction passes over the
@@ -61,9 +74,9 @@ pub fn serving_bench(passes: usize) -> String {
         "flattened engine diverged from the recursive forest on the campaign dataset"
     );
 
-    let (rec_s, rec_preds) = time_passes(passes, || recursive.predict_view(&view));
+    let (rec_s, rec_preds, _) = time_passes(passes, || recursive.predict_view(&view));
     let mut out = Vec::new();
-    let (flat_s, flat_preds) = time_passes(passes, || {
+    let (flat_s, flat_preds, flat_report) = time_passes(passes, || {
         engine.predict_batch_view(&view, &mut out);
         out.clone()
     });
@@ -84,12 +97,24 @@ pub fn serving_bench(passes: usize) -> String {
         ]);
     }
     let speedup = rec_s / flat_s;
+    let row_lat = flat_report
+        .hist("infer.serve.row_ns")
+        .map(|h| {
+            format!(
+                "flat per-row latency (traced): p50 ≤ {} ns, p99 ≤ {} ns over {} rows\n",
+                h.percentile(0.50),
+                h.percentile(0.99),
+                h.count
+            )
+        })
+        .unwrap_or_default();
     let report = format!(
-        "Inference serving: {} trees, {} nodes, {} rows\n{}flat engine speedup: {:.2}x\n",
+        "Inference serving: {} trees, {} nodes, {} rows\n{}{}flat engine speedup: {:.2}x\n",
         engine.n_trees(),
         engine.n_nodes(),
         data.len(),
         t.render(),
+        row_lat,
         speedup
     );
 

@@ -13,15 +13,15 @@
 
 use crate::context::{gt_params, main_dataset, table};
 use libra_ml::{
-    Dataset, DecisionTree, DumpRegNode, ForestConfig, GbdtClassifier, GbdtConfig, Impurity,
-    KnnClassifier, KnnConfig, RandomForest, TreeConfig,
+    Classifier, Dataset, DecisionTree, DumpRegNode, ForestConfig, GbdtClassifier, GbdtConfig,
+    Impurity, KnnClassifier, KnnConfig, RandomForest, TreeConfig,
 };
+use libra_obs as obs;
 use libra_util::par::par_map_index;
 use libra_util::rng::{derive_seed_index, rng_from_seed};
 use libra_util::table::{fmt_f, TextTable};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::time::Instant;
 
 /// Seed every benchmark fit derives from: both engines see the same draws.
 pub const TRAIN_SEED: u64 = 0x5EED;
@@ -734,7 +734,11 @@ pub fn assert_columnar_matches_rows(frame: &Dataset, seed: u64) {
     let mut rng = rng_from_seed(seed);
     col_tree.fit(frame, &mut rng);
     let row_pred: Vec<usize> = rows.rows.iter().map(|r| row_tree.predict_one(r)).collect();
-    assert_eq!(row_pred, col_tree.predict_view(frame), "DT predictions diverged");
+    assert_eq!(
+        row_pred,
+        col_tree.predict_view(&frame.view()),
+        "DT predictions diverged"
+    );
     assert_eq!(
         bits(&row_tree.feature_importances()),
         bits(&col_tree.feature_importances()),
@@ -754,7 +758,7 @@ pub fn assert_columnar_matches_rows(frame: &Dataset, seed: u64) {
         .collect();
     assert_eq!(
         row_pred,
-        col_forest.predict_view(frame),
+        col_forest.predict_view(&frame.view()),
         "RF predictions diverged"
     );
     assert_eq!(
@@ -770,7 +774,7 @@ pub fn assert_columnar_matches_rows(frame: &Dataset, seed: u64) {
     let row_pred: Vec<usize> = rows.rows.iter().map(|r| row_gbdt.predict_one(r)).collect();
     assert_eq!(
         row_pred,
-        col_gbdt.predict_view(frame),
+        col_gbdt.predict_view(&frame.view()),
         "GBDT predictions diverged"
     );
     assert_eq!(
@@ -786,20 +790,24 @@ pub fn assert_columnar_matches_rows(frame: &Dataset, seed: u64) {
     let row_pred: Vec<usize> = rows.rows.iter().map(|r| row_knn.predict_one(r)).collect();
     assert_eq!(
         row_pred,
-        col_knn.predict_view(frame),
+        col_knn.predict_view(&frame.view()),
         "k-NN predictions diverged"
     );
 }
 
 /// Times `passes` full fits, returning total seconds (one untimed
-/// warm-up fit first).
+/// warm-up fit first). Timing flows through the telemetry spine: each
+/// pass runs under a `bench.train.pass` span inside a collection scope,
+/// and the total is read back from the scope report's wall histogram.
 fn time_fits<F: FnMut()>(passes: usize, mut run: F) -> f64 {
     run();
-    let t = Instant::now();
-    for _ in 0..passes {
-        run();
-    }
-    t.elapsed().as_secs_f64()
+    let ((), report) = obs::with_scope(|| {
+        for _ in 0..passes {
+            let _span = obs::span("bench.train.pass");
+            run();
+        }
+    });
+    report.wall_nanos("bench.train.pass") as f64 / 1e9
 }
 
 /// Runs the training microbenchmark: per model, `passes` timed fits of
@@ -834,11 +842,15 @@ pub fn train_bench(passes: usize) -> String {
     measurements.push(("RF", row_s, col_s));
 
     let row_s = time_fits(passes, || RowGbdt::new(GbdtConfig::default()).fit(&rows));
-    let col_s = time_fits(passes, || GbdtClassifier::new(GbdtConfig::default()).fit(&frame));
+    let col_s = time_fits(passes, || {
+        GbdtClassifier::new(GbdtConfig::default()).fit(&frame)
+    });
     measurements.push(("GBDT", row_s, col_s));
 
     let row_s = time_fits(passes, || RowKnn::new(KnnConfig::default()).fit(&rows));
-    let col_s = time_fits(passes, || KnnClassifier::new(KnnConfig::default()).fit(&frame));
+    let col_s = time_fits(passes, || {
+        KnnClassifier::new(KnnConfig::default()).fit(&frame)
+    });
     measurements.push(("kNN", row_s, col_s));
 
     let mut t = TextTable::new([

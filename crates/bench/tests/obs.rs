@@ -1,0 +1,135 @@
+//! Telemetry-spine regressions.
+//!
+//! Two contracts:
+//! 1. Counters and value histograms are **bitwise identical** at any
+//!    worker-thread count: `par_map` worker frames merge back in task
+//!    index order, and wall-clock histograms stay out of the
+//!    determinism digest.
+//! 2. With tracing off, the serving path never touches the collector —
+//!    the obs allocation ledger does not move across a prediction pass.
+
+use libra::LibraClassifier;
+use libra_dataset::{generate, main_campaign_plan, CampaignConfig, GroundTruthParams, Instruments};
+use libra_obs as obs;
+use libra_phy::McsTable;
+use libra_util::par::set_threads;
+use libra_util::rng::rng_from_seed;
+use std::sync::Mutex;
+
+/// The collector (enable flag, scope depth, allocation ledger) is
+/// process-global; serialize the tests that poke it.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// A reduced campaign (the determinism-test slice) so training twice
+/// stays test-sized.
+fn small_3class() -> libra_ml::Dataset {
+    let keep = [
+        "lobby-back",
+        "lobby-rot1",
+        "lobby-blk0",
+        "lab-back",
+        "conf-rot1",
+    ];
+    let plan: Vec<_> = main_campaign_plan()
+        .into_iter()
+        .filter(|s| keep.contains(&s.name.as_str()))
+        .collect();
+    assert_eq!(
+        plan.len(),
+        keep.len(),
+        "campaign plan no longer contains the test scenarios"
+    );
+    let instruments = Instruments {
+        trace_frames: 25,
+        ..Instruments::default()
+    };
+    let cfg = CampaignConfig {
+        seed: 0xD17E,
+        instruments,
+        repeats: 1,
+    };
+    generate(&plan, &cfg).to_ml_3class(&McsTable::x60(), &GroundTruthParams::default())
+}
+
+/// Trains and serves under a collection scope at the given worker
+/// count, returning the scope report.
+fn traced_workload(threads: usize) -> obs::Report {
+    set_threads(threads);
+    let data = small_3class();
+    let ((), report) = obs::with_scope(|| {
+        let mut rng = rng_from_seed(0x5EED);
+        let clf = LibraClassifier::train(&data, &mut rng);
+        let mut out = Vec::new();
+        clf.predict_batch_view(&data.view(), &mut out);
+        assert_eq!(out.len(), data.len());
+    });
+    set_threads(0);
+    report
+}
+
+#[test]
+fn counters_are_identical_across_thread_counts() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    let parallel_threads = std::env::var("LIBRA_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(4);
+
+    let seq = traced_workload(1);
+    let par = traced_workload(parallel_threads);
+
+    // The workload actually exercised the instrumented paths: fit spans
+    // (wall histograms) fired, and the structural counters moved.
+    let fits = seq.hist("ml.tree.fit").expect("no tree-fit spans recorded");
+    assert!(fits.count > 0, "no tree fits recorded");
+    assert!(seq.counter("ml.tree.nodes") > 0, "no tree nodes recorded");
+    assert_eq!(seq.counter("infer.serve.batches"), 1);
+
+    // Span drops bump a same-named deterministic counter, so the fit
+    // spans are comparable across thread counts too.
+    for name in [
+        "ml.tree.fit",
+        "ml.forest.fit",
+        "ml.tree.nodes",
+        "ml.tree.split_scans",
+        "infer.serve.batches",
+    ] {
+        assert_eq!(
+            seq.counter(name),
+            par.counter(name),
+            "counter {name} differs between 1 and {parallel_threads} worker threads"
+        );
+    }
+    assert_eq!(
+        seq.determinism_digest(),
+        par.determinism_digest(),
+        "determinism digest differs between 1 and {parallel_threads} worker threads"
+    );
+}
+
+#[test]
+fn disabled_serving_path_touches_no_collector() {
+    let _guard = TEST_LOCK.lock().unwrap();
+    set_threads(1);
+    let data = small_3class();
+    let mut rng = rng_from_seed(0x5EED);
+    let clf = LibraClassifier::train(&data, &mut rng);
+    set_threads(0);
+
+    let view = data.view();
+    let mut out = Vec::new();
+    clf.predict_batch_view(&view, &mut out); // warm-up (output capacity)
+    assert!(!obs::enabled(), "tracing unexpectedly on in this process");
+
+    let before = obs::alloc_count();
+    for _ in 0..3 {
+        clf.predict_batch_view(&view, &mut out);
+    }
+    assert_eq!(
+        obs::alloc_count(),
+        before,
+        "serving path touched the collector while tracing was off"
+    );
+    assert_eq!(out.len(), data.len());
+}

@@ -16,6 +16,7 @@ use libra_bench::{context, serving};
 use libra_dataset::{generate, main_campaign_plan, CampaignConfig, GroundTruthParams, Instruments};
 use libra_infer::ModelArtifact;
 use libra_mac::{BaOverheadPreset, ProtocolParams};
+use libra_ml::Classifier;
 use libra_phy::McsTable;
 use libra_util::par::set_threads;
 use libra_util::rng::rng_from_seed;
@@ -26,7 +27,7 @@ fn flat_engine_is_prediction_identical_on_full_campaign() {
     let recursive = serving::recursive_reference();
     let engine = context::classifier().engine();
 
-    let rec = recursive.predict_view(&data);
+    let rec = recursive.predict_view(&data.view());
     let mut flat = Vec::new();
     engine.predict_batch_view(&data.view(), &mut flat);
     assert_eq!(

@@ -115,6 +115,53 @@ impl Args {
     }
 }
 
+/// Flags shared by **every** subcommand, consumed once before dispatch:
+/// `--threads N`, `--trace`, and `--models-dir DIR`. Commands that do
+/// not fan out simply never observe the worker count; commands that do
+/// not touch the registry never open it.
+#[derive(Debug, Clone, Default)]
+pub struct CommonOpts {
+    /// Worker threads for parallel sections (`0` = environment default:
+    /// `LIBRA_THREADS`, else all cores).
+    pub threads: usize,
+    /// Enable telemetry collection; on success the command appends the
+    /// trace-file locations to its output.
+    pub trace: bool,
+    /// Model-registry root (default `results/models/`, overridable with
+    /// the `LIBRA_MODELS_DIR` environment variable).
+    pub models_dir: Option<String>,
+}
+
+impl CommonOpts {
+    /// Consumes the shared flags from a parsed command line.
+    pub fn take(args: &mut Args) -> Result<Self, ArgError> {
+        Ok(Self {
+            threads: args.opt_parse("threads", 0)?,
+            trace: args.switch("trace"),
+            models_dir: args.opt("models-dir"),
+        })
+    }
+}
+
+/// A `--model` reference: either a file path or a registry
+/// `name[@version]` spec. Resolution against the registry happens in
+/// one place (`commands::load_model`); this type only carries the raw
+/// reference so every subcommand consumes the flag identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelRef(pub String);
+
+impl ModelRef {
+    /// Consumes the required `--model` flag.
+    pub fn take(args: &mut Args) -> Result<Self, ArgError> {
+        Ok(Self(args.req("model")?))
+    }
+
+    /// The raw reference text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +216,33 @@ mod tests {
         let mut a = parse(&["x", "--seed", "abc"]).unwrap();
         let err = a.opt_parse::<u64>("seed", 0).unwrap_err();
         assert!(err.0.contains("--seed"));
+    }
+
+    #[test]
+    fn common_opts_consume_shared_flags() {
+        let mut a = parse(&["simulate", "--threads", "4", "--trace", "--models-dir", "m"]).unwrap();
+        let c = CommonOpts::take(&mut a).unwrap();
+        assert_eq!(c.threads, 4);
+        assert!(c.trace);
+        assert_eq!(c.models_dir.as_deref(), Some("m"));
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn common_opts_default_when_absent() {
+        let mut a = parse(&["info"]).unwrap();
+        let c = CommonOpts::take(&mut a).unwrap();
+        assert_eq!(c.threads, 0);
+        assert!(!c.trace);
+        assert!(c.models_dir.is_none());
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn model_ref_takes_required_flag() {
+        let mut a = parse(&["classify", "--model", "ba-forest@2"]).unwrap();
+        assert_eq!(ModelRef::take(&mut a).unwrap().as_str(), "ba-forest@2");
+        assert!(ModelRef::take(&mut parse(&["classify"]).unwrap()).is_err());
     }
 
     #[test]

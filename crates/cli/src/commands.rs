@@ -1,31 +1,83 @@
 //! `libractl` command implementations.
 
-use crate::args::{ArgError, Args};
+use crate::args::{ArgError, Args, CommonOpts, ModelRef};
 use libra::prelude::*;
 use libra::sim::run_policy_segment;
 use libra::{LinkState, PolicyKind, ScenarioType, SegmentData, SimConfig, TimelineConfig};
 use libra_dataset::{Features, GroundTruthParams, Instruments};
 use libra_infer::{ModelArtifact, ModelRegistry, ModelSpec};
 use libra_mac::{BaOverheadPreset, ProtocolParams};
+use libra_obs as obs;
 use libra_phy::McsTable;
 use libra_util::par::{par_map, par_map_index};
 use libra_util::rng::rng_from_seed;
 use libra_util::table::{fmt_f, TextTable};
 
+/// The shared flags of [`CommonOpts`], resolved once per invocation:
+/// worker count applied, telemetry switched, model registry opened.
+/// Subcommands receive this instead of re-reading the flags themselves.
+struct CommandContext {
+    registry: ModelRegistry,
+}
+
+/// The single resolution point for the shared flags.
+fn resolve(common: &CommonOpts) -> CommandContext {
+    if common.threads > 0 {
+        libra_util::par::set_threads(common.threads);
+    }
+    if common.trace {
+        obs::set_enabled(true);
+    }
+    let registry = match &common.models_dir {
+        Some(dir) => ModelRegistry::open(dir),
+        None => ModelRegistry::open_default(),
+    };
+    CommandContext { registry }
+}
+
 /// Runs a parsed command line; returns the text to print.
+///
+/// The shared flags (`--threads`, `--trace`, `--models-dir`) are
+/// consumed and resolved here, before dispatch, so every subcommand
+/// accepts them uniformly. With `--trace`, the telemetry observed
+/// during the command is drained afterwards and written to
+/// `trace.jsonl` + `obs_summary.txt` under the results root.
 pub fn run(mut args: Args) -> Result<String, ArgError> {
+    let common = CommonOpts::take(&mut args)?;
+    let ctx = resolve(&common);
+    let result = dispatch(&mut args, &ctx);
+    if common.trace {
+        obs::set_enabled(false);
+        let report = obs::take_root_report();
+        let emitted = obs::write_trace_files(&report, &libra_util::paths::results_root());
+        return result.map(|mut out| {
+            match emitted {
+                Ok((jsonl, summary)) => out.push_str(&format!(
+                    "trace: wrote {} and {}\n",
+                    jsonl.display(),
+                    summary.display()
+                )),
+                Err(e) => out.push_str(&format!("warning: could not write trace files: {e}\n")),
+            }
+            out
+        });
+    }
+    result
+}
+
+fn dispatch(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
     let path: Vec<&str> = args.positionals().iter().map(String::as_str).collect();
     match path.as_slice() {
-        ["dataset", "generate"] => dataset_generate(&mut args),
-        ["dataset", "summary"] => dataset_summary(&mut args),
-        ["train"] => train(&mut args),
-        ["classify"] => classify(&mut args),
-        ["predict"] => predict(&mut args),
-        ["models", "list"] => models_list(&mut args),
-        ["models", "inspect"] => models_inspect(&mut args),
-        ["simulate"] => simulate(&mut args),
-        ["timeline"] => timeline(&mut args),
-        ["info"] => info(&mut args),
+        ["dataset", "generate"] => dataset_generate(args),
+        ["dataset", "summary"] => dataset_summary(args),
+        ["train"] => train(args, ctx),
+        ["classify"] => classify(args, ctx),
+        ["predict"] => predict(args, ctx),
+        ["models", "list"] => models_list(args, ctx),
+        ["models", "inspect"] => models_inspect(args, ctx),
+        ["simulate"] => simulate(args, ctx),
+        ["timeline"] => timeline(args, ctx),
+        ["info"] => info(args),
         [] => Ok(usage()),
         other => Err(ArgError(format!(
             "unknown command `{}`\n\n{}",
@@ -41,28 +93,31 @@ pub fn usage() -> String {
 
 USAGE:
   libractl dataset generate --plan main|testing --out FILE [--csv FILE] [--seed N] [--repeats N]
-                            [--threads N]
   libractl dataset summary  --input FILE [--alpha A] [--ba-ms MS] [--fat-ms MS]
-  libractl train            --dataset FILE [--out FILE] [--save NAME] [--seed N] [--threads N]
-  libractl models list      [--models-dir DIR]
-  libractl models inspect   --model MODEL [--models-dir DIR]
+  libractl train            --dataset FILE [--out FILE] [--save NAME] [--seed N]
+  libractl models list
+  libractl models inspect   --model MODEL
   libractl classify         --model MODEL --snr-diff DB [--tof-diff NS] [--noise-diff DB]
                             [--pdp-sim S] [--csi-sim S] [--cdr C] [--initial-mcs M]
   libractl predict          --model MODEL [feature flags as for classify]
   libractl simulate         --model MODEL --dataset FILE [--ba-ms MS] [--fat-ms MS] [--flow-ms MS]
-                            [--threads N]
   libractl timeline         --model MODEL [--scenario mobility|blockage|interference|mixed]
-                            [--timelines N] [--ba-ms MS] [--fat-ms MS] [--seed N] [--threads N]
+                            [--timelines N] [--ba-ms MS] [--fat-ms MS] [--seed N]
   libractl info
 
-MODEL is either a file path or a registry reference `name[@version]`
-resolved against the model registry (results/models/ by default;
-override with --models-dir DIR or the LIBRA_MODELS_DIR environment
-variable). `train --save NAME` freezes the trained model into the
-registry as a checksummed artifact and repoints NAME's latest-pointer.
+Every command additionally accepts the shared flags:
+  --threads N       worker threads for parallel sections (else the
+                    LIBRA_THREADS environment variable, else all cores);
+                    output is identical at any thread count
+  --trace           collect telemetry during the command and write
+                    trace.jsonl + obs_summary.txt under the results root
+  --models-dir DIR  model-registry root (default results/models/, or the
+                    LIBRA_MODELS_DIR environment variable)
 
-Parallel commands honour --threads N (else the LIBRA_THREADS environment
-variable, else all cores); output is identical at any thread count.
+MODEL is either a file path or a registry reference `name[@version]`
+resolved against the model registry. `train --save NAME` freezes the
+trained model into the registry as a checksummed artifact and repoints
+NAME's latest-pointer.
 "
     .to_string()
 }
@@ -76,26 +131,10 @@ fn ba_preset(ms: f64) -> Result<BaOverheadPreset, ArgError> {
         })
 }
 
-/// Consumes an optional `--threads N`, setting the global worker count.
-fn take_threads(args: &mut Args) -> Result<(), ArgError> {
-    let n: usize = args.opt_parse("threads", 0)?;
-    if n > 0 {
-        libra_util::par::set_threads(n);
-    }
-    Ok(())
-}
-
-/// Consumes an optional `--models-dir DIR`, opening the model registry.
-fn take_registry(args: &mut Args) -> ModelRegistry {
-    match args.opt("models-dir") {
-        Some(dir) => ModelRegistry::open(dir),
-        None => ModelRegistry::open_default(),
-    }
-}
-
-/// Resolves a `--model` reference — a file path or a registry
-/// `name[@version]` spec — to a verified artifact.
-fn load_artifact(reference: &str, registry: &ModelRegistry) -> Result<ModelArtifact, ArgError> {
+/// Resolves a [`ModelRef`] — a file path or a registry `name[@version]`
+/// spec — to a verified artifact.
+fn load_artifact(model: &ModelRef, registry: &ModelRegistry) -> Result<ModelArtifact, ArgError> {
+    let reference = model.as_str();
     let path = std::path::Path::new(reference);
     if path.is_file() {
         return ModelArtifact::read(path).map_err(|e| ArgError(e.to_string()));
@@ -106,11 +145,11 @@ fn load_artifact(reference: &str, registry: &ModelRegistry) -> Result<ModelArtif
     Ok(artifact)
 }
 
-/// Loads a classifier from a `--model` reference. File paths accept both
-/// the checksummed artifact format and the legacy raw `train --out`
-/// format; registry references are always artifacts.
-fn load_model(reference: &str, registry: &ModelRegistry) -> Result<LibraClassifier, ArgError> {
-    let path = std::path::Path::new(reference);
+/// Loads a classifier from a [`ModelRef`]. File paths accept both the
+/// checksummed artifact format and the legacy raw `train --out` format;
+/// registry references are always artifacts.
+fn load_model(model: &ModelRef, registry: &ModelRegistry) -> Result<LibraClassifier, ArgError> {
+    let path = std::path::Path::new(model.as_str());
     if path.is_file() {
         return match ModelArtifact::read(path) {
             Ok(art) => LibraClassifier::from_artifact(&art).map_err(|e| ArgError(e.to_string())),
@@ -121,7 +160,7 @@ fn load_model(reference: &str, registry: &ModelRegistry) -> Result<LibraClassifi
             Err(e) => Err(ArgError(e.to_string())),
         };
     }
-    let artifact = load_artifact(reference, registry)?;
+    let artifact = load_artifact(model, registry)?;
     LibraClassifier::from_artifact(&artifact).map_err(|e| ArgError(e.to_string()))
 }
 
@@ -140,7 +179,6 @@ fn dataset_generate(args: &mut Args) -> Result<String, ArgError> {
     let csv = args.opt("csv");
     let seed: u64 = args.opt_parse("seed", 0x11B2A)?;
     let repeats: usize = args.opt_parse("repeats", 3)?;
-    take_threads(args)?;
     args.finish()?;
 
     let plan = match plan_name.as_str() {
@@ -198,13 +236,12 @@ fn dataset_summary(args: &mut Args) -> Result<String, ArgError> {
     ))
 }
 
-fn train(args: &mut Args) -> Result<String, ArgError> {
+fn train(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
     let dataset = args.req("dataset")?;
     let out = args.opt("out");
     let save = args.opt("save");
     let seed: u64 = args.opt_parse("seed", 7)?;
-    let registry = take_registry(args);
-    take_threads(args)?;
+    let registry = &ctx.registry;
     args.finish()?;
     if out.is_none() && save.is_none() {
         return Err(ArgError("train needs --out FILE and/or --save NAME".into()));
@@ -245,8 +282,8 @@ fn train(args: &mut Args) -> Result<String, ArgError> {
     Ok(msg)
 }
 
-fn models_list(args: &mut Args) -> Result<String, ArgError> {
-    let registry = take_registry(args);
+fn models_list(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
+    let registry = &ctx.registry;
     args.finish()?;
     let records = registry.list().map_err(|e| ArgError(e.to_string()))?;
     if records.is_empty() {
@@ -268,13 +305,13 @@ fn models_list(args: &mut Args) -> Result<String, ArgError> {
     Ok(format!("{}\n{}", registry.root().display(), t.render()))
 }
 
-fn models_inspect(args: &mut Args) -> Result<String, ArgError> {
-    let reference = args.req("model")?;
-    let registry = take_registry(args);
+fn models_inspect(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
+    let model = ModelRef::take(args)?;
     args.finish()?;
-    let artifact = load_artifact(&reference, &registry)?;
+    let artifact = load_artifact(&model, &ctx.registry)?;
     let digest = artifact.digest().map_err(|e| ArgError(e.to_string()))?;
     let meta = &artifact.meta;
+    let reference = model.as_str();
     let mut out = format!(
         "{reference}: {} model, {} classes {:?}\n",
         artifact.payload.kind(),
@@ -310,46 +347,42 @@ fn take_features(args: &mut Args) -> Result<Features, ArgError> {
     })
 }
 
-fn classify(args: &mut Args) -> Result<String, ArgError> {
-    let model = args.req("model")?;
+fn classify(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
+    let model = ModelRef::take(args)?;
     let features = take_features(args)?;
-    let registry = take_registry(args);
     args.finish()?;
-    let clf = load_model(&model, &registry)?;
-    let (action, confidence) = clf.classify_proba(&features);
-    let verdict = match action {
+    let clf = load_model(&model, &ctx.registry)?;
+    let decision = clf.decide(&features, &DecidePolicy::model_only());
+    let verdict = match decision.action {
         libra_dataset::Action3::Ba => "trigger BEAM adaptation (BA)",
         libra_dataset::Action3::Ra => "trigger RATE adaptation (RA)",
         libra_dataset::Action3::Na => "no adaptation needed (NA)",
     };
-    Ok(format!("{verdict}  (confidence {confidence:.2})\n"))
+    Ok(format!("{verdict}  (confidence {:.2})\n", decision.proba))
 }
 
-fn predict(args: &mut Args) -> Result<String, ArgError> {
-    let model = args.req("model")?;
+fn predict(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
+    let model = ModelRef::take(args)?;
     let features = take_features(args)?;
-    let registry = take_registry(args);
     args.finish()?;
-    let clf = load_model(&model, &registry)?;
+    let clf = load_model(&model, &ctx.registry)?;
     let probs = clf.engine().predict_proba_one(&features.to_row());
-    let (action, _) = clf.classify_proba(&features);
+    let decision = clf.decide(&features, &DecidePolicy::model_only());
     let mut t = TextTable::new(["class", "vote share"]);
     for (label, p) in libra::CLASS_LABELS.iter().zip(&probs) {
         t.row([label.to_string(), fmt_f(*p, 3)]);
     }
-    Ok(format!("prediction: {action:?}\n{}", t.render()))
+    Ok(format!("prediction: {:?}\n{}", decision.action, t.render()))
 }
 
-fn simulate(args: &mut Args) -> Result<String, ArgError> {
-    let model = args.req("model")?;
+fn simulate(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
+    let model = ModelRef::take(args)?;
     let dataset = args.req("dataset")?;
     let ba_ms: f64 = args.opt_parse("ba-ms", 0.5)?;
     let fat_ms: f64 = args.opt_parse("fat-ms", 2.0)?;
     let flow_ms: f64 = args.opt_parse("flow-ms", 1000.0)?;
-    let registry = take_registry(args);
-    take_threads(args)?;
     args.finish()?;
-    let clf = load_model(&model, &registry)?;
+    let clf = load_model(&model, &ctx.registry)?;
     let ds = CampaignDataset::load(&dataset).map_err(|e| ArgError(e.to_string()))?;
     let sim = SimConfig::new(ProtocolParams::new(ba_preset(ba_ms)?, fat_ms));
 
@@ -398,8 +431,8 @@ fn simulate(args: &mut Args) -> Result<String, ArgError> {
     ))
 }
 
-fn timeline(args: &mut Args) -> Result<String, ArgError> {
-    let model = args.req("model")?;
+fn timeline(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
+    let model = ModelRef::take(args)?;
     let scenario = match args.opt("scenario").as_deref() {
         None | Some("mixed") => ScenarioType::Mixed,
         Some("mobility") | Some("motion") => ScenarioType::Mobility,
@@ -411,10 +444,8 @@ fn timeline(args: &mut Args) -> Result<String, ArgError> {
     let ba_ms: f64 = args.opt_parse("ba-ms", 0.5)?;
     let fat_ms: f64 = args.opt_parse("fat-ms", 2.0)?;
     let seed: u64 = args.opt_parse("seed", 1)?;
-    let registry = take_registry(args);
-    take_threads(args)?;
     args.finish()?;
-    let clf = load_model(&model, &registry)?;
+    let clf = load_model(&model, &ctx.registry)?;
     let sim = SimConfig::new(ProtocolParams::new(ba_preset(ba_ms)?, fat_ms));
     let instruments = Instruments::default();
     let tl_cfg = TimelineConfig::default();
@@ -601,6 +632,61 @@ mod tests {
         .unwrap();
         assert!(out.contains("LiBRA") && out.contains("Oracle-Data"));
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_flag_writes_trace_files() {
+        let dir = std::env::temp_dir().join("libractl-trace-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Redirect the results root so the trace files land in the
+        // temp dir. No other test in this binary reads the default
+        // results root, so the process-global override is safe.
+        let results = dir.join("results");
+        std::env::set_var(libra_util::paths::RESULTS_DIR_ENV, &results);
+        let ds = dir.join("testing.bin");
+        let model = dir.join("model.bin");
+
+        run_words(&[
+            "dataset",
+            "generate",
+            "--plan",
+            "testing",
+            "--out",
+            ds.to_str().unwrap(),
+            "--repeats",
+            "1",
+        ])
+        .unwrap();
+        run_words(&[
+            "train",
+            "--dataset",
+            ds.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        let out = run_words(&[
+            "classify",
+            "--model",
+            model.to_str().unwrap(),
+            "--snr-diff",
+            "16",
+            "--cdr",
+            "0.0",
+            "--initial-mcs",
+            "4",
+            "--trace",
+        ])
+        .unwrap();
+        assert!(out.contains("trace: wrote"), "{out}");
+        let jsonl = std::fs::read_to_string(results.join("trace.jsonl")).unwrap();
+        assert!(jsonl.contains("core.decide.calls"), "{jsonl}");
+        assert!(results.join("obs_summary.txt").is_file());
+
+        std::env::remove_var(libra_util::paths::RESULTS_DIR_ENV);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

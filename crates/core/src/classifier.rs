@@ -21,11 +21,69 @@
 use libra_dataset::{Action3, Features, FEATURE_NAMES};
 use libra_infer::{ArtifactMeta, FlatForest, ModelArtifact, ModelPayload};
 use libra_ml::{ForestConfig, RandomForest};
+use libra_obs as obs;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Class labels in class-index order, as frozen into artifacts.
 pub const CLASS_LABELS: [&str; 3] = ["BA", "RA", "NA"];
+
+/// The run-time context of a single adaptation decision: everything
+/// [`LibraClassifier::decide`] needs besides the feature vector.
+///
+/// This replaces the former `classify` / `classify_proba` /
+/// `classify_gated` trio with one entry point the telemetry layer wraps
+/// once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecidePolicy {
+    /// The MCS in use when the decision is made (fallback-rule input).
+    pub current_mcs: usize,
+    /// Cost of a full beam adaptation in milliseconds (fallback-rule
+    /// input).
+    pub ba_overhead_ms: f64,
+    /// Confidence gate (extension): when set, the model's prediction is
+    /// acted on only if its vote share clears the gate; below it the
+    /// §7 fallback rule decides instead.
+    pub confidence_gate: Option<f64>,
+    /// True when the last frame got no ACK at all — the PHY metrics
+    /// cannot be updated, so the model is skipped entirely and the §7
+    /// fallback rule decides (the paper's missing-ACK path).
+    pub ack_missing: bool,
+}
+
+impl DecidePolicy {
+    /// A policy that always acts on the raw model prediction: no gate,
+    /// no missing-ACK path (the fallback inputs are never consulted).
+    pub fn model_only() -> Self {
+        Self {
+            current_mcs: 0,
+            ba_overhead_ms: 0.0,
+            confidence_gate: None,
+            ack_missing: false,
+        }
+    }
+}
+
+/// The outcome of [`LibraClassifier::decide`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// The adaptation action to take.
+    pub action: Action3,
+    /// The forest's confidence (vote share of the winning class), or
+    /// `0.0` when the model was skipped on the missing-ACK path.
+    pub proba: f64,
+    /// True when the §7 fallback rule produced the action (missing ACK,
+    /// or confidence below the gate) rather than the model.
+    pub gated: bool,
+}
+
+fn action_counter(action: Action3) -> &'static str {
+    match action {
+        Action3::Ba => "core.decide.action.ba",
+        Action3::Ra => "core.decide.action.ra",
+        Action3::Na => "core.decide.action.na",
+    }
+}
 
 /// The trained LiBRA decision model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -117,33 +175,81 @@ impl LibraClassifier {
         }
     }
 
-    /// Classifies an observation-window feature vector.
-    pub fn classify(&self, features: &Features) -> Action3 {
-        self.classify_proba(features).0
-    }
-
-    /// Classifies and reports the forest's confidence (the vote share of
-    /// the winning class).
-    pub fn classify_proba(&self, features: &Features) -> (Action3, f64) {
+    /// Makes one adaptation decision — the single run-time entry point
+    /// (and the telemetry choke point) replacing the former `classify` /
+    /// `classify_proba` / `classify_gated` trio.
+    ///
+    /// Order of authority: a missing ACK skips the model entirely and
+    /// applies the §7 fallback rule; otherwise the forest predicts, and
+    /// a confidence gate (when set) can override a low-confidence
+    /// prediction with the fallback rule.
+    pub fn decide(&self, features: &Features, policy: &DecidePolicy) -> Decision {
+        obs::counter("core.decide.calls", 1);
+        if policy.ack_missing {
+            obs::counter("core.decide.fallback", 1);
+            let action = self.fallback(policy.current_mcs, policy.ba_overhead_ms);
+            obs::counter(action_counter(action), 1);
+            return Decision {
+                action,
+                proba: 0.0,
+                gated: true,
+            };
+        }
         let probs = self.engine.predict_proba_one(&features.to_row());
         let (idx, &p) = probs
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
             .expect("non-empty");
-        let action = match idx {
+        let model_action = match idx {
             0 => Action3::Ba,
             1 => Action3::Ra,
             _ => Action3::Na,
         };
-        (action, p)
+        let decision = match policy.confidence_gate {
+            Some(gate) if p < gate => {
+                obs::counter("core.decide.gated", 1);
+                Decision {
+                    action: self.fallback(policy.current_mcs, policy.ba_overhead_ms),
+                    proba: p,
+                    gated: true,
+                }
+            }
+            _ => Decision {
+                action: model_action,
+                proba: p,
+                gated: false,
+            },
+        };
+        obs::counter(action_counter(decision.action), 1);
+        decision
     }
 
-    /// Confidence-gated classification (extension): act on the model's
-    /// prediction only when its vote share clears `threshold`; below it,
-    /// defer to the missing-ACK fallback rule — uncertain calls then
-    /// cost a (cheap) suboptimal heuristic instead of a potentially
-    /// expensive misprediction.
+    /// Classifies an observation-window feature vector.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `decide` with `DecidePolicy::model_only()`"
+    )]
+    pub fn classify(&self, features: &Features) -> Action3 {
+        self.decide(features, &DecidePolicy::model_only()).action
+    }
+
+    /// Classifies and reports the forest's confidence (the vote share of
+    /// the winning class).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `decide` with `DecidePolicy::model_only()`"
+    )]
+    pub fn classify_proba(&self, features: &Features) -> (Action3, f64) {
+        let d = self.decide(features, &DecidePolicy::model_only());
+        (d.action, d.proba)
+    }
+
+    /// Confidence-gated classification (extension).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `decide` with `DecidePolicy::confidence_gate`"
+    )]
     pub fn classify_gated(
         &self,
         features: &Features,
@@ -151,12 +257,16 @@ impl LibraClassifier {
         current_mcs: usize,
         ba_overhead_ms: f64,
     ) -> Action3 {
-        let (action, confidence) = self.classify_proba(features);
-        if confidence >= threshold {
-            action
-        } else {
-            self.fallback(current_mcs, ba_overhead_ms)
-        }
+        self.decide(
+            features,
+            &DecidePolicy {
+                current_mcs,
+                ba_overhead_ms,
+                confidence_gate: Some(threshold),
+                ack_missing: false,
+            },
+        )
+        .action
     }
 
     /// The missing-ACK fallback rule (§7).
@@ -249,21 +359,104 @@ mod tests {
         }
     }
 
+    fn model_decide(clf: &LibraClassifier, features: &Features) -> Action3 {
+        clf.decide(features, &DecidePolicy::model_only()).action
+    }
+
     #[test]
     fn classifies_separable_classes() {
         let mut rng = rng_from_seed(1);
         let clf = LibraClassifier::train(&tiny_3class(), &mut rng);
         assert_eq!(
-            clf.classify(&feat([13.0, 1000.0, 0.5, 0.9, 0.5, 0.0, 3.0])),
+            model_decide(&clf, &feat([13.0, 1000.0, 0.5, 0.9, 0.5, 0.0, 3.0])),
             Action3::Ba
         );
         assert_eq!(
-            clf.classify(&feat([4.2, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0])),
+            model_decide(&clf, &feat([4.2, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0])),
             Action3::Ra
         );
         assert_eq!(
-            clf.classify(&feat([0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 6.0])),
+            model_decide(&clf, &feat([0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 6.0])),
             Action3::Na
+        );
+    }
+
+    #[test]
+    fn missing_ack_skips_the_model() {
+        let mut rng = rng_from_seed(8);
+        let clf = LibraClassifier::train(&tiny_3class(), &mut rng);
+        // Clear NA features — but a missing ACK must route to the §7
+        // fallback rule without consulting the model.
+        let features = feat([0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 6.0]);
+        let d = clf.decide(
+            &features,
+            &DecidePolicy {
+                current_mcs: 3,
+                ba_overhead_ms: 250.0,
+                confidence_gate: None,
+                ack_missing: true,
+            },
+        );
+        assert_eq!(d.action, Action3::Ba); // MCS < 6 → BA
+        assert!(d.gated);
+        assert_eq!(d.proba, 0.0);
+    }
+
+    #[test]
+    fn confidence_gate_defers_to_fallback() {
+        let mut rng = rng_from_seed(9);
+        let clf = LibraClassifier::train(&tiny_3class(), &mut rng);
+        let features = feat([13.0, 1000.0, 0.5, 0.9, 0.5, 0.0, 7.0]);
+        let base = clf.decide(&features, &DecidePolicy::model_only());
+        assert!(!base.gated);
+        // An unclearable gate forces the fallback (MCS 7, expensive BA → RA).
+        let gated = clf.decide(
+            &features,
+            &DecidePolicy {
+                current_mcs: 7,
+                ba_overhead_ms: 250.0,
+                confidence_gate: Some(1.1),
+                ack_missing: false,
+            },
+        );
+        assert!(gated.gated);
+        assert_eq!(gated.action, Action3::Ra);
+        assert_eq!(gated.proba, base.proba); // model confidence still reported
+                                             // A trivially clearable gate acts on the model.
+        let open = clf.decide(
+            &features,
+            &DecidePolicy {
+                current_mcs: 7,
+                ba_overhead_ms: 250.0,
+                confidence_gate: Some(0.0),
+                ack_missing: false,
+            },
+        );
+        assert!(!open.gated);
+        assert_eq!(open.action, base.action);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_decide() {
+        let mut rng = rng_from_seed(10);
+        let clf = LibraClassifier::train(&tiny_3class(), &mut rng);
+        let features = feat([4.2, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0]);
+        let d = clf.decide(&features, &DecidePolicy::model_only());
+        assert_eq!(clf.classify(&features), d.action);
+        assert_eq!(clf.classify_proba(&features), (d.action, d.proba));
+        assert_eq!(
+            clf.classify_gated(&features, 0.99, 7, 250.0),
+            clf.decide(
+                &features,
+                &DecidePolicy {
+                    current_mcs: 7,
+                    ba_overhead_ms: 250.0,
+                    confidence_gate: Some(0.99),
+                    ack_missing: false,
+                },
+            )
+            .action
         );
     }
 
@@ -313,7 +506,10 @@ mod tests {
             [4.2, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0],
             [0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 6.0],
         ] {
-            assert_eq!(clf.classify(&feat(row)), back.classify(&feat(row)));
+            assert_eq!(
+                model_decide(&clf, &feat(row)),
+                model_decide(&back, &feat(row))
+            );
         }
         assert_eq!(clf.feature_importances(), back.feature_importances());
         let _ = std::fs::remove_dir_all(dir);
@@ -333,10 +529,10 @@ mod tests {
             [4.2, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0],
             [0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 6.0],
         ] {
-            let (a, pa) = clf.classify_proba(&feat(row));
-            let (b, pb) = back.classify_proba(&feat(row));
-            assert_eq!(a, b);
-            assert_eq!(pa.to_bits(), pb.to_bits());
+            let a = clf.decide(&feat(row), &DecidePolicy::model_only());
+            let b = back.decide(&feat(row), &DecidePolicy::model_only());
+            assert_eq!(a.action, b.action);
+            assert_eq!(a.proba.to_bits(), b.proba.to_bits());
         }
     }
 

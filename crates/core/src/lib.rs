@@ -62,7 +62,7 @@ pub mod sim;
 pub mod timeline;
 pub mod vr;
 
-pub use classifier::{LibraClassifier, CLASS_LABELS};
+pub use classifier::{DecidePolicy, Decision, LibraClassifier, CLASS_LABELS};
 pub use history::{
     collect_history_dataset, run_timeline_with_history, FeatureHistory, HistoryClassifier,
 };
@@ -79,7 +79,7 @@ pub use vr::{play, StallReport, VrTrace, COTS_TPUT_SCALE};
 
 /// One-stop imports for examples and the experiment harness.
 pub mod prelude {
-    pub use crate::classifier::LibraClassifier;
+    pub use crate::classifier::{DecidePolicy, Decision, LibraClassifier};
     pub use crate::sim::{run_policy_segment, LinkState, PolicyKind, SegmentData, SimConfig};
     pub use crate::timeline::{generate_timeline, run_timeline, ScenarioType, TimelineConfig};
     pub use crate::vr::{play, VrTrace, COTS_TPUT_SCALE};

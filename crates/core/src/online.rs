@@ -21,12 +21,13 @@
 //! observations the forest is refitted on *offline ∪ buffer*, letting
 //! the deployment environment reweight the decision boundaries.
 
-use crate::classifier::LibraClassifier;
+use crate::classifier::{DecidePolicy, LibraClassifier};
 use crate::sim::{execute, ConfigData, LinkState, SegmentData, SegmentOutcome, SimConfig};
 use crate::timeline::Timeline;
 use libra_dataset::measure::{expected_best_pair, expected_pair_measurement};
 use libra_dataset::{Action3, Features, Instruments};
 use libra_ml::Dataset;
+use libra_obs as obs;
 use libra_util::rng::rng_from_seed;
 use rand::rngs::SmallRng;
 
@@ -77,12 +78,17 @@ impl OnlineLibra {
     /// Decides the action for a segment (same decision path as the
     /// static LiBRA policy).
     pub fn decide(&self, seg: &SegmentData, state: &LinkState, cfg: &SimConfig) -> Action3 {
-        let ack_missing = seg.old.cdr[state.mcs] < 0.005;
-        if ack_missing {
-            self.clf.fallback(state.mcs, cfg.params.ba_ms())
-        } else {
-            self.clf.classify(&seg.features)
-        }
+        self.clf
+            .decide(
+                &seg.features,
+                &DecidePolicy {
+                    current_mcs: state.mcs,
+                    ba_overhead_ms: cfg.params.ba_ms(),
+                    confidence_gate: cfg.libra_confidence_gate,
+                    ack_missing: seg.old.cdr[state.mcs] < 0.005,
+                },
+            )
+            .action
     }
 
     /// Derives an outcome-based label for the (action, outcome) the
@@ -145,7 +151,9 @@ impl OnlineLibra {
         entry_state: &LinkState,
         cfg: &SimConfig,
     ) {
+        obs::counter("online.observations", 1);
         if let Some(label) = Self::derived_label(action, outcome, seg, entry_state, cfg) {
+            obs::counter("online.labels_derived", 1);
             self.buffer.push((features.to_row(), label.class_index()));
             self.observations_since_retrain += 1;
             if self.observations_since_retrain >= self.retrain_every {
@@ -156,6 +164,8 @@ impl OnlineLibra {
 
     /// Refits the forest on offline ∪ buffer.
     pub fn retrain(&mut self) {
+        let _span = obs::span("online.retrain");
+        obs::record_value("online.retrain.buffer_rows", self.buffer.len() as u64);
         let mut data = self.offline.clone();
         for (row, label) in &self.buffer {
             data.push_row(row, *label);

@@ -16,9 +16,10 @@
 //! and keep the better outcome (`Oracle-Data` by bytes, `Oracle-Delay`
 //! by recovery delay).
 
-use crate::classifier::LibraClassifier;
+use crate::classifier::{DecidePolicy, LibraClassifier};
 use libra_dataset::{Action3, DatasetEntry, Features};
 use libra_mac::ProtocolParams;
+use libra_obs as obs;
 use libra_util::SharedSeries;
 use serde::{Deserialize, Serialize};
 
@@ -173,6 +174,29 @@ impl PolicyKind {
     }
 }
 
+/// Telemetry counter name for a (policy, segment-entry action) pair —
+/// counter keys must be `&'static str`, so the 15 combinations are
+/// enumerated here.
+fn policy_action_counter(policy: PolicyKind, action: Action3) -> &'static str {
+    match (policy, action) {
+        (PolicyKind::RaFirst, Action3::Ba) => "sim.ra_first.action.ba",
+        (PolicyKind::RaFirst, Action3::Ra) => "sim.ra_first.action.ra",
+        (PolicyKind::RaFirst, Action3::Na) => "sim.ra_first.action.na",
+        (PolicyKind::BaFirst, Action3::Ba) => "sim.ba_first.action.ba",
+        (PolicyKind::BaFirst, Action3::Ra) => "sim.ba_first.action.ra",
+        (PolicyKind::BaFirst, Action3::Na) => "sim.ba_first.action.na",
+        (PolicyKind::Libra, Action3::Ba) => "sim.libra.action.ba",
+        (PolicyKind::Libra, Action3::Ra) => "sim.libra.action.ra",
+        (PolicyKind::Libra, Action3::Na) => "sim.libra.action.na",
+        (PolicyKind::OracleData, Action3::Ba) => "sim.oracle_data.action.ba",
+        (PolicyKind::OracleData, Action3::Ra) => "sim.oracle_data.action.ra",
+        (PolicyKind::OracleData, Action3::Na) => "sim.oracle_data.action.na",
+        (PolicyKind::OracleDelay, Action3::Ba) => "sim.oracle_delay.action.ba",
+        (PolicyKind::OracleDelay, Action3::Ra) => "sim.oracle_delay.action.ra",
+        (PolicyKind::OracleDelay, Action3::Na) => "sim.oracle_delay.action.na",
+    }
+}
+
 /// Link state carried across segments.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinkState {
@@ -253,14 +277,19 @@ pub fn run_policy_segment(
         }
         PolicyKind::Libra => {
             let clf = clf.expect("LiBRA needs a classifier");
-            let ack_missing = seg.old.cdr[state.mcs] < 0.005;
-            if ack_missing {
-                clf.fallback(state.mcs, cfg.params.ba_ms())
-            } else if let Some(threshold) = cfg.libra_confidence_gate {
-                clf.classify_gated(&seg.features, threshold, state.mcs, cfg.params.ba_ms())
-            } else {
-                clf.classify(&seg.features)
-            }
+            // One decision call carries the whole §7 policy: the
+            // missing-ACK shortcut, the optional confidence gate, and
+            // the fallback-rule inputs.
+            clf.decide(
+                &seg.features,
+                &DecidePolicy {
+                    current_mcs: state.mcs,
+                    ba_overhead_ms: cfg.params.ba_ms(),
+                    confidence_gate: cfg.libra_confidence_gate,
+                    ack_missing: seg.old.cdr[state.mcs] < 0.005,
+                },
+            )
+            .action
         }
         PolicyKind::OracleData => {
             // Branch-simulate all three actions with perfect knowledge —
@@ -294,6 +323,7 @@ pub fn run_policy_segment(
             }
         }
     };
+    obs::counter(policy_action_counter(policy, action), 1);
     execute(seg, action, state, cfg)
 }
 
@@ -304,6 +334,7 @@ pub fn execute(
     mut state: LinkState,
     cfg: &SimConfig,
 ) -> SegmentOutcome {
+    let _span = obs::span("sim.execute");
     let fat = cfg.params.fat_ms;
     let duration = seg.duration_ms;
     let max_mcs = seg.old.tput_mbps.len() - 1;
@@ -353,40 +384,46 @@ pub fn execute(
                   state: &mut LinkState,
                   recovery: &mut Option<f64>|
      -> bool {
-        let mut max_tput = 0.0f64;
-        let mut best_m = from_mcs;
-        for m in (0..=from_mcs).rev() {
-            if *t >= duration {
-                return true; // segment over; nothing more to decide
-            }
-            let span = fat.min(duration - *t);
-            let tp = cfg.tput(seg, config, m);
-            *bytes += SimConfig::bytes(tp, span);
-            push_span(spans, *t, span, tp);
-            *t += fat;
-            state.mcs = m;
-            if recovery.is_none() && cfg.working(seg, config, m) {
-                *recovery = Some(*t);
-            }
-            if tp < max_tput {
-                // Throughput stopped improving: settle on the best so far
-                // (Algorithm 1: `curr_mcs ← MCS + 1` when working).
-                if cfg.working(seg, config, best_m) {
-                    state.mcs = best_m;
-                    return true;
+        let mut probed = 0u64;
+        let settled = (|| -> bool {
+            let mut max_tput = 0.0f64;
+            let mut best_m = from_mcs;
+            for m in (0..=from_mcs).rev() {
+                if *t >= duration {
+                    return true; // segment over; nothing more to decide
                 }
-                return false;
+                let span = fat.min(duration - *t);
+                let tp = cfg.tput(seg, config, m);
+                *bytes += SimConfig::bytes(tp, span);
+                push_span(spans, *t, span, tp);
+                *t += fat;
+                probed += 1;
+                state.mcs = m;
+                if recovery.is_none() && cfg.working(seg, config, m) {
+                    *recovery = Some(*t);
+                }
+                if tp < max_tput {
+                    // Throughput stopped improving: settle on the best so far
+                    // (Algorithm 1: `curr_mcs ← MCS + 1` when working).
+                    if cfg.working(seg, config, best_m) {
+                        state.mcs = best_m;
+                        return true;
+                    }
+                    return false;
+                }
+                max_tput = tp;
+                best_m = m;
             }
-            max_tput = tp;
-            best_m = m;
-        }
-        // Reached the lowest MCS (Algorithm 1's `isWorking(MCSmin)`).
-        if cfg.working(seg, config, best_m) {
-            state.mcs = best_m;
-            true
-        } else {
-            false
-        }
+            // Reached the lowest MCS (Algorithm 1's `isWorking(MCSmin)`).
+            if cfg.working(seg, config, best_m) {
+                state.mcs = best_m;
+                true
+            } else {
+                false
+            }
+        })();
+        obs::record_value("sim.ladder.depth", probed);
+        settled
     };
 
     match action {
@@ -487,6 +524,12 @@ pub fn execute(
     } else {
         None
     };
+    if let Some(delay) = recovery_delay_ms {
+        // Microsecond resolution keeps the log₂ buckets meaningful for
+        // sub-millisecond recoveries; the value is a deterministic
+        // function of the segment, so this histogram digests.
+        obs::record_value("sim.recovery_delay_us", (delay * 1000.0) as u64);
+    }
 
     SegmentOutcome {
         bytes,
@@ -739,17 +782,25 @@ mod gate_tests {
             cdr: 0.1,
             initial_mcs: 6,
         };
-        let (_, confidence) = clf.classify_proba(&ambiguous);
+        let gate = |ba_overhead_ms: f64| DecidePolicy {
+            current_mcs: 7,
+            ba_overhead_ms,
+            confidence_gate: Some(0.95),
+            ack_missing: false,
+        };
+        let confidence = clf.decide(&ambiguous, &DecidePolicy::model_only()).proba;
         assert!(confidence < 0.9, "region should be uncertain: {confidence}");
         // Gated at 0.95 with expensive BA and MCS ≥ 6 → fallback → RA.
-        let gated = clf.classify_gated(&ambiguous, 0.95, 7, 250.0);
-        assert_eq!(gated, Action3::Ra);
+        let gated = clf.decide(&ambiguous, &gate(250.0));
+        assert_eq!(gated.action, Action3::Ra);
+        assert!(gated.gated);
         // Gated with cheap BA → fallback → BA.
-        let gated = clf.classify_gated(&ambiguous, 0.95, 7, 0.5);
-        assert_eq!(gated, Action3::Ba);
+        assert_eq!(clf.decide(&ambiguous, &gate(0.5)).action, Action3::Ba);
         // A confident NA region passes through regardless of the gate.
         let clear = Features::no_change(6);
-        assert_eq!(clf.classify_gated(&clear, 0.95, 7, 250.0), Action3::Na);
+        let d = clf.decide(&clear, &gate(250.0));
+        assert_eq!(d.action, Action3::Na);
+        assert!(!d.gated);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use libra_ml::tree::DumpNode;
 use libra_ml::{Classifier, DumpRegNode, FrameView, GbdtClassifier, RandomForest};
+use libra_obs as obs;
 use serde::{Deserialize, Serialize};
 
 /// Sentinel feature index marking a leaf node.
@@ -234,9 +235,22 @@ impl FlatForest {
         out.clear();
         out.reserve(data.len());
         let mut probs = vec![0.0; self.n_classes];
-        for row in data.rows() {
-            self.predict_proba_into(row, &mut probs);
-            out.push(argmax(&probs));
+        // The traced loop is split out so the untraced serving path never
+        // reads a clock or touches the collector.
+        if obs::enabled() {
+            obs::counter("infer.serve.batches", 1);
+            obs::record_value("infer.serve.batch_rows", data.len() as u64);
+            for row in data.rows() {
+                let t0 = std::time::Instant::now();
+                self.predict_proba_into(row, &mut probs);
+                out.push(argmax(&probs));
+                obs::record_wall("infer.serve.row_ns", t0.elapsed().as_nanos() as u64);
+            }
+        } else {
+            for row in data.rows() {
+                self.predict_proba_into(row, &mut probs);
+                out.push(argmax(&probs));
+            }
         }
     }
 
@@ -287,6 +301,9 @@ impl Classifier for FlatForest {
     }
     fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
         FlatForest::predict_batch(self, rows)
+    }
+    fn predict_batch_into(&self, data: &FrameView<'_>, out: &mut Vec<usize>) {
+        self.predict_batch_view(data, out);
     }
 }
 
@@ -478,15 +495,22 @@ impl FlatGbdt {
         out.clear();
         out.reserve(data.len());
         let mut scores = vec![0.0; self.boosters.len()];
-        for row in data.rows() {
-            self.decision_scores_into(row, &mut scores);
-            let best = scores
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                .map(|(i, _)| i)
-                .expect("non-empty");
-            out.push(best);
+        // The traced loop is split out so the untraced serving path never
+        // reads a clock or touches the collector.
+        if obs::enabled() {
+            obs::counter("infer.serve.batches", 1);
+            obs::record_value("infer.serve.batch_rows", data.len() as u64);
+            for row in data.rows() {
+                let t0 = std::time::Instant::now();
+                self.decision_scores_into(row, &mut scores);
+                out.push(argmax(&scores));
+                obs::record_wall("infer.serve.row_ns", t0.elapsed().as_nanos() as u64);
+            }
+        } else {
+            for row in data.rows() {
+                self.decision_scores_into(row, &mut scores);
+                out.push(argmax(&scores));
+            }
         }
     }
 
@@ -543,6 +567,9 @@ impl Classifier for FlatGbdt {
     }
     fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
         FlatGbdt::predict_batch(self, rows)
+    }
+    fn predict_batch_into(&self, data: &FrameView<'_>, out: &mut Vec<usize>) {
+        self.predict_batch_view(data, out);
     }
 }
 

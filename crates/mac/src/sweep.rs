@@ -25,6 +25,7 @@
 
 use libra_arrays::{BeamId, BeamPattern, Codebook};
 use libra_channel::{RayPath, Scene};
+use libra_obs as obs;
 use libra_phy::trace::standard_normal;
 use rand::Rng;
 
@@ -65,6 +66,7 @@ pub fn exhaustive_sweep(
     noise_sigma_db: f64,
     rng: &mut impl Rng,
 ) -> PairSweepResult {
+    obs::counter("mac.sweep.measurements", (tx_cb.len() * rx_cb.len()) as u64);
     let mut snr = vec![vec![f64::NEG_INFINITY; rx_cb.len()]; tx_cb.len()];
     let mut best = f64::NEG_INFINITY;
     let mut best_pair = None;
@@ -80,6 +82,7 @@ pub fn exhaustive_sweep(
         }
     }
     if best < SWEEP_LOCK_THRESHOLD_DB {
+        obs::counter("mac.sweep.lock_failures", 1);
         best_pair = None;
     }
     PairSweepResult {
@@ -97,6 +100,7 @@ pub fn tx_sweep(
     noise_sigma_db: f64,
     rng: &mut impl Rng,
 ) -> TxSweepResult {
+    obs::counter("mac.sweep.measurements", tx_cb.len() as u64);
     let quasi = BeamPattern::quasi_omni();
     let mut snr = vec![f64::NEG_INFINITY; tx_cb.len()];
     let mut best = f64::NEG_INFINITY;
@@ -111,6 +115,7 @@ pub fn tx_sweep(
         }
     }
     if best < SWEEP_LOCK_THRESHOLD_DB {
+        obs::counter("mac.sweep.lock_failures", 1);
         best_beam = None;
     }
     TxSweepResult {
@@ -133,6 +138,7 @@ pub fn separate_sweep(
 ) -> Option<(BeamId, BeamId)> {
     let tx_stage = tx_sweep(scene, rays, tx_cb, noise_sigma_db, rng);
     let tx_beam = tx_stage.best_beam?;
+    obs::counter("mac.sweep.measurements", rx_cb.len() as u64);
     let tb = tx_cb.beam(tx_beam);
     let mut best = f64::NEG_INFINITY;
     let mut best_rx = None;
@@ -145,6 +151,7 @@ pub fn separate_sweep(
         }
     }
     if best < SWEEP_LOCK_THRESHOLD_DB {
+        obs::counter("mac.sweep.lock_failures", 1);
         return None;
     }
     best_rx.map(|r| (tx_beam, r))

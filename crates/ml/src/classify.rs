@@ -5,32 +5,55 @@
 //! "which class is this row?". [`Classifier`] captures the serving half,
 //! so simulators, compiled inference engines (`libra_infer`), and the
 //! fitted models of this crate are interchangeable behind one trait.
+//!
+//! Since the API consolidation, `Classifier` is the *only* public
+//! prediction surface: the fitted models no longer carry inherent
+//! `predict`/`predict_view` duplicates, and batch serving flows through
+//! [`Classifier::predict_batch_into`] so engines with allocation-free
+//! batch paths (the flat ensembles of `libra_infer`) can override it.
+
+use crate::data::FrameView;
 
 /// A fitted classifier: maps feature rows to class indices.
 ///
 /// Implementors must be deterministic — the same row always yields the
-/// same class — and `predict` must agree element-wise with repeated
-/// `predict_one` calls (the default implementation guarantees this).
+/// same class — and every batch method must agree element-wise with
+/// repeated `predict_one` calls (the default implementations guarantee
+/// this; overrides such as the flat engines preserve it bitwise).
 pub trait Classifier {
     /// Predicted class index for one feature row.
     fn predict_one(&self, row: &[f64]) -> usize;
 
-    /// Predicted class indices for many rows.
+    /// Predicted class indices for many row-major rows.
     fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
         rows.iter().map(|r| self.predict_one(r)).collect()
     }
+
+    /// Predicted class indices for every row of a columnar frame view.
+    fn predict_view(&self, data: &FrameView<'_>) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.predict_batch_into(data, &mut out);
+        out
+    }
+
+    /// Predicts every row of a frame view into `out`, reusing its
+    /// capacity. Engines with allocation-free batch kernels override
+    /// this; the default walks `predict_one` row by row.
+    fn predict_batch_into(&self, data: &FrameView<'_>, out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(data.len());
+        out.extend(data.rows().map(|r| self.predict_one(r)));
+    }
 }
 
-/// Forwards the trait to the inherent `predict_one`/`predict` methods
-/// every fitted model in this crate already provides.
+/// Forwards the trait to the inherent `predict_one` every fitted model
+/// in this crate provides; batch prediction comes from the trait
+/// defaults, so models carry no duplicate batch methods.
 macro_rules! impl_classifier {
     ($($ty:ty),+ $(,)?) => {$(
         impl Classifier for $ty {
             fn predict_one(&self, row: &[f64]) -> usize {
                 <$ty>::predict_one(self, row)
-            }
-            fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-                <$ty>::predict(self, rows)
             }
         }
     )+};
@@ -53,7 +76,7 @@ mod tests {
     use libra_util::rng::rng_from_seed;
 
     #[test]
-    fn trait_and_inherent_predictions_agree() {
+    fn trait_surfaces_agree_with_predict_one() {
         let data = Dataset::new(
             vec![vec![0.0], vec![0.2], vec![1.0], vec![1.2]],
             vec![0, 0, 1, 1],
@@ -65,7 +88,12 @@ mod tests {
         tree.fit(&data, &mut rng);
         let via_trait: &dyn Classifier = &tree;
         let rows = data.to_rows();
-        assert_eq!(via_trait.predict(&rows), tree.predict(&rows));
+        let per_row: Vec<usize> = rows.iter().map(|r| tree.predict_one(r)).collect();
+        assert_eq!(via_trait.predict(&rows), per_row);
+        assert_eq!(via_trait.predict_view(&data.view()), per_row);
+        let mut out = vec![99; 2];
+        via_trait.predict_batch_into(&data.view(), &mut out);
+        assert_eq!(out, per_row);
         assert_eq!(via_trait.predict_one(&[0.1]), tree.predict_one(&[0.1]));
     }
 }

@@ -3,6 +3,7 @@
 //! repeated with random splits, reporting accuracy and weighted F1), and
 //! train-on-A / test-on-B evaluation for the cross-building study.
 
+use crate::classify::Classifier;
 use crate::data::{Dataset, FrameView};
 use crate::forest::{ForestConfig, RandomForest};
 use crate::gbdt::{GbdtClassifier, GbdtConfig};
@@ -17,29 +18,25 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 /// A trainable classifier, object-safe so harnesses can sweep models.
-/// Training and prediction both consume zero-copy [`FrameView`] borrows,
-/// so fold cells never materialize cloned sub-datasets.
-pub trait Model {
+/// Training consumes zero-copy [`FrameView`] borrows, so fold cells
+/// never materialize cloned sub-datasets; prediction comes from the
+/// [`Classifier`] supertrait — the single serving surface.
+pub trait Model: Classifier {
     /// Fits on a frame view; all stochastic choices flow through `rng`.
     fn fit(&mut self, data: &FrameView<'_>, rng: &mut dyn RngCore);
-    /// Predicts classes for every row of a frame view.
-    fn predict_view(&self, data: &FrameView<'_>) -> Vec<usize>;
     /// Display name.
     fn name(&self) -> &'static str;
 }
 
-/// Every model exposes inherent view-based `fit`/`predict_view`, so a
-/// `Model` impl only has to add a display name and adapt the fit
+/// A `Model` impl only has to add a display name and adapt the fit
 /// signature — stochastic trainers thread the harness RNG through,
-/// deterministic ones (`seedless`) ignore it.
+/// deterministic ones (`seedless`) ignore it. Prediction is inherited
+/// from each model's `Classifier` impl.
 macro_rules! impl_model {
     ($ty:ty, $name:literal, seeded) => {
         impl Model for $ty {
             fn fit(&mut self, data: &FrameView<'_>, mut rng: &mut dyn RngCore) {
                 <$ty>::fit(self, data, &mut rng)
-            }
-            fn predict_view(&self, data: &FrameView<'_>) -> Vec<usize> {
-                <$ty>::predict_view(self, data)
             }
             fn name(&self) -> &'static str {
                 $name
@@ -50,9 +47,6 @@ macro_rules! impl_model {
         impl Model for $ty {
             fn fit(&mut self, data: &FrameView<'_>, _rng: &mut dyn RngCore) {
                 <$ty>::fit(self, data)
-            }
-            fn predict_view(&self, data: &FrameView<'_>) -> Vec<usize> {
-                <$ty>::predict_view(self, data)
             }
             fn name(&self) -> &'static str {
                 $name

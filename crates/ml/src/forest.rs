@@ -7,6 +7,7 @@
 
 use crate::data::FrameView;
 use crate::tree::{DecisionTree, Impurity, TreeConfig};
+use libra_obs as obs;
 use libra_util::par::par_map_index;
 use libra_util::rng::derive_seed_index;
 use rand::Rng;
@@ -69,6 +70,7 @@ impl RandomForest {
     /// the historical sequential implementation). Bootstrap samples are
     /// index lists resolved against the backing frame — no row clones.
     pub fn fit<'a>(&mut self, data: impl Into<FrameView<'a>>, rng: &mut impl Rng) {
+        let _span = obs::span("ml.forest.fit");
         let data = data.into();
         assert!(!data.is_empty(), "cannot fit on empty dataset");
         self.n_classes = data.n_classes();
@@ -115,7 +117,8 @@ impl RandomForest {
         probs
     }
 
-    /// Predicted class for one row (soft vote).
+    /// Predicted class for one row (soft vote). Batch prediction lives
+    /// on the [`crate::Classifier`] trait — the single serving surface.
     pub fn predict_one(&self, row: &[f64]) -> usize {
         let probs = self.predict_proba_one(row);
         probs
@@ -124,16 +127,6 @@ impl RandomForest {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
             .map(|(i, _)| i)
             .expect("non-empty")
-    }
-
-    /// Predicted classes for many rows.
-    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        rows.iter().map(|r| self.predict_one(r)).collect()
-    }
-
-    /// Predicted classes for every row of a frame view (no row copies).
-    pub fn predict_view<'a>(&self, data: impl Into<FrameView<'a>>) -> Vec<usize> {
-        data.into().rows().map(|r| self.predict_one(r)).collect()
     }
 
     /// Gini importances averaged over member trees (Table 3).
@@ -178,6 +171,7 @@ impl RandomForest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classify::Classifier;
     use crate::data::Dataset;
     use crate::metrics::accuracy;
     use libra_util::rng::rng_from_seed;
@@ -214,7 +208,7 @@ mod tests {
         });
         let mut rng = rng_from_seed(3);
         rf.fit(&train, &mut rng);
-        let acc = accuracy(&test.labels, &rf.predict_view(&test));
+        let acc = accuracy(&test.labels, &rf.predict_view(&test.view()));
         assert!(acc > 0.9, "accuracy {acc}");
     }
 
@@ -228,14 +222,14 @@ mod tests {
             ..Default::default()
         });
         tree.fit(&train, &mut rng);
-        let tree_acc = accuracy(&test.labels, &tree.predict_view(&test));
+        let tree_acc = accuracy(&test.labels, &tree.predict_view(&test.view()));
         let mut rf = RandomForest::new(ForestConfig {
             n_trees: 60,
             max_depth: 10,
             ..Default::default()
         });
         rf.fit(&train, &mut rng);
-        let rf_acc = accuracy(&test.labels, &rf.predict_view(&test));
+        let rf_acc = accuracy(&test.labels, &rf.predict_view(&test.view()));
         assert!(rf_acc >= tree_acc, "rf {rf_acc} < tree {tree_acc}");
     }
 
@@ -278,7 +272,7 @@ mod tests {
             let mut rng = rng_from_seed(5);
             rf.fit(&data, &mut rng);
             libra_util::par::set_threads(0);
-            (rf.predict_view(&data), rf.feature_importances())
+            (rf.predict_view(&data.view()), rf.feature_importances())
         };
         assert_eq!(fit_at(1), fit_at(4));
     }
@@ -293,7 +287,7 @@ mod tests {
             });
             let mut rng = rng_from_seed(seed);
             rf.fit(&data, &mut rng);
-            rf.predict_view(&data)
+            rf.predict_view(&data.view())
         };
         assert_eq!(fit(42), fit(42));
     }

@@ -10,6 +10,7 @@
 
 use crate::data::FrameView;
 use crate::tree::ColMatrix;
+use libra_obs as obs;
 use serde::{Deserialize, Serialize};
 
 /// GBDT hyper-parameters.
@@ -219,6 +220,7 @@ impl GbdtClassifier {
 
     /// Trains one-vs-rest boosters from a frame or view.
     pub fn fit<'a>(&mut self, data: impl Into<FrameView<'a>>) {
+        let _span = obs::span("ml.gbdt.fit");
         let data = data.into();
         assert!(!data.is_empty(), "cannot fit on empty dataset");
         self.n_classes = data.n_classes();
@@ -273,16 +275,6 @@ impl GbdtClassifier {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
             .map(|(i, _)| i)
             .expect("non-empty")
-    }
-
-    /// Predicted classes for many rows.
-    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        rows.iter().map(|r| self.predict_one(r)).collect()
-    }
-
-    /// Predicted classes for every row of a frame view (no row copies).
-    pub fn predict_view<'a>(&self, data: impl Into<FrameView<'a>>) -> Vec<usize> {
-        data.into().rows().map(|r| self.predict_one(r)).collect()
     }
 
     /// Number of trees in each booster.
@@ -358,6 +350,7 @@ fn sigmoid(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classify::Classifier;
     use crate::data::Dataset;
     use crate::metrics::accuracy;
     use libra_util::rng::{rng_from_seed, standard_normal};
@@ -389,7 +382,7 @@ mod tests {
         let test = moons(120, 2);
         let mut g = GbdtClassifier::new(GbdtConfig::default());
         g.fit(&train);
-        let acc = accuracy(&test.labels, &g.predict_view(&test));
+        let acc = accuracy(&test.labels, &g.predict_view(&test.view()));
         assert!(acc > 0.92, "accuracy {acc}");
         assert_eq!(g.n_trees(), 60);
     }
@@ -414,7 +407,7 @@ mod tests {
             ..Default::default()
         });
         g.fit(&data);
-        let acc = accuracy(&data.labels, &g.predict_view(&data));
+        let acc = accuracy(&data.labels, &g.predict_view(&data.view()));
         assert!(acc > 0.96, "accuracy {acc}");
         assert_eq!(g.decision_scores(data.row(0)).len(), 3);
     }
@@ -428,7 +421,7 @@ mod tests {
                 ..Default::default()
             });
             g.fit(&train);
-            accuracy(&train.labels, &g.predict_view(&train))
+            accuracy(&train.labels, &g.predict_view(&train.view()))
         };
         assert!(fit_with(60) >= fit_with(5) - 1e-9);
     }
@@ -442,7 +435,7 @@ mod tests {
                 ..Default::default()
             });
             g.fit(&train);
-            g.predict_view(&train)
+            g.predict_view(&train.view())
         };
         assert_eq!(run(), run());
     }
@@ -462,7 +455,7 @@ mod tests {
         let clean = moons(150, 8);
         let mut g = GbdtClassifier::new(GbdtConfig::default());
         g.fit(&train);
-        let acc = accuracy(&clean.labels, &g.predict_view(&clean));
+        let acc = accuracy(&clean.labels, &g.predict_view(&clean.view()));
         assert!(acc > 0.85, "accuracy {acc}");
     }
 }

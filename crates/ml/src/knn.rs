@@ -88,21 +88,12 @@ impl KnnClassifier {
             .map(|(i, _)| i)
             .expect("non-empty")
     }
-
-    /// Predicted classes for many rows.
-    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        rows.iter().map(|r| self.predict_one(r)).collect()
-    }
-
-    /// Predicted classes for every row of a frame view (no row copies).
-    pub fn predict_view<'a>(&self, data: impl Into<FrameView<'a>>) -> Vec<usize> {
-        data.into().rows().map(|r| self.predict_one(r)).collect()
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classify::Classifier;
     use crate::data::Dataset;
     use crate::metrics::accuracy;
     use libra_util::rng::{rng_from_seed, standard_normal};
@@ -129,7 +120,7 @@ mod tests {
         let test = blobs(60, 2);
         let mut knn = KnnClassifier::new(KnnConfig::default());
         knn.fit(&train);
-        let acc = accuracy(&test.labels, &knn.predict_view(&test));
+        let acc = accuracy(&test.labels, &knn.predict_view(&test.view()));
         assert!(acc > 0.93, "accuracy {acc}");
     }
 
@@ -141,7 +132,7 @@ mod tests {
             distance_weighted: false,
         });
         knn.fit(&train);
-        let acc = accuracy(&train.labels, &knn.predict_view(&train));
+        let acc = accuracy(&train.labels, &knn.predict_view(&train.view()));
         assert_eq!(acc, 1.0);
     }
 
@@ -172,8 +163,8 @@ mod tests {
         uni.fit(&train);
         wei.fit(&train);
         let test = blobs(100, 6);
-        let au = accuracy(&test.labels, &uni.predict_view(&test));
-        let aw = accuracy(&test.labels, &wei.predict_view(&test));
+        let au = accuracy(&test.labels, &uni.predict_view(&test.view()));
+        let aw = accuracy(&test.labels, &wei.predict_view(&test.view()));
         assert!(
             aw + 0.05 >= au,
             "weighted {aw} much worse than uniform {au}"

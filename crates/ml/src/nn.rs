@@ -259,16 +259,6 @@ impl NeuralNet {
             .map(|(i, _)| i)
             .expect("non-empty")
     }
-
-    /// Predicted classes for many rows.
-    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        rows.iter().map(|r| self.predict_one(r)).collect()
-    }
-
-    /// Predicted classes for every row of a frame view (no row copies).
-    pub fn predict_view<'a>(&self, data: impl Into<FrameView<'a>>) -> Vec<usize> {
-        data.into().rows().map(|r| self.predict_one(r)).collect()
-    }
 }
 
 fn softmax(z: &[f64]) -> Vec<f64> {
@@ -281,6 +271,7 @@ fn softmax(z: &[f64]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classify::Classifier;
     use crate::metrics::accuracy;
     use libra_util::rng::rng_from_seed;
 
@@ -325,7 +316,7 @@ mod tests {
         });
         let mut rng = rng_from_seed(3);
         nn.fit(&train, &mut rng);
-        let acc = accuracy(&test.labels, &nn.predict_view(&test));
+        let acc = accuracy(&test.labels, &nn.predict_view(&test.view()));
         assert!(acc > 0.95, "accuracy {acc}");
     }
 
@@ -349,7 +340,7 @@ mod tests {
             ..Default::default()
         });
         nn.fit(&data, &mut rng);
-        let acc = accuracy(&data.labels, &nn.predict_view(&data));
+        let acc = accuracy(&data.labels, &nn.predict_view(&data.view()));
         assert!(acc > 0.95, "accuracy {acc}");
     }
 
@@ -378,7 +369,7 @@ mod tests {
             });
             let mut rng = rng_from_seed(8);
             nn.fit(&data, &mut rng);
-            nn.predict_view(&data)
+            nn.predict_view(&data.view())
         };
         assert_eq!(run(), run());
     }
@@ -394,7 +385,7 @@ mod tests {
         });
         let mut rng = rng_from_seed(10);
         nn.fit(&data, &mut rng);
-        let acc = accuracy(&data.labels, &nn.predict_view(&data));
+        let acc = accuracy(&data.labels, &nn.predict_view(&data.view()));
         assert!(acc > 0.95, "accuracy {acc}");
     }
 }

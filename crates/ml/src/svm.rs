@@ -263,16 +263,6 @@ impl SvmClassifier {
         }
     }
 
-    /// Predicted classes for many rows.
-    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        rows.iter().map(|r| self.predict_one(r)).collect()
-    }
-
-    /// Predicted classes for every row of a frame view (no row copies).
-    pub fn predict_view<'a>(&self, data: impl Into<FrameView<'a>>) -> Vec<usize> {
-        data.into().rows().map(|r| self.predict_one(r)).collect()
-    }
-
     /// Total number of support vectors over all machines.
     pub fn n_support_vectors(&self) -> usize {
         self.machines.iter().map(|m| m.support_x.len()).sum()
@@ -282,6 +272,7 @@ impl SvmClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classify::Classifier;
     use crate::data::Dataset;
     use crate::metrics::accuracy;
     use libra_util::rng::rng_from_seed;
@@ -322,7 +313,7 @@ mod tests {
         });
         let mut rng = rng_from_seed(1);
         svm.fit(&data, &mut rng);
-        let acc = accuracy(&data.labels, &svm.predict_view(&data));
+        let acc = accuracy(&data.labels, &svm.predict_view(&data.view()));
         assert!(acc > 0.97, "accuracy {acc}");
     }
 
@@ -332,7 +323,7 @@ mod tests {
         let mut svm = SvmClassifier::new(SvmConfig::default());
         let mut rng = rng_from_seed(2);
         svm.fit(&data, &mut rng);
-        let acc = accuracy(&data.labels, &svm.predict_view(&data));
+        let acc = accuracy(&data.labels, &svm.predict_view(&data.view()));
         assert!(acc > 0.95, "accuracy {acc}");
     }
 
@@ -346,7 +337,7 @@ mod tests {
         });
         let mut rng = rng_from_seed(3);
         svm.fit(&data, &mut rng);
-        let acc = accuracy(&data.labels, &svm.predict_view(&data));
+        let acc = accuracy(&data.labels, &svm.predict_view(&data.view()));
         assert!(acc < 0.8, "linear should not separate circles: {acc}");
     }
 
@@ -368,7 +359,7 @@ mod tests {
         let mut rng = rng_from_seed(4);
         svm.fit(&data, &mut rng);
         assert_eq!(svm.machines.len(), 3);
-        let acc = accuracy(&data.labels, &svm.predict_view(&data));
+        let acc = accuracy(&data.labels, &svm.predict_view(&data.view()));
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

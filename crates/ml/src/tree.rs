@@ -12,6 +12,7 @@
 //! contiguous column slice instead of chasing per-row allocations.
 
 use crate::data::FrameView;
+use libra_obs as obs;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -187,6 +188,7 @@ impl DecisionTree {
     /// Fits the tree on a frame or view. `rng` is only consumed when
     /// `max_features` asks for feature subsampling.
     pub fn fit<'a>(&mut self, data: impl Into<FrameView<'a>>, rng: &mut impl Rng) {
+        let _span = obs::span("ml.tree.fit");
         let data = data.into();
         assert!(!data.is_empty(), "cannot fit on empty dataset");
         self.n_classes = data.n_classes();
@@ -205,6 +207,7 @@ impl DecisionTree {
         total: usize,
         rng: &mut impl Rng,
     ) -> Node {
+        obs::counter("ml.tree.nodes", 1);
         let counts = class_counts(cm, &idx, self.n_classes);
         let node_impurity = self.config.impurity.of(&counts, idx.len());
         let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
@@ -219,6 +222,7 @@ impl DecisionTree {
             feats.truncate(k.clamp(1, n_features));
         }
 
+        obs::counter("ml.tree.split_scans", feats.len() as u64);
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted child impurity)
         for &f in &feats {
             if let Some((thr, child_imp)) =
@@ -275,19 +279,10 @@ impl DecisionTree {
         }
     }
 
-    /// Predicted class for one row.
+    /// Predicted class for one row. Batch prediction lives on the
+    /// [`crate::Classifier`] trait — the single serving surface.
     pub fn predict_one(&self, row: &[f64]) -> usize {
         argmax(&self.predict_proba_one(row))
-    }
-
-    /// Predicted classes for many rows.
-    pub fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        rows.iter().map(|r| self.predict_one(r)).collect()
-    }
-
-    /// Predicted classes for every row of a frame view (no row copies).
-    pub fn predict_view<'a>(&self, data: impl Into<FrameView<'a>>) -> Vec<usize> {
-        data.into().rows().map(|r| self.predict_one(r)).collect()
     }
 
     /// Normalized Gini feature importances (sum to 1 unless the tree is a
@@ -434,6 +429,7 @@ fn argmax(xs: &[f64]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classify::Classifier;
     use crate::data::Dataset;
     use libra_util::rng::rng_from_seed;
 
@@ -457,7 +453,7 @@ mod tests {
         let data = xor_dataset();
         let mut rng = rng_from_seed(1);
         tree.fit(&data, &mut rng);
-        let pred = tree.predict_view(&data);
+        let pred = tree.predict_view(&data.view());
         assert_eq!(crate::metrics::accuracy(&data.labels, &pred), 1.0);
         assert!(tree.depth() >= 2);
     }
@@ -517,7 +513,7 @@ mod tests {
         let data = xor_dataset();
         let mut rng = rng_from_seed(5);
         tree.fit(&data, &mut rng);
-        let pred = tree.predict_view(&data);
+        let pred = tree.predict_view(&data.view());
         assert_eq!(crate::metrics::accuracy(&data.labels, &pred), 1.0);
     }
 
@@ -560,13 +556,13 @@ mod tests {
             let mut tree = DecisionTree::new(TreeConfig::default());
             let mut rng = rng_from_seed(9);
             tree.fit(data.select(&idx), &mut rng);
-            (tree.predict_view(&data), tree.feature_importances())
+            (tree.predict_view(&data.view()), tree.feature_importances())
         };
         let fit_on_owned = {
             let mut tree = DecisionTree::new(TreeConfig::default());
             let mut rng = rng_from_seed(9);
             tree.fit(&owned, &mut rng);
-            (tree.predict_view(&data), tree.feature_importances())
+            (tree.predict_view(&data.view()), tree.feature_importances())
         };
         assert_eq!(fit_on_view, fit_on_owned);
     }

@@ -1,8 +1,8 @@
 //! Property-based tests for the ML library.
 
 use libra_ml::{
-    accuracy, confusion_matrix, weighted_f1, Dataset, DecisionTree, ForestConfig, RandomForest,
-    Standardizer, TreeConfig,
+    accuracy, confusion_matrix, weighted_f1, Classifier, Dataset, DecisionTree, ForestConfig,
+    RandomForest, Standardizer, TreeConfig,
 };
 use libra_util::rng::{rng_from_seed, standard_normal};
 use proptest::prelude::*;
@@ -36,7 +36,7 @@ proptest! {
         let mut tree = DecisionTree::new(TreeConfig { max_depth: 30, ..Default::default() });
         let mut rng = rng_from_seed(seed);
         tree.fit(&data, &mut rng);
-        let acc = accuracy(&data.labels, &tree.predict_view(&data));
+        let acc = accuracy(&data.labels, &tree.predict_view(&data.view()));
         prop_assert!(acc > 0.99, "training accuracy {acc}");
     }
 

@@ -1,0 +1,728 @@
+//! # libra-obs
+//!
+//! The telemetry spine of the LiBRA reproduction: a zero-dependency
+//! (only `libra-util`) tracing/metrics layer shared by training,
+//! serving, the §8 simulator, and the online retrain loop.
+//!
+//! ## Model
+//!
+//! Three instrument kinds, all keyed by `&'static str`:
+//!
+//! * **Counters** ([`counter`]) — monotonic `u64` increments.
+//! * **Value histograms** ([`record_value`]) — log₂-bucketed
+//!   distributions of *deterministic* quantities (ladder depth,
+//!   recovery delay in µs, batch sizes).
+//! * **Wall-clock histograms** ([`record_wall`] and [`span`] /
+//!   [`span!`]) — log₂-bucketed nanosecond timings with p50/p95/p99.
+//!
+//! ## Determinism contract
+//!
+//! Counters and *value* histograms are merged in [`par_map_index`
+//! order](libra_util::par) via the [`libra_util::par::TaskHooks`]
+//! observer, so their values — including every bucket count — are
+//! **bitwise identical at any thread count**. Wall-clock histograms are
+//! reported but excluded from [`Report::determinism_digest`]. (Since
+//! counter/histogram merging is additive and every work item is
+//! observed exactly once, index-ordered merging makes the whole
+//! collection order-independent.)
+//!
+//! ## Cost when disabled
+//!
+//! Collection is off by default. Every instrument early-returns on a
+//! relaxed atomic load, allocating nothing — verified by the serving
+//! zero-allocation test via [`alloc_count`], the collector's own
+//! allocation ledger (incremented whenever *it* allocates: frames,
+//! map entries, merge boxes).
+//!
+//! ## Scopes
+//!
+//! Binaries turn the collector on globally with [`set_enabled`] and
+//! drain it with [`take_root_report`]. Library benchmarks instead wrap
+//! a region in [`with_scope`], which returns the *delta* [`Report`] for
+//! that region while still folding it into the enclosing scope.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Once;
+use std::time::Instant;
+
+use libra_util::checksum::fnv1a64;
+use libra_util::par::{install_task_hooks, TaskHooks};
+use libra_util::table::TextTable;
+
+/// Sticky process-wide enable flag (the `--trace` path in binaries).
+static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(false);
+/// Number of live [`with_scope`] regions across all threads. Collection
+/// is active while this is non-zero so `par_map` workers observe too.
+static SCOPE_DEPTH: AtomicUsize = AtomicUsize::new(0);
+/// Self-reported allocation ledger: bumped whenever the collector
+/// itself allocates (new frame, new map entry, merge box).
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static INIT: Once = Once::new();
+
+thread_local! {
+    /// Per-thread stack of observation frames. The bottom frame is the
+    /// implicit root; [`with_scope`] and the par-task hooks push/pop
+    /// child frames.
+    static FRAMES: RefCell<Vec<Report>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether collection is currently active.
+#[inline]
+pub fn enabled() -> bool {
+    GLOBAL_ENABLED.load(Ordering::Relaxed) || SCOPE_DEPTH.load(Ordering::Relaxed) > 0
+}
+
+/// Turns the process-wide collector on or off (sticky; used by the
+/// `--trace` flag in binaries). Also installs the `par_map` merge
+/// hooks on first enable.
+pub fn set_enabled(on: bool) {
+    if on {
+        init();
+    }
+    GLOBAL_ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Installs the [`TaskHooks`] observer into `libra_util::par` (idempotent).
+pub fn init() {
+    INIT.call_once(|| {
+        install_task_hooks(TaskHooks {
+            enter: hook_enter,
+            exit: hook_exit,
+            merge: hook_merge,
+        });
+    });
+}
+
+fn note_allocs(n: u64) {
+    ALLOCS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total allocations the collector has performed since process start.
+/// With collection disabled this must not move — the zero-cost test
+/// asserts exactly that across a serving pass.
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn with_top<R>(f: impl FnOnce(&mut Report) -> R) -> R {
+    FRAMES.with(|frames| {
+        let mut stack = frames.borrow_mut();
+        if stack.is_empty() {
+            note_allocs(1);
+            stack.push(Report::default());
+        }
+        f(stack.last_mut().expect("frame stack non-empty"))
+    })
+}
+
+/// Adds `delta` to the named monotonic counter (no-op when disabled).
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_top(|frame| frame.add_counter(name, delta));
+}
+
+/// Records a *deterministic* value (included in determinism digests)
+/// into the named log₂ histogram (no-op when disabled).
+#[inline]
+pub fn record_value(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_top(|frame| frame.observe(name, HistKind::Value, value));
+}
+
+/// Records a wall-clock duration in nanoseconds (reported, but excluded
+/// from determinism digests) into the named log₂ histogram.
+#[inline]
+pub fn record_wall(name: &'static str, nanos: u64) {
+    if !enabled() {
+        return;
+    }
+    with_top(|frame| frame.observe(name, HistKind::WallClock, nanos));
+}
+
+/// An RAII timing scope. On drop it bumps the deterministic counter
+/// `name` by one and records the elapsed wall-clock nanoseconds into
+/// the wall histogram `name`. Created by [`span`] or the [`span!`]
+/// macro; does nothing when collection is disabled.
+#[must_use = "a span measures the scope it is bound to"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Opens a [`Span`] (cheap no-op when collection is disabled).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            counter(self.name, 1);
+            record_wall(self.name, nanos);
+        }
+    }
+}
+
+/// Opens a timing scope bound to the rest of the enclosing block:
+/// `span!("train.forest.fit");`. Hygienic — multiple `span!`s may share
+/// a block.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _obs_span_guard = $crate::span($name);
+    };
+}
+
+/// Runs `f` with collection active, returning its result together with
+/// the **delta** [`Report`] of everything observed inside. The delta is
+/// also folded into the enclosing scope (or the thread's root frame),
+/// so nested scopes compose.
+pub fn with_scope<R>(f: impl FnOnce() -> R) -> (R, Report) {
+    init();
+    note_allocs(1); // the pushed frame below
+    FRAMES.with(|frames| frames.borrow_mut().push(Report::default()));
+    SCOPE_DEPTH.fetch_add(1, Ordering::SeqCst);
+    let result = f();
+    SCOPE_DEPTH.fetch_sub(1, Ordering::SeqCst);
+    let delta = FRAMES
+        .with(|frames| frames.borrow_mut().pop())
+        .expect("with_scope frame still on stack");
+    with_top(|frame| frame.merge_from(&delta));
+    (result, delta)
+}
+
+/// Drains and returns this thread's root report (everything observed on
+/// this thread — plus everything merged back from `par_map` workers —
+/// since the last drain).
+pub fn take_root_report() -> Report {
+    FRAMES.with(|frames| {
+        let mut stack = frames.borrow_mut();
+        if stack.is_empty() {
+            Report::default()
+        } else {
+            std::mem::take(&mut stack[0])
+        }
+    })
+}
+
+/// Writes a report under `dir` as machine-readable `trace.jsonl` plus a
+/// human-readable `obs_summary.txt`, creating `dir` if needed. Returns
+/// the two paths. This is the shared emission path behind the `--trace`
+/// flag of `libractl` and `experiments`.
+pub fn write_trace_files(
+    report: &Report,
+    dir: &std::path::Path,
+) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let jsonl = dir.join("trace.jsonl");
+    let summary = dir.join("obs_summary.txt");
+    std::fs::write(&jsonl, report.to_jsonl())?;
+    std::fs::write(&summary, report.summary_table())?;
+    Ok((jsonl, summary))
+}
+
+// ---------------------------------------------------------------------------
+// par_map task hooks
+// ---------------------------------------------------------------------------
+
+fn hook_enter() {
+    if !enabled() {
+        return;
+    }
+    note_allocs(1);
+    FRAMES.with(|frames| frames.borrow_mut().push(Report::default()));
+}
+
+fn hook_exit() -> Box<dyn Any + Send> {
+    if !enabled() {
+        return Box::new(()); // ZST box: no allocation
+    }
+    match FRAMES.with(|frames| frames.borrow_mut().pop()) {
+        Some(frame) if !frame.is_empty() => {
+            note_allocs(1);
+            Box::new(frame)
+        }
+        _ => Box::new(()),
+    }
+}
+
+fn hook_merge(data: Box<dyn Any + Send>) {
+    if let Ok(frame) = data.downcast::<Report>() {
+        with_top(|top| top.merge_from(&frame));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// Whether a histogram's contents participate in determinism digests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistKind {
+    /// Deterministic quantity — digested, bitwise identical at any
+    /// thread count.
+    Value,
+    /// Wall-clock timing — reported, but exempt from digests.
+    WallClock,
+}
+
+/// Number of log₂ buckets per histogram (covers the full `u64` range).
+pub const N_BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of `u64` observations. Bucket 0 holds
+/// zeros; bucket `b > 0` holds values in `[2^(b-1), 2^b)`.
+#[derive(Debug, Clone)]
+pub struct Hist {
+    /// Digest participation of this histogram.
+    pub kind: HistKind,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations (wrapping).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Per-bucket observation counts.
+    pub buckets: [u64; N_BUCKETS],
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(N_BUCKETS - 1)
+    }
+}
+
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= N_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Hist {
+    fn new(kind: HistKind) -> Self {
+        Self {
+            kind,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+
+    fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    fn merge_from(&mut self, other: &Hist) {
+        debug_assert_eq!(self.kind, other.kind, "histogram kind mismatch");
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`): the upper bound of the
+    /// bucket containing the `⌈q·count⌉`-th observation. Exact enough
+    /// for order-of-magnitude latency reporting, and deterministic.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// An immutable snapshot of observed counters and histograms, merged
+/// deterministically (BTreeMap keys give a stable serialization order).
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<&'static str, Hist>,
+}
+
+impl Report {
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.hists.is_empty()
+    }
+
+    fn add_counter(&mut self, name: &'static str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                note_allocs(1);
+                self.counters.insert(name, delta);
+            }
+        }
+    }
+
+    fn observe(&mut self, name: &'static str, kind: HistKind, v: u64) {
+        match self.hists.get_mut(name) {
+            Some(h) => h.observe(v),
+            None => {
+                note_allocs(1);
+                let mut h = Hist::new(kind);
+                h.observe(v);
+                self.hists.insert(name, h);
+            }
+        }
+    }
+
+    /// Folds `other` into `self` (additive; commutative for all stored
+    /// statistics, so index-ordered merging is fully deterministic).
+    pub fn merge_from(&mut self, other: &Report) {
+        for (&name, &v) in &other.counters {
+            self.add_counter(name, v);
+        }
+        for (&name, h) in &other.hists {
+            match self.hists.get_mut(name) {
+                Some(mine) => mine.merge_from(h),
+                None => {
+                    note_allocs(1);
+                    self.hists.insert(name, h.clone());
+                }
+            }
+        }
+    }
+
+    /// Counter value by name (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name, if observed.
+    pub fn hist(&self, name: &str) -> Option<&Hist> {
+        self.hists.get(name)
+    }
+
+    /// Sum of wall-clock nanoseconds recorded under `name` (0 when the
+    /// histogram is absent). The bench harnesses read span timings
+    /// through this instead of ad-hoc `Instant` pairs.
+    pub fn wall_nanos(&self, name: &str) -> u64 {
+        self.hists.get(name).map_or(0, |h| h.sum)
+    }
+
+    /// FNV-1a digest over every counter and every **Value** histogram
+    /// (name, count, sum, min, max, all 64 bucket counts). Wall-clock
+    /// histograms are excluded, so the digest is bitwise identical at
+    /// any thread count.
+    pub fn determinism_digest(&self) -> u64 {
+        let mut bytes = Vec::new();
+        for (name, v) in &self.counters {
+            bytes.extend_from_slice(name.as_bytes());
+            bytes.push(0);
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        for (name, h) in &self.hists {
+            if h.kind != HistKind::Value {
+                continue;
+            }
+            bytes.extend_from_slice(name.as_bytes());
+            bytes.push(1);
+            bytes.extend_from_slice(&h.count.to_le_bytes());
+            bytes.extend_from_slice(&h.sum.to_le_bytes());
+            bytes.extend_from_slice(&h.min.to_le_bytes());
+            bytes.extend_from_slice(&h.max.to_le_bytes());
+            for b in &h.buckets {
+                bytes.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        fnv1a64(&bytes)
+    }
+
+    /// Serializes the report as JSON Lines: one `counter` record per
+    /// counter, one `hist` record per histogram (non-empty buckets as
+    /// `[bucket_index, count]` pairs). Names are `&'static str`
+    /// identifiers, so no JSON escaping is required.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{v}}}\n"
+            ));
+        }
+        for (name, h) in &self.hists {
+            let kind = match h.kind {
+                HistKind::Value => "value",
+                HistKind::WallClock => "wall",
+            };
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| format!("[{i},{c}]"))
+                .collect();
+            out.push_str(&format!(
+                "{{\"type\":\"hist\",\"name\":\"{name}\",\"kind\":\"{kind}\",\
+                 \"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}\n",
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99),
+                buckets.join(",")
+            ));
+        }
+        out
+    }
+
+    /// Renders the human-readable summary table appended to
+    /// `results/obs_summary.txt`.
+    pub fn summary_table(&self) -> String {
+        let mut s = String::new();
+        if !self.counters.is_empty() {
+            let mut t = TextTable::new(["counter", "value"]);
+            for (name, v) in &self.counters {
+                t.row([name.to_string(), v.to_string()]);
+            }
+            s.push_str(&t.render());
+        }
+        if !self.hists.is_empty() {
+            if !s.is_empty() {
+                s.push('\n');
+            }
+            let mut t = TextTable::new([
+                "histogram",
+                "kind",
+                "count",
+                "min",
+                "p50",
+                "p95",
+                "p99",
+                "max",
+            ]);
+            for (name, h) in &self.hists {
+                let kind = match h.kind {
+                    HistKind::Value => "value",
+                    HistKind::WallClock => "wall(ns)",
+                };
+                t.row([
+                    name.to_string(),
+                    kind.to_string(),
+                    h.count.to_string(),
+                    if h.count == 0 { 0 } else { h.min }.to_string(),
+                    h.percentile(0.50).to_string(),
+                    h.percentile(0.95).to_string(),
+                    h.percentile(0.99).to_string(),
+                    h.max.to_string(),
+                ]);
+            }
+            s.push_str(&t.render());
+        }
+        if s.is_empty() {
+            s.push_str("(no observations)\n");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_util::par::{par_map_index, set_threads};
+    use std::sync::Mutex;
+
+    /// The collector state is process-global; tests that enable it or
+    /// change the thread count must not interleave.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_instruments_do_not_allocate() {
+        let _g = lock();
+        let before = alloc_count();
+        for i in 0..1000 {
+            counter("test.noop", 1);
+            record_value("test.noop.v", i);
+            record_wall("test.noop.w", i);
+            let _s = span("test.noop.span");
+        }
+        assert_eq!(alloc_count(), before);
+    }
+
+    #[test]
+    fn scope_collects_counters_and_hists() {
+        let _g = lock();
+        let ((), report) = with_scope(|| {
+            counter("test.scope.c", 2);
+            counter("test.scope.c", 3);
+            record_value("test.scope.v", 7);
+            record_value("test.scope.v", 9);
+        });
+        assert_eq!(report.counter("test.scope.c"), 5);
+        let h = report.hist("test.scope.v").expect("hist recorded");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 16);
+        assert_eq!(h.min, 7);
+        assert_eq!(h.max, 9);
+    }
+
+    #[test]
+    fn nested_scopes_fold_into_parent() {
+        let _g = lock();
+        let ((), outer) = with_scope(|| {
+            counter("test.nest.outer", 1);
+            let ((), inner) = with_scope(|| counter("test.nest.inner", 4));
+            assert_eq!(inner.counter("test.nest.inner"), 4);
+            assert_eq!(inner.counter("test.nest.outer"), 0);
+        });
+        assert_eq!(outer.counter("test.nest.outer"), 1);
+        assert_eq!(outer.counter("test.nest.inner"), 4);
+    }
+
+    #[test]
+    fn span_records_call_count_and_wall_hist() {
+        let _g = lock();
+        let ((), report) = with_scope(|| {
+            for _ in 0..3 {
+                let _s = span("test.span.x");
+            }
+            span!("test.span.y");
+        });
+        assert_eq!(report.counter("test.span.x"), 3);
+        let h = report.hist("test.span.x").expect("wall hist");
+        assert_eq!(h.kind, HistKind::WallClock);
+        assert_eq!(h.count, 3);
+        assert_eq!(report.counter("test.span.y"), 1);
+    }
+
+    #[test]
+    fn par_merge_is_thread_count_invariant() {
+        let _g = lock();
+        let run = |threads: usize| {
+            set_threads(threads);
+            let ((), report) = with_scope(|| {
+                let _ = par_map_index(37, |i| {
+                    counter("test.par.items", 1);
+                    record_value("test.par.v", i as u64 * 17 % 29);
+                    i
+                });
+            });
+            set_threads(0);
+            report
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.counter("test.par.items"), 37);
+        assert_eq!(par.counter("test.par.items"), 37);
+        let (a, b) = (
+            seq.hist("test.par.v").unwrap(),
+            par.hist("test.par.v").unwrap(),
+        );
+        assert_eq!(a.buckets, b.buckets);
+        assert_eq!(seq.determinism_digest(), par.determinism_digest());
+    }
+
+    #[test]
+    fn digest_ignores_wall_clock() {
+        let _g = lock(); // Report mutation bumps the shared alloc ledger
+        let mut a = Report::default();
+        let mut b = Report::default();
+        a.add_counter("c", 3);
+        b.add_counter("c", 3);
+        a.observe("w", HistKind::WallClock, 100);
+        b.observe("w", HistKind::WallClock, 999_999);
+        assert_eq!(a.determinism_digest(), b.determinism_digest());
+        a.observe("v", HistKind::Value, 5);
+        assert_ne!(a.determinism_digest(), b.determinism_digest());
+    }
+
+    #[test]
+    fn percentiles_track_bucket_bounds() {
+        let mut h = Hist::new(HistKind::Value);
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let p50 = h.percentile(0.5);
+        assert!((32..=63).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.percentile(1.0), 100); // capped at observed max
+        assert_eq!(Hist::new(HistKind::Value).percentile(0.5), 0);
+    }
+
+    #[test]
+    fn jsonl_and_table_render() {
+        let _g = lock(); // Report mutation bumps the shared alloc ledger
+        let mut r = Report::default();
+        r.add_counter("sim.actions.ba", 12);
+        r.observe("serve.batch_rows", HistKind::Value, 256);
+        let jsonl = r.to_jsonl();
+        assert!(jsonl.contains("\"type\":\"counter\""));
+        assert!(jsonl.contains("\"name\":\"sim.actions.ba\",\"value\":12"));
+        assert!(jsonl.contains("\"type\":\"hist\""));
+        let table = r.summary_table();
+        assert!(table.contains("sim.actions.ba"));
+        assert!(table.contains("serve.batch_rows"));
+    }
+
+    #[test]
+    fn take_root_report_drains() {
+        let _g = lock();
+        set_enabled(true);
+        counter("test.root.c", 9);
+        set_enabled(false);
+        let r = take_root_report();
+        assert_eq!(r.counter("test.root.c"), 9);
+        assert_eq!(take_root_report().counter("test.root.c"), 0);
+    }
+}

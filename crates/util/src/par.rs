@@ -26,12 +26,43 @@
 //! the coarse work items of this suite (a scenario, a tree, a fold, a
 //! timeline) the per-item `fetch_add` cost is negligible.
 
+use std::any::Any;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Explicit thread-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Observer hooks around each parallel work item, so a telemetry layer
+/// (e.g. `libra-obs`) can capture per-item data on worker threads and
+/// fold it back into the *calling* thread **in index order** — keeping
+/// observed counters bitwise identical at any thread count.
+///
+/// Plain `fn` pointers keep this crate dependency-free: the observer
+/// installs itself once via [`install_task_hooks`], and the sequential
+/// fast path (1 thread, or nested regions) never consults the hooks —
+/// items already run on the calling thread in index order there.
+pub struct TaskHooks {
+    /// Called on the worker thread immediately before a work item runs.
+    /// Typically opens a fresh observation scope.
+    pub enter: fn(),
+    /// Called on the worker thread immediately after a work item runs.
+    /// Returns the item's captured observation data (an opaque box that
+    /// is a ZST when observation is disabled, so no allocation occurs).
+    pub exit: fn() -> Box<dyn Any + Send>,
+    /// Called on the calling thread, once per item **in index order**,
+    /// with the box produced by `exit`.
+    pub merge: fn(Box<dyn Any + Send>),
+}
+
+static TASK_HOOKS: OnceLock<TaskHooks> = OnceLock::new();
+
+/// Installs the global [`TaskHooks`]. The first call wins; later calls
+/// are ignored. Intended to be called once by the telemetry layer.
+pub fn install_task_hooks(hooks: TaskHooks) {
+    let _ = TASK_HOOKS.set(hooks);
+}
 
 thread_local! {
     /// True on worker threads spawned by [`par_map_index`], so nested
@@ -73,19 +104,28 @@ where
     if workers <= 1 || IN_PARALLEL_REGION.with(|c| c.get()) {
         return (0..n).map(f).collect();
     }
+    let hooks = TASK_HOOKS.get();
     let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    type Item<R> = (usize, R, Option<Box<dyn Any + Send>>);
+    let collected: Mutex<Vec<Item<R>>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 IN_PARALLEL_REGION.with(|c| c.set(true));
-                let mut local: Vec<(usize, R)> = Vec::new();
+                let mut local: Vec<Item<R>> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    local.push((i, f(i)));
+                    match hooks {
+                        Some(h) => {
+                            (h.enter)();
+                            let r = f(i);
+                            local.push((i, r, Some((h.exit)())));
+                        }
+                        None => local.push((i, f(i), None)),
+                    }
                 }
                 collected
                     .lock()
@@ -94,13 +134,20 @@ where
             });
         }
     });
-    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
-    for (i, r) in collected.into_inner().expect("result collector poisoned") {
-        slots[i] = Some(r);
+    let mut slots: Vec<Option<(R, Option<Box<dyn Any + Send>>)>> =
+        std::iter::repeat_with(|| None).take(n).collect();
+    for (i, r, obs) in collected.into_inner().expect("result collector poisoned") {
+        slots[i] = Some((r, obs));
     }
     slots
         .into_iter()
-        .map(|r| r.expect("every index computed exactly once"))
+        .map(|slot| {
+            let (r, obs) = slot.expect("every index computed exactly once");
+            if let (Some(h), Some(data)) = (hooks, obs) {
+                (h.merge)(data);
+            }
+            r
+        })
         .collect()
 }
 
@@ -179,6 +226,49 @@ mod tests {
         for (i, inner) in out.iter().enumerate() {
             assert_eq!(*inner, (0..8).map(|j| i * 8 + j).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn task_hooks_merge_in_index_order() {
+        use std::cell::RefCell;
+        thread_local! {
+            static ITEM: Cell<usize> = const { Cell::new(usize::MAX) };
+            static CAPTURE: Cell<bool> = const { Cell::new(false) };
+            static MERGED: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+        }
+        fn enter() {
+            ITEM.with(|c| c.set(usize::MAX));
+        }
+        fn exit() -> Box<dyn Any + Send> {
+            Box::new(ITEM.with(|c| c.get()))
+        }
+        fn merge(data: Box<dyn Any + Send>) {
+            // Hooks are process-global; only record while this test's
+            // calling thread has opted in, so concurrent tests in the
+            // same binary cannot pollute the capture buffer.
+            if !CAPTURE.with(|c| c.get()) {
+                return;
+            }
+            if let Ok(v) = data.downcast::<usize>() {
+                MERGED.with(|m| m.borrow_mut().push(*v));
+            }
+        }
+        install_task_hooks(TaskHooks { enter, exit, merge });
+        let _g = lock_override();
+        set_threads(4);
+        CAPTURE.with(|c| c.set(true));
+        let out = par_map_index(97, |i| {
+            ITEM.with(|c| c.set(i));
+            i * 2
+        });
+        CAPTURE.with(|c| c.set(false));
+        set_threads(0);
+        assert_eq!(out, (0..97).map(|i| i * 2).collect::<Vec<_>>());
+        // Merge must observe items in index order regardless of which
+        // worker computed them.
+        MERGED.with(|m| {
+            assert_eq!(*m.borrow(), (0..97).collect::<Vec<_>>());
+        });
     }
 
     #[test]

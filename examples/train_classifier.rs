@@ -7,7 +7,7 @@
 //! cargo run --release --example train_classifier
 //! ```
 
-use libra::LibraClassifier;
+use libra::{DecidePolicy, LibraClassifier};
 use libra_dataset::{
     generate, main_campaign_plan, testing_campaign_plan, Action3, CampaignConfig, Features,
     GroundTruthParams, FEATURE_NAMES,
@@ -88,7 +88,7 @@ fn main() {
         ),
     ];
     for (desc, f) in cases {
-        let action = match clf.classify(&f) {
+        let action = match clf.decide(&f, &DecidePolicy::model_only()).action {
             Action3::Ba => "trigger BA",
             Action3::Ra => "trigger RA",
             Action3::Na => "no adaptation",

@@ -4,7 +4,7 @@
 
 use libra::prelude::*;
 use libra::sim::run_policy_segment;
-use libra::{LinkState, PolicyKind, SegmentData, SimConfig};
+use libra::{DecidePolicy, LinkState, PolicyKind, SegmentData, SimConfig};
 use libra_dataset::Instruments;
 use libra_phy::McsTable;
 use libra_util::rng::rng_from_seed;
@@ -54,7 +54,11 @@ fn classifier_training_is_reproducible() {
     let a = train();
     let b = train();
     for entry in &ds.entries {
-        assert_eq!(a.classify(&entry.features), b.classify(&entry.features));
+        let policy = DecidePolicy::model_only();
+        assert_eq!(
+            a.decide(&entry.features, &policy).action,
+            b.decide(&entry.features, &policy).action
+        );
     }
     assert_eq!(
         a.engine().feature_importances(),
