@@ -13,9 +13,9 @@
 //!
 //! Artifact names: fig1 fig2 fig3 table1 table2 fig4 fig5 fig6 fig7 fig8
 //! fig9 cv crossbuilding table3 threeclass extmodels fig10 fig11 fig12 fig13
-//! table4 ablations inferbench trainbench. The microbenchmarks also
-//! record their measurements to `results/infer_bench.txt` and
-//! `results/train_bench.txt`.
+//! table4 ablations inferbench trainbench fuzz. The microbenchmarks also
+//! record their measurements to `results/infer_bench.txt`,
+//! `results/train_bench.txt`, and `results/BENCH_fuzz.json`.
 //!
 //! `--model NAME[@VER]` (or a file path) runs the evaluation against a
 //! frozen model artifact from the registry instead of retraining the
@@ -29,7 +29,9 @@
 //! against that baseline, or `speedup n/a` when no usable baseline entry
 //! exists (missing file, stale format, zero/non-finite timings).
 
-use libra_bench::{ablation, context, evaluation, motivation, serving, study, trainbench};
+use libra_bench::{
+    ablation, context, evaluation, fuzzbench, motivation, serving, study, trainbench,
+};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -48,6 +50,7 @@ struct Opts {
     timelines: usize,
     vr_timelines: usize,
     bench_passes: usize,
+    fuzz_budget: usize,
 }
 
 fn load_baseline() -> BTreeMap<String, f64> {
@@ -101,6 +104,7 @@ fn main() {
         timelines: 50,
         vr_timelines: 50,
         bench_passes: 5,
+        fuzz_budget: 48,
     };
     let mut wanted: Vec<String> = Vec::new();
     let mut quick = false;
@@ -129,6 +133,7 @@ fn main() {
                 opts.timelines = 10;
                 opts.vr_timelines = 10;
                 opts.bench_passes = 2;
+                opts.fuzz_budget = 16;
                 quick = true;
             }
             other => wanted.push(other.to_string()),
@@ -144,7 +149,7 @@ fn main() {
             "usage: experiments [--csv-dir DIR] [--threads N] [--trace] \
              [--model NAME[@VER]|PATH] \
              [all|quick|fig1..fig13|table1..table4|cv|crossbuilding|threeclass|ablations\
-             |inferbench|trainbench]"
+             |inferbench|trainbench|fuzz]"
         );
         std::process::exit(2);
     }
@@ -283,6 +288,9 @@ fn main() {
     section("trainbench", &mut || {
         trainbench::train_bench(opts.bench_passes)
     });
+
+    // --- scenario fuzzing ---------------------------------------------------
+    section("fuzz", &mut || fuzzbench::fuzz_bench(opts.fuzz_budget));
 
     if sequential {
         store_baseline(&baseline.borrow());

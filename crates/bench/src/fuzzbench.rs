@@ -1,0 +1,76 @@
+//! Scenario-fuzzing benchmark section: a bounded coverage-guided search
+//! over `ScenarioSpec` space (see [`libra_fuzz`]), reported as both a
+//! human-readable table of the hardest cases found and the
+//! machine-readable `results/BENCH_fuzz.json` record (scenarios/sec,
+//! mean/max regret, coverage buckets), mirroring the inference and
+//! training microbenchmarks.
+
+use libra_fuzz::{bench_json, default_classifier, run_fuzz, FuzzConfig};
+use libra_obs as obs;
+use libra_util::table::{fmt_f, TextTable};
+use std::time::Instant;
+
+/// Where the machine-readable benchmark record lands.
+pub fn bench_path() -> std::path::PathBuf {
+    libra_util::paths::results_root().join("BENCH_fuzz.json")
+}
+
+/// Hardest cases shown in the rendered summary table.
+const SHOW: usize = 8;
+
+/// Runs one bounded coverage-guided fuzz pass (`budget` candidates at
+/// the default master seed) and writes `results/BENCH_fuzz.json`. The
+/// search itself is deterministic in the seed; only the throughput
+/// figure varies run to run.
+pub fn fuzz_bench(budget: usize) -> String {
+    let clf = default_classifier();
+    let cfg = FuzzConfig {
+        budget,
+        ..FuzzConfig::default()
+    };
+
+    let t0 = Instant::now();
+    let out = {
+        let _span = obs::span("bench.fuzz.pass");
+        run_fuzz(&cfg, clf)
+    };
+    let secs = t0.elapsed().as_secs_f64();
+
+    let json = bench_json(&out.stats, out.corpus.len(), secs);
+    let path = bench_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+
+    let mut table = TextTable::new(["scenario", "env", "mean regret", "max regret", "buckets"]);
+    for entry in out.corpus.iter().take(SHOW) {
+        table.row([
+            entry.spec.name.clone(),
+            entry.spec.env.name().to_string(),
+            fmt_f(entry.mean_regret, 4),
+            fmt_f(entry.max_regret, 4),
+            entry.coverage.len().to_string(),
+        ]);
+    }
+
+    let sps = if secs > 0.0 {
+        out.stats.evaluated as f64 / secs
+    } else {
+        0.0
+    };
+    format!(
+        "Scenario fuzzing (seed {:#x}): {} candidates in {:.1} s ({:.1}/s), \
+         {} coverage buckets, {} kept, corpus {}\nhardest cases:\n{}",
+        cfg.seed,
+        out.stats.evaluated,
+        secs,
+        sps,
+        out.stats.coverage_buckets,
+        out.stats.kept,
+        out.corpus.len(),
+        table.render()
+    )
+}

@@ -22,6 +22,7 @@
 //! | [`ablation`] | DESIGN.md §5 ablations |
 //! | [`serving`] | inference microbenchmark: recursive vs flattened engine |
 //! | [`trainbench`] | training microbenchmark: row-oriented vs columnar fits |
+//! | [`fuzzbench`] | scenario fuzzing: bounded coverage-guided search + `BENCH_fuzz.json` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +30,7 @@
 pub mod ablation;
 pub mod context;
 pub mod evaluation;
+pub mod fuzzbench;
 pub mod motivation;
 pub mod serving;
 pub mod study;

@@ -1,0 +1,195 @@
+//! Physical bounds on scenario parameters.
+//!
+//! The campaign plans of the paper are hand-written and trivially valid;
+//! the scenario *search* of `libra-fuzz` mutates poses, blockers and
+//! interferers programmatically and needs a machine-checkable definition
+//! of "physically plausible". This module is that definition: nodes and
+//! blockers stay inside the room with a wall clearance, link geometries
+//! keep a minimum Tx–Rx separation, blocker discs and interferer powers
+//! stay within human/hidden-terminal ranges, and per-state entity counts
+//! stay bounded.
+//!
+//! Interferers are deliberately *not* confined to the room: the paper's
+//! hidden terminal is a separate link that may sit in adjacent space
+//! (the channel model attenuates it by distance, not by walls), so the
+//! bound is a reach limit around the room's bounding box instead.
+
+use crate::blockage::Blocker;
+use crate::geometry::{Point, Pose};
+use crate::interference::Interferer;
+use crate::room::Room;
+
+/// Bounds every generated or mutated scenario must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioBounds {
+    /// Minimum clearance of nodes and blockers from boundary walls, m.
+    pub wall_margin_m: f64,
+    /// Minimum Tx–Rx separation, m (antennas cannot overlap).
+    pub min_link_m: f64,
+    /// Admissible blocker torso radius, m (min, max).
+    pub blocker_radius_m: (f64, f64),
+    /// Admissible blocker centre attenuation, dB (min, max).
+    pub blocker_attenuation_db: (f64, f64),
+    /// Admissible interferer EIRP toward the victim, dBm (min, max).
+    pub interferer_eirp_dbm: (f64, f64),
+    /// How far outside the room's bounding box an interferer may sit, m.
+    pub interferer_reach_m: f64,
+    /// Maximum blockers per state.
+    pub max_blockers: usize,
+    /// Maximum interferers per state.
+    pub max_interferers: usize,
+    /// Maximum new states per scenario.
+    pub max_states: usize,
+}
+
+impl Default for ScenarioBounds {
+    fn default() -> Self {
+        Self {
+            wall_margin_m: 0.3,
+            min_link_m: 0.5,
+            blocker_radius_m: (0.15, 0.45),
+            blocker_attenuation_db: (5.0, 35.0),
+            interferer_eirp_dbm: (-5.0, 20.0),
+            interferer_reach_m: 6.0,
+            max_blockers: 4,
+            max_interferers: 2,
+            // The paper's longest hand-written scenario (the narrow
+            // corridor backward walk) has 16 new states; anything past
+            // that is a runaway, not a plan.
+            max_states: 16,
+        }
+    }
+}
+
+/// Minimum distance from `p` to any *boundary* wall of the room.
+/// Interior furniture is ignored: a blocker may stand next to a cabinet.
+pub fn wall_clearance(room: &Room, p: Point) -> f64 {
+    room.walls
+        .iter()
+        .take(room.n_boundary)
+        .map(|w| w.segment.distance_to_point(p))
+        .fold(f64::INFINITY, f64::min)
+}
+
+impl ScenarioBounds {
+    /// True when `p` lies inside the room with the wall margin.
+    pub fn point_ok(&self, room: &Room, p: Point) -> bool {
+        room.contains(p) && wall_clearance(room, p) >= self.wall_margin_m
+    }
+
+    /// True when a node pose is admissible (position only; any
+    /// orientation is physical).
+    pub fn pose_ok(&self, room: &Room, pose: Pose) -> bool {
+        self.point_ok(room, pose.position)
+    }
+
+    /// True when a blocker is admissible: torso inside the room with the
+    /// wall margin, disc and attenuation within human ranges.
+    pub fn blocker_ok(&self, room: &Room, b: &Blocker) -> bool {
+        self.point_ok(room, b.position)
+            && (self.blocker_radius_m.0..=self.blocker_radius_m.1).contains(&b.radius_m)
+            && (self.blocker_attenuation_db.0..=self.blocker_attenuation_db.1)
+                .contains(&b.attenuation_db)
+    }
+
+    /// True when an interferer is admissible: within reach of the room's
+    /// bounding box (rooms are anchored at the origin) with a plausible
+    /// EIRP and a positive duty cycle.
+    pub fn interferer_ok(&self, room: &Room, i: &Interferer) -> bool {
+        let r = self.interferer_reach_m;
+        let inside_reach = i.position.x >= -r
+            && i.position.x <= room.width_m + r
+            && i.position.y >= -r
+            && i.position.y <= room.depth_m + r;
+        inside_reach
+            && (self.interferer_eirp_dbm.0..=self.interferer_eirp_dbm.1).contains(&i.eirp_dbm)
+            && i.duty_cycle > 0.0
+            && i.duty_cycle <= 1.0
+    }
+
+    /// True when a Tx/Rx geometry keeps the minimum link separation.
+    pub fn link_ok(&self, tx: Point, rx: Point) -> bool {
+        tx.distance(rx) >= self.min_link_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::room::{Environment, Material};
+
+    fn rect() -> Room {
+        Room::rectangular("t", 10.0, 5.0, [Material::Drywall; 4])
+    }
+
+    #[test]
+    fn clearance_is_distance_to_nearest_wall() {
+        let room = rect();
+        let c = wall_clearance(&room, Point::new(1.0, 2.5));
+        assert!((c - 1.0).abs() < 1e-9, "got {c}");
+    }
+
+    #[test]
+    fn margin_rejects_wall_hugging_points() {
+        let b = ScenarioBounds::default();
+        let room = rect();
+        assert!(b.point_ok(&room, Point::new(5.0, 2.5)));
+        assert!(!b.point_ok(&room, Point::new(0.1, 2.5)));
+        assert!(!b.point_ok(&room, Point::new(11.0, 2.5)));
+    }
+
+    #[test]
+    fn polygon_rooms_are_supported() {
+        let b = ScenarioBounds::default();
+        let room = Environment::LCorridor.room();
+        // Inside the horizontal arm.
+        assert!(b.point_ok(&room, Point::new(5.0, 1.25)));
+        // Inside the vertical arm.
+        assert!(b.point_ok(&room, Point::new(16.75, 10.0)));
+        // The inner corner region is outside the L.
+        assert!(!b.point_ok(&room, Point::new(5.0, 10.0)));
+    }
+
+    #[test]
+    fn blocker_bounds_check_disc_and_attenuation() {
+        let b = ScenarioBounds::default();
+        let room = rect();
+        let ok = Blocker::human(Point::new(5.0, 2.5));
+        assert!(b.blocker_ok(&room, &ok));
+        let mut bad = ok;
+        bad.attenuation_db = 60.0;
+        assert!(!b.blocker_ok(&room, &bad));
+        let mut bad = ok;
+        bad.radius_m = 1.0;
+        assert!(!b.blocker_ok(&room, &bad));
+    }
+
+    #[test]
+    fn interferer_may_sit_outside_but_within_reach() {
+        let b = ScenarioBounds::default();
+        let room = rect();
+        let near = Interferer {
+            position: Point::new(12.0, -2.0),
+            eirp_dbm: 10.0,
+            duty_cycle: 1.0,
+        };
+        assert!(b.interferer_ok(&room, &near));
+        let far = Interferer {
+            position: Point::new(30.0, 2.0),
+            ..near
+        };
+        assert!(!b.interferer_ok(&room, &far));
+        let hot = Interferer {
+            eirp_dbm: 40.0,
+            ..near
+        };
+        assert!(!b.interferer_ok(&room, &hot));
+    }
+
+    #[test]
+    fn link_separation() {
+        let b = ScenarioBounds::default();
+        assert!(b.link_ok(Point::new(0.0, 0.0), Point::new(1.0, 0.0)));
+        assert!(!b.link_ok(Point::new(0.0, 0.0), Point::new(0.1, 0.0)));
+    }
+}

@@ -18,6 +18,8 @@
 //!   three severities of §4.2, spatially filtered by the Rx beam.
 //! * [`scene`] — ties everything together: [`Scene::response`] yields the
 //!   multipath taps, SNR, noise level and ToF for any beam pair.
+//! * [`bounds`] — physical bounds on scenario parameters (wall margins,
+//!   blocker/interferer ranges) for programmatic scenario search.
 //!
 //! Everything is pure and deterministic: the same scene always produces
 //! the same response. Stochastic measurement effects (thermal jitter,
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod blockage;
+pub mod bounds;
 pub mod geometry;
 pub mod interference;
 pub mod raytrace;
@@ -34,6 +37,7 @@ pub mod room;
 pub mod scene;
 
 pub use blockage::{Blocker, BlockerPlacement};
+pub use bounds::{wall_clearance, ScenarioBounds};
 pub use geometry::{Point, Pose, Segment};
 pub use interference::{InterferenceLevel, Interferer};
 pub use raytrace::RayPath;

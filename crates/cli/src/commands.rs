@@ -77,6 +77,9 @@ fn dispatch(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
         ["models", "inspect"] => models_inspect(args, ctx),
         ["simulate"] => simulate(args, ctx),
         ["timeline"] => timeline(args, ctx),
+        ["fuzz", "run"] => fuzz_run(args, ctx),
+        ["fuzz", "replay"] => fuzz_replay(args, ctx),
+        ["fuzz", "minimize"] => fuzz_minimize(args, ctx),
         ["info"] => info(args),
         [] => Ok(usage()),
         other => Err(ArgError(format!(
@@ -103,6 +106,10 @@ USAGE:
   libractl simulate         --model MODEL --dataset FILE [--ba-ms MS] [--fat-ms MS] [--flow-ms MS]
   libractl timeline         --model MODEL [--scenario mobility|blockage|interference|mixed]
                             [--timelines N] [--ba-ms MS] [--fat-ms MS] [--seed N]
+  libractl fuzz run         [--budget N] [--seed N] [--batch N] [--keep-regret R] [--max-corpus N]
+                            [--ba-ms MS] [--fat-ms MS] [--flow-ms MS] [--corpus DIR] [--model MODEL]
+  libractl fuzz replay      [--corpus DIR] [--tolerance R] [--model MODEL]
+  libractl fuzz minimize    --scenario NAME [--corpus DIR] [--out FILE] [--model MODEL]
   libractl info
 
 Every command additionally accepts the shared flags:
@@ -118,6 +125,13 @@ MODEL is either a file path or a registry reference `name[@version]`
 resolved against the model registry. `train --save NAME` freezes the
 trained model into the registry as a checksummed artifact and repoints
 NAME's latest-pointer.
+
+The fuzz commands search scenario space for cases where LiBRA's
+decisions lose throughput vs Oracle-Data, persist the hard cases under
+the corpus directory (default results/corpus/, or the LIBRA_CORPUS_DIR
+environment variable), and replay them as a regression suite. Without
+--model they score the shared reduced-campaign classifier, so runs are
+reproducible from the seed alone.
 "
     .to_string()
 }
@@ -493,6 +507,194 @@ fn timeline(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
     ))
 }
 
+/// The classifier a fuzz command scores against: `--model` when given,
+/// else the shared reduced-campaign classifier (trained in-process, so
+/// fuzz runs need no registry state).
+fn fuzz_classifier(
+    args: &mut Args,
+    ctx: &CommandContext,
+) -> Result<Option<LibraClassifier>, ArgError> {
+    match args.opt("model") {
+        Some(m) => Ok(Some(load_model(&ModelRef(m), &ctx.registry)?)),
+        None => Ok(None),
+    }
+}
+
+fn fuzz_corpus_dir(args: &mut Args) -> std::path::PathBuf {
+    args.opt("corpus")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(libra_util::paths::corpus_root)
+}
+
+fn fuzz_run(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
+    let budget: usize = args.opt_parse("budget", 64)?;
+    let seed: u64 = args.opt_parse("seed", 0xF022)?;
+    let batch: usize = args.opt_parse("batch", 16)?;
+    let keep_regret: f64 = args.opt_parse("keep-regret", 0.05)?;
+    let max_corpus: usize = args.opt_parse("max-corpus", 32)?;
+    let ba_ms: f64 = args.opt_parse("ba-ms", 250.0)?;
+    let fat_ms: f64 = args.opt_parse("fat-ms", 2.0)?;
+    let flow_ms: f64 = args.opt_parse("flow-ms", 1000.0)?;
+    let corpus_dir = fuzz_corpus_dir(args);
+    let owned = fuzz_classifier(args, ctx)?;
+    args.finish()?;
+    let clf = match owned.as_ref() {
+        Some(c) => c,
+        None => libra_fuzz::default_classifier(),
+    };
+
+    let eval = libra_fuzz::EvalParams {
+        sim: SimConfig::new(ProtocolParams::new(ba_preset(ba_ms)?, fat_ms)),
+        flow_ms,
+        ..libra_fuzz::EvalParams::default()
+    };
+    let cfg = libra_fuzz::FuzzConfig {
+        seed,
+        budget,
+        batch,
+        eval,
+        keep_regret,
+        max_corpus,
+    };
+    let start = std::time::Instant::now();
+    let outcome = libra_fuzz::run_fuzz(&cfg, clf);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    libra_fuzz::save_corpus(&corpus_dir, &outcome.corpus).map_err(ArgError)?;
+    let results = libra_util::paths::results_root();
+    std::fs::create_dir_all(&results).map_err(|e| ArgError(e.to_string()))?;
+    let bench_path = results.join("BENCH_fuzz.json");
+    let json = libra_fuzz::bench_json(&outcome.stats, outcome.corpus.len(), elapsed);
+    std::fs::write(&bench_path, &json).map_err(|e| ArgError(e.to_string()))?;
+
+    let s = &outcome.stats;
+    let mut t = TextTable::new(["scenario", "env", "max regret", "mean regret", "buckets"]);
+    for e in &outcome.corpus {
+        t.row([
+            e.spec.name.clone(),
+            e.spec.env.name().to_string(),
+            fmt_f(e.max_regret, 4),
+            fmt_f(e.mean_regret, 4),
+            e.coverage.len().to_string(),
+        ]);
+    }
+    Ok(format!(
+        "fuzz: seed {seed:#x}, {} candidates in {elapsed:.1} s, {} kept, \
+         {} coverage buckets, max regret {:.4}\n\
+         corpus: {} entries in {}\nbench: wrote {}\n{}",
+        s.evaluated,
+        s.kept,
+        s.coverage_buckets,
+        s.max_regret,
+        outcome.corpus.len(),
+        corpus_dir.display(),
+        bench_path.display(),
+        t.render()
+    ))
+}
+
+fn fuzz_replay(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
+    let tolerance: f64 = args.opt_parse("tolerance", 0.01)?;
+    let corpus_dir = fuzz_corpus_dir(args);
+    let owned = fuzz_classifier(args, ctx)?;
+    args.finish()?;
+
+    // Load (and fail on) the corpus before the classifier: a missing
+    // corpus should error instantly, not after training.
+    let entries = libra_fuzz::load_corpus(&corpus_dir).map_err(ArgError)?;
+    if entries.is_empty() {
+        return Err(ArgError(format!(
+            "no corpus entries in {} — run `libractl fuzz run` first",
+            corpus_dir.display()
+        )));
+    }
+    let clf = match owned.as_ref() {
+        Some(c) => c,
+        None => libra_fuzz::default_classifier(),
+    };
+    let rows = libra_fuzz::replay(&entries, clf, tolerance);
+    let mut t = TextTable::new(["scenario", "stored", "replayed", "digest", "status"]);
+    let mut failures = Vec::new();
+    for row in &rows {
+        let digest_ok = row.stored_digest == row.replayed_digest;
+        let status = if row.worsened {
+            "WORSENED"
+        } else if !digest_ok {
+            "DIGEST DRIFT"
+        } else {
+            "ok"
+        };
+        if row.worsened || !digest_ok {
+            failures.push(format!("{}: {}", row.name, status));
+        }
+        t.row([
+            row.name.clone(),
+            fmt_f(row.stored_max, 4),
+            fmt_f(row.replayed_max, 4),
+            if digest_ok { "match" } else { "DRIFT" }.to_string(),
+            status.to_string(),
+        ]);
+    }
+    let summary = format!(
+        "replayed {} corpus scenarios from {} (tolerance {tolerance})\n{}",
+        rows.len(),
+        corpus_dir.display(),
+        t.render()
+    );
+    if failures.is_empty() {
+        Ok(summary)
+    } else {
+        Err(ArgError(format!(
+            "{summary}regression: {}",
+            failures.join("; ")
+        )))
+    }
+}
+
+fn fuzz_minimize(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
+    let name = args.req("scenario")?;
+    let out_file = args.opt("out");
+    let corpus_dir = fuzz_corpus_dir(args);
+    let owned = fuzz_classifier(args, ctx)?;
+    args.finish()?;
+    let clf = match owned.as_ref() {
+        Some(c) => c,
+        None => libra_fuzz::default_classifier(),
+    };
+
+    let entries = libra_fuzz::load_corpus(&corpus_dir).map_err(ArgError)?;
+    let entry = entries
+        .iter()
+        .find(|e| e.spec.name == name)
+        .ok_or_else(|| {
+            ArgError(format!(
+                "no scenario `{name}` in {} ({} entries)",
+                corpus_dir.display(),
+                entries.len()
+            ))
+        })?;
+    let size = |e: &libra_fuzz::CorpusEntry| {
+        let blockers: usize = e.spec.new_states.iter().map(|s| s.blockers.len()).sum();
+        let interferers: usize = e.spec.new_states.iter().map(|s| s.interferers.len()).sum();
+        (e.spec.new_states.len(), blockers, interferers)
+    };
+    let minimized = libra_fuzz::minimize(entry, clf);
+    let (s0, b0, i0) = size(entry);
+    let (s1, b1, i1) = size(&minimized);
+    let mut msg = format!(
+        "{name}: {s0} states/{b0} blockers/{i0} interferers -> \
+         {s1} states/{b1} blockers/{i1} interferers, \
+         max regret {:.4} -> {:.4}\n",
+        entry.max_regret, minimized.max_regret
+    );
+    if let Some(path) = out_file {
+        libra_util::binser::write_file(&path, &minimized)
+            .map_err(|e| ArgError(format!("write {path}: {e:?}")))?;
+        msg.push_str(&format!("wrote minimized entry to {path}\n"));
+    }
+    Ok(msg)
+}
+
 fn info(args: &mut Args) -> Result<String, ArgError> {
     args.finish()?;
     let table = McsTable::x60();
@@ -543,6 +745,16 @@ mod tests {
 
     fn run_words(words: &[&str]) -> Result<String, ArgError> {
         run(Args::parse(words.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    /// Serialises tests that override the process-global
+    /// `LIBRA_RESULTS_DIR` environment variable.
+    static RESULTS_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn lock_results_env() -> std::sync::MutexGuard<'static, ()> {
+        RESULTS_ENV_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     #[test]
@@ -637,12 +849,12 @@ mod tests {
 
     #[test]
     fn trace_flag_writes_trace_files() {
+        let _env = lock_results_env();
         let dir = std::env::temp_dir().join("libractl-trace-test");
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         // Redirect the results root so the trace files land in the
-        // temp dir. No other test in this binary reads the default
-        // results root, so the process-global override is safe.
+        // temp dir; the lock serialises every test that overrides it.
         let results = dir.join("results");
         std::env::set_var(libra_util::paths::RESULTS_DIR_ENV, &results);
         let ds = dir.join("testing.bin");
@@ -685,6 +897,55 @@ mod tests {
         let jsonl = std::fs::read_to_string(results.join("trace.jsonl")).unwrap();
         assert!(jsonl.contains("core.decide.calls"), "{jsonl}");
         assert!(results.join("obs_summary.txt").is_file());
+
+        std::env::remove_var(libra_util::paths::RESULTS_DIR_ENV);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fuzz_run_replay_minimize_roundtrip() {
+        let _env = lock_results_env();
+        let dir = std::env::temp_dir().join("libractl-fuzz-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus = dir.join("corpus");
+        let corpus = corpus.to_str().unwrap();
+        // Redirect the results root so BENCH_fuzz.json lands in the
+        // temp dir (the corpus path is passed explicitly).
+        let results = dir.join("results");
+        std::env::set_var(libra_util::paths::RESULTS_DIR_ENV, &results);
+
+        // Replay before any run: a clear error, not a panic.
+        let err = run_words(&["fuzz", "replay", "--corpus", corpus]).unwrap_err();
+        assert!(err.0.contains("no corpus entries"), "{err}");
+
+        let out = run_words(&[
+            "fuzz", "run", "--budget", "3", "--batch", "3", "--seed", "5", "--corpus", corpus,
+        ])
+        .unwrap();
+        assert!(out.contains("3 candidates"), "{out}");
+        assert!(results.join("BENCH_fuzz.json").is_file());
+        let manifest =
+            std::fs::read_to_string(std::path::Path::new(corpus).join("manifest.json")).unwrap();
+        assert!(manifest.contains("\"version\": 1"), "{manifest}");
+
+        let out = run_words(&["fuzz", "replay", "--corpus", corpus]).unwrap();
+        assert!(out.contains("ok"), "{out}");
+        assert!(!out.contains("WORSENED"), "{out}");
+
+        // Minimize the first corpus scenario by name.
+        let name = manifest
+            .lines()
+            .find_map(|l| {
+                l.trim()
+                    .strip_prefix("\"name\": \"")
+                    .and_then(|r| r.strip_suffix("\","))
+            })
+            .expect("manifest has a name field")
+            .to_string();
+        let out =
+            run_words(&["fuzz", "minimize", "--scenario", &name, "--corpus", corpus]).unwrap();
+        assert!(out.contains("max regret"), "{out}");
 
         std::env::remove_var(libra_util::paths::RESULTS_DIR_ENV);
         let _ = std::fs::remove_dir_all(&dir);

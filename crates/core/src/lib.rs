@@ -27,6 +27,9 @@
 //! * [`online`] — outcome-driven online retraining: deriving labels
 //!   from the device's own recovery outcomes to adapt the model to an
 //!   unseen deployment environment (the cross-building accuracy gap).
+//! * [`regret`] — relative throughput regret of LiBRA vs `Oracle-Data`
+//!   with coverage-grid bucketing, the scoring function of the
+//!   `libra-fuzz` scenario search.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +61,7 @@
 pub mod classifier;
 pub mod history;
 pub mod online;
+pub mod regret;
 pub mod sim;
 pub mod timeline;
 pub mod vr;
@@ -67,6 +71,7 @@ pub use history::{
     collect_history_dataset, run_timeline_with_history, FeatureHistory, HistoryClassifier,
 };
 pub use online::{run_timeline_online, OnlineLibra};
+pub use regret::{entry_regret, CoverageKey, EntryRegret, RegretReport};
 pub use sim::{
     execute, run_policy_segment, Config, ConfigData, LinkState, PolicyKind, RateSpan, SegmentData,
     SegmentOutcome, SimConfig,

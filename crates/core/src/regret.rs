@@ -1,0 +1,185 @@
+//! Throughput regret of LiBRA against `Oracle-Data`.
+//!
+//! The §8 evaluation reports byte *deficits* per entry; scenario search
+//! needs a single bounded score per scenario plus a coverage signature
+//! describing *where* in feature space the scenario exercised the
+//! classifier. This module provides both:
+//!
+//! * [`entry_regret`] — relative bytes lost vs `Oracle-Data` on one
+//!   dataset entry, with the [`CoverageKey`] bucket it landed in.
+//! * [`RegretReport`] — the per-scenario aggregate: mean/max regret,
+//!   sorted coverage set, and a stable digest for determinism checks.
+//!
+//! Scoring is sequential per scenario on purpose — the fuzz engine
+//! parallelises at the candidate level, and keeping the inner loop
+//! serial means a scenario's report is identical no matter which worker
+//! evaluated it.
+
+use crate::classifier::LibraClassifier;
+use crate::sim::{run_policy_segment, LinkState, PolicyKind, SegmentData, SimConfig};
+use libra_dataset::DatasetEntry;
+use libra_util::{binser, checksum};
+use serde::{Deserialize, Serialize};
+
+/// A bucket of the coverage grid: SNR-drop band × impairment kind ×
+/// the MCS LiBRA's run ended on. The grid is intentionally coarse
+/// (3 dB SNR bands) — coverage should reward *new regimes*, not every
+/// float wiggle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoverageKey {
+    /// `floor(snr_diff_db / 3)`, clamped to `[-8, 16]`.
+    pub snr_bucket: i8,
+    /// `Impairment` discriminant (0 = displacement, 1 = blockage,
+    /// 2 = interference).
+    pub impairment: u8,
+    /// MCS in use at the end of LiBRA's segment.
+    pub mcs: u8,
+}
+
+impl CoverageKey {
+    /// Width of one SNR bucket, dB.
+    pub const SNR_STEP_DB: f64 = 3.0;
+
+    fn snr_bucket(snr_diff_db: f64) -> i8 {
+        let b = (snr_diff_db / Self::SNR_STEP_DB).floor();
+        b.clamp(-8.0, 16.0) as i8
+    }
+}
+
+/// Regret of one dataset entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EntryRegret {
+    /// Bytes `Oracle-Data` delivered, MB.
+    pub oracle_mb: f64,
+    /// Bytes LiBRA delivered, MB.
+    pub libra_mb: f64,
+    /// Relative regret `max(0, oracle − libra) / oracle`, in `[0, 1]`
+    /// (0 when the oracle itself delivered nothing).
+    pub regret: f64,
+    /// Coverage bucket this entry exercised.
+    pub key: CoverageKey,
+}
+
+/// Scores one entry: LiBRA vs `Oracle-Data` over a `flow_ms` flow,
+/// both starting from the initial state's best MCS.
+pub fn entry_regret(
+    entry: &DatasetEntry,
+    clf: &LibraClassifier,
+    sim: &SimConfig,
+    flow_ms: f64,
+) -> EntryRegret {
+    let seg = SegmentData::from_entry(entry, flow_ms);
+    let state = LinkState::at_mcs(entry.initial.best_mcs());
+    let oracle = run_policy_segment(&seg, PolicyKind::OracleData, None, state, sim);
+    let libra = run_policy_segment(&seg, PolicyKind::Libra, Some(clf), state, sim);
+    let regret = if oracle.bytes > 0.0 {
+        ((oracle.bytes - libra.bytes) / oracle.bytes).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    EntryRegret {
+        oracle_mb: oracle.bytes / 1e6,
+        libra_mb: libra.bytes / 1e6,
+        regret,
+        key: CoverageKey {
+            snr_bucket: CoverageKey::snr_bucket(entry.features.snr_diff_db),
+            impairment: entry.impairment as u8,
+            mcs: libra.end_state.mcs.min(u8::MAX as usize) as u8,
+        },
+    }
+}
+
+/// Aggregate regret over the entries of one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RegretReport {
+    /// Per-entry results, in dataset entry order.
+    pub entries: Vec<EntryRegret>,
+}
+
+impl RegretReport {
+    /// Scores a slice of entries in order.
+    pub fn score(
+        entries: &[DatasetEntry],
+        clf: &LibraClassifier,
+        sim: &SimConfig,
+        flow_ms: f64,
+    ) -> Self {
+        Self {
+            entries: entries
+                .iter()
+                .map(|e| entry_regret(e, clf, sim, flow_ms))
+                .collect(),
+        }
+    }
+
+    /// Mean relative regret (0 for an empty report).
+    pub fn mean(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.regret).sum::<f64>() / self.entries.len() as f64
+    }
+
+    /// Maximum relative regret (0 for an empty report).
+    pub fn max(&self) -> f64 {
+        self.entries.iter().map(|e| e.regret).fold(0.0, f64::max)
+    }
+
+    /// Sorted, deduplicated coverage buckets this report touched.
+    pub fn coverage(&self) -> Vec<CoverageKey> {
+        let mut keys: Vec<CoverageKey> = self.entries.iter().map(|e| e.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// Stable 64-bit digest of the full report (FNV-1a over its binary
+    /// serialisation). Equal digests ⇒ bitwise-equal reports; the
+    /// determinism suites compare these across thread counts.
+    pub fn digest(&self) -> u64 {
+        checksum::fnv1a64(&binser::to_bytes(self).expect("serialize regret report"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snr_buckets_are_coarse_and_clamped() {
+        assert_eq!(CoverageKey::snr_bucket(0.0), 0);
+        assert_eq!(CoverageKey::snr_bucket(2.9), 0);
+        assert_eq!(CoverageKey::snr_bucket(3.1), 1);
+        assert_eq!(CoverageKey::snr_bucket(-0.1), -1);
+        assert_eq!(CoverageKey::snr_bucket(1e9), 16);
+        assert_eq!(CoverageKey::snr_bucket(-1e9), -8);
+    }
+
+    #[test]
+    fn empty_report_is_benign() {
+        let r = RegretReport::default();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.max(), 0.0);
+        assert!(r.coverage().is_empty());
+        assert_eq!(r.digest(), RegretReport::default().digest());
+    }
+
+    #[test]
+    fn coverage_sorted_dedup() {
+        let k = |s: i8, i: u8, m: u8| CoverageKey {
+            snr_bucket: s,
+            impairment: i,
+            mcs: m,
+        };
+        let e = |key| EntryRegret {
+            oracle_mb: 1.0,
+            libra_mb: 1.0,
+            regret: 0.0,
+            key,
+        };
+        let r = RegretReport {
+            entries: vec![e(k(2, 1, 3)), e(k(0, 0, 3)), e(k(2, 1, 3))],
+        };
+        assert_eq!(r.coverage(), vec![k(0, 0, 3), k(2, 1, 3)]);
+    }
+}

@@ -12,7 +12,8 @@ use crate::entry::{CampaignDataset, DatasetEntry, Impairment};
 use crate::features::Features;
 use crate::measure::{measure_pair, measure_state, Instruments};
 use libra_channel::{
-    Blocker, BlockerPlacement, Environment, InterferenceLevel, Interferer, Point, Pose, Scene,
+    Blocker, BlockerPlacement, Environment, InterferenceLevel, Interferer, Point, Pose,
+    ScenarioBounds, Scene,
 };
 use libra_util::par::par_map;
 use libra_util::rng::{derive_seed, rng_from_seed};
@@ -58,6 +59,96 @@ impl ScenarioSpec {
         scene_with_power(self.env, self.tx, st.rx)
             .with_blockers(st.blockers.clone())
             .with_interferers(st.interferers.clone())
+    }
+
+    /// Visits every Rx pose of the scenario — the initial state and each
+    /// new state — for in-place mutation (scenario search).
+    pub fn for_each_rx_pose_mut(&mut self, mut f: impl FnMut(&mut Pose)) {
+        f(&mut self.initial_rx);
+        for st in &mut self.new_states {
+            f(&mut st.rx);
+        }
+    }
+
+    /// Visits every blocker of every new state for in-place mutation.
+    pub fn for_each_blocker_mut(&mut self, mut f: impl FnMut(&mut Blocker)) {
+        for st in &mut self.new_states {
+            for b in &mut st.blockers {
+                f(b);
+            }
+        }
+    }
+
+    /// Visits every interferer of every new state for in-place mutation.
+    pub fn for_each_interferer_mut(&mut self, mut f: impl FnMut(&mut Interferer)) {
+        for st in &mut self.new_states {
+            for i in &mut st.interferers {
+                f(i);
+            }
+        }
+    }
+
+    /// Checks the whole scenario against the physical bounds of
+    /// [`libra_channel::bounds`]: node poses inside the room with wall
+    /// clearance, minimum link separation at every state, blockers
+    /// inside the room with human-range discs, interferers within reach,
+    /// and entity counts bounded. Returns the first violation found.
+    pub fn validate(&self, bounds: &ScenarioBounds) -> Result<(), String> {
+        let room = self.env.room();
+        if self.new_states.is_empty() {
+            return Err(format!("{}: scenario has no new states", self.name));
+        }
+        if self.new_states.len() > bounds.max_states {
+            return Err(format!(
+                "{}: {} new states exceed the bound of {}",
+                self.name,
+                self.new_states.len(),
+                bounds.max_states
+            ));
+        }
+        if !bounds.pose_ok(&room, self.tx) {
+            return Err(format!("{}: tx pose outside room bounds", self.name));
+        }
+        if !bounds.pose_ok(&room, self.initial_rx) {
+            return Err(format!(
+                "{}: initial rx pose outside room bounds",
+                self.name
+            ));
+        }
+        if !bounds.link_ok(self.tx.position, self.initial_rx.position) {
+            return Err(format!("{}: initial link shorter than minimum", self.name));
+        }
+        for (si, st) in self.new_states.iter().enumerate() {
+            if !bounds.pose_ok(&room, st.rx) {
+                return Err(format!("{}[{si}]: rx pose outside room bounds", self.name));
+            }
+            if !bounds.link_ok(self.tx.position, st.rx.position) {
+                return Err(format!("{}[{si}]: link shorter than minimum", self.name));
+            }
+            if st.blockers.len() > bounds.max_blockers {
+                return Err(format!("{}[{si}]: too many blockers", self.name));
+            }
+            if st.interferers.len() > bounds.max_interferers {
+                return Err(format!("{}[{si}]: too many interferers", self.name));
+            }
+            for b in &st.blockers {
+                if !bounds.blocker_ok(&room, b) {
+                    return Err(format!(
+                        "{}[{si}]: blocker at ({:.2}, {:.2}) violates bounds",
+                        self.name, b.position.x, b.position.y
+                    ));
+                }
+            }
+            for i in &st.interferers {
+                if !bounds.interferer_ok(&room, i) {
+                    return Err(format!(
+                        "{}[{si}]: interferer at ({:.2}, {:.2}) violates bounds",
+                        self.name, i.position.x, i.position.y
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -723,6 +814,73 @@ mod tests {
         let states = interference_states(tx, rx, 0, "k");
         assert_eq!(states.len(), 3);
         assert!(states.iter().all(|s| s.interferers.len() == 1));
+    }
+
+    #[test]
+    fn campaign_plans_satisfy_physical_bounds() {
+        // The hand-written plans are the reference points of the fuzz
+        // search; they must pass the same validation the mutator
+        // enforces on every candidate.
+        let bounds = ScenarioBounds::default();
+        for spec in main_campaign_plan()
+            .iter()
+            .chain(testing_campaign_plan().iter())
+        {
+            spec.validate(&bounds)
+                .unwrap_or_else(|e| panic!("invalid plan scenario: {e}"));
+        }
+    }
+
+    #[test]
+    fn mutation_hooks_visit_every_entity() {
+        let plan = main_campaign_plan();
+        let spec = plan.iter().find(|s| s.name == "lobby-blk0").unwrap();
+        let mut clone = spec.clone();
+        let mut poses = 0;
+        clone.for_each_rx_pose_mut(|_| poses += 1);
+        assert_eq!(poses, 1 + spec.new_states.len());
+        let mut blockers = 0;
+        clone.for_each_blocker_mut(|b| {
+            blockers += 1;
+            b.attenuation_db += 1.0;
+        });
+        let expected: usize = spec.new_states.iter().map(|s| s.blockers.len()).sum();
+        assert_eq!(blockers, expected);
+        assert!(blockers > 0);
+        // The mutation actually landed.
+        assert!(
+            (clone.new_states[0].blockers[0].attenuation_db
+                - spec.new_states[0].blockers[0].attenuation_db
+                - 1.0)
+                .abs()
+                < 1e-12
+        );
+        let mut interferers = 0;
+        clone.for_each_interferer_mut(|_| interferers += 1);
+        assert_eq!(interferers, 0);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds_scenarios() {
+        let bounds = ScenarioBounds::default();
+        let plan = main_campaign_plan();
+        let base = plan.iter().find(|s| s.name == "lobby-back").unwrap();
+
+        let mut bad = base.clone();
+        bad.new_states[0].rx.position = Point::new(-3.0, 7.0);
+        assert!(bad.validate(&bounds).is_err());
+
+        let mut bad = base.clone();
+        bad.new_states.clear();
+        assert!(bad.validate(&bounds).is_err());
+
+        let mut bad = base.clone();
+        bad.new_states[0]
+            .blockers
+            .push(Blocker::human_with_attenuation(Point::new(5.0, 7.0), 80.0));
+        assert!(bad.validate(&bounds).is_err());
+
+        assert!(base.validate(&bounds).is_ok());
     }
 
     #[test]

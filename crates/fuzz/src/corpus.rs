@@ -1,0 +1,262 @@
+//! The on-disk hard-case corpus and its regression replay.
+//!
+//! Layout: one `<name>.scenario` file per entry (the workspace's
+//! `binser` format: the full [`CorpusEntry`] including spec, evaluation
+//! parameters and the regret record at discovery time) plus a
+//! `manifest.json` — deterministic, hand-rendered JSON sorted by name,
+//! with seeds and digests as hex strings. Equal corpora produce equal
+//! manifests byte-for-byte; CI diffs them across thread counts.
+//!
+//! Replay is the regression contract: re-simulate every stored scenario
+//! from its recorded seed and parameters, and flag any entry whose max
+//! regret *worsened* beyond a tolerance (the classifier or simulator
+//! regressed on a known hard case) or whose regret digest changed (the
+//! pipeline lost bitwise determinism).
+
+use crate::engine::{score_spec, EvalParams};
+use libra::regret::{CoverageKey, RegretReport};
+use libra::LibraClassifier;
+use libra_dataset::ScenarioSpec;
+use libra_obs as obs;
+use libra_util::binser;
+use libra_util::par::par_map;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One stored hard case.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// The scenario itself.
+    pub spec: ScenarioSpec,
+    /// Master seed of the run that found it (the campaign stream
+    /// derives from this seed and the scenario name).
+    pub fuzz_seed: u64,
+    /// Evaluation parameters regret was measured under.
+    pub eval: EvalParams,
+    /// Mean relative regret at discovery.
+    pub mean_regret: f64,
+    /// Max relative regret at discovery.
+    pub max_regret: f64,
+    /// Coverage buckets the scenario exercised.
+    pub coverage: Vec<CoverageKey>,
+    /// Regret-report digest at discovery (bitwise replay check).
+    pub digest: u64,
+}
+
+impl CorpusEntry {
+    /// Builds an entry from a scored candidate.
+    pub fn new(
+        spec: ScenarioSpec,
+        fuzz_seed: u64,
+        eval: EvalParams,
+        report: &RegretReport,
+    ) -> Self {
+        Self {
+            spec,
+            fuzz_seed,
+            eval,
+            mean_regret: report.mean(),
+            max_regret: report.max(),
+            coverage: report.coverage(),
+            digest: report.digest(),
+        }
+    }
+
+    /// Re-scores the stored scenario under its stored parameters.
+    pub fn rescore(&self, clf: &LibraClassifier) -> RegretReport {
+        score_spec(&self.spec, self.fuzz_seed, &self.eval, clf)
+    }
+}
+
+/// One row of a replay run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayRow {
+    /// Scenario name.
+    pub name: String,
+    /// Max regret at discovery.
+    pub stored_max: f64,
+    /// Max regret now.
+    pub replayed_max: f64,
+    /// Digest at discovery.
+    pub stored_digest: u64,
+    /// Digest now.
+    pub replayed_digest: u64,
+    /// True when `replayed_max > stored_max + tolerance`.
+    pub worsened: bool,
+}
+
+/// Replays every entry against `clf`. Entries are independent, so they
+/// replay in parallel; rows come back in entry order.
+pub fn replay(entries: &[CorpusEntry], clf: &LibraClassifier, tolerance: f64) -> Vec<ReplayRow> {
+    let _span = obs::span("fuzz.replay");
+    par_map(entries, |_, e| {
+        let report = e.rescore(clf);
+        let replayed_max = report.max();
+        ReplayRow {
+            name: e.spec.name.clone(),
+            stored_max: e.max_regret,
+            replayed_max,
+            stored_digest: e.digest,
+            replayed_digest: report.digest(),
+            worsened: replayed_max > e.max_regret + tolerance,
+        }
+    })
+}
+
+/// Greedily shrinks an entry — dropping whole states, then blockers,
+/// then interferers — while its max regret stays within `1e-9` of the
+/// original. Pure function of `(entry, clf)`: re-scores after every
+/// tentative removal (per-state measurement streams derive from state
+/// order, so removals legitimately reshuffle downstream states and only
+/// re-scoring can judge them).
+pub fn minimize(entry: &CorpusEntry, clf: &LibraClassifier) -> CorpusEntry {
+    let _span = obs::span("fuzz.minimize");
+    const TOL: f64 = 1e-9;
+    let target = entry.max_regret - TOL;
+    let mut spec = entry.spec.clone();
+
+    let keeps_regret = |spec: &ScenarioSpec, clf: &LibraClassifier| {
+        score_spec(spec, entry.fuzz_seed, &entry.eval, clf).max() >= target
+    };
+
+    // States, from the back so indices stay stable.
+    let mut i = spec.new_states.len();
+    while i > 0 && spec.new_states.len() > 1 {
+        i -= 1;
+        let mut cand = spec.clone();
+        cand.new_states.remove(i);
+        if keeps_regret(&cand, clf) {
+            spec = cand;
+        }
+    }
+    // Blockers and interferers within the surviving states.
+    for si in 0..spec.new_states.len() {
+        let mut bi = spec.new_states[si].blockers.len();
+        while bi > 0 {
+            bi -= 1;
+            let mut cand = spec.clone();
+            cand.new_states[si].blockers.remove(bi);
+            if keeps_regret(&cand, clf) {
+                spec = cand;
+            }
+        }
+        let mut ii = spec.new_states[si].interferers.len();
+        while ii > 0 {
+            ii -= 1;
+            let mut cand = spec.clone();
+            cand.new_states[si].interferers.remove(ii);
+            if keeps_regret(&cand, clf) {
+                spec = cand;
+            }
+        }
+    }
+
+    let report = score_spec(&spec, entry.fuzz_seed, &entry.eval, clf);
+    CorpusEntry::new(spec, entry.fuzz_seed, entry.eval, &report)
+}
+
+/// Writes the corpus: one `.scenario` file per entry plus the manifest.
+pub fn save_corpus(dir: &Path, entries: &[CorpusEntry]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = dir.join(format!("{}.scenario", entry.spec.name));
+        binser::write_file(&path, entry).map_err(|e| format!("write {}: {e:?}", path.display()))?;
+    }
+    let manifest = manifest_json(entries);
+    let path = dir.join("manifest.json");
+    std::fs::write(&path, manifest).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(())
+}
+
+/// Loads every `.scenario` file in `dir`, sorted by file name — load
+/// order is a property of the directory contents, not of the writer.
+pub fn load_corpus(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|r| r.ok())
+        .map(|d| d.path())
+        .filter(|p| p.extension().map(|x| x == "scenario").unwrap_or(false))
+        .collect();
+    paths.sort();
+    paths
+        .iter()
+        .map(|p| binser::read_file(p).map_err(|e| format!("read {}: {e:?}", p.display())))
+        .collect()
+}
+
+/// Renders the deterministic manifest: entries sorted by name, u64s as
+/// zero-padded hex, floats at fixed precision.
+pub fn manifest_json(entries: &[CorpusEntry]) -> String {
+    let mut sorted: Vec<&CorpusEntry> = entries.iter().collect();
+    sorted.sort_by(|a, b| a.spec.name.cmp(&b.spec.name));
+    let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+    for (i, e) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\n      \"name\": \"{}\",\n      \"file\": \"{}.scenario\",\n      \"env\": \"{}\",\n      \"fuzz_seed\": \"{:#018x}\",\n      \"mean_regret\": {:.6},\n      \"max_regret\": {:.6},\n      \"coverage_buckets\": {},\n      \"digest\": \"{:#018x}\"\n    }}",
+            e.spec.name,
+            e.spec.name,
+            e.spec.env.name(),
+            e.fuzz_seed,
+            e.mean_regret,
+            e.max_regret,
+            e.coverage.len(),
+            e.digest,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::{default_classifier, mini_corpus_plan};
+
+    fn one_entry() -> CorpusEntry {
+        let spec = mini_corpus_plan()
+            .into_iter()
+            .find(|s| s.name == "hard-lobby-crowd")
+            .unwrap();
+        let eval = EvalParams::default();
+        let report = score_spec(&spec, 0xC0, &eval, default_classifier());
+        CorpusEntry::new(spec, 0xC0, eval, &report)
+    }
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let entry = one_entry();
+        let dir = std::env::temp_dir().join(format!("libra-fuzz-corpus-{}", std::process::id()));
+        save_corpus(&dir, std::slice::from_ref(&entry)).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(
+            binser::to_bytes(&loaded[0]).unwrap(),
+            binser::to_bytes(&entry).unwrap()
+        );
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert_eq!(manifest, manifest_json(std::slice::from_ref(&entry)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_matches_stored_digest() {
+        let entry = one_entry();
+        let rows = replay(std::slice::from_ref(&entry), default_classifier(), 0.0);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].stored_digest, rows[0].replayed_digest);
+        assert!(!rows[0].worsened);
+    }
+
+    #[test]
+    fn manifest_is_sorted_and_stable() {
+        let entry = one_entry();
+        let mut two = vec![entry.clone(), entry];
+        two[1].spec.name = "aaa-first".into();
+        let m = manifest_json(&two);
+        assert!(m.find("aaa-first").unwrap() < m.find("hard-lobby-crowd").unwrap());
+        assert_eq!(m, manifest_json(&two));
+    }
+}

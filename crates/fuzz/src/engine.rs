@@ -1,0 +1,281 @@
+//! The coverage-guided search loop.
+//!
+//! Batch-synchronous evolution, chosen for exact thread-count
+//! invariance: each batch freezes the parent population (seed pool +
+//! corpus so far), derives one RNG stream per candidate from
+//! `(seed, candidate index)`, evaluates the batch with
+//! `libra_util::par::par_map` (index-ordered collection), then folds
+//! keep/coverage decisions sequentially in candidate order. Nothing
+//! depends on which worker scored which candidate, so the corpus and
+//! manifest are bitwise identical at any `--threads` count.
+//!
+//! Coverage guidance is the classic mutational-fuzzing feedback loop:
+//! candidates that reached a *new* bucket of the SNR × impairment × MCS
+//! grid join the corpus even at low regret, and corpus members are
+//! parents for later batches — the search radiates out of explored
+//! regions instead of re-finding the same failure.
+
+use crate::corpus::CorpusEntry;
+use crate::mutate::Mutator;
+use crate::seeds::seed_pool;
+use libra::regret::{CoverageKey, RegretReport};
+use libra::{LibraClassifier, SimConfig};
+use libra_dataset::{generate, CampaignConfig, Instruments, ScenarioSpec};
+use libra_mac::{BaOverheadPreset, ProtocolParams};
+use libra_obs as obs;
+use libra_util::par::par_map;
+use libra_util::rng::{derive_seed, derive_seed_index, rng_from_seed};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Everything needed to score a scenario reproducibly — stored with
+/// every corpus entry so replay re-runs the exact same evaluation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EvalParams {
+    /// Simulator configuration (protocol parameters included).
+    pub sim: SimConfig,
+    /// Flow duration per entry, ms.
+    pub flow_ms: f64,
+    /// Frames per measured 1 s trace.
+    pub trace_frames: usize,
+    /// Repeated traces per state.
+    pub repeats: usize,
+}
+
+impl Default for EvalParams {
+    fn default() -> Self {
+        Self {
+            // The highest-stakes §8 combo: BA costs 250 ms, so a wrong
+            // BA/RA call is maximally visible in delivered bytes.
+            sim: SimConfig::new(ProtocolParams::new(BaOverheadPreset::Directional7, 2.0)),
+            flow_ms: 1000.0,
+            trace_frames: 25,
+            repeats: 1,
+        }
+    }
+}
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; the whole run is a pure function of it.
+    pub seed: u64,
+    /// Total candidates to evaluate.
+    pub budget: usize,
+    /// Candidates per batch (the parent snapshot granularity).
+    pub batch: usize,
+    /// Scoring parameters.
+    pub eval: EvalParams,
+    /// Keep threshold: candidates whose max regret reaches this join
+    /// the corpus even without new coverage.
+    pub keep_regret: f64,
+    /// Corpus size cap (worst regret wins ties by name).
+    pub max_corpus: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xF022,
+            budget: 64,
+            batch: 16,
+            eval: EvalParams::default(),
+            keep_regret: 0.05,
+            max_corpus: 32,
+        }
+    }
+}
+
+/// Aggregate statistics of one search run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FuzzStats {
+    /// Candidates evaluated.
+    pub evaluated: usize,
+    /// Candidates kept (before the corpus cap).
+    pub kept: usize,
+    /// Distinct coverage buckets reached.
+    pub coverage_buckets: usize,
+    /// Mean of per-candidate mean regret.
+    pub mean_regret: f64,
+    /// Worst per-entry regret seen anywhere in the run.
+    pub max_regret: f64,
+}
+
+/// The result of a search run.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// The corpus, sorted by max regret (desc), then name.
+    pub corpus: Vec<CorpusEntry>,
+    /// Run statistics.
+    pub stats: FuzzStats,
+}
+
+/// Scores one scenario: regenerate its dataset from `(fuzz_seed,
+/// spec.name)` and score every entry against `Oracle-Data`. The
+/// campaign generator derives the per-scenario stream from the master
+/// seed and the scenario *name*, so unique candidate names are the
+/// whole determinism handle.
+pub fn score_spec(
+    spec: &ScenarioSpec,
+    fuzz_seed: u64,
+    eval: &EvalParams,
+    clf: &LibraClassifier,
+) -> RegretReport {
+    let cfg = CampaignConfig {
+        seed: fuzz_seed,
+        instruments: Instruments {
+            trace_frames: eval.trace_frames,
+            ..Instruments::default()
+        },
+        repeats: eval.repeats,
+    };
+    let ds = generate(std::slice::from_ref(spec), &cfg);
+    RegretReport::score(&ds.entries, clf, &eval.sim, eval.flow_ms)
+}
+
+/// Runs the coverage-guided search. Deterministic in `cfg.seed` at any
+/// thread count.
+pub fn run_fuzz(cfg: &FuzzConfig, clf: &LibraClassifier) -> FuzzOutcome {
+    let _span = obs::span("fuzz.run");
+    let pool = seed_pool();
+    let mutator = Mutator::default();
+
+    let mut coverage: BTreeSet<CoverageKey> = BTreeSet::new();
+    let mut corpus: Vec<CorpusEntry> = Vec::new();
+    let mut evaluated = 0usize;
+    let mut kept = 0usize;
+    let mut sum_mean = 0.0f64;
+    let mut max_regret = 0.0f64;
+    let mut next_index = 0u64;
+
+    while evaluated < cfg.budget {
+        let n = cfg.batch.max(1).min(cfg.budget - evaluated);
+        // Freeze the parent population for this batch: seed scenarios
+        // plus everything the corpus holds so far.
+        let parents: Vec<&ScenarioSpec> =
+            pool.iter().chain(corpus.iter().map(|e| &e.spec)).collect();
+
+        // Candidate construction is sequential and cheap; scoring is
+        // the expensive part and runs in parallel below.
+        let candidates: Vec<ScenarioSpec> = (0..n)
+            .map(|i| {
+                let index = next_index + i as u64;
+                let cand_seed = derive_seed_index(cfg.seed, index);
+                let mut rng = rng_from_seed(cand_seed);
+                let parent = parents[rng.gen_range(0..parents.len())];
+                let mut spec = mutator.mutate(parent, derive_seed(cand_seed, "mutate"));
+                spec.name = format!("fz-{:08x}-{:04}", cfg.seed as u32, index);
+                spec
+            })
+            .collect();
+        next_index += n as u64;
+
+        let reports: Vec<RegretReport> = par_map(&candidates, |_, spec| {
+            let _g = obs::span("fuzz.candidate");
+            obs::counter("fuzz.scenarios", 1);
+            score_spec(spec, cfg.seed, &cfg.eval, clf)
+        });
+
+        // Sequential fold in candidate order: coverage novelty and keep
+        // decisions are order-dependent, so the order must not depend
+        // on worker scheduling.
+        for (spec, report) in candidates.into_iter().zip(reports) {
+            evaluated += 1;
+            sum_mean += report.mean();
+            let cand_max = report.max();
+            max_regret = max_regret.max(cand_max);
+            let keys = report.coverage();
+            let novel = keys.iter().any(|k| !coverage.contains(k));
+            if novel || cand_max >= cfg.keep_regret {
+                coverage.extend(keys.iter().copied());
+                corpus.push(CorpusEntry::new(spec, cfg.seed, cfg.eval, &report));
+                kept += 1;
+                obs::counter("fuzz.kept", 1);
+            }
+        }
+    }
+
+    // Cap the corpus at the hardest cases; ties break by name so the
+    // cut is stable.
+    corpus.sort_by(|a, b| {
+        b.max_regret
+            .partial_cmp(&a.max_regret)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.spec.name.cmp(&b.spec.name))
+    });
+    corpus.truncate(cfg.max_corpus);
+
+    let stats = FuzzStats {
+        evaluated,
+        kept,
+        coverage_buckets: coverage.len(),
+        mean_regret: if evaluated > 0 {
+            sum_mean / evaluated as f64
+        } else {
+            0.0
+        },
+        max_regret,
+    };
+    FuzzOutcome { corpus, stats }
+}
+
+/// Renders `BENCH_fuzz.json`: the machine-readable perf + quality
+/// record of one run. Hand-written JSON with fixed key order and fixed
+/// float precision, so equal runs produce equal bytes.
+pub fn bench_json(stats: &FuzzStats, corpus_len: usize, elapsed_secs: f64) -> String {
+    let sps = if elapsed_secs > 0.0 {
+        stats.evaluated as f64 / elapsed_secs
+    } else {
+        0.0
+    };
+    format!(
+        "{{\n  \"bench\": \"fuzz\",\n  \"evaluated\": {},\n  \"scenarios_per_sec\": {:.2},\n  \"mean_regret\": {:.6},\n  \"max_regret\": {:.6},\n  \"coverage_buckets\": {},\n  \"kept\": {},\n  \"corpus_size\": {}\n}}\n",
+        stats.evaluated,
+        sps,
+        stats.mean_regret,
+        stats.max_regret,
+        stats.coverage_buckets,
+        stats.kept,
+        corpus_len,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::default_classifier;
+
+    #[test]
+    fn tiny_run_is_seed_deterministic() {
+        let clf = default_classifier();
+        let cfg = FuzzConfig {
+            budget: 3,
+            batch: 2,
+            ..FuzzConfig::default()
+        };
+        let a = run_fuzz(&cfg, clf);
+        let b = run_fuzz(&cfg, clf);
+        assert_eq!(a.stats.evaluated, 3);
+        assert_eq!(a.corpus.len(), b.corpus.len());
+        for (x, y) in a.corpus.iter().zip(&b.corpus) {
+            assert_eq!(x.spec.name, y.spec.name);
+            assert_eq!(x.digest, y.digest);
+        }
+    }
+
+    #[test]
+    fn bench_json_shape() {
+        let stats = FuzzStats {
+            evaluated: 10,
+            kept: 3,
+            coverage_buckets: 7,
+            mean_regret: 0.0125,
+            max_regret: 0.25,
+        };
+        let s = bench_json(&stats, 3, 2.0);
+        assert!(s.contains("\"scenarios_per_sec\": 5.00"));
+        assert!(s.contains("\"max_regret\": 0.250000"));
+        assert!(s.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # libra-fuzz
+//!
+//! Coverage-guided scenario search over the LiBRA simulator (ROADMAP
+//! item 5): instead of only walking the paper's fixed §8 grid, actively
+//! *search* `ScenarioSpec` space for configurations where
+//! `LibraClassifier::decide` diverges from `Oracle-Data`.
+//!
+//! The loop is the classic mutational-fuzzing shape:
+//!
+//! * [`mutate`] — a deterministic mutator perturbs Rx/Tx poses,
+//!   rotations, blocker paths and crowds, interferer placements and
+//!   levels, state counts, and the environment itself (geometry and
+//!   wall materials change by swapping rooms from the catalogue), under
+//!   the physical bounds of `libra_channel::bounds`.
+//! * [`engine`] — candidates run through the §8 campaign generator +
+//!   trace simulator and are scored by relative throughput regret vs
+//!   `Oracle-Data` ([`libra::regret`]); coverage is tracked over the
+//!   bucketed SNR × impairment × MCS grid, and a candidate is kept when
+//!   it reaches a new bucket or exceeds the regret threshold.
+//! * [`corpus`] — kept scenarios persist to disk (`*.scenario` +
+//!   `manifest.json`) and double as a regression suite: `replay`
+//!   re-simulates every stored scenario and checks regret has not
+//!   worsened; `minimize` greedily shrinks a scenario while preserving
+//!   its worst-case regret.
+//! * [`seeds`] — the seed pool (trimmed campaign plans), the
+//!   hand-picked hard-case mini corpus, and the shared small classifier.
+//!
+//! Determinism is the load-bearing contract, matching the rest of the
+//! workspace: the whole search is a pure function of `FuzzConfig::seed`.
+//! Candidates derive their RNG streams by index, batches evaluate via
+//! `libra_util::par` with index-ordered folds, and corpus files and
+//! manifests are bitwise identical at any `--threads` count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod engine;
+pub mod mutate;
+pub mod seeds;
+
+pub use corpus::{
+    load_corpus, manifest_json, minimize, replay, save_corpus, CorpusEntry, ReplayRow,
+};
+pub use engine::{
+    bench_json, run_fuzz, score_spec, EvalParams, FuzzConfig, FuzzOutcome, FuzzStats,
+};
+pub use mutate::Mutator;
+pub use seeds::{default_classifier, mini_corpus_plan, seed_pool};

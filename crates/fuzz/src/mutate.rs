@@ -1,0 +1,334 @@
+//! Deterministic `ScenarioSpec` mutation under physical bounds.
+//!
+//! One mutation = 1..=`max_ops` randomly chosen operators applied in
+//! sequence, each validated against [`ScenarioBounds`] before it is
+//! accepted. An operator that cannot produce a valid spec within a few
+//! attempts reverts to the pre-op spec and is skipped, so `mutate`
+//! always returns a spec that passes [`ScenarioSpec::validate`] when its
+//! input did.
+//!
+//! Determinism: the whole mutation is a pure function of `(spec, seed)`
+//! — a single `SmallRng` stream drives every draw, so the same seed
+//! reproduces the same mutant bitwise, which the property suite checks
+//! through `binser` bytes.
+
+use libra_channel::{Blocker, BlockerPlacement, Environment, Interferer, Point, ScenarioBounds};
+use libra_dataset::{NewStateSpec, ScenarioSpec};
+use libra_util::rng::{rng_from_seed, standard_normal};
+use rand::Rng;
+
+/// The scenario mutator.
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    /// Physical bounds every mutant must satisfy.
+    pub bounds: ScenarioBounds,
+    /// Maximum operators applied per mutation.
+    pub max_ops: usize,
+    /// Cap on new-state growth via state cloning (tighter than the
+    /// physical `bounds.max_states` to keep candidates cheap to score).
+    pub max_states: usize,
+    /// Attempts per operator before it is skipped.
+    pub attempts: usize,
+}
+
+impl Default for Mutator {
+    fn default() -> Self {
+        Self {
+            bounds: ScenarioBounds::default(),
+            max_ops: 3,
+            max_states: 8,
+            attempts: 8,
+        }
+    }
+}
+
+/// Environments the mutator may swap a scenario into: the full main
+/// catalogue plus the L-corridor extension. Swapping the environment is
+/// how the search perturbs room *geometry and materials* — rooms are a
+/// fixed catalogue, so geometry moves by re-homing the scenario (with
+/// positions rescaled to the new bounding box) rather than by bending
+/// walls.
+const SWAP_ENVS: [Environment; 7] = [
+    Environment::Lobby,
+    Environment::Lab,
+    Environment::ConferenceRoom,
+    Environment::CorridorNarrow,
+    Environment::CorridorMedium,
+    Environment::CorridorWide,
+    Environment::LCorridor,
+];
+
+const N_OPS: usize = 12;
+
+impl Mutator {
+    /// Mutates `spec` deterministically from `seed`. The returned spec
+    /// keeps the input's name — callers rename candidates before
+    /// scoring, since names seed the campaign generator.
+    pub fn mutate(&self, spec: &ScenarioSpec, seed: u64) -> ScenarioSpec {
+        let mut rng = rng_from_seed(seed);
+        let mut out = spec.clone();
+        let n_ops = 1 + rng.gen_range(0..self.max_ops.max(1));
+        for _ in 0..n_ops {
+            let op = rng.gen_range(0..N_OPS);
+            self.apply_op(&mut out, op, &mut rng);
+        }
+        out
+    }
+
+    /// Applies one operator with retry-until-valid; reverts on failure.
+    fn apply_op(&self, spec: &mut ScenarioSpec, op: usize, rng: &mut impl Rng) {
+        for _ in 0..self.attempts {
+            let mut cand = spec.clone();
+            let changed = match op {
+                0 => self.jiggle_rx(&mut cand, rng),
+                1 => self.rotate_rx(&mut cand, rng),
+                2 => self.jiggle_tx(&mut cand, rng),
+                3 => self.perturb_blocker(&mut cand, rng),
+                4 => self.add_blocker(&mut cand, rng),
+                5 => self.drop_blocker(&mut cand, rng),
+                6 => self.perturb_interferer(&mut cand, rng),
+                7 => self.add_interferer(&mut cand, rng),
+                8 => self.drop_interferer(&mut cand, rng),
+                9 => self.clone_state(&mut cand, rng),
+                10 => self.drop_state(&mut cand, rng),
+                _ => self.swap_env(&mut cand, rng),
+            };
+            if changed && cand.validate(&self.bounds).is_ok() {
+                *spec = cand;
+                return;
+            }
+        }
+    }
+
+    fn pick_state(spec: &ScenarioSpec, rng: &mut impl Rng) -> usize {
+        rng.gen_range(0..spec.new_states.len())
+    }
+
+    /// Translates one Rx pose (a random new state, or the initial state)
+    /// by a Gaussian step.
+    fn jiggle_rx(&self, spec: &mut ScenarioSpec, rng: &mut impl Rng) -> bool {
+        let dx = 0.5 * standard_normal(rng);
+        let dy = 0.5 * standard_normal(rng);
+        let n = spec.new_states.len();
+        let which = rng.gen_range(0..=n);
+        let pose = if which == n {
+            &mut spec.initial_rx
+        } else {
+            &mut spec.new_states[which].rx
+        };
+        pose.position = pose.position.add(Point::new(dx, dy));
+        true
+    }
+
+    /// Turns one new-state Rx by up to ±45°.
+    fn rotate_rx(&self, spec: &mut ScenarioSpec, rng: &mut impl Rng) -> bool {
+        let i = Self::pick_state(spec, rng);
+        let delta = uniform(rng, -45.0, 45.0);
+        spec.new_states[i].rx.orientation_deg += delta;
+        true
+    }
+
+    /// Small Gaussian step of the Tx (APs move less than clients).
+    fn jiggle_tx(&self, spec: &mut ScenarioSpec, rng: &mut impl Rng) -> bool {
+        let dx = 0.3 * standard_normal(rng);
+        let dy = 0.3 * standard_normal(rng);
+        spec.tx.position = spec.tx.position.add(Point::new(dx, dy));
+        true
+    }
+
+    /// Moves one blocker and tweaks its disc/attenuation within bounds.
+    fn perturb_blocker(&self, spec: &mut ScenarioSpec, rng: &mut impl Rng) -> bool {
+        let i = Self::pick_state(spec, rng);
+        let st = &mut spec.new_states[i];
+        if st.blockers.is_empty() {
+            return false;
+        }
+        let bi = rng.gen_range(0..st.blockers.len());
+        let b = &mut st.blockers[bi];
+        b.position = b.position.add(Point::new(
+            0.3 * standard_normal(rng),
+            0.3 * standard_normal(rng),
+        ));
+        let (rlo, rhi) = self.bounds.blocker_radius_m;
+        b.radius_m = (b.radius_m + 0.05 * standard_normal(rng)).clamp(rlo, rhi);
+        let (alo, ahi) = self.bounds.blocker_attenuation_db;
+        b.attenuation_db = (b.attenuation_db + 4.0 * standard_normal(rng)).clamp(alo, ahi);
+        true
+    }
+
+    /// Drops a human on the Tx→Rx line of one state (one of the three
+    /// canonical placements, with a random lateral offset).
+    fn add_blocker(&self, spec: &mut ScenarioSpec, rng: &mut impl Rng) -> bool {
+        let i = Self::pick_state(spec, rng);
+        let tx = spec.tx.position;
+        let st = &mut spec.new_states[i];
+        if st.blockers.len() >= self.bounds.max_blockers {
+            return false;
+        }
+        let placement = BlockerPlacement::ALL[rng.gen_range(0..3)];
+        let lateral = uniform(rng, -0.3, 0.3);
+        st.blockers
+            .push(placement.blocker(tx, st.rx.position, lateral));
+        true
+    }
+
+    fn drop_blocker(&self, spec: &mut ScenarioSpec, rng: &mut impl Rng) -> bool {
+        let i = Self::pick_state(spec, rng);
+        let st = &mut spec.new_states[i];
+        if st.blockers.is_empty() {
+            return false;
+        }
+        let j = rng.gen_range(0..st.blockers.len());
+        st.blockers.remove(j);
+        true
+    }
+
+    /// Moves one interferer and tweaks its EIRP/duty within bounds.
+    fn perturb_interferer(&self, spec: &mut ScenarioSpec, rng: &mut impl Rng) -> bool {
+        let i = Self::pick_state(spec, rng);
+        let st = &mut spec.new_states[i];
+        if st.interferers.is_empty() {
+            return false;
+        }
+        let ii = rng.gen_range(0..st.interferers.len());
+        let it = &mut st.interferers[ii];
+        it.position = it
+            .position
+            .add(Point::new(standard_normal(rng), standard_normal(rng)));
+        let (elo, ehi) = self.bounds.interferer_eirp_dbm;
+        it.eirp_dbm = (it.eirp_dbm + 3.0 * standard_normal(rng)).clamp(elo, ehi);
+        it.duty_cycle = uniform(rng, 0.25, 1.0);
+        true
+    }
+
+    /// Adds a hidden terminal 2–5 m from one state's Rx at a random
+    /// bearing.
+    fn add_interferer(&self, spec: &mut ScenarioSpec, rng: &mut impl Rng) -> bool {
+        let i = Self::pick_state(spec, rng);
+        let st = &mut spec.new_states[i];
+        if st.interferers.len() >= self.bounds.max_interferers {
+            return false;
+        }
+        let bearing = uniform(rng, 0.0, std::f64::consts::TAU);
+        let dist = uniform(rng, 2.0, 5.0);
+        let (elo, ehi) = self.bounds.interferer_eirp_dbm;
+        st.interferers.push(Interferer {
+            position: st
+                .rx
+                .position
+                .add(Point::new(dist * bearing.cos(), dist * bearing.sin())),
+            eirp_dbm: uniform(rng, elo.max(0.0), ehi),
+            duty_cycle: uniform(rng, 0.5, 1.0),
+        });
+        true
+    }
+
+    fn drop_interferer(&self, spec: &mut ScenarioSpec, rng: &mut impl Rng) -> bool {
+        let i = Self::pick_state(spec, rng);
+        let st = &mut spec.new_states[i];
+        if st.interferers.is_empty() {
+            return false;
+        }
+        let j = rng.gen_range(0..st.interferers.len());
+        st.interferers.remove(j);
+        true
+    }
+
+    /// Duplicates one state with a jiggled Rx — mobility grows by
+    /// revisiting a hard region from a nearby pose.
+    fn clone_state(&self, spec: &mut ScenarioSpec, rng: &mut impl Rng) -> bool {
+        if spec.new_states.len() >= self.max_states.min(self.bounds.max_states) {
+            return false;
+        }
+        let i = Self::pick_state(spec, rng);
+        let mut st: NewStateSpec = spec.new_states[i].clone();
+        st.rx.position = st.rx.position.add(Point::new(
+            0.4 * standard_normal(rng),
+            0.4 * standard_normal(rng),
+        ));
+        st.position_key.push_str("-m");
+        spec.new_states.push(st);
+        true
+    }
+
+    fn drop_state(&self, spec: &mut ScenarioSpec, rng: &mut impl Rng) -> bool {
+        if spec.new_states.len() <= 1 {
+            return false;
+        }
+        let i = Self::pick_state(spec, rng);
+        spec.new_states.remove(i);
+        true
+    }
+
+    /// Re-homes the scenario in a different room from the catalogue,
+    /// rescaling every position to the new bounding box. This is the
+    /// geometry/material mutation: wall lengths, shapes (the L-corridor)
+    /// and materials (drywall vs metal vs brick) all change at once.
+    fn swap_env(&self, spec: &mut ScenarioSpec, rng: &mut impl Rng) -> bool {
+        let candidates: Vec<Environment> = SWAP_ENVS
+            .iter()
+            .copied()
+            .filter(|&e| e != spec.env)
+            .collect();
+        let new_env = candidates[rng.gen_range(0..candidates.len())];
+        let old = spec.env.room();
+        let new = new_env.room();
+        let sx = new.width_m / old.width_m;
+        let sy = new.depth_m / old.depth_m;
+        let rescale = |p: Point| Point::new(p.x * sx, p.y * sy);
+        spec.env = new_env;
+        spec.tx.position = rescale(spec.tx.position);
+        spec.for_each_rx_pose_mut(|pose| pose.position = rescale(pose.position));
+        spec.for_each_blocker_mut(|b: &mut Blocker| b.position = rescale(b.position));
+        spec.for_each_interferer_mut(|i: &mut Interferer| i.position = rescale(i.position));
+        true
+    }
+}
+
+fn uniform(rng: &mut impl Rng, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.gen::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_dataset::main_campaign_plan;
+    use libra_util::binser;
+
+    fn base() -> ScenarioSpec {
+        main_campaign_plan()
+            .into_iter()
+            .find(|s| s.name == "lobby-blk0")
+            .expect("lobby-blk0 in plan")
+    }
+
+    #[test]
+    fn mutants_stay_valid() {
+        let m = Mutator::default();
+        let spec = base();
+        for seed in 0..32u64 {
+            let mutant = m.mutate(&spec, seed);
+            mutant
+                .validate(&m.bounds)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_mutant() {
+        let m = Mutator::default();
+        let spec = base();
+        let a = binser::to_bytes(&m.mutate(&spec, 7)).unwrap();
+        let b = binser::to_bytes(&m.mutate(&spec, 7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutation_changes_something_eventually() {
+        let m = Mutator::default();
+        let spec = base();
+        let orig = binser::to_bytes(&spec).unwrap();
+        let changed = (0..16u64).any(|s| binser::to_bytes(&m.mutate(&spec, s)).unwrap() != orig);
+        assert!(changed, "16 mutations left the spec untouched");
+    }
+}

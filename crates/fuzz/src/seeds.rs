@@ -1,0 +1,348 @@
+//! Seed scenarios for the search, the hand-picked hard-case mini
+//! corpus, and the shared small classifier the fuzz tooling scores
+//! against.
+
+use libra::LibraClassifier;
+use libra_channel::{Blocker, BlockerPlacement, Environment, Interferer, Point, Pose};
+use libra_dataset::{
+    generate, main_campaign_plan, testing_campaign_plan, CampaignConfig, GroundTruthParams,
+    Impairment, Instruments, NewStateSpec, ScenarioSpec,
+};
+use libra_phy::McsTable;
+use libra_util::rng::rng_from_seed;
+use std::sync::OnceLock;
+
+/// Maximum new states a seed scenario carries into the search — longer
+/// walks are truncated so every candidate stays cheap to score.
+const SEED_MAX_STATES: usize = 4;
+
+/// The initial population: every scenario of the main and testing
+/// campaign plans, truncated to at most [`SEED_MAX_STATES`] new states.
+pub fn seed_pool() -> Vec<ScenarioSpec> {
+    let mut pool = main_campaign_plan();
+    pool.extend(testing_campaign_plan());
+    for spec in &mut pool {
+        spec.new_states.truncate(SEED_MAX_STATES);
+    }
+    pool
+}
+
+fn state(
+    kind: Impairment,
+    rx: Pose,
+    blockers: Vec<Blocker>,
+    interferers: Vec<Interferer>,
+    key: &str,
+) -> NewStateSpec {
+    NewStateSpec {
+        kind,
+        rx,
+        blockers,
+        interferers,
+        position_key: key.to_string(),
+    }
+}
+
+/// The checked-in hard-case plan: scenarios hand-picked for regimes the
+/// paper's fixed grid under-samples — metal-wall reflections, blocker
+/// crowds, the L-corridor corner, extreme range, boresight interference
+/// and partial-blockage ladders. The corpus regression test scores and
+/// blesses these once, then replays them forever.
+pub fn mini_corpus_plan() -> Vec<ScenarioSpec> {
+    let p = Point::new;
+    let mut specs = Vec::new();
+
+    // Conference room: the east wall is metal, so a displaced Rx near it
+    // lives off a strong specular path that blockage kills entirely.
+    {
+        let tx = Pose::new(p(0.8, 3.4), 0.0);
+        let rx0 = Pose::new(p(8.0, 3.4), 180.0);
+        specs.push(ScenarioSpec {
+            env: Environment::ConferenceRoom,
+            name: "hard-conf-metal".into(),
+            tx,
+            initial_rx: rx0,
+            new_states: vec![
+                state(
+                    Impairment::Displacement,
+                    Pose::new(p(9.6, 1.0), 180.0),
+                    vec![],
+                    vec![],
+                    "hard-conf-metal-p1",
+                ),
+                state(
+                    Impairment::Blockage,
+                    rx0,
+                    vec![BlockerPlacement::MidPath.blocker(tx.position, rx0.position, 0.0)],
+                    vec![],
+                    "hard-conf-metal-p0",
+                ),
+            ],
+        });
+    }
+
+    // Lab: Rx drops behind a metallic cabinet row — NLOS with only
+    // cabinet reflections left.
+    {
+        let tx = Pose::new(p(1.0, 4.6), 0.0);
+        let rx0 = Pose::new(p(10.5, 4.6), 180.0);
+        specs.push(ScenarioSpec {
+            env: Environment::Lab,
+            name: "hard-lab-cabinet".into(),
+            tx,
+            initial_rx: rx0,
+            new_states: vec![
+                state(
+                    Impairment::Displacement,
+                    Pose::new(p(10.5, 2.0), 180.0),
+                    vec![],
+                    vec![],
+                    "hard-lab-cabinet-p1",
+                ),
+                state(
+                    Impairment::Blockage,
+                    rx0,
+                    vec![BlockerPlacement::NearRx.blocker(tx.position, rx0.position, 0.1)],
+                    vec![],
+                    "hard-lab-cabinet-p0",
+                ),
+            ],
+        });
+    }
+
+    // Lobby: a crossing crowd — four staggered torsos spanning the LOS.
+    {
+        let tx = Pose::new(p(1.0, 7.0), 0.0);
+        let rx0 = Pose::new(p(15.0, 7.0), 180.0);
+        let crowd = vec![
+            Blocker::human(p(6.0, 6.8)),
+            Blocker::human(p(8.0, 7.2)),
+            Blocker::human(p(10.0, 6.9)),
+            Blocker::human(p(12.0, 7.1)),
+        ];
+        specs.push(ScenarioSpec {
+            env: Environment::Lobby,
+            name: "hard-lobby-crowd".into(),
+            tx,
+            initial_rx: rx0,
+            new_states: vec![state(
+                Impairment::Blockage,
+                rx0,
+                crowd,
+                vec![],
+                "hard-lobby-crowd-p0",
+            )],
+        });
+    }
+
+    // L-corridor: the Rx turns the corner — the classic mmWave cliff.
+    {
+        let tx = Pose::new(p(1.0, 1.25), 0.0);
+        let rx0 = Pose::new(p(14.0, 1.25), 180.0);
+        specs.push(ScenarioSpec {
+            env: Environment::LCorridor,
+            name: "hard-lcorr-corner".into(),
+            tx,
+            initial_rx: rx0,
+            new_states: vec![
+                state(
+                    Impairment::Displacement,
+                    Pose::new(p(16.75, 4.0), 225.0),
+                    vec![],
+                    vec![],
+                    "hard-lcorr-corner-p1",
+                ),
+                state(
+                    Impairment::Displacement,
+                    Pose::new(p(16.75, 8.0), 225.0),
+                    vec![],
+                    vec![],
+                    "hard-lcorr-corner-p2",
+                ),
+            ],
+        });
+    }
+
+    // Narrow corridor at extreme range: low SNR margin, then a blocker.
+    {
+        let tx = Pose::new(p(0.8, 0.87), 0.0);
+        let rx0 = Pose::new(p(28.0, 0.87), 180.0);
+        specs.push(ScenarioSpec {
+            env: Environment::CorridorNarrow,
+            name: "hard-narrow-far".into(),
+            tx,
+            initial_rx: rx0,
+            new_states: vec![state(
+                Impairment::Blockage,
+                rx0,
+                vec![BlockerPlacement::NearRx.blocker(tx.position, rx0.position, 0.0)],
+                vec![],
+                "hard-narrow-far-p0",
+            )],
+        });
+    }
+
+    // Lobby: a saturated hidden terminal sitting in the Rx boresight
+    // (between Rx and Tx), so the interference lands in the main lobe.
+    {
+        let tx = Pose::new(p(1.0, 7.0), 0.0);
+        let rx0 = Pose::new(p(12.0, 7.0), 180.0);
+        specs.push(ScenarioSpec {
+            env: Environment::Lobby,
+            name: "hard-intf-boresight".into(),
+            tx,
+            initial_rx: rx0,
+            new_states: vec![state(
+                Impairment::Interference,
+                rx0,
+                vec![],
+                vec![Interferer {
+                    position: p(3.0, 7.3),
+                    eirp_dbm: 17.0,
+                    duty_cycle: 1.0,
+                }],
+                "hard-intf-boresight-p0",
+            )],
+        });
+    }
+
+    // Conference room: a hard rotation — the Rx swings most of the way
+    // off boresight in one step.
+    {
+        let tx = Pose::new(p(0.8, 3.4), 0.0);
+        let rx0 = Pose::new(p(7.0, 5.5), 180.0);
+        specs.push(ScenarioSpec {
+            env: Environment::ConferenceRoom,
+            name: "hard-rot-flip".into(),
+            tx,
+            initial_rx: rx0,
+            new_states: vec![
+                state(
+                    Impairment::Displacement,
+                    rx0.rotated(75.0),
+                    vec![],
+                    vec![],
+                    "hard-rot-flip-p0",
+                ),
+                state(
+                    Impairment::Displacement,
+                    rx0.rotated(-90.0),
+                    vec![],
+                    vec![],
+                    "hard-rot-flip-p0",
+                ),
+            ],
+        });
+    }
+
+    // Medium corridor: a partial-blockage ladder — the same spot at
+    // three attenuation depths straddles the BA/RA decision boundary.
+    {
+        let tx = Pose::new(p(0.8, 1.6), 0.0);
+        let rx0 = Pose::new(p(20.0, 1.6), 180.0);
+        let at = |db: f64| {
+            vec![Blocker {
+                attenuation_db: db,
+                ..BlockerPlacement::MidPath.blocker(tx.position, rx0.position, 0.2)
+            }]
+        };
+        specs.push(ScenarioSpec {
+            env: Environment::CorridorMedium,
+            name: "hard-blk-ladder".into(),
+            tx,
+            initial_rx: rx0,
+            new_states: vec![
+                state(
+                    Impairment::Blockage,
+                    rx0,
+                    at(10.0),
+                    vec![],
+                    "hard-blk-ladder-p0",
+                ),
+                state(
+                    Impairment::Blockage,
+                    rx0,
+                    at(22.0),
+                    vec![],
+                    "hard-blk-ladder-p0",
+                ),
+                state(
+                    Impairment::Blockage,
+                    rx0,
+                    at(34.0),
+                    vec![],
+                    "hard-blk-ladder-p0",
+                ),
+            ],
+        });
+    }
+
+    specs
+}
+
+/// The classifier every fuzz entry point scores against by default: the
+/// reduced-campaign model of the determinism suite
+/// (`crates/bench/tests/determinism.rs`), trained once per process.
+/// Small enough to train in seconds, yet covers all three label
+/// classes, which is what regret scoring needs.
+pub fn default_classifier() -> &'static LibraClassifier {
+    static CLF: OnceLock<LibraClassifier> = OnceLock::new();
+    CLF.get_or_init(|| {
+        let keep = [
+            "lobby-back",
+            "lobby-rot1",
+            "lobby-blk0",
+            "lobby-intf0",
+            "lab-back",
+            "conf-rot1",
+        ];
+        let plan: Vec<_> = main_campaign_plan()
+            .into_iter()
+            .filter(|s| keep.contains(&s.name.as_str()))
+            .collect();
+        assert_eq!(plan.len(), keep.len(), "determinism keep-list drifted");
+        let cfg = CampaignConfig {
+            seed: 0xD17E,
+            instruments: Instruments {
+                trace_frames: 25,
+                ..Instruments::default()
+            },
+            repeats: 1,
+        };
+        let ds = generate(&plan, &cfg);
+        let data = ds.to_ml_3class(&McsTable::x60(), &GroundTruthParams::default());
+        let mut rng = rng_from_seed(0x5EED);
+        LibraClassifier::train(&data, &mut rng)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_channel::ScenarioBounds;
+
+    #[test]
+    fn mini_corpus_is_valid_and_uniquely_named() {
+        let bounds = ScenarioBounds::default();
+        let plan = mini_corpus_plan();
+        assert!((5..=10).contains(&plan.len()));
+        let mut names: Vec<&str> = plan.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), plan.len(), "duplicate scenario names");
+        for spec in &plan {
+            spec.validate(&bounds).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn seed_pool_is_valid_and_bounded() {
+        let bounds = ScenarioBounds::default();
+        let pool = seed_pool();
+        assert!(pool.len() > 20);
+        for spec in &pool {
+            assert!(spec.new_states.len() <= SEED_MAX_STATES);
+            spec.validate(&bounds).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Tier-1 regression replay of the checked-in mini corpus
+//! (ISSUE 6 satellite 3).
+//!
+//! The corpus under `tests/corpus/` holds the hand-picked hard cases of
+//! `libra_fuzz::mini_corpus_plan` — metal-room reflections, a crossing
+//! crowd, the L-corridor corner, boresight interference, a
+//! partial-blockage ladder — scored once and pinned.
+//!
+//! Blessing works like `crates/bench/tests/golden.rs`: if the corpus
+//! directory is missing or empty, the test scores the plan, writes the
+//! corpus, and passes; commit the files to pin. Any later run replays
+//! the stored entries and fails if a scenario's max regret worsened
+//! (the classifier/simulator regressed on a known hard case) or its
+//! regret digest changed (bitwise determinism broke). Re-bless
+//! deliberately by deleting `tests/corpus/` and re-running.
+
+use libra_fuzz::{
+    default_classifier, load_corpus, mini_corpus_plan, replay, save_corpus, score_spec,
+    CorpusEntry, EvalParams,
+};
+use std::path::PathBuf;
+
+const CORPUS_DIR: &str = "tests/corpus";
+
+/// Master seed the mini corpus is measured under (per-scenario streams
+/// derive from this and each scenario's name).
+const MINI_SEED: u64 = 0x4A2D;
+
+/// Replay tolerance on max regret. Regret is a ratio in [0, 1]; the
+/// pipeline is bitwise deterministic, so any drift is a real behaviour
+/// change — the tolerance only forgives sub-percent numeric wiggle if
+/// the evaluation is ever deliberately re-tuned.
+const TOLERANCE: f64 = 0.01;
+
+fn corpus_dir() -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(CORPUS_DIR)
+}
+
+fn bless() -> Vec<CorpusEntry> {
+    let clf = default_classifier();
+    let eval = EvalParams::default();
+    mini_corpus_plan()
+        .into_iter()
+        .map(|spec| {
+            let report = score_spec(&spec, MINI_SEED, &eval, clf);
+            CorpusEntry::new(spec, MINI_SEED, eval, &report)
+        })
+        .collect()
+}
+
+#[test]
+fn mini_corpus_replay_has_not_worsened() {
+    let dir = corpus_dir();
+    let existing = load_corpus(&dir).unwrap_or_default();
+    if existing.is_empty() {
+        let entries = bless();
+        save_corpus(&dir, &entries).expect("bless mini corpus");
+        eprintln!(
+            "blessed mini corpus ({} scenarios) at {}; commit it to pin",
+            entries.len(),
+            dir.display()
+        );
+        return;
+    }
+
+    assert_eq!(
+        existing.len(),
+        mini_corpus_plan().len(),
+        "checked-in corpus out of sync with mini_corpus_plan; re-bless deliberately"
+    );
+
+    let rows = replay(&existing, default_classifier(), TOLERANCE);
+    for row in &rows {
+        assert_eq!(
+            row.stored_digest, row.replayed_digest,
+            "{}: regret digest drifted — determinism broke or the corpus is stale",
+            row.name
+        );
+        assert!(
+            !row.worsened,
+            "{}: max regret worsened {:.4} -> {:.4} (tolerance {TOLERANCE})",
+            row.name, row.stored_max, row.replayed_max
+        );
+    }
+}

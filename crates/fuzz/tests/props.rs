@@ -1,0 +1,69 @@
+//! Property tests for the scenario mutator (ISSUE 6 satellite 1).
+//!
+//! The two contracts the search engine leans on:
+//!
+//! 1. **Validity**: any chain of mutations starting from a valid
+//!    campaign scenario stays within the physical bounds of
+//!    `libra_channel::bounds` — poses inside the room with wall
+//!    clearance, blocker discs/attenuations in human ranges,
+//!    interferers within reach, entity counts bounded.
+//! 2. **Reproducibility**: mutation is a pure function of
+//!    `(spec, seed)`, checked bitwise through `binser` bytes.
+
+use libra_channel::ScenarioBounds;
+use libra_dataset::{main_campaign_plan, testing_campaign_plan};
+use libra_fuzz::Mutator;
+use libra_util::binser;
+use libra_util::rng::derive_seed_index;
+use proptest::prelude::*;
+
+proptest! {
+    // Mutation chains: pick any seed scenario, apply up to 6 chained
+    // mutations, and demand validity after every step.
+    #[test]
+    fn mutation_chains_stay_within_bounds(
+        scenario_idx in 0usize..64,
+        seed in any::<u64>(),
+        depth in 1usize..6,
+    ) {
+        let pool = main_campaign_plan();
+        let m = Mutator::default();
+        let mut spec = pool[scenario_idx % pool.len()].clone();
+        prop_assert!(spec.validate(&m.bounds).is_ok());
+        for step in 0..depth {
+            spec = m.mutate(&spec, derive_seed_index(seed, step as u64));
+            if let Err(e) = spec.validate(&m.bounds) {
+                return Err(TestCaseError::fail(format!("step {step}: {e}")));
+            }
+        }
+    }
+
+    // Same seed, same mutant — bitwise.
+    #[test]
+    fn mutation_is_bitwise_reproducible(
+        scenario_idx in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let pool = main_campaign_plan();
+        let m = Mutator::default();
+        let spec = &pool[scenario_idx % pool.len()];
+        let a = binser::to_bytes(&m.mutate(spec, seed)).unwrap();
+        let b = binser::to_bytes(&m.mutate(spec, seed)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
+
+// Not a property, but the anchor the properties build on: every
+// hand-written campaign scenario is valid under the default bounds, so
+// "mutants stay valid" starts from a true premise for the whole plan.
+#[test]
+fn every_campaign_scenario_is_valid() {
+    let bounds = ScenarioBounds::default();
+    for spec in main_campaign_plan()
+        .iter()
+        .chain(testing_campaign_plan().iter())
+    {
+        spec.validate(&bounds)
+            .unwrap_or_else(|e| panic!("invalid plan scenario: {e}"));
+    }
+}

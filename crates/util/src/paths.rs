@@ -25,12 +25,25 @@ pub fn results_root() -> PathBuf {
     }
 }
 
+/// Environment variable overriding the fuzz corpus root
+/// (`<results>/corpus/`).
+pub const CORPUS_DIR_ENV: &str = "LIBRA_CORPUS_DIR";
+
 /// Root directory of the model registry (`<results>/models/` unless
 /// `LIBRA_MODELS_DIR` is set).
 pub fn models_root() -> PathBuf {
     match std::env::var(MODELS_DIR_ENV) {
         Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
         _ => results_root().join("models"),
+    }
+}
+
+/// Root directory of the fuzz scenario corpus (`<results>/corpus/`
+/// unless `LIBRA_CORPUS_DIR` is set).
+pub fn corpus_root() -> PathBuf {
+    match std::env::var(CORPUS_DIR_ENV) {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => results_root().join("corpus"),
     }
 }
 
@@ -41,9 +54,13 @@ mod tests {
     #[test]
     fn default_layout_nests_models_under_results() {
         // Guard against env leakage from the outer test process.
-        if std::env::var(RESULTS_DIR_ENV).is_err() && std::env::var(MODELS_DIR_ENV).is_err() {
+        if std::env::var(RESULTS_DIR_ENV).is_err()
+            && std::env::var(MODELS_DIR_ENV).is_err()
+            && std::env::var(CORPUS_DIR_ENV).is_err()
+        {
             assert_eq!(results_root(), PathBuf::from("results"));
             assert_eq!(models_root(), PathBuf::from("results").join("models"));
+            assert_eq!(corpus_root(), PathBuf::from("results").join("corpus"));
         }
     }
 }
