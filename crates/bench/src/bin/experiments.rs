@@ -13,9 +13,10 @@
 //!
 //! Artifact names: fig1 fig2 fig3 table1 table2 fig4 fig5 fig6 fig7 fig8
 //! fig9 cv crossbuilding table3 threeclass extmodels fig10 fig11 fig12 fig13
-//! table4 ablations inferbench trainbench fuzz. The microbenchmarks also
-//! record their measurements to `results/infer_bench.txt`,
-//! `results/train_bench.txt`, and `results/BENCH_fuzz.json`.
+//! table4 ablations inferbench trainbench fuzz serve. The microbenchmarks
+//! also record their measurements to `results/infer_bench.txt`,
+//! `results/train_bench.txt`, `results/BENCH_fuzz.json`, and
+//! `results/BENCH_serve.json`.
 //!
 //! `--model NAME[@VER]` (or a file path) runs the evaluation against a
 //! frozen model artifact from the registry instead of retraining the
@@ -30,7 +31,7 @@
 //! exists (missing file, stale format, zero/non-finite timings).
 
 use libra_bench::{
-    ablation, context, evaluation, fuzzbench, motivation, serving, study, trainbench,
+    ablation, context, evaluation, fuzzbench, motivation, servebench, serving, study, trainbench,
 };
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -51,6 +52,8 @@ struct Opts {
     vr_timelines: usize,
     bench_passes: usize,
     fuzz_budget: usize,
+    serve_requests: usize,
+    serve_shards: usize,
 }
 
 fn load_baseline() -> BTreeMap<String, f64> {
@@ -105,6 +108,8 @@ fn main() {
         vr_timelines: 50,
         bench_passes: 5,
         fuzz_budget: 48,
+        serve_requests: 1_000_000,
+        serve_shards: 4,
     };
     let mut wanted: Vec<String> = Vec::new();
     let mut quick = false;
@@ -134,6 +139,7 @@ fn main() {
                 opts.vr_timelines = 10;
                 opts.bench_passes = 2;
                 opts.fuzz_budget = 16;
+                opts.serve_requests = 50_000;
                 quick = true;
             }
             other => wanted.push(other.to_string()),
@@ -149,7 +155,7 @@ fn main() {
             "usage: experiments [--csv-dir DIR] [--threads N] [--trace] \
              [--model NAME[@VER]|PATH] \
              [all|quick|fig1..fig13|table1..table4|cv|crossbuilding|threeclass|ablations\
-             |inferbench|trainbench|fuzz]"
+             |inferbench|trainbench|fuzz|serve]"
         );
         std::process::exit(2);
     }
@@ -291,6 +297,11 @@ fn main() {
 
     // --- scenario fuzzing ---------------------------------------------------
     section("fuzz", &mut || fuzzbench::fuzz_bench(opts.fuzz_budget));
+
+    // --- decision service ---------------------------------------------------
+    section("serve", &mut || {
+        servebench::serve_bench(opts.serve_requests, opts.serve_shards)
+    });
 
     if sequential {
         store_baseline(&baseline.borrow());

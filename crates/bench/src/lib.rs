@@ -23,6 +23,7 @@
 //! | [`serving`] | inference microbenchmark: recursive vs flattened engine |
 //! | [`trainbench`] | training microbenchmark: row-oriented vs columnar fits |
 //! | [`fuzzbench`] | scenario fuzzing: bounded coverage-guided search + `BENCH_fuzz.json` |
+//! | [`servebench`] | decision service: sharded throughput + latency + `BENCH_serve.json` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +33,7 @@ pub mod context;
 pub mod evaluation;
 pub mod fuzzbench;
 pub mod motivation;
+pub mod servebench;
 pub mod serving;
 pub mod study;
 pub mod trainbench;

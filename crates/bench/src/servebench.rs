@@ -1,0 +1,197 @@
+//! Decision-service benchmark section: drives the sharded
+//! `libra-serve` subsystem with the deterministic load generator and
+//! reports sustained decisions/sec, the batch-size distribution, and
+//! submit-to-decision latency percentiles — written both as a
+//! human-readable table and as the machine-readable
+//! `results/BENCH_serve.json` record (ROADMAP item 2).
+//!
+//! Three passes, each measuring what the others would distort:
+//!
+//! 1. **Throughput** — untraced, full stream: the hot path never
+//!    touches a clock, so this is the honest decisions/sec figure.
+//! 2. **Replay invariance** — a capped prefix served at 1 shard and at
+//!    the benchmark shard count; the response digests must match
+//!    bitwise (the subsystem's core correctness contract).
+//! 3. **Latency** — traced, capped prefix: per-decision wall clocks
+//!    and the batch-rows histogram come from the `obs` report.
+
+use libra_fuzz::default_classifier;
+use libra_obs as obs;
+use libra_serve::{
+    generate_requests, response_digest, serve_all, LoadConfig, ServeConfig, ServedModel,
+};
+use libra_util::table::{fmt_f, TextTable};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where the machine-readable benchmark record lands.
+pub fn bench_path() -> std::path::PathBuf {
+    libra_util::paths::results_root().join("BENCH_serve.json")
+}
+
+/// Load-generator seed for the benchmark stream.
+const SEED: u64 = 0x5E27E;
+
+/// Stations in the benchmark stream (spreads work across shards).
+const STATIONS: u64 = 64;
+
+/// Prefix length used by the traced latency pass and the replay
+/// invariance check; both would only get slower, not more accurate,
+/// on the full stream.
+const CAPPED: usize = 20_000;
+
+/// Runs the three benchmark passes over a `requests`-long generated
+/// stream on `shards` shards and writes `results/BENCH_serve.json`.
+pub fn serve_bench(requests: usize, shards: usize) -> String {
+    let model = Arc::new(ServedModel::new(
+        "bench-default",
+        1,
+        default_classifier().clone(),
+    ));
+    let cfg = ServeConfig {
+        shards,
+        ..Default::default()
+    };
+    let stream = generate_requests(&LoadConfig {
+        requests,
+        stations: STATIONS,
+        seed: SEED,
+    });
+
+    // Pass 1: untraced throughput over the full stream.
+    let t0 = Instant::now();
+    let outcome = serve_all(&cfg, Arc::clone(&model), &stream);
+    let secs = t0.elapsed().as_secs_f64();
+    let digest = response_digest(&outcome.responses);
+    let dps = if secs > 0.0 {
+        outcome.responses.len() as f64 / secs
+    } else {
+        0.0
+    };
+
+    // Pass 2: replay invariance on a capped prefix — 1 shard vs the
+    // benchmark shape must produce the same digest.
+    let prefix = &stream[..CAPPED.min(stream.len())];
+    let one = serve_all(
+        &ServeConfig { shards: 1, ..cfg },
+        Arc::clone(&model),
+        prefix,
+    );
+    let many = serve_all(&cfg, Arc::clone(&model), prefix);
+    let invariant = response_digest(&one.responses) == response_digest(&many.responses);
+
+    // Pass 3: traced latency + batch-size distribution on the prefix.
+    let (_, report) = obs::with_scope(|| serve_all(&cfg, Arc::clone(&model), prefix));
+    let latency = report
+        .hist("serve.decision_ns")
+        .cloned()
+        .unwrap_or_default();
+    let batch_rows = report.hist("serve.batch_rows").cloned().unwrap_or_default();
+    let fallbacks = report.counter("serve.fallback");
+
+    let json = bench_json(
+        requests,
+        &cfg,
+        dps,
+        outcome.batches,
+        digest,
+        invariant,
+        &latency,
+        &batch_rows,
+    );
+    let path = bench_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+
+    let mut table = TextTable::new(["metric", "value"]);
+    table.row(["decisions/sec".into(), fmt_f(dps, 0)]);
+    table.row(["batches".into(), outcome.batches.to_string()]);
+    table.row(["batch rows (mean)".into(), fmt_f(batch_rows.mean(), 1)]);
+    table.row([
+        "batch rows (p50/max)".into(),
+        format!("{}/{}", batch_rows.percentile(0.50), batch_rows.max),
+    ]);
+    for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        table.row([
+            format!("decision latency {label}"),
+            format!("{:.1} us", latency.percentile(q) as f64 / 1e3),
+        ]);
+    }
+    table.row([
+        "replay digest 1 vs N shards".to_string(),
+        if invariant { "identical" } else { "MISMATCH" }.to_string(),
+    ]);
+    format!(
+        "Decision service (seed {SEED:#x}): {} requests, {} stations, {} shard(s), \
+         batch {}, {} fallback decisions\ndigest {digest:#018x}\n{}",
+        requests,
+        STATIONS,
+        cfg.shards,
+        cfg.max_batch,
+        fallbacks,
+        table.render()
+    )
+}
+
+/// Hand-rendered machine-readable record (the workspace has no JSON
+/// dependency by design).
+#[allow(clippy::too_many_arguments)]
+fn bench_json(
+    requests: usize,
+    cfg: &ServeConfig,
+    dps: f64,
+    batches: u64,
+    digest: u64,
+    invariant: bool,
+    latency: &obs::Hist,
+    batch_rows: &obs::Hist,
+) -> String {
+    format!(
+        "{{\n  \"bench\": \"serve\",\n  \"requests\": {requests},\n  \"shards\": {},\n  \
+         \"max_batch\": {},\n  \"seed\": \"{SEED:#x}\",\n  \"decisions_per_sec\": {dps:.2},\n  \
+         \"batches\": {batches},\n  \"digest\": \"{digest:#018x}\",\n  \
+         \"replay_invariant\": {invariant},\n  \"latency_ns\": {{ \"p50\": {}, \"p95\": {}, \
+         \"p99\": {}, \"mean\": {:.1}, \"samples\": {} }},\n  \"batch_rows\": {{ \"mean\": {:.2}, \
+         \"p50\": {}, \"max\": {}, \"batches\": {} }}\n}}\n",
+        cfg.shards,
+        cfg.max_batch,
+        latency.percentile(0.50),
+        latency.percentile(0.95),
+        latency.percentile(0.99),
+        latency.mean(),
+        latency.count,
+        batch_rows.mean(),
+        batch_rows.percentile(0.50),
+        batch_rows.max,
+        batch_rows.count,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let cfg = ServeConfig::default();
+        let json = bench_json(
+            1000,
+            &cfg,
+            12345.6,
+            16,
+            0xdead_beef,
+            true,
+            &obs::Hist::default(),
+            &obs::Hist::default(),
+        );
+        assert!(json.contains("\"bench\": \"serve\""));
+        assert!(json.contains("\"decisions_per_sec\": 12345.60"));
+        assert!(json.contains("\"digest\": \"0x00000000deadbeef\""));
+        assert!(json.contains("\"replay_invariant\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

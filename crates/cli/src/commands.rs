@@ -5,10 +5,11 @@ use libra::prelude::*;
 use libra::sim::run_policy_segment;
 use libra::{LinkState, PolicyKind, ScenarioType, SegmentData, SimConfig, TimelineConfig};
 use libra_dataset::{Features, GroundTruthParams, Instruments};
-use libra_infer::{ModelArtifact, ModelRegistry, ModelSpec};
+use libra_infer::{ModelArtifact, ModelRegistry, ModelSpec, RegistryWatcher};
 use libra_mac::{BaOverheadPreset, ProtocolParams};
 use libra_obs as obs;
 use libra_phy::McsTable;
+use libra_serve::{DecisionService, LoadConfig, ServeConfig, ServedModel};
 use libra_util::par::{par_map, par_map_index};
 use libra_util::rng::rng_from_seed;
 use libra_util::table::{fmt_f, TextTable};
@@ -77,9 +78,12 @@ fn dispatch(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
         ["models", "inspect"] => models_inspect(args, ctx),
         ["simulate"] => simulate(args, ctx),
         ["timeline"] => timeline(args, ctx),
+        ["serve"] => serve(args, ctx),
+        ["loadgen"] => loadgen(args, ctx),
         ["fuzz", "run"] => fuzz_run(args, ctx),
         ["fuzz", "replay"] => fuzz_replay(args, ctx),
         ["fuzz", "minimize"] => fuzz_minimize(args, ctx),
+        ["fuzz", "export"] => fuzz_export(args),
         ["info"] => info(args),
         [] => Ok(usage()),
         other => Err(ArgError(format!(
@@ -106,10 +110,15 @@ USAGE:
   libractl simulate         --model MODEL --dataset FILE [--ba-ms MS] [--fat-ms MS] [--flow-ms MS]
   libractl timeline         --model MODEL [--scenario mobility|blockage|interference|mixed]
                             [--timelines N] [--ba-ms MS] [--fat-ms MS] [--seed N]
+  libractl loadgen          --model MODEL [--requests N] [--stations N] [--seed N] [--shards N]
+                            [--batch N] [--record FILE | --no-record] [--watch]
+                            [--publish MODEL --publish-after N]
+  libractl serve            --model MODEL --requests FILE [--shards N] [--batch N]
   libractl fuzz run         [--budget N] [--seed N] [--batch N] [--keep-regret R] [--max-corpus N]
                             [--ba-ms MS] [--fat-ms MS] [--flow-ms MS] [--corpus DIR] [--model MODEL]
   libractl fuzz replay      [--corpus DIR] [--tolerance R] [--model MODEL]
   libractl fuzz minimize    --scenario NAME [--corpus DIR] [--out FILE] [--model MODEL]
+  libractl fuzz export      --into FILE [--top N] [--corpus DIR]
   libractl info
 
 Every command additionally accepts the shared flags:
@@ -131,7 +140,17 @@ decisions lose throughput vs Oracle-Data, persist the hard cases under
 the corpus directory (default results/corpus/, or the LIBRA_CORPUS_DIR
 environment variable), and replay them as a regression suite. Without
 --model they score the shared reduced-campaign classifier, so runs are
-reproducible from the seed alone.
+reproducible from the seed alone. `fuzz export` folds the worst-regret
+corpus scenarios into a campaign dataset for retraining.
+
+`loadgen` drives the sharded decision service with a deterministic
+synthetic request stream and records it (default
+results/serve_requests.bin) for bitwise-identical replay; `serve`
+replays a recorded stream. The response digest is identical at any
+--shards, --batch and --threads count. `--watch` polls the registry
+during the run and hot-swaps newly saved versions of MODEL in without
+pausing; `--publish MODEL2 --publish-after N` swaps MODEL2 in after the
+N-th request for a reproducible mid-run publication.
 "
     .to_string()
 }
@@ -504,6 +523,230 @@ fn timeline(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
     Ok(format!(
         "{n} {scenario:?} timelines, BA {ba_ms} ms, FAT {fat_ms} ms\n{}",
         t.render()
+    ))
+}
+
+/// Resolves a [`ModelRef`] into a [`ServedModel`] — the classifier
+/// plus the `name@version` identity responses are stamped with. File
+/// paths serve as version 1 under the artifact's name (legacy raw
+/// models under the file stem); registry references keep the version
+/// they resolve to.
+fn load_served(model: &ModelRef, registry: &ModelRegistry) -> Result<ServedModel, ArgError> {
+    let reference = model.as_str();
+    let path = std::path::Path::new(reference);
+    if path.is_file() {
+        return match ModelArtifact::read(path) {
+            Ok(art) => ServedModel::from_artifact(&art, 1).map_err(|e| ArgError(e.to_string())),
+            // Not an artifact: fall back to the legacy binary format.
+            Err(libra_infer::Error::BadMagic) => {
+                let clf = LibraClassifier::load(path).map_err(|e| ArgError(e.to_string()))?;
+                let name = path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "model".to_string());
+                Ok(ServedModel::new(name, 1, clf))
+            }
+            Err(e) => Err(ArgError(e.to_string())),
+        };
+    }
+    let spec = ModelSpec::parse(reference)
+        .map_err(|e| ArgError(format!("--model {reference}: not a file, and {e}")))?;
+    let (version, artifact) = registry.load(&spec).map_err(|e| ArgError(e.to_string()))?;
+    ServedModel::from_artifact(&artifact, version).map_err(|e| ArgError(e.to_string()))
+}
+
+/// How often `loadgen --watch` polls the registry, in submissions.
+/// Steady-state polls are one latest-pointer read, so this is cheap;
+/// it only bounds how stale a freshly saved version can be.
+const WATCH_POLL_EVERY: usize = 4096;
+
+fn serve(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
+    let model = ModelRef::take(args)?;
+    let requests_path = args.req("requests")?;
+    let shards: usize = args.opt_parse("shards", 4)?;
+    let batch: usize = args.opt_parse("batch", 64)?;
+    args.finish()?;
+    if shards == 0 || batch == 0 {
+        return Err(ArgError("--shards and --batch must be at least 1".into()));
+    }
+
+    let served = std::sync::Arc::new(load_served(&model, &ctx.registry)?);
+    let identity = format!("{}@{}", served.name, served.version);
+    let requests =
+        libra_serve::load_requests(std::path::Path::new(&requests_path)).map_err(ArgError)?;
+
+    let cfg = ServeConfig {
+        shards,
+        max_batch: batch,
+        ..Default::default()
+    };
+    let start = std::time::Instant::now();
+    let outcome = libra_serve::serve_all(&cfg, served, &requests);
+    let elapsed = start.elapsed().as_secs_f64();
+    let digest = libra_serve::response_digest(&outcome.responses);
+    let dps = outcome.responses.len() as f64 / elapsed.max(1e-9);
+    // `digest 0x…` is a stable machine-readable line: CI replays a
+    // recording at two shard counts and compares these tokens.
+    Ok(format!(
+        "served {} requests with {identity} on {shards} shard(s), batch {batch}: \
+         {dps:.0} decisions/s over {} batches\ndigest {digest:#018x}\n",
+        outcome.responses.len(),
+        outcome.batches,
+    ))
+}
+
+fn loadgen(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
+    let model = ModelRef::take(args)?;
+    let n_requests: usize = args.opt_parse("requests", 100_000)?;
+    let stations: u64 = args.opt_parse("stations", 64)?;
+    let seed: u64 = args.opt_parse("seed", 0x5E27E)?;
+    let shards: usize = args.opt_parse("shards", 4)?;
+    let batch: usize = args.opt_parse("batch", 64)?;
+    let record = args.opt("record");
+    let no_record = args.switch("no-record");
+    let watch = args.switch("watch");
+    let publish = args.opt("publish");
+    let publish_after: usize = args.opt_parse("publish-after", n_requests / 2)?;
+    args.finish()?;
+    if shards == 0 || batch == 0 {
+        return Err(ArgError("--shards and --batch must be at least 1".into()));
+    }
+    if record.is_some() && no_record {
+        return Err(ArgError("--record and --no-record conflict".into()));
+    }
+
+    let served = std::sync::Arc::new(load_served(&model, &ctx.registry)?);
+    let identity = format!("{}@{}", served.name, served.version);
+    let second = match &publish {
+        Some(reference) => Some(std::sync::Arc::new(load_served(
+            &ModelRef(reference.clone()),
+            &ctx.registry,
+        )?)),
+        None => None,
+    };
+    // The watcher starts at the version we just loaded, so it reports
+    // only publications that happen *during* the run.
+    let mut watcher = if watch {
+        let spec = ModelSpec::parse(model.as_str())
+            .map_err(|e| ArgError(format!("--watch needs a registry --model: {e}")))?;
+        Some(
+            RegistryWatcher::starting_at(ctx.registry.clone(), &spec.name, served.version)
+                .map_err(|e| ArgError(e.to_string()))?,
+        )
+    } else {
+        None
+    };
+
+    let requests = libra_serve::generate_requests(&LoadConfig {
+        requests: n_requests,
+        stations,
+        seed,
+    });
+    let record_line = if no_record {
+        "record: disabled (--no-record)".to_string()
+    } else {
+        let path = record
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(libra_serve::default_record_path);
+        libra_serve::save_requests(&path, &requests).map_err(ArgError)?;
+        format!("record: wrote {} ({n_requests} requests)", path.display())
+    };
+
+    let cfg = ServeConfig {
+        shards,
+        max_batch: batch,
+        ..Default::default()
+    };
+    let service = DecisionService::start(&cfg, served);
+    let mut swaps: Vec<String> = Vec::new();
+    let start = std::time::Instant::now();
+    for (i, &request) in requests.iter().enumerate() {
+        if let Some(second) = &second {
+            if i == publish_after {
+                let epoch = service.publish(std::sync::Arc::clone(second));
+                swaps.push(format!(
+                    "published {}@{} at request {i} (epoch {epoch})",
+                    second.name, second.version
+                ));
+            }
+        }
+        if let Some(watcher) = watcher.as_mut() {
+            if i % WATCH_POLL_EVERY == 0 {
+                if let Some((version, artifact)) =
+                    watcher.poll().map_err(|e| ArgError(e.to_string()))?
+                {
+                    let fresh = ServedModel::from_artifact(&artifact, version)
+                        .map_err(|e| ArgError(e.to_string()))?;
+                    let epoch = service.publish(std::sync::Arc::new(fresh));
+                    swaps.push(format!(
+                        "watch: picked up {}@{version} at request {i} (epoch {epoch})",
+                        watcher.name()
+                    ));
+                }
+            }
+        }
+        service.submit(request);
+    }
+    let outcome = service.finish();
+    let elapsed = start.elapsed().as_secs_f64();
+    let digest = libra_serve::response_digest(&outcome.responses);
+    let dps = outcome.responses.len() as f64 / elapsed.max(1e-9);
+
+    let mut versions: Vec<u32> = outcome.responses.iter().map(|r| r.model_version).collect();
+    versions.sort_unstable();
+    versions.dedup();
+    let versions = versions
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let mut out =
+        format!("generated {n_requests} requests ({stations} stations, seed {seed:#x})\n");
+    out.push_str(&record_line);
+    out.push('\n');
+    for swap in &swaps {
+        out.push_str(swap);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "served with {identity} on {shards} shard(s), batch {batch}: \
+         {dps:.0} decisions/s over {} batches, versions {versions}\ndigest {digest:#018x}\n",
+        outcome.batches,
+    ));
+    Ok(out)
+}
+
+fn fuzz_export(args: &mut Args) -> Result<String, ArgError> {
+    let into = args.req("into")?;
+    let top: usize = args.opt_parse("top", 8)?;
+    let corpus_dir = fuzz_corpus_dir(args);
+    args.finish()?;
+
+    let entries = libra_fuzz::load_corpus(&corpus_dir).map_err(ArgError)?;
+    if entries.is_empty() {
+        return Err(ArgError(format!(
+            "no corpus entries under {} — run `libractl fuzz run` first",
+            corpus_dir.display()
+        )));
+    }
+    let path = std::path::Path::new(&into);
+    let mut dataset = if path.is_file() {
+        CampaignDataset::load(path).map_err(|e| ArgError(e.to_string()))?
+    } else {
+        CampaignDataset {
+            entries: Vec::new(),
+            na_entries: Vec::new(),
+        }
+    };
+    let before = dataset.entries.len() + dataset.na_entries.len();
+    let added = libra_fuzz::export_to_campaign(&entries, top, &mut dataset);
+    dataset.save(path).map_err(|e| ArgError(e.to_string()))?;
+    Ok(format!(
+        "exported top {} of {} corpus scenarios into {into}: +{added} rows ({before} -> {} total)\n",
+        top.min(entries.len()),
+        entries.len(),
+        before + added,
     ))
 }
 
@@ -947,7 +1190,172 @@ mod tests {
             run_words(&["fuzz", "minimize", "--scenario", &name, "--corpus", corpus]).unwrap();
         assert!(out.contains("max regret"), "{out}");
 
+        // Export the worst offenders into a campaign dataset; a second
+        // export of the same corpus adds nothing (idempotent by name).
+        let campaign = dir.join("campaign.bin");
+        let campaign = campaign.to_str().unwrap();
+        let out = run_words(&[
+            "fuzz", "export", "--into", campaign, "--top", "2", "--corpus", corpus,
+        ])
+        .unwrap();
+        assert!(out.contains("exported top"), "{out}");
+        assert!(!out.contains("+0 rows"), "{out}");
+        let out = run_words(&[
+            "fuzz", "export", "--into", campaign, "--top", "2", "--corpus", corpus,
+        ])
+        .unwrap();
+        assert!(out.contains("+0 rows"), "{out}");
+        // The folded dataset is a normal campaign dataset.
+        let out = run_words(&["dataset", "summary", "--input", campaign]).unwrap();
+        assert!(out.contains("Overall"), "{out}");
+
         std::env::remove_var(libra_util::paths::RESULTS_DIR_ENV);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The `digest 0x…` machine-readable token both serving commands
+    /// print (what CI compares across shard counts).
+    fn digest_token(out: &str) -> String {
+        out.lines()
+            .find(|l| l.starts_with("digest 0x"))
+            .unwrap_or_else(|| panic!("no digest line in {out}"))
+            .to_string()
+    }
+
+    #[test]
+    fn loadgen_record_then_serve_replays_identically() {
+        let dir = std::env::temp_dir().join("libractl-serve-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = dir.join("testing.bin");
+        let rec = dir.join("rec.bin");
+        let rec = rec.to_str().unwrap();
+        let models = dir.join("models");
+        let models = models.to_str().unwrap();
+
+        run_words(&[
+            "dataset",
+            "generate",
+            "--plan",
+            "testing",
+            "--out",
+            ds.to_str().unwrap(),
+            "--repeats",
+            "1",
+        ])
+        .unwrap();
+        // Two registry versions: v2 is the hot-swap target.
+        for _ in 0..2 {
+            run_words(&[
+                "train",
+                "--dataset",
+                ds.to_str().unwrap(),
+                "--save",
+                "serve-model",
+                "--models-dir",
+                models,
+            ])
+            .unwrap();
+        }
+
+        let out = run_words(&[
+            "loadgen",
+            "--model",
+            "serve-model@1",
+            "--requests",
+            "600",
+            "--stations",
+            "16",
+            "--seed",
+            "9",
+            "--shards",
+            "2",
+            "--batch",
+            "16",
+            "--record",
+            rec,
+            "--models-dir",
+            models,
+        ])
+        .unwrap();
+        assert!(out.contains("record: wrote"), "{out}");
+        assert!(out.contains("versions 1"), "{out}");
+        let live = digest_token(&out);
+
+        // Replaying the recording reproduces the digest at any shape.
+        let replay_one = run_words(&[
+            "serve",
+            "--model",
+            "serve-model@1",
+            "--requests",
+            rec,
+            "--shards",
+            "1",
+            "--batch",
+            "5",
+            "--models-dir",
+            models,
+        ])
+        .unwrap();
+        let replay_seven = run_words(&[
+            "serve",
+            "--model",
+            "serve-model@1",
+            "--requests",
+            rec,
+            "--shards",
+            "7",
+            "--batch",
+            "64",
+            "--models-dir",
+            models,
+        ])
+        .unwrap();
+        assert_eq!(live, digest_token(&replay_one));
+        assert_eq!(live, digest_token(&replay_seven));
+
+        // A reproducible mid-run publication: v2 goes live at request
+        // 300 and both versions answer.
+        let out = run_words(&[
+            "loadgen",
+            "--model",
+            "serve-model@1",
+            "--publish",
+            "serve-model@2",
+            "--publish-after",
+            "300",
+            "--requests",
+            "600",
+            "--stations",
+            "16",
+            "--seed",
+            "9",
+            "--no-record",
+            "--models-dir",
+            models,
+        ])
+        .unwrap();
+        assert!(
+            out.contains("published serve-model@2 at request 300"),
+            "{out}"
+        );
+        assert!(out.contains("versions 1,2"), "{out}");
+        assert!(out.contains("record: disabled"), "{out}");
+
+        // Flag validation: conflicting record flags are rejected.
+        let err = run_words(&[
+            "loadgen",
+            "--model",
+            "serve-model@1",
+            "--record",
+            rec,
+            "--no-record",
+            "--models-dir",
+            models,
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("conflict"), "{err}");
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -225,50 +225,6 @@ impl LibraClassifier {
         decision
     }
 
-    /// Classifies an observation-window feature vector.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `decide` with `DecidePolicy::model_only()`"
-    )]
-    pub fn classify(&self, features: &Features) -> Action3 {
-        self.decide(features, &DecidePolicy::model_only()).action
-    }
-
-    /// Classifies and reports the forest's confidence (the vote share of
-    /// the winning class).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `decide` with `DecidePolicy::model_only()`"
-    )]
-    pub fn classify_proba(&self, features: &Features) -> (Action3, f64) {
-        let d = self.decide(features, &DecidePolicy::model_only());
-        (d.action, d.proba)
-    }
-
-    /// Confidence-gated classification (extension).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `decide` with `DecidePolicy::confidence_gate`"
-    )]
-    pub fn classify_gated(
-        &self,
-        features: &Features,
-        threshold: f64,
-        current_mcs: usize,
-        ba_overhead_ms: f64,
-    ) -> Action3 {
-        self.decide(
-            features,
-            &DecidePolicy {
-                current_mcs,
-                ba_overhead_ms,
-                confidence_gate: Some(threshold),
-                ack_missing: false,
-            },
-        )
-        .action
-    }
-
     /// The missing-ACK fallback rule (§7).
     pub fn fallback(&self, current_mcs: usize, ba_overhead_ms: f64) -> Action3 {
         if current_mcs < self.fallback_mcs_threshold
@@ -434,30 +390,6 @@ mod tests {
         );
         assert!(!open.gated);
         assert_eq!(open.action, base.action);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_decide() {
-        let mut rng = rng_from_seed(10);
-        let clf = LibraClassifier::train(&tiny_3class(), &mut rng);
-        let features = feat([4.2, -10.0, 0.3, 0.97, 0.9, 0.2, 6.0]);
-        let d = clf.decide(&features, &DecidePolicy::model_only());
-        assert_eq!(clf.classify(&features), d.action);
-        assert_eq!(clf.classify_proba(&features), (d.action, d.proba));
-        assert_eq!(
-            clf.classify_gated(&features, 0.99, 7, 250.0),
-            clf.decide(
-                &features,
-                &DecidePolicy {
-                    current_mcs: 7,
-                    ba_overhead_ms: 250.0,
-                    confidence_gate: Some(0.99),
-                    ack_missing: false,
-                },
-            )
-            .action
-        );
     }
 
     #[test]

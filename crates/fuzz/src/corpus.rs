@@ -16,11 +16,12 @@
 use crate::engine::{score_spec, EvalParams};
 use libra::regret::{CoverageKey, RegretReport};
 use libra::LibraClassifier;
-use libra_dataset::ScenarioSpec;
+use libra_dataset::{generate, CampaignConfig, CampaignDataset, Instruments, ScenarioSpec};
 use libra_obs as obs;
 use libra_util::binser;
 use libra_util::par::par_map;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::path::Path;
 
 /// One stored hard case.
@@ -155,6 +156,68 @@ pub fn minimize(entry: &CorpusEntry, clf: &LibraClassifier) -> CorpusEntry {
     CorpusEntry::new(spec, entry.fuzz_seed, entry.eval, &report)
 }
 
+/// Folds the `top` worst-regret corpus scenarios into a campaign
+/// dataset — the hard cases become training data, closing the fuzzing
+/// loop (ROADMAP item 5).
+///
+/// Each exported scenario's dataset is regenerated from its recorded
+/// `(fuzz_seed, spec)` — exactly the evaluation stream regret was
+/// measured under, so the model trains on the same observations it got
+/// wrong. Scenarios whose name already appears in `dataset` are
+/// skipped, making repeated exports idempotent. Returns the number of
+/// rows (entries + NA twins) appended; regeneration runs in parallel
+/// and rows append in worst-regret order, so the grown dataset is
+/// deterministic.
+pub fn export_to_campaign(
+    entries: &[CorpusEntry],
+    top: usize,
+    dataset: &mut CampaignDataset,
+) -> usize {
+    let _span = obs::span("fuzz.export");
+    let mut sorted: Vec<&CorpusEntry> = entries.iter().collect();
+    sorted.sort_by(|a, b| {
+        b.max_regret
+            .partial_cmp(&a.max_regret)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.spec.name.cmp(&b.spec.name))
+    });
+    sorted.truncate(top);
+
+    let present: BTreeSet<&str> = dataset
+        .entries
+        .iter()
+        .chain(dataset.na_entries.iter())
+        .map(|e| e.scenario.as_str())
+        .collect();
+    let fresh: Vec<&CorpusEntry> = sorted
+        .into_iter()
+        .filter(|e| !present.contains(e.spec.name.as_str()))
+        .collect();
+
+    let regenerated: Vec<CampaignDataset> = par_map(&fresh, |_, entry| {
+        let cfg = CampaignConfig {
+            seed: entry.fuzz_seed,
+            instruments: Instruments {
+                trace_frames: entry.eval.trace_frames,
+                ..Instruments::default()
+            },
+            repeats: entry.eval.repeats,
+        };
+        generate(std::slice::from_ref(&entry.spec), &cfg)
+    });
+    let mut added = 0usize;
+    for ds in regenerated {
+        added += ds.entries.len() + ds.na_entries.len();
+        obs::counter(
+            "fuzz.export.rows",
+            (ds.entries.len() + ds.na_entries.len()) as u64,
+        );
+        dataset.entries.extend(ds.entries);
+        dataset.na_entries.extend(ds.na_entries);
+    }
+    added
+}
+
 /// Writes the corpus: one `.scenario` file per entry plus the manifest.
 pub fn save_corpus(dir: &Path, entries: &[CorpusEntry]) -> Result<(), String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
@@ -248,6 +311,45 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].stored_digest, rows[0].replayed_digest);
         assert!(!rows[0].worsened);
+    }
+
+    #[test]
+    fn export_appends_regenerated_rows_idempotently() {
+        let entry = one_entry();
+        let mut dataset = CampaignDataset {
+            entries: Vec::new(),
+            na_entries: Vec::new(),
+        };
+        let added = export_to_campaign(std::slice::from_ref(&entry), 8, &mut dataset);
+        assert!(added > 0, "export produced no rows");
+        assert_eq!(dataset.entries.len() + dataset.na_entries.len(), added);
+        assert!(dataset
+            .entries
+            .iter()
+            .all(|e| e.scenario == "hard-lobby-crowd"));
+
+        // The regenerated rows are exactly the stream regret was scored
+        // under.
+        let direct = generate(
+            std::slice::from_ref(&entry.spec),
+            &CampaignConfig {
+                seed: entry.fuzz_seed,
+                instruments: Instruments {
+                    trace_frames: entry.eval.trace_frames,
+                    ..Instruments::default()
+                },
+                repeats: entry.eval.repeats,
+            },
+        );
+        assert_eq!(
+            binser::to_bytes(&dataset.entries).unwrap(),
+            binser::to_bytes(&direct.entries).unwrap()
+        );
+
+        // Exporting again is a no-op: the scenario is already present.
+        let again = export_to_campaign(std::slice::from_ref(&entry), 8, &mut dataset);
+        assert_eq!(again, 0);
+        assert_eq!(dataset.entries.len() + dataset.na_entries.len(), added);
     }
 
     #[test]

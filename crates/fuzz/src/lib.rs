@@ -21,7 +21,8 @@
 //!   `manifest.json`) and double as a regression suite: `replay`
 //!   re-simulates every stored scenario and checks regret has not
 //!   worsened; `minimize` greedily shrinks a scenario while preserving
-//!   its worst-case regret.
+//!   its worst-case regret; `export_to_campaign` folds the worst
+//!   offenders back into a training campaign dataset.
 //! * [`seeds`] — the seed pool (trimmed campaign plans), the
 //!   hand-picked hard-case mini corpus, and the shared small classifier.
 //!
@@ -40,7 +41,8 @@ pub mod mutate;
 pub mod seeds;
 
 pub use corpus::{
-    load_corpus, manifest_json, minimize, replay, save_corpus, CorpusEntry, ReplayRow,
+    export_to_campaign, load_corpus, manifest_json, minimize, replay, save_corpus, CorpusEntry,
+    ReplayRow,
 };
 pub use engine::{
     bench_json, run_fuzz, score_spec, EvalParams, FuzzConfig, FuzzOutcome, FuzzStats,

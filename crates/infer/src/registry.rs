@@ -246,6 +246,77 @@ impl ModelRegistry {
     }
 }
 
+/// Polls a registry name for new versions — the publish hook a serving
+/// process uses to pick up models saved mid-traffic.
+///
+/// The watcher remembers the last version it reported and returns a
+/// loaded artifact only when the resolved version *changes*, so callers
+/// can poll cheaply on every batch boundary: steady state is one
+/// latest-pointer read, no artifact I/O.
+#[derive(Debug)]
+pub struct RegistryWatcher {
+    registry: ModelRegistry,
+    spec: ModelSpec,
+    seen: Option<u32>,
+}
+
+impl RegistryWatcher {
+    /// Watches `name` (always following the latest-pointer) in `registry`.
+    pub fn new(registry: ModelRegistry, name: &str) -> Result<Self, Error> {
+        check_name(name)?;
+        Ok(Self {
+            registry,
+            spec: ModelSpec {
+                name: name.to_string(),
+                version: None,
+            },
+            seen: None,
+        })
+    }
+
+    /// Watches `name` with `version` already marked seen — the
+    /// constructor for a service that loaded `version` itself and only
+    /// wants to hear about *newer* publications.
+    pub fn starting_at(registry: ModelRegistry, name: &str, version: u32) -> Result<Self, Error> {
+        let mut watcher = Self::new(registry, name)?;
+        watcher.seen = Some(version);
+        Ok(watcher)
+    }
+
+    /// Name being watched.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Version last reported by [`poll`](Self::poll), if any.
+    pub fn seen(&self) -> Option<u32> {
+        self.seen
+    }
+
+    /// Returns the newly published `(version, artifact)` when the
+    /// latest version differs from the last one reported; `Ok(None)`
+    /// while nothing changed (including while the model does not exist
+    /// yet — a watcher may start before the first save).
+    pub fn poll(&mut self) -> Result<Option<(u32, ModelArtifact)>, Error> {
+        let version = match self.registry.latest(&self.spec.name)? {
+            Some(v) => v,
+            None => match self.registry.versions(&self.spec.name)?.last().copied() {
+                Some(v) => v,
+                None => return Ok(None),
+            },
+        };
+        if self.seen == Some(version) {
+            return Ok(None);
+        }
+        let (loaded_version, artifact) = self.registry.load(&ModelSpec {
+            name: self.spec.name.clone(),
+            version: Some(version),
+        })?;
+        self.seen = Some(loaded_version);
+        Ok(Some((loaded_version, artifact)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +430,32 @@ mod tests {
             reg.load(&ModelSpec::parse("nope").unwrap()),
             Err(Error::Registry(_))
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watcher_reports_only_version_changes() {
+        let dir = tmpdir("watch");
+        let reg = ModelRegistry::open(&dir);
+        let mut watcher = RegistryWatcher::new(reg.clone(), "m").unwrap();
+
+        // Nothing saved yet: quiet, not an error.
+        assert!(watcher.poll().unwrap().is_none());
+        assert_eq!(watcher.seen(), None);
+
+        reg.save("m", &artifact(1)).unwrap();
+        let (v, _) = watcher.poll().unwrap().expect("first version visible");
+        assert_eq!(v, 1);
+        // Unchanged registry: steady-state polls stay quiet.
+        assert!(watcher.poll().unwrap().is_none());
+        assert!(watcher.poll().unwrap().is_none());
+
+        reg.save("m", &artifact(2)).unwrap();
+        let (v, a) = watcher.poll().unwrap().expect("new version visible");
+        assert_eq!(v, 2);
+        assert_eq!(a, artifact(2));
+        assert_eq!(watcher.seen(), Some(2));
+        assert!(watcher.poll().unwrap().is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

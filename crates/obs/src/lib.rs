@@ -207,6 +207,21 @@ pub fn with_scope<R>(f: impl FnOnce() -> R) -> (R, Report) {
     (result, delta)
 }
 
+/// Folds an externally collected delta [`Report`] into the calling
+/// thread's innermost live frame (no-op when collection is disabled).
+///
+/// This is how a subsystem that owns long-lived worker threads — e.g.
+/// the serving shards, whose lifetime spans many `with_scope` calls —
+/// hands the observations those threads collected back to the thread
+/// that owns the enclosing scope. Callers must merge in a fixed order
+/// (shard index) so the folded report is deterministic.
+pub fn merge_report(report: &Report) {
+    if !enabled() {
+        return;
+    }
+    with_top(|frame| frame.merge_from(report));
+}
+
 /// Drains and returns this thread's root report (everything observed on
 /// this thread — plus everything merged back from `par_map` workers —
 /// since the last drain).
@@ -318,6 +333,14 @@ fn bucket_upper(i: usize) -> u64 {
         u64::MAX
     } else {
         (1u64 << i) - 1
+    }
+}
+
+impl Default for Hist {
+    /// An empty `Value` histogram — the fallback for a report that
+    /// never recorded under a name.
+    fn default() -> Self {
+        Self::new(HistKind::Value)
     }
 }
 

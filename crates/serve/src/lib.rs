@@ -1,0 +1,54 @@
+//! # libra-serve
+//!
+//! The long-running decision service on top of `LibraClassifier` and
+//! the `ModelRegistry` (ROADMAP item 2): LiBRA as a production serving
+//! system rather than a batch evaluator.
+//!
+//! * [`request`] — the wire types: a [`DecisionRequest`] per
+//!   observation window, the [`DecisionResponse`] it produces, the
+//!   recorded request-stream format (`results/serve_requests.bin`,
+//!   `binser`-encoded) and the shard-count-invariant
+//!   [`response_digest`].
+//! * [`model`] — epoch-based model publication: a [`ModelCell`] holds
+//!   the current [`ServedModel`] behind an atomic epoch; shards cache
+//!   an `Arc` per batch via [`ModelHandle`], so the steady-state hot
+//!   path is one atomic load per batch — no locks — and a new
+//!   `name@version` goes live mid-traffic without pausing or tearing a
+//!   batch (every batch is classified by exactly one model version).
+//! * [`service`] — the [`DecisionService`]: N worker shards keyed by
+//!   station id (the stable `libra_util::checksum::shard_of` hash),
+//!   each batching incoming requests into the zero-copy
+//!   `predict_batch_view` columnar path and reporting per-shard `obs`
+//!   deltas merged back in shard order.
+//! * [`loadgen`] — the deterministic synthetic load generator: derived
+//!   RNG streams per fixed-size chunk under the `libra_util::par`
+//!   contract, so the generated stream is bitwise identical at any
+//!   thread count and replays identically at any shard count.
+//!
+//! The shard/dispatch layer is classifier-agnostic by construction: it
+//! only needs a row-batched `classify` of feature rows plus the §7
+//! fallback rule, both reached through [`ServedModel`] — a future DRL
+//! policy slots behind the same surface.
+//!
+//! Determinism contract: `response_digest` of a served stream is a pure
+//! function of `(requests, model)` — independent of shard count, batch
+//! size, thread scheduling and tracing — because rows are classified
+//! independently and the digest folds responses in submission (`seq`)
+//! order. Batch *composition* (sizes, per-shard ordinals) is a pure
+//! function of `(requests, shards, max_batch)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod model;
+pub mod request;
+pub mod service;
+
+pub use loadgen::{generate_requests, LoadConfig};
+pub use model::{ModelCell, ModelHandle, ServedModel};
+pub use request::{
+    default_record_path, load_requests, response_digest, save_requests, DecisionRequest,
+    DecisionResponse,
+};
+pub use service::{serve_all, DecisionService, ServeConfig, ServeOutcome};

@@ -1,0 +1,200 @@
+//! Epoch-based model publication — hot swap without locks on the hot
+//! path and without torn batches.
+//!
+//! The design splits the cost asymmetrically, exactly like a
+//! double-buffered channel: *publishing* a model (rare — once per
+//! retrain) takes a mutex; *checking* for one (every batch boundary on
+//! every shard) is a single atomic epoch load. A shard holds its model
+//! through a [`ModelHandle`] that caches `(epoch, Arc<ServedModel>)`
+//! and re-reads the slot under the mutex only when the epoch moved.
+//! Because a shard refreshes only *between* batches and a batch is
+//! classified entirely through one cached `Arc`, a publication can
+//! never tear a batch: every response is attributable to exactly one
+//! model version.
+
+use libra::LibraClassifier;
+use libra_infer::{Error, ModelArtifact};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One published model version: the compiled classifier plus the
+/// registry identity every response is stamped with.
+#[derive(Debug, Clone)]
+pub struct ServedModel {
+    /// Registry name (`ba-forest` in `ba-forest@3`).
+    pub name: String,
+    /// Registry version (`3` in `ba-forest@3`).
+    pub version: u32,
+    /// The compiled decision engine.
+    pub classifier: LibraClassifier,
+}
+
+impl ServedModel {
+    /// Wraps an already-built classifier under a registry identity.
+    pub fn new(name: impl Into<String>, version: u32, classifier: LibraClassifier) -> Self {
+        Self {
+            name: name.into(),
+            version,
+            classifier,
+        }
+    }
+
+    /// Compiles a registry artifact into its servable form. `version`
+    /// is the registry version the artifact was resolved at (artifacts
+    /// themselves are version-agnostic bytes).
+    pub fn from_artifact(artifact: &ModelArtifact, version: u32) -> Result<Self, Error> {
+        Ok(Self {
+            name: artifact.meta.name.clone(),
+            version,
+            classifier: LibraClassifier::from_artifact(artifact)?,
+        })
+    }
+}
+
+/// The publication cell shared by all shards.
+///
+/// Epoch 1 is the model the service started with; every
+/// [`publish`](Self::publish) bumps it. The epoch is read with
+/// `Acquire` and bumped under the slot mutex, so a reader that observes
+/// a new epoch and takes the mutex always finds the matching (or a
+/// newer) model — never an older one.
+#[derive(Debug)]
+pub struct ModelCell {
+    epoch: AtomicU64,
+    slot: Mutex<Arc<ServedModel>>,
+}
+
+impl ModelCell {
+    /// Creates the cell holding the initial model (epoch 1).
+    pub fn new(model: Arc<ServedModel>) -> Self {
+        Self {
+            epoch: AtomicU64::new(1),
+            slot: Mutex::new(model),
+        }
+    }
+
+    /// Current publication epoch — the lock-free fast-path probe.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Reads the current `(epoch, model)` pair (slow path: takes the
+    /// slot mutex; shards call this only when the epoch moved).
+    pub fn load(&self) -> (u64, Arc<ServedModel>) {
+        let slot = self.slot.lock().expect("model slot poisoned");
+        (self.epoch.load(Ordering::Acquire), Arc::clone(&slot))
+    }
+
+    /// Publishes a new model and returns the new epoch. In-flight
+    /// batches keep their own `Arc` and finish on the old version;
+    /// every batch *started* after this returns is classified by the
+    /// new one.
+    pub fn publish(&self, model: Arc<ServedModel>) -> u64 {
+        let mut slot = self.slot.lock().expect("model slot poisoned");
+        *slot = model;
+        self.epoch.fetch_add(1, Ordering::Release) + 1
+    }
+}
+
+/// One shard's cached view of the [`ModelCell`].
+#[derive(Debug)]
+pub struct ModelHandle {
+    cell: Arc<ModelCell>,
+    epoch: u64,
+    model: Arc<ServedModel>,
+}
+
+impl ModelHandle {
+    /// Caches the cell's current model.
+    pub fn new(cell: Arc<ModelCell>) -> Self {
+        let (epoch, model) = cell.load();
+        Self { cell, epoch, model }
+    }
+
+    /// Re-reads the cell if the epoch moved since the last look.
+    /// Returns true when the cached model changed. The steady-state
+    /// cost — called once per batch boundary — is one atomic load.
+    pub fn refresh(&mut self) -> bool {
+        if self.cell.epoch() == self.epoch {
+            return false;
+        }
+        let (epoch, model) = self.cell.load();
+        self.epoch = epoch;
+        self.model = model;
+        true
+    }
+
+    /// The cached model. Stable for as long as the caller holds off on
+    /// [`refresh`](Self::refresh) — the torn-batch guarantee.
+    pub fn model(&self) -> &ServedModel {
+        &self.model
+    }
+
+    /// Epoch of the cached model.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_dataset::FEATURE_NAMES;
+    use libra_util::rng::rng_from_seed;
+
+    /// A deliberately tiny classifier — enough structure to serve, fast
+    /// enough to train in-test.
+    fn tiny_model(version: u32) -> Arc<ServedModel> {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60usize {
+            let c = i % 3;
+            let mut row = vec![0.0; FEATURE_NAMES.len()];
+            row[0] = c as f64 * 8.0 + (i % 5) as f64 * 0.1;
+            row[5] = 1.0 - c as f64 * 0.3;
+            features.push(row);
+            labels.push(c);
+        }
+        let names = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+        let data = libra_ml::Dataset::new(features, labels, 3, names);
+        let mut rng = rng_from_seed(7 + version as u64);
+        let clf = LibraClassifier::train(&data, &mut rng);
+        Arc::new(ServedModel::new("tiny", version, clf))
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_swaps_model() {
+        let cell = ModelCell::new(tiny_model(1));
+        assert_eq!(cell.epoch(), 1);
+        assert_eq!(cell.load().1.version, 1);
+        assert_eq!(cell.publish(tiny_model(2)), 2);
+        assert_eq!(cell.epoch(), 2);
+        let (epoch, model) = cell.load();
+        assert_eq!((epoch, model.version), (2, 2));
+    }
+
+    #[test]
+    fn handle_holds_version_until_refresh() {
+        let cell = Arc::new(ModelCell::new(tiny_model(1)));
+        let mut handle = ModelHandle::new(Arc::clone(&cell));
+        assert_eq!(handle.model().version, 1);
+        assert!(!handle.refresh(), "no publish, no change");
+
+        cell.publish(tiny_model(2));
+        // The cached Arc is untouched until the holder asks — this is
+        // exactly what keeps an in-flight batch on one version.
+        assert_eq!(handle.model().version, 1);
+        assert!(handle.refresh());
+        assert_eq!((handle.epoch(), handle.model().version), (2, 2));
+        assert!(!handle.refresh());
+    }
+
+    #[test]
+    fn from_artifact_carries_registry_identity() {
+        let served = tiny_model(1);
+        let artifact = served.classifier.to_artifact("tiny", 7, 60, "");
+        let rebuilt = ServedModel::from_artifact(&artifact, 3).unwrap();
+        assert_eq!(rebuilt.name, "tiny");
+        assert_eq!(rebuilt.version, 3);
+    }
+}

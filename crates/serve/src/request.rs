@@ -1,0 +1,165 @@
+//! Wire types, the recorded request-stream format, and the response
+//! digest.
+//!
+//! A recorded stream is the replay contract of the whole subsystem: the
+//! load generator writes `Vec<DecisionRequest>` through `binser` to
+//! `results/serve_requests.bin`, and any later `libractl serve` run —
+//! at any shard count, batch size or thread count — must reproduce the
+//! exact same [`response_digest`] for the same model. The digest
+//! therefore folds only fields that are properties of *the decision*
+//! (sequence, station, action, version, fallback flag), never of the
+//! dispatch (shard, batch ordinal).
+
+use libra_dataset::{Action3, Features};
+use libra_util::binser;
+use libra_util::checksum::fnv1a64;
+use libra_util::paths::results_root;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// One decision request: the per-observation-window question "BA, RA,
+/// or nothing?" for one station.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRequest {
+    /// Global submission sequence number (the replay order handle).
+    pub seq: u64,
+    /// Station identity — the shard routing key.
+    pub station_id: u64,
+    /// The observation-window feature vector (Table 3); its
+    /// `initial_mcs` doubles as the station's current MCS for the §7
+    /// fallback rule.
+    pub features: Features,
+    /// True when the window's ACK went missing — the model is skipped
+    /// and the §7 fallback rule decides.
+    pub ack_missing: bool,
+    /// BA overhead the station currently operates under, ms (fallback
+    /// rule input).
+    pub ba_overhead_ms: f64,
+}
+
+/// The decision the service produced for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionResponse {
+    /// Sequence number of the request this answers.
+    pub seq: u64,
+    /// Station the decision is for.
+    pub station_id: u64,
+    /// The adaptation call.
+    pub action: Action3,
+    /// Version of the model that made the call — every response is
+    /// attributable to exactly one published version.
+    pub model_version: u32,
+    /// True when the §7 fallback rule decided (missing ACK).
+    pub gated: bool,
+    /// Shard that served the request (dispatch metadata, excluded from
+    /// the digest).
+    pub shard: u32,
+    /// Per-shard batch ordinal the request was classified in (dispatch
+    /// metadata, excluded from the digest; the torn-batch test keys on
+    /// it).
+    pub batch: u64,
+}
+
+/// FNV-1a digest of a response stream, folded in `seq` order.
+///
+/// Covers `(seq, station_id, action, gated, model_version)` — the
+/// decision itself — and deliberately excludes dispatch metadata, so
+/// the digest is bitwise identical at any shard count, batch size and
+/// thread count. Callers pass responses already sorted by `seq` (what
+/// [`crate::service::DecisionService::finish`] returns).
+pub fn response_digest(responses: &[DecisionResponse]) -> u64 {
+    let mut bytes = Vec::with_capacity(responses.len() * 22);
+    for r in responses {
+        bytes.extend_from_slice(&r.seq.to_le_bytes());
+        bytes.extend_from_slice(&r.station_id.to_le_bytes());
+        bytes.push(r.action.class_index() as u8);
+        bytes.push(r.gated as u8);
+        bytes.extend_from_slice(&r.model_version.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// Default location of the recorded request stream.
+pub fn default_record_path() -> PathBuf {
+    results_root().join("serve_requests.bin")
+}
+
+/// Records a request stream for bitwise-identical replay.
+pub fn save_requests(path: &Path, requests: &[DecisionRequest]) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("create {}: {e}", parent.display()))?;
+    }
+    binser::write_file(path, &requests).map_err(|e| format!("write {}: {e:?}", path.display()))
+}
+
+/// Loads a recorded request stream.
+pub fn load_requests(path: &Path) -> Result<Vec<DecisionRequest>, String> {
+    binser::read_file(path).map_err(|e| format!("read {}: {e:?}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response(seq: u64) -> DecisionResponse {
+        DecisionResponse {
+            seq,
+            station_id: seq % 5,
+            action: Action3::Ra,
+            model_version: 1,
+            gated: false,
+            shard: 0,
+            batch: 0,
+        }
+    }
+
+    #[test]
+    fn digest_ignores_dispatch_metadata() {
+        let a: Vec<DecisionResponse> = (0..10).map(response).collect();
+        let mut b = a.clone();
+        for (i, r) in b.iter_mut().enumerate() {
+            r.shard = (i % 3) as u32;
+            r.batch = i as u64;
+        }
+        assert_eq!(response_digest(&a), response_digest(&b));
+    }
+
+    #[test]
+    fn digest_sees_every_decision_field() {
+        let base: Vec<DecisionResponse> = (0..10).map(response).collect();
+        let d0 = response_digest(&base);
+        for field in ["action", "version", "gated", "station"] {
+            let mut changed = base.clone();
+            match field {
+                "action" => changed[3].action = Action3::Ba,
+                "version" => changed[3].model_version = 2,
+                "gated" => changed[3].gated = true,
+                _ => changed[3].station_id = 99,
+            }
+            assert_ne!(d0, response_digest(&changed), "digest blind to {field}");
+        }
+    }
+
+    #[test]
+    fn record_replay_roundtrip_is_bitwise() {
+        let requests: Vec<DecisionRequest> = (0..100)
+            .map(|i| DecisionRequest {
+                seq: i,
+                station_id: i % 7,
+                features: Features::no_change((i % 9) as usize),
+                ack_missing: i % 31 == 0,
+                ba_overhead_ms: 250.0,
+            })
+            .collect();
+        let dir = std::env::temp_dir().join(format!("libra-serve-req-{}", std::process::id()));
+        let path = dir.join("serve_requests.bin");
+        save_requests(&path, &requests).unwrap();
+        let loaded = load_requests(&path).unwrap();
+        assert_eq!(loaded, requests);
+        assert_eq!(
+            binser::to_bytes(&loaded).unwrap(),
+            binser::to_bytes(&requests).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

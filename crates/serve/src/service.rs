@@ -1,0 +1,315 @@
+//! The sharded decision service.
+//!
+//! N worker shards, each an owned `std::thread` draining a bounded
+//! channel. Requests route by `shard_of(station_id, shards)` — a
+//! stable hash, so a station's requests always serialize through one
+//! shard in submission order. A shard accumulates up to
+//! `max_batch` requests (blocking — batch composition is a pure
+//! function of the per-shard stream, not of timing), refreshes its
+//! model handle once, then classifies the whole batch through the
+//! zero-copy `predict_batch_view` columnar path.
+//!
+//! Observability follows the workspace contract: when tracing is off
+//! the hot loop never reads a clock or touches the collector; when on,
+//! each shard collects into its own `obs` scope and the deltas merge
+//! back in shard-index order at [`DecisionService::finish`], so traced
+//! reports are deterministic too (wall histograms excepted, as always).
+//!
+//! Instruments: counters `serve.decisions`, `serve.fallback`,
+//! `serve.model.refresh`; value histogram `serve.batch_rows`; wall
+//! histogram `serve.decision_ns` (submit-to-decision latency).
+
+use crate::model::{ModelCell, ModelHandle, ServedModel};
+use crate::request::{DecisionRequest, DecisionResponse};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use libra_dataset::{Action3, FEATURE_NAMES};
+use libra_obs as obs;
+use libra_util::checksum::shard_of;
+use libra_util::frame::FeatureFrame;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Service shape knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker shard count (≥ 1).
+    pub shards: usize,
+    /// Rows per classification batch (≥ 1); the last batch of a
+    /// shard's stream may be shorter.
+    pub max_batch: usize,
+    /// Per-shard channel capacity (submission backpressure).
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            max_batch: 64,
+            queue_depth: 1024,
+        }
+    }
+}
+
+/// A request in flight, stamped at submission when tracing is on.
+#[derive(Debug)]
+struct Envelope {
+    request: DecisionRequest,
+    submitted: Option<Instant>,
+}
+
+/// What one shard worker hands back at shutdown.
+struct ShardOutput {
+    responses: Vec<DecisionResponse>,
+    report: obs::Report,
+    batches: u64,
+}
+
+/// Everything a completed serving run produced.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// All responses, sorted by request sequence number.
+    pub responses: Vec<DecisionResponse>,
+    /// Total batches flushed across all shards.
+    pub batches: u64,
+}
+
+/// A running decision service. Submit requests with
+/// [`submit`](Self::submit), publish new model versions mid-traffic
+/// with [`publish`](Self::publish), and collect every response with
+/// [`finish`](Self::finish).
+pub struct DecisionService {
+    cell: Arc<ModelCell>,
+    senders: Vec<Sender<Envelope>>,
+    handles: Vec<JoinHandle<ShardOutput>>,
+    traced: bool,
+}
+
+impl DecisionService {
+    /// Starts the shard workers serving `model`.
+    pub fn start(cfg: &ServeConfig, model: Arc<ServedModel>) -> Self {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.max_batch >= 1, "need at least one row per batch");
+        // Captured once: toggling tracing mid-run would otherwise make
+        // shards disagree about whether to stamp submissions.
+        let traced = obs::enabled();
+        let cell = Arc::new(ModelCell::new(model));
+        let mut senders = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let (tx, rx) = bounded::<Envelope>(cfg.queue_depth.max(1));
+            let cell = Arc::clone(&cell);
+            let max_batch = cfg.max_batch;
+            let handle = std::thread::Builder::new()
+                .name(format!("libra-serve-{shard}"))
+                .spawn(move || run_shard(shard as u32, rx, cell, max_batch, traced))
+                .expect("spawn shard worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            cell,
+            senders,
+            handles,
+            traced,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shared publication cell (e.g. for a registry watcher loop).
+    pub fn cell(&self) -> &Arc<ModelCell> {
+        &self.cell
+    }
+
+    /// Publishes a new model version mid-traffic; returns the new
+    /// epoch. Every batch started after this returns is classified by
+    /// `model`; in-flight batches finish on their own version.
+    pub fn publish(&self, model: Arc<ServedModel>) -> u64 {
+        self.cell.publish(model)
+    }
+
+    /// Routes one request to its station's shard (blocks on shard
+    /// backpressure).
+    pub fn submit(&self, request: DecisionRequest) {
+        let shard = shard_of(request.station_id, self.senders.len());
+        let envelope = Envelope {
+            request,
+            submitted: self.traced.then(Instant::now),
+        };
+        self.senders[shard]
+            .send(envelope)
+            .expect("shard worker hung up");
+    }
+
+    /// Closes submission, drains every shard, merges per-shard `obs`
+    /// deltas in shard order, and returns all responses sorted by
+    /// sequence number.
+    pub fn finish(self) -> ServeOutcome {
+        drop(self.senders);
+        let mut responses = Vec::new();
+        let mut batches = 0u64;
+        for handle in self.handles {
+            let out = handle.join().expect("shard worker panicked");
+            obs::merge_report(&out.report);
+            responses.extend(out.responses);
+            batches += out.batches;
+        }
+        responses.sort_unstable_by_key(|r| r.seq);
+        ServeOutcome { responses, batches }
+    }
+}
+
+/// Runs `requests` through a fresh service to completion — the replay
+/// path shared by `libractl serve`, the bench harness and the tests.
+pub fn serve_all(
+    cfg: &ServeConfig,
+    model: Arc<ServedModel>,
+    requests: &[DecisionRequest],
+) -> ServeOutcome {
+    let service = DecisionService::start(cfg, model);
+    for &request in requests {
+        service.submit(request);
+    }
+    service.finish()
+}
+
+fn run_shard(
+    shard: u32,
+    rx: Receiver<Envelope>,
+    cell: Arc<ModelCell>,
+    max_batch: usize,
+    traced: bool,
+) -> ShardOutput {
+    if traced {
+        let ((responses, batches), report) =
+            obs::with_scope(|| shard_loop(shard, &rx, &cell, max_batch));
+        ShardOutput {
+            responses,
+            report,
+            batches,
+        }
+    } else {
+        let (responses, batches) = shard_loop(shard, &rx, &cell, max_batch);
+        ShardOutput {
+            responses,
+            report: obs::Report::default(),
+            batches,
+        }
+    }
+}
+
+fn shard_loop(
+    shard: u32,
+    rx: &Receiver<Envelope>,
+    cell: &Arc<ModelCell>,
+    max_batch: usize,
+) -> (Vec<DecisionResponse>, u64) {
+    let mut handle = ModelHandle::new(Arc::clone(cell));
+    let feature_names: Vec<String> = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+    let mut pending: Vec<Envelope> = Vec::with_capacity(max_batch);
+    let mut classes: Vec<usize> = Vec::with_capacity(max_batch);
+    let mut responses = Vec::new();
+    let mut batches = 0u64;
+    loop {
+        // Block for the batch head; a closed, drained channel ends the
+        // shard.
+        match rx.recv() {
+            Ok(envelope) => pending.push(envelope),
+            Err(_) => break,
+        }
+        // Fill the batch by *blocking*, not polling: batch composition
+        // becomes a pure function of the per-shard stream, never of
+        // arrival timing — the batch-size histogram is deterministic.
+        let mut open = true;
+        while open && pending.len() < max_batch {
+            match rx.recv() {
+                Ok(envelope) => pending.push(envelope),
+                Err(_) => open = false,
+            }
+        }
+        flush_batch(
+            shard,
+            &mut handle,
+            &feature_names,
+            &mut pending,
+            &mut classes,
+            &mut responses,
+            &mut batches,
+        );
+        if !open {
+            break;
+        }
+    }
+    (responses, batches)
+}
+
+/// Classifies one accumulated batch through exactly one model version.
+fn flush_batch(
+    shard: u32,
+    handle: &mut ModelHandle,
+    feature_names: &[String],
+    pending: &mut Vec<Envelope>,
+    classes: &mut Vec<usize>,
+    responses: &mut Vec<DecisionResponse>,
+    batches: &mut u64,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    // The one hot-swap point: between batches, never inside one.
+    if handle.refresh() {
+        obs::counter("serve.model.refresh", 1);
+    }
+    let model = handle.model();
+
+    let mut frame = FeatureFrame::with_schema(3, feature_names.to_vec());
+    for envelope in pending.iter() {
+        frame.push_row(&envelope.request.features.to_row(), 0);
+    }
+    model.classifier.predict_batch_view(&frame.view(), classes);
+    obs::record_value("serve.batch_rows", pending.len() as u64);
+
+    for (envelope, &class) in pending.iter().zip(classes.iter()) {
+        let request = &envelope.request;
+        let (action, gated) = if request.ack_missing {
+            let action = model
+                .classifier
+                .fallback(request.features.initial_mcs, request.ba_overhead_ms);
+            (action, true)
+        } else {
+            (class_action(class), false)
+        };
+        responses.push(DecisionResponse {
+            seq: request.seq,
+            station_id: request.station_id,
+            action,
+            model_version: model.version,
+            gated,
+            shard,
+            batch: *batches,
+        });
+        obs::counter("serve.decisions", 1);
+        if gated {
+            obs::counter("serve.fallback", 1);
+        }
+        if let Some(submitted) = envelope.submitted {
+            let nanos = submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            obs::record_wall("serve.decision_ns", nanos);
+        }
+    }
+    *batches += 1;
+    pending.clear();
+}
+
+fn class_action(class: usize) -> Action3 {
+    match class {
+        0 => Action3::Ba,
+        1 => Action3::Ra,
+        _ => Action3::Na,
+    }
+}

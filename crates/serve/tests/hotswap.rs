@@ -1,0 +1,220 @@
+//! Hot-swap correctness and replay determinism — the two contracts the
+//! serving subsystem exists to uphold.
+
+use libra::LibraClassifier;
+use libra_dataset::FEATURE_NAMES;
+use libra_obs as obs;
+use libra_serve::{
+    generate_requests, response_digest, serve_all, DecisionRequest, DecisionService, LoadConfig,
+    ServeConfig, ServedModel,
+};
+use libra_util::rng::rng_from_seed;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A deliberately tiny classifier — enough structure to serve, fast
+/// enough to train in-test. `version` seeds the forest so v1 and v2
+/// are genuinely different models.
+fn tiny_model(version: u32) -> Arc<ServedModel> {
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..60usize {
+        let c = i % 3;
+        let mut row = vec![0.0; FEATURE_NAMES.len()];
+        row[0] = c as f64 * 8.0 + (i % 5) as f64 * 0.1;
+        row[5] = 1.0 - c as f64 * 0.3;
+        features.push(row);
+        labels.push(c);
+    }
+    let names = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+    let data = libra_ml::Dataset::new(features, labels, 3, names);
+    let mut rng = rng_from_seed(7 + version as u64);
+    let clf = LibraClassifier::train(&data, &mut rng);
+    Arc::new(ServedModel::new("tiny", version, clf))
+}
+
+fn load(requests: usize, seed: u64) -> Vec<DecisionRequest> {
+    generate_requests(&LoadConfig {
+        requests,
+        stations: 32,
+        seed,
+    })
+}
+
+#[test]
+fn replay_digest_is_shard_count_invariant() {
+    let model = tiny_model(1);
+    let requests = load(6_000, 0xD1);
+
+    let one = serve_all(
+        &ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&model),
+        &requests,
+    );
+    let five = serve_all(
+        &ServeConfig {
+            shards: 5,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&model),
+        &requests,
+    );
+
+    assert_eq!(one.responses.len(), requests.len());
+    assert_eq!(five.responses.len(), requests.len());
+    assert_eq!(
+        response_digest(&one.responses),
+        response_digest(&five.responses)
+    );
+    // The digest shortcut is backed by full per-decision equality.
+    for (a, b) in one.responses.iter().zip(&five.responses) {
+        assert_eq!(
+            (a.seq, a.station_id, a.action, a.model_version, a.gated),
+            (b.seq, b.station_id, b.action, b.model_version, b.gated),
+        );
+    }
+    // More shards, same rows: only the dispatch differs.
+    assert!(five.batches >= one.batches);
+}
+
+#[test]
+fn missing_ack_takes_the_fallback_rule() {
+    let model = tiny_model(1);
+    let mut requests = load(256, 0xFA);
+    for (i, r) in requests.iter_mut().enumerate() {
+        r.ack_missing = i % 2 == 0;
+    }
+    let outcome = serve_all(&ServeConfig::default(), Arc::clone(&model), &requests);
+    for (request, response) in requests.iter().zip(&outcome.responses) {
+        assert_eq!(request.seq, response.seq);
+        assert_eq!(response.gated, request.ack_missing);
+        if request.ack_missing {
+            let expected = model
+                .classifier
+                .fallback(request.features.initial_mcs, request.ba_overhead_ms);
+            assert_eq!(response.action, expected);
+        }
+    }
+}
+
+/// The deterministic hot-swap schedule: with one shard, `queue_depth =
+/// max_batch = 8`, the 17th submit can only return after the worker
+/// has dequeued 9 envelopes, and the 9th dequeue happens strictly
+/// after batch 0 flushed — so batch 0 is *guaranteed* v1, and every
+/// request submitted after `publish` returns is *guaranteed* v2.
+#[test]
+fn hot_swap_is_visible_and_never_tears_a_batch() {
+    let requests = load(32, 0x5A);
+    let service = DecisionService::start(
+        &ServeConfig {
+            shards: 1,
+            max_batch: 8,
+            queue_depth: 8,
+        },
+        tiny_model(1),
+    );
+    for &request in &requests[..17] {
+        service.submit(request);
+    }
+    let epoch = service.publish(tiny_model(2));
+    assert_eq!(epoch, 2);
+    for &request in &requests[17..] {
+        service.submit(request);
+    }
+    let outcome = service.finish();
+
+    assert_eq!(outcome.responses.len(), 32);
+    let mut by_batch: BTreeMap<(u32, u64), Vec<u32>> = BTreeMap::new();
+    for r in &outcome.responses {
+        assert!(
+            r.model_version == 1 || r.model_version == 2,
+            "unattributable version {}",
+            r.model_version
+        );
+        by_batch
+            .entry((r.shard, r.batch))
+            .or_default()
+            .push(r.model_version);
+        if r.batch == 0 {
+            assert_eq!(r.model_version, 1, "pre-publish batch must be v1");
+        }
+        if r.seq >= 17 {
+            assert_eq!(r.model_version, 2, "post-publish submit must be v2");
+        }
+    }
+    for ((shard, batch), versions) in by_batch {
+        assert!(
+            versions.windows(2).all(|w| w[0] == w[1]),
+            "torn batch {shard}/{batch}: {versions:?}"
+        );
+    }
+}
+
+/// Same contract under real concurrency: publish races the submission
+/// stream across many shards; whatever the interleaving, versions stay
+/// attributable and batches stay whole.
+#[test]
+fn concurrent_swap_keeps_batches_whole() {
+    let requests = load(4_000, 0x5B);
+    let service = DecisionService::start(
+        &ServeConfig {
+            shards: 4,
+            max_batch: 32,
+            queue_depth: 64,
+        },
+        tiny_model(1),
+    );
+    for (i, &request) in requests.iter().enumerate() {
+        if i == requests.len() / 2 {
+            service.publish(tiny_model(2));
+        }
+        service.submit(request);
+    }
+    let outcome = service.finish();
+
+    assert_eq!(outcome.responses.len(), requests.len());
+    let mut by_batch: BTreeMap<(u32, u64), Vec<u32>> = BTreeMap::new();
+    for r in &outcome.responses {
+        assert!(r.model_version == 1 || r.model_version == 2);
+        by_batch
+            .entry((r.shard, r.batch))
+            .or_default()
+            .push(r.model_version);
+    }
+    for ((shard, batch), versions) in by_batch {
+        assert!(
+            versions.windows(2).all(|w| w[0] == w[1]),
+            "torn batch {shard}/{batch}: {versions:?}"
+        );
+    }
+}
+
+#[test]
+fn tracing_observes_without_changing_decisions() {
+    let model = tiny_model(1);
+    let requests = load(1_500, 0x0B);
+    let cfg = ServeConfig {
+        shards: 3,
+        max_batch: 64,
+        queue_depth: 256,
+    };
+
+    let untraced = serve_all(&cfg, Arc::clone(&model), &requests);
+    let (traced, report) = obs::with_scope(|| serve_all(&cfg, Arc::clone(&model), &requests));
+
+    assert_eq!(
+        response_digest(&untraced.responses),
+        response_digest(&traced.responses),
+        "tracing must not change decisions"
+    );
+    assert_eq!(report.counter("serve.decisions"), 1_500);
+    let batch_hist = report.hist("serve.batch_rows").expect("batch histogram");
+    assert_eq!(batch_hist.count, traced.batches);
+    assert!(
+        report.hist("serve.decision_ns").is_some(),
+        "latency histogram missing"
+    );
+}

@@ -7,6 +7,13 @@
 //! - [`fnv1a64`] — FNV-1a, used as a cheap content digest when two
 //!   serialized artifacts must be compared for bitwise equality (e.g.
 //!   the 1-vs-N-thread determinism harness).
+//!
+//! Plus one integer mixer:
+//!
+//! - [`mix64`] / [`shard_of`] — the SplitMix64 finalizer, used to map
+//!   station ids onto serving shards. The values are pinned by test so
+//!   shard assignment — and therefore every recorded request stream —
+//!   stays stable across releases.
 
 /// Reflected CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) of `bytes`.
 ///
@@ -35,6 +42,29 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// The SplitMix64 finalizer: a bijective avalanche mix of `x`.
+///
+/// Every output bit depends on every input bit, so consecutive station
+/// ids scatter uniformly. Bijectivity means distinct ids can never
+/// collide before the modulo in [`shard_of`]. `mix64(0)` is pinned to
+/// `0xE220_A839_7B1D_CDAF` (the first SplitMix64 output for seed 0).
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The serving shard a station id belongs to, in `0..n_shards`.
+///
+/// Stable by construction (pure [`mix64`] plus modulo): the same
+/// station always lands on the same shard for a given shard count, on
+/// every platform and in every release. Panics if `n_shards` is zero.
+pub fn shard_of(station_id: u64, n_shards: usize) -> usize {
+    assert!(n_shards > 0, "shard_of requires at least one shard");
+    (mix64(station_id) % n_shards as u64) as usize
 }
 
 #[cfg(test)]
@@ -77,5 +107,32 @@ mod tests {
     fn digests_differ_for_different_inputs() {
         assert_ne!(fnv1a64(b"model-a"), fnv1a64(b"model-b"));
         assert_ne!(crc32(b"model-a"), crc32(b"model-b"));
+    }
+
+    #[test]
+    fn mix64_pinned_vectors() {
+        // Recorded request streams bake shard routing in; these values
+        // must never change.
+        assert_eq!(mix64(0), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(mix64(1), 0x910a_2dec_8902_5cc1);
+        assert_eq!(mix64(2), 0x9758_35de_1c97_56ce);
+        assert_eq!(mix64(42), 0xbdd7_3226_2feb_6e95);
+        assert_eq!(mix64(0xdead_beef), 0x4adf_b90f_68c9_eb9b);
+    }
+
+    #[test]
+    fn shard_of_pinned_and_in_range() {
+        let shards: Vec<usize> = (0..16).map(|s| shard_of(s, 8)).collect();
+        assert_eq!(shards, [7, 1, 6, 5, 2, 2, 0, 7, 6, 4, 2, 5, 3, 7, 6, 5]);
+        for id in 0..1000u64 {
+            assert!(shard_of(id, 7) < 7);
+            assert_eq!(shard_of(id, 1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn shard_of_zero_shards_panics() {
+        let _ = shard_of(1, 0);
     }
 }
