@@ -13,10 +13,11 @@
 //!
 //! Artifact names: fig1 fig2 fig3 table1 table2 fig4 fig5 fig6 fig7 fig8
 //! fig9 cv crossbuilding table3 threeclass extmodels fig10 fig11 fig12 fig13
-//! table4 ablations inferbench trainbench fuzz serve. The microbenchmarks
-//! also record their measurements to `results/infer_bench.txt`,
-//! `results/train_bench.txt`, `results/BENCH_fuzz.json`, and
-//! `results/BENCH_serve.json`.
+//! table4 ablations inferbench trainbench fuzz serve multisim. The
+//! microbenchmarks also record their measurements to
+//! `results/infer_bench.txt`, `results/train_bench.txt`,
+//! `results/BENCH_fuzz.json`, `results/BENCH_serve.json`, and
+//! `results/BENCH_multisim.json`.
 //!
 //! `--model NAME[@VER]` (or a file path) runs the evaluation against a
 //! frozen model artifact from the registry instead of retraining the
@@ -30,20 +31,16 @@
 //! against that baseline, or `speedup n/a` when no usable baseline entry
 //! exists (missing file, stale format, zero/non-finite timings).
 
+use libra_bench::speedup::{self, Baseline};
 use libra_bench::{
-    ablation, context, evaluation, fuzzbench, motivation, servebench, serving, study, trainbench,
+    ablation, context, evaluation, fuzzbench, motivation, multisimbench, servebench, serving,
+    study, trainbench,
 };
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Where a sequential run records per-section wall-clock seconds.
 const BASELINE_PATH: &str = "results/seq_baseline.txt";
-
-/// Format marker heading the baseline file. A baseline without it (an
-/// older or hand-edited file) is treated as stale and ignored rather
-/// than risking nonsense speedups.
-const BASELINE_HEADER: &str = "# seq-baseline v1";
 
 struct Opts {
     csv_dir: Option<String>,
@@ -54,47 +51,36 @@ struct Opts {
     fuzz_budget: usize,
     serve_requests: usize,
     serve_shards: usize,
+    multisim_aps: u32,
+    multisim_stations: u32,
+    multisim_duration_ms: f64,
 }
 
-fn load_baseline() -> BTreeMap<String, f64> {
-    let mut map = BTreeMap::new();
+fn load_baseline() -> Baseline {
     let Ok(text) = std::fs::read_to_string(BASELINE_PATH) else {
-        return map;
+        return Baseline::new();
     };
-    if text.lines().next().map(str::trim) != Some(BASELINE_HEADER) {
-        eprintln!(
-            "note: {BASELINE_PATH} is stale (missing `{BASELINE_HEADER}` header); \
-             ignoring it — re-record with --threads 1"
-        );
-        return map;
-    }
-    for line in text.lines().skip(1) {
-        let mut parts = line.split_whitespace();
-        if let (Some(name), Some(secs)) = (parts.next(), parts.next()) {
-            if let Ok(s) = secs.parse::<f64>() {
-                // Zero, negative, or non-finite entries can only produce
-                // ±inf/NaN speedups — drop them here.
-                if s.is_finite() && s > 0.0 {
-                    map.insert(name.to_string(), s);
-                }
-            }
+    match Baseline::parse(&text) {
+        Ok(baseline) => baseline,
+        Err(speedup::Stale::MissingHeader) => {
+            eprintln!(
+                "note: {BASELINE_PATH} is stale (missing `{}` header); \
+                 ignoring it — re-record with --threads 1",
+                speedup::BASELINE_HEADER
+            );
+            Baseline::new()
         }
     }
-    map
 }
 
-fn store_baseline(map: &BTreeMap<String, f64>) {
-    if map.is_empty() {
+fn store_baseline(baseline: &Baseline) {
+    if baseline.is_empty() {
         return;
-    }
-    let mut text = format!("{BASELINE_HEADER}\n");
-    for (name, secs) in map {
-        text.push_str(&format!("{name} {secs:.3}\n"));
     }
     if let Some(dir) = std::path::Path::new(BASELINE_PATH).parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    if let Err(e) = std::fs::write(BASELINE_PATH, text) {
+    if let Err(e) = std::fs::write(BASELINE_PATH, baseline.render()) {
         eprintln!("warning: could not write {BASELINE_PATH}: {e}");
     }
 }
@@ -110,6 +96,9 @@ fn main() {
         fuzz_budget: 48,
         serve_requests: 1_000_000,
         serve_shards: 4,
+        multisim_aps: 16,
+        multisim_stations: 64,
+        multisim_duration_ms: 10_000.0,
     };
     let mut wanted: Vec<String> = Vec::new();
     let mut quick = false;
@@ -140,6 +129,9 @@ fn main() {
                 opts.bench_passes = 2;
                 opts.fuzz_budget = 16;
                 opts.serve_requests = 50_000;
+                opts.multisim_aps = 4;
+                opts.multisim_stations = 32;
+                opts.multisim_duration_ms = 3_000.0;
                 quick = true;
             }
             other => wanted.push(other.to_string()),
@@ -155,7 +147,7 @@ fn main() {
             "usage: experiments [--csv-dir DIR] [--threads N] [--trace] \
              [--model NAME[@VER]|PATH] \
              [all|quick|fig1..fig13|table1..table4|cv|crossbuilding|threeclass|ablations\
-             |inferbench|trainbench|fuzz|serve]"
+             |inferbench|trainbench|fuzz|serve|multisim]"
         );
         std::process::exit(2);
     }
@@ -177,25 +169,12 @@ fn main() {
             let out = body();
             let secs = t.elapsed().as_secs_f64();
             println!("{out}");
-            let base = baseline.borrow().get(name).copied();
             if sequential {
                 println!("[{name} took {secs:.1} s]\n");
+                baseline.borrow_mut().record(name, secs);
             } else {
-                // `load_baseline` only admits finite positive entries, so
-                // the division below cannot produce ±inf or NaN.
-                match base {
-                    Some(b) if secs > 0.0 => println!(
-                        "[{name} took {secs:.1} s — {:.1}x vs sequential baseline {b:.1} s]\n",
-                        b / secs
-                    ),
-                    _ => println!(
-                        "[{name} took {secs:.1} s — speedup n/a \
-                         (no sequential baseline; record one with --threads 1)]\n"
-                    ),
-                }
-            }
-            if sequential {
-                baseline.borrow_mut().insert(name.to_string(), secs);
+                let base = baseline.borrow().get(name);
+                println!("{}\n", speedup::report_line(name, secs, base));
             }
         }
     };
@@ -301,6 +280,15 @@ fn main() {
     // --- decision service ---------------------------------------------------
     section("serve", &mut || {
         servebench::serve_bench(opts.serve_requests, opts.serve_shards)
+    });
+
+    // --- multi-station simulation -------------------------------------------
+    section("multisim", &mut || {
+        multisimbench::multisim_bench(
+            opts.multisim_aps,
+            opts.multisim_stations,
+            opts.multisim_duration_ms,
+        )
     });
 
     if sequential {

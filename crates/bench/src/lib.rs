@@ -24,6 +24,8 @@
 //! | [`trainbench`] | training microbenchmark: row-oriented vs columnar fits |
 //! | [`fuzzbench`] | scenario fuzzing: bounded coverage-guided search + `BENCH_fuzz.json` |
 //! | [`servebench`] | decision service: sharded throughput + latency + `BENCH_serve.json` |
+//! | [`multisimbench`] | multi-station simulator: events/sec + regret + `BENCH_multisim.json` |
+//! | [`speedup`] | sequential-baseline bookkeeping behind per-section speedup reporting |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,7 +35,9 @@ pub mod context;
 pub mod evaluation;
 pub mod fuzzbench;
 pub mod motivation;
+pub mod multisimbench;
 pub mod servebench;
 pub mod serving;
+pub mod speedup;
 pub mod study;
 pub mod trainbench;

@@ -1,0 +1,185 @@
+//! Multi-station simulator benchmark section: drives the event-driven
+//! §8 engine (`libra::multisim`) over an N-AP × M-station deployment
+//! and reports engine throughput (events/sec, stations/sec), the
+//! per-station application-throughput distribution, and LiBRA's
+//! aggregate regret vs `Oracle-Data` — written both as a
+//! human-readable table and as the machine-readable
+//! `results/BENCH_multisim.json` record.
+//!
+//! Three passes:
+//!
+//! 1. **LiBRA** — the policy under study on the shared
+//!    reduced-campaign classifier, timed: the honest events/sec and
+//!    stations/sec figures come from here.
+//! 2. **Oracle-Data** — the same deployment replayed under the
+//!    data-oracle; aggregate regret is `1 − libra_bytes/oracle_bytes`.
+//! 3. **Thread invariance** — the LiBRA pass rerun at a different
+//!    worker count; the event digests must match bitwise (the
+//!    engine's core determinism contract).
+
+use libra::multisim::{run_multisim, MultiSimConfig, MultiSimOutcome};
+use libra::sim::PolicyKind;
+use libra_fuzz::default_classifier;
+use libra_util::table::{fmt_f, TextTable};
+use std::time::Instant;
+
+/// Where the machine-readable benchmark record lands.
+pub fn bench_path() -> std::path::PathBuf {
+    libra_util::paths::results_root().join("BENCH_multisim.json")
+}
+
+/// Runs the three benchmark passes over an `n_aps` × `stations_per_ap`
+/// deployment simulated for `duration_ms` and writes
+/// `results/BENCH_multisim.json`.
+pub fn multisim_bench(n_aps: u32, stations_per_ap: u32, duration_ms: f64) -> String {
+    let mut cfg = MultiSimConfig::new(n_aps, stations_per_ap);
+    cfg.duration_ms = duration_ms;
+    cfg.policy = PolicyKind::Libra;
+    let clf = default_classifier();
+
+    // Pass 1: timed LiBRA run.
+    let t0 = Instant::now();
+    let libra_run = run_multisim(&cfg, Some(clf));
+    let secs = t0.elapsed().as_secs_f64();
+    let stations = cfg.n_stations();
+    let (eps, sps) = if secs > 0.0 {
+        (libra_run.events as f64 / secs, stations as f64 / secs)
+    } else {
+        (0.0, 0.0)
+    };
+
+    // Pass 2: the Oracle-Data ceiling on the identical deployment.
+    let mut oracle_cfg = cfg.clone();
+    oracle_cfg.policy = PolicyKind::OracleData;
+    let oracle_run = run_multisim(&oracle_cfg, None);
+    let regret = aggregate_regret(&libra_run, &oracle_run);
+
+    // Pass 3: thread invariance — rerun at a different worker count
+    // and require a bitwise-identical event digest. `set_threads` is
+    // process-global, so the benchmark shape is restored afterwards.
+    let current = libra_util::par::threads();
+    let alternate = if current == 1 { 4 } else { 1 };
+    libra_util::par::set_threads(alternate);
+    let replay = run_multisim(&cfg, Some(clf));
+    libra_util::par::set_threads(current);
+    let invariant = replay.digest == libra_run.digest;
+
+    let json = bench_json(&cfg, secs, eps, sps, regret, invariant, &libra_run);
+    let path = bench_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+
+    let mut table = TextTable::new(["metric", "value"]);
+    table.row(["events".into(), libra_run.events.to_string()]);
+    table.row(["events/sec".into(), fmt_f(eps, 0)]);
+    table.row(["stations/sec".into(), fmt_f(sps, 1)]);
+    for (label, p) in [("p5", 5.0), ("p50", 50.0), ("p95", 95.0)] {
+        table.row([
+            format!("station tput {label} (Mbps)"),
+            fmt_f(libra_run.mbps_percentile(p), 1),
+        ]);
+    }
+    table.row(["aggregate regret vs Oracle-Data".into(), fmt_f(regret, 4)]);
+    table.row(["handoffs".into(), libra_run.total_handoffs().to_string()]);
+    table.row([
+        format!("replay digest {current} vs {alternate} thread(s)"),
+        if invariant { "identical" } else { "MISMATCH" }.to_string(),
+    ]);
+    format!(
+        "Multi-station sim (seed {:#x}): {n_aps} APs x {stations_per_ap} stations, \
+         {duration_ms:.0} ms simulated in {secs:.1} s\ndigest {:#018x}\n{}",
+        cfg.seed,
+        libra_run.digest,
+        table.render()
+    )
+}
+
+/// Aggregate regret of a policy run vs its oracle ceiling:
+/// `1 − policy_bytes/oracle_bytes`, clamped at zero (a policy can tie
+/// the oracle on quiet deployments but not beat it meaningfully).
+pub fn aggregate_regret(policy: &MultiSimOutcome, oracle: &MultiSimOutcome) -> f64 {
+    if oracle.total_bytes > 0.0 {
+        (1.0 - policy.total_bytes / oracle.total_bytes).max(0.0)
+    } else {
+        0.0
+    }
+}
+
+/// Hand-rendered machine-readable record (the workspace has no JSON
+/// dependency by design).
+fn bench_json(
+    cfg: &MultiSimConfig,
+    secs: f64,
+    eps: f64,
+    sps: f64,
+    regret: f64,
+    invariant: bool,
+    run: &MultiSimOutcome,
+) -> String {
+    format!(
+        "{{\n  \"bench\": \"multisim\",\n  \"aps\": {},\n  \"stations_per_ap\": {},\n  \
+         \"stations\": {},\n  \"duration_ms\": {:.1},\n  \"seed\": \"{:#x}\",\n  \
+         \"wall_secs\": {secs:.3},\n  \"events\": {},\n  \"events_per_sec\": {eps:.1},\n  \
+         \"stations_per_sec\": {sps:.2},\n  \"digest\": \"{:#018x}\",\n  \
+         \"thread_invariant\": {invariant},\n  \"aggregate_regret\": {regret:.6},\n  \
+         \"handoffs\": {},\n  \"total_bytes\": {:.1},\n  \"station_mbps\": {{ \"p5\": {:.3}, \
+         \"p50\": {:.3}, \"p95\": {:.3} }}\n}}\n",
+        cfg.n_aps,
+        cfg.stations_per_ap,
+        cfg.n_stations(),
+        cfg.duration_ms,
+        cfg.seed,
+        run.events,
+        run.digest,
+        run.total_handoffs(),
+        run.total_bytes,
+        run.mbps_percentile(5.0),
+        run.mbps_percentile(50.0),
+        run.mbps_percentile(95.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let cfg = MultiSimConfig::new(4, 16);
+        let run = MultiSimOutcome {
+            stations: Vec::new(),
+            events: 4242,
+            digest: 0xdead_beef,
+            total_bytes: 1.5e9,
+            duration_ms: cfg.duration_ms,
+        };
+        let json = bench_json(&cfg, 2.5, 1700.0, 25.6, 0.0321, true, &run);
+        assert!(json.contains("\"bench\": \"multisim\""));
+        assert!(json.contains("\"stations\": 64"));
+        assert!(json.contains("\"events_per_sec\": 1700.0"));
+        assert!(json.contains("\"digest\": \"0x00000000deadbeef\""));
+        assert!(json.contains("\"thread_invariant\": true"));
+        assert!(json.contains("\"aggregate_regret\": 0.032100"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn aggregate_regret_bounds() {
+        let out = |bytes: f64| MultiSimOutcome {
+            stations: Vec::new(),
+            events: 0,
+            digest: 0,
+            total_bytes: bytes,
+            duration_ms: 1000.0,
+        };
+        assert_eq!(aggregate_regret(&out(750.0), &out(1000.0)), 0.25);
+        // A tie (or a lucky policy) never reports negative regret.
+        assert_eq!(aggregate_regret(&out(1100.0), &out(1000.0)), 0.0);
+        // An empty oracle run reports zero rather than NaN.
+        assert_eq!(aggregate_regret(&out(0.0), &out(0.0)), 0.0);
+    }
+}

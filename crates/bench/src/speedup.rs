@@ -1,0 +1,163 @@
+//! Sequential-baseline bookkeeping for the `experiments` binary.
+//!
+//! A `--threads 1` run records per-section wall-clock seconds to
+//! `results/seq_baseline.txt`; later parallel runs report each
+//! section's speedup against that baseline. This module owns the file
+//! format and the reporting rules so they are testable away from the
+//! binary:
+//!
+//! - the file must start with the [`BASELINE_HEADER`] format marker —
+//!   an older or hand-edited file is **stale** and ignored wholesale
+//!   rather than risking nonsense speedups;
+//! - zero, negative, or non-finite timings are dropped at parse time,
+//!   so a later division can never produce `±inf` or `NaN`;
+//! - a section with no usable baseline entry reports `speedup n/a`
+//!   with a hint to re-record, never a made-up number.
+
+use std::collections::BTreeMap;
+
+/// Format marker heading the baseline file.
+pub const BASELINE_HEADER: &str = "# seq-baseline v1";
+
+/// Per-section sequential wall-clock seconds, keyed by section name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    entries: BTreeMap<String, f64>,
+}
+
+/// Why [`Baseline::parse`] rejected a file outright.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stale {
+    /// The first line is not [`BASELINE_HEADER`] — an older format or
+    /// a hand-edited file.
+    MissingHeader,
+}
+
+impl Baseline {
+    /// An empty baseline (every lookup reports `n/a`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses the baseline file text.
+    ///
+    /// Returns [`Stale`] when the header is missing; unparsable and
+    /// non-positive entries are silently dropped (they could only
+    /// yield `±inf`/`NaN` speedups downstream).
+    pub fn parse(text: &str) -> Result<Self, Stale> {
+        if text.lines().next().map(str::trim) != Some(BASELINE_HEADER) {
+            return Err(Stale::MissingHeader);
+        }
+        let mut entries = BTreeMap::new();
+        for line in text.lines().skip(1) {
+            let mut parts = line.split_whitespace();
+            if let (Some(name), Some(secs)) = (parts.next(), parts.next()) {
+                if let Ok(s) = secs.parse::<f64>() {
+                    if s.is_finite() && s > 0.0 {
+                        entries.insert(name.to_string(), s);
+                    }
+                }
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// Renders the file text (header + `name seconds` lines).
+    pub fn render(&self) -> String {
+        let mut text = format!("{BASELINE_HEADER}\n");
+        for (name, secs) in &self.entries {
+            text.push_str(&format!("{name} {secs:.3}\n"));
+        }
+        text
+    }
+
+    /// The recorded sequential seconds for `name`, if usable.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries.get(name).copied()
+    }
+
+    /// Records a section timing (a sequential run updating the file).
+    pub fn record(&mut self, name: &str, secs: f64) {
+        self.entries.insert(name.to_string(), secs);
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The per-section timing line a parallel run prints: a speedup when a
+/// usable baseline entry exists, `speedup n/a` otherwise.
+///
+/// `parse` only admits finite positive baselines, so the division here
+/// cannot produce `±inf` or `NaN`; a zero *measured* time (a skipped
+/// or sub-resolution section) also reports `n/a`.
+pub fn report_line(name: &str, secs: f64, baseline: Option<f64>) -> String {
+    match baseline {
+        Some(b) if secs > 0.0 => {
+            format!(
+                "[{name} took {secs:.1} s — {:.1}x vs sequential baseline {b:.1} s]",
+                b / secs
+            )
+        }
+        _ => format!(
+            "[{name} took {secs:.1} s — speedup n/a \
+             (no sequential baseline; record one with --threads 1)]"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_header_is_stale() {
+        assert_eq!(Baseline::parse("fig1 2.0\n"), Err(Stale::MissingHeader));
+        assert_eq!(Baseline::parse(""), Err(Stale::MissingHeader));
+        // Surrounding whitespace on the header line is tolerated.
+        assert!(Baseline::parse("  # seq-baseline v1  \nfig1 2.0\n").is_ok());
+    }
+
+    #[test]
+    fn unusable_entries_are_dropped() {
+        let text = format!(
+            "{BASELINE_HEADER}\nfig1 2.5\nfig2 0.0\nfig3 -1.0\nfig4 inf\nfig5 NaN\nfig6 junk\n"
+        );
+        let b = Baseline::parse(&text).unwrap();
+        assert_eq!(b.get("fig1"), Some(2.5));
+        for dropped in ["fig2", "fig3", "fig4", "fig5", "fig6"] {
+            assert_eq!(b.get(dropped), None, "{dropped} should be dropped");
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut b = Baseline::new();
+        assert!(b.is_empty());
+        b.record("serve", 12.345);
+        b.record("fig10", 0.5);
+        let again = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(again, b);
+        assert!(again.render().starts_with(BASELINE_HEADER));
+    }
+
+    #[test]
+    fn report_line_with_baseline_shows_speedup() {
+        let line = report_line("fig10", 2.0, Some(8.0));
+        assert!(line.contains("4.0x vs sequential baseline 8.0 s"), "{line}");
+        assert!(!line.contains("n/a"), "{line}");
+    }
+
+    #[test]
+    fn report_line_without_baseline_is_na() {
+        // The regression this module pins: a missing baseline entry
+        // must say `n/a`, not divide by a default or panic.
+        for (secs, base) in [(2.0, None), (0.0, Some(8.0)), (0.0, None)] {
+            let line = report_line("fuzz", secs, base);
+            assert!(line.contains("speedup n/a"), "{line}");
+            assert!(line.contains("--threads 1"), "{line}");
+        }
+    }
+}

@@ -111,6 +111,136 @@ impl Interferer {
     }
 }
 
+/// One station's active transmission, as seen by its geometric
+/// neighbors (cross-station coupling for the multi-station simulator).
+///
+/// Unlike [`Interferer`] — the hidden terminal of the measurement
+/// campaign, whose coupling is weighted by the victim's receive beam —
+/// a neighboring station couples through side-lobe leakage and
+/// reflections, which the victim's beam cannot steer away from. We
+/// therefore model the received power as quasi-omni: EIRP minus free
+/// space, scaled by the transmitter's airtime duty cycle (a station
+/// holding 25 % of the TDMA frame radiates a quarter of the time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActiveTx {
+    /// Transmitter position.
+    pub position: Point,
+    /// Leakage EIRP toward off-axis neighbors, dBm.
+    pub eirp_dbm: f64,
+    /// Fraction of airtime the station actually transmits (its TDMA
+    /// share in the multi-station engine).
+    pub duty_cycle: f64,
+}
+
+impl ActiveTx {
+    /// Average power this transmission contributes at `victim`, dBm
+    /// (`-inf` at zero duty cycle).
+    pub fn power_at_dbm(&self, victim: Point) -> f64 {
+        if self.duty_cycle <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let dist = self.position.distance(victim).max(0.1);
+        self.eirp_dbm - friis_path_loss_db(dist) + 10.0 * self.duty_cycle.log10()
+    }
+}
+
+/// Aggregate interference power at `victim` from every active
+/// neighboring transmission, dBm (`-inf` when there are none).
+///
+/// The multi-station engine recomputes this on topology-change events
+/// — a station (re)entering a segment, joining or leaving a cell — and
+/// folds the result into the victim's effective SNR.
+pub fn coupled_interference_dbm(victim: Point, sources: &[ActiveTx]) -> f64 {
+    let powers: Vec<f64> = sources
+        .iter()
+        .map(|s| s.power_at_dbm(victim))
+        .filter(|p| p.is_finite())
+        .collect();
+    if powers.is_empty() {
+        f64::NEG_INFINITY
+    } else {
+        libra_util::db::sum_powers_dbm(&powers)
+    }
+}
+
+/// Effective-SNR loss from an interference level over a noise floor,
+/// dB: `10·log₁₀(1 + I/N)`. Zero when there is no interference.
+pub fn noise_rise_db(interference_dbm: f64, noise_floor_dbm: f64) -> f64 {
+    if !interference_dbm.is_finite() {
+        return 0.0;
+    }
+    let i = libra_util::db::dbm_to_mw(interference_dbm);
+    let n = libra_util::db::dbm_to_mw(noise_floor_dbm);
+    10.0 * (1.0 + i / n).log10()
+}
+
+#[cfg(test)]
+mod coupling_tests {
+    use super::*;
+
+    #[test]
+    fn no_sources_no_rise() {
+        let agg = coupled_interference_dbm(Point::new(0.0, 0.0), &[]);
+        assert!(agg.is_infinite() && agg < 0.0);
+        assert_eq!(noise_rise_db(agg, -74.0), 0.0);
+    }
+
+    #[test]
+    fn closer_and_busier_neighbors_couple_harder() {
+        let victim = Point::new(0.0, 0.0);
+        let near = ActiveTx {
+            position: Point::new(2.0, 0.0),
+            eirp_dbm: 8.0,
+            duty_cycle: 1.0,
+        };
+        let far = ActiveTx {
+            position: Point::new(9.0, 0.0),
+            ..near
+        };
+        let idle = ActiveTx {
+            duty_cycle: 0.25,
+            ..near
+        };
+        assert!(near.power_at_dbm(victim) > far.power_at_dbm(victim));
+        assert!(near.power_at_dbm(victim) > idle.power_at_dbm(victim));
+        // Quarter duty = −6 dB.
+        let d = near.power_at_dbm(victim) - idle.power_at_dbm(victim);
+        assert!((d - 10.0 * 4f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_sums_in_power_domain() {
+        let victim = Point::new(0.0, 0.0);
+        let src = ActiveTx {
+            position: Point::new(3.0, 0.0),
+            eirp_dbm: 8.0,
+            duty_cycle: 1.0,
+        };
+        let one = coupled_interference_dbm(victim, &[src]);
+        let two = coupled_interference_dbm(victim, &[src, src]);
+        // Two equal sources: +3 dB.
+        assert!((two - one - 10.0 * 2f64.log10()).abs() < 1e-9);
+        // Zero-duty sources contribute nothing.
+        let silent = ActiveTx {
+            duty_cycle: 0.0,
+            ..src
+        };
+        assert_eq!(coupled_interference_dbm(victim, &[src, silent]), one);
+    }
+
+    #[test]
+    fn noise_rise_tracks_inr() {
+        // Interference equal to the noise floor doubles the floor: +3 dB.
+        let rise = noise_rise_db(-74.0, -74.0);
+        assert!((rise - 10.0 * 2f64.log10()).abs() < 1e-9);
+        // 10 dB below the floor: ≈ 0.41 dB.
+        let weak = noise_rise_db(-84.0, -74.0);
+        assert!(weak > 0.0 && weak < 1.0);
+        // Monotone in interference power.
+        assert!(noise_rise_db(-64.0, -74.0) > rise);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,7 +39,9 @@ pub mod scene;
 pub use blockage::{Blocker, BlockerPlacement};
 pub use bounds::{wall_clearance, ScenarioBounds};
 pub use geometry::{Point, Pose, Segment};
-pub use interference::{InterferenceLevel, Interferer};
+pub use interference::{
+    coupled_interference_dbm, noise_rise_db, ActiveTx, InterferenceLevel, Interferer,
+};
 pub use raytrace::RayPath;
 pub use room::{Environment, Material, Room, Wall};
 pub use scene::{BeamPairResponse, Scene, Tap};

@@ -1,0 +1,530 @@
+//! The discrete-event core of the simulator.
+//!
+//! Two pieces live here:
+//!
+//! * [`EventQueue`] — a global time-ordered event queue. Events pop in
+//!   `(time_ns, station, seq)` order: earliest first, ties broken by
+//!   station id, then by insertion order. The triple makes pop order a
+//!   pure function of the pushed events — never of heap internals or
+//!   thread timing — which is what lets a multi-station cell claim
+//!   bitwise determinism.
+//! * [`LinkMachine`] — the per-station resumable state machine
+//!   extracted from the old monolithic `execute` loop in `sim.rs`.
+//!   Each [`LinkMachine::step`] consumes exactly one unit of airtime
+//!   (one FAT-long frame, one BA sweep, or a zero-time phase
+//!   transition) and performs *the same floating-point operations in
+//!   the same order* as one iteration of the old loop, so driving a
+//!   machine to completion reproduces the pre-refactor
+//!   [`SegmentOutcome`] bit for bit (`tests/golden_engine.rs` pins
+//!   this).
+//!
+//! The single-link [`crate::sim::execute`] is the 1-station degenerate
+//! case: one machine, one queue, events chained back-to-back. The
+//! multi-station engine ([`crate::multisim`]) interleaves thousands of
+//! machines on one queue per AP cell and applies TDMA airtime shares to
+//! the per-step byte deltas.
+
+use crate::sim::{Config, LinkState, RateSpan, SegmentData, SegmentOutcome, SimConfig};
+use libra_dataset::Action3;
+use libra_obs as obs;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Total order on simulator events: time, then station, then sequence
+/// number. The sequence number is assigned by the queue at push time,
+/// so two events at the same instant for the same station pop in the
+/// order they were scheduled (FIFO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Absolute event time, nanoseconds.
+    pub time_ns: u64,
+    /// Station the event belongs to (tie-break between stations).
+    pub station: u32,
+    /// Queue-assigned insertion counter (tie-break within a station).
+    pub seq: u64,
+}
+
+/// Converts simulator milliseconds to the queue's nanosecond axis.
+///
+/// Half-microsecond rounding keeps distinct frame boundaries distinct:
+/// the smallest airtime step is one 2 ms FAT, about six orders of
+/// magnitude above the rounding quantum.
+pub fn ms_to_ns(ms: f64) -> u64 {
+    (ms * 1e6).round() as u64
+}
+
+struct Entry<E> {
+    key: EventKey,
+    payload: E,
+}
+
+// The heap is a max-heap; reverse the key order to pop earliest first.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.cmp(&self.key)
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+/// A deterministic min-heap of timestamped events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `(time_ns, station)`; returns the full
+    /// key (with the assigned sequence number).
+    pub fn push(&mut self, time_ns: u64, station: u32, payload: E) -> EventKey {
+        let key = EventKey {
+            time_ns,
+            station,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.heap.push(Entry { key, payload });
+        key
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(EventKey, E)> {
+        self.heap.pop().map(|e| (e.key, e.payload))
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time_ns(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.key.time_ns)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// What kind of airtime one machine step consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// One FAT-long data (or probe) frame.
+    Frame,
+    /// A beam-adaptation sector sweep (delivers nothing).
+    Sweep,
+    /// A zero-time phase transition (ladder settled, segment finished).
+    Transition,
+}
+
+/// The result of one [`LinkMachine::step`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepEvent {
+    /// Airtime this step consumed, ms (0 for transitions).
+    pub airtime_ms: f64,
+    /// Bytes delivered during the step, before any TDMA share scaling.
+    pub bytes: f64,
+    /// What the airtime was spent on.
+    pub kind: StepKind,
+}
+
+/// The downward-RA-ladder phase of Algorithm 1, one rung per step.
+#[derive(Debug, Clone, Copy)]
+struct LadderPhase {
+    /// Configuration the ladder probes on.
+    config: Config,
+    /// Next rung to probe (descending).
+    m: usize,
+    /// Best throughput seen so far.
+    max_tput: f64,
+    /// Rung where `max_tput` was seen.
+    best_m: usize,
+    /// Frames spent probing (telemetry).
+    probed: u64,
+    /// What to do when the ladder runs dry without settling.
+    on_fail: LadderFail,
+}
+
+/// Continuation when a ladder fails to settle on a working MCS.
+#[derive(Debug, Clone, Copy)]
+enum LadderFail {
+    /// Algorithm 1's RA path: sweep, then ladder again from the MCS in
+    /// use before adaptation was triggered.
+    SweepThenRetry { from: usize },
+    /// Already on the swept pair: fall through to steady state.
+    GiveUp,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// Multi-station only: the decision hasn't been applied yet — keep
+    /// transmitting on the stale entry configuration for the compute
+    /// delay, then dispatch the (already chosen) action.
+    Stale { remaining_ms: f64, then: Action3 },
+    /// Descending RA ladder.
+    Ladder(LadderPhase),
+    /// BA sector sweep in progress; ladder on the new pair afterwards.
+    Sweep { then_from: usize },
+    /// Steady state with adaptive upward probing (phase 2).
+    Steady,
+    /// Segment over; outcome ready.
+    Done,
+}
+
+/// A resumable per-station segment simulation.
+///
+/// Construction chooses the phase plan from the entry action; each
+/// [`step`](Self::step) then advances by exactly one frame, one sweep,
+/// or one phase transition. The per-step arithmetic — byte accounting,
+/// span coalescing, recovery stamping, probe backoff — is a verbatim
+/// extraction of the pre-refactor `execute` loop body, which is what
+/// makes the refactor safe: the golden test diffs outcomes bitwise.
+pub struct LinkMachine {
+    state: LinkState,
+    phase: Phase,
+    t: f64,
+    bytes: f64,
+    config: Config,
+    recovery: Option<f64>,
+    spans: Vec<RateSpan>,
+    broken_at_entry: bool,
+    recovery_delay_ms: Option<f64>,
+}
+
+impl LinkMachine {
+    /// A machine for one segment entered with `action` in `state`.
+    pub fn new(seg: &SegmentData, action: Action3, state: LinkState, cfg: &SimConfig) -> Self {
+        Self::with_delay(seg, action, state, cfg, 0.0)
+    }
+
+    /// Like [`new`](Self::new), but the action only takes effect after
+    /// `delay_ms` of transmission on the stale entry configuration —
+    /// the cost of a slow decision path (ROADMAP item 4: feed the
+    /// `obs`-measured decision p50 straight in).
+    pub fn with_delay(
+        seg: &SegmentData,
+        action: Action3,
+        mut state: LinkState,
+        cfg: &SimConfig,
+        delay_ms: f64,
+    ) -> Self {
+        let broken_at_entry = !cfg.working(seg, Config::Old, state.mcs);
+        state.did_ba = false;
+        let mut machine = Self {
+            state,
+            phase: Phase::Steady, // overwritten below
+            t: 0.0,
+            bytes: 0.0,
+            config: Config::Old,
+            recovery: None,
+            spans: Vec::new(),
+            broken_at_entry,
+            recovery_delay_ms: None,
+        };
+        machine.phase = if delay_ms > 0.0 {
+            Phase::Stale {
+                remaining_ms: delay_ms,
+                then: action,
+            }
+        } else {
+            machine.phase_for(action)
+        };
+        machine
+    }
+
+    fn phase_for(&self, action: Action3) -> Phase {
+        match action {
+            // Nothing to do. A mispredicted NA on a broken link simply
+            // keeps transmitting on the broken configuration; the
+            // steady phase's per-frame step-down then acts as an
+            // implicit slow ladder.
+            Action3::Na => Phase::Steady,
+            Action3::Ra => Phase::Ladder(LadderPhase {
+                config: Config::Old,
+                m: self.state.mcs,
+                max_tput: 0.0,
+                best_m: self.state.mcs,
+                probed: 0,
+                on_fail: LadderFail::SweepThenRetry {
+                    from: self.state.mcs,
+                },
+            }),
+            Action3::Ba => Phase::Sweep {
+                then_from: self.state.mcs,
+            },
+        }
+    }
+
+    /// Whether the segment has been fully simulated.
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    /// Local time within the segment, ms (may overshoot the segment
+    /// duration by up to one frame, exactly like the old loop).
+    pub fn local_time_ms(&self) -> f64 {
+        self.t
+    }
+
+    /// Link state as of the last completed step.
+    pub fn state(&self) -> LinkState {
+        self.state
+    }
+
+    // Coalescing span recorder (identical to the old one).
+    fn push_span(&mut self, start_ms: f64, len_ms: f64, mbps: f64) {
+        if len_ms <= 0.0 {
+            return;
+        }
+        if let Some(last) = self.spans.last_mut() {
+            if (last.mbps - mbps).abs() < 1e-9
+                && (last.start_ms + last.len_ms - start_ms).abs() < 1e-6
+            {
+                last.len_ms += len_ms;
+                return;
+            }
+        }
+        self.spans.push(RateSpan {
+            start_ms,
+            len_ms,
+            mbps,
+        });
+    }
+
+    /// Advances the machine by one event. Panics if already done.
+    pub fn step(&mut self, seg: &SegmentData, cfg: &SimConfig) -> StepEvent {
+        let fat = cfg.params.fat_ms;
+        let duration = seg.duration_ms;
+        match self.phase {
+            Phase::Stale { remaining_ms, then } => {
+                // The stale span delivers whatever the held pair still
+                // carries at the entry MCS — zero on a broken link,
+                // which is exactly the staleness cost.
+                let span = remaining_ms.min((duration - self.t).max(0.0));
+                let tp = cfg.tput(seg, self.config, self.state.mcs);
+                let delta = SimConfig::bytes(tp, span);
+                self.bytes += delta;
+                self.push_span(self.t, span, tp);
+                self.t += remaining_ms;
+                self.phase = self.phase_for(then);
+                StepEvent {
+                    airtime_ms: remaining_ms,
+                    bytes: delta,
+                    kind: StepKind::Frame,
+                }
+            }
+            Phase::Ladder(mut l) => {
+                if self.t >= duration {
+                    // Segment over; nothing more to decide.
+                    self.finish_ladder(l, true, duration);
+                    return StepEvent {
+                        airtime_ms: 0.0,
+                        bytes: 0.0,
+                        kind: StepKind::Transition,
+                    };
+                }
+                let span = fat.min(duration - self.t);
+                let tp = cfg.tput(seg, l.config, l.m);
+                let delta = SimConfig::bytes(tp, span);
+                self.bytes += delta;
+                self.push_span(self.t, span, tp);
+                self.t += fat;
+                l.probed += 1;
+                self.state.mcs = l.m;
+                if self.recovery.is_none() && cfg.working(seg, l.config, l.m) {
+                    self.recovery = Some(self.t);
+                }
+                if tp < l.max_tput {
+                    // Throughput stopped improving: settle on the best
+                    // so far (Algorithm 1: `curr_mcs ← MCS + 1` when
+                    // working).
+                    let settled = if cfg.working(seg, l.config, l.best_m) {
+                        self.state.mcs = l.best_m;
+                        true
+                    } else {
+                        false
+                    };
+                    self.finish_ladder(l, settled, duration);
+                } else {
+                    l.max_tput = tp;
+                    l.best_m = l.m;
+                    if l.m == 0 {
+                        // Reached the lowest MCS (Algorithm 1's
+                        // `isWorking(MCSmin)`).
+                        let settled = if cfg.working(seg, l.config, l.best_m) {
+                            self.state.mcs = l.best_m;
+                            true
+                        } else {
+                            false
+                        };
+                        self.finish_ladder(l, settled, duration);
+                    } else {
+                        l.m -= 1;
+                        self.phase = Phase::Ladder(l);
+                    }
+                }
+                StepEvent {
+                    airtime_ms: fat,
+                    bytes: delta,
+                    kind: StepKind::Frame,
+                }
+            }
+            Phase::Sweep { then_from } => {
+                let ba = cfg.params.ba_ms();
+                self.push_span(self.t, ba.min(duration - self.t), 0.0);
+                self.t += ba;
+                self.config = Config::Best;
+                self.state.did_ba = true;
+                self.phase = Phase::Ladder(LadderPhase {
+                    config: Config::Best,
+                    m: then_from,
+                    max_tput: 0.0,
+                    best_m: then_from,
+                    probed: 0,
+                    on_fail: LadderFail::GiveUp,
+                });
+                StepEvent {
+                    airtime_ms: ba,
+                    bytes: 0.0,
+                    kind: StepKind::Sweep,
+                }
+            }
+            Phase::Steady => {
+                if self.t >= duration {
+                    self.finish(seg);
+                    return StepEvent {
+                        airtime_ms: 0.0,
+                        bytes: 0.0,
+                        kind: StepKind::Transition,
+                    };
+                }
+                let max_mcs = seg.old.tput_mbps.len() - 1;
+                let span = fat.min(duration - self.t);
+                let d = seg.data(self.config);
+                // Opportunistic recovery bookkeeping: a broken link
+                // that becomes "working" only through the probe loop.
+                if self.recovery.is_none() && cfg.working(seg, self.config, self.state.mcs) {
+                    self.recovery = Some(self.t);
+                }
+                let delta;
+                if self.state.probe_wait_frames == 0
+                    && self.state.mcs < max_mcs
+                    && d.cdr[self.state.mcs] > cfg.cdr_ori
+                {
+                    // Probe the next MCS up with one frame.
+                    let up = self.state.mcs + 1;
+                    delta = SimConfig::bytes(cfg.tput(seg, self.config, up), span);
+                    self.bytes += delta;
+                    self.push_span(self.t, span, cfg.tput(seg, self.config, up));
+                    self.t += fat;
+                    if cfg.tput(seg, self.config, up) > cfg.tput(seg, self.config, self.state.mcs) {
+                        self.state.mcs = up;
+                        self.state.failed_probes = 0;
+                        self.state.probe_wait_frames = cfg.t0_frames;
+                    } else {
+                        self.state.failed_probes = (self.state.failed_probes + 1).min(16);
+                        let mult = 2u32.saturating_pow(self.state.failed_probes).min(25);
+                        self.state.probe_wait_frames = cfg.t0_frames * mult;
+                    }
+                } else {
+                    delta = SimConfig::bytes(cfg.tput(seg, self.config, self.state.mcs), span);
+                    self.bytes += delta;
+                    self.push_span(self.t, span, cfg.tput(seg, self.config, self.state.mcs));
+                    self.t += fat;
+                    self.state.probe_wait_frames = self.state.probe_wait_frames.saturating_sub(1);
+                    // Downward reaction: if the current MCS stops
+                    // working (possible after a bad upward adoption),
+                    // step down one level per frame — Algorithm 1's
+                    // noACK/rollback path.
+                    if !cfg.working(seg, self.config, self.state.mcs) && self.state.mcs > 0 {
+                        self.state.mcs -= 1;
+                    }
+                }
+                StepEvent {
+                    airtime_ms: fat,
+                    bytes: delta,
+                    kind: StepKind::Frame,
+                }
+            }
+            Phase::Done => panic!("LinkMachine::step called after completion"),
+        }
+    }
+
+    fn finish_ladder(&mut self, l: LadderPhase, settled: bool, duration: f64) {
+        obs::record_value("sim.ladder.depth", l.probed);
+        self.phase = if settled {
+            Phase::Steady
+        } else {
+            match l.on_fail {
+                // Algorithm 1: failed ladder → BA, then RA again from
+                // the MCS in use before adaptation was triggered — but
+                // only if there is segment left to spend it on.
+                LadderFail::SweepThenRetry { from } if self.t < duration => {
+                    Phase::Sweep { then_from: from }
+                }
+                LadderFail::SweepThenRetry { .. } | LadderFail::GiveUp => Phase::Steady,
+            }
+        };
+    }
+
+    /// Computes the final outcome fields; transitions to `Done`.
+    fn finish(&mut self, seg: &SegmentData) {
+        let duration = seg.duration_ms;
+        // Recovery delay is only defined when the link was actually
+        // broken at segment entry; a break that never recovers is
+        // capped at the segment duration so CDFs remain well-defined.
+        self.recovery_delay_ms = if self.broken_at_entry {
+            Some(self.recovery.unwrap_or(duration).min(duration))
+        } else {
+            None
+        };
+        if let Some(delay) = self.recovery_delay_ms {
+            // Microsecond resolution keeps the log₂ buckets meaningful
+            // for sub-millisecond recoveries; the value is a
+            // deterministic function of the segment, so this histogram
+            // digests.
+            obs::record_value("sim.recovery_delay_us", (delay * 1000.0) as u64);
+        }
+        self.phase = Phase::Done;
+    }
+
+    /// Consumes the machine into its [`SegmentOutcome`]. Panics unless
+    /// [`is_done`](Self::is_done).
+    pub fn into_outcome(self) -> SegmentOutcome {
+        assert!(
+            matches!(self.phase, Phase::Done),
+            "LinkMachine::into_outcome before completion"
+        );
+        SegmentOutcome {
+            bytes: self.bytes,
+            recovery_delay_ms: self.recovery_delay_ms,
+            end_state: self.state,
+            spans: self.spans,
+        }
+    }
+}

@@ -17,6 +17,14 @@
 //!   Algorithm 1 (downward RA ladder, BA fallback, adaptive upward
 //!   probing) and the five evaluated algorithms: `RA First`, `BA First`,
 //!   `LiBRA`, `Oracle-Data`, `Oracle-Delay`.
+//! * [`event`] — the discrete-event core under the simulator: a
+//!   deterministic event queue plus the per-link adaptation state
+//!   machine (`LinkMachine`) extracted from the old monolithic
+//!   `execute` loop.
+//! * [`multisim`] — the multi-station engine on top of [`event`]:
+//!   N APs × M stations with TDMA airtime contention, cross-cell
+//!   interference coupling, waypoint roaming, and delayed decisions —
+//!   bitwise identical at any thread count.
 //! * [`timeline`] — multi-impairment random timelines (§8.3) with a
 //!   scene-based runner that tracks each policy's true beam pair.
 //! * [`vr`] — the 8K/60FPS VR streaming study (§8.4): synthetic encoded
@@ -59,7 +67,9 @@
 #![warn(missing_docs)]
 
 pub mod classifier;
+pub mod event;
 pub mod history;
+pub mod multisim;
 pub mod online;
 pub mod regret;
 pub mod sim;
@@ -67,14 +77,16 @@ pub mod timeline;
 pub mod vr;
 
 pub use classifier::{DecidePolicy, Decision, LibraClassifier, CLASS_LABELS};
+pub use event::{EventKey, EventQueue, LinkMachine, StepEvent, StepKind};
 pub use history::{
     collect_history_dataset, run_timeline_with_history, FeatureHistory, HistoryClassifier,
 };
+pub use multisim::{run_multisim, MultiSimConfig, MultiSimOutcome, StationChannel, StationStats};
 pub use online::{run_timeline_online, OnlineLibra};
 pub use regret::{entry_regret, CoverageKey, EntryRegret, RegretReport};
 pub use sim::{
-    execute, run_policy_segment, Config, ConfigData, LinkState, PolicyKind, RateSpan, SegmentData,
-    SegmentOutcome, SimConfig,
+    decide_action, execute, run_policy_segment, Config, ConfigData, LinkState, PolicyKind,
+    RateSpan, SegmentData, SegmentOutcome, SimConfig,
 };
 pub use timeline::{
     generate_timeline, run_timeline, ScenarioType, Timeline, TimelineConfig, TimelineResult,

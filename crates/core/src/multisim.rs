@@ -1,0 +1,865 @@
+//! The multi-station discrete-event simulator.
+//!
+//! Scales the §8 single-link engine to N APs × M stations: every
+//! station runs the same per-segment [`LinkMachine`] as the single-link
+//! executor, but the machines of one AP cell interleave on a shared
+//! [`EventQueue`] and contend for airtime through the
+//! [`TdmaArbiter`] — a station's BA sweep occupies real slots the other
+//! stations lose, and an active neighbor's side-lobe leakage raises the
+//! measured interference floor ([`coupled_interference_dbm`]).
+//!
+//! ## Determinism contract
+//!
+//! A run is a pure function of [`MultiSimConfig`] — bitwise identical
+//! at any thread count. The construction:
+//!
+//! * Roaming is **precomputed**: the full handoff schedule is derived
+//!   from the seed before any cell runs, so cells never communicate at
+//!   runtime and can be simulated independently.
+//! * Cells shard across [`par_map`] and merge in **cell-index order**;
+//!   every stochastic quantity draws from a [`SplitMix64`] stream
+//!   derived per `(station, residency, segment)`, never from a shared
+//!   stream.
+//! * Within a cell, events pop in `(time_ns, station, seq)` order and
+//!   TDMA shares are pure functions of set membership.
+//!
+//! The per-run [`MultiSimOutcome::digest`] folds every processed event
+//! and every final per-station outcome, so the contract is checkable
+//! with one integer comparison (`tests/multisim.rs` pins 1-vs-N-thread
+//! equality; the CI smoke job re-checks it on every push).
+//!
+//! ## Relation to the single-link paths
+//!
+//! With 1 AP × 1 station, no roaming and no decision delay, the engine
+//! degenerates to exactly the single-link executor: the lone station
+//! holds a TDMA share of 1.0, the interference sum is empty (rise is
+//! exactly 0 dB), and each segment reduces to
+//! [`crate::sim::run_policy_segment`] (`tests/multisim.rs` pins bitwise
+//! byte equality).
+
+use crate::classifier::LibraClassifier;
+use crate::event::{ms_to_ns, EventQueue, LinkMachine, StepKind};
+use crate::sim::{decide_action, ConfigData, LinkState, PolicyKind, SegmentData, SimConfig};
+use libra_channel::{coupled_interference_dbm, noise_rise_db, ActiveTx, Point};
+use libra_dataset::{Action3, Features};
+use libra_mac::{BaOverheadPreset, ProtocolParams, TdmaArbiter};
+use libra_obs as obs;
+use libra_phy::{ErrorModel, McsTable};
+use libra_util::checksum::Fnv64;
+use libra_util::db::noise_floor_dbm;
+use libra_util::par::par_map;
+use libra_util::rng::{derive_seed, derive_seed_index, SplitMix64};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration of one multi-station run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSimConfig {
+    /// Number of AP cells.
+    pub n_aps: u32,
+    /// Stations initially associated with each AP.
+    pub stations_per_ap: u32,
+    /// Simulated wall time, ms.
+    pub duration_ms: f64,
+    /// Root seed; everything derives from it.
+    pub seed: u64,
+    /// Adaptation policy every station runs.
+    pub policy: PolicyKind,
+    /// Single-link simulator parameters (BA overhead, FAT, thresholds).
+    pub sim: SimConfig,
+    /// Decision-path compute delay, ms: each segment transmits on the
+    /// stale entry configuration this long before the chosen action is
+    /// applied. Feed the `obs`-measured decision p50 in to make a slow
+    /// classifier pay for its staleness (ROADMAP item 4).
+    pub decision_delay_ms: f64,
+    /// Mean channel-coherence segment length, ms (actual lengths draw
+    /// uniformly in ±50 %).
+    pub mean_segment_ms: f64,
+    /// Mean interval between roaming handoffs per station, ms;
+    /// `0` disables roaming (as does a single-AP topology).
+    pub roam_interval_ms: f64,
+    /// Side-lobe leakage EIRP of an active station toward its
+    /// neighbors, dBm (cross-station coupling).
+    pub station_eirp_dbm: f64,
+    /// Radius stations wander within around their AP, m.
+    pub cell_radius_m: f64,
+    /// Spacing of the AP grid, m.
+    pub ap_spacing_m: f64,
+}
+
+impl MultiSimConfig {
+    /// Defaults for an `n_aps` × `stations_per_ap` topology: 10 s of
+    /// wall time, RA-First (no model required), the 5 ms BA preset with
+    /// 2 ms FAT, roaming every ~3 s, 8 m cells on a 20 m grid.
+    pub fn new(n_aps: u32, stations_per_ap: u32) -> Self {
+        Self {
+            n_aps,
+            stations_per_ap,
+            duration_ms: 10_000.0,
+            seed: 0x11B7A,
+            policy: PolicyKind::RaFirst,
+            sim: SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni3, 2.0)),
+            decision_delay_ms: 0.0,
+            mean_segment_ms: 800.0,
+            roam_interval_ms: 3_000.0,
+            station_eirp_dbm: 8.0,
+            cell_radius_m: 8.0,
+            ap_spacing_m: 20.0,
+        }
+    }
+
+    /// Total station count.
+    pub fn n_stations(&self) -> u32 {
+        self.n_aps * self.stations_per_ap
+    }
+
+    /// Center of cell `ap` on the square deployment grid.
+    pub fn ap_center(&self, ap: u32) -> Point {
+        let g = (self.n_aps as f64).sqrt().ceil().max(1.0) as u32;
+        Point::new(
+            (ap % g) as f64 * self.ap_spacing_m,
+            (ap / g) as f64 * self.ap_spacing_m,
+        )
+    }
+}
+
+/// Per-station aggregate results of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StationStats {
+    /// Global station id.
+    pub station: u32,
+    /// AP the station started on.
+    pub home_ap: u32,
+    /// Bytes delivered over the whole run (TDMA-share scaled).
+    pub bytes: f64,
+    /// Mean delivered rate over the run, Mbps.
+    pub mean_mbps: f64,
+    /// Channel segments simulated.
+    pub segments: u64,
+    /// Roaming handoffs performed.
+    pub handoffs: u64,
+    /// Segments entered with a broken link.
+    pub broken_segments: u64,
+    /// Total link-recovery delay across broken segments, ms.
+    pub recovery_ms_total: f64,
+}
+
+impl StationStats {
+    fn zero(station: u32, home_ap: u32) -> Self {
+        Self {
+            station,
+            home_ap,
+            bytes: 0.0,
+            mean_mbps: 0.0,
+            segments: 0,
+            handoffs: 0,
+            broken_segments: 0,
+            recovery_ms_total: 0.0,
+        }
+    }
+
+    /// Mean recovery delay over this station's broken segments, ms
+    /// (0 when none were broken).
+    pub fn mean_recovery_ms(&self) -> f64 {
+        if self.broken_segments == 0 {
+            0.0
+        } else {
+            self.recovery_ms_total / self.broken_segments as f64
+        }
+    }
+}
+
+/// What one multi-station run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSimOutcome {
+    /// Per-station results, by station id.
+    pub stations: Vec<StationStats>,
+    /// Discrete events processed across all cells.
+    pub events: u64,
+    /// FNV-1a fold of every event and every final station outcome —
+    /// the bitwise-determinism witness.
+    pub digest: u64,
+    /// Bytes delivered across all stations.
+    pub total_bytes: f64,
+    /// Simulated wall time, ms.
+    pub duration_ms: f64,
+}
+
+impl MultiSimOutcome {
+    /// Total roaming handoffs across all stations.
+    pub fn total_handoffs(&self) -> u64 {
+        self.stations.iter().map(|s| s.handoffs).sum()
+    }
+
+    /// The `p`-th percentile (0–100) of the per-station mean rate, Mbps.
+    pub fn mbps_percentile(&self, p: f64) -> f64 {
+        let mbps: Vec<f64> = self.stations.iter().map(|s| s.mean_mbps).collect();
+        libra_util::percentile(&mbps, p)
+    }
+}
+
+/// Synthetic per-station 60 GHz channel: a bounded random walk around
+/// the AP with distance-dependent SNR, per-segment shadowing, and
+/// old/best beam-pair divergence mapped through the PHY error model.
+///
+/// Public so the degenerate-case test (and anyone replaying a station's
+/// exact segment sequence) can regenerate segments outside the engine:
+/// the draw sequence is a pure function of `(run seed, station,
+/// residency, segment index)`.
+///
+/// The single-link §8 paths keep the ray-traced [`libra_channel`]
+/// scenes; this synthetic channel exists so topologies of thousands of
+/// stations need no per-station scene geometry.
+#[derive(Debug, Clone)]
+pub struct StationChannel {
+    seed: u64,
+    seg_index: u64,
+    pos: Point,
+    ap_center: Point,
+    placed: bool,
+    prev_snr_db: f64,
+    prev_spread_ns: f64,
+    prev_rise_db: f64,
+}
+
+impl StationChannel {
+    /// A channel stream for `station`'s `residency`-th association
+    /// (0 = initial; bumped on every roam so a station returning to a
+    /// cell never replays its earlier segments).
+    pub fn new(run_seed: u64, station: u32, residency: u64, ap_center: Point) -> Self {
+        let base = derive_seed(run_seed, "chan");
+        Self {
+            seed: derive_seed_index(derive_seed_index(base, station as u64), residency),
+            seg_index: 0,
+            pos: ap_center,
+            ap_center,
+            placed: false,
+            prev_snr_db: 20.0,
+            prev_spread_ns: 2.0,
+            prev_rise_db: 0.0,
+        }
+    }
+
+    /// The station's current position.
+    pub fn position(&self) -> Point {
+        self.pos
+    }
+
+    /// Draws the next channel-coherence segment.
+    ///
+    /// `interference_rise_db` is the effective-SNR loss from neighbor
+    /// coupling at segment entry (the engine recomputes it on every
+    /// topology change); `remaining_ms` caps the drawn duration at the
+    /// end of the run. The number and order of RNG draws is fixed, so
+    /// the stream is insensitive to the *values* of either argument.
+    pub fn next_segment(
+        &mut self,
+        cfg: &MultiSimConfig,
+        entry_mcs: usize,
+        interference_rise_db: f64,
+        remaining_ms: f64,
+    ) -> SegmentData {
+        let mut rng = SplitMix64::new(derive_seed_index(self.seed, self.seg_index));
+        self.seg_index += 1;
+        let moved_m;
+        if !self.placed {
+            // Uniform placement over the cell disc.
+            let r = cfg.cell_radius_m * rng.uniform().sqrt();
+            let th = rng.range(0.0, std::f64::consts::TAU);
+            self.pos = self.ap_center.add(Point::new(r * th.cos(), r * th.sin()));
+            self.placed = true;
+            moved_m = 0.0;
+        } else {
+            // Random-walk step, reflected back inside the cell radius.
+            let step = Point::new(0.4 * rng.normal(), 0.4 * rng.normal());
+            let mut p = self.pos.add(step);
+            let d = self.ap_center.distance(p);
+            if d > cfg.cell_radius_m {
+                p = self
+                    .ap_center
+                    .add(p.sub(self.ap_center).scale(cfg.cell_radius_m / d));
+            }
+            moved_m = self.pos.distance(p);
+            self.pos = p;
+        }
+        let duration_ms = (cfg.mean_segment_ms * rng.range(0.5, 1.5))
+            .min(remaining_ms)
+            .max(cfg.sim.params.fat_ms);
+        // Distance-dependent median SNR spanning the X60 MCS ladder
+        // (~26 dB at 1 m down to ~8 dB at the 8 m cell edge), plus
+        // shadowing.
+        let dist = self.pos.distance(self.ap_center).max(1.0);
+        let pair_snr = 26.0 - 20.0 * dist.log10() + 2.0 * rng.normal();
+        // The held pair degrades by the impairment the segment boundary
+        // represents (heavy tail: occasionally the link breaks); the
+        // sweep-best pair tracks the channel much more closely.
+        let old_snr = pair_snr - rng.normal().abs() * 5.0 - interference_rise_db;
+        let best_snr = pair_snr - rng.normal().abs() * 1.0 - interference_rise_db;
+        let old_spread = 1.5 + rng.normal().abs() * 2.5;
+        let best_spread = 1.0 + rng.normal().abs() * 1.0;
+        let table = McsTable::x60();
+        let em = ErrorModel::default();
+        let old = table_data(&em, &table, old_snr, old_spread);
+        let best = table_data(&em, &table, best_snr, best_spread);
+        let entry_mcs = entry_mcs.min(table.len() - 1);
+        let features = Features {
+            snr_diff_db: self.prev_snr_db - old_snr,
+            // Free-space ToF shift of the walked distance (~3.34 ns/m).
+            tof_diff_ns: moved_m * 3.336,
+            noise_diff_db: interference_rise_db - self.prev_rise_db,
+            pdp_similarity: (-(old_spread - self.prev_spread_ns).abs() / 8.0).exp(),
+            csi_similarity: (-(self.prev_snr_db - old_snr).abs() / 12.0).exp(),
+            cdr: old.cdr[entry_mcs],
+            initial_mcs: entry_mcs,
+        };
+        self.prev_snr_db = old_snr;
+        self.prev_spread_ns = old_spread;
+        self.prev_rise_db = interference_rise_db;
+        SegmentData {
+            old,
+            best,
+            features,
+            duration_ms,
+        }
+    }
+}
+
+/// Per-MCS measurement tables for one beam pair under the error model.
+fn table_data(em: &ErrorModel, table: &McsTable, snr_db: f64, spread_ns: f64) -> ConfigData {
+    let mut tput = Vec::with_capacity(table.len());
+    let mut cdr = Vec::with_capacity(table.len());
+    for e in table.iter() {
+        tput.push(em.expected_throughput_mbps(e, snr_db, spread_ns));
+        cdr.push(em.cdr(e, snr_db, spread_ns));
+    }
+    ConfigData {
+        tput_mbps: tput.into(),
+        cdr: cdr.into(),
+    }
+}
+
+/// Precomputed membership timeline of one cell: who starts here, who
+/// roams in (with their per-station residency counter), who roams out.
+struct CellPlan {
+    ap: u32,
+    initial: Vec<u32>,
+    /// `(time_ns, time_ms, station, residency)`, time-sorted.
+    arrivals: Vec<(u64, f64, u32, u64)>,
+    /// `(time_ns, station)`, time-sorted.
+    departures: Vec<(u64, u32)>,
+}
+
+/// Derives the full roaming schedule from the seed — a pure function of
+/// the config, computed before any cell runs, so cells stay independent.
+fn build_plans(cfg: &MultiSimConfig) -> Vec<CellPlan> {
+    let mut plans: Vec<CellPlan> = (0..cfg.n_aps)
+        .map(|ap| CellPlan {
+            ap,
+            initial: Vec::new(),
+            arrivals: Vec::new(),
+            departures: Vec::new(),
+        })
+        .collect();
+    let roam_seed = derive_seed(cfg.seed, "roam");
+    for s in 0..cfg.n_stations() {
+        let home = s / cfg.stations_per_ap;
+        plans[home as usize].initial.push(s);
+        if cfg.roam_interval_ms <= 0.0 || cfg.n_aps < 2 {
+            continue;
+        }
+        let mut rng = SplitMix64::new(derive_seed_index(roam_seed, s as u64));
+        let mut t = 0.0;
+        let mut ap = home;
+        let mut residency: u64 = 1;
+        loop {
+            t += cfg.roam_interval_ms * rng.range(0.75, 1.25);
+            if t >= cfg.duration_ms {
+                break;
+            }
+            let mut to = (rng.next_u64() % cfg.n_aps as u64) as u32;
+            if to == ap {
+                to = (to + 1) % cfg.n_aps;
+            }
+            plans[ap as usize].departures.push((ms_to_ns(t), s));
+            plans[to as usize]
+                .arrivals
+                .push((ms_to_ns(t), t, s, residency));
+            ap = to;
+            residency += 1;
+        }
+    }
+    for p in &mut plans {
+        p.arrivals.sort_unstable_by_key(|a| (a.0, a.2));
+        p.departures.sort_unstable_by_key(|d| (d.0, d.1));
+    }
+    plans
+}
+
+/// Cell-local event payloads (ordering lives in the queue key).
+enum Ev {
+    /// Station associates (initial association or roam-in).
+    Join { at_ms: f64, residency: u64 },
+    /// Station roams out.
+    Leave,
+    /// Segment boundary: finalize the running segment, draw and decide
+    /// the next one.
+    Decide { gen: u64, at_ms: f64 },
+    /// One machine step (frame, sweep, or transition) is due.
+    Step { gen: u64 },
+    /// A BA sweep's airtime window ends; release its TDMA slots.
+    BaEnd { gen: u64 },
+}
+
+fn ev_tag(ev: &Ev) -> u64 {
+    match ev {
+        Ev::Join { .. } => 1,
+        Ev::Leave => 2,
+        Ev::Decide { .. } => 3,
+        Ev::Step { .. } => 4,
+        Ev::BaEnd { .. } => 5,
+    }
+}
+
+/// Digest tag for machine steps drained inline at a segment boundary.
+const TAG_DRAIN: u64 = 6;
+
+/// One station's live state within a cell.
+struct StationSim {
+    chan: StationChannel,
+    link: LinkState,
+    /// Segment generation; bumped per segment so stale `Step`/`BaEnd`
+    /// events from a finalized segment are ignored.
+    gen: u64,
+    machine: Option<(LinkMachine, SegmentData)>,
+    seg_start_ms: f64,
+    /// TDMA-share-scaled bytes of the running segment.
+    seg_bytes: f64,
+    sweeping: bool,
+    stats: StationStats,
+}
+
+struct CellOutcome {
+    /// Partial per-station stats in deterministic order; a station that
+    /// leaves and returns contributes one entry per stay.
+    stats: Vec<StationStats>,
+    events: u64,
+    digest: u64,
+}
+
+fn simulate_cell(
+    cfg: &MultiSimConfig,
+    clf: Option<&LibraClassifier>,
+    plan: &CellPlan,
+) -> CellOutcome {
+    let center = cfg.ap_center(plan.ap);
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut arb = TdmaArbiter::new();
+    let mut present: BTreeMap<u32, StationSim> = BTreeMap::new();
+    let mut done: Vec<StationStats> = Vec::new();
+    let mut digest = Fnv64::new();
+    let mut events: u64 = 0;
+
+    for &s in &plan.initial {
+        q.push(
+            0,
+            s,
+            Ev::Join {
+                at_ms: 0.0,
+                residency: 0,
+            },
+        );
+    }
+    for &(ns, ms, s, residency) in &plan.arrivals {
+        q.push(
+            ns,
+            s,
+            Ev::Join {
+                at_ms: ms,
+                residency,
+            },
+        );
+    }
+    for &(ns, s) in &plan.departures {
+        q.push(ns, s, Ev::Leave);
+    }
+
+    while let Some((key, ev)) = q.pop() {
+        events += 1;
+        digest
+            .write_u64(key.time_ns)
+            .write_u64(((key.station as u64) << 8) | ev_tag(&ev));
+        let s = key.station;
+        match ev {
+            Ev::Join { at_ms, residency } => {
+                arb.join(s);
+                let mut st = StationSim {
+                    chan: StationChannel::new(cfg.seed, s, residency, center),
+                    link: LinkState::at_mcs(6),
+                    gen: 0,
+                    machine: None,
+                    seg_start_ms: at_ms,
+                    seg_bytes: 0.0,
+                    sweeping: false,
+                    stats: StationStats::zero(s, s / cfg.stations_per_ap),
+                };
+                if residency > 0 {
+                    st.stats.handoffs = 1;
+                    obs::counter("multisim.handoff", 1);
+                }
+                present.insert(s, st);
+                // A roam-in re-associates: the first segment opens with
+                // the 802.11ad association beam training (a forced BA).
+                start_segment(
+                    cfg,
+                    clf,
+                    &mut q,
+                    &arb,
+                    &mut present,
+                    s,
+                    at_ms,
+                    residency > 0,
+                );
+            }
+            Ev::Leave => {
+                if let Some(mut st) = present.remove(&s) {
+                    // The in-flight segment completes at the handoff
+                    // instant (its remaining frames run back-to-back) —
+                    // the simplification that keeps cells independent.
+                    drain_machine(cfg, &mut arb, &mut st, s, &mut events, &mut digest);
+                    arb.leave(s);
+                    done.push(st.stats);
+                }
+            }
+            Ev::Decide { gen, at_ms } => {
+                let Some(st) = present.get_mut(&s) else {
+                    continue;
+                };
+                if st.gen != gen {
+                    continue;
+                }
+                drain_machine(cfg, &mut arb, st, s, &mut events, &mut digest);
+                start_segment(cfg, clf, &mut q, &arb, &mut present, s, at_ms, false);
+            }
+            Ev::Step { gen } => {
+                let Some(st) = present.get_mut(&s) else {
+                    continue;
+                };
+                if st.gen != gen {
+                    continue;
+                }
+                let Some((machine, seg)) = st.machine.as_mut() else {
+                    continue;
+                };
+                let step = machine.step(seg, &cfg.sim);
+                if step.kind == StepKind::Sweep {
+                    st.sweeping = true;
+                    arb.ba_start(s);
+                    q.push(
+                        ms_to_ns(st.seg_start_ms + machine.local_time_ms()),
+                        s,
+                        Ev::BaEnd { gen },
+                    );
+                }
+                st.seg_bytes += step.bytes * arb.share(s);
+                if machine.is_done() {
+                    finalize_segment(&mut arb, st, s);
+                } else {
+                    q.push(
+                        ms_to_ns(st.seg_start_ms + machine.local_time_ms()),
+                        s,
+                        Ev::Step { gen },
+                    );
+                }
+            }
+            Ev::BaEnd { gen } => {
+                if let Some(st) = present.get_mut(&s) {
+                    if st.gen == gen && st.sweeping {
+                        arb.ba_end(s);
+                        st.sweeping = false;
+                    }
+                }
+            }
+        }
+    }
+
+    // The queue drains with every machine finalized (the last Decide of
+    // each segment chain fires at or past the run end and starts
+    // nothing new); collect the stations still associated.
+    for (_, mut st) in std::mem::take(&mut present) {
+        let id = st.stats.station;
+        drain_machine(cfg, &mut arb, &mut st, id, &mut events, &mut digest);
+        done.push(st.stats);
+    }
+    done.sort_by_key(|s| s.station);
+    CellOutcome {
+        stats: done,
+        events,
+        digest: digest.finish(),
+    }
+}
+
+/// Draws, decides and launches the next segment for `station`.
+#[allow(clippy::too_many_arguments)]
+fn start_segment(
+    cfg: &MultiSimConfig,
+    clf: Option<&LibraClassifier>,
+    q: &mut EventQueue<Ev>,
+    arb: &TdmaArbiter,
+    present: &mut BTreeMap<u32, StationSim>,
+    station: u32,
+    now_ms: f64,
+    force_ba: bool,
+) {
+    if now_ms >= cfg.duration_ms {
+        return;
+    }
+    // Cross-station coupling, recomputed at every topology change (this
+    // segment boundary): every *other* station mid-segment radiates
+    // side-lobe leakage weighted by its TDMA duty cycle.
+    let victim = present[&station].chan.position();
+    let sources: Vec<ActiveTx> = present
+        .iter()
+        .filter(|(id, other)| **id != station && other.machine.is_some())
+        .map(|(id, other)| ActiveTx {
+            position: other.chan.position(),
+            eirp_dbm: cfg.station_eirp_dbm,
+            duty_cycle: arb.share(*id),
+        })
+        .collect();
+    let rise = noise_rise_db(
+        coupled_interference_dbm(victim, &sources),
+        noise_floor_dbm(),
+    );
+    let st = present.get_mut(&station).expect("station present");
+    let seg = st
+        .chan
+        .next_segment(cfg, st.link.mcs, rise, cfg.duration_ms - now_ms);
+    let action = if force_ba {
+        Action3::Ba
+    } else {
+        decide_action(&seg, cfg.policy, clf, st.link, &cfg.sim)
+    };
+    let machine = LinkMachine::with_delay(&seg, action, st.link, &cfg.sim, cfg.decision_delay_ms);
+    st.gen += 1;
+    st.seg_start_ms = now_ms;
+    st.seg_bytes = 0.0;
+    st.stats.segments += 1;
+    q.push(ms_to_ns(now_ms), station, Ev::Step { gen: st.gen });
+    q.push(
+        ms_to_ns(now_ms + seg.duration_ms),
+        station,
+        Ev::Decide {
+            gen: st.gen,
+            at_ms: now_ms + seg.duration_ms,
+        },
+    );
+    st.machine = Some((machine, seg));
+}
+
+/// Runs the in-flight machine to completion at the current instant
+/// (segment boundary or roam-out) and folds its outcome into the stats.
+fn drain_machine(
+    cfg: &MultiSimConfig,
+    arb: &mut TdmaArbiter,
+    st: &mut StationSim,
+    station: u32,
+    events: &mut u64,
+    digest: &mut Fnv64,
+) {
+    while let Some((machine, seg)) = st.machine.as_mut() {
+        let step = machine.step(seg, &cfg.sim);
+        *events += 1;
+        digest.write_u64(((station as u64) << 8) | TAG_DRAIN);
+        if step.kind == StepKind::Sweep {
+            st.sweeping = true;
+            arb.ba_start(station);
+        }
+        st.seg_bytes += step.bytes * arb.share(station);
+        if machine.is_done() {
+            finalize_segment(arb, st, station);
+        }
+    }
+}
+
+/// Retires a completed machine: outcome into the running stats, TDMA
+/// sweep slots released, link state carried to the next segment.
+fn finalize_segment(arb: &mut TdmaArbiter, st: &mut StationSim, station: u32) {
+    let (machine, _seg) = st.machine.take().expect("finalize with live machine");
+    let out = machine.into_outcome();
+    st.link = out.end_state;
+    st.stats.bytes += st.seg_bytes;
+    st.seg_bytes = 0.0;
+    if let Some(d) = out.recovery_delay_ms {
+        st.stats.broken_segments += 1;
+        st.stats.recovery_ms_total += d;
+    }
+    if st.sweeping {
+        arb.ba_end(station);
+        st.sweeping = false;
+    }
+}
+
+/// Runs the full multi-station simulation.
+///
+/// `clf` is required for [`PolicyKind::Libra`] and ignored otherwise.
+/// Cells shard across the configured worker threads and merge in cell
+/// order; the result is bitwise identical at any thread count.
+pub fn run_multisim(cfg: &MultiSimConfig, clf: Option<&LibraClassifier>) -> MultiSimOutcome {
+    assert!(
+        cfg.n_aps > 0 && cfg.stations_per_ap > 0,
+        "multisim needs at least one AP and one station"
+    );
+    assert!(
+        cfg.policy != PolicyKind::Libra || clf.is_some(),
+        "LiBRA policy needs a classifier"
+    );
+    let _span = obs::span("multisim.run");
+    let plans = build_plans(cfg);
+    let cells = par_map(&plans, |_, plan| simulate_cell(cfg, clf, plan));
+
+    let mut merged: BTreeMap<u32, StationStats> = BTreeMap::new();
+    let mut digest = Fnv64::new();
+    let mut events: u64 = 0;
+    for cell in &cells {
+        digest.write_u64(cell.digest);
+        events += cell.events;
+        for part in &cell.stats {
+            let e = merged
+                .entry(part.station)
+                .or_insert_with(|| StationStats::zero(part.station, part.home_ap));
+            e.bytes += part.bytes;
+            e.segments += part.segments;
+            e.handoffs += part.handoffs;
+            e.broken_segments += part.broken_segments;
+            e.recovery_ms_total += part.recovery_ms_total;
+        }
+    }
+    let secs = cfg.duration_ms / 1000.0;
+    let mut stations: Vec<StationStats> = merged.into_values().collect();
+    for s in &mut stations {
+        s.mean_mbps = s.bytes * 8.0 / 1e6 / secs;
+        digest
+            .write_f64(s.bytes)
+            .write_u64(s.segments)
+            .write_u64(s.handoffs);
+    }
+    let total_bytes = stations.iter().map(|s| s.bytes).sum();
+    obs::counter("multisim.events", events);
+    MultiSimOutcome {
+        stations,
+        events,
+        digest: digest.finish(),
+        total_bytes,
+        duration_ms: cfg.duration_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(mut cfg: MultiSimConfig) -> MultiSimConfig {
+        cfg.roam_interval_ms = 0.0;
+        cfg.duration_ms = 3_000.0;
+        cfg
+    }
+
+    #[test]
+    fn runs_and_reports_every_station() {
+        let cfg = quiet(MultiSimConfig::new(2, 3));
+        let out = run_multisim(&cfg, None);
+        assert_eq!(out.stations.len(), 6);
+        assert!(out.events > 0);
+        assert!(out.total_bytes > 0.0);
+        for s in &out.stations {
+            assert!(s.segments > 0, "station {} simulated no segment", s.station);
+            assert_eq!(s.home_ap, s.station / 3);
+            assert!((s.mean_mbps - s.bytes * 8.0 / 1e6 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_digest_different_seed_differs() {
+        let cfg = quiet(MultiSimConfig::new(2, 2));
+        let a = run_multisim(&cfg, None);
+        let b = run_multisim(&cfg, None);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.total_bytes.to_bits(), b.total_bytes.to_bits());
+        let mut other = cfg;
+        other.seed ^= 1;
+        assert_ne!(run_multisim(&other, None).digest, a.digest);
+    }
+
+    #[test]
+    fn contention_costs_throughput() {
+        // The same station delivers fewer bytes when seven neighbors
+        // share its cell than when it owns the frame alone.
+        let solo_cfg = quiet(MultiSimConfig::new(1, 1));
+        let solo = run_multisim(&solo_cfg, None);
+        let crowded_cfg = quiet(MultiSimConfig::new(1, 8));
+        let crowded = run_multisim(&crowded_cfg, None);
+        let s0 = |o: &MultiSimOutcome| o.stations[0].bytes;
+        assert!(
+            s0(&crowded) < 0.5 * s0(&solo),
+            "station 0 crowded {} vs solo {}",
+            s0(&crowded),
+            s0(&solo)
+        );
+    }
+
+    #[test]
+    fn decision_delay_costs_throughput() {
+        let cfg = quiet(MultiSimConfig::new(1, 4));
+        let fast = run_multisim(&cfg, None);
+        let mut slow_cfg = cfg.clone();
+        slow_cfg.decision_delay_ms = 25.0;
+        let slow = run_multisim(&slow_cfg, None);
+        assert!(
+            slow.total_bytes < fast.total_bytes,
+            "stale decisions should cost bytes: {} vs {}",
+            slow.total_bytes,
+            fast.total_bytes
+        );
+    }
+
+    #[test]
+    fn neighbor_interference_costs_throughput() {
+        // Same topology, leakage on vs effectively off.
+        let mut on = quiet(MultiSimConfig::new(1, 6));
+        on.station_eirp_dbm = 20.0;
+        let mut off = on.clone();
+        off.station_eirp_dbm = -300.0;
+        let with = run_multisim(&on, None);
+        let without = run_multisim(&off, None);
+        assert!(
+            with.total_bytes < without.total_bytes,
+            "coupling should cost bytes: {} vs {}",
+            with.total_bytes,
+            without.total_bytes
+        );
+    }
+
+    #[test]
+    fn roaming_produces_handoffs() {
+        let mut cfg = MultiSimConfig::new(3, 2);
+        cfg.duration_ms = 5_000.0;
+        cfg.roam_interval_ms = 1_000.0;
+        let out = run_multisim(&cfg, None);
+        assert!(out.total_handoffs() > 0, "no handoffs in a roaming run");
+        // Every station still accounted for exactly once.
+        assert_eq!(out.stations.len(), 6);
+        let ids: Vec<u32> = out.stations.iter().map(|s| s.station).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let cfg = quiet(MultiSimConfig::new(2, 8));
+        let out = run_multisim(&cfg, None);
+        let p10 = out.mbps_percentile(10.0);
+        let p50 = out.mbps_percentile(50.0);
+        let p90 = out.mbps_percentile(90.0);
+        assert!(p10 <= p50 && p50 <= p90, "{p10} {p50} {p90}");
+        assert!(p90 > 0.0);
+    }
+}

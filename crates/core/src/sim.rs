@@ -82,7 +82,7 @@ impl SegmentData {
         }
     }
 
-    fn data(&self, c: Config) -> &ConfigData {
+    pub(crate) fn data(&self, c: Config) -> &ConfigData {
         match c {
             Config::Old => &self.old,
             Config::Best => &self.best,
@@ -127,17 +127,17 @@ impl SimConfig {
         }
     }
 
-    fn working(&self, seg: &SegmentData, c: Config, m: usize) -> bool {
+    pub(crate) fn working(&self, seg: &SegmentData, c: Config, m: usize) -> bool {
         let d = seg.data(c);
         d.cdr[m] > self.min_cdr && d.tput_mbps[m] * self.tput_scale > self.min_tput_mbps
     }
 
-    fn tput(&self, seg: &SegmentData, c: Config, m: usize) -> f64 {
+    pub(crate) fn tput(&self, seg: &SegmentData, c: Config, m: usize) -> f64 {
         seg.data(c).tput_mbps[m] * self.tput_scale
     }
 
     /// Bytes delivered by a span of `ms` milliseconds at `mbps`.
-    fn bytes(mbps: f64, ms: f64) -> f64 {
+    pub(crate) fn bytes(mbps: f64, ms: f64) -> f64 {
         mbps * 1e6 * ms / 1000.0 / 8.0
     }
 }
@@ -251,14 +251,20 @@ pub struct SegmentOutcome {
     pub spans: Vec<RateSpan>,
 }
 
-/// Decides the segment-entry action for a policy and runs the segment.
-pub fn run_policy_segment(
+/// Decides the segment-entry action for a policy (without running the
+/// segment) and bumps the per-(policy, action) telemetry counter.
+///
+/// The oracles branch-simulate candidate actions with perfect
+/// single-link knowledge via [`execute`]; the multi-station engine
+/// reuses this decision path unchanged, so a policy decides the same
+/// way whether one link or a whole cell is being simulated.
+pub fn decide_action(
     seg: &SegmentData,
     policy: PolicyKind,
     clf: Option<&LibraClassifier>,
     state: LinkState,
     cfg: &SimConfig,
-) -> SegmentOutcome {
+) -> Action3 {
     let broken = !cfg.working(seg, Config::Old, state.mcs);
     let action = match policy {
         PolicyKind::RaFirst => {
@@ -324,219 +330,47 @@ pub fn run_policy_segment(
         }
     };
     obs::counter(policy_action_counter(policy, action), 1);
+    action
+}
+
+/// Decides the segment-entry action for a policy and runs the segment.
+pub fn run_policy_segment(
+    seg: &SegmentData,
+    policy: PolicyKind,
+    clf: Option<&LibraClassifier>,
+    state: LinkState,
+    cfg: &SimConfig,
+) -> SegmentOutcome {
+    let action = decide_action(seg, policy, clf, state, cfg);
     execute(seg, action, state, cfg)
 }
 
 /// Runs one segment with a fixed entry action.
+///
+/// Since the event-core refactor this is the 1-AP/1-station degenerate
+/// case of the discrete-event engine: one [`crate::event::LinkMachine`]
+/// driven by one [`crate::event::EventQueue`], each step scheduling the
+/// next at the machine's local time. The per-step arithmetic is the
+/// pre-refactor loop body verbatim, so outcomes are bitwise identical
+/// to the old monolithic implementation (`tests/golden_engine.rs`).
 pub fn execute(
     seg: &SegmentData,
     action: Action3,
-    mut state: LinkState,
+    state: LinkState,
     cfg: &SimConfig,
 ) -> SegmentOutcome {
     let _span = obs::span("sim.execute");
-    let fat = cfg.params.fat_ms;
-    let duration = seg.duration_ms;
-    let max_mcs = seg.old.tput_mbps.len() - 1;
-    let broken_at_entry = !cfg.working(seg, Config::Old, state.mcs);
-
-    let mut t = 0.0f64;
-    let mut bytes = 0.0f64;
-    let mut config = Config::Old;
-    let mut recovery: Option<f64> = None;
-    let mut spans: Vec<RateSpan> = Vec::new();
-    state.did_ba = false;
-
-    // Coalescing span recorder.
-    fn push_span(spans: &mut Vec<RateSpan>, start_ms: f64, len_ms: f64, mbps: f64) {
-        if len_ms <= 0.0 {
-            return;
-        }
-        if let Some(last) = spans.last_mut() {
-            if (last.mbps - mbps).abs() < 1e-9
-                && (last.start_ms + last.len_ms - start_ms).abs() < 1e-6
-            {
-                last.len_ms += len_ms;
-                return;
-            }
-        }
-        spans.push(RateSpan {
-            start_ms,
-            len_ms,
-            mbps,
-        });
-    }
-
-    // --- Phase 1: the chosen adaptation action. -----------------------
-    // The downward RA ladder of Algorithm 1: probe one frame per MCS
-    // descending from `from_mcs`, continuing while the measured
-    // throughput keeps improving, and settling on the highest-throughput
-    // working MCS seen. Probe frames carry data (§5.2: "throughput is
-    // suboptimal but not necessarily 0 during RA"). Returns `true` when
-    // the ladder settled on a working MCS (or timed out); `false` when
-    // it ran dry and BA must follow. `recovery` is stamped at the first
-    // *working* MCS discovered, per the §5.2 delay definition.
-    let ladder = |config: Config,
-                  from_mcs: usize,
-                  t: &mut f64,
-                  bytes: &mut f64,
-                  spans: &mut Vec<RateSpan>,
-                  state: &mut LinkState,
-                  recovery: &mut Option<f64>|
-     -> bool {
-        let mut probed = 0u64;
-        let settled = (|| -> bool {
-            let mut max_tput = 0.0f64;
-            let mut best_m = from_mcs;
-            for m in (0..=from_mcs).rev() {
-                if *t >= duration {
-                    return true; // segment over; nothing more to decide
-                }
-                let span = fat.min(duration - *t);
-                let tp = cfg.tput(seg, config, m);
-                *bytes += SimConfig::bytes(tp, span);
-                push_span(spans, *t, span, tp);
-                *t += fat;
-                probed += 1;
-                state.mcs = m;
-                if recovery.is_none() && cfg.working(seg, config, m) {
-                    *recovery = Some(*t);
-                }
-                if tp < max_tput {
-                    // Throughput stopped improving: settle on the best so far
-                    // (Algorithm 1: `curr_mcs ← MCS + 1` when working).
-                    if cfg.working(seg, config, best_m) {
-                        state.mcs = best_m;
-                        return true;
-                    }
-                    return false;
-                }
-                max_tput = tp;
-                best_m = m;
-            }
-            // Reached the lowest MCS (Algorithm 1's `isWorking(MCSmin)`).
-            if cfg.working(seg, config, best_m) {
-                state.mcs = best_m;
-                true
-            } else {
-                false
-            }
-        })();
-        obs::record_value("sim.ladder.depth", probed);
-        settled
-    };
-
-    match action {
-        Action3::Na => {
-            // Nothing to do. A mispredicted NA on a broken link simply
-            // keeps transmitting on the broken configuration; phase 2's
-            // per-frame step-down then acts as an implicit slow ladder.
-        }
-        Action3::Ra => {
-            let from = state.mcs;
-            let settled = ladder(
-                Config::Old,
-                from,
-                &mut t,
-                &mut bytes,
-                &mut spans,
-                &mut state,
-                &mut recovery,
-            );
-            if !settled && t < duration {
-                // Algorithm 1: failed ladder → BA, then RA again from the
-                // MCS in use before adaptation was triggered.
-                push_span(&mut spans, t, cfg.params.ba_ms().min(duration - t), 0.0);
-                t += cfg.params.ba_ms();
-                config = Config::Best;
-                state.did_ba = true;
-                ladder(
-                    Config::Best,
-                    from,
-                    &mut t,
-                    &mut bytes,
-                    &mut spans,
-                    &mut state,
-                    &mut recovery,
-                );
-            }
-        }
-        Action3::Ba => {
-            push_span(&mut spans, t, cfg.params.ba_ms().min(duration - t), 0.0);
-            t += cfg.params.ba_ms();
-            config = Config::Best;
-            state.did_ba = true;
-            ladder(
-                Config::Best,
-                state.mcs,
-                &mut t,
-                &mut bytes,
-                &mut spans,
-                &mut state,
-                &mut recovery,
-            );
+    let mut machine = crate::event::LinkMachine::new(seg, action, state, cfg);
+    let mut queue = crate::event::EventQueue::new();
+    queue.push(0, 0, ());
+    while !machine.is_done() {
+        let (_key, ()) = queue.pop().expect("pending event for a live machine");
+        machine.step(seg, cfg);
+        if !machine.is_done() {
+            queue.push(crate::event::ms_to_ns(machine.local_time_ms()), 0, ());
         }
     }
-
-    // --- Phase 2: steady state with adaptive upward probing. ----------
-    while t < duration {
-        let span = fat.min(duration - t);
-        let d = seg.data(config);
-        // Opportunistic recovery bookkeeping: a broken link that becomes
-        // "working" only through the probe loop below.
-        if recovery.is_none() && cfg.working(seg, config, state.mcs) {
-            recovery = Some(t);
-        }
-        if state.probe_wait_frames == 0 && state.mcs < max_mcs && d.cdr[state.mcs] > cfg.cdr_ori {
-            // Probe the next MCS up with one frame.
-            let up = state.mcs + 1;
-            bytes += SimConfig::bytes(cfg.tput(seg, config, up), span);
-            push_span(&mut spans, t, span, cfg.tput(seg, config, up));
-            t += fat;
-            if cfg.tput(seg, config, up) > cfg.tput(seg, config, state.mcs) {
-                state.mcs = up;
-                state.failed_probes = 0;
-                state.probe_wait_frames = cfg.t0_frames;
-            } else {
-                state.failed_probes = (state.failed_probes + 1).min(16);
-                let mult = 2u32.saturating_pow(state.failed_probes).min(25);
-                state.probe_wait_frames = cfg.t0_frames * mult;
-            }
-            continue;
-        }
-        bytes += SimConfig::bytes(cfg.tput(seg, config, state.mcs), span);
-        push_span(&mut spans, t, span, cfg.tput(seg, config, state.mcs));
-        t += fat;
-        state.probe_wait_frames = state.probe_wait_frames.saturating_sub(1);
-        // Downward reaction: if the current MCS stops working (possible
-        // after a bad upward adoption), step down one level per frame —
-        // Algorithm 1's noACK/rollback path.
-        if !cfg.working(seg, config, state.mcs) && state.mcs > 0 {
-            state.mcs -= 1;
-        }
-    }
-
-    // Recovery delay is only defined when the link was actually broken
-    // at segment entry; a break that never recovers is capped at the
-    // segment duration so CDFs remain well-defined.
-    let recovery_delay_ms = if broken_at_entry {
-        Some(recovery.unwrap_or(duration).min(duration))
-    } else {
-        None
-    };
-    if let Some(delay) = recovery_delay_ms {
-        // Microsecond resolution keeps the log₂ buckets meaningful for
-        // sub-millisecond recoveries; the value is a deterministic
-        // function of the segment, so this histogram digests.
-        obs::record_value("sim.recovery_delay_us", (delay * 1000.0) as u64);
-    }
-
-    SegmentOutcome {
-        bytes,
-        recovery_delay_ms,
-        end_state: state,
-        spans,
-    }
+    machine.into_outcome()
 }
 
 #[cfg(test)]

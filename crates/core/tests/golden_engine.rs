@@ -1,0 +1,369 @@
+//! Golden test for the event-core refactor.
+//!
+//! `frozen_execute` below is a verbatim copy of the monolithic
+//! pre-refactor `execute` loop (with the crate-private helpers
+//! reimplemented locally from their public-field definitions). The
+//! refactored engine — `LinkMachine` driven by an `EventQueue` — must
+//! reproduce its `SegmentOutcome` **bit for bit** on handcrafted
+//! segments and on a seeded grid of random tables × durations × FATs ×
+//! BA presets × actions, or the refactor changed behavior.
+
+use libra::sim::{
+    execute, Config, ConfigData, LinkState, RateSpan, SegmentData, SegmentOutcome, SimConfig,
+};
+use libra_dataset::{Action3, Features};
+use libra_mac::{BaOverheadPreset, ProtocolParams};
+use libra_util::rng::{derive_seed_index, SplitMix64};
+
+// ---- local re-implementations of the crate-private helpers ----------
+// (`SimConfig::working` / `tput` / `bytes` and `SegmentData::data` are
+// pub(crate); their bodies are single expressions over public fields,
+// restated here verbatim.)
+
+fn data(seg: &SegmentData, c: Config) -> &ConfigData {
+    match c {
+        Config::Old => &seg.old,
+        Config::Best => &seg.best,
+    }
+}
+
+fn working(cfg: &SimConfig, seg: &SegmentData, c: Config, m: usize) -> bool {
+    let d = data(seg, c);
+    d.cdr[m] > cfg.min_cdr && d.tput_mbps[m] * cfg.tput_scale > cfg.min_tput_mbps
+}
+
+fn tput(cfg: &SimConfig, seg: &SegmentData, c: Config, m: usize) -> f64 {
+    data(seg, c).tput_mbps[m] * cfg.tput_scale
+}
+
+fn bytes_of(mbps: f64, ms: f64) -> f64 {
+    mbps * 1e6 * ms / 1000.0 / 8.0
+}
+
+// ---- the frozen pre-refactor engine ---------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn frozen_execute(
+    seg: &SegmentData,
+    action: Action3,
+    mut state: LinkState,
+    cfg: &SimConfig,
+) -> SegmentOutcome {
+    let fat = cfg.params.fat_ms;
+    let duration = seg.duration_ms;
+    let max_mcs = seg.old.tput_mbps.len() - 1;
+    let broken_at_entry = !working(cfg, seg, Config::Old, state.mcs);
+
+    let mut t = 0.0f64;
+    let mut bytes = 0.0f64;
+    let mut config = Config::Old;
+    let mut recovery: Option<f64> = None;
+    let mut spans: Vec<RateSpan> = Vec::new();
+    state.did_ba = false;
+
+    fn push_span(spans: &mut Vec<RateSpan>, start_ms: f64, len_ms: f64, mbps: f64) {
+        if len_ms <= 0.0 {
+            return;
+        }
+        if let Some(last) = spans.last_mut() {
+            if (last.mbps - mbps).abs() < 1e-9
+                && (last.start_ms + last.len_ms - start_ms).abs() < 1e-6
+            {
+                last.len_ms += len_ms;
+                return;
+            }
+        }
+        spans.push(RateSpan {
+            start_ms,
+            len_ms,
+            mbps,
+        });
+    }
+
+    let ladder = |config: Config,
+                  from_mcs: usize,
+                  t: &mut f64,
+                  bytes: &mut f64,
+                  spans: &mut Vec<RateSpan>,
+                  state: &mut LinkState,
+                  recovery: &mut Option<f64>|
+     -> bool {
+        let mut max_tput = 0.0f64;
+        let mut best_m = from_mcs;
+        for m in (0..=from_mcs).rev() {
+            if *t >= duration {
+                return true; // segment over; nothing more to decide
+            }
+            let span = fat.min(duration - *t);
+            let tp = tput(cfg, seg, config, m);
+            *bytes += bytes_of(tp, span);
+            push_span(spans, *t, span, tp);
+            *t += fat;
+            state.mcs = m;
+            if recovery.is_none() && working(cfg, seg, config, m) {
+                *recovery = Some(*t);
+            }
+            if tp < max_tput {
+                if working(cfg, seg, config, best_m) {
+                    state.mcs = best_m;
+                    return true;
+                }
+                return false;
+            }
+            max_tput = tp;
+            best_m = m;
+        }
+        if working(cfg, seg, config, best_m) {
+            state.mcs = best_m;
+            true
+        } else {
+            false
+        }
+    };
+
+    match action {
+        Action3::Na => {}
+        Action3::Ra => {
+            let from = state.mcs;
+            let settled = ladder(
+                Config::Old,
+                from,
+                &mut t,
+                &mut bytes,
+                &mut spans,
+                &mut state,
+                &mut recovery,
+            );
+            if !settled && t < duration {
+                push_span(&mut spans, t, cfg.params.ba_ms().min(duration - t), 0.0);
+                t += cfg.params.ba_ms();
+                config = Config::Best;
+                state.did_ba = true;
+                ladder(
+                    Config::Best,
+                    from,
+                    &mut t,
+                    &mut bytes,
+                    &mut spans,
+                    &mut state,
+                    &mut recovery,
+                );
+            }
+        }
+        Action3::Ba => {
+            push_span(&mut spans, t, cfg.params.ba_ms().min(duration - t), 0.0);
+            t += cfg.params.ba_ms();
+            config = Config::Best;
+            state.did_ba = true;
+            ladder(
+                Config::Best,
+                state.mcs,
+                &mut t,
+                &mut bytes,
+                &mut spans,
+                &mut state,
+                &mut recovery,
+            );
+        }
+    }
+
+    while t < duration {
+        let span = fat.min(duration - t);
+        let d = data(seg, config);
+        if recovery.is_none() && working(cfg, seg, config, state.mcs) {
+            recovery = Some(t);
+        }
+        if state.probe_wait_frames == 0 && state.mcs < max_mcs && d.cdr[state.mcs] > cfg.cdr_ori {
+            let up = state.mcs + 1;
+            bytes += bytes_of(tput(cfg, seg, config, up), span);
+            push_span(&mut spans, t, span, tput(cfg, seg, config, up));
+            t += fat;
+            if tput(cfg, seg, config, up) > tput(cfg, seg, config, state.mcs) {
+                state.mcs = up;
+                state.failed_probes = 0;
+                state.probe_wait_frames = cfg.t0_frames;
+            } else {
+                state.failed_probes = (state.failed_probes + 1).min(16);
+                let mult = 2u32.saturating_pow(state.failed_probes).min(25);
+                state.probe_wait_frames = cfg.t0_frames * mult;
+            }
+            continue;
+        }
+        bytes += bytes_of(tput(cfg, seg, config, state.mcs), span);
+        push_span(&mut spans, t, span, tput(cfg, seg, config, state.mcs));
+        t += fat;
+        state.probe_wait_frames = state.probe_wait_frames.saturating_sub(1);
+        if !working(cfg, seg, config, state.mcs) && state.mcs > 0 {
+            state.mcs -= 1;
+        }
+    }
+
+    let recovery_delay_ms = if broken_at_entry {
+        Some(recovery.unwrap_or(duration).min(duration))
+    } else {
+        None
+    };
+
+    SegmentOutcome {
+        bytes,
+        recovery_delay_ms,
+        end_state: state,
+        spans,
+    }
+}
+
+// ---- fixtures -------------------------------------------------------
+
+fn cfgdata(tputs: [f64; 9], cdrs: [f64; 9]) -> ConfigData {
+    ConfigData {
+        tput_mbps: tputs.to_vec().into(),
+        cdr: cdrs.to_vec().into(),
+    }
+}
+
+fn feat_zero() -> Features {
+    Features {
+        snr_diff_db: 0.0,
+        tof_diff_ns: 0.0,
+        noise_diff_db: 0.0,
+        pdp_similarity: 1.0,
+        csi_similarity: 1.0,
+        cdr: 1.0,
+        initial_mcs: 6,
+    }
+}
+
+/// Old pair dead, best pair working at mid MCS (the BA-needed shape).
+fn seg_ba_needed(duration_ms: f64) -> SegmentData {
+    SegmentData {
+        old: cfgdata(
+            [40.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.13, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ),
+        best: cfgdata(
+            [300.0, 850.0, 1400.0, 1900.0, 1100.0, 150.0, 0.0, 0.0, 0.0],
+            [1.0, 1.0, 1.0, 0.97, 0.45, 0.05, 0.0, 0.0, 0.0],
+        ),
+        features: feat_zero(),
+        duration_ms,
+    }
+}
+
+/// Old pair still works lower on the ladder (the RA-enough shape).
+fn seg_ra_enough(duration_ms: f64) -> SegmentData {
+    SegmentData {
+        old: cfgdata(
+            [290.0, 800.0, 1300.0, 1750.0, 900.0, 120.0, 0.0, 0.0, 0.0],
+            [1.0, 1.0, 0.99, 0.95, 0.40, 0.04, 0.0, 0.0, 0.0],
+        ),
+        best: cfgdata(
+            [
+                300.0, 850.0, 1400.0, 1950.0, 2400.0, 1200.0, 200.0, 0.0, 0.0,
+            ],
+            [1.0, 1.0, 1.0, 0.98, 0.94, 0.42, 0.06, 0.0, 0.0],
+        ),
+        features: feat_zero(),
+        duration_ms,
+    }
+}
+
+fn seeded_segment(seed: u64, duration_ms: f64) -> SegmentData {
+    let mut rng = SplitMix64::new(seed);
+    let mut table = || {
+        let mut tputs = [0.0f64; 9];
+        let mut cdrs = [0.0f64; 9];
+        for m in 0..9 {
+            // Roughly rate × CDR with a falling CDR staircase, so every
+            // ladder shape (monotone, peaked, dead) occurs in the grid.
+            let cdr = (rng.uniform() * 1.4 - 0.2).clamp(0.0, 1.0);
+            cdrs[m] = cdr;
+            tputs[m] = 300.0 * (m + 1) as f64 * cdr * rng.range(0.5, 1.0);
+        }
+        (tputs, cdrs)
+    };
+    let (ot, oc) = table();
+    let (bt, bc) = table();
+    SegmentData {
+        old: cfgdata(ot, oc),
+        best: cfgdata(bt, bc),
+        features: feat_zero(),
+        duration_ms,
+    }
+}
+
+fn assert_identical(seg: &SegmentData, action: Action3, state: LinkState, cfg: &SimConfig) {
+    let new = execute(seg, action, state, cfg);
+    let old = frozen_execute(seg, action, state, cfg);
+    assert_eq!(
+        new.bytes.to_bits(),
+        old.bytes.to_bits(),
+        "bytes diverged: new {} vs frozen {} ({action:?}, mcs {}, dur {})",
+        new.bytes,
+        old.bytes,
+        state.mcs,
+        seg.duration_ms,
+    );
+    assert_eq!(
+        new.recovery_delay_ms.map(f64::to_bits),
+        old.recovery_delay_ms.map(f64::to_bits),
+        "recovery diverged ({action:?}, mcs {}, dur {})",
+        state.mcs,
+        seg.duration_ms,
+    );
+    assert_eq!(new.end_state, old.end_state);
+    assert_eq!(new.spans, old.spans);
+}
+
+// ---- tests ----------------------------------------------------------
+
+#[test]
+fn handcrafted_segments_match_frozen_engine() {
+    for make in [seg_ba_needed, seg_ra_enough] {
+        for duration in [5.0, 20.5, 256.0, 1000.0] {
+            for fat in [2.0, 10.0] {
+                for ba in [
+                    BaOverheadPreset::QuasiOmni30,
+                    BaOverheadPreset::QuasiOmni3,
+                    BaOverheadPreset::Directional9,
+                    BaOverheadPreset::Directional7,
+                ] {
+                    let cfg = SimConfig::new(ProtocolParams::new(ba, fat));
+                    for action in [Action3::Na, Action3::Ra, Action3::Ba] {
+                        for mcs in [0, 3, 6, 8] {
+                            assert_identical(&make(duration), action, LinkState::at_mcs(mcs), &cfg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_grid_matches_frozen_engine() {
+    let mut checked = 0u64;
+    for case in 0..200u64 {
+        let seed = derive_seed_index(0x601D, case);
+        let mut rng = SplitMix64::new(seed);
+        let duration = [5.0, 50.0, 256.0, 1000.0][(rng.next_u64() % 4) as usize];
+        let fat = if rng.next_u64() & 1 == 0 { 2.0 } else { 10.0 };
+        let ba = [
+            BaOverheadPreset::QuasiOmni30,
+            BaOverheadPreset::QuasiOmni3,
+            BaOverheadPreset::Directional9,
+            BaOverheadPreset::Directional7,
+        ][(rng.next_u64() % 4) as usize];
+        let mcs = (rng.next_u64() % 9) as usize;
+        let seg = seeded_segment(derive_seed_index(seed, 1), duration);
+        let cfg = SimConfig::new(ProtocolParams::new(ba, fat));
+        let mut state = LinkState::at_mcs(mcs);
+        // Exercise carried-over probe state too.
+        state.probe_wait_frames = (rng.next_u64() % 8) as u32;
+        state.failed_probes = (rng.next_u64() % 4) as u32;
+        for action in [Action3::Na, Action3::Ra, Action3::Ba] {
+            assert_identical(&seg, action, state, &cfg);
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 600);
+}

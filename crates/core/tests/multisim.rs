@@ -1,0 +1,85 @@
+//! Integration contracts of the multi-station engine.
+//!
+//! 1. **Degenerate case**: 1 AP × 1 station with roaming and decision
+//!    delay off must reproduce the single-link §8 executor bitwise —
+//!    the TDMA share is 1.0 and the interference sum is empty, so each
+//!    segment reduces to `run_policy_segment`.
+//! 2. **Thread invariance**: the same config yields a bitwise-identical
+//!    outcome (digest, per-station bytes) at 1, 4 and 8 worker
+//!    threads. `set_threads` is process-global, so both comparisons
+//!    live in one `#[test]` and restore the default on exit.
+
+use libra::multisim::{run_multisim, MultiSimConfig, StationChannel};
+use libra::sim::{run_policy_segment, LinkState, PolicyKind};
+use libra_util::par::set_threads;
+
+#[test]
+fn degenerate_single_station_matches_single_link_executor() {
+    let mut cfg = MultiSimConfig::new(1, 1);
+    cfg.roam_interval_ms = 0.0;
+    cfg.decision_delay_ms = 0.0;
+    cfg.duration_ms = 4_000.0;
+    let out = run_multisim(&cfg, None);
+    assert_eq!(out.stations.len(), 1);
+
+    // Replay the same station outside the engine: same channel stream,
+    // same policy, chained through the plain single-link executor.
+    let mut chan = StationChannel::new(cfg.seed, 0, 0, cfg.ap_center(0));
+    let mut link = LinkState::at_mcs(6);
+    let mut now = 0.0f64;
+    let mut total = 0.0f64;
+    let mut segments = 0u64;
+    while now < cfg.duration_ms {
+        let seg = chan.next_segment(&cfg, link.mcs, 0.0, cfg.duration_ms - now);
+        let o = run_policy_segment(&seg, cfg.policy, None, link, &cfg.sim);
+        link = o.end_state;
+        total += o.bytes;
+        segments += 1;
+        now += seg.duration_ms;
+    }
+    assert_eq!(out.stations[0].segments, segments);
+    assert_eq!(
+        out.stations[0].bytes.to_bits(),
+        total.to_bits(),
+        "engine {} vs replay {}",
+        out.stations[0].bytes,
+        total
+    );
+}
+
+#[test]
+fn outcome_is_bitwise_identical_across_thread_counts() {
+    let mut cfg = MultiSimConfig::new(4, 16);
+    cfg.duration_ms = 3_000.0;
+    cfg.roam_interval_ms = 1_000.0;
+    cfg.decision_delay_ms = 4.0;
+    cfg.policy = PolicyKind::RaFirst;
+
+    set_threads(1);
+    let one = run_multisim(&cfg, None);
+    let mut rest = Vec::new();
+    for n in [4usize, 8] {
+        set_threads(n);
+        rest.push((n, run_multisim(&cfg, None)));
+    }
+    set_threads(0);
+
+    assert!(one.total_handoffs() > 0, "roaming run produced no handoffs");
+    for (n, out) in &rest {
+        assert_eq!(out.digest, one.digest, "digest diverged at {n} threads");
+        assert_eq!(
+            out.events, one.events,
+            "event count diverged at {n} threads"
+        );
+        assert_eq!(out.stations.len(), one.stations.len());
+        for (a, b) in out.stations.iter().zip(one.stations.iter()) {
+            assert_eq!(
+                a.bytes.to_bits(),
+                b.bytes.to_bits(),
+                "station {} bytes diverged at {n} threads",
+                a.station
+            );
+        }
+        assert_eq!(out.stations, one.stations);
+    }
+}

@@ -12,8 +12,10 @@
 //! reproduces the same mutant bitwise, which the property suite checks
 //! through `binser` bytes.
 
-use libra_channel::{Blocker, BlockerPlacement, Environment, Interferer, Point, ScenarioBounds};
-use libra_dataset::{NewStateSpec, ScenarioSpec};
+use libra_channel::{
+    Blocker, BlockerPlacement, Environment, Interferer, Point, Pose, ScenarioBounds,
+};
+use libra_dataset::{Impairment, NewStateSpec, ScenarioSpec};
 use libra_util::rng::{rng_from_seed, standard_normal};
 use rand::Rng;
 
@@ -58,7 +60,7 @@ const SWAP_ENVS: [Environment; 7] = [
     Environment::LCorridor,
 ];
 
-const N_OPS: usize = 12;
+const N_OPS: usize = 13;
 
 impl Mutator {
     /// Mutates `spec` deterministically from `seed`. The returned spec
@@ -91,7 +93,8 @@ impl Mutator {
                 8 => self.drop_interferer(&mut cand, rng),
                 9 => self.clone_state(&mut cand, rng),
                 10 => self.drop_state(&mut cand, rng),
-                _ => self.swap_env(&mut cand, rng),
+                11 => self.swap_env(&mut cand, rng),
+                _ => self.waypoint_path(&mut cand, rng),
             };
             if changed && cand.validate(&self.bounds).is_ok() {
                 *spec = cand;
@@ -251,6 +254,56 @@ impl Mutator {
         true
     }
 
+    /// Expands the straight hop into one state into a piecewise-linear
+    /// **waypoint path**: 1..=3 intermediate Rx poses lerped between
+    /// the preceding pose (the initial state for the first new state)
+    /// and the target, each pushed laterally off the line by a small
+    /// Gaussian jiggle. The intermediates inherit the target's
+    /// blockers and interferers, so the impairment is *approached*
+    /// through mobility rather than teleported into — the mutation the
+    /// search uses to grow realistic walking paths.
+    ///
+    /// Growth is capped by `max_states` (and the physical
+    /// `bounds.max_states`); a lerp that leaves the room — possible in
+    /// the non-convex L-corridor — fails validation in `apply_op` and
+    /// reverts like any other bad candidate.
+    pub fn waypoint_path(&self, spec: &mut ScenarioSpec, rng: &mut impl Rng) -> bool {
+        let cap = self.max_states.min(self.bounds.max_states);
+        if spec.new_states.len() >= cap {
+            return false;
+        }
+        let i = Self::pick_state(spec, rng);
+        let k = (1 + rng.gen_range(0..3)).min(cap - spec.new_states.len());
+        let from = if i == 0 {
+            spec.initial_rx
+        } else {
+            spec.new_states[i - 1].rx
+        };
+        let to = spec.new_states[i].rx;
+        let template = spec.new_states[i].clone();
+        let mut waypoints = Vec::with_capacity(k);
+        for j in 1..=k {
+            let t = j as f64 / (k + 1) as f64;
+            let mut st = template.clone();
+            st.rx = Pose::new(
+                Point::new(
+                    from.position.x
+                        + t * (to.position.x - from.position.x)
+                        + 0.2 * standard_normal(rng),
+                    from.position.y
+                        + t * (to.position.y - from.position.y)
+                        + 0.2 * standard_normal(rng),
+                ),
+                from.orientation_deg + t * (to.orientation_deg - from.orientation_deg),
+            );
+            st.kind = Impairment::Displacement;
+            st.position_key = format!("{}-wp{j}", template.position_key);
+            waypoints.push(st);
+        }
+        spec.new_states.splice(i..i, waypoints);
+        true
+    }
+
     fn drop_state(&self, spec: &mut ScenarioSpec, rng: &mut impl Rng) -> bool {
         if spec.new_states.len() <= 1 {
             return false;
@@ -321,6 +374,47 @@ mod tests {
         let a = binser::to_bytes(&m.mutate(&spec, 7)).unwrap();
         let b = binser::to_bytes(&m.mutate(&spec, 7)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn waypoint_path_inserts_bounded_displacement_states() {
+        let m = Mutator::default();
+        let spec = base();
+        let mut rng = rng_from_seed(0x3A7);
+        let mut grown = spec.clone();
+        assert!(m.waypoint_path(&mut grown, &mut rng));
+        let added = grown.new_states.len() - spec.new_states.len();
+        assert!((1..=3).contains(&added), "added {added} waypoints");
+        assert!(grown.new_states.len() <= m.max_states.min(m.bounds.max_states));
+        let waypoints: Vec<_> = grown
+            .new_states
+            .iter()
+            .filter(|s| s.position_key.contains("-wp"))
+            .collect();
+        assert_eq!(waypoints.len(), added);
+        for wp in waypoints {
+            assert_eq!(wp.kind, Impairment::Displacement);
+        }
+        // The target state itself survives the splice untouched.
+        let keys = |s: &ScenarioSpec| {
+            s.new_states
+                .iter()
+                .map(|st| st.position_key.clone())
+                .collect::<Vec<_>>()
+        };
+        for key in keys(&spec) {
+            assert!(keys(&grown).contains(&key), "lost original state {key}");
+        }
+    }
+
+    #[test]
+    fn waypoint_path_refuses_at_the_state_cap() {
+        let mut m = Mutator::default();
+        let mut spec = base();
+        m.max_states = spec.new_states.len();
+        let mut rng = rng_from_seed(1);
+        assert!(!m.waypoint_path(&mut spec, &mut rng));
+        assert_eq!(spec.new_states.len(), m.max_states);
     }
 
     #[test]

@@ -11,10 +11,10 @@
 //!    `(spec, seed)`, checked bitwise through `binser` bytes.
 
 use libra_channel::ScenarioBounds;
-use libra_dataset::{main_campaign_plan, testing_campaign_plan};
+use libra_dataset::{main_campaign_plan, testing_campaign_plan, Impairment};
 use libra_fuzz::Mutator;
 use libra_util::binser;
-use libra_util::rng::derive_seed_index;
+use libra_util::rng::{derive_seed_index, rng_from_seed};
 use proptest::prelude::*;
 
 proptest! {
@@ -36,6 +36,51 @@ proptest! {
                 return Err(TestCaseError::fail(format!("step {step}: {e}")));
             }
         }
+    }
+
+    // Waypoint-path mobility mutation: inserted intermediates are
+    // bounded by the state cap, keyed `-wpN`, typed Displacement, and
+    // never displace the original states. (Validity of accepted
+    // mutants is the chain property above — a lerp across the
+    // non-convex L-corridor may leave the room, which `mutate`'s
+    // retry-and-revert filters out.)
+    #[test]
+    fn waypoint_paths_are_bounded(
+        scenario_idx in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let pool = main_campaign_plan();
+        let m = Mutator::default();
+        let spec = pool[scenario_idx % pool.len()].clone();
+        let cap = m.max_states.min(m.bounds.max_states);
+        let mut grown = spec.clone();
+        let mut rng = rng_from_seed(seed);
+        let changed = m.waypoint_path(&mut grown, &mut rng);
+        if !changed {
+            prop_assert!(spec.new_states.len() >= cap, "refused below the cap");
+            prop_assert_eq!(
+                binser::to_bytes(&grown).unwrap(),
+                binser::to_bytes(&spec).unwrap()
+            );
+            return Ok(());
+        }
+        let added = grown.new_states.len() - spec.new_states.len();
+        prop_assert!((1..=3).contains(&added));
+        prop_assert!(grown.new_states.len() <= cap);
+        let mut originals = Vec::new();
+        for st in &grown.new_states {
+            if st.position_key.contains("-wp") {
+                prop_assert_eq!(st.kind, Impairment::Displacement);
+            } else {
+                originals.push(binser::to_bytes(st).unwrap());
+            }
+        }
+        let expected: Vec<_> = spec
+            .new_states
+            .iter()
+            .map(|st| binser::to_bytes(st).unwrap())
+            .collect();
+        prop_assert_eq!(originals, expected, "original states changed");
     }
 
     // Same seed, same mutant — bitwise.

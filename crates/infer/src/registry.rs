@@ -24,7 +24,10 @@ use std::path::{Path, PathBuf};
 pub const ARTIFACT_EXT: &str = "libra";
 
 /// Name of the latest-pointer file inside each model directory.
-const LATEST_FILE: &str = "LATEST";
+/// Latest-pointer file name inside a model directory. Public because
+/// rollback tooling (and the watcher edge-case tests) repoint it
+/// directly — the registry treats any well-formed pointer as truth.
+pub const LATEST_FILE: &str = "LATEST";
 
 /// A parsed model reference: `name` or `name@version`.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,172 @@
+//! `RegistryWatcher` edge cases: the registry states a live serving
+//! process can observe when operators (or a crashed publisher) touch
+//! the model directory between polls.
+//!
+//! The unit suite in `registry.rs` covers the happy path — publish,
+//! poll, steady state. These tests pin the awkward transitions:
+//!
+//! - **rollback**: the latest-pointer moves *backwards*; the watcher
+//!   must report the old version again (a change is a change);
+//! - **pointer to a deleted artifact**: poll errors without updating
+//!   `seen`, and recovers once the registry is repaired;
+//! - **poll during publish**: an artifact file that exists before the
+//!   pointer repoints is invisible until the pointer moves — the
+//!   pointer write is the publication;
+//! - **missing pointer**: the watcher follows the highest on-disk
+//!   version, matching `ModelRegistry::resolve`'s fallback.
+
+use libra_infer::{
+    ArtifactMeta, Error, FlatForest, ModelArtifact, ModelPayload, ModelRegistry, RegistryWatcher,
+    ARTIFACT_EXT, LATEST_FILE,
+};
+use libra_ml::{Dataset, ForestConfig, RandomForest};
+use libra_util::rng::rng_from_seed;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("libra-watcher-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A small but real trained artifact; distinct seeds give distinct
+/// payload bytes, so version contents are distinguishable.
+fn artifact(seed: u64) -> ModelArtifact {
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..45 {
+        let c = i % 3;
+        features.push(vec![c as f64 + (i % 4) as f64 * 0.05, (i % 6) as f64]);
+        labels.push(c);
+    }
+    let data = Dataset::new(features, labels, 3, vec!["x".into(), "y".into()]);
+    let mut rf = RandomForest::new(ForestConfig {
+        n_trees: 4,
+        ..Default::default()
+    });
+    let mut rng = rng_from_seed(seed);
+    rf.fit(&data, &mut rng);
+    ModelArtifact {
+        meta: ArtifactMeta {
+            name: "watch-test".into(),
+            feature_names: vec!["x".into(), "y".into()],
+            class_labels: vec!["BA".into(), "RA".into(), "NA".into()],
+            train_seed: seed,
+            train_rows: 45,
+            notes: String::new(),
+        },
+        payload: ModelPayload::Forest(FlatForest::compile(&rf)),
+    }
+}
+
+fn repoint(dir: &std::path::Path, name: &str, version: u32) {
+    std::fs::write(dir.join(name).join(LATEST_FILE), format!("{version}\n")).unwrap();
+}
+
+#[test]
+fn rollback_to_an_older_version_is_reported() {
+    let dir = tmpdir("rollback");
+    let reg = ModelRegistry::open(&dir);
+    reg.save("m", &artifact(1)).unwrap();
+    reg.save("m", &artifact(2)).unwrap();
+
+    let mut watcher = RegistryWatcher::new(reg.clone(), "m").unwrap();
+    let (v, _) = watcher.poll().unwrap().expect("initial version");
+    assert_eq!(v, 2);
+
+    // An operator rolls the pointer back to v1: the watcher reports
+    // the *old* artifact as a fresh publication — serving must follow
+    // the pointer down as readily as up.
+    repoint(&dir, "m", 1);
+    let (v, a) = watcher.poll().unwrap().expect("rollback visible");
+    assert_eq!(v, 1);
+    assert_eq!(a, artifact(1));
+    assert_eq!(watcher.seen(), Some(1));
+    assert!(watcher.poll().unwrap().is_none(), "rollback reported once");
+
+    // Rolling forward again is a change too.
+    repoint(&dir, "m", 2);
+    let (v, _) = watcher.poll().unwrap().expect("roll-forward visible");
+    assert_eq!(v, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pointer_at_deleted_artifact_errors_then_recovers() {
+    let dir = tmpdir("deleted");
+    let reg = ModelRegistry::open(&dir);
+    reg.save("m", &artifact(1)).unwrap();
+    reg.save("m", &artifact(2)).unwrap();
+
+    let mut watcher = RegistryWatcher::starting_at(reg.clone(), "m", 1).unwrap();
+
+    // v2's artifact file vanishes while LATEST still points at it —
+    // the poll surfaces a registry error rather than pretending
+    // nothing happened, and `seen` stays where it was.
+    std::fs::remove_file(dir.join("m").join(format!("v2.{ARTIFACT_EXT}"))).unwrap();
+    assert!(matches!(watcher.poll(), Err(Error::Registry(_))));
+    assert_eq!(watcher.seen(), Some(1));
+
+    // Repairing the pointer (rollback to the surviving version) makes
+    // polls quiet again: v1 is already the version the service runs.
+    repoint(&dir, "m", 1);
+    assert!(watcher.poll().unwrap().is_none());
+
+    // And a real new publication still comes through afterwards.
+    let v = reg.save("m", &artifact(3)).unwrap();
+    let (seen, _) = watcher.poll().unwrap().expect("post-repair publication");
+    assert_eq!(seen, v);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn artifact_written_before_pointer_repoints_stays_invisible() {
+    let dir = tmpdir("midpublish");
+    let reg = ModelRegistry::open(&dir);
+    reg.save("m", &artifact(1)).unwrap();
+
+    let mut watcher = RegistryWatcher::starting_at(reg.clone(), "m", 1).unwrap();
+    assert!(watcher.poll().unwrap().is_none());
+
+    // Mid-publish snapshot: v2's artifact bytes are fully on disk, but
+    // the latest-pointer still says 1 (ModelRegistry::save writes the
+    // artifact first, the pointer last). A poll landing here must not
+    // jump ahead of the pointer.
+    artifact(2)
+        .write(dir.join("m").join(format!("v2.{ARTIFACT_EXT}")))
+        .unwrap();
+    assert!(watcher.poll().unwrap().is_none(), "saw an unpublished file");
+    assert_eq!(watcher.seen(), Some(1));
+
+    // The pointer write completes the publication.
+    repoint(&dir, "m", 2);
+    let (v, a) = watcher.poll().unwrap().expect("publication completes");
+    assert_eq!(v, 2);
+    assert_eq!(a, artifact(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_pointer_follows_highest_version_on_disk() {
+    let dir = tmpdir("nopointer");
+    let reg = ModelRegistry::open(&dir);
+    reg.save("m", &artifact(1)).unwrap();
+    reg.save("m", &artifact(2)).unwrap();
+    std::fs::remove_file(dir.join("m").join(LATEST_FILE)).unwrap();
+
+    // A fresh watcher on a pointerless registry falls back to the
+    // highest version present, like ModelRegistry::resolve does.
+    let mut watcher = RegistryWatcher::new(reg.clone(), "m").unwrap();
+    let (v, a) = watcher.poll().unwrap().expect("fallback version");
+    assert_eq!(v, 2);
+    assert_eq!(a, artifact(2));
+    assert!(watcher.poll().unwrap().is_none());
+
+    // The next save allocates v3 and restores the pointer; the watcher
+    // carries on seamlessly.
+    assert_eq!(reg.save("m", &artifact(3)).unwrap(), 3);
+    let (v, _) = watcher.poll().unwrap().expect("post-restore publication");
+    assert_eq!(v, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -15,6 +15,10 @@
 //! * [`bft`] — 802.11ad beamforming-training protocol accounting: SSW
 //!   frame timing, O(N)/O(N²) sweep durations (deriving the §8.1
 //!   presets from first principles), and beacon-interval scheduling.
+//! * [`tdma`] — deterministic TDMA airtime arbitration for the
+//!   multi-station simulator: stations on one AP share a 100-slot
+//!   frame, and a running BA sweep occupies real slots the data
+//!   stations lose.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +27,7 @@ pub mod bft;
 pub mod cots;
 pub mod overhead;
 pub mod sweep;
+pub mod tdma;
 
 pub use bft::{derive_directional_ba_ms, derive_quasi_omni_ba_ms, BeaconInterval};
 pub use cots::{
@@ -30,3 +35,4 @@ pub use cots::{
 };
 pub use overhead::{BaOverheadPreset, ProtocolParams};
 pub use sweep::{exhaustive_sweep, separate_sweep, tx_sweep, PairSweepResult, TxSweepResult};
+pub use tdma::{TdmaArbiter, BA_SLOTS, FRAME_SLOTS};

@@ -1,0 +1,206 @@
+//! TDMA airtime arbitration for one AP cell.
+//!
+//! 802.11ad service periods are scheduled: within each beacon interval
+//! the AP hands out contention-free airtime. We model the data-transfer
+//! interval as a fixed frame of [`FRAME_SLOTS`] slots that all
+//! associated stations share:
+//!
+//! * A station running a **BA sector sweep** is allocated
+//!   [`BA_SLOTS`] slots of every frame for the duration of the sweep
+//!   (the SSW exchange pre-empts data service periods). Those slots
+//!   are real airtime the other stations lose — the mechanism that
+//!   makes one station's BA decision a *cell-wide* cost in the
+//!   multi-station simulator.
+//! * The remaining slots are split evenly across the data stations.
+//!
+//! Shares are exact rationals evaluated in a fixed order (slot counts
+//! are integers; the final division is one f64 op), and membership
+//! lives in `BTreeSet`s, so a share query is a pure function of the
+//! set of joined/sweeping stations — no iteration-order or timing
+//! dependence. That property is load-bearing: the multi-station
+//! engine's bitwise-determinism contract scales per-frame byte deltas
+//! by these shares.
+
+use std::collections::BTreeSet;
+
+/// Slots per TDMA frame (shares are quantized to 1/100ths).
+pub const FRAME_SLOTS: u32 = 100;
+
+/// Slots of every frame a BA sweep occupies while it runs.
+pub const BA_SLOTS: u32 = 30;
+
+/// Deterministic airtime arbiter for the stations of one AP.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TdmaArbiter {
+    /// Every associated station.
+    members: BTreeSet<u32>,
+    /// Subset currently running a BA sweep.
+    sweeping: BTreeSet<u32>,
+}
+
+impl TdmaArbiter {
+    /// An arbiter with no stations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Associates `station`; returns `false` if it was already joined.
+    pub fn join(&mut self, station: u32) -> bool {
+        self.members.insert(station)
+    }
+
+    /// Disassociates `station` (also clears any sweep state).
+    pub fn leave(&mut self, station: u32) {
+        self.members.remove(&station);
+        self.sweeping.remove(&station);
+    }
+
+    /// Marks `station` as running a BA sweep.
+    pub fn ba_start(&mut self, station: u32) {
+        if self.members.contains(&station) {
+            self.sweeping.insert(station);
+        }
+    }
+
+    /// Clears `station`'s sweep state.
+    pub fn ba_end(&mut self, station: u32) {
+        self.sweeping.remove(&station);
+    }
+
+    /// Number of associated stations.
+    pub fn n_stations(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of stations currently sweeping.
+    pub fn n_sweeping(&self) -> usize {
+        self.sweeping.len()
+    }
+
+    /// Whether `station` is associated.
+    pub fn contains(&self, station: u32) -> bool {
+        self.members.contains(&station)
+    }
+
+    /// Slots of each frame allocated to every sweeping station. Capped
+    /// so that many concurrent sweeps degrade gracefully instead of
+    /// over-committing the frame.
+    fn ba_slots_each(&self) -> u32 {
+        let nb = self.sweeping.len() as u32;
+        FRAME_SLOTS.checked_div(nb).map_or(0, |s| BA_SLOTS.min(s))
+    }
+
+    /// Fraction of airtime `station` gets per frame, in `[0, 1]`.
+    ///
+    /// Sweeping stations get their sweep allocation (they deliver no
+    /// data with it — the slots are the overhead). Data stations split
+    /// what remains evenly. A station that is not associated gets 0.
+    pub fn share(&self, station: u32) -> f64 {
+        if !self.members.contains(&station) {
+            return 0.0;
+        }
+        let ba_each = self.ba_slots_each();
+        if self.sweeping.contains(&station) {
+            return ba_each as f64 / FRAME_SLOTS as f64;
+        }
+        let n_data = (self.members.len() - self.sweeping.len()) as u32;
+        if n_data == 0 {
+            return 0.0;
+        }
+        let remaining = FRAME_SLOTS - ba_each * self.sweeping.len() as u32;
+        (remaining as f64 / n_data as f64) / FRAME_SLOTS as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_station_owns_the_frame() {
+        let mut a = TdmaArbiter::new();
+        assert!(a.join(7));
+        assert!(!a.join(7));
+        assert_eq!(a.share(7), 1.0);
+        assert_eq!(a.share(8), 0.0);
+    }
+
+    #[test]
+    fn data_stations_split_evenly() {
+        let mut a = TdmaArbiter::new();
+        for s in 0..4 {
+            a.join(s);
+        }
+        for s in 0..4 {
+            assert!((a.share(s) - 0.25).abs() < 1e-12);
+        }
+        let total: f64 = (0..4).map(|s| a.share(s)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_costs_everyone_airtime() {
+        let mut a = TdmaArbiter::new();
+        for s in 0..3 {
+            a.join(s);
+        }
+        let before = a.share(1);
+        a.ba_start(0);
+        // Sweeper holds its BA allocation; the two data stations split
+        // the remaining 70 slots.
+        assert!((a.share(0) - BA_SLOTS as f64 / 100.0).abs() < 1e-12);
+        assert!((a.share(1) - 0.35).abs() < 1e-12);
+        assert!(a.share(1) > before); // 1/3 → 35/100
+        a.ba_end(0);
+        assert!((a.share(0) - a.share(1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_sweeps_never_overcommit() {
+        let mut a = TdmaArbiter::new();
+        for s in 0..8 {
+            a.join(s);
+            a.ba_start(s);
+        }
+        let total: f64 = (0..8).map(|s| a.share(s)).sum();
+        assert!(total <= 1.0 + 1e-12, "total share {total}");
+        // 8 sweeps × min(30, 100/8 = 12) slots each.
+        assert!((a.share(0) - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leave_clears_sweep_state() {
+        let mut a = TdmaArbiter::new();
+        a.join(1);
+        a.join(2);
+        a.ba_start(1);
+        a.leave(1);
+        assert_eq!(a.n_stations(), 1);
+        assert_eq!(a.n_sweeping(), 0);
+        assert_eq!(a.share(2), 1.0);
+        // Sweep marks on non-members are ignored.
+        a.ba_start(99);
+        assert_eq!(a.n_sweeping(), 0);
+    }
+
+    #[test]
+    fn share_is_a_pure_function_of_membership() {
+        // Same membership reached through different histories → same
+        // shares (the determinism property the multisim engine needs).
+        let mut a = TdmaArbiter::new();
+        let mut b = TdmaArbiter::new();
+        for s in [3, 1, 2] {
+            a.join(s);
+        }
+        for s in [2, 3, 9, 1] {
+            b.join(s);
+        }
+        b.leave(9);
+        a.ba_start(2);
+        b.ba_start(2);
+        for s in [1, 2, 3] {
+            assert_eq!(a.share(s), b.share(s));
+        }
+        assert_eq!(a, b);
+    }
+}

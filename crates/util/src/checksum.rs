@@ -36,12 +36,55 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// Not cryptographic — collisions would need adversarial inputs, far
 /// beyond what a content-equality digest has to resist.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// Streaming form of [`fnv1a64`] for digests folded over long event
+/// streams (the multi-station simulator hashes millions of events
+/// without materializing them): `Fnv64::new().update(a).update(b)`
+/// equals `fnv1a64(a ++ b)` byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
     }
-    h
+}
+
+impl Fnv64 {
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    /// Folds one little-endian `u64` into the digest.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.update(&v.to_le_bytes())
+    }
+
+    /// Folds an `f64` bit pattern into the digest.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Current digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// The SplitMix64 finalizer: a bijective avalanche mix of `x`.
