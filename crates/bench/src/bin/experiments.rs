@@ -13,11 +13,11 @@
 //!
 //! Artifact names: fig1 fig2 fig3 table1 table2 fig4 fig5 fig6 fig7 fig8
 //! fig9 cv crossbuilding table3 threeclass extmodels fig10 fig11 fig12 fig13
-//! table4 ablations inferbench trainbench fuzz serve multisim. The
+//! table4 ablations inferbench trainbench fuzz serve chaos multisim. The
 //! microbenchmarks also record their measurements to
 //! `results/infer_bench.txt`, `results/train_bench.txt`,
-//! `results/BENCH_fuzz.json`, `results/BENCH_serve.json`, and
-//! `results/BENCH_multisim.json`.
+//! `results/BENCH_fuzz.json`, `results/BENCH_serve.json`,
+//! `results/BENCH_chaos.json`, and `results/BENCH_multisim.json`.
 //!
 //! `--model NAME[@VER]` (or a file path) runs the evaluation against a
 //! frozen model artifact from the registry instead of retraining the
@@ -33,8 +33,8 @@
 
 use libra_bench::speedup::{self, Baseline};
 use libra_bench::{
-    ablation, context, evaluation, fuzzbench, motivation, multisimbench, servebench, serving,
-    study, trainbench,
+    ablation, chaosbench, context, evaluation, fuzzbench, motivation, multisimbench, servebench,
+    serving, study, trainbench,
 };
 use std::cell::RefCell;
 use std::time::Instant;
@@ -51,6 +51,7 @@ struct Opts {
     fuzz_budget: usize,
     serve_requests: usize,
     serve_shards: usize,
+    chaos_requests: usize,
     multisim_aps: u32,
     multisim_stations: u32,
     multisim_duration_ms: f64,
@@ -96,6 +97,7 @@ fn main() {
         fuzz_budget: 48,
         serve_requests: 1_000_000,
         serve_shards: 4,
+        chaos_requests: 2_000,
         multisim_aps: 16,
         multisim_stations: 64,
         multisim_duration_ms: 10_000.0,
@@ -129,6 +131,7 @@ fn main() {
                 opts.bench_passes = 2;
                 opts.fuzz_budget = 16;
                 opts.serve_requests = 50_000;
+                opts.chaos_requests = 600;
                 opts.multisim_aps = 4;
                 opts.multisim_stations = 32;
                 opts.multisim_duration_ms = 3_000.0;
@@ -147,7 +150,7 @@ fn main() {
             "usage: experiments [--csv-dir DIR] [--threads N] [--trace] \
              [--model NAME[@VER]|PATH] \
              [all|quick|fig1..fig13|table1..table4|cv|crossbuilding|threeclass|ablations\
-             |inferbench|trainbench|fuzz|serve|multisim]"
+             |inferbench|trainbench|fuzz|serve|chaos|multisim]"
         );
         std::process::exit(2);
     }
@@ -280,6 +283,11 @@ fn main() {
     // --- decision service ---------------------------------------------------
     section("serve", &mut || {
         servebench::serve_bench(opts.serve_requests, opts.serve_shards)
+    });
+
+    // --- guarded model lifecycle --------------------------------------------
+    section("chaos", &mut || {
+        chaosbench::chaos_bench(opts.chaos_requests, opts.serve_shards)
     });
 
     // --- multi-station simulation -------------------------------------------

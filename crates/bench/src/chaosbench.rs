@@ -1,0 +1,223 @@
+//! Chaos-drill benchmark section: runs the deterministic guarded-
+//! lifecycle storyline of `libra-guard` — fault injection, graceful
+//! degradation to the §7 rule, drift detection, shadow evaluation, and
+//! automatic rollback/promotion — and records the robustness headline
+//! numbers to `results/BENCH_chaos.json`: fault counts, the degradation
+//! rate under the storm, time-to-rollback in decisions, and the
+//! thread/shard invariance of the end-to-end digest.
+//!
+//! Two passes:
+//!
+//! 1. **Timed drill** — the full storyline at the benchmark shard and
+//!    worker count.
+//! 2. **Invariance** — the identical drill at 1 shard and 1 worker (or
+//!    4, when the benchmark itself is sequential); every round digest
+//!    and lifecycle action must match bitwise.
+
+use libra_guard::{run_chaos, ChaosConfig, ChaosOutcome, LifecycleAction};
+use libra_infer::ModelRegistry;
+use libra_util::table::TextTable;
+use std::time::Instant;
+
+/// Where the machine-readable benchmark record lands.
+pub fn bench_path() -> std::path::PathBuf {
+    libra_util::paths::results_root().join("BENCH_chaos.json")
+}
+
+fn action_label(action: &LifecycleAction) -> String {
+    match action {
+        LifecycleAction::Hold => "hold".into(),
+        LifecycleAction::Promote { from, to } => format!("promote v{from} -> v{to}"),
+        LifecycleAction::Rollback { from, to } => format!("rollback v{from} -> v{to}"),
+    }
+}
+
+/// Runs the storyline once against a freshly wiped registry directory.
+fn drill(cfg: &ChaosConfig, dir: &std::path::Path) -> ChaosOutcome {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).expect("create chaos registry dir");
+    let registry = ModelRegistry::open(dir);
+    run_chaos(cfg, &registry, "chaos").expect("chaos drill must survive its own fault plan")
+}
+
+/// Runs the chaos drill at `requests` per round on `shards` shards and
+/// writes `results/BENCH_chaos.json`.
+pub fn chaos_bench(requests: usize, shards: usize) -> String {
+    let cfg = ChaosConfig {
+        requests_per_round: requests,
+        shards,
+        ..ChaosConfig::default()
+    };
+    let dir = libra_util::paths::results_root().join("chaos_models");
+
+    // Pass 1: the timed drill.
+    let t0 = Instant::now();
+    let outcome = drill(&cfg, &dir);
+    let secs = t0.elapsed().as_secs_f64();
+
+    // Pass 2: invariance — 1 shard at an alternate worker count must
+    // reproduce every round digest and lifecycle action bitwise.
+    // `set_threads` is process-global, so the shape is restored after.
+    let current = libra_util::par::threads();
+    let alternate = if current == 1 { 4 } else { 1 };
+    libra_util::par::set_threads(alternate);
+    let replay = drill(&ChaosConfig { shards: 1, ..cfg }, &dir);
+    libra_util::par::set_threads(current);
+    let invariant = replay.digest == outcome.digest
+        && replay
+            .rounds
+            .iter()
+            .zip(&outcome.rounds)
+            .all(|(a, b)| a.digest == b.digest && a.action == b.action);
+
+    let json = bench_json(&cfg, secs, &outcome, invariant);
+    let path = bench_path();
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+
+    let degraded_per_mille = (outcome.degraded * 1000)
+        .checked_div(outcome.decisions)
+        .unwrap_or(0);
+    let mut table = TextTable::new(["metric", "value"]);
+    table.row(["decisions".into(), outcome.decisions.to_string()]);
+    table.row([
+        "degraded (fallback rule)".into(),
+        format!("{} ({degraded_per_mille} per mille)", outcome.degraded),
+    ]);
+    table.row([
+        "deadline misses".into(),
+        outcome.deadline_misses.to_string(),
+    ]);
+    table.row(["dropped responses".into(), outcome.drops.to_string()]);
+    table.row([
+        "artifact faults".into(),
+        outcome.artifact_faults.to_string(),
+    ]);
+    table.row([
+        "time to rollback".into(),
+        match outcome.decisions_to_rollback {
+            Some(n) => format!("{n} decisions"),
+            None => "no rollback".into(),
+        },
+    ]);
+    table.row([
+        "final LATEST".into(),
+        format!("chaos@v{}", outcome.final_latest),
+    ]);
+    table.row([
+        "digest 1 shard/alt threads".into(),
+        if invariant { "identical" } else { "MISMATCH" }.to_string(),
+    ]);
+    let mut out = format!(
+        "Chaos drill (seed {:#x}): {} rounds x {requests} requests on {shards} shard(s), \
+         {:.1} s\ndigest {:#018x}\n{}",
+        cfg.seed,
+        outcome.rounds.len(),
+        secs,
+        outcome.digest,
+        table.render()
+    );
+    for event in &outcome.events {
+        if !matches!(event.action, LifecycleAction::Hold) {
+            out.push_str(&format!(
+                "round {}: {} ({})\n",
+                event.round,
+                action_label(&event.action),
+                event.reason
+            ));
+        }
+    }
+    out
+}
+
+/// Hand-rendered machine-readable record (the workspace has no JSON
+/// dependency by design).
+fn bench_json(cfg: &ChaosConfig, secs: f64, outcome: &ChaosOutcome, invariant: bool) -> String {
+    let degradation_rate = if outcome.decisions > 0 {
+        outcome.degraded as f64 / outcome.decisions as f64
+    } else {
+        0.0
+    };
+    let fmt_opt = |v: Option<u64>| v.map_or("null".to_string(), |n| n.to_string());
+    format!(
+        "{{\n  \"bench\": \"chaos\",\n  \"seed\": \"{:#x}\",\n  \"rounds\": {},\n  \
+         \"requests_per_round\": {},\n  \"shards\": {},\n  \"elapsed_s\": {secs:.2},\n  \
+         \"decisions\": {},\n  \"degraded\": {},\n  \"degradation_rate\": {degradation_rate:.4},\n  \
+         \"deadline_misses\": {},\n  \"drops\": {},\n  \"artifact_faults\": {},\n  \
+         \"rollback_round\": {},\n  \"decisions_to_rollback\": {},\n  \"promote_round\": {},\n  \
+         \"final_latest\": {},\n  \"digest\": \"{:#018x}\",\n  \"thread_invariant\": {invariant}\n}}\n",
+        cfg.seed,
+        outcome.rounds.len(),
+        cfg.requests_per_round,
+        cfg.shards,
+        outcome.decisions,
+        outcome.degraded,
+        outcome.deadline_misses,
+        outcome.drops,
+        outcome.artifact_faults,
+        fmt_opt(outcome.rollback_round),
+        fmt_opt(outcome.decisions_to_rollback),
+        fmt_opt(outcome.promote_round),
+        outcome.final_latest,
+        outcome.digest,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let cfg = ChaosConfig::default();
+        let outcome = ChaosOutcome {
+            digest: 0xdead_beef,
+            decisions: 12_000,
+            degraded: 1_776,
+            deadline_misses: 800,
+            drops: 600,
+            artifact_faults: 2,
+            rollback_round: Some(1),
+            decisions_to_rollback: Some(4_000),
+            promote_round: Some(4),
+            final_latest: 3,
+            rounds: Vec::new(),
+            events: Vec::new(),
+        };
+        let json = bench_json(&cfg, 1.5, &outcome, true);
+        assert!(json.contains("\"bench\": \"chaos\""));
+        assert!(json.contains("\"degradation_rate\": 0.1480"));
+        assert!(json.contains("\"decisions_to_rollback\": 4000"));
+        assert!(json.contains("\"digest\": \"0x00000000deadbeef\""));
+        assert!(json.contains("\"thread_invariant\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        // A drill that never breaches renders `null`, not a number.
+        let quiet = ChaosOutcome {
+            rollback_round: None,
+            decisions_to_rollback: None,
+            promote_round: None,
+            ..outcome
+        };
+        let json = bench_json(&cfg, 1.5, &quiet, true);
+        assert!(json.contains("\"rollback_round\": null"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn action_labels_are_grep_stable() {
+        assert_eq!(
+            action_label(&LifecycleAction::Rollback { from: 2, to: 1 }),
+            "rollback v2 -> v1"
+        );
+        assert_eq!(
+            action_label(&LifecycleAction::Promote { from: 1, to: 3 }),
+            "promote v1 -> v3"
+        );
+        assert_eq!(action_label(&LifecycleAction::Hold), "hold");
+    }
+}

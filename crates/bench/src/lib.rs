@@ -25,12 +25,14 @@
 //! | [`fuzzbench`] | scenario fuzzing: bounded coverage-guided search + `BENCH_fuzz.json` |
 //! | [`servebench`] | decision service: sharded throughput + latency + `BENCH_serve.json` |
 //! | [`multisimbench`] | multi-station simulator: events/sec + regret + `BENCH_multisim.json` |
+//! | [`chaosbench`] | guarded lifecycle drill: faults, degradation, rollback + `BENCH_chaos.json` |
 //! | [`speedup`] | sequential-baseline bookkeeping behind per-section speedup reporting |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaosbench;
 pub mod context;
 pub mod evaluation;
 pub mod fuzzbench;

@@ -4,10 +4,11 @@ use crate::args::{ArgError, Args, CommonOpts, ModelRef};
 use libra::prelude::*;
 use libra::sim::run_policy_segment;
 use libra::{
-    run_multisim, LinkState, MultiSimConfig, PolicyKind, ScenarioType, SegmentData, SimConfig,
-    TimelineConfig,
+    run_multisim, DelayDist, DelayModel, LinkState, MultiSimConfig, PolicyKind, ScenarioType,
+    SegmentData, SimConfig, TimelineConfig,
 };
 use libra_dataset::{Features, GroundTruthParams, Instruments};
+use libra_guard::{run_chaos, ChaosConfig, LifecycleAction};
 use libra_infer::{ModelArtifact, ModelRegistry, ModelSpec, RegistryWatcher};
 use libra_mac::{BaOverheadPreset, ProtocolParams};
 use libra_obs as obs;
@@ -88,6 +89,8 @@ fn dispatch(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
         ["fuzz", "replay"] => fuzz_replay(args, ctx),
         ["fuzz", "minimize"] => fuzz_minimize(args, ctx),
         ["fuzz", "export"] => fuzz_export(args),
+        ["fuzz", "traincheck"] => fuzz_traincheck(args, ctx),
+        ["chaos"] => chaos(args),
         ["info"] => info(args),
         [] => Ok(usage()),
         other => Err(ArgError(format!(
@@ -116,7 +119,8 @@ USAGE:
                             [--timelines N] [--ba-ms MS] [--fat-ms MS] [--seed N]
   libractl multisim         [--aps N] [--stations N] [--duration-ms MS] [--seed N]
                             [--policy libra|ra-first|ba-first|oracle-data|oracle-delay]
-                            [--decision-delay-ms MS] [--roam-interval-ms MS]
+                            [--decision-delay-ms MS | --delay-from-trace FILE]
+                            [--roam-interval-ms MS]
                             [--ba-ms MS] [--fat-ms MS] [--model MODEL]
   libractl loadgen          --model MODEL [--requests N] [--stations N] [--seed N] [--shards N]
                             [--batch N] [--record FILE | --no-record] [--watch]
@@ -127,6 +131,8 @@ USAGE:
   libractl fuzz replay      [--corpus DIR] [--tolerance R] [--model MODEL]
   libractl fuzz minimize    --scenario NAME [--corpus DIR] [--out FILE] [--model MODEL]
   libractl fuzz export      --into FILE [--top N] [--corpus DIR]
+  libractl fuzz traincheck  [--top N] [--tolerance R] [--train-seed N] [--corpus DIR] [--model MODEL]
+  libractl chaos            [--seed N] [--requests N] [--stations N] [--shards N] [--registry-dir DIR]
   libractl info
 
 Every command additionally accepts the shared flags:
@@ -149,7 +155,23 @@ the corpus directory (default results/corpus/, or the LIBRA_CORPUS_DIR
 environment variable), and replay them as a regression suite. Without
 --model they score the shared reduced-campaign classifier, so runs are
 reproducible from the seed alone. `fuzz export` folds the worst-regret
-corpus scenarios into a campaign dataset for retraining.
+corpus scenarios into a campaign dataset for retraining, and
+`fuzz traincheck` measures the regret that retraining actually closes:
+export the top hard cases into the reduced training campaign, retrain
+from --train-seed, and rescore every corpus entry before/after
+(entries beyond --top stay held out to measure generalization).
+
+`chaos` runs the deterministic guarded-lifecycle drill of libra-guard:
+a private registry is seeded with two model versions, rounds of
+requests are served under a seeded fault plan (artifact corruption,
+latency spikes, deadline misses, drops, shard stalls), degraded
+decisions fall back to the §7 rule, and the lifecycle controller rolls
+LATEST back on a degradation breach, then shadow-evaluates and promotes
+a candidate once the storm clears. The `digest 0x…` line is
+bitwise-identical at any --shards/--threads count. `multisim
+--delay-from-trace trace.jsonl` closes the loop the other way: the
+measured `serve.decision_ns` histogram from a traced serve/loadgen run
+becomes the per-decision delay distribution of the simulator.
 
 `multisim` runs the event-driven multi-station simulator: N APs sharing
 a TDMA frame with M stations each, cross-station interference coupling
@@ -550,7 +572,22 @@ fn multisim(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
     let mut cfg = MultiSimConfig::new(aps, stations);
     cfg.duration_ms = args.opt_parse("duration-ms", cfg.duration_ms)?;
     cfg.seed = args.opt_parse("seed", cfg.seed)?;
-    cfg.decision_delay_ms = args.opt_parse("decision-delay-ms", cfg.decision_delay_ms)?;
+    cfg.delay = DelayModel::Constant(args.opt_parse("decision-delay-ms", 0.0)?);
+    // A recorded serving trace turns the constant into the measured
+    // per-decision latency distribution (ROADMAP item 4).
+    if let Some(trace) = args.opt("delay-from-trace") {
+        let text = std::fs::read_to_string(&trace)
+            .map_err(|e| ArgError(format!("--delay-from-trace {trace}: {e}")))?;
+        let hist = obs::parse_hist_jsonl(&text, "serve.decision_ns").ok_or_else(|| {
+            ArgError(format!(
+                "--delay-from-trace {trace}: no `serve.decision_ns` histogram in trace \
+                 (run `libractl serve`/`loadgen` with --trace first)"
+            ))
+        })?;
+        let dist = DelayDist::from_hist(&hist, 1e-6)
+            .ok_or_else(|| ArgError(format!("--delay-from-trace {trace}: histogram is empty")))?;
+        cfg.delay = DelayModel::Measured(dist);
+    }
     cfg.roam_interval_ms = args.opt_parse("roam-interval-ms", cfg.roam_interval_ms)?;
     let ba_ms: f64 = args.opt_parse("ba-ms", 5.0)?;
     let fat_ms: f64 = args.opt_parse("fat-ms", 2.0)?;
@@ -771,9 +808,7 @@ fn loadgen(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
         }
         if let Some(watcher) = watcher.as_mut() {
             if i % WATCH_POLL_EVERY == 0 {
-                if let Some((version, artifact)) =
-                    watcher.poll().map_err(|e| ArgError(e.to_string()))?
-                {
+                if let Some((version, artifact)) = watcher.poll() {
                     let fresh = ServedModel::from_artifact(&artifact, version)
                         .map_err(|e| ArgError(e.to_string()))?;
                     let epoch = service.publish(std::sync::Arc::new(fresh));
@@ -847,6 +882,148 @@ fn fuzz_export(args: &mut Args) -> Result<String, ArgError> {
         entries.len(),
         before + added,
     ))
+}
+
+fn fuzz_traincheck(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
+    let top: usize = args.opt_parse("top", 8)?;
+    let tolerance: f64 = args.opt_parse("tolerance", 0.01)?;
+    let train_seed: u64 = args.opt_parse("train-seed", libra_fuzz::DEFAULT_TRAIN_SEED)?;
+    let corpus_dir = fuzz_corpus_dir(args);
+    let owned = fuzz_classifier(args, ctx)?;
+    args.finish()?;
+
+    let entries = libra_fuzz::load_corpus(&corpus_dir).map_err(ArgError)?;
+    if entries.is_empty() {
+        return Err(ArgError(format!(
+            "no corpus entries in {} — run `libractl fuzz run` first",
+            corpus_dir.display()
+        )));
+    }
+    let baseline = match owned.as_ref() {
+        Some(c) => c,
+        None => libra_fuzz::default_classifier(),
+    };
+    let base = libra_fuzz::reduced_campaign();
+    let check = libra_fuzz::retrain_close(&entries, &base, baseline, top, train_seed, tolerance);
+
+    let mut t = TextTable::new(["scenario", "before", "after", "delta", "trained-on"]);
+    for row in &check.rows {
+        t.row([
+            row.name.clone(),
+            fmt_f(row.before_max, 4),
+            fmt_f(row.after_max, 4),
+            format!("{:+.4}", row.delta),
+            if row.exported { "yes" } else { "held out" }.to_string(),
+        ]);
+    }
+    Ok(format!(
+        "traincheck: retrained on {} rows (+{} exported from top {} of {} corpus scenarios)\n\
+         mean max-regret {:.4} -> {:.4} ({:+.4}); \
+         {} improved / {} worsened of {} (tolerance {tolerance})\n{}",
+        check.train_rows,
+        check.exported_rows,
+        top.min(entries.len()),
+        entries.len(),
+        check.mean_before,
+        check.mean_after,
+        check.mean_delta(),
+        check.improved,
+        check.worsened,
+        check.rows.len(),
+        t.render()
+    ))
+}
+
+fn lifecycle_action_label(action: &LifecycleAction) -> String {
+    match action {
+        LifecycleAction::Hold => "hold".into(),
+        LifecycleAction::Promote { from, to } => format!("promote v{from} -> v{to}"),
+        LifecycleAction::Rollback { from, to } => format!("rollback v{from} -> v{to}"),
+    }
+}
+
+fn chaos(args: &mut Args) -> Result<String, ArgError> {
+    let defaults = ChaosConfig::default();
+    let cfg = ChaosConfig {
+        seed: args.opt_parse("seed", defaults.seed)?,
+        requests_per_round: args.opt_parse("requests", defaults.requests_per_round)?,
+        stations: args.opt_parse("stations", defaults.stations)?,
+        shards: args.opt_parse("shards", defaults.shards)?,
+        ..defaults
+    };
+    let dir = args
+        .opt("registry-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| libra_util::paths::results_root().join("chaos_models"));
+    args.finish()?;
+
+    // The drill owns its registry: the storyline publishes versions
+    // 1..3 under fixed names, so it always starts from a clean slate
+    // (and never touches the real model registry).
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| ArgError(e.to_string()))?;
+    let registry = ModelRegistry::open(&dir);
+    let outcome = run_chaos(&cfg, &registry, "chaos").map_err(|e| ArgError(e.to_string()))?;
+
+    let mut t = TextTable::new([
+        "round",
+        "phase",
+        "served",
+        "decisions",
+        "degraded",
+        "per-mille",
+        "max psi",
+        "action",
+    ]);
+    for r in &outcome.rounds {
+        t.row([
+            r.round.to_string(),
+            r.label.to_string(),
+            format!("v{}", r.served_version),
+            r.decisions.to_string(),
+            r.degraded.to_string(),
+            r.degraded_per_mille.to_string(),
+            fmt_f(r.max_psi, 3),
+            lifecycle_action_label(&r.action),
+        ]);
+    }
+    let mut out = format!(
+        "chaos drill: seed {:#x}, {} rounds x {} requests on {} shard(s), registry {}\n{}",
+        cfg.seed,
+        outcome.rounds.len(),
+        cfg.requests_per_round,
+        cfg.shards,
+        dir.display(),
+        t.render()
+    );
+    for event in &outcome.events {
+        if !matches!(event.action, LifecycleAction::Hold) {
+            out.push_str(&format!(
+                "round {}: {} ({})\n",
+                event.round,
+                lifecycle_action_label(&event.action),
+                event.reason
+            ));
+        }
+    }
+    if let (Some(round), Some(decisions)) = (outcome.rollback_round, outcome.decisions_to_rollback)
+    {
+        out.push_str(&format!(
+            "rollback restored the prior LATEST in round {round} after {decisions} decisions\n"
+        ));
+    }
+    out.push_str(&format!(
+        "totals: {} decisions, {} degraded, {} deadline misses, {} drops, {} artifact faults\n\
+         final LATEST: chaos@v{}\ndigest {:#018x}\n",
+        outcome.decisions,
+        outcome.degraded,
+        outcome.deadline_misses,
+        outcome.drops,
+        outcome.artifact_faults,
+        outcome.final_latest,
+        outcome.digest,
+    ));
+    Ok(out)
 }
 
 /// The classifier a fuzz command scores against: `--model` when given,
@@ -1308,7 +1485,46 @@ mod tests {
         let out = run_words(&["dataset", "summary", "--input", campaign]).unwrap();
         assert!(out.contains("Overall"), "{out}");
 
+        // Close the loop: retrain on the exported hard cases and
+        // measure the per-scenario regret delta.
+        let out = run_words(&["fuzz", "traincheck", "--top", "2", "--corpus", corpus]).unwrap();
+        assert!(out.contains("traincheck: retrained on"), "{out}");
+        assert!(out.contains("mean max-regret"), "{out}");
+
         std::env::remove_var(libra_util::paths::RESULTS_DIR_ENV);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_drill_rolls_back_then_promotes_with_invariant_digest() {
+        let dir = std::env::temp_dir().join("libractl-chaos-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let reg = dir.join("models");
+        let reg = reg.to_str().unwrap();
+
+        let run_shards = |shards: &str| {
+            run_words(&[
+                "chaos",
+                "--requests",
+                "600",
+                "--shards",
+                shards,
+                "--registry-dir",
+                reg,
+            ])
+            .unwrap()
+        };
+        let one = run_shards("1");
+        assert!(one.contains("rollback v2 -> v1"), "{one}");
+        assert!(one.contains("promote v1 -> v3"), "{one}");
+        assert!(one.contains("rollback restored the prior LATEST"), "{one}");
+        assert!(one.contains("final LATEST: chaos@v3"), "{one}");
+
+        // The storyline and its digest are invariant to the shard count.
+        let four = run_shards("4");
+        assert_eq!(digest_token(&one), digest_token(&four));
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 

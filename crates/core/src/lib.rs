@@ -81,7 +81,10 @@ pub use event::{EventKey, EventQueue, LinkMachine, StepEvent, StepKind};
 pub use history::{
     collect_history_dataset, run_timeline_with_history, FeatureHistory, HistoryClassifier,
 };
-pub use multisim::{run_multisim, MultiSimConfig, MultiSimOutcome, StationChannel, StationStats};
+pub use multisim::{
+    run_multisim, DelayDist, DelayModel, MultiSimConfig, MultiSimOutcome, StationChannel,
+    StationStats,
+};
 pub use online::{run_timeline_online, OnlineLibra};
 pub use regret::{entry_regret, CoverageKey, EntryRegret, RegretReport};
 pub use sim::{

@@ -52,6 +52,78 @@ use libra_util::rng::{derive_seed, derive_seed_index, SplitMix64};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// How long the decision path stalls each segment before its chosen
+/// action applies (ROADMAP item 4: close the loop from the *measured*
+/// serving latency back into the simulator).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DelayModel {
+    /// Every decision costs exactly this many ms. `Constant(0.0)` is
+    /// the legacy instant-decision path and draws **no** randomness, so
+    /// existing run digests are unchanged.
+    Constant(f64),
+    /// Each decision draws its delay from a measured latency
+    /// distribution (one derived RNG stream per station stay, so runs
+    /// stay bitwise reproducible at any thread count).
+    Measured(DelayDist),
+}
+
+impl DelayModel {
+    /// The delay, in ms, of the next decision. Only `Measured` advances
+    /// the stream.
+    fn draw(&self, rng: &mut SplitMix64) -> f64 {
+        match self {
+            Self::Constant(ms) => *ms,
+            Self::Measured(dist) => dist.sample(rng.uniform()),
+        }
+    }
+}
+
+/// An inverse-CDF table distilled from an `obs` latency histogram —
+/// typically the `serve.decision_ns` wall hist of a real serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayDist {
+    /// Delay quantiles in ms at evenly spaced ranks `i / (len − 1)`;
+    /// at least two entries (p0 and p100).
+    pub quantiles_ms: Vec<f64>,
+}
+
+impl DelayDist {
+    /// Quantile table resolution used by [`from_hist`](Self::from_hist).
+    pub const POINTS: usize = 33;
+
+    /// Distills a histogram into a quantile table. `unit_to_ms` converts
+    /// the histogram's recorded unit to ms (`1e-6` for a `_ns` wall
+    /// hist, `1e-3` for a `_us` value hist). Returns `None` for an
+    /// empty histogram — there is no distribution to sample.
+    pub fn from_hist(hist: &libra_obs::Hist, unit_to_ms: f64) -> Option<Self> {
+        if hist.count == 0 {
+            return None;
+        }
+        let quantiles_ms = (0..Self::POINTS)
+            .map(|i| {
+                let q = i as f64 / (Self::POINTS - 1) as f64;
+                hist.percentile(q) as f64 * unit_to_ms
+            })
+            .collect();
+        Some(Self { quantiles_ms })
+    }
+
+    /// Inverse-CDF sample at rank `u ∈ [0, 1)` (linear interpolation
+    /// between table entries).
+    pub fn sample(&self, u: f64) -> f64 {
+        assert!(
+            self.quantiles_ms.len() >= 2,
+            "a delay distribution needs at least p0 and p100"
+        );
+        let u = u.clamp(0.0, 1.0);
+        let steps = (self.quantiles_ms.len() - 1) as f64;
+        let pos = u * steps;
+        let lo = (pos.floor() as usize).min(self.quantiles_ms.len() - 2);
+        let frac = pos - lo as f64;
+        self.quantiles_ms[lo] * (1.0 - frac) + self.quantiles_ms[lo + 1] * frac
+    }
+}
+
 /// Configuration of one multi-station run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MultiSimConfig {
@@ -67,11 +139,12 @@ pub struct MultiSimConfig {
     pub policy: PolicyKind,
     /// Single-link simulator parameters (BA overhead, FAT, thresholds).
     pub sim: SimConfig,
-    /// Decision-path compute delay, ms: each segment transmits on the
-    /// stale entry configuration this long before the chosen action is
-    /// applied. Feed the `obs`-measured decision p50 in to make a slow
-    /// classifier pay for its staleness (ROADMAP item 4).
-    pub decision_delay_ms: f64,
+    /// Decision-path compute delay: each segment transmits on the stale
+    /// entry configuration this long before the chosen action is
+    /// applied. Feed the `obs`-measured `serve.decision_ns` distribution
+    /// in via [`DelayModel::Measured`] to make a slow classifier pay for
+    /// its staleness (ROADMAP item 4).
+    pub delay: DelayModel,
     /// Mean channel-coherence segment length, ms (actual lengths draw
     /// uniformly in ±50 %).
     pub mean_segment_ms: f64,
@@ -99,7 +172,7 @@ impl MultiSimConfig {
             seed: 0x11B7A,
             policy: PolicyKind::RaFirst,
             sim: SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni3, 2.0)),
-            decision_delay_ms: 0.0,
+            delay: DelayModel::Constant(0.0),
             mean_segment_ms: 800.0,
             roam_interval_ms: 3_000.0,
             station_eirp_dbm: 8.0,
@@ -435,6 +508,9 @@ struct StationSim {
     /// TDMA-share-scaled bytes of the running segment.
     seg_bytes: f64,
     sweeping: bool,
+    /// Per-stay stream for `DelayModel::Measured` draws; the constant
+    /// model never advances it.
+    delay_rng: SplitMix64,
     stats: StationStats,
 }
 
@@ -500,6 +576,10 @@ fn simulate_cell(
                     seg_start_ms: at_ms,
                     seg_bytes: 0.0,
                     sweeping: false,
+                    delay_rng: SplitMix64::new(derive_seed_index(
+                        derive_seed(cfg.seed, "multisim.delay"),
+                        ((s as u64) << 16) | residency,
+                    )),
                     stats: StationStats::zero(s, s / cfg.stations_per_ap),
                 };
                 if residency > 0 {
@@ -639,7 +719,8 @@ fn start_segment(
     } else {
         decide_action(&seg, cfg.policy, clf, st.link, &cfg.sim)
     };
-    let machine = LinkMachine::with_delay(&seg, action, st.link, &cfg.sim, cfg.decision_delay_ms);
+    let delay_ms = cfg.delay.draw(&mut st.delay_rng);
+    let machine = LinkMachine::with_delay(&seg, action, st.link, &cfg.sim, delay_ms);
     st.gen += 1;
     st.seg_start_ms = now_ms;
     st.seg_bytes = 0.0;
@@ -812,7 +893,7 @@ mod tests {
         let cfg = quiet(MultiSimConfig::new(1, 4));
         let fast = run_multisim(&cfg, None);
         let mut slow_cfg = cfg.clone();
-        slow_cfg.decision_delay_ms = 25.0;
+        slow_cfg.delay = DelayModel::Constant(25.0);
         let slow = run_multisim(&slow_cfg, None);
         assert!(
             slow.total_bytes < fast.total_bytes,
@@ -820,6 +901,64 @@ mod tests {
             slow.total_bytes,
             fast.total_bytes
         );
+    }
+
+    #[test]
+    fn delay_dist_interpolates_its_quantile_table() {
+        let dist = DelayDist {
+            quantiles_ms: vec![1.0, 3.0, 9.0],
+        };
+        assert_eq!(dist.sample(0.0), 1.0);
+        assert_eq!(dist.sample(0.5), 3.0);
+        assert_eq!(dist.sample(1.0), 9.0);
+        assert!((dist.sample(0.25) - 2.0).abs() < 1e-12);
+        assert!((dist.sample(0.75) - 6.0).abs() < 1e-12);
+        // Out-of-range ranks clamp instead of indexing out of bounds.
+        assert_eq!(dist.sample(7.0), 9.0);
+        assert_eq!(dist.sample(-1.0), 1.0);
+    }
+
+    #[test]
+    fn delay_dist_distills_an_obs_hist() {
+        let ((), report) = obs::with_scope(|| {
+            // A fake decision-latency wall hist: 1 ms-ish with a tail.
+            for _ in 0..90 {
+                obs::record_wall("test.msim.decision_ns", 1_000_000);
+            }
+            for _ in 0..10 {
+                obs::record_wall("test.msim.decision_ns", 32_000_000);
+            }
+        });
+        let hist = report.hist("test.msim.decision_ns").expect("recorded");
+        let dist = DelayDist::from_hist(hist, 1e-6).expect("non-empty");
+        assert_eq!(dist.quantiles_ms.len(), DelayDist::POINTS);
+        // Monotone table; the low quantiles sit near 1 ms, the top near
+        // the tail (log₂ buckets give order-of-magnitude resolution).
+        assert!(dist.quantiles_ms.windows(2).all(|w| w[0] <= w[1]));
+        assert!(dist.sample(0.1) < 3.0, "p10 {}", dist.sample(0.1));
+        assert!(dist.sample(1.0) > 16.0, "p100 {}", dist.sample(1.0));
+        assert!(DelayDist::from_hist(&obs::Hist::default(), 1e-6).is_none());
+    }
+
+    #[test]
+    fn measured_delay_costs_throughput_and_stays_deterministic() {
+        let cfg = quiet(MultiSimConfig::new(1, 4));
+        let fast = run_multisim(&cfg, None);
+        let mut slow_cfg = cfg.clone();
+        slow_cfg.delay = DelayModel::Measured(DelayDist {
+            quantiles_ms: vec![20.0, 25.0, 40.0],
+        });
+        let slow = run_multisim(&slow_cfg, None);
+        assert!(
+            slow.total_bytes < fast.total_bytes,
+            "measured delays should cost bytes: {} vs {}",
+            slow.total_bytes,
+            fast.total_bytes
+        );
+        // Replaying the same measured-delay config is bitwise stable.
+        let replay = run_multisim(&slow_cfg, None);
+        assert_eq!(slow.digest, replay.digest);
+        assert_eq!(slow.total_bytes, replay.total_bytes);
     }
 
     #[test]

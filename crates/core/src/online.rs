@@ -20,16 +20,34 @@
 //! Derived labels accumulate in a replay buffer; every `retrain_every`
 //! observations the forest is refitted on *offline ∪ buffer*, letting
 //! the deployment environment reweight the decision boundaries.
+//!
+//! With a [candidate feed](OnlineLibra::with_candidate_feed) attached,
+//! every retrained model is additionally frozen into a
+//! [`ModelRegistry`] as a **staged candidate**: the artifact is
+//! published (crash-safely) so shadow evaluation and the lifecycle
+//! controller can find it, but the `LATEST` pointer is put back where
+//! it was — an online retrain may *nominate* `name@vNext`, never bless
+//! it. Promotion stays the guarded lifecycle's decision.
 
 use crate::classifier::{DecidePolicy, LibraClassifier};
 use crate::sim::{execute, ConfigData, LinkState, SegmentData, SegmentOutcome, SimConfig};
 use crate::timeline::Timeline;
 use libra_dataset::measure::{expected_best_pair, expected_pair_measurement};
 use libra_dataset::{Action3, Features, Instruments};
+use libra_infer::ModelRegistry;
 use libra_ml::Dataset;
 use libra_obs as obs;
 use libra_util::rng::rng_from_seed;
 use rand::rngs::SmallRng;
+
+/// Where retrained models are staged as shadow-evaluation candidates.
+#[derive(Debug, Clone)]
+struct CandidateFeed {
+    registry: ModelRegistry,
+    name: String,
+    published: Vec<u32>,
+    last_error: Option<String>,
+}
 
 /// LiBRA with outcome-driven online retraining.
 #[derive(Debug, Clone)]
@@ -46,6 +64,8 @@ pub struct OnlineLibra {
     rng: SmallRng,
     /// Number of retrains performed (observability).
     pub retrain_count: usize,
+    seed: u64,
+    feed: Option<CandidateFeed>,
 }
 
 impl OnlineLibra {
@@ -62,7 +82,34 @@ impl OnlineLibra {
             observations_since_retrain: 0,
             rng,
             retrain_count: 0,
+            seed,
+            feed: None,
         }
+    }
+
+    /// Attaches a candidate feed: every retrained model is frozen into
+    /// `registry` under `name` as a staged (un-blessed) candidate for
+    /// shadow evaluation. Publication failures are absorbed — the
+    /// learner keeps learning — and surfaced via
+    /// [`last_publish_error`](Self::last_publish_error).
+    pub fn with_candidate_feed(mut self, registry: ModelRegistry, name: &str) -> Self {
+        self.feed = Some(CandidateFeed {
+            registry,
+            name: name.to_string(),
+            published: Vec::new(),
+            last_error: None,
+        });
+        self
+    }
+
+    /// Versions this learner has staged as candidates, in order.
+    pub fn published_candidates(&self) -> &[u32] {
+        self.feed.as_ref().map_or(&[], |f| &f.published)
+    }
+
+    /// The most recent candidate-publication failure, if any.
+    pub fn last_publish_error(&self) -> Option<&str> {
+        self.feed.as_ref().and_then(|f| f.last_error.as_deref())
     }
 
     /// The current model.
@@ -162,7 +209,8 @@ impl OnlineLibra {
         }
     }
 
-    /// Refits the forest on offline ∪ buffer.
+    /// Refits the forest on offline ∪ buffer, then stages the result as
+    /// a registry candidate when a feed is attached.
     pub fn retrain(&mut self) {
         let _span = obs::span("online.retrain");
         obs::record_value("online.retrain.buffer_rows", self.buffer.len() as u64);
@@ -173,6 +221,38 @@ impl OnlineLibra {
         self.clf = LibraClassifier::train(&data, &mut self.rng);
         self.observations_since_retrain = 0;
         self.retrain_count += 1;
+        self.publish_candidate(data.len() as u64);
+    }
+
+    /// Freezes the freshly retrained model into the feed's registry as
+    /// a staged candidate: the artifact is published (so it exists on
+    /// disk for shadow evaluation), but `LATEST` is restored — only the
+    /// lifecycle controller's promote may bless it.
+    fn publish_candidate(&mut self, train_rows: u64) {
+        let Some(feed) = &mut self.feed else { return };
+        let notes = format!("online retrain #{}", self.retrain_count);
+        let artifact = self
+            .clf
+            .to_artifact(&feed.name, self.seed, train_rows, &notes);
+        let staged = (|| {
+            let before = feed.registry.latest(&feed.name)?;
+            let version = feed.registry.save(&feed.name, &artifact)?;
+            if let Some(before) = before {
+                feed.registry.repoint_latest(&feed.name, before)?;
+            }
+            Ok::<u32, libra_infer::Error>(version)
+        })();
+        match staged {
+            Ok(version) => {
+                obs::counter("online.candidates_published", 1);
+                feed.published.push(version);
+                feed.last_error = None;
+            }
+            Err(e) => {
+                obs::counter("online.candidate_publish_failed", 1);
+                feed.last_error = Some(e.to_string());
+            }
+        }
     }
 }
 

@@ -9,7 +9,7 @@
 //!    threads. `set_threads` is process-global, so both comparisons
 //!    live in one `#[test]` and restore the default on exit.
 
-use libra::multisim::{run_multisim, MultiSimConfig, StationChannel};
+use libra::multisim::{run_multisim, DelayModel, MultiSimConfig, StationChannel};
 use libra::sim::{run_policy_segment, LinkState, PolicyKind};
 use libra_util::par::set_threads;
 
@@ -17,7 +17,7 @@ use libra_util::par::set_threads;
 fn degenerate_single_station_matches_single_link_executor() {
     let mut cfg = MultiSimConfig::new(1, 1);
     cfg.roam_interval_ms = 0.0;
-    cfg.decision_delay_ms = 0.0;
+    cfg.delay = DelayModel::Constant(0.0);
     cfg.duration_ms = 4_000.0;
     let out = run_multisim(&cfg, None);
     assert_eq!(out.stations.len(), 1);
@@ -52,7 +52,7 @@ fn outcome_is_bitwise_identical_across_thread_counts() {
     let mut cfg = MultiSimConfig::new(4, 16);
     cfg.duration_ms = 3_000.0;
     cfg.roam_interval_ms = 1_000.0;
-    cfg.decision_delay_ms = 4.0;
+    cfg.delay = DelayModel::Constant(4.0);
     cfg.policy = PolicyKind::RaFirst;
 
     set_threads(1);

@@ -1,0 +1,159 @@
+//! Integration coverage for the online learner's lifecycle-facing
+//! behavior: the retrain trigger, the replay-buffer window, and the
+//! candidate feed that stages retrained models into a registry.
+
+use libra::online::OnlineLibra;
+use libra::sim::{execute, ConfigData, LinkState, SegmentData, SimConfig};
+use libra_dataset::{Action3, Features, FEATURE_NAMES};
+use libra_infer::{ModelRegistry, ModelSpec};
+use libra_mac::{BaOverheadPreset, ProtocolParams};
+use libra_ml::Dataset;
+use std::path::PathBuf;
+
+fn offline_3class() -> Dataset {
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..90 {
+        let (row, label) = match i % 3 {
+            0 => (
+                vec![15.0 + (i % 4) as f64, 0.0, 0.5, 0.9, 0.5, 0.0, 3.0],
+                0usize,
+            ),
+            1 => (vec![4.0, -15.0, 0.3, 0.97, 0.9, 0.3, 7.0], 1),
+            _ => (vec![0.1, 0.0, 0.0, 1.0, 1.0, 0.99, 7.0], 2),
+        };
+        features.push(row);
+        labels.push(label);
+    }
+    Dataset::new(
+        features,
+        labels,
+        3,
+        FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+    )
+}
+
+fn sim() -> SimConfig {
+    SimConfig::new(ProtocolParams::new(BaOverheadPreset::QuasiOmni30, 2.0))
+}
+
+/// A segment whose old pair is dead: RA will run dry and fire BA, so
+/// every observation derives a (BA) label.
+fn dead_segment() -> SegmentData {
+    let dead = ConfigData {
+        tput_mbps: vec![0.0; 9].into(),
+        cdr: vec![0.0; 9].into(),
+    };
+    let alive = ConfigData {
+        tput_mbps: vec![
+            300.0, 850.0, 1400.0, 1950.0, 2400.0, 2800.0, 1200.0, 0.0, 0.0,
+        ]
+        .into(),
+        cdr: vec![1.0, 1.0, 1.0, 1.0, 0.97, 0.92, 0.35, 0.0, 0.0].into(),
+    };
+    SegmentData {
+        old: dead,
+        best: alive,
+        features: Features::no_change(5),
+        duration_ms: 800.0,
+    }
+}
+
+/// A healthy segment where NA teaches NA — but a *broken* NA segment
+/// teaches nothing, which is what the trigger test leans on.
+fn observe_n(online: &mut OnlineLibra, n: usize, informative: bool) {
+    let seg = dead_segment();
+    let state = LinkState::at_mcs(5);
+    let sim = sim();
+    let action = if informative {
+        Action3::Ra
+    } else {
+        Action3::Na
+    };
+    let out = execute(&seg, action, state, &sim);
+    for _ in 0..n {
+        online.observe(&seg.features, action, &out, &seg, &state, &sim);
+    }
+}
+
+fn temp_registry(tag: &str) -> ModelRegistry {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("libra-online-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp registry");
+    ModelRegistry::open(dir)
+}
+
+#[test]
+fn retrain_fires_on_informative_observations_only() {
+    let mut online = OnlineLibra::new(offline_3class(), 4, 11);
+    // Uninformative outcomes (mispredicted NA on a dead link) derive no
+    // label: the window must not advance.
+    observe_n(&mut online, 10, false);
+    assert_eq!(online.retrain_count, 0);
+    assert_eq!(online.buffer_len(), 0);
+
+    // Three informative observations: still below the window.
+    observe_n(&mut online, 3, true);
+    assert_eq!(online.retrain_count, 0);
+    assert_eq!(online.buffer_len(), 3);
+
+    // The fourth closes the window and triggers exactly one retrain.
+    observe_n(&mut online, 1, true);
+    assert_eq!(online.retrain_count, 1);
+
+    // The replay buffer is a memory, not a queue: retraining keeps it.
+    assert_eq!(online.buffer_len(), 4);
+
+    // The next window needs `retrain_every` fresh observations again.
+    observe_n(&mut online, 3, true);
+    assert_eq!(online.retrain_count, 1);
+    observe_n(&mut online, 1, true);
+    assert_eq!(online.retrain_count, 2);
+    assert_eq!(online.buffer_len(), 8);
+}
+
+#[test]
+fn candidate_feed_stages_without_blessing() {
+    let registry = temp_registry("feed");
+    let mut online =
+        OnlineLibra::new(offline_3class(), 2, 12).with_candidate_feed(registry.clone(), "online");
+
+    // First retrain on an empty registry: the candidate becomes v1 and,
+    // with no incumbent to protect, stays pointed-at.
+    observe_n(&mut online, 2, true);
+    assert_eq!(online.retrain_count, 1);
+    assert_eq!(online.published_candidates(), &[1]);
+    assert_eq!(registry.latest("online").expect("latest"), Some(1));
+
+    // Second retrain: v2 is staged but v1 keeps the blessing — only the
+    // lifecycle controller may move `LATEST` past an incumbent.
+    observe_n(&mut online, 2, true);
+    assert_eq!(online.published_candidates(), &[1, 2]);
+    assert_eq!(registry.latest("online").expect("latest"), Some(1));
+    assert_eq!(registry.versions("online").expect("versions"), vec![1, 2]);
+    assert!(online.last_publish_error().is_none());
+
+    // The staged artifact round-trips into a servable model.
+    let (version, artifact) = registry
+        .load(&ModelSpec {
+            name: "online".into(),
+            version: Some(2),
+        })
+        .expect("load staged candidate");
+    assert_eq!(version, 2);
+    libra::LibraClassifier::from_artifact(&artifact).expect("candidate must be servable");
+}
+
+#[test]
+fn publish_failure_is_absorbed_not_fatal() {
+    let registry = temp_registry("feedfail");
+    // An invalid registry name makes every publication fail.
+    let mut online =
+        OnlineLibra::new(offline_3class(), 2, 13).with_candidate_feed(registry, "not a name");
+    observe_n(&mut online, 2, true);
+    // The retrain itself still happened; the failure is recorded.
+    assert_eq!(online.retrain_count, 1);
+    assert!(online.published_candidates().is_empty());
+    assert!(online.last_publish_error().is_some());
+}

@@ -25,6 +25,9 @@
 //!   offenders back into a training campaign dataset.
 //! * [`seeds`] — the seed pool (trimmed campaign plans), the
 //!   hand-picked hard-case mini corpus, and the shared small classifier.
+//! * [`traincheck`] — the regret-close measurement: export the worst
+//!   corpus entries, retrain on the grown curriculum, and report how
+//!   much regret the retrain closed per entry and in aggregate.
 //!
 //! Determinism is the load-bearing contract, matching the rest of the
 //! workspace: the whole search is a pure function of `FuzzConfig::seed`.
@@ -39,6 +42,7 @@ pub mod corpus;
 pub mod engine;
 pub mod mutate;
 pub mod seeds;
+pub mod traincheck;
 
 pub use corpus::{
     export_to_campaign, load_corpus, manifest_json, minimize, replay, save_corpus, CorpusEntry,
@@ -48,4 +52,7 @@ pub use engine::{
     bench_json, run_fuzz, score_spec, EvalParams, FuzzConfig, FuzzOutcome, FuzzStats,
 };
 pub use mutate::Mutator;
-pub use seeds::{default_classifier, mini_corpus_plan, seed_pool};
+pub use seeds::{
+    default_classifier, mini_corpus_plan, reduced_campaign, seed_pool, DEFAULT_TRAIN_SEED,
+};
+pub use traincheck::{retrain_close, TrainCheck, TrainCheckRow};

@@ -5,8 +5,8 @@
 use libra::LibraClassifier;
 use libra_channel::{Blocker, BlockerPlacement, Environment, Interferer, Point, Pose};
 use libra_dataset::{
-    generate, main_campaign_plan, testing_campaign_plan, CampaignConfig, GroundTruthParams,
-    Impairment, Instruments, NewStateSpec, ScenarioSpec,
+    generate, main_campaign_plan, testing_campaign_plan, CampaignConfig, CampaignDataset,
+    GroundTruthParams, Impairment, Instruments, NewStateSpec, ScenarioSpec,
 };
 use libra_phy::McsTable;
 use libra_util::rng::rng_from_seed;
@@ -280,6 +280,41 @@ pub fn mini_corpus_plan() -> Vec<ScenarioSpec> {
     specs
 }
 
+/// Training seed of [`default_classifier`] — also the default baseline
+/// seed of the regret-close check, so "retrained" differs from
+/// "baseline" only by the exported rows, never by the RNG stream.
+pub const DEFAULT_TRAIN_SEED: u64 = 0x5EED;
+
+/// The reduced training campaign behind [`default_classifier`]: six
+/// scenarios of the main plan (the keep-list of the determinism suite,
+/// `crates/bench/tests/determinism.rs`), regenerated deterministically.
+/// This is also the base curriculum `traincheck::retrain_close` grows
+/// with exported hard cases.
+pub fn reduced_campaign() -> CampaignDataset {
+    let keep = [
+        "lobby-back",
+        "lobby-rot1",
+        "lobby-blk0",
+        "lobby-intf0",
+        "lab-back",
+        "conf-rot1",
+    ];
+    let plan: Vec<_> = main_campaign_plan()
+        .into_iter()
+        .filter(|s| keep.contains(&s.name.as_str()))
+        .collect();
+    assert_eq!(plan.len(), keep.len(), "determinism keep-list drifted");
+    let cfg = CampaignConfig {
+        seed: 0xD17E,
+        instruments: Instruments {
+            trace_frames: 25,
+            ..Instruments::default()
+        },
+        repeats: 1,
+    };
+    generate(&plan, &cfg)
+}
+
 /// The classifier every fuzz entry point scores against by default: the
 /// reduced-campaign model of the determinism suite
 /// (`crates/bench/tests/determinism.rs`), trained once per process.
@@ -288,30 +323,9 @@ pub fn mini_corpus_plan() -> Vec<ScenarioSpec> {
 pub fn default_classifier() -> &'static LibraClassifier {
     static CLF: OnceLock<LibraClassifier> = OnceLock::new();
     CLF.get_or_init(|| {
-        let keep = [
-            "lobby-back",
-            "lobby-rot1",
-            "lobby-blk0",
-            "lobby-intf0",
-            "lab-back",
-            "conf-rot1",
-        ];
-        let plan: Vec<_> = main_campaign_plan()
-            .into_iter()
-            .filter(|s| keep.contains(&s.name.as_str()))
-            .collect();
-        assert_eq!(plan.len(), keep.len(), "determinism keep-list drifted");
-        let cfg = CampaignConfig {
-            seed: 0xD17E,
-            instruments: Instruments {
-                trace_frames: 25,
-                ..Instruments::default()
-            },
-            repeats: 1,
-        };
-        let ds = generate(&plan, &cfg);
+        let ds = reduced_campaign();
         let data = ds.to_ml_3class(&McsTable::x60(), &GroundTruthParams::default());
-        let mut rng = rng_from_seed(0x5EED);
+        let mut rng = rng_from_seed(DEFAULT_TRAIN_SEED);
         LibraClassifier::train(&data, &mut rng)
     })
 }

@@ -1,0 +1,217 @@
+//! The regret-close measurement: does retraining on the exported hard
+//! cases actually close the regret gap the fuzzer found?
+//!
+//! This is the closing arc of ROADMAP item 5. The fuzzer *finds* hard
+//! scenarios and `export_to_campaign` *folds* them into a training
+//! campaign; [`retrain_close`] measures whether that loop pays off.
+//! It scores every corpus entry against a baseline classifier, grows
+//! the base curriculum with the worst offenders, retrains from the same
+//! seed, rescores, and reports the per-entry and aggregate regret
+//! deltas. Everything is a pure function of its inputs — two runs with
+//! the same corpus, base dataset, and seeds produce bitwise identical
+//! reports at any thread count.
+
+use crate::corpus::{export_to_campaign, CorpusEntry};
+use libra::LibraClassifier;
+use libra_dataset::{CampaignDataset, GroundTruthParams};
+use libra_obs as obs;
+use libra_phy::McsTable;
+use libra_util::par::par_map;
+use libra_util::rng::rng_from_seed;
+use std::collections::BTreeSet;
+
+/// One corpus entry's before/after regret under the retrained model.
+#[derive(Debug, Clone)]
+pub struct TrainCheckRow {
+    /// Scenario name.
+    pub name: String,
+    /// Max relative regret under the baseline classifier.
+    pub before_max: f64,
+    /// Max relative regret under the retrained classifier.
+    pub after_max: f64,
+    /// `after_max - before_max`; negative means the retrain helped.
+    pub delta: f64,
+    /// Whether this scenario's rows entered the retraining dataset.
+    pub exported: bool,
+}
+
+/// The full regret-close report of one retraining round.
+#[derive(Debug, Clone)]
+pub struct TrainCheck {
+    /// Per-entry rows, in corpus order.
+    pub rows: Vec<TrainCheckRow>,
+    /// Dataset rows (entries + NA twins) the export appended.
+    pub exported_rows: usize,
+    /// Training rows the retrained model saw (base + exported).
+    pub train_rows: usize,
+    /// Mean of `before_max` over all entries.
+    pub mean_before: f64,
+    /// Mean of `after_max` over all entries.
+    pub mean_after: f64,
+    /// Entries whose max regret fell by more than the tolerance.
+    pub improved: usize,
+    /// Entries whose max regret rose by more than the tolerance.
+    pub worsened: usize,
+}
+
+impl TrainCheck {
+    /// `mean_after - mean_before`: the aggregate regret the retrain
+    /// closed (negative) or opened (positive).
+    pub fn mean_delta(&self) -> f64 {
+        self.mean_after - self.mean_before
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u32);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / f64::from(n)
+    }
+}
+
+fn scenario_names(ds: &CampaignDataset) -> BTreeSet<String> {
+    ds.entries
+        .iter()
+        .chain(ds.na_entries.iter())
+        .map(|e| e.scenario.clone())
+        .collect()
+}
+
+/// Runs one export → retrain → replay round and measures the regret
+/// delta on every corpus entry.
+///
+/// `base` is the curriculum the baseline was trained on (for the
+/// default tooling, [`crate::seeds::reduced_campaign`]); the `top`
+/// worst-regret entries not already present are folded in via
+/// [`export_to_campaign`], a fresh classifier trains from `train_seed`,
+/// and both models rescore the whole corpus. Entries beyond `top` (or
+/// already present in `base`) still appear in the report — they measure
+/// generalization rather than memorization.
+pub fn retrain_close(
+    entries: &[CorpusEntry],
+    base: &CampaignDataset,
+    baseline: &LibraClassifier,
+    top: usize,
+    train_seed: u64,
+    tolerance: f64,
+) -> TrainCheck {
+    let _span = obs::span("fuzz.traincheck");
+    let before: Vec<f64> = par_map(entries, |_, e| e.rescore(baseline).max());
+
+    let base_names = scenario_names(base);
+    let mut grown = base.clone();
+    let exported_rows = export_to_campaign(entries, top, &mut grown);
+    let grown_names = scenario_names(&grown);
+
+    let data = grown.to_ml_3class(&McsTable::x60(), &GroundTruthParams::default());
+    let train_rows = data.len();
+    let mut rng = rng_from_seed(train_seed);
+    let retrained = LibraClassifier::train(&data, &mut rng);
+
+    let after: Vec<f64> = par_map(entries, |_, e| e.rescore(&retrained).max());
+
+    let rows: Vec<TrainCheckRow> = entries
+        .iter()
+        .zip(before.iter().zip(after.iter()))
+        .map(|(e, (&before_max, &after_max))| TrainCheckRow {
+            name: e.spec.name.clone(),
+            before_max,
+            after_max,
+            delta: after_max - before_max,
+            exported: grown_names.contains(&e.spec.name) && !base_names.contains(&e.spec.name),
+        })
+        .collect();
+
+    let improved = rows.iter().filter(|r| r.delta < -tolerance).count();
+    let worsened = rows.iter().filter(|r| r.delta > tolerance).count();
+    obs::counter("fuzz.traincheck.entries", rows.len() as u64);
+    obs::counter("fuzz.traincheck.improved", improved as u64);
+    obs::counter("fuzz.traincheck.worsened", worsened as u64);
+
+    TrainCheck {
+        mean_before: mean(rows.iter().map(|r| r.before_max)),
+        mean_after: mean(rows.iter().map(|r| r.after_max)),
+        rows,
+        exported_rows,
+        train_rows,
+        improved,
+        worsened,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{score_spec, EvalParams};
+    use crate::seeds::{
+        default_classifier, mini_corpus_plan, reduced_campaign, DEFAULT_TRAIN_SEED,
+    };
+
+    fn corpus(names: &[&str]) -> Vec<CorpusEntry> {
+        mini_corpus_plan()
+            .into_iter()
+            .filter(|s| names.contains(&s.name.as_str()))
+            .map(|spec| {
+                let eval = EvalParams::default();
+                let report = score_spec(&spec, 0xC105E, &eval, default_classifier());
+                CorpusEntry::new(spec, 0xC105E, eval, &report)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reports_every_entry_and_marks_exports() {
+        let entries = corpus(&["hard-lobby-crowd", "hard-blk-ladder"]);
+        assert_eq!(entries.len(), 2, "mini corpus plan drifted");
+        let base = reduced_campaign();
+        // top=1: only the worse of the two scenarios enters the
+        // training set; the other measures generalization.
+        let check = retrain_close(
+            &entries,
+            &base,
+            default_classifier(),
+            1,
+            DEFAULT_TRAIN_SEED,
+            0.01,
+        );
+        assert_eq!(check.rows.len(), 2);
+        assert_eq!(check.rows.iter().filter(|r| r.exported).count(), 1);
+        let exported = check.rows.iter().find(|r| r.exported).unwrap();
+        let held_out = check.rows.iter().find(|r| !r.exported).unwrap();
+        assert!(
+            exported.before_max >= held_out.before_max,
+            "export must pick the worst-regret entry"
+        );
+        assert!(check.exported_rows > 0);
+        assert!(check.train_rows > base.entries.len() + base.na_entries.len());
+        // Stored regret matches the baseline rescore: the corpus was
+        // scored by the same classifier.
+        for (row, entry) in check.rows.iter().zip(&entries) {
+            assert_eq!(row.name, entry.spec.name);
+            assert!((row.before_max - entry.max_regret).abs() < 1e-12);
+            assert!((row.delta - (row.after_max - row.before_max)).abs() < 1e-12);
+        }
+        assert!((check.mean_delta() - (check.mean_after - check.mean_before)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regret_close_is_deterministic() {
+        let entries = corpus(&["hard-lobby-crowd"]);
+        let base = reduced_campaign();
+        let a = retrain_close(&entries, &base, default_classifier(), 4, 0x7A11, 0.01);
+        let b = retrain_close(&entries, &base, default_classifier(), 4, 0x7A11, 0.01);
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.before_max.to_bits(), rb.before_max.to_bits());
+            assert_eq!(ra.after_max.to_bits(), rb.after_max.to_bits());
+        }
+        assert_eq!(a.train_rows, b.train_rows);
+        assert_eq!(a.exported_rows, b.exported_rows);
+    }
+}

@@ -1,0 +1,369 @@
+//! The end-to-end chaos harness behind `libractl chaos`.
+//!
+//! One [`run_chaos`] call drives a fixed six-round storyline through a
+//! real registry, a real sharded serve, and a real
+//! [`LifecycleController`] — everything the guarded lifecycle promises,
+//! exercised in order:
+//!
+//! | round | label    | what happens                                            |
+//! |-------|----------|---------------------------------------------------------|
+//! | 0     | baseline | quiet serve on `v2`; feature histograms become baseline |
+//! | 1     | storm    | armed fault plan + drifted traffic; degradation breaches the threshold → automatic rollback `v2 → v1` |
+//! | 2     | storm    | still stormy; reads stay faulted, no trusted prior left → anti-flap hold |
+//! | 3     | calm     | clean reads again; the serve path picks up the rolled-back `v1` |
+//! | 4     | shadow   | candidate `v3` staged, shadow-evaluated on mirrored traffic → promotion `v1 → v3` |
+//! | 5     | steady   | quiet serve on the promoted `v3`                        |
+//!
+//! During storm rounds every artifact read is mangled by the plan's
+//! [`FaultPlan::artifact_fault`] stream, so the refresh path *fails
+//! deterministically* and the service keeps serving its held model —
+//! degraded, counted, never panicking. Every digest-affecting fault is
+//! a pure function of request `seq` or model identity, so the outcome's
+//! folded response digest is bitwise identical at any thread or shard
+//! count; only wall-clock (the stalled shard's sleeps) varies.
+
+use crate::drift::{feature_drift, record_features};
+use crate::lifecycle::{LifecycleAction, LifecycleController, LifecycleEvent, Thresholds};
+use crate::plan::FaultPlan;
+use crate::shadow::shadow_eval;
+use libra::LibraClassifier;
+use libra_dataset::FEATURE_NAMES;
+use libra_infer::{Error, ModelArtifact, ModelRegistry, ModelSpec};
+use libra_obs as obs;
+use libra_serve::{
+    generate_requests, response_digest, serve_all, LoadConfig, ServeConfig, ServedModel,
+};
+use libra_util::rng::{derive_seed, derive_seed_index, rng_from_seed, SplitMix64};
+use std::sync::Arc;
+
+/// Round labels of the fixed storyline, in order.
+const ROUND_LABELS: [&str; 6] = ["baseline", "storm", "storm", "calm", "shadow", "steady"];
+
+/// SNR drift injected into storm-round traffic, dB.
+const STORM_SNR_SHIFT_DB: f64 = -8.0;
+
+/// Knobs of a chaos run. `Default` is the configuration the CI smoke
+/// job and `experiments chaos` pin: 2 000 requests per round across 32
+/// stations on 4 shards, default lifecycle thresholds, and a storm
+/// plan whose drop + spike-past-deadline lotteries degrade ≈ 44 % of
+/// decisions — far enough above the 150 ‰ rollback threshold that
+/// sampling noise cannot flip the story.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Master seed; load, models, and every fault stream derive from it.
+    pub seed: u64,
+    /// Requests served per round.
+    pub requests_per_round: usize,
+    /// Station population (shard routing keys).
+    pub stations: u64,
+    /// Serve shard count — the outcome digest must not depend on it.
+    pub shards: usize,
+    /// Lifecycle gates.
+    pub thresholds: Thresholds,
+    /// Storm-round fault plan. Its `seed` field is ignored: the run
+    /// derives the storm stream from [`ChaosConfig::seed`] so one knob
+    /// reproduces everything.
+    pub storm: FaultPlan,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC4A05,
+            requests_per_round: 2_000,
+            stations: 32,
+            shards: 4,
+            thresholds: Thresholds::default(),
+            storm: FaultPlan {
+                seed: 0,
+                artifact_corrupt_per_mille: 1_000,
+                artifact_truncate_per_mille: 0,
+                base_latency_us: 80,
+                spike_per_mille: 200,
+                spike_latency_us: 9_000,
+                deadline_us: 2_000,
+                drop_per_mille: 300,
+                stall_shard: Some(0),
+                stall_ms: 1,
+            },
+        }
+    }
+}
+
+/// One round's ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundStats {
+    /// Round index (0-based).
+    pub round: u64,
+    /// Storyline label (`baseline`, `storm`, …).
+    pub label: &'static str,
+    /// Model version the round was served by.
+    pub served_version: u32,
+    /// Decisions served.
+    pub decisions: u64,
+    /// Decisions answered by the §7 fallback under a fault.
+    pub degraded: u64,
+    /// Degradation rate, per mille.
+    pub degraded_per_mille: u64,
+    /// Injected deadline misses.
+    pub deadline_misses: u64,
+    /// Injected response drops.
+    pub drops: u64,
+    /// Batches after which the stalled shard slept.
+    pub stalls: u64,
+    /// Max per-feature PSI versus the baseline round.
+    pub max_psi: f64,
+    /// This round's response digest.
+    pub digest: u64,
+    /// What the controller did with the round.
+    pub action: LifecycleAction,
+}
+
+/// The full run's ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosOutcome {
+    /// Response digests of all rounds folded in round order — the
+    /// bitwise thread/shard-invariance contract of the run.
+    pub digest: u64,
+    /// Total decisions served.
+    pub decisions: u64,
+    /// Total degraded decisions.
+    pub degraded: u64,
+    /// Total injected deadline misses.
+    pub deadline_misses: u64,
+    /// Total injected drops.
+    pub drops: u64,
+    /// Artifact loads the fault plan made fail (refresh attempts held).
+    pub artifact_faults: u64,
+    /// Round whose assessment rolled `LATEST` back, if any.
+    pub rollback_round: Option<u64>,
+    /// Decisions served before the rollback was applied, if any.
+    pub decisions_to_rollback: Option<u64>,
+    /// Round whose assessment promoted the candidate, if any.
+    pub promote_round: Option<u64>,
+    /// `LATEST` at the end of the run.
+    pub final_latest: u32,
+    /// Per-round ledgers, in order.
+    pub rounds: Vec<RoundStats>,
+    /// The controller's full event log.
+    pub events: Vec<LifecycleEvent>,
+}
+
+/// Trains a small deterministic synthetic model and freezes it as a
+/// registry artifact. Same `seed` → bitwise-identical forest, which is
+/// how the harness stages a candidate guaranteed to agree with the
+/// incumbent it clones.
+pub fn chaos_artifact(seed: u64, name: &str) -> ModelArtifact {
+    let mut mix = SplitMix64::new(derive_seed(seed, "chaos.data"));
+    let rows = 240usize;
+    let mut features = Vec::with_capacity(rows);
+    let mut labels = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let c = i % 3;
+        let mut row = vec![0.0; FEATURE_NAMES.len()];
+        row[0] = c as f64 * 8.0 + mix.uniform() * 2.0;
+        row[3] = 0.6 + c as f64 * 0.12 + mix.uniform() * 0.05;
+        row[5] = (1.0 - c as f64 * 0.3) + mix.uniform() * 0.05;
+        row[6] = (i % 9) as f64;
+        features.push(row);
+        labels.push(c);
+    }
+    let names = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+    let data = libra_ml::Dataset::new(features, labels, 3, names);
+    let mut rng = rng_from_seed(derive_seed(seed, "chaos.train"));
+    let clf = LibraClassifier::train(&data, &mut rng);
+    clf.to_artifact(name, seed, rows as u64, "chaos synthetic model")
+}
+
+fn latest_spec(name: &str) -> ModelSpec {
+    ModelSpec {
+        name: name.to_string(),
+        version: None,
+    }
+}
+
+/// FNV-1a fold of one 64-bit word into a running digest.
+fn fold_digest(acc: u64, value: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = acc;
+    for byte in value.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Runs the six-round chaos storyline against `registry`, publishing
+/// `name@v1`/`v2` itself (the registry should start without `name`).
+/// Returns the full ledger; errors only on registry motion the
+/// storyline requires succeeding (publication, rollback, promotion).
+pub fn run_chaos(
+    cfg: &ChaosConfig,
+    registry: &ModelRegistry,
+    name: &str,
+) -> Result<ChaosOutcome, Error> {
+    registry.save(
+        name,
+        &chaos_artifact(derive_seed(cfg.seed, "chaos.model.v1"), name),
+    )?;
+    registry.save(
+        name,
+        &chaos_artifact(derive_seed(cfg.seed, "chaos.model.v2"), name),
+    )?;
+
+    let storm = FaultPlan {
+        seed: derive_seed(cfg.seed, "chaos.storm"),
+        ..cfg.storm
+    };
+    let quiet = FaultPlan::default();
+
+    let mut controller =
+        LifecycleController::new(ModelRegistry::open(registry.root()), name, cfg.thresholds)?;
+    let (live_version, live_artifact) = registry.load(&latest_spec(name))?;
+    let mut live = Arc::new(ServedModel::new(
+        name,
+        live_version,
+        LibraClassifier::from_artifact(&live_artifact)?,
+    ));
+
+    let mut outcome = ChaosOutcome {
+        digest: 0xcbf2_9ce4_8422_2325,
+        decisions: 0,
+        degraded: 0,
+        deadline_misses: 0,
+        drops: 0,
+        artifact_faults: 0,
+        rollback_round: None,
+        decisions_to_rollback: None,
+        promote_round: None,
+        final_latest: 0,
+        rounds: Vec::with_capacity(ROUND_LABELS.len()),
+        events: Vec::new(),
+    };
+    let mut baseline: Option<obs::Report> = None;
+
+    for (round, &label) in ROUND_LABELS.iter().enumerate() {
+        let round = round as u64;
+        let is_storm = label == "storm";
+        let plan = if is_storm { storm } else { quiet };
+
+        // Refresh through the (possibly faulted) artifact read path —
+        // the watcher's view of the registry. A mangled read defers:
+        // the held model keeps serving, nothing panics.
+        let reader = ModelRegistry::open(registry.root()).with_read_fault(plan.artifact_fault());
+        match reader.load(&latest_spec(name)) {
+            Ok((version, artifact)) if version != live.version => {
+                match LibraClassifier::from_artifact(&artifact) {
+                    Ok(clf) => live = Arc::new(ServedModel::new(name, version, clf)),
+                    Err(_) => {
+                        outcome.artifact_faults += 1;
+                        obs::counter("guard.chaos.artifact_fault", 1);
+                    }
+                }
+            }
+            Ok(_) => {}
+            Err(_) => {
+                outcome.artifact_faults += 1;
+                obs::counter("guard.chaos.artifact_fault", 1);
+            }
+        }
+
+        // The shadow round stages a candidate: published so it exists
+        // on disk for promotion, but immediately un-blessed — only the
+        // controller's own promote may move `LATEST` to it. Cloning the
+        // incumbent's training seed guarantees it can win its shadow.
+        let candidate = if label == "shadow" {
+            let artifact = chaos_artifact(derive_seed(cfg.seed, "chaos.model.v1"), name);
+            let staged = registry.save(name, &artifact)?;
+            registry.repoint_latest(name, controller.live())?;
+            Some(Arc::new(ServedModel::new(
+                name,
+                staged,
+                LibraClassifier::from_artifact(&artifact)?,
+            )))
+        } else {
+            None
+        };
+
+        let mut requests = generate_requests(&LoadConfig {
+            requests: cfg.requests_per_round,
+            stations: cfg.stations,
+            seed: derive_seed_index(derive_seed(cfg.seed, "chaos.load"), round),
+        });
+        if is_storm {
+            // The storm is also a distribution shift: every window's SNR
+            // difference sags, which the drift detector must flag.
+            for request in &mut requests {
+                request.features.snr_diff_db += STORM_SNR_SHIFT_DB;
+            }
+        }
+
+        let serve_cfg = ServeConfig {
+            shards: cfg.shards,
+            faults: is_storm.then(|| plan.serve_faults()),
+            ..ServeConfig::default()
+        };
+        let ((served, shadow_report), report) = obs::with_scope(|| {
+            for request in &requests {
+                record_features(&request.features);
+            }
+            let served = serve_all(&serve_cfg, Arc::clone(&live), &requests);
+            let shadow_report = candidate
+                .as_ref()
+                .map(|c| shadow_eval(c, &requests, &served.responses));
+            (served, shadow_report)
+        });
+
+        let decisions = served.responses.len() as u64;
+        let degraded = report.counter("serve.degraded");
+        let degraded_per_mille = (degraded * 1000).checked_div(decisions).unwrap_or(0);
+        let max_psi = match &baseline {
+            Some(base) => feature_drift(base, &report).max_psi,
+            None => 0.0,
+        };
+        if baseline.is_none() {
+            baseline = Some(report.clone());
+        }
+
+        let event = controller
+            .assess(
+                decisions,
+                degraded_per_mille,
+                max_psi,
+                shadow_report.as_ref(),
+            )?
+            .clone();
+        let digest = response_digest(&served.responses);
+        outcome.digest = fold_digest(outcome.digest, digest);
+        outcome.decisions += decisions;
+        outcome.degraded += degraded;
+        outcome.deadline_misses += report.counter("serve.deadline_miss");
+        outcome.drops += report.counter("serve.dropped");
+        match event.action {
+            LifecycleAction::Rollback { .. } => {
+                outcome.rollback_round = Some(round);
+                outcome.decisions_to_rollback = Some(outcome.decisions);
+            }
+            LifecycleAction::Promote { .. } => outcome.promote_round = Some(round),
+            LifecycleAction::Hold => {}
+        }
+        outcome.rounds.push(RoundStats {
+            round,
+            label,
+            served_version: live.version,
+            decisions,
+            degraded,
+            degraded_per_mille,
+            deadline_misses: report.counter("serve.deadline_miss"),
+            drops: report.counter("serve.dropped"),
+            stalls: report.counter("serve.stall"),
+            max_psi,
+            digest,
+            action: event.action,
+        });
+    }
+
+    outcome.events = controller.events().to_vec();
+    outcome.final_latest = registry.latest(name)?.unwrap_or(0);
+    Ok(outcome)
+}

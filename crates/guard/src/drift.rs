@@ -1,0 +1,203 @@
+//! PSI-style drift detection over `obs` value histograms.
+//!
+//! The serving stack already funnels deterministic observations through
+//! `libra_obs`; drift detection rides the same spine. Each request's
+//! Table-3 feature vector is quantized into a fixed per-feature linear
+//! bin (32 bins across the feature's operating range) and recorded into
+//! a per-feature `obs` value histogram via [`record_features`]. The
+//! recorded value is `1 << bin`, which lands each linear bin in its own
+//! log₂ bucket — so the coarse log₂ histogram carries the full linear
+//! resolution, stays part of the deterministic digest, and merges
+//! across threads in the usual index-ordered way.
+//!
+//! Two windows (a baseline [`libra_obs::Report`] and a current one) are
+//! then compared per feature with the Population Stability Index:
+//!
+//! ```text
+//! PSI = Σ_bins (p_i − q_i) · ln(p_i / q_i)
+//! ```
+//!
+//! with ε-smoothed bin probabilities. The usual operating points apply:
+//! PSI < 0.1 stable, 0.1–0.25 moderate shift, > 0.25 major shift (the
+//! default promotion gate in [`crate::lifecycle::Thresholds`]).
+
+use libra_dataset::Features;
+use libra_obs::{Hist, Report, N_BUCKETS};
+
+/// Linear bins per feature histogram.
+const BINS: u64 = 32;
+
+/// `obs` histogram names for the seven Table-3 features, in order.
+pub const FEATURE_HIST_NAMES: [&str; 7] = [
+    "guard.feature.snr_diff_db",
+    "guard.feature.tof_diff_ns",
+    "guard.feature.noise_diff_db",
+    "guard.feature.pdp_similarity",
+    "guard.feature.csi_similarity",
+    "guard.feature.cdr",
+    "guard.feature.initial_mcs",
+];
+
+/// Operating range `(lo, hi)` of each feature, Table-3 order — the
+/// bracket the load generator and the §8 campaigns actually produce.
+/// Values outside clamp into the edge bins (which is itself signal).
+const FEATURE_RANGES: [(f64, f64); 7] = [
+    (-5.0, 25.0),     // SNR difference, dB
+    (-100.0, 1000.0), // ToF difference, ns (sentinel lands in the top bin)
+    (-2.0, 2.0),      // noise level difference, dB
+    (0.5, 1.0),       // PDP similarity
+    (0.3, 1.0),       // CSI similarity
+    (0.0, 1.0),       // CDR
+    (0.0, 9.0),       // initial MCS
+];
+
+fn bin_of(value: f64, lo: f64, hi: f64) -> u64 {
+    let t = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+    ((t * BINS as f64) as u64).min(BINS - 1)
+}
+
+/// Records one request's feature vector into the current `obs` scope's
+/// per-feature drift histograms (no-op when collection is disabled).
+pub fn record_features(features: &Features) {
+    let values = [
+        features.snr_diff_db,
+        features.tof_diff_ns,
+        features.noise_diff_db,
+        features.pdp_similarity,
+        features.csi_similarity,
+        features.cdr,
+        features.initial_mcs as f64,
+    ];
+    for ((&name, value), (lo, hi)) in FEATURE_HIST_NAMES.iter().zip(values).zip(FEATURE_RANGES) {
+        libra_obs::record_value(name, 1u64 << bin_of(value, lo, hi));
+    }
+}
+
+/// Population Stability Index between two histograms sharing a binning.
+///
+/// Empty histograms score 0 (no evidence is not drift). Probabilities
+/// are ε-smoothed so a bin emptying out entirely stays finite.
+pub fn psi(reference: &Hist, current: &Hist) -> f64 {
+    if reference.count == 0 || current.count == 0 {
+        return 0.0;
+    }
+    const EPS: f64 = 1e-4;
+    let mut score = 0.0;
+    for i in 0..N_BUCKETS {
+        let p = (reference.buckets[i] as f64 / reference.count as f64) + EPS;
+        let q = (current.buckets[i] as f64 / current.count as f64) + EPS;
+        score += (p - q) * (p / q).ln();
+    }
+    score
+}
+
+/// Per-feature PSI scores between two observation windows.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// `(histogram name, PSI)` for every feature histogram present in
+    /// either window, Table-3 order.
+    pub per_feature: Vec<(&'static str, f64)>,
+    /// Largest per-feature PSI (0 when nothing was recorded).
+    pub max_psi: f64,
+}
+
+impl DriftReport {
+    /// True when the window pair breaches `threshold` on any feature.
+    pub fn drifted(&self, threshold: f64) -> bool {
+        self.max_psi > threshold
+    }
+}
+
+/// Scores the current window's feature histograms against a baseline
+/// window's — the drift half of the guarded lifecycle.
+pub fn feature_drift(baseline: &Report, current: &Report) -> DriftReport {
+    let mut per_feature = Vec::with_capacity(FEATURE_HIST_NAMES.len());
+    let mut max_psi = 0.0f64;
+    for name in FEATURE_HIST_NAMES {
+        let empty = Hist::default();
+        let reference = baseline.hist(name).unwrap_or(&empty);
+        let now = current.hist(name).unwrap_or(&empty);
+        let score = psi(reference, now);
+        max_psi = max_psi.max(score);
+        per_feature.push((name, score));
+    }
+    DriftReport {
+        per_feature,
+        max_psi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_obs as obs;
+
+    fn window(shift_db: f64, n: usize) -> Report {
+        let ((), report) = obs::with_scope(|| {
+            for i in 0..n {
+                let features = Features {
+                    snr_diff_db: (i % 20) as f64 - 2.0 + shift_db,
+                    tof_diff_ns: (i % 7) as f64 * 40.0,
+                    noise_diff_db: 0.1,
+                    pdp_similarity: 0.9,
+                    csi_similarity: 0.8,
+                    cdr: 0.95,
+                    initial_mcs: i % 9,
+                };
+                record_features(&features);
+            }
+        });
+        report
+    }
+
+    #[test]
+    fn identical_windows_score_zero() {
+        let a = window(0.0, 2_000);
+        let b = window(0.0, 2_000);
+        let report = feature_drift(&a, &b);
+        assert!(report.max_psi < 0.01, "max_psi {}", report.max_psi);
+        assert!(!report.drifted(0.25));
+        assert_eq!(report.per_feature.len(), FEATURE_HIST_NAMES.len());
+    }
+
+    #[test]
+    fn shifted_snr_is_flagged_on_the_snr_feature_only() {
+        let a = window(0.0, 2_000);
+        let b = window(8.0, 2_000);
+        let report = feature_drift(&a, &b);
+        assert!(report.drifted(0.25), "max_psi {}", report.max_psi);
+        let (snr_name, snr_score) = report.per_feature[0];
+        assert_eq!(snr_name, FEATURE_HIST_NAMES[0]);
+        assert!(snr_score > 0.25, "snr psi {snr_score}");
+        for &(name, score) in &report.per_feature[1..] {
+            assert!(score < 0.05, "{name} drifted spuriously ({score})");
+        }
+    }
+
+    #[test]
+    fn empty_windows_are_not_drift() {
+        let a = window(0.0, 1_000);
+        let empty = Report::default();
+        assert_eq!(feature_drift(&a, &empty).max_psi, 0.0);
+        assert_eq!(feature_drift(&empty, &a).max_psi, 0.0);
+        assert_eq!(psi(&Hist::default(), &Hist::default()), 0.0);
+    }
+
+    #[test]
+    fn psi_is_roughly_symmetric_in_magnitude() {
+        let a = window(0.0, 2_000);
+        let b = window(5.0, 2_000);
+        let ab = feature_drift(&a, &b).max_psi;
+        let ba = feature_drift(&b, &a).max_psi;
+        // PSI is symmetric by construction: (p−q)ln(p/q) = (q−p)ln(q/p).
+        assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bins_cover_the_range_without_panicking() {
+        for v in [-1e9, -5.0, 0.0, 24.9, 25.0, 1e9, f64::NAN] {
+            let b = bin_of(v, -5.0, 25.0);
+            assert!(b < BINS);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # libra-guard
+//!
+//! Deterministic fault injection and model-lifecycle guardrails for the
+//! LiBRA serving stack (ROADMAP item 4): the layer that turns "a model
+//! is served" into "a model is served *under supervision*, degraded
+//! gracefully when the world misbehaves, and replaced automatically
+//! when it stops earning its place".
+//!
+//! * [`plan`] — the seeded [`FaultPlan`]: one top-level seed fans out,
+//!   via derived RNG streams under the `libra_util::par` contract, into
+//!   the registry's artifact read faults (`libra_infer::ArtifactFault`)
+//!   and the serve path's latency spikes, response drops, deadline
+//!   misses and shard stalls (`libra_serve::ServeFaults`). Every
+//!   digest-affecting fault is a pure function of the faulted
+//!   operation's identity (request `seq`, model `(name, version)`), so
+//!   chaos runs stay bitwise reproducible at any thread/shard count.
+//! * [`drift`] — PSI-style drift scoring over `obs` value histograms:
+//!   request feature distributions are folded into per-feature
+//!   histograms and compared against a baseline window.
+//! * [`shadow`] — shadow evaluation of a candidate `name@vNext` on
+//!   mirrored requests: the candidate decides every request the live
+//!   model served, decisions are *compared but never served*.
+//! * [`lifecycle`] — the guarded-lifecycle controller: promotes the
+//!   candidate when it wins its shadow evaluation, rolls the registry
+//!   back to the prior `LATEST` when the live model's degradation rate
+//!   breaches its threshold; all registry motion goes through the
+//!   crash-safe `ModelRegistry::repoint_latest`.
+//! * [`chaos`] — the end-to-end chaos harness behind `libractl chaos`
+//!   and `experiments chaos`: a multi-round serve under an armed fault
+//!   plan, with drift scoring, shadow evaluation, a forced breach, the
+//!   automatic rollback, and a later promotion — emitting one response
+//!   digest that must be bitwise identical at any thread/shard count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod drift;
+pub mod lifecycle;
+pub mod plan;
+pub mod shadow;
+
+pub use chaos::{chaos_artifact, run_chaos, ChaosConfig, ChaosOutcome, RoundStats};
+pub use drift::{feature_drift, psi, record_features, DriftReport, FEATURE_HIST_NAMES};
+pub use lifecycle::{LifecycleAction, LifecycleController, LifecycleEvent, Thresholds};
+pub use plan::FaultPlan;
+pub use shadow::{shadow_eval, ShadowReport};

@@ -1,0 +1,379 @@
+//! The guarded model lifecycle: hold, promote, or roll back.
+//!
+//! A [`LifecycleController`] sits beside the serving loop and, once per
+//! observation window, turns three health signals into at most one
+//! registry motion:
+//!
+//! * **degradation rate** — the fraction of the window's decisions the
+//!   serve path had to answer with the §7 fallback (deadline misses,
+//!   dropped responses, a schema-broken model). Breaching
+//!   [`Thresholds::max_degraded_per_mille`] triggers an automatic
+//!   rollback of `LATEST` to the prior version.
+//! * **drift** — the max per-feature PSI versus the baseline window
+//!   ([`crate::drift`]). Drift does not trigger motion by itself, but it
+//!   vetoes promotion: a candidate that only matched the incumbent on a
+//!   distribution the traffic has left is unproven.
+//! * **shadow agreement** — a [`crate::shadow::ShadowReport`] for a
+//!   newer candidate version. A candidate that agrees at or above
+//!   [`Thresholds::min_agreement_per_mille`] on a stable window is
+//!   promoted to `LATEST`.
+//!
+//! All registry motion goes through the crash-safe
+//! [`ModelRegistry::repoint_latest`], so a crash mid-decision can tear
+//! neither the pointer nor an artifact. A version rolled back from is
+//! distrusted: it does not become the rollback target of the next
+//! breach, which keeps a flapping model from ping-ponging.
+
+use crate::shadow::ShadowReport;
+use libra_infer::{Error, ModelRegistry, ModelSpec};
+use libra_obs as obs;
+
+/// Gates for lifecycle decisions. Defaults: act only on windows of at
+/// least 200 decisions, roll back above 150 ‰ degradation, promote at
+/// ≥ 900 ‰ shadow agreement when max PSI ≤ 0.25.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Degradation rate (per mille) above which `LATEST` rolls back.
+    pub max_degraded_per_mille: u64,
+    /// Shadow agreement (per mille) a candidate needs to be promoted.
+    pub min_agreement_per_mille: u64,
+    /// Max per-feature PSI versus baseline above which promotion waits.
+    pub max_psi: f64,
+    /// Minimum decisions in a window before any action is taken.
+    pub min_window: u64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Self {
+            max_degraded_per_mille: 150,
+            min_agreement_per_mille: 900,
+            max_psi: 0.25,
+            min_window: 200,
+        }
+    }
+}
+
+/// What the controller did with a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleAction {
+    /// No registry motion.
+    Hold,
+    /// `LATEST` advanced to a shadow-proven candidate.
+    Promote {
+        /// Version that was live before the promotion.
+        from: u32,
+        /// Candidate version now live.
+        to: u32,
+    },
+    /// `LATEST` rolled back to the prior version.
+    Rollback {
+        /// Version that was live when the breach was detected.
+        from: u32,
+        /// Prior version now live again.
+        to: u32,
+    },
+}
+
+/// One window's assessment, as recorded in the controller's log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleEvent {
+    /// 0-based index of the assessed window.
+    pub round: u64,
+    /// The action taken (already applied to the registry).
+    pub action: LifecycleAction,
+    /// Human-readable cause, e.g. `degradation 475‰ > 150‰`.
+    pub reason: String,
+    /// The window's degradation rate, per mille.
+    pub degraded_per_mille: u64,
+    /// The window's max per-feature PSI versus baseline.
+    pub max_psi: f64,
+    /// Shadow agreement per mille, when a candidate was under test.
+    pub shadow_agreement_per_mille: Option<u64>,
+}
+
+/// Drives promotion and rollback for one registry name.
+pub struct LifecycleController {
+    registry: ModelRegistry,
+    name: String,
+    thresholds: Thresholds,
+    live: u32,
+    prior: Option<u32>,
+    round: u64,
+    events: Vec<LifecycleEvent>,
+}
+
+impl LifecycleController {
+    /// Opens a controller over `name`, reading the live version from the
+    /// registry's `LATEST` pointer and taking the highest on-disk
+    /// version below it as the rollback target.
+    pub fn new(registry: ModelRegistry, name: &str, thresholds: Thresholds) -> Result<Self, Error> {
+        let (live, _) = registry.resolve(&ModelSpec {
+            name: name.to_string(),
+            version: None,
+        })?;
+        let prior = registry.versions(name)?.into_iter().rfind(|&v| v < live);
+        Ok(Self {
+            registry,
+            name: name.to_string(),
+            thresholds,
+            live,
+            prior,
+            round: 0,
+            events: Vec::new(),
+        })
+    }
+
+    /// The version currently considered live.
+    pub fn live(&self) -> u32 {
+        self.live
+    }
+
+    /// The version a breach would roll back to, if any.
+    pub fn prior(&self) -> Option<u32> {
+        self.prior
+    }
+
+    /// Every assessment so far, in round order.
+    pub fn events(&self) -> &[LifecycleEvent] {
+        &self.events
+    }
+
+    /// Assesses one observation window and applies at most one registry
+    /// motion. `decisions` / `degraded_per_mille` summarize the served
+    /// window, `max_psi` scores it against the baseline, and `shadow`
+    /// carries a candidate's mirrored-traffic evaluation when one is
+    /// staged. Returns the recorded event; errors only if the registry
+    /// refuses the motion (e.g. the target artifact vanished).
+    pub fn assess(
+        &mut self,
+        decisions: u64,
+        degraded_per_mille: u64,
+        max_psi: f64,
+        shadow: Option<&ShadowReport>,
+    ) -> Result<&LifecycleEvent, Error> {
+        let round = self.round;
+        self.round += 1;
+        let agreement = shadow.map(ShadowReport::agreement_per_mille);
+        let (action, reason) = self.decide(decisions, degraded_per_mille, max_psi, shadow)?;
+        match action {
+            LifecycleAction::Hold => obs::counter("guard.lifecycle.hold", 1),
+            LifecycleAction::Promote { .. } => obs::counter("guard.lifecycle.promote", 1),
+            LifecycleAction::Rollback { .. } => obs::counter("guard.lifecycle.rollback", 1),
+        }
+        self.events.push(LifecycleEvent {
+            round,
+            action,
+            reason,
+            degraded_per_mille,
+            max_psi,
+            shadow_agreement_per_mille: agreement,
+        });
+        Ok(self.events.last().expect("just pushed"))
+    }
+
+    fn decide(
+        &mut self,
+        decisions: u64,
+        degraded_per_mille: u64,
+        max_psi: f64,
+        shadow: Option<&ShadowReport>,
+    ) -> Result<(LifecycleAction, String), Error> {
+        let t = self.thresholds;
+        if decisions < t.min_window {
+            return Ok((
+                LifecycleAction::Hold,
+                format!("window {decisions} < {} decisions", t.min_window),
+            ));
+        }
+        if degraded_per_mille > t.max_degraded_per_mille {
+            return match self.prior {
+                Some(prior) => {
+                    self.registry.repoint_latest(&self.name, prior)?;
+                    let from = self.live;
+                    self.live = prior;
+                    // The rolled-back-from version is distrusted: it must
+                    // not become the next breach's rollback target.
+                    self.prior = None;
+                    Ok((
+                        LifecycleAction::Rollback { from, to: prior },
+                        format!(
+                            "degradation {degraded_per_mille}\u{2030} > {}\u{2030}",
+                            t.max_degraded_per_mille
+                        ),
+                    ))
+                }
+                None => Ok((
+                    LifecycleAction::Hold,
+                    format!(
+                        "degradation {degraded_per_mille}\u{2030} breached but no prior version"
+                    ),
+                )),
+            };
+        }
+        if let Some(report) = shadow {
+            let candidate = report.candidate_version;
+            if candidate > self.live {
+                let agreement = report.agreement_per_mille();
+                if agreement < t.min_agreement_per_mille {
+                    return Ok((
+                        LifecycleAction::Hold,
+                        format!(
+                            "candidate v{candidate} agreement {agreement}\u{2030} < {}\u{2030}",
+                            t.min_agreement_per_mille
+                        ),
+                    ));
+                }
+                if max_psi > t.max_psi {
+                    return Ok((
+                        LifecycleAction::Hold,
+                        format!(
+                            "candidate v{candidate} blocked: drift PSI {max_psi:.3} > {:.3}",
+                            t.max_psi
+                        ),
+                    ));
+                }
+                self.registry.repoint_latest(&self.name, candidate)?;
+                let from = self.live;
+                self.prior = Some(from);
+                self.live = candidate;
+                return Ok((
+                    LifecycleAction::Promote {
+                        from,
+                        to: candidate,
+                    },
+                    format!(
+                        "candidate v{candidate} agreement {agreement}\u{2030}, PSI {max_psi:.3}"
+                    ),
+                ));
+            }
+        }
+        Ok((LifecycleAction::Hold, "healthy".to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra::LibraClassifier;
+    use libra_dataset::FEATURE_NAMES;
+    use libra_util::rng::rng_from_seed;
+    use std::path::PathBuf;
+
+    fn root_of(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("libra-lifecycle-{tag}-{}", std::process::id()))
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = root_of(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp registry");
+        dir
+    }
+
+    fn trained(seed: u64) -> LibraClassifier {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60usize {
+            let c = i % 3;
+            let mut row = vec![0.0; FEATURE_NAMES.len()];
+            row[0] = c as f64 * 8.0 + (i % 5) as f64 * 0.1;
+            row[5] = 1.0 - c as f64 * 0.3;
+            features.push(row);
+            labels.push(c);
+        }
+        let names = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+        let data = libra_ml::Dataset::new(features, labels, 3, names);
+        LibraClassifier::train(&data, &mut rng_from_seed(seed))
+    }
+
+    fn agree_report(candidate_version: u32, agreed: u64, compared: u64) -> ShadowReport {
+        ShadowReport {
+            candidate_version,
+            compared,
+            agreed,
+            matrix: [[agreed, compared - agreed, 0], [0, 0, 0], [0, 0, 0]],
+        }
+    }
+
+    fn seeded_registry(tag: &str, versions: u64) -> ModelRegistry {
+        let registry = ModelRegistry::open(temp_root(tag));
+        let clf = trained(11);
+        for v in 0..versions {
+            let artifact = clf.to_artifact("guarded", 11 + v, 60, "lifecycle test");
+            registry.save("guarded", &artifact).expect("publish");
+        }
+        registry
+    }
+
+    #[test]
+    fn breach_rolls_back_and_does_not_ping_pong() {
+        let registry = seeded_registry("breach", 2);
+        let mut ctl =
+            LifecycleController::new(registry, "guarded", Thresholds::default()).expect("open");
+        assert_eq!(ctl.live(), 2);
+        assert_eq!(ctl.prior(), Some(1));
+
+        let event = ctl.assess(1_000, 400, 0.0, None).expect("assess").clone();
+        assert_eq!(event.action, LifecycleAction::Rollback { from: 2, to: 1 });
+        assert_eq!(ctl.live(), 1);
+        let check = ModelRegistry::open(root_of("breach"));
+        assert_eq!(check.latest("guarded").expect("latest"), Some(1));
+
+        // A second breach has no trusted prior left: hold, not flap.
+        let event = ctl.assess(1_000, 400, 0.0, None).expect("assess").clone();
+        assert_eq!(event.action, LifecycleAction::Hold);
+        assert_eq!(check.latest("guarded").expect("latest"), Some(1));
+    }
+
+    #[test]
+    fn shadow_winner_is_promoted_only_on_a_stable_window() {
+        let registry = seeded_registry("promote", 2);
+        let mut ctl =
+            LifecycleController::new(registry, "guarded", Thresholds::default()).expect("open");
+        // Publish a candidate v3 behind the controller's back.
+        let side = ModelRegistry::open(root_of("promote"));
+        let artifact = trained(11).to_artifact("guarded", 13, 60, "candidate");
+        side.save("guarded", &artifact).expect("publish v3");
+        // LATEST moved by save; the controller still serves v2 and only
+        // its own promote may bless the candidate.
+        side.repoint_latest("guarded", 2).expect("repoint");
+
+        // Drifted window: promotion is vetoed.
+        let report = agree_report(3, 950, 1_000);
+        let event = ctl.assess(1_000, 10, 0.8, Some(&report)).expect("assess");
+        assert_eq!(event.action, LifecycleAction::Hold);
+        assert_eq!(side.latest("guarded").expect("latest"), Some(2));
+
+        // Weak agreement: promotion is refused.
+        let weak = agree_report(3, 500, 1_000);
+        let event = ctl.assess(1_000, 10, 0.0, Some(&weak)).expect("assess");
+        assert_eq!(event.action, LifecycleAction::Hold);
+
+        // Stable window, strong agreement: promoted.
+        let event = ctl
+            .assess(1_000, 10, 0.05, Some(&report))
+            .expect("assess")
+            .clone();
+        assert_eq!(event.action, LifecycleAction::Promote { from: 2, to: 3 });
+        assert_eq!(ctl.live(), 3);
+        assert_eq!(ctl.prior(), Some(2));
+        assert_eq!(side.latest("guarded").expect("latest"), Some(3));
+    }
+
+    #[test]
+    fn small_windows_and_stale_candidates_hold() {
+        let registry = seeded_registry("hold", 2);
+        let mut ctl =
+            LifecycleController::new(registry, "guarded", Thresholds::default()).expect("open");
+        // Tiny window: even a breach-level rate holds.
+        let event = ctl.assess(50, 900, 0.0, None).expect("assess").clone();
+        assert_eq!(event.action, LifecycleAction::Hold);
+        // A shadow report for an old version is not a candidate.
+        let stale = agree_report(1, 1_000, 1_000);
+        let event = ctl.assess(1_000, 10, 0.0, Some(&stale)).expect("assess");
+        assert_eq!(event.action, LifecycleAction::Hold);
+        assert_eq!(ctl.live(), 2);
+        assert_eq!(ctl.events().len(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! The seeded fault plan: one seed, every fault stream derived.
+//!
+//! A [`FaultPlan`] is the single knob a chaos run turns. It owns the
+//! *rates* (all per mille) and the master seed; the concrete fault
+//! configurations for each subsystem are derived from it with labeled
+//! seed derivation, so the registry's read faults and the serve path's
+//! lotteries draw from independent streams that never interfere — and
+//! the whole plan stays a pure function of `seed`, bitwise reproducible
+//! under the `par` contract at any thread count.
+
+use libra_infer::ArtifactFault;
+use libra_serve::ServeFaults;
+use libra_util::rng::derive_seed;
+
+/// Everything a chaos run may break, in one seeded bundle.
+///
+/// `Default` is the all-quiet plan: every rate zero, no deadline, no
+/// stall — arming it changes nothing, which is what the zero-cost
+/// contract of the hooks requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Master seed; every subsystem stream derives from it.
+    pub seed: u64,
+    /// Per-mille probability an artifact load sees a flipped byte.
+    pub artifact_corrupt_per_mille: u16,
+    /// Per-mille probability an artifact load sees a truncated file.
+    pub artifact_truncate_per_mille: u16,
+    /// Virtual latency of an unspiked decision, µs.
+    pub base_latency_us: u32,
+    /// Per-mille probability a decision's virtual latency spikes.
+    pub spike_per_mille: u16,
+    /// Virtual latency of a spiked decision, µs.
+    pub spike_latency_us: u32,
+    /// Per-decision deadline, µs (0 disables).
+    pub deadline_us: u32,
+    /// Per-mille probability a model answer is dropped.
+    pub drop_per_mille: u16,
+    /// Serve shard stalled after every batch, if any.
+    pub stall_shard: Option<u32>,
+    /// Real wall-clock stall per batch on the stalled shard, ms.
+    pub stall_ms: u32,
+}
+
+impl FaultPlan {
+    /// The registry-side fault configuration (own derived stream).
+    pub fn artifact_fault(&self) -> ArtifactFault {
+        ArtifactFault {
+            seed: derive_seed(self.seed, "guard.artifact"),
+            corrupt_per_mille: self.artifact_corrupt_per_mille,
+            truncate_per_mille: self.artifact_truncate_per_mille,
+        }
+    }
+
+    /// The serve-side fault configuration (own derived stream).
+    pub fn serve_faults(&self) -> ServeFaults {
+        ServeFaults {
+            seed: derive_seed(self.seed, "guard.serve"),
+            base_latency_us: self.base_latency_us,
+            spike_per_mille: self.spike_per_mille,
+            spike_latency_us: self.spike_latency_us,
+            deadline_us: self.deadline_us,
+            drop_per_mille: self.drop_per_mille,
+            stall_shard: self.stall_shard,
+            stall_ms: self.stall_ms,
+        }
+    }
+
+    /// True when no fault can ever fire (deadlines included).
+    pub fn is_quiet(&self) -> bool {
+        self.artifact_corrupt_per_mille == 0
+            && self.artifact_truncate_per_mille == 0
+            && self.spike_per_mille == 0
+            && self.deadline_us == 0
+            && self.drop_per_mille == 0
+            && self.stall_shard.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_streams_differ_but_are_stable() {
+        let plan = FaultPlan {
+            seed: 0xC405,
+            ..Default::default()
+        };
+        assert_ne!(plan.artifact_fault().seed, plan.serve_faults().seed);
+        assert_eq!(plan.artifact_fault(), plan.artifact_fault());
+        assert_eq!(plan.serve_faults(), plan.serve_faults());
+        // Different master seeds → different derived streams.
+        let other = FaultPlan {
+            seed: 0xC406,
+            ..Default::default()
+        };
+        assert_ne!(plan.artifact_fault().seed, other.artifact_fault().seed);
+    }
+
+    #[test]
+    fn quiet_plan_is_quiet() {
+        assert!(FaultPlan::default().is_quiet());
+        assert!(!FaultPlan {
+            drop_per_mille: 1,
+            ..Default::default()
+        }
+        .is_quiet());
+        assert!(!FaultPlan {
+            deadline_us: 10,
+            ..Default::default()
+        }
+        .is_quiet());
+    }
+}

@@ -1,0 +1,185 @@
+//! Shadow evaluation: the candidate decides, the live answer ships.
+//!
+//! A candidate `name@vNext` is evaluated on *mirrored* requests — the
+//! exact stream the live model just served — through the same columnar
+//! batch path serving uses. Its decisions are compared against the live
+//! responses and then discarded; nothing a shadow evaluation does can
+//! reach a station. Comparison is restricted to requests the live model
+//! actually decided: gated (missing-ACK) requests bypass any model by
+//! design, and degraded responses carry the fallback rule's answer, not
+//! the live model's, so neither says anything about either model.
+//!
+//! The agreement rate feeds the promotion gate in
+//! [`crate::lifecycle::Thresholds`]: a candidate that cannot even agree
+//! with the incumbent on the easy traffic has no business going live
+//! without an offline regret evaluation first.
+
+use libra_dataset::{Action3, FEATURE_NAMES};
+use libra_obs as obs;
+use libra_serve::{DecisionRequest, DecisionResponse, ServedModel};
+use libra_util::frame::FeatureFrame;
+
+/// Outcome of one shadow evaluation window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShadowReport {
+    /// Version of the candidate that was shadowed.
+    pub candidate_version: u32,
+    /// Model-decided live responses the candidate was compared on.
+    pub compared: u64,
+    /// Comparisons where candidate and live chose the same action.
+    pub agreed: u64,
+    /// Confusion counts: `matrix[live][candidate]` in BA/RA/NA class
+    /// order (diagonal = agreement).
+    pub matrix: [[u64; 3]; 3],
+}
+
+impl ShadowReport {
+    /// Agreement rate in per mille (1000 when nothing was compared —
+    /// no evidence of disagreement is not a veto).
+    pub fn agreement_per_mille(&self) -> u64 {
+        (self.agreed * 1000)
+            .checked_div(self.compared)
+            .unwrap_or(1000)
+    }
+}
+
+fn class_action(class: usize) -> Action3 {
+    match class {
+        0 => Action3::Ba,
+        1 => Action3::Ra,
+        _ => Action3::Na,
+    }
+}
+
+/// Runs `candidate` over the mirrored `requests` and compares its
+/// decisions with the `live` responses (both in `seq` order, as
+/// `DecisionService::finish` returns them). Counters
+/// `guard.shadow.compared` / `guard.shadow.agreed` record the window.
+pub fn shadow_eval(
+    candidate: &ServedModel,
+    requests: &[DecisionRequest],
+    live: &[DecisionResponse],
+) -> ShadowReport {
+    assert_eq!(
+        requests.len(),
+        live.len(),
+        "shadow window needs the full request/response pairing"
+    );
+    let names: Vec<String> = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+    let mut frame = FeatureFrame::with_schema(3, names);
+    let mut live_actions = Vec::new();
+    for (request, response) in requests.iter().zip(live) {
+        debug_assert_eq!(request.seq, response.seq, "mirror out of order");
+        if response.gated || response.degraded {
+            continue;
+        }
+        frame.push_row(&request.features.to_row(), 0);
+        live_actions.push(response.action);
+    }
+
+    let mut classes = Vec::with_capacity(live_actions.len());
+    if !live_actions.is_empty() {
+        candidate
+            .classifier
+            .predict_batch_view(&frame.view(), &mut classes);
+    }
+
+    let mut matrix = [[0u64; 3]; 3];
+    let mut agreed = 0u64;
+    for (&live_action, &class) in live_actions.iter().zip(&classes) {
+        let shadow_action = class_action(class);
+        matrix[live_action.class_index()][shadow_action.class_index()] += 1;
+        if shadow_action == live_action {
+            agreed += 1;
+        }
+    }
+    let compared = live_actions.len() as u64;
+    obs::counter("guard.shadow.compared", compared);
+    obs::counter("guard.shadow.agreed", agreed);
+    ShadowReport {
+        candidate_version: candidate.version,
+        compared,
+        agreed,
+        matrix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra::LibraClassifier;
+    use libra_serve::{generate_requests, serve_all, LoadConfig, ServeConfig};
+    use libra_util::rng::rng_from_seed;
+    use std::sync::Arc;
+
+    fn model(version: u32, train_seed: u64) -> Arc<ServedModel> {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60usize {
+            let c = i % 3;
+            let mut row = vec![0.0; FEATURE_NAMES.len()];
+            row[0] = c as f64 * 8.0 + (i % 5) as f64 * 0.1;
+            row[5] = 1.0 - c as f64 * 0.3;
+            features.push(row);
+            labels.push(c);
+        }
+        let names = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+        let data = libra_ml::Dataset::new(features, labels, 3, names);
+        let mut rng = rng_from_seed(train_seed);
+        let clf = LibraClassifier::train(&data, &mut rng);
+        Arc::new(ServedModel::new("shadow-test", version, clf))
+    }
+
+    fn window(n: usize) -> Vec<DecisionRequest> {
+        generate_requests(&LoadConfig {
+            requests: n,
+            stations: 16,
+            seed: 0x5AD0,
+        })
+    }
+
+    #[test]
+    fn identical_candidate_agrees_everywhere() {
+        let live = model(1, 7);
+        let requests = window(800);
+        let outcome = serve_all(&ServeConfig::default(), Arc::clone(&live), &requests);
+        let report = shadow_eval(&model(2, 7), &requests, &outcome.responses);
+        assert_eq!(report.candidate_version, 2);
+        assert_eq!(report.agreement_per_mille(), 1000);
+        assert_eq!(report.agreed, report.compared);
+        // Gated requests are excluded from comparison.
+        let gated = outcome.responses.iter().filter(|r| r.gated).count() as u64;
+        assert_eq!(report.compared + gated, requests.len() as u64);
+        // The confusion matrix diagonal carries every comparison.
+        let diag: u64 = (0..3).map(|i| report.matrix[i][i]).sum();
+        assert_eq!(diag, report.compared);
+    }
+
+    #[test]
+    fn different_candidate_is_measured_not_served() {
+        let live = model(1, 7);
+        let requests = window(800);
+        let outcome = serve_all(&ServeConfig::default(), Arc::clone(&live), &requests);
+        let digest_before = libra_serve::response_digest(&outcome.responses);
+        let report = shadow_eval(&model(2, 99), &requests, &outcome.responses);
+        // Shadowing never mutates the served responses.
+        assert_eq!(
+            libra_serve::response_digest(&outcome.responses),
+            digest_before
+        );
+        assert!(report.compared > 0);
+        let off_diag: u64 = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .map(|(i, j)| report.matrix[i][j])
+            .sum();
+        assert_eq!(report.compared - report.agreed, off_diag);
+    }
+
+    #[test]
+    fn empty_window_is_not_a_veto() {
+        let report = shadow_eval(&model(3, 7), &[], &[]);
+        assert_eq!(report.compared, 0);
+        assert_eq!(report.agreement_per_mille(), 1000);
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end chaos storyline: faults fire, nothing panics, degraded
+//! decisions fall back, the breach rolls `LATEST` back, the shadow
+//! winner is promoted — and the whole run digests identically at any
+//! thread/shard count.
+
+use libra_guard::{run_chaos, ChaosConfig, LifecycleAction};
+use libra_infer::ModelRegistry;
+use libra_util::par::set_threads;
+use std::path::PathBuf;
+
+fn temp_registry(tag: &str) -> ModelRegistry {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("libra-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp registry");
+    ModelRegistry::open(dir)
+}
+
+fn quick() -> ChaosConfig {
+    ChaosConfig {
+        requests_per_round: 600,
+        ..ChaosConfig::default()
+    }
+}
+
+#[test]
+fn storyline_rolls_back_then_promotes() {
+    let registry = temp_registry("storyline");
+    let outcome = run_chaos(&quick(), &registry, "guarded").expect("chaos run");
+
+    // Storm rounds breach, rollback lands at the first storm round.
+    assert_eq!(outcome.rollback_round, Some(1));
+    assert_eq!(outcome.decisions_to_rollback, Some(1_200));
+    let rollback = &outcome.rounds[1];
+    assert_eq!(
+        rollback.action,
+        LifecycleAction::Rollback { from: 2, to: 1 }
+    );
+    assert!(
+        rollback.degraded_per_mille > 300,
+        "storm only degraded {}‰",
+        rollback.degraded_per_mille
+    );
+    assert!(rollback.max_psi > 0.25, "storm PSI {}", rollback.max_psi);
+    assert!(rollback.deadline_misses > 0 && rollback.drops > 0);
+
+    // Second storm round: reads still faulted, no trusted prior → hold.
+    assert_eq!(outcome.rounds[2].action, LifecycleAction::Hold);
+    assert_eq!(outcome.rounds[2].served_version, 2);
+    assert_eq!(outcome.artifact_faults, 2);
+
+    // Calm round recovers the rolled-back version from the registry.
+    assert_eq!(outcome.rounds[3].served_version, 1);
+    assert_eq!(outcome.rounds[3].degraded, 0);
+    assert!(outcome.rounds[3].max_psi < 0.1);
+
+    // Shadow round promotes the staged clone; the run ends on it.
+    assert_eq!(outcome.promote_round, Some(4));
+    assert_eq!(
+        outcome.rounds[4].action,
+        LifecycleAction::Promote { from: 1, to: 3 }
+    );
+    assert_eq!(outcome.rounds[5].served_version, 3);
+    assert_eq!(outcome.final_latest, 3);
+    assert_eq!(registry.latest("guarded").expect("latest"), Some(3));
+
+    // Quiet rounds never degrade; totals reconcile.
+    for round in [0usize, 3, 4, 5] {
+        assert_eq!(outcome.rounds[round].degraded, 0, "round {round}");
+    }
+    assert_eq!(outcome.decisions, 6 * 600);
+    let degraded: u64 = outcome.rounds.iter().map(|r| r.degraded).sum();
+    assert_eq!(outcome.degraded, degraded);
+    assert_eq!(outcome.events.len(), 6);
+}
+
+#[test]
+fn digest_is_thread_and_shard_invariant() {
+    let narrow = {
+        let registry = temp_registry("narrow");
+        set_threads(1);
+        let cfg = ChaosConfig {
+            shards: 1,
+            ..quick()
+        };
+        run_chaos(&cfg, &registry, "guarded").expect("narrow run")
+    };
+    let wide = {
+        let registry = temp_registry("wide");
+        set_threads(8);
+        let cfg = ChaosConfig {
+            shards: 8,
+            ..quick()
+        };
+        run_chaos(&cfg, &registry, "guarded").expect("wide run")
+    };
+    set_threads(0);
+
+    assert_eq!(
+        narrow.digest, wide.digest,
+        "chaos digest must not depend on parallelism"
+    );
+    assert_eq!(narrow.decisions, wide.decisions);
+    assert_eq!(narrow.degraded, wide.degraded);
+    assert_eq!(narrow.deadline_misses, wide.deadline_misses);
+    assert_eq!(narrow.drops, wide.drops);
+    assert_eq!(narrow.rollback_round, wide.rollback_round);
+    assert_eq!(narrow.promote_round, wide.promote_round);
+    for (a, b) in narrow.rounds.iter().zip(&wide.rounds) {
+        assert_eq!(a.digest, b.digest, "round {} digest", a.round);
+        assert_eq!(a.degraded, b.degraded, "round {} degraded", a.round);
+        assert_eq!(a.action, b.action, "round {} action", a.round);
+    }
+}

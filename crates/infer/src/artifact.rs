@@ -285,12 +285,17 @@ impl ModelArtifact {
     }
 
     /// Writes the artifact to a file, creating parent directories.
+    ///
+    /// Crash-safe: the bytes land in a `.tmp` sibling first and are
+    /// renamed into place, so a concurrent reader (or a publisher crash
+    /// mid-write) can never observe a partially written artifact at the
+    /// final path — it either sees the old file or the complete new one.
     pub fn write(&self, path: impl AsRef<std::path::Path>) -> Result<(), Error> {
         let bytes = self.to_bytes()?;
         if let Some(parent) = path.as_ref().parent() {
             std::fs::create_dir_all(parent).map_err(|e| Error::Io(e.to_string()))?;
         }
-        std::fs::write(path, bytes).map_err(|e| Error::Io(e.to_string()))
+        atomic_write(path.as_ref(), &bytes)
     }
 
     /// Reads and validates an artifact file.
@@ -306,6 +311,20 @@ impl ModelArtifact {
     pub fn digest(&self) -> Result<u64, Error> {
         Ok(fnv1a64(&self.to_bytes()?))
     }
+}
+
+/// Writes `bytes` to `path` via a temp-file + rename pair in the same
+/// directory (rename within one filesystem is atomic on POSIX). Shared
+/// by artifact writes and the registry's `LATEST` pointer updates.
+pub(crate) fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> Result<(), Error> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes).map_err(|e| Error::Io(format!("{}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        Error::Io(format!("{} -> {}: {e}", tmp.display(), path.display()))
+    })
 }
 
 #[cfg(test)]

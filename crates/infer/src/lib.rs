@@ -37,5 +37,6 @@ pub mod registry;
 pub use artifact::{ArtifactMeta, Error, ModelArtifact, ModelPayload, FORMAT_VERSION, MAGIC};
 pub use flat::{FlatForest, FlatGbdt};
 pub use registry::{
-    ModelRecord, ModelRegistry, ModelSpec, RegistryWatcher, ARTIFACT_EXT, LATEST_FILE,
+    ArtifactFault, ModelRecord, ModelRegistry, ModelSpec, RegistryWatcher, ARTIFACT_EXT,
+    LATEST_FILE,
 };

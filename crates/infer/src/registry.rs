@@ -16,8 +16,18 @@
 //! bare `ba-forest` follows the latest-pointer. Every load re-verifies
 //! the artifact checksum, so a corrupted file in the store is reported,
 //! never served.
+//!
+//! Publication is crash-safe: both the artifact bytes and the `LATEST`
+//! pointer are written to a `.tmp` sibling and renamed into place, so a
+//! publisher crash (or a concurrent reader) can only observe the store
+//! before or after a publication, never a torn file. For chaos testing,
+//! a registry can be armed with an [`ArtifactFault`] that deterministically
+//! damages artifact bytes *at load* — exercising exactly the read-side
+//! validation a real half-dead disk would hit.
 
-use crate::artifact::{Error, ModelArtifact};
+use crate::artifact::{atomic_write, Error, ModelArtifact};
+use libra_obs as obs;
+use libra_util::rng::{derive_seed, derive_seed_index, SplitMix64};
 use std::path::{Path, PathBuf};
 
 /// Extension used for artifact files in the registry.
@@ -94,16 +104,72 @@ pub struct ModelRecord {
     pub latest: Option<u32>,
 }
 
+/// Deterministic artifact read-fault injection — the chaos hook.
+///
+/// When armed on a [`ModelRegistry`], every artifact load first rolls a
+/// fault lottery whose RNG stream is derived from
+/// `(seed, model name, version)` — a pure function of the load's
+/// identity, so a chaos run damages the *same* loads at any thread or
+/// shard count. A fault either flips one payload byte (surfacing as
+/// [`Error::ChecksumMismatch`]) or truncates the tail (surfacing as
+/// [`Error::Truncated`]); the on-disk file is never touched, only the
+/// in-memory bytes, so the next retry of the same load fails the same
+/// way until the plan is disarmed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactFault {
+    /// Stream seed for the fault lottery.
+    pub seed: u64,
+    /// Per-mille probability a load sees a flipped payload byte.
+    pub corrupt_per_mille: u16,
+    /// Per-mille probability a load sees a truncated file.
+    pub truncate_per_mille: u16,
+}
+
+impl ArtifactFault {
+    /// Applies the lottery for one `(name, version)` load to `bytes`.
+    /// Returns the fault kind applied, if any.
+    pub fn mangle(&self, name: &str, version: u32, bytes: &mut Vec<u8>) -> Option<&'static str> {
+        let stream = derive_seed_index(derive_seed(self.seed, name), u64::from(version));
+        let mut rng = SplitMix64::new(derive_seed(stream, "registry.fault"));
+        let roll = rng.next_u64() % 1000;
+        let corrupt = u64::from(self.corrupt_per_mille);
+        let truncate = u64::from(self.truncate_per_mille);
+        if roll < corrupt {
+            if !bytes.is_empty() {
+                let at = (rng.next_u64() as usize) % bytes.len();
+                bytes[at] ^= 0x5A;
+            }
+            Some("corrupt")
+        } else if roll < corrupt + truncate {
+            bytes.truncate(bytes.len() / 2);
+            Some("truncate")
+        } else {
+            None
+        }
+    }
+}
+
 /// A directory of versioned model artifacts.
 #[derive(Debug, Clone)]
 pub struct ModelRegistry {
     root: PathBuf,
+    read_fault: Option<ArtifactFault>,
 }
 
 impl ModelRegistry {
     /// Opens (without creating) a registry rooted at `root`.
     pub fn open(root: impl Into<PathBuf>) -> Self {
-        Self { root: root.into() }
+        Self {
+            root: root.into(),
+            read_fault: None,
+        }
+    }
+
+    /// Arms deterministic read-fault injection on every subsequent
+    /// [`load`](Self::load) through this handle (clones inherit it).
+    pub fn with_read_fault(mut self, fault: ArtifactFault) -> Self {
+        self.read_fault = Some(fault);
+        self
     }
 
     /// Opens the default registry (`results/models/`, or the
@@ -197,23 +263,55 @@ impl ModelRegistry {
         Ok((version, path))
     }
 
-    /// Loads and checksum-verifies the artifact a spec denotes.
+    /// Loads and checksum-verifies the artifact a spec denotes. An
+    /// armed [`ArtifactFault`] damages the bytes between disk and
+    /// validation; the `registry.fault.injected` counter records hits.
     pub fn load(&self, spec: &ModelSpec) -> Result<(u32, ModelArtifact), Error> {
         let (version, path) = self.resolve(spec)?;
-        Ok((version, ModelArtifact::read(path)?))
+        let mut bytes =
+            std::fs::read(&path).map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
+        if let Some(fault) = &self.read_fault {
+            if fault.mangle(&spec.name, version, &mut bytes).is_some() {
+                obs::counter("registry.fault.injected", 1);
+            }
+        }
+        Ok((version, ModelArtifact::from_bytes(&bytes)?))
     }
 
     /// Saves an artifact under `name` at the next free version and
     /// repoints `LATEST`. Returns the allocated version number.
+    ///
+    /// Both writes are temp-file + rename, and the pointer moves only
+    /// after the artifact is fully durable — a crash between the two
+    /// leaves an unpublished (invisible) version file, never a pointer
+    /// at a torn artifact.
     pub fn save(&self, name: &str, artifact: &ModelArtifact) -> Result<u32, Error> {
         check_name(name)?;
         let version = self.versions(name)?.last().copied().unwrap_or(0) + 1;
         let path = self.version_path(name, version);
         artifact.write(&path)?;
-        let latest = self.model_dir(name).join(LATEST_FILE);
-        std::fs::write(&latest, format!("{version}\n"))
-            .map_err(|e| Error::Io(format!("{}: {e}", latest.display())))?;
+        self.write_pointer(name, version)?;
         Ok(version)
+    }
+
+    /// Atomically repoints `LATEST` at an existing version — the
+    /// rollback/promotion primitive. Fails if the target version has no
+    /// artifact on disk, so the pointer can never dangle by this path.
+    pub fn repoint_latest(&self, name: &str, version: u32) -> Result<(), Error> {
+        check_name(name)?;
+        let path = self.version_path(name, version);
+        if !path.is_file() {
+            return Err(Error::Registry(format!(
+                "cannot repoint {name} to v{version}: {} missing",
+                path.display()
+            )));
+        }
+        self.write_pointer(name, version)
+    }
+
+    fn write_pointer(&self, name: &str, version: u32) -> Result<(), Error> {
+        let latest = self.model_dir(name).join(LATEST_FILE);
+        atomic_write(&latest, format!("{version}\n").as_bytes())
     }
 
     /// Lists every registered model, sorted by name.
@@ -261,6 +359,8 @@ pub struct RegistryWatcher {
     registry: ModelRegistry,
     spec: ModelSpec,
     seen: Option<u32>,
+    last_error: Option<String>,
+    deferred: u64,
 }
 
 impl RegistryWatcher {
@@ -274,6 +374,8 @@ impl RegistryWatcher {
                 version: None,
             },
             seen: None,
+            last_error: None,
+            deferred: 0,
         })
     }
 
@@ -296,11 +398,44 @@ impl RegistryWatcher {
         self.seen
     }
 
+    /// Last error a poll absorbed (cleared by the next clean poll).
+    pub fn last_error(&self) -> Option<&str> {
+        self.last_error.as_deref()
+    }
+
+    /// Polls deferred so far because of absorbed registry damage.
+    pub fn deferred(&self) -> u64 {
+        self.deferred
+    }
+
     /// Returns the newly published `(version, artifact)` when the
-    /// latest version differs from the last one reported; `Ok(None)`
-    /// while nothing changed (including while the model does not exist
-    /// yet — a watcher may start before the first save).
-    pub fn poll(&mut self) -> Result<Option<(u32, ModelArtifact)>, Error> {
+    /// latest version differs from the last one reported; `None` while
+    /// nothing changed (including while the model does not exist yet —
+    /// a watcher may start before the first save).
+    ///
+    /// Transient registry damage — an unreadable or half-written
+    /// pointer, a missing/truncated/corrupt artifact behind the pointer
+    /// — never surfaces to the serving loop: the poll reports nothing,
+    /// leaves [`seen`](Self::seen) unchanged, records the error for
+    /// [`last_error`](Self::last_error), bumps the
+    /// `registry.poll.deferred` counter, and the *next* poll retries.
+    /// The service simply keeps serving the model it already holds.
+    pub fn poll(&mut self) -> Option<(u32, ModelArtifact)> {
+        match self.try_poll() {
+            Ok(update) => {
+                self.last_error = None;
+                update
+            }
+            Err(e) => {
+                self.deferred += 1;
+                self.last_error = Some(e.to_string());
+                obs::counter("registry.poll.deferred", 1);
+                None
+            }
+        }
+    }
+
+    fn try_poll(&mut self) -> Result<Option<(u32, ModelArtifact)>, Error> {
         let version = match self.registry.latest(&self.spec.name)? {
             Some(v) => v,
             None => match self.registry.versions(&self.spec.name)?.last().copied() {
@@ -443,22 +578,105 @@ mod tests {
         let mut watcher = RegistryWatcher::new(reg.clone(), "m").unwrap();
 
         // Nothing saved yet: quiet, not an error.
-        assert!(watcher.poll().unwrap().is_none());
+        assert!(watcher.poll().is_none());
         assert_eq!(watcher.seen(), None);
 
         reg.save("m", &artifact(1)).unwrap();
-        let (v, _) = watcher.poll().unwrap().expect("first version visible");
+        let (v, _) = watcher.poll().expect("first version visible");
         assert_eq!(v, 1);
         // Unchanged registry: steady-state polls stay quiet.
-        assert!(watcher.poll().unwrap().is_none());
-        assert!(watcher.poll().unwrap().is_none());
+        assert!(watcher.poll().is_none());
+        assert!(watcher.poll().is_none());
 
         reg.save("m", &artifact(2)).unwrap();
-        let (v, a) = watcher.poll().unwrap().expect("new version visible");
+        let (v, a) = watcher.poll().expect("new version visible");
         assert_eq!(v, 2);
         assert_eq!(a, artifact(2));
         assert_eq!(watcher.seen(), Some(2));
-        assert!(watcher.poll().unwrap().is_none());
+        assert!(watcher.poll().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn publication_leaves_no_temp_files_and_pointer_is_complete() {
+        let dir = tmpdir("atomic");
+        let reg = ModelRegistry::open(&dir);
+        reg.save("m", &artifact(5)).unwrap();
+        reg.save("m", &artifact(6)).unwrap();
+        let names: Vec<String> = std::fs::read_dir(dir.join("m"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().all(|n| !n.ends_with(".tmp")),
+            "temp files left behind: {names:?}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(dir.join("m").join(LATEST_FILE)).unwrap(),
+            "2\n"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repoint_latest_moves_the_pointer_but_refuses_to_dangle() {
+        let dir = tmpdir("repoint");
+        let reg = ModelRegistry::open(&dir);
+        reg.save("m", &artifact(1)).unwrap();
+        reg.save("m", &artifact(2)).unwrap();
+
+        reg.repoint_latest("m", 1).unwrap();
+        assert_eq!(reg.latest("m").unwrap(), Some(1));
+        let (v, _) = reg.load(&ModelSpec::parse("m").unwrap()).unwrap();
+        assert_eq!(v, 1);
+
+        // No v9 artifact on disk: the pointer must not move.
+        assert!(matches!(
+            reg.repoint_latest("m", 9),
+            Err(Error::Registry(_))
+        ));
+        assert_eq!(reg.latest("m").unwrap(), Some(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn armed_read_fault_damages_loads_deterministically() {
+        let dir = tmpdir("readfault");
+        let clean = ModelRegistry::open(&dir);
+        clean.save("m", &artifact(7)).unwrap();
+
+        // Certain corruption: every load of the same (name, version)
+        // fails identically, while the on-disk file stays intact.
+        let faulty = clean.clone().with_read_fault(ArtifactFault {
+            seed: 0xFA_17,
+            corrupt_per_mille: 1000,
+            truncate_per_mille: 0,
+        });
+        let spec = ModelSpec::parse("m").unwrap();
+        let first = faulty.load(&spec);
+        let second = faulty.load(&spec);
+        assert!(first.is_err(), "flipped byte must fail validation");
+        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+        assert!(clean.load(&spec).is_ok(), "disk bytes were never touched");
+
+        // Certain truncation surfaces through the length validation.
+        let truncating = clean.clone().with_read_fault(ArtifactFault {
+            seed: 0xFA_17,
+            corrupt_per_mille: 0,
+            truncate_per_mille: 1000,
+        });
+        assert!(matches!(
+            truncating.load(&spec),
+            Err(Error::Truncated { .. })
+        ));
+
+        // Zero rates: the armed registry behaves like a clean one.
+        let quiet = clean.clone().with_read_fault(ArtifactFault {
+            seed: 0xFA_17,
+            corrupt_per_mille: 0,
+            truncate_per_mille: 0,
+        });
+        assert!(quiet.load(&spec).is_ok());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

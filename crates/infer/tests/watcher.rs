@@ -7,8 +7,12 @@
 //!
 //! - **rollback**: the latest-pointer moves *backwards*; the watcher
 //!   must report the old version again (a change is a change);
-//! - **pointer to a deleted artifact**: poll errors without updating
-//!   `seen`, and recovers once the registry is repaired;
+//! - **pointer to a deleted artifact**: the poll absorbs the damage
+//!   (reporting nothing, leaving `seen` unchanged, recording the error
+//!   for `last_error`) and retries next poll — serving keeps the model
+//!   it already holds until the registry is repaired;
+//! - **half-written registry files**: a torn `LATEST` or a truncated
+//!   artifact behind the pointer likewise defers, never surfaces;
 //! - **poll during publish**: an artifact file that exists before the
 //!   pointer repoints is invisible until the pointer moves — the
 //!   pointer write is the publication;
@@ -16,7 +20,7 @@
 //!   version, matching `ModelRegistry::resolve`'s fallback.
 
 use libra_infer::{
-    ArtifactMeta, Error, FlatForest, ModelArtifact, ModelPayload, ModelRegistry, RegistryWatcher,
+    ArtifactMeta, FlatForest, ModelArtifact, ModelPayload, ModelRegistry, RegistryWatcher,
     ARTIFACT_EXT, LATEST_FILE,
 };
 use libra_ml::{Dataset, ForestConfig, RandomForest};
@@ -72,28 +76,28 @@ fn rollback_to_an_older_version_is_reported() {
     reg.save("m", &artifact(2)).unwrap();
 
     let mut watcher = RegistryWatcher::new(reg.clone(), "m").unwrap();
-    let (v, _) = watcher.poll().unwrap().expect("initial version");
+    let (v, _) = watcher.poll().expect("initial version");
     assert_eq!(v, 2);
 
     // An operator rolls the pointer back to v1: the watcher reports
     // the *old* artifact as a fresh publication — serving must follow
     // the pointer down as readily as up.
     repoint(&dir, "m", 1);
-    let (v, a) = watcher.poll().unwrap().expect("rollback visible");
+    let (v, a) = watcher.poll().expect("rollback visible");
     assert_eq!(v, 1);
     assert_eq!(a, artifact(1));
     assert_eq!(watcher.seen(), Some(1));
-    assert!(watcher.poll().unwrap().is_none(), "rollback reported once");
+    assert!(watcher.poll().is_none(), "rollback reported once");
 
     // Rolling forward again is a change too.
     repoint(&dir, "m", 2);
-    let (v, _) = watcher.poll().unwrap().expect("roll-forward visible");
+    let (v, _) = watcher.poll().expect("roll-forward visible");
     assert_eq!(v, 2);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
-fn pointer_at_deleted_artifact_errors_then_recovers() {
+fn pointer_at_deleted_artifact_defers_then_recovers() {
     let dir = tmpdir("deleted");
     let reg = ModelRegistry::open(&dir);
     reg.save("m", &artifact(1)).unwrap();
@@ -102,21 +106,61 @@ fn pointer_at_deleted_artifact_errors_then_recovers() {
     let mut watcher = RegistryWatcher::starting_at(reg.clone(), "m", 1).unwrap();
 
     // v2's artifact file vanishes while LATEST still points at it —
-    // the poll surfaces a registry error rather than pretending
-    // nothing happened, and `seen` stays where it was.
+    // the poll absorbs the damage: nothing is reported, `seen` stays
+    // where it was, and the error is parked in `last_error` for
+    // telemetry. The serving loop keeps the model it already holds.
     std::fs::remove_file(dir.join("m").join(format!("v2.{ARTIFACT_EXT}"))).unwrap();
-    assert!(matches!(watcher.poll(), Err(Error::Registry(_))));
+    assert!(watcher.poll().is_none());
     assert_eq!(watcher.seen(), Some(1));
+    assert!(watcher.last_error().is_some(), "damage recorded");
+    assert_eq!(watcher.deferred(), 1);
+
+    // The damage persists across polls: each retry defers again.
+    assert!(watcher.poll().is_none());
+    assert_eq!(watcher.deferred(), 2);
 
     // Repairing the pointer (rollback to the surviving version) makes
-    // polls quiet again: v1 is already the version the service runs.
+    // polls quiet and clean again: v1 is already the version served.
     repoint(&dir, "m", 1);
-    assert!(watcher.poll().unwrap().is_none());
+    assert!(watcher.poll().is_none());
+    assert!(watcher.last_error().is_none(), "clean poll clears error");
 
     // And a real new publication still comes through afterwards.
     let v = reg.save("m", &artifact(3)).unwrap();
-    let (seen, _) = watcher.poll().unwrap().expect("post-repair publication");
+    let (seen, _) = watcher.poll().expect("post-repair publication");
     assert_eq!(seen, v);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn half_written_registry_files_defer_instead_of_surfacing() {
+    let dir = tmpdir("halfwrite");
+    let reg = ModelRegistry::open(&dir);
+    reg.save("m", &artifact(1)).unwrap();
+    reg.save("m", &artifact(2)).unwrap();
+
+    let mut watcher = RegistryWatcher::starting_at(reg.clone(), "m", 1).unwrap();
+
+    // A torn LATEST (interrupted non-atomic writer, half a digit of
+    // garbage) defers rather than erroring out of the serving loop.
+    std::fs::write(dir.join("m").join(LATEST_FILE), "2garbage").unwrap();
+    assert!(watcher.poll().is_none());
+    assert_eq!(watcher.seen(), Some(1));
+    assert!(watcher.last_error().is_some());
+
+    // A truncated artifact behind a valid pointer defers too.
+    repoint(&dir, "m", 2);
+    let v2 = dir.join("m").join(format!("v2.{ARTIFACT_EXT}"));
+    let full = std::fs::read(&v2).unwrap();
+    std::fs::write(&v2, &full[..full.len() / 2]).unwrap();
+    assert!(watcher.poll().is_none());
+    assert_eq!(watcher.seen(), Some(1));
+
+    // Restoring the artifact completes the publication on a later poll.
+    std::fs::write(&v2, &full).unwrap();
+    let (v, a) = watcher.poll().expect("repaired artifact visible");
+    assert_eq!(v, 2);
+    assert_eq!(a, artifact(2));
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -127,7 +171,7 @@ fn artifact_written_before_pointer_repoints_stays_invisible() {
     reg.save("m", &artifact(1)).unwrap();
 
     let mut watcher = RegistryWatcher::starting_at(reg.clone(), "m", 1).unwrap();
-    assert!(watcher.poll().unwrap().is_none());
+    assert!(watcher.poll().is_none());
 
     // Mid-publish snapshot: v2's artifact bytes are fully on disk, but
     // the latest-pointer still says 1 (ModelRegistry::save writes the
@@ -136,12 +180,12 @@ fn artifact_written_before_pointer_repoints_stays_invisible() {
     artifact(2)
         .write(dir.join("m").join(format!("v2.{ARTIFACT_EXT}")))
         .unwrap();
-    assert!(watcher.poll().unwrap().is_none(), "saw an unpublished file");
+    assert!(watcher.poll().is_none(), "saw an unpublished file");
     assert_eq!(watcher.seen(), Some(1));
 
     // The pointer write completes the publication.
     repoint(&dir, "m", 2);
-    let (v, a) = watcher.poll().unwrap().expect("publication completes");
+    let (v, a) = watcher.poll().expect("publication completes");
     assert_eq!(v, 2);
     assert_eq!(a, artifact(2));
     let _ = std::fs::remove_dir_all(&dir);
@@ -158,15 +202,15 @@ fn missing_pointer_follows_highest_version_on_disk() {
     // A fresh watcher on a pointerless registry falls back to the
     // highest version present, like ModelRegistry::resolve does.
     let mut watcher = RegistryWatcher::new(reg.clone(), "m").unwrap();
-    let (v, a) = watcher.poll().unwrap().expect("fallback version");
+    let (v, a) = watcher.poll().expect("fallback version");
     assert_eq!(v, 2);
     assert_eq!(a, artifact(2));
-    assert!(watcher.poll().unwrap().is_none());
+    assert!(watcher.poll().is_none());
 
     // The next save allocates v3 and restores the pointer; the watcher
     // carries on seamlessly.
     assert_eq!(reg.save("m", &artifact(3)).unwrap(), 3);
-    let (v, _) = watcher.poll().unwrap().expect("post-restore publication");
+    let (v, _) = watcher.poll().expect("post-restore publication");
     assert_eq!(v, 3);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -302,7 +302,7 @@ pub const N_BUCKETS: usize = 64;
 
 /// A log₂-bucketed histogram of `u64` observations. Bucket 0 holds
 /// zeros; bucket `b > 0` holds values in `[2^(b-1), 2^b)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hist {
     /// Digest participation of this histogram.
     pub kind: HistKind,
@@ -597,6 +597,64 @@ impl Report {
     }
 }
 
+fn jsonl_field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Recovers one named histogram from a trace written by
+/// [`Report::to_jsonl`] — the replay half of the telemetry loop (e.g.
+/// feeding a recorded `serve.decision_ns` distribution back into the §8
+/// simulator's decision-delay model). Hand-rolled on purpose: traces
+/// are machine-written with identifier names, so no JSON escaping can
+/// occur, and the workspace carries no JSON dependency.
+///
+/// Returns `None` when no `hist` record named `name` is present or a
+/// record is torn mid-line.
+pub fn parse_hist_jsonl(text: &str, name: &str) -> Option<Hist> {
+    let tag = format!("\"name\":\"{name}\"");
+    for line in text.lines() {
+        if !line.contains("\"type\":\"hist\"") || !line.contains(&tag) {
+            continue;
+        }
+        let kind = if line.contains("\"kind\":\"wall\"") {
+            HistKind::WallClock
+        } else {
+            HistKind::Value
+        };
+        let mut hist = Hist {
+            kind,
+            count: jsonl_field_u64(line, "count")?,
+            sum: jsonl_field_u64(line, "sum")?,
+            min: jsonl_field_u64(line, "min")?,
+            max: jsonl_field_u64(line, "max")?,
+            buckets: [0; N_BUCKETS],
+        };
+        let open = "\"buckets\":[";
+        let start = line.find(open)? + open.len();
+        let end = line[start..].rfind(']')? + start;
+        for pair in line[start..end].split("],[") {
+            let pair = pair.trim_matches(|c| c == '[' || c == ']');
+            if pair.is_empty() {
+                continue;
+            }
+            let (bucket, count) = pair.split_once(',')?;
+            let bucket: usize = bucket.trim().parse().ok()?;
+            if bucket >= N_BUCKETS {
+                return None;
+            }
+            hist.buckets[bucket] = count.trim().parse().ok()?;
+        }
+        return Some(hist);
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,6 +680,37 @@ mod tests {
             let _s = span("test.noop.span");
         }
         assert_eq!(alloc_count(), before);
+    }
+
+    #[test]
+    fn hist_jsonl_round_trips() {
+        let _g = lock();
+        let ((), report) = with_scope(|| {
+            for v in [0u64, 1, 7, 7, 130, 4096] {
+                record_value("test.rt.values", v);
+            }
+            record_wall("test.rt.wall", 1_500_000);
+        });
+        let text = report.to_jsonl();
+        let values = parse_hist_jsonl(&text, "test.rt.values").expect("value hist present");
+        assert_eq!(&values, report.hist("test.rt.values").expect("recorded"));
+        assert_eq!(values.kind, HistKind::Value);
+        let wall = parse_hist_jsonl(&text, "test.rt.wall").expect("wall hist present");
+        assert_eq!(wall.kind, HistKind::WallClock);
+        assert_eq!(wall.count, 1);
+        // Percentiles survive the round trip (same buckets, same math).
+        assert_eq!(
+            values.percentile(0.5),
+            report
+                .hist("test.rt.values")
+                .expect("recorded")
+                .percentile(0.5)
+        );
+        // Absent names and non-hist records don't parse.
+        assert!(parse_hist_jsonl(&text, "test.rt.missing").is_none());
+        assert!(
+            parse_hist_jsonl("{\"type\":\"counter\",\"name\":\"x\",\"value\":3}", "x").is_none()
+        );
     }
 
     #[test]

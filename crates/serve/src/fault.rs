@@ -1,0 +1,162 @@
+//! Deterministic fault & deadline plan for the serve path — the chaos
+//! hook `libra_guard` arms on a [`crate::service::ServeConfig`].
+//!
+//! The plan must not break the serving determinism contract: the
+//! response stream (and therefore [`crate::request::response_digest`])
+//! has to stay bitwise identical at any shard, batch and thread count
+//! even while faults fire. Every digest-affecting lottery — latency
+//! spikes, deadline misses, response drops — is therefore a pure
+//! function of the request's `seq` through a derived RNG stream, never
+//! of a wall clock or of scheduling. The one *real-time* fault, the
+//! per-batch shard stall, only sleeps: batch composition is already a
+//! pure function of the per-shard stream, so a stall changes timing
+//! (and wall histograms) but never a single response.
+//!
+//! Deadlines ride the same mechanism: each decision is assigned a
+//! *virtual* latency (`base_latency_us`, spiked to `spike_latency_us`
+//! by the spike lottery), and a decision whose virtual latency exceeds
+//! `deadline_us` counts as a deadline miss. That keeps the
+//! miss-and-degrade path — §7 fallback, `degraded` stamp, `obs`
+//! counters — fully reproducible, which is the property chaos runs
+//! assert on.
+
+use libra_util::rng::{derive_seed, derive_seed_index, SplitMix64};
+
+/// Per-request fault lotteries and the decision deadline.
+///
+/// All probabilities are per mille. `Default` is the all-quiet plan
+/// (nothing fires, no deadline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeFaults {
+    /// Stream seed; every lottery derives from `(seed, request seq)`.
+    pub seed: u64,
+    /// Virtual latency assigned to an unspiked decision, µs.
+    pub base_latency_us: u32,
+    /// Per-mille probability a decision's virtual latency spikes.
+    pub spike_per_mille: u16,
+    /// Virtual latency of a spiked decision, µs.
+    pub spike_latency_us: u32,
+    /// Per-decision deadline, µs; `0` disables deadline enforcement.
+    pub deadline_us: u32,
+    /// Per-mille probability the model's answer is dropped (the
+    /// response is still delivered, but degraded to the §7 fallback).
+    pub drop_per_mille: u16,
+    /// Shard whose worker stalls after every batch, if any.
+    pub stall_shard: Option<u32>,
+    /// Real wall-clock stall per batch on the stalled shard, ms.
+    pub stall_ms: u32,
+}
+
+/// What the fault lotteries decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultDraw {
+    /// Virtual decision latency, µs.
+    pub latency_us: u32,
+    /// The latency spike lottery fired.
+    pub spiked: bool,
+    /// The virtual latency exceeded the deadline.
+    pub deadline_missed: bool,
+    /// The drop lottery fired.
+    pub dropped: bool,
+}
+
+impl FaultDraw {
+    /// True when the model's answer must be replaced by the fallback.
+    pub fn degrades(&self) -> bool {
+        self.deadline_missed || self.dropped
+    }
+}
+
+impl ServeFaults {
+    /// Rolls every lottery for one request — a pure function of
+    /// `(self, seq)`. Draw order is fixed (spike, then drop) so the
+    /// stream stays stable if more lotteries are added after them.
+    pub fn draw(&self, seq: u64) -> FaultDraw {
+        let mut rng = SplitMix64::new(derive_seed_index(
+            derive_seed(self.seed, "serve.fault"),
+            seq,
+        ));
+        let spiked = (rng.next_u64() % 1000) < u64::from(self.spike_per_mille);
+        let dropped = (rng.next_u64() % 1000) < u64::from(self.drop_per_mille);
+        let latency_us = if spiked {
+            self.spike_latency_us
+        } else {
+            self.base_latency_us
+        };
+        let deadline_missed = self.deadline_us > 0 && latency_us > self.deadline_us;
+        FaultDraw {
+            latency_us,
+            spiked,
+            deadline_missed,
+            dropped,
+        }
+    }
+
+    /// True when shard `shard` stalls after each batch.
+    pub fn stalls(&self, shard: u32) -> bool {
+        self.stall_shard == Some(shard) && self.stall_ms > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> ServeFaults {
+        ServeFaults {
+            seed: 0xC4A05,
+            base_latency_us: 50,
+            spike_per_mille: 100,
+            spike_latency_us: 5_000,
+            deadline_us: 1_000,
+            drop_per_mille: 50,
+            stall_shard: Some(1),
+            stall_ms: 2,
+        }
+    }
+
+    #[test]
+    fn draws_are_pure_functions_of_seq() {
+        let f = plan();
+        for seq in 0..200 {
+            assert_eq!(f.draw(seq), f.draw(seq));
+        }
+    }
+
+    #[test]
+    fn rates_land_near_their_per_mille_targets() {
+        let f = plan();
+        let n = 20_000u64;
+        let (mut spikes, mut drops) = (0u64, 0u64);
+        for seq in 0..n {
+            let d = f.draw(seq);
+            spikes += u64::from(d.spiked);
+            drops += u64::from(d.dropped);
+            // A spike over this plan's deadline is always a miss.
+            assert_eq!(d.deadline_missed, d.spiked);
+        }
+        let spike_rate = spikes as f64 * 1000.0 / n as f64;
+        let drop_rate = drops as f64 * 1000.0 / n as f64;
+        assert!((80.0..120.0).contains(&spike_rate), "{spike_rate}");
+        assert!((35.0..65.0).contains(&drop_rate), "{drop_rate}");
+    }
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let f = ServeFaults::default();
+        for seq in 0..500 {
+            let d = f.draw(seq);
+            assert!(!d.spiked && !d.dropped && !d.deadline_missed);
+            assert_eq!(d.latency_us, 0);
+        }
+        assert!(!f.stalls(0));
+    }
+
+    #[test]
+    fn stall_is_scoped_to_one_shard() {
+        let f = plan();
+        assert!(f.stalls(1));
+        assert!(!f.stalls(0));
+        assert!(!f.stalls(2));
+    }
+}

@@ -24,6 +24,12 @@
 //!   RNG streams per fixed-size chunk under the `libra_util::par`
 //!   contract, so the generated stream is bitwise identical at any
 //!   thread count and replays identically at any shard count.
+//! * [`fault`] — the deterministic fault & deadline plan
+//!   ([`ServeFaults`]) `libra_guard` arms for chaos runs: latency
+//!   spikes, response drops and deadline misses as pure functions of
+//!   the request `seq`, plus real (timing-only) shard stalls; decisions
+//!   they hit degrade to the §7 rule and are stamped
+//!   [`DecisionResponse::degraded`] instead of panicking or vanishing.
 //!
 //! The shard/dispatch layer is classifier-agnostic by construction: it
 //! only needs a row-batched `classify` of feature rows plus the §7
@@ -40,11 +46,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod loadgen;
 pub mod model;
 pub mod request;
 pub mod service;
 
+pub use fault::{FaultDraw, ServeFaults};
 pub use loadgen::{generate_requests, LoadConfig};
 pub use model::{ModelCell, ModelHandle, ServedModel};
 pub use request::{

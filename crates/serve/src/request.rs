@@ -51,6 +51,11 @@ pub struct DecisionResponse {
     pub model_version: u32,
     /// True when the §7 fallback rule decided (missing ACK).
     pub gated: bool,
+    /// True when the decision *degraded* to the §7 fallback — a missed
+    /// deadline, a dropped model answer, or a model error — rather than
+    /// being gated by design. Part of the decision, so it is folded
+    /// into the digest.
+    pub degraded: bool,
     /// Shard that served the request (dispatch metadata, excluded from
     /// the digest).
     pub shard: u32,
@@ -62,18 +67,21 @@ pub struct DecisionResponse {
 
 /// FNV-1a digest of a response stream, folded in `seq` order.
 ///
-/// Covers `(seq, station_id, action, gated, model_version)` — the
-/// decision itself — and deliberately excludes dispatch metadata, so
-/// the digest is bitwise identical at any shard count, batch size and
-/// thread count. Callers pass responses already sorted by `seq` (what
+/// Covers `(seq, station_id, action, gated, degraded, model_version)`
+/// — the decision itself — and deliberately excludes dispatch
+/// metadata, so the digest is bitwise identical at any shard count,
+/// batch size and thread count, *including under an armed fault plan*
+/// (every degradation is a pure function of the request stream).
+/// Callers pass responses already sorted by `seq` (what
 /// [`crate::service::DecisionService::finish`] returns).
 pub fn response_digest(responses: &[DecisionResponse]) -> u64 {
-    let mut bytes = Vec::with_capacity(responses.len() * 22);
+    let mut bytes = Vec::with_capacity(responses.len() * 23);
     for r in responses {
         bytes.extend_from_slice(&r.seq.to_le_bytes());
         bytes.extend_from_slice(&r.station_id.to_le_bytes());
         bytes.push(r.action.class_index() as u8);
         bytes.push(r.gated as u8);
+        bytes.push(r.degraded as u8);
         bytes.extend_from_slice(&r.model_version.to_le_bytes());
     }
     fnv1a64(&bytes)
@@ -108,6 +116,7 @@ mod tests {
             action: Action3::Ra,
             model_version: 1,
             gated: false,
+            degraded: false,
             shard: 0,
             batch: 0,
         }
@@ -128,12 +137,13 @@ mod tests {
     fn digest_sees_every_decision_field() {
         let base: Vec<DecisionResponse> = (0..10).map(response).collect();
         let d0 = response_digest(&base);
-        for field in ["action", "version", "gated", "station"] {
+        for field in ["action", "version", "gated", "degraded", "station"] {
             let mut changed = base.clone();
             match field {
                 "action" => changed[3].action = Action3::Ba,
                 "version" => changed[3].model_version = 2,
                 "gated" => changed[3].gated = true,
+                "degraded" => changed[3].degraded = true,
                 _ => changed[3].station_id = 99,
             }
             assert_ne!(d0, response_digest(&changed), "digest blind to {field}");

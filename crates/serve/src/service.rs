@@ -18,7 +18,25 @@
 //! Instruments: counters `serve.decisions`, `serve.fallback`,
 //! `serve.model.refresh`; value histogram `serve.batch_rows`; wall
 //! histogram `serve.decision_ns` (submit-to-decision latency).
+//!
+//! ## Graceful degradation
+//!
+//! With a [`ServeFaults`] plan armed on the config (the `libra_guard`
+//! chaos hook — `None` costs one branch per batch), a decision can
+//! *degrade*: its virtual latency misses the deadline, its response is
+//! dropped by the fault lottery, or the model's schema no longer
+//! matches the served feature layout. A degraded decision never
+//! panics and is never lost — it falls back to the §7 rule, is stamped
+//! [`DecisionResponse::degraded`], and is counted: counters
+//! `serve.degraded`, `serve.deadline_miss`, `serve.dropped`,
+//! `serve.model_error`, `serve.stall`; value histogram
+//! `serve.degraded_per_mille` (per-batch degradation rate — the
+//! degradation-rate histogram). Latency spikes additionally feed the
+//! `serve.injected_latency_us` value histogram. All of it is a pure
+//! function of the request stream, so chaos runs keep the digest
+//! contract.
 
+use crate::fault::ServeFaults;
 use crate::model::{ModelCell, ModelHandle, ServedModel};
 use crate::request::{DecisionRequest, DecisionResponse};
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -40,6 +58,9 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Per-shard channel capacity (submission backpressure).
     pub queue_depth: usize,
+    /// Fault/deadline plan; `None` (the default) is the zero-cost
+    /// healthy path.
+    pub faults: Option<ServeFaults>,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +69,7 @@ impl Default for ServeConfig {
             shards: 4,
             max_batch: 64,
             queue_depth: 1024,
+            faults: None,
         }
     }
 }
@@ -101,9 +123,10 @@ impl DecisionService {
             let (tx, rx) = bounded::<Envelope>(cfg.queue_depth.max(1));
             let cell = Arc::clone(&cell);
             let max_batch = cfg.max_batch;
+            let faults = cfg.faults;
             let handle = std::thread::Builder::new()
                 .name(format!("libra-serve-{shard}"))
-                .spawn(move || run_shard(shard as u32, rx, cell, max_batch, traced))
+                .spawn(move || run_shard(shard as u32, rx, cell, max_batch, traced, faults))
                 .expect("spawn shard worker");
             senders.push(tx);
             handles.push(handle);
@@ -184,17 +207,18 @@ fn run_shard(
     cell: Arc<ModelCell>,
     max_batch: usize,
     traced: bool,
+    faults: Option<ServeFaults>,
 ) -> ShardOutput {
     if traced {
         let ((responses, batches), report) =
-            obs::with_scope(|| shard_loop(shard, &rx, &cell, max_batch));
+            obs::with_scope(|| shard_loop(shard, &rx, &cell, max_batch, faults.as_ref()));
         ShardOutput {
             responses,
             report,
             batches,
         }
     } else {
-        let (responses, batches) = shard_loop(shard, &rx, &cell, max_batch);
+        let (responses, batches) = shard_loop(shard, &rx, &cell, max_batch, faults.as_ref());
         ShardOutput {
             responses,
             report: obs::Report::default(),
@@ -208,6 +232,7 @@ fn shard_loop(
     rx: &Receiver<Envelope>,
     cell: &Arc<ModelCell>,
     max_batch: usize,
+    faults: Option<&ServeFaults>,
 ) -> (Vec<DecisionResponse>, u64) {
     let mut handle = ModelHandle::new(Arc::clone(cell));
     let feature_names: Vec<String> = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
@@ -240,7 +265,17 @@ fn shard_loop(
             &mut classes,
             &mut responses,
             &mut batches,
+            faults,
         );
+        // A stalled shard sleeps after each batch — a pure timing
+        // fault: batch composition and every response are already
+        // fixed, so the stall can never reach the digest.
+        if let Some(f) = faults {
+            if f.stalls(shard) {
+                obs::counter("serve.stall", 1);
+                std::thread::sleep(std::time::Duration::from_millis(u64::from(f.stall_ms)));
+            }
+        }
         if !open {
             break;
         }
@@ -249,6 +284,7 @@ fn shard_loop(
 }
 
 /// Classifies one accumulated batch through exactly one model version.
+#[allow(clippy::too_many_arguments)]
 fn flush_batch(
     shard: u32,
     handle: &mut ModelHandle,
@@ -257,6 +293,7 @@ fn flush_batch(
     classes: &mut Vec<usize>,
     responses: &mut Vec<DecisionResponse>,
     batches: &mut u64,
+    faults: Option<&ServeFaults>,
 ) {
     if pending.is_empty() {
         return;
@@ -267,22 +304,54 @@ fn flush_batch(
     }
     let model = handle.model();
 
-    let mut frame = FeatureFrame::with_schema(3, feature_names.to_vec());
-    for envelope in pending.iter() {
-        frame.push_row(&envelope.request.features.to_row(), 0);
+    // A model whose engine disagrees with the served feature layout
+    // would panic inside the columnar path; detect it up front and
+    // degrade the whole batch to the §7 rule instead.
+    let model_broken = model.classifier.engine().n_features() != feature_names.len();
+    if model_broken {
+        obs::counter("serve.model_error", 1);
+        classes.clear();
+        classes.resize(pending.len(), usize::MAX);
+    } else {
+        let mut frame = FeatureFrame::with_schema(3, feature_names.to_vec());
+        for envelope in pending.iter() {
+            frame.push_row(&envelope.request.features.to_row(), 0);
+        }
+        model.classifier.predict_batch_view(&frame.view(), classes);
     }
-    model.classifier.predict_batch_view(&frame.view(), classes);
     obs::record_value("serve.batch_rows", pending.len() as u64);
 
+    let mut degraded_rows = 0u64;
     for (envelope, &class) in pending.iter().zip(classes.iter()) {
         let request = &envelope.request;
-        let (action, gated) = if request.ack_missing {
-            let action = model
+        let fallback = || {
+            model
                 .classifier
-                .fallback(request.features.initial_mcs, request.ba_overhead_ms);
-            (action, true)
+                .fallback(request.features.initial_mcs, request.ba_overhead_ms)
+        };
+        let (action, gated, degraded) = if request.ack_missing {
+            // §7: missing ACK gates the model out by design — not a
+            // degradation, the rule *is* the decision path here.
+            (fallback(), true, false)
+        } else if model_broken {
+            (fallback(), false, true)
+        } else if let Some(draw) = faults.map(|f| f.draw(request.seq)) {
+            if draw.spiked {
+                obs::record_value("serve.injected_latency_us", u64::from(draw.latency_us));
+            }
+            if draw.deadline_missed {
+                obs::counter("serve.deadline_miss", 1);
+            }
+            if draw.dropped {
+                obs::counter("serve.dropped", 1);
+            }
+            if draw.degrades() {
+                (fallback(), false, true)
+            } else {
+                (class_action(class), false, false)
+            }
         } else {
-            (class_action(class), false)
+            (class_action(class), false, false)
         };
         responses.push(DecisionResponse {
             seq: request.seq,
@@ -290,6 +359,7 @@ fn flush_batch(
             action,
             model_version: model.version,
             gated,
+            degraded,
             shard,
             batch: *batches,
         });
@@ -297,10 +367,23 @@ fn flush_batch(
         if gated {
             obs::counter("serve.fallback", 1);
         }
+        if degraded {
+            obs::counter("serve.degraded", 1);
+            degraded_rows += 1;
+        }
         if let Some(submitted) = envelope.submitted {
             let nanos = submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             obs::record_wall("serve.decision_ns", nanos);
         }
+    }
+    // Per-batch degradation rate, in per mille — only once a fault
+    // plan (or a broken model) makes degradation possible, so healthy
+    // runs keep their exact pre-guard trace output.
+    if faults.is_some() || model_broken {
+        obs::record_value(
+            "serve.degraded_per_mille",
+            degraded_rows * 1000 / pending.len() as u64,
+        );
     }
     *batches += 1;
     pending.clear();

@@ -1,0 +1,217 @@
+//! Graceful degradation under an armed fault plan — the serve-side
+//! contract of the guarded model lifecycle.
+//!
+//! Three properties are pinned here:
+//!
+//! 1. **No panics, no losses**: under deadline misses, response drops
+//!    and shard stalls every request still gets a response; degraded
+//!    ones carry the §7 fallback action and the `degraded` stamp.
+//! 2. **Determinism survives chaos**: the response digest under a fault
+//!    plan is bitwise identical at any shard count, and stalls (real
+//!    sleeps) change nothing but timing.
+//! 3. **A broken model degrades, never panics**: a model whose engine
+//!    disagrees with the served feature schema turns every non-gated
+//!    decision into a degraded fallback decision.
+
+use libra::LibraClassifier;
+use libra_dataset::FEATURE_NAMES;
+use libra_obs as obs;
+use libra_serve::{
+    generate_requests, response_digest, serve_all, DecisionRequest, LoadConfig, ServeConfig,
+    ServeFaults, ServedModel,
+};
+use libra_util::rng::rng_from_seed;
+use std::sync::Arc;
+
+fn tiny_model(version: u32) -> Arc<ServedModel> {
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..60usize {
+        let c = i % 3;
+        let mut row = vec![0.0; FEATURE_NAMES.len()];
+        row[0] = c as f64 * 8.0 + (i % 5) as f64 * 0.1;
+        row[5] = 1.0 - c as f64 * 0.3;
+        features.push(row);
+        labels.push(c);
+    }
+    let names = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+    let data = libra_ml::Dataset::new(features, labels, 3, names);
+    let mut rng = rng_from_seed(7 + version as u64);
+    let clf = LibraClassifier::train(&data, &mut rng);
+    Arc::new(ServedModel::new("tiny", version, clf))
+}
+
+/// A model trained on the *wrong* feature arity — the kind of artifact
+/// a schema drift (or a bad export) would produce. It can exist in
+/// memory; the serve path must refuse to run it into a panic.
+fn misshapen_model() -> Arc<ServedModel> {
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..45usize {
+        let c = i % 3;
+        features.push(vec![c as f64, (i % 4) as f64 * 0.25]);
+        labels.push(c);
+    }
+    let data = libra_ml::Dataset::new(features, labels, 3, vec!["a".into(), "b".into()]);
+    let mut rf = libra_ml::RandomForest::new(libra_ml::ForestConfig {
+        n_trees: 3,
+        ..Default::default()
+    });
+    let mut rng = rng_from_seed(13);
+    rf.fit(&data, &mut rng);
+    let engine = libra_infer::FlatForest::compile(&rf);
+    Arc::new(ServedModel::new(
+        "misshapen",
+        1,
+        LibraClassifier::from_engine(engine),
+    ))
+}
+
+fn load(requests: usize, seed: u64) -> Vec<DecisionRequest> {
+    generate_requests(&LoadConfig {
+        requests,
+        stations: 32,
+        seed,
+    })
+}
+
+fn chaos_plan() -> ServeFaults {
+    ServeFaults {
+        seed: 0xFA_117,
+        base_latency_us: 80,
+        spike_per_mille: 120,
+        spike_latency_us: 9_000,
+        deadline_us: 2_000,
+        drop_per_mille: 40,
+        stall_shard: Some(0),
+        stall_ms: 1,
+    }
+}
+
+#[test]
+fn fault_plan_degrades_to_fallback_and_loses_nothing() {
+    let model = tiny_model(1);
+    let requests = load(2_000, 0xDE6);
+    let faults = chaos_plan();
+    let cfg = ServeConfig {
+        faults: Some(faults),
+        ..ServeConfig::default()
+    };
+    let outcome = serve_all(&cfg, Arc::clone(&model), &requests);
+    assert_eq!(outcome.responses.len(), requests.len());
+
+    let mut degraded = 0usize;
+    for (request, response) in requests.iter().zip(&outcome.responses) {
+        assert_eq!(request.seq, response.seq);
+        let draw = faults.draw(request.seq);
+        if request.ack_missing {
+            // Gating by design outranks the fault lottery.
+            assert!(response.gated && !response.degraded);
+            continue;
+        }
+        assert_eq!(response.degraded, draw.degrades(), "seq {}", request.seq);
+        if response.degraded {
+            degraded += 1;
+            let expected = model
+                .classifier
+                .fallback(request.features.initial_mcs, request.ba_overhead_ms);
+            assert_eq!(response.action, expected);
+            assert!(!response.gated);
+        }
+    }
+    // The plan's rates (~12% spike-miss + ~4% drop) must actually bite.
+    assert!(degraded > 100, "only {degraded} degraded decisions");
+}
+
+#[test]
+fn chaos_digest_is_shard_count_invariant() {
+    let model = tiny_model(1);
+    let requests = load(4_000, 0xD16);
+    let faults = chaos_plan();
+
+    let digests: Vec<u64> = [1usize, 3, 7]
+        .iter()
+        .map(|&shards| {
+            let cfg = ServeConfig {
+                shards,
+                faults: Some(faults),
+                ..ServeConfig::default()
+            };
+            let outcome = serve_all(&cfg, Arc::clone(&model), &requests);
+            assert_eq!(outcome.responses.len(), requests.len());
+            response_digest(&outcome.responses)
+        })
+        .collect();
+    assert_eq!(digests[0], digests[1]);
+    assert_eq!(digests[0], digests[2]);
+
+    // The stall is timing-only: the same plan minus the stall produces
+    // the same decisions.
+    let unstalled = ServeFaults {
+        stall_shard: None,
+        stall_ms: 0,
+        ..faults
+    };
+    let cfg = ServeConfig {
+        faults: Some(unstalled),
+        ..ServeConfig::default()
+    };
+    let outcome = serve_all(&cfg, Arc::clone(&model), &requests);
+    assert_eq!(digests[0], response_digest(&outcome.responses));
+}
+
+#[test]
+fn quiet_plan_matches_no_plan() {
+    let model = tiny_model(1);
+    let requests = load(1_500, 0x0F1);
+    let clean = serve_all(&ServeConfig::default(), Arc::clone(&model), &requests);
+    let quiet = serve_all(
+        &ServeConfig {
+            faults: Some(ServeFaults::default()),
+            ..ServeConfig::default()
+        },
+        Arc::clone(&model),
+        &requests,
+    );
+    assert_eq!(
+        response_digest(&clean.responses),
+        response_digest(&quiet.responses)
+    );
+    assert!(quiet.responses.iter().all(|r| !r.degraded));
+}
+
+#[test]
+fn misshapen_model_degrades_the_whole_stream_without_panicking() {
+    let model = misshapen_model();
+    let requests = load(600, 0xBAD);
+    let ((outcome, expected_fallbacks), report) = obs::with_scope(|| {
+        let out = serve_all(&ServeConfig::default(), Arc::clone(&model), &requests);
+        let expected: Vec<_> = requests
+            .iter()
+            .map(|r| {
+                model
+                    .classifier
+                    .fallback(r.features.initial_mcs, r.ba_overhead_ms)
+            })
+            .collect();
+        (out, expected)
+    });
+    assert_eq!(outcome.responses.len(), requests.len());
+    for ((request, response), expected) in requests
+        .iter()
+        .zip(&outcome.responses)
+        .zip(&expected_fallbacks)
+    {
+        assert_eq!(response.action, *expected);
+        if request.ack_missing {
+            assert!(response.gated && !response.degraded);
+        } else {
+            assert!(response.degraded && !response.gated);
+        }
+    }
+    assert!(report.counter("serve.model_error") >= 1);
+    assert_eq!(
+        report.counter("serve.degraded"),
+        requests.iter().filter(|r| !r.ack_missing).count() as u64
+    );
+}

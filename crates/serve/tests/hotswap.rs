@@ -113,6 +113,7 @@ fn hot_swap_is_visible_and_never_tears_a_batch() {
             shards: 1,
             max_batch: 8,
             queue_depth: 8,
+            ..Default::default()
         },
         tiny_model(1),
     );
@@ -164,6 +165,7 @@ fn concurrent_swap_keeps_batches_whole() {
             shards: 4,
             max_batch: 32,
             queue_depth: 64,
+            ..Default::default()
         },
         tiny_model(1),
     );
@@ -200,6 +202,7 @@ fn tracing_observes_without_changing_decisions() {
         shards: 3,
         max_batch: 64,
         queue_depth: 256,
+        ..Default::default()
     };
 
     let untraced = serve_all(&cfg, Arc::clone(&model), &requests);
