@@ -105,6 +105,8 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut quick = false;
     let mut trace = false;
+    let mut engine_kind = libra_infer::EngineKind::default();
+    let mut engine_quantized = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -112,6 +114,14 @@ fn main() {
                 opts.csv_dir = Some(it.next().expect("--csv-dir needs a path"));
             }
             "--trace" => trace = true,
+            "--engine" => {
+                engine_kind = it
+                    .next()
+                    .expect("--engine needs recursive, flat, or blocked")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--quantized" => engine_quantized = true,
             "--model" => {
                 context::set_model(&it.next().expect("--model needs a name[@version] or path"));
             }
@@ -149,11 +159,14 @@ fn main() {
         eprintln!(
             "usage: experiments [--csv-dir DIR] [--threads N] [--trace] \
              [--model NAME[@VER]|PATH] \
+             [--engine recursive|flat|blocked] [--quantized] \
              [all|quick|fig1..fig13|table1..table4|cv|crossbuilding|threeclass|ablations\
              |inferbench|trainbench|fuzz|serve|chaos|multisim]"
         );
         std::process::exit(2);
     }
+    let engine_opts = libra_infer::EngineOpts::new(engine_kind, engine_quantized)
+        .unwrap_or_else(|e| panic!("{e}"));
     if trace {
         libra_obs::set_enabled(true);
     }
@@ -271,7 +284,7 @@ fn main() {
 
     // --- serving ----------------------------------------------------------
     section("inferbench", &mut || {
-        serving::serving_bench(opts.bench_passes)
+        serving::serving_bench(opts.bench_passes, &engine_opts)
     });
     section("trainbench", &mut || {
         trainbench::train_bench(opts.bench_passes)

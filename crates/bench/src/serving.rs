@@ -1,17 +1,25 @@
-//! Inference-serving microbenchmark: recursive trees vs the flattened
-//! engine of `libra-infer`.
+//! Inference-serving microbenchmark (`inferbench`): recursive trees vs
+//! the flat and blocked engines of `libra-infer`.
 //!
 //! LiBRA consults its classifier every other frame (2×20 ms observation
 //! windows, §7), so prediction latency is a deployment concern the paper
 //! leaves implicit. This section measures batched prediction over the
-//! full §5 main-campaign feature matrix with both implementations,
-//! asserts they are prediction-identical row by row, and records the
-//! measured throughputs to `results/infer_bench.txt` so successive runs
-//! can be compared.
+//! full §5 main-campaign feature matrix with every engine — the
+//! recursive forest, the flat struct-of-arrays walk, and the branchless
+//! blocked kernel (plus its `f32`-quantized tables when opted in) —
+//! asserts the exact paths are prediction-identical row by row (the
+//! greppable `identity self-check` line carries the shared FNV digest),
+//! and records per-engine per-row latency to `results/infer_bench.txt`
+//! so successive runs can be compared.
+//!
+//! The timed 1k-row batch section runs **untraced** (outside any obs
+//! scope) so every engine is measured on its clock-free hot path.
 
 use crate::context::{classifier, gt_params, main_dataset, table, CLASSIFIER_SEED};
+use libra_infer::{BlockedForest, EngineOpts, Exactness};
 use libra_ml::{Classifier, ForestConfig, RandomForest};
 use libra_obs as obs;
+use libra_util::checksum::fnv1a64;
 use libra_util::rng::rng_from_seed;
 use libra_util::table::{fmt_f, TextTable};
 
@@ -28,6 +36,13 @@ pub fn recursive_reference() -> RandomForest {
     let mut rng = rng_from_seed(CLASSIFIER_SEED);
     forest.fit(&data, &mut rng);
     forest
+}
+
+/// FNV-1a digest of a prediction vector (class indices as bytes) — the
+/// value the `identity self-check` line pins across engines and ISAs.
+fn prediction_digest(preds: &[usize]) -> u64 {
+    let bytes: Vec<u8> = preds.iter().map(|&c| c as u8).collect();
+    fnv1a64(&bytes)
 }
 
 /// Times `passes` full-matrix prediction passes, returning (total
@@ -54,49 +69,151 @@ fn time_passes<F: FnMut() -> Vec<usize>>(
     )
 }
 
+/// Times `reps` untraced batch passes with the engine's clock-free hot
+/// path, returning per-row nanoseconds.
+fn time_untraced(reps: usize, rows: usize, mut run: impl FnMut(&mut Vec<usize>)) -> f64 {
+    let mut out = Vec::new();
+    run(&mut out); // warm-up, untimed
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        run(&mut out);
+    }
+    t0.elapsed().as_nanos() as f64 / (reps * rows) as f64
+}
+
 /// Runs the microbenchmark: `passes` timed prediction passes over the
-/// full campaign feature matrix per engine. Both engines read borrowed
-/// row slices straight out of the columnar frame — no per-pass feature
-/// copies. Panics if the two engines ever disagree on a single row —
-/// speed without identity is worthless.
-pub fn serving_bench(passes: usize) -> String {
+/// full campaign feature matrix per engine, plus an untraced 1k-row
+/// batch comparison. All engines read borrowed row slices straight out
+/// of the columnar frame — no per-pass feature copies. Panics if the
+/// exact engines ever disagree on a single row — speed without identity
+/// is worthless. `eopts` echoes the serving selection into the report
+/// and (with `--quantized`) adds the quantized tables to the matrix.
+pub fn serving_bench(passes: usize, eopts: &EngineOpts) -> String {
     let data = main_dataset().to_ml_3class(&table(), &gt_params());
     let view = data.view();
     let recursive = recursive_reference();
     let engine = classifier().engine();
+    let blocked = BlockedForest::compile(engine, Exactness::Exact);
+    let quantized = eopts
+        .quantized
+        .then(|| BlockedForest::compile(engine, Exactness::Quantized));
 
-    // Prediction identity on every row of the §5 campaign dataset.
+    // Prediction identity on every row of the §5 campaign dataset:
+    // classes per engine, and the per-class probability vectors bitwise.
     let reference = recursive.predict_view(&view);
-    let mut flat = Vec::new();
-    engine.predict_batch_view(&view, &mut flat);
+    let flat_preds = engine.predict_view(&view);
+    let blocked_preds = blocked.predict_view(&view);
     assert_eq!(
-        reference, flat,
-        "flattened engine diverged from the recursive forest on the campaign dataset"
+        reference, flat_preds,
+        "flat engine diverged from the recursive forest on the campaign dataset"
+    );
+    assert_eq!(
+        reference, blocked_preds,
+        "blocked engine diverged from the recursive forest on the campaign dataset"
+    );
+    for row in data.rows() {
+        let rp = recursive.predict_proba_one(row);
+        let fp = engine.predict_proba_one(row);
+        let bp = blocked.predict_proba_one(row);
+        for ((a, b), c) in rp.iter().zip(&fp).zip(&bp) {
+            assert_eq!(a.to_bits(), b.to_bits(), "flat probs diverged bitwise");
+            assert_eq!(a.to_bits(), c.to_bits(), "blocked probs diverged bitwise");
+        }
+    }
+    let digest = prediction_digest(&reference);
+    let self_check = format!(
+        "identity self-check: recursive/flat/blocked exact paths bitwise-identical on {} rows, digest {:#018x}",
+        data.len(),
+        digest
     );
 
+    // Full-matrix passes (traced: the flat engine reports per-row wall
+    // time, the blocked engine per-batch wall time).
     let (rec_s, rec_preds, _) = time_passes(passes, || recursive.predict_view(&view));
     let mut out = Vec::new();
-    let (flat_s, flat_preds, flat_report) = time_passes(passes, || {
-        engine.predict_batch_view(&view, &mut out);
+    let (flat_s, flat_timed, flat_report) = time_passes(passes, || {
+        engine.predict_batch_into(&view, &mut out);
+        out.clone()
+    });
+    let (blocked_s, blocked_timed, _) = time_passes(passes, || {
+        blocked.predict_batch_into(&view, &mut out);
         out.clone()
     });
     assert_eq!(
-        rec_preds, flat_preds,
+        rec_preds, flat_timed,
+        "engines diverged during timing passes"
+    );
+    assert_eq!(
+        rec_preds, blocked_timed,
         "engines diverged during timing passes"
     );
 
     let n = (data.len() * passes) as f64;
-    let mut t = TextTable::new(["engine", "rows/pass", "passes", "total (s)", "Mrows/s"]);
-    for (name, secs) in [("recursive", rec_s), ("flat", flat_s)] {
+    let mut t = TextTable::new([
+        "engine",
+        "rows/pass",
+        "passes",
+        "total (s)",
+        "Mrows/s",
+        "ns/row",
+    ]);
+    let mut engines = vec![
+        ("recursive", rec_s),
+        ("flat", flat_s),
+        ("blocked", blocked_s),
+    ];
+    let mut quant_note = String::new();
+    if let Some(q) = &quantized {
+        let (quant_s, quant_timed, _) = time_passes(passes, || {
+            q.predict_batch_into(&view, &mut out);
+            out.clone()
+        });
+        let diverged = quant_timed
+            .iter()
+            .zip(&reference)
+            .filter(|(a, b)| a != b)
+            .count();
+        quant_note = format!(
+            "quantized (f32 thresholds) diverged on {diverged}/{} rows — allowed only near thresholds\n",
+            data.len()
+        );
+        engines.push(("blocked+quantized", quant_s));
+    }
+    for (name, secs) in &engines {
         t.row([
             name.to_string(),
             data.len().to_string(),
             passes.to_string(),
-            fmt_f(secs, 3),
+            fmt_f(*secs, 3),
             fmt_f(n / secs / 1e6, 2),
+            fmt_f(secs * 1e9 / n, 1),
         ]);
     }
-    let speedup = rec_s / flat_s;
+
+    // Untraced 1k-row batch: every engine on its clock-free hot path.
+    let k = data.len().min(1000);
+    let sel: Vec<usize> = (0..k).collect();
+    let batch = data.select(&sel);
+    let reps = passes.max(1) * 8;
+    let rec_ns = time_untraced(reps, k, |o| recursive.predict_batch_into(&batch, o));
+    let flat_ns = time_untraced(reps, k, |o| engine.predict_batch_into(&batch, o));
+    let blocked_ns = time_untraced(reps, k, |o| blocked.predict_batch_into(&batch, o));
+    let mut batch_lines = format!(
+        "1k-row batch ({k} rows, {reps} reps, untraced): recursive {rn} ns/row, flat {fn_} ns/row, blocked {bn} ns/row\nblocked vs flat: {sp}x\n",
+        rn = fmt_f(rec_ns, 1),
+        fn_ = fmt_f(flat_ns, 1),
+        bn = fmt_f(blocked_ns, 1),
+        sp = fmt_f(flat_ns / blocked_ns, 2),
+    );
+    if let Some(q) = &quantized {
+        let quant_ns = time_untraced(reps, k, |o| q.predict_batch_into(&batch, o));
+        batch_lines.push_str(&format!(
+            "blocked+quantized: {} ns/row ({}x vs flat)\n",
+            fmt_f(quant_ns, 1),
+            fmt_f(flat_ns / quant_ns, 2)
+        ));
+    }
+
     let row_lat = flat_report
         .hist("infer.serve.row_ns")
         .map(|h| {
@@ -109,13 +226,19 @@ pub fn serving_bench(passes: usize) -> String {
         })
         .unwrap_or_default();
     let report = format!(
-        "Inference serving: {} trees, {} nodes, {} rows\n{}{}flat engine speedup: {:.2}x\n",
+        "Inference engines: {} trees, {} nodes, {} rows, block {}, simd {}\nselected serving engine: {}\n{}\n{}{}{}{}flat engine speedup: {:.2}x\n",
         engine.n_trees(),
         engine.n_nodes(),
         data.len(),
+        libra_infer::BLOCK,
+        libra_infer::simd_level(),
+        eopts.label(),
+        self_check,
         t.render(),
         row_lat,
-        speedup
+        batch_lines,
+        quant_note,
+        rec_s / flat_s
     );
 
     let path = report_path();

@@ -10,6 +10,7 @@
 
 use libra::LibraClassifier;
 use libra_dataset::{generate, main_campaign_plan, CampaignConfig, GroundTruthParams, Instruments};
+use libra_ml::Classifier;
 use libra_obs as obs;
 use libra_phy::McsTable;
 use libra_util::par::set_threads;
@@ -60,7 +61,7 @@ fn traced_workload(threads: usize) -> obs::Report {
         let mut rng = rng_from_seed(0x5EED);
         let clf = LibraClassifier::train(&data, &mut rng);
         let mut out = Vec::new();
-        clf.predict_batch_view(&data.view(), &mut out);
+        clf.predict_batch_into(&data.view(), &mut out);
         assert_eq!(out.len(), data.len());
     });
     set_threads(0);
@@ -119,12 +120,12 @@ fn disabled_serving_path_touches_no_collector() {
 
     let view = data.view();
     let mut out = Vec::new();
-    clf.predict_batch_view(&view, &mut out); // warm-up (output capacity)
+    clf.predict_batch_into(&view, &mut out); // warm-up (output capacity)
     assert!(!obs::enabled(), "tracing unexpectedly on in this process");
 
     let before = obs::alloc_count();
     for _ in 0..3 {
-        clf.predict_batch_view(&view, &mut out);
+        clf.predict_batch_into(&view, &mut out);
     }
     assert_eq!(
         obs::alloc_count(),

@@ -29,7 +29,7 @@ fn flat_engine_is_prediction_identical_on_full_campaign() {
 
     let rec = recursive.predict_view(&data.view());
     let mut flat = Vec::new();
-    engine.predict_batch_view(&data.view(), &mut flat);
+    engine.predict_batch_into(&data.view(), &mut flat);
     assert_eq!(
         rec, flat,
         "class predictions diverged on the §5 campaign dataset"

@@ -143,6 +143,26 @@ impl CommonOpts {
     }
 }
 
+/// Consumes the shared inference-engine flags (`--engine
+/// {recursive,flat,blocked}` and `--quantized`), resolving them into a
+/// validated [`libra_infer::EngineOpts`]. The default is the blocked
+/// exact engine — the serving default everywhere. Shared by `predict`,
+/// `serve`, and `experiments inferbench` so engine selection reads
+/// identically across the toolchain.
+pub struct EngineOpts;
+
+impl EngineOpts {
+    /// Consumes `--engine` / `--quantized` from a parsed command line.
+    pub fn take(args: &mut Args) -> Result<libra_infer::EngineOpts, ArgError> {
+        let kind: libra_infer::EngineKind = match args.opt("engine") {
+            None => libra_infer::EngineKind::default(),
+            Some(v) => v.parse().map_err(|e| ArgError(format!("--engine: {e}")))?,
+        };
+        let quantized = args.switch("quantized");
+        libra_infer::EngineOpts::new(kind, quantized).map_err(ArgError)
+    }
+}
+
 /// A `--model` reference: either a file path or a registry
 /// `name[@version]` spec. Resolution against the registry happens in
 /// one place (`commands::load_model`); this type only carries the raw
@@ -243,6 +263,35 @@ mod tests {
         let mut a = parse(&["classify", "--model", "ba-forest@2"]).unwrap();
         assert_eq!(ModelRef::take(&mut a).unwrap().as_str(), "ba-forest@2");
         assert!(ModelRef::take(&mut parse(&["classify"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn engine_opts_default_to_blocked_exact() {
+        let mut a = parse(&["predict"]).unwrap();
+        let e = EngineOpts::take(&mut a).unwrap();
+        assert_eq!(e.kind, libra_infer::EngineKind::Blocked);
+        assert!(!e.quantized);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn engine_opts_parse_and_validate() {
+        let mut a = parse(&["predict", "--engine", "flat"]).unwrap();
+        assert_eq!(
+            EngineOpts::take(&mut a).unwrap().kind,
+            libra_infer::EngineKind::Flat
+        );
+        let mut a = parse(&["predict", "--engine", "blocked", "--quantized"]).unwrap();
+        let e = EngineOpts::take(&mut a).unwrap();
+        assert!(e.quantized);
+        // Quantized tables exist only for the blocked engine.
+        let mut a = parse(&["predict", "--engine", "flat", "--quantized"]).unwrap();
+        assert!(EngineOpts::take(&mut a).is_err());
+        // Unknown engines name the expected values.
+        let mut a = parse(&["predict", "--engine", "warp"]).unwrap();
+        let err = EngineOpts::take(&mut a).unwrap_err();
+        assert!(err.0.contains("--engine"));
+        assert!(err.0.contains("blocked"));
     }
 
     #[test]

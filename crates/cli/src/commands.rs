@@ -1,6 +1,6 @@
 //! `libractl` command implementations.
 
-use crate::args::{ArgError, Args, CommonOpts, ModelRef};
+use crate::args::{ArgError, Args, CommonOpts, EngineOpts, ModelRef};
 use libra::prelude::*;
 use libra::sim::run_policy_segment;
 use libra::{
@@ -114,6 +114,7 @@ USAGE:
   libractl classify         --model MODEL --snr-diff DB [--tof-diff NS] [--noise-diff DB]
                             [--pdp-sim S] [--csi-sim S] [--cdr C] [--initial-mcs M]
   libractl predict          --model MODEL [feature flags as for classify]
+                            [--engine recursive|flat|blocked] [--quantized]
   libractl simulate         --model MODEL --dataset FILE [--ba-ms MS] [--fat-ms MS] [--flow-ms MS]
   libractl timeline         --model MODEL [--scenario mobility|blockage|interference|mixed]
                             [--timelines N] [--ba-ms MS] [--fat-ms MS] [--seed N]
@@ -126,6 +127,7 @@ USAGE:
                             [--batch N] [--record FILE | --no-record] [--watch]
                             [--publish MODEL --publish-after N]
   libractl serve            --model MODEL --requests FILE [--shards N] [--batch N]
+                            [--engine recursive|flat|blocked] [--quantized]
   libractl fuzz run         [--budget N] [--seed N] [--batch N] [--keep-regret R] [--max-corpus N]
                             [--ba-ms MS] [--fat-ms MS] [--flow-ms MS] [--corpus DIR] [--model MODEL]
   libractl fuzz replay      [--corpus DIR] [--tolerance R] [--model MODEL]
@@ -433,16 +435,23 @@ fn classify(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
 
 fn predict(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
     let model = ModelRef::take(args)?;
+    let eopts = EngineOpts::take(args)?;
     let features = take_features(args)?;
     args.finish()?;
-    let clf = load_model(&model, &ctx.registry)?;
-    let probs = clf.engine().predict_proba_one(&features.to_row());
+    let mut clf = load_model(&model, &ctx.registry)?;
+    clf.select_engine(&eopts).map_err(ArgError)?;
+    let probs = clf.predict_proba_one(&features.to_row());
     let decision = clf.decide(&features, &DecidePolicy::model_only());
     let mut t = TextTable::new(["class", "vote share"]);
     for (label, p) in libra::CLASS_LABELS.iter().zip(&probs) {
         t.row([label.to_string(), fmt_f(*p, 3)]);
     }
-    Ok(format!("prediction: {:?}\n{}", decision.action, t.render()))
+    Ok(format!(
+        "prediction: {:?}  (engine {})\n{}",
+        decision.action,
+        clf.engine_label(),
+        t.render()
+    ))
 }
 
 fn simulate(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
@@ -698,6 +707,7 @@ const WATCH_POLL_EVERY: usize = 4096;
 
 fn serve(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
     let model = ModelRef::take(args)?;
+    let eopts = EngineOpts::take(args)?;
     let requests_path = args.req("requests")?;
     let shards: usize = args.opt_parse("shards", 4)?;
     let batch: usize = args.opt_parse("batch", 64)?;
@@ -706,7 +716,13 @@ fn serve(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
         return Err(ArgError("--shards and --batch must be at least 1".into()));
     }
 
-    let served = std::sync::Arc::new(load_served(&model, &ctx.registry)?);
+    let mut served = load_served(&model, &ctx.registry)?;
+    // load_served already routed the blocked exact default; re-select
+    // only to honor an explicit `--engine`/`--quantized` choice (exact
+    // engines are bitwise identical, so the digest cannot move).
+    served.classifier.select_engine(&eopts).map_err(ArgError)?;
+    let engine_label = served.classifier.engine_label();
+    let served = std::sync::Arc::new(served);
     let identity = format!("{}@{}", served.name, served.version);
     let requests =
         libra_serve::load_requests(std::path::Path::new(&requests_path)).map_err(ArgError)?;
@@ -724,8 +740,8 @@ fn serve(args: &mut Args, ctx: &CommandContext) -> Result<String, ArgError> {
     // `digest 0x…` is a stable machine-readable line: CI replays a
     // recording at two shard counts and compares these tokens.
     Ok(format!(
-        "served {} requests with {identity} on {shards} shard(s), batch {batch}: \
-         {dps:.0} decisions/s over {} batches\ndigest {digest:#018x}\n",
+        "served {} requests with {identity} ({engine_label} engine) on {shards} shard(s), \
+         batch {batch}: {dps:.0} decisions/s over {} batches\ndigest {digest:#018x}\n",
         outcome.responses.len(),
         outcome.batches,
     ))

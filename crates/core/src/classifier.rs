@@ -19,11 +19,14 @@
 //! frozen file instead of retraining.
 
 use libra_dataset::{Action3, Features, FEATURE_NAMES};
-use libra_infer::{ArtifactMeta, FlatForest, ModelArtifact, ModelPayload};
-use libra_ml::{ForestConfig, RandomForest};
+use libra_infer::{
+    ArtifactMeta, BlockedForest, EngineKind, EngineOpts, FlatForest, ModelArtifact, ModelPayload,
+};
+use libra_ml::{Classifier, ForestConfig, RandomForest};
 use libra_obs as obs;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Class labels in class-index order, as frozen into artifacts.
 pub const CLASS_LABELS: [&str; 3] = ["BA", "RA", "NA"];
@@ -85,6 +88,23 @@ fn action_counter(action: Action3) -> &'static str {
     }
 }
 
+/// Which compiled engine serves this classifier's predictions.
+///
+/// The flat tables are the serialized source of truth; the blocked
+/// arena is recompiled from them on demand ([`LibraClassifier::
+/// select_engine`]) and never persisted, so artifact bytes and save/load
+/// round-trips are untouched by engine selection. Exact blocked tables
+/// predict bitwise identically to the flat engine, so switching modes
+/// can never move a digest.
+#[derive(Debug, Clone, Default)]
+enum EngineMode {
+    /// Depth-first walk of the struct-of-arrays tables.
+    #[default]
+    Flat,
+    /// Branchless level-synchronous walk of the breadth-first arena.
+    Blocked(Arc<BlockedForest>),
+}
+
 /// The trained LiBRA decision model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LibraClassifier {
@@ -96,6 +116,9 @@ pub struct LibraClassifier {
     /// At or above the threshold MCS, trigger BA first only when the BA
     /// overhead is below this many milliseconds.
     pub fallback_ba_overhead_ms: f64,
+    /// Run-time engine selection; recompiled, never serialized.
+    #[serde(skip, default)]
+    mode: EngineMode,
 }
 
 impl LibraClassifier {
@@ -121,6 +144,56 @@ impl LibraClassifier {
             engine,
             fallback_mcs_threshold: 6,
             fallback_ba_overhead_ms: 10.0,
+            mode: EngineMode::default(),
+        }
+    }
+
+    /// Routes this classifier's predictions through the selected engine.
+    ///
+    /// `blocked` (the serving default elsewhere) recompiles the flat
+    /// tables into the branchless arena — with `quantized` opting into
+    /// the `f32` threshold tables; `flat` restores the depth-first walk.
+    /// The recursive models are train-time only: artifacts carry the
+    /// flattened tables, so there is nothing recursive left to serve.
+    pub fn select_engine(&mut self, opts: &EngineOpts) -> Result<(), String> {
+        match opts.kind {
+            EngineKind::Recursive => Err(
+                "the recursive engine is train-time only; artifacts carry flattened tables \
+                 (choose flat or blocked)"
+                    .into(),
+            ),
+            EngineKind::Flat => {
+                self.mode = EngineMode::Flat;
+                Ok(())
+            }
+            EngineKind::Blocked => {
+                self.mode = EngineMode::Blocked(Arc::new(BlockedForest::compile(
+                    &self.engine,
+                    opts.exactness(),
+                )));
+                Ok(())
+            }
+        }
+    }
+
+    /// Label of the engine currently serving predictions
+    /// (`flat`, `blocked`, or `blocked+quantized`).
+    pub fn engine_label(&self) -> String {
+        match &self.mode {
+            EngineMode::Flat => "flat".into(),
+            EngineMode::Blocked(b) => match b.exactness() {
+                libra_infer::Exactness::Exact => "blocked".into(),
+                libra_infer::Exactness::Quantized => "blocked+quantized".into(),
+            },
+        }
+    }
+
+    /// Per-class vote shares for one feature row on the selected engine
+    /// (BA, RA, NA in class-index order).
+    pub fn predict_proba_one(&self, row: &[f64]) -> Vec<f64> {
+        match &self.mode {
+            EngineMode::Flat => self.engine.predict_proba_one(row),
+            EngineMode::Blocked(b) => b.predict_proba_one(row),
         }
     }
 
@@ -195,7 +268,7 @@ impl LibraClassifier {
                 gated: true,
             };
         }
-        let probs = self.engine.predict_proba_one(&features.to_row());
+        let probs = self.predict_proba_one(&features.to_row());
         let (idx, &p) = probs
             .iter()
             .enumerate()
@@ -241,13 +314,6 @@ impl LibraClassifier {
         &self.engine
     }
 
-    /// Batch-classifies every row of a dataset view on the compiled
-    /// engine — the zero-copy serving path: rows are borrowed slices of
-    /// the backing frame and `out` is reused across calls.
-    pub fn predict_batch_view(&self, data: &libra_ml::FrameView<'_>, out: &mut Vec<usize>) {
-        self.engine.predict_batch_view(data, out);
-    }
-
     /// Gini importances of the compiled forest (Table 3).
     pub fn feature_importances(&self) -> &[f64] {
         self.engine.feature_importances()
@@ -264,6 +330,25 @@ impl LibraClassifier {
     /// Loads a model previously written by [`LibraClassifier::save`].
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, libra_util::binser::Error> {
         libra_util::binser::read_file(path)
+    }
+}
+
+impl Classifier for LibraClassifier {
+    fn predict_one(&self, row: &[f64]) -> usize {
+        match &self.mode {
+            EngineMode::Flat => self.engine.predict_one(row),
+            EngineMode::Blocked(b) => b.predict_one(row),
+        }
+    }
+
+    /// Batch-classifies every row of a frame view on the selected
+    /// engine — the zero-copy serving path: rows are borrowed slices of
+    /// the backing frame and `out` is reused across calls.
+    fn predict_batch_into(&self, data: &libra_ml::FrameView<'_>, out: &mut Vec<usize>) {
+        match &self.mode {
+            EngineMode::Flat => self.engine.predict_batch_into(data, out),
+            EngineMode::Blocked(b) => b.predict_batch_into(data, out),
+        }
     }
 }
 
@@ -410,6 +495,47 @@ mod tests {
             }
         }
         assert_eq!(clf.feature_importances(), forest.feature_importances());
+    }
+
+    #[test]
+    fn engine_selection_switches_modes_and_rejects_recursive() {
+        use libra_ml::Classifier;
+
+        let data = tiny_3class();
+        let mut rng = rng_from_seed(11);
+        let mut clf = LibraClassifier::train(&data, &mut rng);
+        assert_eq!(clf.engine_label(), "flat");
+
+        // Recursive is train-time only: artifacts carry flattened tables.
+        let recursive = EngineOpts::new(libra_infer::EngineKind::Recursive, false);
+        let err = clf.select_engine(&recursive.unwrap()).unwrap_err();
+        assert!(err.contains("train-time only"), "got: {err}");
+        assert_eq!(
+            clf.engine_label(),
+            "flat",
+            "failed selection must not switch"
+        );
+
+        // Blocked exact is bitwise identical to flat on every row.
+        let flat_preds = clf.predict_view(&data.view());
+        clf.select_engine(&EngineOpts::default()).unwrap();
+        assert_eq!(clf.engine_label(), "blocked");
+        assert_eq!(clf.predict_view(&data.view()), flat_preds);
+        for row in data.rows() {
+            let (f, b) = (
+                clf.engine().predict_proba_one(row),
+                clf.predict_proba_one(row),
+            );
+            assert_eq!(f.len(), b.len());
+            for (a, b) in f.iter().zip(b.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // Quantized is an explicit opt-in and labels itself as such.
+        let quant = EngineOpts::new(libra_infer::EngineKind::Blocked, true).unwrap();
+        clf.select_engine(&quant).unwrap();
+        assert_eq!(clf.engine_label(), "blocked+quantized");
     }
 
     #[test]

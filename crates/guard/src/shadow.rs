@@ -15,6 +15,7 @@
 //! without an offline regret evaluation first.
 
 use libra_dataset::{Action3, FEATURE_NAMES};
+use libra_ml::Classifier;
 use libra_obs as obs;
 use libra_serve::{DecisionRequest, DecisionResponse, ServedModel};
 use libra_util::frame::FeatureFrame;
@@ -81,7 +82,7 @@ pub fn shadow_eval(
     if !live_actions.is_empty() {
         candidate
             .classifier
-            .predict_batch_view(&frame.view(), &mut classes);
+            .predict_batch_into(&frame.view(), &mut classes);
     }
 
     let mut matrix = [[0u64; 3]; 3];

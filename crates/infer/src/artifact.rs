@@ -183,10 +183,10 @@ impl libra_ml::Classifier for ModelPayload {
             ModelPayload::Gbdt(m) => m.predict_one(row),
         }
     }
-    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+    fn predict_batch_into(&self, data: &libra_ml::FrameView<'_>, out: &mut Vec<usize>) {
         match self {
-            ModelPayload::Forest(m) => m.predict_batch(rows),
-            ModelPayload::Gbdt(m) => m.predict_batch(rows),
+            ModelPayload::Forest(m) => m.predict_batch_into(data, out),
+            ModelPayload::Gbdt(m) => m.predict_batch_into(data, out),
         }
     }
 }

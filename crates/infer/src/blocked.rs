@@ -1,0 +1,576 @@
+//! Breadth-first blocked tree arenas: the branchless inference engines.
+//!
+//! A [`BlockedForest`] / [`BlockedGbdt`] is recompiled from the flat
+//! struct-of-arrays tables into one arena per ensemble, re-ordered
+//! breadth-first so a level's nodes sit contiguously, with children
+//! interleaved (`kids[2i]` / `kids[2i+1]`) for arithmetic child
+//! selection and leaves self-looping so level-synchronous evaluation of
+//! uneven trees needs no per-row bounds logic. Batches run through the
+//! [`crate::kernel`] block kernels ([`crate::kernel::BLOCK`] rows at a
+//! time); single rows use the same branchless step.
+//!
+//! The [`Exactness::Exact`] tables keep `f64` thresholds and are
+//! **bitwise identical** to the recursive models (and therefore to the
+//! flat engines): same leaf values, same accumulation order, same
+//! division, same argmax tie-breaking. [`Exactness::Quantized`] stores
+//! node thresholds as `f32` and compares in `f32` — an explicit opt-in
+//! that may flip predictions only for feature values lying between a
+//! threshold and its `f32` rounding.
+
+use crate::engine::Exactness;
+use crate::flat::{FlatForest, FlatGbdt, LEAF};
+use crate::kernel::{self, argmax};
+use libra_ml::{Classifier, FrameView};
+use libra_obs as obs;
+
+/// One ensemble's breadth-first node arena.
+///
+/// Shared by the forest and GBDT engines: per-tree roots and depth
+/// bounds plus flat per-node tables. `kids` holds two entries per node;
+/// leaves point both at themselves.
+#[derive(Debug, Clone, Default)]
+struct Arena {
+    roots: Vec<u32>,
+    steps: Vec<u32>,
+    feature: Vec<u32>,
+    thr: Vec<f64>,
+    thr_q: Vec<f32>,
+    kids: Vec<u32>,
+}
+
+impl Arena {
+    /// Appends one tree in BFS order. `is_leaf`/`split` describe the
+    /// source node table; `on_node` is called once per emitted node in
+    /// arena order with `(arena_index, source_index)` so the caller can
+    /// record per-node payloads (`source_index == usize::MAX` marks a
+    /// split). The tree's root and step bound land on `roots`/`steps`.
+    fn push_tree(
+        &mut self,
+        n_nodes: usize,
+        is_leaf: impl Fn(usize) -> bool,
+        split: impl Fn(usize) -> (u32, f64, u32, u32),
+        mut on_node: impl FnMut(u32, usize),
+    ) {
+        let base = self.feature.len() as u32;
+        let mut order = Vec::with_capacity(n_nodes);
+        let mut newidx = vec![u32::MAX; n_nodes];
+        newidx[0] = 0;
+        order.push(0usize);
+        let mut depth = 0u32;
+        let mut frontier = vec![0usize];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &o in &frontier {
+                if !is_leaf(o) {
+                    let (_, _, l, r) = split(o);
+                    for child in [l as usize, r as usize] {
+                        newidx[child] = order.len() as u32;
+                        order.push(child);
+                        next.push(child);
+                    }
+                }
+            }
+            if !next.is_empty() {
+                depth += 1;
+            }
+            frontier = next;
+        }
+        for &o in &order {
+            let me = base + newidx[o];
+            if is_leaf(o) {
+                self.feature.push(0);
+                self.thr.push(0.0);
+                self.kids.push(me);
+                self.kids.push(me);
+                on_node(me, o);
+            } else {
+                let (f, t, l, r) = split(o);
+                self.feature.push(f);
+                self.thr.push(t);
+                self.kids.push(base + newidx[l as usize]);
+                self.kids.push(base + newidx[r as usize]);
+                on_node(me, usize::MAX); // split marker: callers push a 0 payload
+            }
+        }
+        self.roots.push(base);
+        self.steps.push(depth);
+    }
+
+    fn quantize(&mut self) {
+        self.thr_q = self.thr.iter().map(|&t| t as f32).collect();
+    }
+}
+
+/// A random forest recompiled for branchless blocked evaluation.
+///
+/// Built from a [`FlatForest`] via [`BlockedForest::compile`]; the
+/// exact tables predict bitwise identically to both the flat engine and
+/// the recursive forest.
+#[derive(Debug, Clone)]
+pub struct BlockedForest {
+    pub(crate) n_classes: usize,
+    pub(crate) n_features: usize,
+    pub(crate) exactness: Exactness,
+    pub(crate) roots: Vec<u32>,
+    pub(crate) steps: Vec<u32>,
+    pub(crate) feature: Vec<u32>,
+    pub(crate) thr: Vec<f64>,
+    pub(crate) thr_q: Vec<f32>,
+    pub(crate) kids: Vec<u32>,
+    /// Per node: leaf-probability block id (leaves) or 0 (splits).
+    pub(crate) payload: Vec<u32>,
+    /// Concatenated leaf class distributions, `n_leaves × n_classes`.
+    pub(crate) leaf_probs: Vec<f64>,
+}
+
+impl BlockedForest {
+    /// Recompiles a flat forest into the breadth-first blocked arena.
+    pub fn compile(flat: &FlatForest, exactness: Exactness) -> Self {
+        let n_classes = flat.n_classes();
+        let mut arena = Arena::default();
+        let mut payload = Vec::new();
+        let mut leaf_probs = Vec::new();
+        for tree in flat.flat_trees() {
+            arena.push_tree(
+                tree.feature.len(),
+                |o| tree.feature[o] == LEAF,
+                |o| {
+                    (
+                        tree.feature[o],
+                        tree.threshold[o],
+                        tree.left[o],
+                        tree.right[o],
+                    )
+                },
+                |_, o| {
+                    if o == usize::MAX {
+                        payload.push(0);
+                    } else {
+                        let leaf_id = (leaf_probs.len() / n_classes) as u32;
+                        let at = tree.left[o] as usize * n_classes;
+                        leaf_probs.extend_from_slice(&tree.leaf_probs[at..at + n_classes]);
+                        payload.push(leaf_id);
+                    }
+                },
+            );
+        }
+        if exactness == Exactness::Quantized {
+            arena.quantize();
+        }
+        Self {
+            n_classes,
+            n_features: flat.n_features(),
+            exactness,
+            roots: arena.roots,
+            steps: arena.steps,
+            feature: arena.feature,
+            thr: arena.thr,
+            thr_q: arena.thr_q,
+            kids: arena.kids,
+            payload,
+            leaf_probs,
+        }
+    }
+
+    /// Mean class-probability vote for one row, written into `out`
+    /// (length `n_classes`).
+    pub fn predict_proba_into(&self, row: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.n_classes, "output buffer arity");
+        out.fill(0.0);
+        for t in 0..self.roots.len() {
+            let leaf = self.walk(t, row);
+            let block = self.payload[leaf] as usize * self.n_classes;
+            for (p, q) in out
+                .iter_mut()
+                .zip(&self.leaf_probs[block..block + self.n_classes])
+            {
+                *p += q;
+            }
+        }
+        if self.roots.len() > 1 {
+            let n = self.roots.len() as f64;
+            for p in out.iter_mut() {
+                *p /= n;
+            }
+        }
+    }
+
+    /// Mean class-probability vote (allocating wrapper).
+    pub fn predict_proba_one(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_classes];
+        self.predict_proba_into(row, &mut out);
+        out
+    }
+
+    /// Branchless single-row walk of tree `t` to its leaf's arena index.
+    // `!(v <= thr)` keeps NaN routing right, like the recursive compare.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline]
+    fn walk(&self, t: usize, row: &[f64]) -> usize {
+        let mut i = self.roots[t] as usize;
+        let quant = self.exactness == Exactness::Quantized;
+        for _ in 0..self.steps[t] {
+            let v = row[self.feature[i] as usize];
+            let go_right = if quant {
+                !((v as f32) <= self.thr_q[i])
+            } else {
+                !(v <= self.thr[i])
+            };
+            let next = self.kids[2 * i + go_right as usize] as usize;
+            if next == i {
+                break;
+            }
+            i = next;
+        }
+        i
+    }
+
+    /// The numeric contract these tables were compiled under.
+    pub fn exactness(&self) -> Exactness {
+        self.exactness
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of features in the schema.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of member trees.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total node count across the arena.
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+}
+
+impl Classifier for BlockedForest {
+    fn predict_one(&self, row: &[f64]) -> usize {
+        argmax(&self.predict_proba_one(row))
+    }
+
+    fn predict_batch_into(&self, data: &FrameView<'_>, out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(data.len());
+        // Traced and untraced paths split so untraced serving never
+        // reads a clock or touches the collector.
+        if obs::enabled() {
+            obs::counter("infer.serve.batches", 1);
+            obs::record_value("infer.serve.batch_rows", data.len() as u64);
+            let t0 = std::time::Instant::now();
+            kernel::forest_batch(self, data, out);
+            obs::record_wall("infer.serve.batch_ns", t0.elapsed().as_nanos() as u64);
+        } else {
+            kernel::forest_batch(self, data, out);
+        }
+    }
+}
+
+/// A gradient-boosted classifier recompiled for branchless blocked
+/// evaluation. Exact tables are bitwise identical to [`FlatGbdt`].
+#[derive(Debug, Clone)]
+pub struct BlockedGbdt {
+    pub(crate) n_classes: usize,
+    pub(crate) n_features: usize,
+    pub(crate) learning_rate: f64,
+    pub(crate) exactness: Exactness,
+    /// Per booster: base score.
+    pub(crate) bases: Vec<f64>,
+    /// Per booster: `[start, end)` tree range into `roots`/`steps`.
+    pub(crate) booster_trees: Vec<(u32, u32)>,
+    pub(crate) roots: Vec<u32>,
+    pub(crate) steps: Vec<u32>,
+    pub(crate) feature: Vec<u32>,
+    pub(crate) thr: Vec<f64>,
+    pub(crate) thr_q: Vec<f32>,
+    pub(crate) kids: Vec<u32>,
+    /// Per node: regression leaf value (0.0 at splits).
+    pub(crate) value: Vec<f64>,
+}
+
+impl BlockedGbdt {
+    /// Recompiles a flat GBDT into the breadth-first blocked arena.
+    pub fn compile(flat: &FlatGbdt, exactness: Exactness) -> Self {
+        let mut arena = Arena::default();
+        let mut value = Vec::new();
+        let mut bases = Vec::new();
+        let mut booster_trees = Vec::new();
+        for (base, trees) in flat.flat_boosters() {
+            let start = arena.roots.len() as u32;
+            for tree in trees {
+                arena.push_tree(
+                    tree.feature.len(),
+                    |o| tree.feature[o] == LEAF,
+                    |o| {
+                        (
+                            tree.feature[o],
+                            tree.threshold[o],
+                            tree.left[o],
+                            tree.right[o],
+                        )
+                    },
+                    |_, o| {
+                        if o == usize::MAX {
+                            value.push(0.0);
+                        } else {
+                            value.push(tree.value[o]);
+                        }
+                    },
+                );
+            }
+            bases.push(*base);
+            booster_trees.push((start, arena.roots.len() as u32));
+        }
+        if exactness == Exactness::Quantized {
+            arena.quantize();
+        }
+        Self {
+            n_classes: flat.n_classes(),
+            n_features: flat.n_features(),
+            learning_rate: flat.learning_rate(),
+            exactness,
+            bases,
+            booster_trees,
+            roots: arena.roots,
+            steps: arena.steps,
+            feature: arena.feature,
+            thr: arena.thr,
+            thr_q: arena.thr_q,
+            kids: arena.kids,
+            value,
+        }
+    }
+
+    /// Per-class raw scores (log-odds) for one row, written into `out`.
+    pub fn decision_scores_into(&self, row: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.bases.len(), "output buffer arity");
+        for (b, slot) in out.iter_mut().enumerate() {
+            let (t0, t1) = self.booster_trees[b];
+            let mut sum = 0.0f64;
+            for t in t0 as usize..t1 as usize {
+                let leaf = self.walk(t, row);
+                sum += self.value[leaf];
+            }
+            *slot = self.bases[b] + self.learning_rate * sum;
+        }
+    }
+
+    /// Per-class raw scores (allocating wrapper).
+    pub fn decision_scores(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.bases.len()];
+        self.decision_scores_into(row, &mut out);
+        out
+    }
+
+    // `!(v <= thr)` keeps NaN routing right, like the recursive compare.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline]
+    fn walk(&self, t: usize, row: &[f64]) -> usize {
+        let mut i = self.roots[t] as usize;
+        let quant = self.exactness == Exactness::Quantized;
+        for _ in 0..self.steps[t] {
+            let v = row[self.feature[i] as usize];
+            let go_right = if quant {
+                !((v as f32) <= self.thr_q[i])
+            } else {
+                !(v <= self.thr[i])
+            };
+            let next = self.kids[2 * i + go_right as usize] as usize;
+            if next == i {
+                break;
+            }
+            i = next;
+        }
+        i
+    }
+
+    /// The numeric contract these tables were compiled under.
+    pub fn exactness(&self) -> Exactness {
+        self.exactness
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of features in the schema.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Total node count across the arena.
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+}
+
+impl Classifier for BlockedGbdt {
+    fn predict_one(&self, row: &[f64]) -> usize {
+        argmax(&self.decision_scores(row))
+    }
+
+    fn predict_batch_into(&self, data: &FrameView<'_>, out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(data.len());
+        if obs::enabled() {
+            obs::counter("infer.serve.batches", 1);
+            obs::record_value("infer.serve.batch_rows", data.len() as u64);
+            let t0 = std::time::Instant::now();
+            kernel::gbdt_batch(self, data, out);
+            obs::record_wall("infer.serve.batch_ns", t0.elapsed().as_nanos() as u64);
+        } else {
+            kernel::gbdt_batch(self, data, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_ml::{Dataset, ForestConfig, GbdtClassifier, GbdtConfig, RandomForest};
+    use libra_util::rng::rng_from_seed;
+
+    fn blobs(n: usize, seed: u64, n_classes: usize) -> Dataset {
+        let mut rng = rng_from_seed(seed);
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % n_classes;
+            features.push(vec![
+                c as f64 * 3.0 + libra_util::rng::standard_normal(&mut rng),
+                libra_util::rng::standard_normal(&mut rng),
+            ]);
+            labels.push(c);
+        }
+        Dataset::new(features, labels, n_classes, vec!["x".into(), "y".into()])
+    }
+
+    #[test]
+    fn forest_blocked_matches_flat_and_recursive_bitwise() {
+        let data = blobs(150, 21, 3);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 11,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(22);
+        rf.fit(&data, &mut rng);
+        let flat = FlatForest::compile(&rf);
+        let blocked = BlockedForest::compile(&flat, Exactness::Exact);
+        assert_eq!(blocked.n_trees(), flat.n_trees());
+        assert_eq!(blocked.n_nodes(), flat.n_nodes());
+        for row in data.rows() {
+            let (bp, rp) = (blocked.predict_proba_one(row), rf.predict_proba_one(row));
+            for (a, b) in bp.iter().zip(rp.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(blocked.predict_one(row), rf.predict_one(row));
+        }
+        // Batch (kernel) path agrees with the per-row walk, including
+        // a ragged tail (150 % BLOCK != 0).
+        let per_row: Vec<usize> = data.rows().map(|r| rf.predict_one(r)).collect();
+        assert_eq!(blocked.predict_view(&data.view()), per_row);
+    }
+
+    #[test]
+    fn gbdt_blocked_matches_flat_and_recursive_bitwise() {
+        let data = blobs(120, 23, 3);
+        let mut g = GbdtClassifier::new(GbdtConfig {
+            n_rounds: 10,
+            ..Default::default()
+        });
+        g.fit(&data);
+        let flat = FlatGbdt::compile(&g, 2);
+        let blocked = BlockedGbdt::compile(&flat, Exactness::Exact);
+        assert_eq!(blocked.n_nodes(), flat.n_nodes());
+        for row in data.rows() {
+            let (bs, gs) = (blocked.decision_scores(row), g.decision_scores(row));
+            for (a, b) in bs.iter().zip(gs.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(blocked.predict_one(row), g.predict_one(row));
+        }
+        let per_row: Vec<usize> = data.rows().map(|r| g.predict_one(r)).collect();
+        assert_eq!(blocked.predict_view(&data.view()), per_row);
+    }
+
+    #[test]
+    fn blocked_batch_handles_selected_views_and_tails() {
+        let data = blobs(100, 25, 2);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 7,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(26);
+        rf.fit(&data, &mut rng);
+        let blocked = BlockedForest::compile(&FlatForest::compile(&rf), Exactness::Exact);
+        for k in [1usize, 15, 16, 17, 33, 37, 100] {
+            let sel: Vec<usize> = (0..k).map(|i| (i * 7) % 100).collect();
+            let view = data.select(&sel);
+            let per_row: Vec<usize> = sel.iter().map(|&i| rf.predict_one(data.row(i))).collect();
+            assert_eq!(blocked.predict_view(&view), per_row);
+        }
+    }
+
+    #[test]
+    fn quantized_diverges_only_near_thresholds() {
+        let data = blobs(200, 27, 3);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 9,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(28);
+        rf.fit(&data, &mut rng);
+        let flat = FlatForest::compile(&rf);
+        let exact = BlockedForest::compile(&flat, Exactness::Exact);
+        let quant = BlockedForest::compile(&flat, Exactness::Quantized);
+        assert_eq!(quant.exactness(), Exactness::Quantized);
+        for row in data.rows() {
+            // A row where every split compares identically under f32
+            // must predict identically; others may legitimately differ.
+            let safe = flat
+                .split_nodes()
+                .all(|(f, thr)| (row[f] <= thr) == ((row[f] as f32) <= (thr as f32)));
+            if safe {
+                assert_eq!(quant.predict_one(row), exact.predict_one(row));
+            }
+        }
+        let n = data.len();
+        let diverged = quant
+            .predict_view(&data.view())
+            .iter()
+            .zip(exact.predict_view(&data.view()))
+            .filter(|(a, b)| **a != *b)
+            .count();
+        assert!(diverged <= n / 10, "quantized diverged on {diverged}/{n}");
+    }
+
+    #[test]
+    fn stump_forest_compiles_to_self_looping_leaf() {
+        // A forest whose trees are single leaves exercises steps == 0.
+        let data = Dataset::new(
+            vec![vec![0.0], vec![0.1], vec![0.2]],
+            vec![1, 1, 1],
+            2,
+            vec!["x".into()],
+        );
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 3,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(30);
+        rf.fit(&data, &mut rng);
+        let blocked = BlockedForest::compile(&FlatForest::compile(&rf), Exactness::Exact);
+        for row in data.rows() {
+            assert_eq!(blocked.predict_one(row), rf.predict_one(row));
+        }
+        assert_eq!(blocked.predict_view(&data.view()), vec![1, 1, 1]);
+    }
+}

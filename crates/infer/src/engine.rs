@@ -1,0 +1,160 @@
+//! Engine selection: which compiled inference path serves predictions.
+//!
+//! The redesigned engine API exposes three execution strategies behind
+//! one [`libra_ml::Classifier`] surface:
+//!
+//! * **recursive** — the pointer-chasing `libra-ml` models themselves.
+//!   Train-time only: artifacts carry the flattened tables, so the
+//!   recursive engine exists for reference benchmarks, not serving.
+//! * **flat** — the struct-of-arrays [`crate::FlatForest`] /
+//!   [`crate::FlatGbdt`] tables with a per-row depth-first walk.
+//! * **blocked** — the same tables recompiled into a breadth-first
+//!   arena ([`crate::BlockedForest`] / [`crate::BlockedGbdt`]) evaluated
+//!   level-by-level over row blocks with branchless child selection.
+//!
+//! ## Exactness contract
+//!
+//! [`Exactness::Exact`] keeps every threshold in `f64` and reproduces
+//! the recursive models **bitwise**: identical leaf values, identical
+//! accumulation order, identical tie-breaking. Property tests enforce
+//! it, so routing serving through a different exact engine can never
+//! move a response digest. [`Exactness::Quantized`] stores node
+//! thresholds as `f32` (half the hot traversal bytes) and compares
+//! feature values in `f32`; a prediction can differ from the exact path
+//! only on rows where some feature value and a threshold are closer
+//! than the `f32` rounding of that threshold — an explicit opt-in.
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric contract of a compiled engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Exactness {
+    /// `f64` thresholds; bitwise identical to the recursive models.
+    #[default]
+    Exact,
+    /// `f32` node thresholds, `f32` compares: smaller and faster,
+    /// allowed to diverge on threshold-adjacent feature values.
+    Quantized,
+}
+
+impl Exactness {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Exactness::Exact => "exact",
+            Exactness::Quantized => "quantized",
+        }
+    }
+}
+
+/// Which execution engine serves predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The recursive `libra-ml` model (reference; train-time only).
+    Recursive,
+    /// Struct-of-arrays tables, per-row depth-first walk.
+    Flat,
+    /// Breadth-first blocked arena, branchless level-synchronous walk.
+    #[default]
+    Blocked,
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "recursive" => Ok(EngineKind::Recursive),
+            "flat" => Ok(EngineKind::Flat),
+            "blocked" => Ok(EngineKind::Blocked),
+            other => Err(format!(
+                "unknown engine `{other}` (expected recursive, flat, or blocked)"
+            )),
+        }
+    }
+}
+
+impl EngineKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Recursive => "recursive",
+            EngineKind::Flat => "flat",
+            EngineKind::Blocked => "blocked",
+        }
+    }
+}
+
+/// Resolved engine selection, shared by `libractl predict`/`serve` and
+/// `experiments inferbench`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineOpts {
+    /// The engine to route predictions through.
+    pub kind: EngineKind,
+    /// Opt into the `f32`-quantized node tables (blocked engine only).
+    pub quantized: bool,
+}
+
+impl EngineOpts {
+    /// Validates a `(kind, quantized)` pair: quantized tables exist
+    /// only for the blocked engine.
+    pub fn new(kind: EngineKind, quantized: bool) -> Result<Self, String> {
+        if quantized && kind != EngineKind::Blocked {
+            return Err("--quantized requires --engine blocked".into());
+        }
+        Ok(Self { kind, quantized })
+    }
+
+    /// The exactness the selection implies.
+    pub fn exactness(&self) -> Exactness {
+        if self.quantized {
+            Exactness::Quantized
+        } else {
+            Exactness::Exact
+        }
+    }
+
+    /// Report label, e.g. `blocked` or `blocked+quantized`.
+    pub fn label(&self) -> String {
+        if self.quantized {
+            format!("{}+quantized", self.kind.label())
+        } else {
+            self.kind.label().to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parses_and_rejects() {
+        assert_eq!("flat".parse::<EngineKind>().unwrap(), EngineKind::Flat);
+        assert_eq!(
+            "blocked".parse::<EngineKind>().unwrap(),
+            EngineKind::Blocked
+        );
+        assert_eq!(
+            "recursive".parse::<EngineKind>().unwrap(),
+            EngineKind::Recursive
+        );
+        assert!("fast".parse::<EngineKind>().is_err());
+    }
+
+    #[test]
+    fn quantized_requires_blocked() {
+        assert!(EngineOpts::new(EngineKind::Flat, true).is_err());
+        assert!(EngineOpts::new(EngineKind::Recursive, true).is_err());
+        let opts = EngineOpts::new(EngineKind::Blocked, true).unwrap();
+        assert_eq!(opts.exactness(), Exactness::Quantized);
+        assert_eq!(opts.label(), "blocked+quantized");
+    }
+
+    #[test]
+    fn default_is_blocked_exact() {
+        let opts = EngineOpts::default();
+        assert_eq!(opts.kind, EngineKind::Blocked);
+        assert_eq!(opts.exactness(), Exactness::Exact);
+        assert_eq!(opts.label(), "blocked");
+    }
+}

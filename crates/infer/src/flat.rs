@@ -1,4 +1,4 @@
-//! Flattened tree ensembles: the hot inference path.
+//! Flattened tree ensembles: struct-of-arrays node tables.
 //!
 //! `libra-ml` trees are recursive `Box<Node>` structures — ideal for
 //! fitting, terrible for serving: every split is a pointer chase to a
@@ -6,7 +6,16 @@
 //! vector per tree. The flattened engines here compile an ensemble once
 //! into contiguous struct-of-arrays node tables (feature index,
 //! threshold, left/right, leaf blocks), then serve batches with zero
-//! allocations per row.
+//! allocations per row. The [`crate::blocked`] engines recompile these
+//! tables further into breadth-first arenas for branchless blocked
+//! evaluation.
+//!
+//! **One predict surface.** Since the engine-API redesign the only
+//! prediction entry points are the [`Classifier`] trait methods
+//! (`predict_one` / `predict_view` / `predict_batch_into` over
+//! [`FrameView`]); the former inherent `predict_batch`-style duplicates
+//! over `&[Vec<f64>]` are gone. Probability/score inspection keeps the
+//! inherent `predict_proba_*` / `decision_scores_*` methods.
 //!
 //! **Bitwise identity.** The engines reproduce the recursive
 //! implementations exactly, not approximately: leaf probabilities are
@@ -15,21 +24,14 @@
 //! (`Iterator::max_by` keeps the *last* maximal element). Property tests
 //! in `tests/props.rs` enforce this for randomly generated forests.
 
+use crate::kernel::argmax;
 use libra_ml::tree::DumpNode;
 use libra_ml::{Classifier, DumpRegNode, FrameView, GbdtClassifier, RandomForest};
 use libra_obs as obs;
 use serde::{Deserialize, Serialize};
 
 /// Sentinel feature index marking a leaf node.
-const LEAF: u32 = u32::MAX;
-
-fn argmax(xs: &[f64]) -> usize {
-    xs.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
-        .map(|(i, _)| i)
-        .expect("non-empty")
-}
+pub(crate) const LEAF: u32 = u32::MAX;
 
 /// One classification tree in struct-of-arrays form.
 ///
@@ -38,17 +40,17 @@ fn argmax(xs: &[f64]) -> usize {
 /// `row[feature[i]] <= threshold[i]` descends to `left[i]`, else
 /// `right[i]`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct FlatTree {
-    feature: Vec<u32>,
-    threshold: Vec<f64>,
-    left: Vec<u32>,
-    right: Vec<u32>,
+pub(crate) struct FlatTree {
+    pub(crate) feature: Vec<u32>,
+    pub(crate) threshold: Vec<f64>,
+    pub(crate) left: Vec<u32>,
+    pub(crate) right: Vec<u32>,
     /// Leaf class distributions, `n_leaves × n_classes`, contiguous.
-    leaf_probs: Vec<f64>,
+    pub(crate) leaf_probs: Vec<f64>,
 }
 
 impl FlatTree {
-    fn from_dump(dump: &[DumpNode], n_classes: usize) -> Self {
+    pub(crate) fn from_dump(dump: &[DumpNode], n_classes: usize) -> Self {
         assert!(!dump.is_empty(), "empty tree dump");
         assert!(n_classes >= 1, "tree must have at least one class");
         let mut t = Self {
@@ -118,7 +120,7 @@ impl FlatTree {
         if n == 0 || self.threshold.len() != n || self.left.len() != n || self.right.len() != n {
             return Err("inconsistent node table lengths".into());
         }
-        if n_classes == 0 || self.leaf_probs.len() % n_classes != 0 {
+        if n_classes == 0 || !self.leaf_probs.len().is_multiple_of(n_classes) {
             return Err("leaf block not a multiple of n_classes".into());
         }
         let n_leaves = (self.leaf_probs.len() / n_classes) as u32;
@@ -149,16 +151,16 @@ impl FlatTree {
 /// A random forest compiled for serving.
 ///
 /// Compiled once from a fitted [`RandomForest`] via [`FlatForest::compile`];
-/// prediction is bitwise identical to the recursive forest, and
-/// [`FlatForest::predict_batch_into`] serves whole batches without
-/// allocating per row.
+/// prediction is bitwise identical to the recursive forest, and the
+/// [`Classifier::predict_batch_into`] batch path serves whole frame
+/// views without allocating per row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlatForest {
-    n_classes: usize,
-    n_features: usize,
-    trees: Vec<FlatTree>,
+    pub(crate) n_classes: usize,
+    pub(crate) n_features: usize,
+    pub(crate) trees: Vec<FlatTree>,
     /// Gini importances carried over from the fitted forest (Table 3).
-    importances: Vec<f64>,
+    pub(crate) importances: Vec<f64>,
 }
 
 impl FlatForest {
@@ -180,8 +182,18 @@ impl FlatForest {
         }
     }
 
+    /// The compiled per-tree tables (blocked-engine recompilation).
+    pub(crate) fn flat_trees(&self) -> &[FlatTree] {
+        &self.trees
+    }
+
     /// Mean class-probability vote over all trees, written into `out`
     /// (length `n_classes`) — the allocation-free core.
+    ///
+    /// The trailing normalization is the recursive forest's per-element
+    /// `f64` division (a reciprocal multiply is *not* bitwise identical
+    /// for tree counts that are not powers of two); single-tree forests
+    /// skip it entirely, since `x / 1.0` is the identity.
     pub fn predict_proba_into(&self, row: &[f64], out: &mut [f64]) {
         assert_eq!(out.len(), self.n_classes, "output buffer arity");
         out.fill(0.0);
@@ -191,9 +203,11 @@ impl FlatForest {
                 *p += q;
             }
         }
-        let n = self.trees.len() as f64;
-        for p in out.iter_mut() {
-            *p /= n;
+        if self.trees.len() > 1 {
+            let n = self.trees.len() as f64;
+            for p in out.iter_mut() {
+                *p /= n;
+            }
         }
     }
 
@@ -204,54 +218,17 @@ impl FlatForest {
         out
     }
 
-    /// Predicted class for one row (soft vote).
-    pub fn predict_one(&self, row: &[f64]) -> usize {
-        argmax(&self.predict_proba_one(row))
-    }
-
-    /// Predicts a whole batch into `out`, reusing one scratch buffer —
-    /// no allocation per row.
-    pub fn predict_batch_into(&self, rows: &[Vec<f64>], out: &mut Vec<usize>) {
-        out.clear();
-        out.reserve(rows.len());
-        let mut probs = vec![0.0; self.n_classes];
-        for row in rows {
-            self.predict_proba_into(row, &mut probs);
-            out.push(argmax(&probs));
-        }
-    }
-
-    /// Predicts a whole batch (allocating wrapper).
-    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        let mut out = Vec::new();
-        self.predict_batch_into(rows, &mut out);
-        out
-    }
-
-    /// Predicts every row of a columnar frame view into `out`, reusing
-    /// one scratch buffer — rows are borrowed slices of the backing
-    /// frame, so serving allocates nothing per row.
-    pub fn predict_batch_view(&self, data: &FrameView<'_>, out: &mut Vec<usize>) {
-        out.clear();
-        out.reserve(data.len());
-        let mut probs = vec![0.0; self.n_classes];
-        // The traced loop is split out so the untraced serving path never
-        // reads a clock or touches the collector.
-        if obs::enabled() {
-            obs::counter("infer.serve.batches", 1);
-            obs::record_value("infer.serve.batch_rows", data.len() as u64);
-            for row in data.rows() {
-                let t0 = std::time::Instant::now();
-                self.predict_proba_into(row, &mut probs);
-                out.push(argmax(&probs));
-                obs::record_wall("infer.serve.row_ns", t0.elapsed().as_nanos() as u64);
-            }
-        } else {
-            for row in data.rows() {
-                self.predict_proba_into(row, &mut probs);
-                out.push(argmax(&probs));
-            }
-        }
+    /// Iterates `(feature, threshold)` over every split node — model
+    /// inspection for diagnostics and for bounding where the quantized
+    /// blocked tables may diverge from the exact path.
+    pub fn split_nodes(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.trees.iter().flat_map(|t| {
+            t.feature
+                .iter()
+                .zip(&t.threshold)
+                .filter(|(&f, _)| f != LEAF)
+                .map(|(&f, &thr)| (f as usize, thr))
+        })
     }
 
     /// Number of classes.
@@ -297,25 +274,45 @@ impl FlatForest {
 
 impl Classifier for FlatForest {
     fn predict_one(&self, row: &[f64]) -> usize {
-        FlatForest::predict_one(self, row)
+        argmax(&self.predict_proba_one(row))
     }
-    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        FlatForest::predict_batch(self, rows)
-    }
+
+    /// Batch prediction over a frame view: one scratch probability
+    /// buffer (and the hoisted normalization decision) is reused across
+    /// the whole batch, so serving allocates nothing per row.
     fn predict_batch_into(&self, data: &FrameView<'_>, out: &mut Vec<usize>) {
-        self.predict_batch_view(data, out);
+        out.clear();
+        out.reserve(data.len());
+        let mut probs = vec![0.0; self.n_classes];
+        // The traced loop is split out so the untraced serving path never
+        // reads a clock or touches the collector.
+        if obs::enabled() {
+            obs::counter("infer.serve.batches", 1);
+            obs::record_value("infer.serve.batch_rows", data.len() as u64);
+            for row in data.rows() {
+                let t0 = std::time::Instant::now();
+                self.predict_proba_into(row, &mut probs);
+                out.push(argmax(&probs));
+                obs::record_wall("infer.serve.row_ns", t0.elapsed().as_nanos() as u64);
+            }
+        } else {
+            for row in data.rows() {
+                self.predict_proba_into(row, &mut probs);
+                out.push(argmax(&probs));
+            }
+        }
     }
 }
 
 /// One regression tree in struct-of-arrays form (leaf value per node,
 /// valid where `feature[i] == LEAF`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct FlatRegTree {
-    feature: Vec<u32>,
-    threshold: Vec<f64>,
-    left: Vec<u32>,
-    right: Vec<u32>,
-    value: Vec<f64>,
+pub(crate) struct FlatRegTree {
+    pub(crate) feature: Vec<u32>,
+    pub(crate) threshold: Vec<f64>,
+    pub(crate) left: Vec<u32>,
+    pub(crate) right: Vec<u32>,
+    pub(crate) value: Vec<f64>,
 }
 
 impl FlatRegTree {
@@ -407,10 +404,10 @@ impl FlatRegTree {
 /// [`GbdtClassifier`] decision scores and predictions.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlatGbdt {
-    n_classes: usize,
-    n_features: usize,
-    learning_rate: f64,
-    boosters: Vec<(f64, Vec<FlatRegTree>)>,
+    pub(crate) n_classes: usize,
+    pub(crate) n_features: usize,
+    pub(crate) learning_rate: f64,
+    pub(crate) boosters: Vec<(f64, Vec<FlatRegTree>)>,
 }
 
 impl FlatGbdt {
@@ -437,6 +434,11 @@ impl FlatGbdt {
         }
     }
 
+    /// The compiled per-booster tables (blocked-engine recompilation).
+    pub(crate) fn flat_boosters(&self) -> &[(f64, Vec<FlatRegTree>)] {
+        &self.boosters
+    }
+
     /// Per-class raw scores (log-odds) written into `out` (length
     /// `n_classes`) — the allocation-free core.
     pub fn decision_scores_into(&self, row: &[f64], out: &mut [f64]) {
@@ -453,67 +455,6 @@ impl FlatGbdt {
         out
     }
 
-    /// Predicted class for one row.
-    pub fn predict_one(&self, row: &[f64]) -> usize {
-        let scores = self.decision_scores(row);
-        scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .map(|(i, _)| i)
-            .expect("non-empty")
-    }
-
-    /// Predicts a whole batch into `out`, reusing one scratch buffer.
-    pub fn predict_batch_into(&self, rows: &[Vec<f64>], out: &mut Vec<usize>) {
-        out.clear();
-        out.reserve(rows.len());
-        let mut scores = vec![0.0; self.boosters.len()];
-        for row in rows {
-            self.decision_scores_into(row, &mut scores);
-            let best = scores
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                .map(|(i, _)| i)
-                .expect("non-empty");
-            out.push(best);
-        }
-    }
-
-    /// Predicts a whole batch (allocating wrapper).
-    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        let mut out = Vec::new();
-        self.predict_batch_into(rows, &mut out);
-        out
-    }
-
-    /// Predicts every row of a columnar frame view into `out`, reusing
-    /// one scratch buffer — rows are borrowed slices of the backing
-    /// frame, so serving allocates nothing per row.
-    pub fn predict_batch_view(&self, data: &FrameView<'_>, out: &mut Vec<usize>) {
-        out.clear();
-        out.reserve(data.len());
-        let mut scores = vec![0.0; self.boosters.len()];
-        // The traced loop is split out so the untraced serving path never
-        // reads a clock or touches the collector.
-        if obs::enabled() {
-            obs::counter("infer.serve.batches", 1);
-            obs::record_value("infer.serve.batch_rows", data.len() as u64);
-            for row in data.rows() {
-                let t0 = std::time::Instant::now();
-                self.decision_scores_into(row, &mut scores);
-                out.push(argmax(&scores));
-                obs::record_wall("infer.serve.row_ns", t0.elapsed().as_nanos() as u64);
-            }
-        } else {
-            for row in data.rows() {
-                self.decision_scores_into(row, &mut scores);
-                out.push(argmax(&scores));
-            }
-        }
-    }
-
     /// Number of classes.
     pub fn n_classes(&self) -> usize {
         self.n_classes
@@ -522,6 +463,11 @@ impl FlatGbdt {
     /// Number of features in the schema.
     pub fn n_features(&self) -> usize {
         self.n_features
+    }
+
+    /// The shrinkage applied to every tree's contribution.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
     }
 
     /// Number of trees per booster.
@@ -563,13 +509,33 @@ impl FlatGbdt {
 
 impl Classifier for FlatGbdt {
     fn predict_one(&self, row: &[f64]) -> usize {
-        FlatGbdt::predict_one(self, row)
+        argmax(&self.decision_scores(row))
     }
-    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        FlatGbdt::predict_batch(self, rows)
-    }
+
+    /// Batch prediction over a frame view, reusing one score buffer —
+    /// rows are borrowed slices of the backing frame, so serving
+    /// allocates nothing per row.
     fn predict_batch_into(&self, data: &FrameView<'_>, out: &mut Vec<usize>) {
-        self.predict_batch_view(data, out);
+        out.clear();
+        out.reserve(data.len());
+        let mut scores = vec![0.0; self.boosters.len()];
+        // The traced loop is split out so the untraced serving path never
+        // reads a clock or touches the collector.
+        if obs::enabled() {
+            obs::counter("infer.serve.batches", 1);
+            obs::record_value("infer.serve.batch_rows", data.len() as u64);
+            for row in data.rows() {
+                let t0 = std::time::Instant::now();
+                self.decision_scores_into(row, &mut scores);
+                out.push(argmax(&scores));
+                obs::record_wall("infer.serve.row_ns", t0.elapsed().as_nanos() as u64);
+            }
+        } else {
+            for row in data.rows() {
+                self.decision_scores_into(row, &mut scores);
+                out.push(argmax(&scores));
+            }
+        }
     }
 }
 
@@ -609,14 +575,32 @@ mod tests {
             assert_eq!(flat.predict_proba_one(row), rf.predict_proba_one(row));
             assert_eq!(flat.predict_one(row), rf.predict_one(row));
         }
-        let rows = data.to_rows();
-        assert_eq!(flat.predict_batch(&rows), rf.predict(&rows));
-        let mut via_view = Vec::new();
-        flat.predict_batch_view(&data.view(), &mut via_view);
-        assert_eq!(via_view, flat.predict_batch(&rows));
+        let per_row: Vec<usize> = data.rows().map(|r| rf.predict_one(r)).collect();
+        assert_eq!(flat.predict_view(&data.view()), per_row);
         assert_eq!(flat.feature_importances(), rf.feature_importances());
         assert_eq!(flat.n_trees(), rf.n_trees());
         flat.validate().expect("compiled forest validates");
+    }
+
+    #[test]
+    fn single_tree_forest_skips_normalization_bitwise() {
+        // The hoisted normalization must stay bitwise identical to the
+        // recursive forest's `p /= 1.0` on single-tree ensembles.
+        let data = blobs(90, 2, 3);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 1,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(3);
+        rf.fit(&data, &mut rng);
+        let flat = FlatForest::compile(&rf);
+        for row in data.rows() {
+            let (rp, fp) = (rf.predict_proba_one(row), flat.predict_proba_one(row));
+            for (a, b) in rp.iter().zip(fp.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(flat.predict_one(row), rf.predict_one(row));
+        }
     }
 
     #[test]
@@ -632,11 +616,8 @@ mod tests {
             assert_eq!(flat.decision_scores(row), g.decision_scores(row));
             assert_eq!(flat.predict_one(row), g.predict_one(row));
         }
-        let rows = data.to_rows();
-        assert_eq!(flat.predict_batch(&rows), g.predict(&rows));
-        let mut via_view = Vec::new();
-        flat.predict_batch_view(&data.view(), &mut via_view);
-        assert_eq!(via_view, flat.predict_batch(&rows));
+        let per_row: Vec<usize> = data.rows().map(|r| g.predict_one(r)).collect();
+        assert_eq!(flat.predict_view(&data.view()), per_row);
         flat.validate().expect("compiled GBDT validates");
     }
 
@@ -651,12 +632,12 @@ mod tests {
         rf.fit(&data, &mut rng);
         let flat = FlatForest::compile(&rf);
         let mut out = Vec::new();
-        flat.predict_batch_view(&data.view(), &mut out);
+        flat.predict_batch_into(&data.view(), &mut out);
         let per_row: Vec<usize> = data.rows().map(|r| flat.predict_one(r)).collect();
         assert_eq!(out, per_row);
         // Reuse the same output vector for a second, smaller batch.
         let first: Vec<usize> = (0..10).collect();
-        flat.predict_batch_view(&data.select(&first), &mut out);
+        flat.predict_batch_into(&data.select(&first), &mut out);
         assert_eq!(out.len(), 10);
         assert_eq!(out, per_row[..10]);
     }
@@ -684,6 +665,26 @@ mod tests {
         for row in [[f64::NEG_INFINITY], [f64::INFINITY], [0.5], [-1e300]] {
             assert_eq!(flat.predict_one(&row), rf.predict_one(&row));
         }
+    }
+
+    #[test]
+    fn split_nodes_exposes_every_split() {
+        let data = blobs(80, 4, 2);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees: 4,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(5);
+        rf.fit(&data, &mut rng);
+        let flat = FlatForest::compile(&rf);
+        let splits: Vec<(usize, f64)> = flat.split_nodes().collect();
+        let leaves: usize = flat
+            .trees
+            .iter()
+            .map(|t| t.feature.iter().filter(|&&f| f == LEAF).count())
+            .sum();
+        assert_eq!(splits.len() + leaves, flat.n_nodes());
+        assert!(splits.iter().all(|&(f, _)| f < flat.n_features()));
     }
 
     #[test]

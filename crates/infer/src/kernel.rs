@@ -1,0 +1,288 @@
+//! Branchless blocked inference kernels and their runtime dispatch.
+//!
+//! The blocked engines evaluate a tree arena level-by-level over blocks
+//! of [`BLOCK`] rows. Each level step is pure arithmetic — gather the
+//! split feature, compare against the threshold, index into the
+//! interleaved child table — with no data-dependent branches, so the
+//! compiler can vectorize the per-row loop and the CPU never pays a
+//! branch-miss per node. Leaves self-loop (`kids[2i] == kids[2i+1] == i`),
+//! which makes level-synchronous iteration safe for trees of uneven
+//! depth; a cheap per-level "did anyone move" check exits early once a
+//! whole block has settled on its leaves.
+//!
+//! ## Dispatch
+//!
+//! The same kernel source is compiled twice on x86-64: once portable and
+//! once under `#[target_feature(enable = "avx2")]`. One runtime
+//! `is_x86_feature_detected!("avx2")` probe (or a compile-time
+//! `cfg!(target_feature = "avx2")` when built with `-C target-cpu`)
+//! picks the widest path per batch. Both versions execute the identical
+//! sequence of IEEE-754 `f64` operations — Rust never auto-contracts
+//! `a * b + c` into an FMA — so the exact path is bitwise identical to
+//! the recursive models on every lane of every ISA.
+
+use crate::blocked::{BlockedForest, BlockedGbdt};
+use crate::engine::Exactness;
+use libra_ml::FrameView;
+
+/// Rows evaluated per block by the blocked kernels.
+///
+/// 16 rows × 7 features of `f64` keeps a whole block's gathered feature
+/// matrix inside two cache lines per feature column while giving the
+/// out-of-order core 16 independent traversal chains per level.
+pub const BLOCK: usize = 16;
+
+/// The widest SIMD path the runtime dispatch will select on this
+/// machine: `"avx2"` or `"scalar"` (the portable fallback).
+pub fn simd_level() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if use_avx2() {
+            return "avx2";
+        }
+    }
+    "scalar"
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn use_avx2() -> bool {
+    cfg!(target_feature = "avx2") || std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// Argmax with the recursive models' tie-breaking: `Iterator::max_by`
+/// keeps the *last* maximal element.
+#[inline]
+pub(crate) fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+/// One branchless level step for every row of a block: each row's
+/// cursor either advances to a child or (at a leaf) self-loops in
+/// place. Returns false once no cursor moved, letting the caller stop
+/// before the tree's worst-case depth.
+// The negated comparison is the contract, not a style slip: NaN must
+// fail `v <= thr` and go right, as in the recursive engine.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+#[inline(always)]
+fn step_level<const QUANT: bool>(
+    feature: &[u32],
+    thr: &[f64],
+    thr_q: &[f32],
+    kids: &[u32],
+    rowbuf: &[f64],
+    stride: usize,
+    idx: &mut [u32],
+) -> bool {
+    let mut moved = false;
+    for (r, slot) in idx.iter_mut().enumerate() {
+        let i = *slot as usize;
+        let v = rowbuf[r * stride + feature[i] as usize];
+        // `!(v <= thr)`, not `v > thr`: a NaN feature must descend
+        // right, exactly like the recursive `if v <= thr {left} else
+        // {right}`.
+        let go_right = if QUANT {
+            !((v as f32) <= thr_q[i])
+        } else {
+            !(v <= thr[i])
+        };
+        let next = kids[2 * i + go_right as usize];
+        moved |= next != *slot;
+        *slot = next;
+    }
+    moved
+}
+
+/// Copies block rows out of the (possibly row-selected) view into a
+/// contiguous row-major scratch so the level steps index arithmetically.
+#[inline(always)]
+fn gather_rows(data: &FrameView<'_>, start: usize, len: usize, stride: usize, rowbuf: &mut [f64]) {
+    for r in 0..len {
+        let row = data.row(start + r);
+        rowbuf[r * stride..r * stride + row.len()].copy_from_slice(row);
+    }
+}
+
+#[inline(always)]
+fn forest_batch_core<const QUANT: bool>(
+    fo: &BlockedForest,
+    data: &FrameView<'_>,
+    out: &mut Vec<usize>,
+) {
+    let c = fo.n_classes;
+    let stride = fo.n_features.max(1);
+    let n = data.len();
+    let n_trees = fo.roots.len();
+    let mut rowbuf = vec![0.0f64; BLOCK * stride];
+    let mut acc = vec![0.0f64; BLOCK * c];
+    let mut idx = [0u32; BLOCK];
+    let mut start = 0usize;
+    while start < n {
+        let len = BLOCK.min(n - start);
+        gather_rows(data, start, len, stride, &mut rowbuf);
+        let acc = &mut acc[..len * c];
+        acc.fill(0.0);
+        for t in 0..n_trees {
+            idx[..len].fill(fo.roots[t]);
+            for _ in 0..fo.steps[t] {
+                if !step_level::<QUANT>(
+                    &fo.feature,
+                    &fo.thr,
+                    &fo.thr_q,
+                    &fo.kids,
+                    &rowbuf,
+                    stride,
+                    &mut idx[..len],
+                ) {
+                    break;
+                }
+            }
+            for (r, &at) in idx[..len].iter().enumerate() {
+                let block = fo.payload[at as usize] as usize * c;
+                let lane = &mut acc[r * c..(r + 1) * c];
+                for (p, q) in lane.iter_mut().zip(&fo.leaf_probs[block..block + c]) {
+                    *p += q;
+                }
+            }
+        }
+        // Same normalization as the recursive forest (a per-element f64
+        // division); skipped for single-tree forests where `x / 1.0` is
+        // the identity.
+        if n_trees > 1 {
+            let nt = n_trees as f64;
+            for v in acc.iter_mut() {
+                *v /= nt;
+            }
+        }
+        for r in 0..len {
+            out.push(argmax(&acc[r * c..(r + 1) * c]));
+        }
+        start += len;
+    }
+}
+
+#[inline(always)]
+fn gbdt_batch_core<const QUANT: bool>(
+    fo: &BlockedGbdt,
+    data: &FrameView<'_>,
+    out: &mut Vec<usize>,
+) {
+    let k = fo.bases.len();
+    let stride = fo.n_features.max(1);
+    let n = data.len();
+    let mut rowbuf = vec![0.0f64; BLOCK * stride];
+    let mut scores = vec![0.0f64; BLOCK * k];
+    let mut sums = [0.0f64; BLOCK];
+    let mut idx = [0u32; BLOCK];
+    let mut start = 0usize;
+    while start < n {
+        let len = BLOCK.min(n - start);
+        gather_rows(data, start, len, stride, &mut rowbuf);
+        for (b, &(t0, t1)) in fo.booster_trees.iter().enumerate() {
+            sums[..len].fill(0.0);
+            for t in t0 as usize..t1 as usize {
+                idx[..len].fill(fo.roots[t]);
+                for _ in 0..fo.steps[t] {
+                    if !step_level::<QUANT>(
+                        &fo.feature,
+                        &fo.thr,
+                        &fo.thr_q,
+                        &fo.kids,
+                        &rowbuf,
+                        stride,
+                        &mut idx[..len],
+                    ) {
+                        break;
+                    }
+                }
+                for (r, &at) in idx[..len].iter().enumerate() {
+                    sums[r] += fo.value[at as usize];
+                }
+            }
+            // Identical `base + lr * Σ` expression as the flat engine:
+            // the sum accumulates in tree order, then one mul + add.
+            for r in 0..len {
+                scores[r * k + b] = fo.bases[b] + fo.learning_rate * sums[r];
+            }
+        }
+        for r in 0..len {
+            out.push(argmax(&scores[r * k..(r + 1) * k]));
+        }
+        start += len;
+    }
+}
+
+// --- runtime dispatch ---------------------------------------------------
+//
+// The `_avx2` wrappers re-compile the identical kernel body with AVX2
+// (and everything it implies) enabled, so LLVM vectorizes the per-row
+// loops with 256-bit lanes. They are semantically identical to the
+// portable versions — dispatch can never change a prediction.
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn forest_batch_avx2<const QUANT: bool>(
+    fo: &BlockedForest,
+    data: &FrameView<'_>,
+    out: &mut Vec<usize>,
+) {
+    forest_batch_core::<QUANT>(fo, data, out)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn gbdt_batch_avx2<const QUANT: bool>(
+    fo: &BlockedGbdt,
+    data: &FrameView<'_>,
+    out: &mut Vec<usize>,
+) {
+    gbdt_batch_core::<QUANT>(fo, data, out)
+}
+
+#[allow(unsafe_code)]
+fn forest_dispatch<const QUANT: bool>(
+    fo: &BlockedForest,
+    data: &FrameView<'_>,
+    out: &mut Vec<usize>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 support was verified (at compile time or by the
+        // runtime probe) immediately above.
+        unsafe { forest_batch_avx2::<QUANT>(fo, data, out) };
+        return;
+    }
+    forest_batch_core::<QUANT>(fo, data, out)
+}
+
+#[allow(unsafe_code)]
+fn gbdt_dispatch<const QUANT: bool>(fo: &BlockedGbdt, data: &FrameView<'_>, out: &mut Vec<usize>) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 support was verified (at compile time or by the
+        // runtime probe) immediately above.
+        unsafe { gbdt_batch_avx2::<QUANT>(fo, data, out) };
+        return;
+    }
+    gbdt_batch_core::<QUANT>(fo, data, out)
+}
+
+/// Blocked batch prediction for a forest, appending one class per row.
+pub(crate) fn forest_batch(fo: &BlockedForest, data: &FrameView<'_>, out: &mut Vec<usize>) {
+    match fo.exactness {
+        Exactness::Exact => forest_dispatch::<false>(fo, data, out),
+        Exactness::Quantized => forest_dispatch::<true>(fo, data, out),
+    }
+}
+
+/// Blocked batch prediction for a GBDT, appending one class per row.
+pub(crate) fn gbdt_batch(fo: &BlockedGbdt, data: &FrameView<'_>, out: &mut Vec<usize>) {
+    match fo.exactness {
+        Exactness::Exact => gbdt_dispatch::<false>(fo, data, out),
+        Exactness::Quantized => gbdt_dispatch::<true>(fo, data, out),
+    }
+}

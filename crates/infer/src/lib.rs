@@ -9,11 +9,19 @@
 //! inspect; this crate owns the hot serving path:
 //!
 //! * [`flat`] — recursive tree ensembles compiled into contiguous
-//!   struct-of-arrays node tables ([`FlatForest`], [`FlatGbdt`]) with a
-//!   batched, allocation-free-per-row `predict_batch` API. Predictions
-//!   are **bitwise identical** to the recursive implementation — same
-//!   leaf values, same accumulation order, same tie-breaking — just
-//!   cache-friendly.
+//!   struct-of-arrays node tables ([`FlatForest`], [`FlatGbdt`]) served
+//!   through the one [`libra_ml::Classifier`] surface with an
+//!   allocation-free-per-row batch path. Predictions are **bitwise
+//!   identical** to the recursive implementation — same leaf values,
+//!   same accumulation order, same tie-breaking — just cache-friendly.
+//! * [`blocked`] + [`kernel`] — the flat tables recompiled into
+//!   breadth-first arenas ([`BlockedForest`], [`BlockedGbdt`]) evaluated
+//!   level-by-level over row blocks with branchless child selection and
+//!   runtime SIMD dispatch; an optional `f32`-quantized node table sits
+//!   behind the explicit [`Exactness::Quantized`] opt-in.
+//! * [`engine`] — the engine-selection surface ([`EngineOpts`],
+//!   [`EngineKind`], [`Exactness`]) shared by `libractl` and the bench
+//!   harness.
 //! * [`artifact`] — a versioned, checksummed binary **model artifact
 //!   format** (magic + format version + feature schema + class labels +
 //!   CRC-32) freezing a trained model for shipment.
@@ -27,15 +35,24 @@
 //! model trained at any worker-thread count serializes to the same
 //! bytes, and digests are comparable across machines.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the SIMD dispatchers in `kernel` carry the one
+// narrowly-scoped `#[allow(unsafe_code)]` needed to call their
+// `#[target_feature]`-compiled twins behind a runtime CPU probe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod blocked;
+pub mod engine;
 pub mod flat;
+pub mod kernel;
 pub mod registry;
 
 pub use artifact::{ArtifactMeta, Error, ModelArtifact, ModelPayload, FORMAT_VERSION, MAGIC};
+pub use blocked::{BlockedForest, BlockedGbdt};
+pub use engine::{EngineKind, EngineOpts, Exactness};
 pub use flat::{FlatForest, FlatGbdt};
+pub use kernel::{simd_level, BLOCK};
 pub use registry::{
     ArtifactFault, ModelRecord, ModelRegistry, ModelSpec, RegistryWatcher, ARTIFACT_EXT,
     LATEST_FILE,

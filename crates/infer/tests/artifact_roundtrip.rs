@@ -9,7 +9,7 @@ use libra_infer::{
     ArtifactMeta, Error, FlatForest, ModelArtifact, ModelPayload, ModelRegistry, ModelSpec,
     FORMAT_VERSION,
 };
-use libra_ml::{Dataset, ForestConfig, RandomForest};
+use libra_ml::{Classifier, Dataset, ForestConfig, RandomForest};
 use libra_util::rng::rng_from_seed;
 use rand::Rng;
 
@@ -84,11 +84,21 @@ fn roundtrip_is_digest_identical() {
         "artifact bytes must be seed-deterministic"
     );
 
-    // And the decoded engine really predicts.
-    let probe = vec![vec![0.1, 4.0, 0.2], vec![4.1, 1.0, 1.8]];
+    // And the decoded engine really predicts (via the one Classifier
+    // surface — the payload itself implements it too).
+    let probe = Dataset::new(
+        vec![vec![0.1, 4.0, 0.2], vec![4.1, 1.0, 1.8]],
+        vec![0, 0],
+        3,
+        vec!["snr".into(), "evm".into(), "sweep".into()],
+    );
     match (&art.payload, &back.payload) {
         (ModelPayload::Forest(a), ModelPayload::Forest(b)) => {
-            assert_eq!(a.predict_batch(&probe), b.predict_batch(&probe));
+            assert_eq!(a.predict_view(&probe.view()), b.predict_view(&probe.view()));
+            assert_eq!(
+                art.payload.predict_view(&probe.view()),
+                back.payload.predict_view(&probe.view())
+            );
         }
         _ => panic!("payload kind changed in round-trip"),
     }

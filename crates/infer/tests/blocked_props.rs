@@ -1,0 +1,249 @@
+//! Property tests for the blocked/branchless engine: the exact path must
+//! be **bitwise identical** to the recursive models on adversarial tree
+//! shapes (single-node stumps, maximally deep chains, pure-leaf forests
+//! evaluated on arbitrary rows) and on every block-tail size, under both
+//! the portable and SIMD kernels — the same binary is rebuilt with
+//! `-C target-cpu=native` in CI and its digests diffed. The quantized
+//! path gets a *bounded-divergence* property instead: rows whose every
+//! split comparison agrees between f64 and f32 must predict identically.
+
+use libra_infer::{BlockedForest, BlockedGbdt, Exactness, FlatForest, FlatGbdt, BLOCK};
+use libra_ml::{Classifier, Dataset, ForestConfig, GbdtClassifier, GbdtConfig, RandomForest};
+use libra_util::rng::rng_from_seed;
+use proptest::prelude::*;
+use rand::Rng;
+
+fn synth_dataset(seed: u64, n_rows: usize, n_features: usize, n_classes: usize) -> Dataset {
+    let mut rng = rng_from_seed(seed);
+    let mut features = Vec::with_capacity(n_rows);
+    let mut labels = Vec::with_capacity(n_rows);
+    for i in 0..n_rows {
+        let class = i % n_classes;
+        let row: Vec<f64> = (0..n_features)
+            .map(|f| class as f64 * 1.5 + ((f + 1) as f64) * rng.gen_range(-1.0..1.0))
+            .collect();
+        features.push(row);
+        labels.push(class);
+    }
+    let names = (0..n_features).map(|f| format!("f{f}")).collect();
+    Dataset::new(features, labels, n_classes, names)
+}
+
+/// Probe rows wrapped in a frame (dummy labels) so they can flow through
+/// the batch kernel. Values span far outside the training range, plus
+/// infinities — legal sentinels that force extreme root-to-leaf paths.
+fn probe_frame(seed: u64, n_rows: usize, n_features: usize, n_classes: usize) -> Dataset {
+    let mut rng = rng_from_seed(seed ^ 0xDEAD_BEEF_CAFE_F00D);
+    let rows: Vec<Vec<f64>> = (0..n_rows)
+        .map(|i| {
+            (0..n_features)
+                .map(|f| match (i + f) % 17 {
+                    0 => f64::INFINITY,
+                    1 => f64::NEG_INFINITY,
+                    _ => rng.gen_range(-25.0..25.0),
+                })
+                .collect()
+        })
+        .collect();
+    let names = (0..n_features).map(|f| format!("f{f}")).collect();
+    Dataset::new(rows, vec![0; n_rows], n_classes, names)
+}
+
+fn assert_probas_bitwise(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: proba length");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: proba bits");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Blocked exact vs recursive vs flat, across tree shapes from
+    /// stumps (`max_depth = 1`) to deep chains (`max_depth` up to 16 on
+    /// few features, so paths degenerate into long runs) — classes,
+    /// probabilities, and tie-breaking all bitwise equal, per row and
+    /// through the batch kernel.
+    #[test]
+    fn blocked_forest_matches_recursive_on_adversarial_shapes(
+        seed in 0u64..1_000_000,
+        n_rows in 24usize..70,
+        n_features in 1usize..4,
+        n_classes in 2usize..5,
+        n_trees in 1usize..7,
+        max_depth in 1usize..16,
+    ) {
+        let data = synth_dataset(seed, n_rows, n_features, n_classes);
+        let mut rf = RandomForest::new(ForestConfig {
+            n_trees,
+            max_depth,
+            min_samples_split: 2,
+            ..Default::default()
+        });
+        let mut rng = rng_from_seed(seed);
+        rf.fit(&data, &mut rng);
+        let flat = FlatForest::compile(&rf);
+        let blocked = BlockedForest::compile(&flat, Exactness::Exact);
+
+        let probes = probe_frame(seed, 48, n_features, n_classes);
+        for row in data.rows().chain(probes.rows()) {
+            prop_assert_eq!(blocked.predict_one(row), rf.predict_one(row));
+            let (rp, bp) = (rf.predict_proba_one(row), blocked.predict_proba_one(row));
+            prop_assert_eq!(rp.len(), bp.len());
+            for (a, b) in rp.iter().zip(bp.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Batch kernel agrees with the per-row walk on unseen probes.
+        let batch = blocked.predict_view(&probes.view());
+        let per_row: Vec<usize> = probes.rows().map(|r| blocked.predict_one(r)).collect();
+        prop_assert_eq!(&batch, &per_row);
+        // And with the flat engine, which props.rs pins to recursive.
+        prop_assert_eq!(&batch, &flat.predict_view(&probes.view()));
+    }
+
+    /// Mixed block tails: every selection size around the block boundary
+    /// (`n % BLOCK` ∈ {0, 1, BLOCK−1, …}) must agree with per-row walks.
+    #[test]
+    fn blocked_batch_tails_match_per_row(
+        seed in 0u64..1_000_000,
+        extra in 0usize..(2 * BLOCK),
+    ) {
+        let data = synth_dataset(seed, 64, 3, 3);
+        let mut rf = RandomForest::new(ForestConfig { n_trees: 5, ..Default::default() });
+        let mut rng = rng_from_seed(seed);
+        rf.fit(&data, &mut rng);
+        let blocked = BlockedForest::compile(&FlatForest::compile(&rf), Exactness::Exact);
+
+        let n = data.len();
+        for k in [1, BLOCK - 1, BLOCK, BLOCK + 1, BLOCK + extra] {
+            let k = k.min(n);
+            let sel: Vec<usize> = (0..k).map(|i| (i * 11) % n).collect();
+            let got = blocked.predict_view(&data.select(&sel));
+            let want: Vec<usize> = sel.iter().map(|&i| blocked.predict_one(data.row(i))).collect();
+            prop_assert_eq!(got, want, "tail size {}", k);
+        }
+    }
+
+    /// Quantized divergence is bounded and explainable: any row whose
+    /// every split comparison is unchanged by the f64→f32 threshold cast
+    /// must predict identically to the exact path. Only rows that
+    /// straddle a rounded threshold may move.
+    #[test]
+    fn quantized_divergence_is_bounded_to_threshold_straddlers(
+        seed in 0u64..1_000_000,
+        n_trees in 1usize..6,
+    ) {
+        let data = synth_dataset(seed, 60, 3, 3);
+        let mut rf = RandomForest::new(ForestConfig { n_trees, ..Default::default() });
+        let mut rng = rng_from_seed(seed);
+        rf.fit(&data, &mut rng);
+        let flat = FlatForest::compile(&rf);
+        let exact = BlockedForest::compile(&flat, Exactness::Exact);
+        let quant = BlockedForest::compile(&flat, Exactness::Quantized);
+        let splits: Vec<(usize, f64)> = flat.split_nodes().collect();
+
+        let probes = probe_frame(seed, 64, 3, 3);
+        let e = exact.predict_view(&probes.view());
+        let q = quant.predict_view(&probes.view());
+        let mut diverged = 0usize;
+        for (i, row) in probes.rows().enumerate() {
+            let safe = splits.iter().all(|&(f, thr)| {
+                (row[f] <= thr) == ((row[f] as f32) <= (thr as f32))
+            });
+            if safe {
+                prop_assert_eq!(e[i], q[i], "f32-safe row {} diverged", i);
+            } else if e[i] != q[i] {
+                diverged += 1;
+            }
+        }
+        // Straddlers are rare under any sane data distribution.
+        prop_assert!(diverged <= probes.len() / 8,
+            "{} of {} rows diverged", diverged, probes.len());
+    }
+
+    /// GBDT: blocked exact decision scores and classes bitwise-match the
+    /// recursive booster, per row and batched.
+    #[test]
+    fn blocked_gbdt_matches_recursive(
+        seed in 0u64..1_000_000,
+        n_rounds in 1usize..5,
+        n_classes in 2usize..4,
+    ) {
+        let data = synth_dataset(seed, 48, 3, n_classes);
+        let mut gbdt = GbdtClassifier::new(GbdtConfig { n_rounds, max_depth: 3, ..Default::default() });
+        gbdt.fit(&data);
+        let flat = FlatGbdt::compile(&gbdt, 3);
+        let blocked = BlockedGbdt::compile(&flat, Exactness::Exact);
+
+        let probes = probe_frame(seed, 33, 3, n_classes);
+        for row in data.rows().chain(probes.rows()) {
+            prop_assert_eq!(blocked.predict_one(row), gbdt.predict_one(row));
+        }
+        let batch = blocked.predict_view(&probes.view());
+        let per_row: Vec<usize> = probes.rows().map(|r| gbdt.predict_one(r)).collect();
+        prop_assert_eq!(batch, per_row);
+    }
+}
+
+/// A forest of pure leaves (constant-label training data) — the
+/// degenerate "no features consulted" case. Every tree is a single
+/// self-looping node; the kernel must take zero level steps and still
+/// emit the exact leaf distribution for rows of any content, including
+/// NaN features on the per-row path (frames reject NaN, slices do not).
+#[test]
+fn pure_leaf_forest_ignores_row_content() {
+    let features: Vec<Vec<f64>> = (0..24).map(|i| vec![i as f64, -(i as f64)]).collect();
+    let labels = vec![1usize; 24];
+    let data = Dataset::new(features, labels, 3, vec!["a".into(), "b".into()]);
+    let mut rf = RandomForest::new(ForestConfig {
+        n_trees: 4,
+        ..Default::default()
+    });
+    let mut rng = rng_from_seed(9);
+    rf.fit(&data, &mut rng);
+    let blocked = BlockedForest::compile(&FlatForest::compile(&rf), Exactness::Exact);
+
+    for row in [
+        vec![0.0, 0.0],
+        vec![f64::INFINITY, f64::NEG_INFINITY],
+        vec![f64::NAN, f64::NAN],
+        vec![1e300, -1e300],
+    ] {
+        assert_eq!(blocked.predict_one(&row), 1);
+        assert_probas_bitwise(
+            &blocked.predict_proba_one(&row),
+            &rf.predict_proba_one(&[0.0, 0.0]),
+            "pure-leaf forest",
+        );
+    }
+}
+
+/// NaN routing on real split trees: the recursive comparison
+/// `v <= thr` is false for NaN (NaN goes right), and the branchless
+/// kernel must reproduce that bit-for-bit on the per-row path.
+#[test]
+fn nan_rows_route_right_like_recursive() {
+    let data = synth_dataset(0x4A4E, 60, 3, 3);
+    let mut rf = RandomForest::new(ForestConfig {
+        n_trees: 6,
+        ..Default::default()
+    });
+    let mut rng = rng_from_seed(0x4A4E);
+    rf.fit(&data, &mut rng);
+    let blocked = BlockedForest::compile(&FlatForest::compile(&rf), Exactness::Exact);
+
+    let rows = [
+        vec![f64::NAN, 1.0, -2.0],
+        vec![1.0, f64::NAN, f64::NAN],
+        vec![f64::NAN, f64::NAN, f64::NAN],
+    ];
+    for row in &rows {
+        assert_eq!(blocked.predict_one(row), rf.predict_one(row));
+        assert_probas_bitwise(
+            &blocked.predict_proba_one(row),
+            &rf.predict_proba_one(row),
+            "NaN routing",
+        );
+    }
+}

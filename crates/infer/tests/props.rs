@@ -3,7 +3,7 @@
 //! inputs — every class count, every tree shape, every row.
 
 use libra_infer::{FlatForest, FlatGbdt};
-use libra_ml::{Dataset, ForestConfig, GbdtClassifier, GbdtConfig, RandomForest};
+use libra_ml::{Classifier, Dataset, ForestConfig, GbdtClassifier, GbdtConfig, RandomForest};
 use libra_util::rng::rng_from_seed;
 use proptest::prelude::*;
 use rand::Rng;
@@ -37,6 +37,13 @@ fn probe_rows(seed: u64, n_rows: usize, n_features: usize) -> Vec<Vec<f64>> {
                 .collect()
         })
         .collect()
+}
+
+/// Wraps probe rows in a columnar frame (dummy labels) so they can flow
+/// through the `Classifier` view surface — the only batch path left.
+fn probe_frame(probes: &[Vec<f64>], n_features: usize, n_classes: usize) -> Dataset {
+    let names = (0..n_features).map(|f| format!("f{f}")).collect();
+    Dataset::new(probes.to_vec(), vec![0; probes.len()], n_classes, names)
 }
 
 proptest! {
@@ -73,13 +80,13 @@ proptest! {
                 prop_assert_eq!(a.to_bits(), b.to_bits());
             }
         }
-        // Batch path agrees with the per-row path.
-        let batch = flat.predict_batch(&probes);
+        // The zero-copy view path agrees with the per-row path, on
+        // training rows and unseen probes alike.
+        let batch = flat.predict_view(&probe_frame(&probes, n_features, n_classes).view());
         let per_row: Vec<usize> = probes.iter().map(|r| flat.predict_one(r)).collect();
         prop_assert_eq!(batch, per_row);
-        // The zero-copy view path agrees with the row-based batch path.
         let mut via_view = Vec::new();
-        flat.predict_batch_view(&data.view(), &mut via_view);
+        flat.predict_batch_into(&data.view(), &mut via_view);
         let frame_rows: Vec<usize> = data.rows().map(|r| flat.predict_one(r)).collect();
         prop_assert_eq!(via_view, frame_rows);
     }
@@ -111,7 +118,7 @@ proptest! {
                 prop_assert_eq!(a.to_bits(), b.to_bits());
             }
         }
-        let batch = flat.predict_batch(&probes);
+        let batch = flat.predict_view(&probe_frame(&probes, n_features, n_classes).view());
         let per_row: Vec<usize> = probes.iter().map(|r| flat.predict_one(r)).collect();
         prop_assert_eq!(batch, per_row);
     }

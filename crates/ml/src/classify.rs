@@ -24,11 +24,6 @@ pub trait Classifier {
     /// Predicted class index for one feature row.
     fn predict_one(&self, row: &[f64]) -> usize;
 
-    /// Predicted class indices for many row-major rows.
-    fn predict(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        rows.iter().map(|r| self.predict_one(r)).collect()
-    }
-
     /// Predicted class indices for every row of a columnar frame view.
     fn predict_view(&self, data: &FrameView<'_>) -> Vec<usize> {
         let mut out = Vec::new();
@@ -87,9 +82,7 @@ mod tests {
         let mut rng = rng_from_seed(1);
         tree.fit(&data, &mut rng);
         let via_trait: &dyn Classifier = &tree;
-        let rows = data.to_rows();
-        let per_row: Vec<usize> = rows.iter().map(|r| tree.predict_one(r)).collect();
-        assert_eq!(via_trait.predict(&rows), per_row);
+        let per_row: Vec<usize> = data.rows().map(|r| tree.predict_one(r)).collect();
         assert_eq!(via_trait.predict_view(&data.view()), per_row);
         let mut out = vec![99; 2];
         via_trait.predict_batch_into(&data.view(), &mut out);

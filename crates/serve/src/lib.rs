@@ -18,7 +18,8 @@
 //! * [`service`] — the [`DecisionService`]: N worker shards keyed by
 //!   station id (the stable `libra_util::checksum::shard_of` hash),
 //!   each batching incoming requests into the zero-copy
-//!   `predict_batch_view` columnar path and reporting per-shard `obs`
+//!   `Classifier::predict_batch_into` columnar path (the blocked
+//!   branchless kernel by default) and reporting per-shard `obs`
 //!   deltas merged back in shard order.
 //! * [`loadgen`] — the deterministic synthetic load generator: derived
 //!   RNG streams per fixed-size chunk under the `libra_util::par`

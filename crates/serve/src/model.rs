@@ -30,8 +30,14 @@ pub struct ServedModel {
 }
 
 impl ServedModel {
-    /// Wraps an already-built classifier under a registry identity.
-    pub fn new(name: impl Into<String>, version: u32, classifier: LibraClassifier) -> Self {
+    /// Wraps an already-built classifier under a registry identity,
+    /// routing it through the blocked exact engine — bitwise identical
+    /// to the flat tables, so response digests cannot move. Use
+    /// [`ServedModel::with_engine`] for an explicit selection.
+    pub fn new(name: impl Into<String>, version: u32, mut classifier: LibraClassifier) -> Self {
+        classifier
+            .select_engine(&libra_infer::EngineOpts::default())
+            .expect("the default engine selection is always servable");
         Self {
             name: name.into(),
             version,
@@ -39,15 +45,32 @@ impl ServedModel {
         }
     }
 
+    /// Like [`ServedModel::new`] but honoring a caller-chosen engine
+    /// selection (e.g. `libractl serve --engine flat`).
+    pub fn with_engine(
+        name: impl Into<String>,
+        version: u32,
+        mut classifier: LibraClassifier,
+        opts: &libra_infer::EngineOpts,
+    ) -> Result<Self, String> {
+        classifier.select_engine(opts)?;
+        Ok(Self {
+            name: name.into(),
+            version,
+            classifier,
+        })
+    }
+
     /// Compiles a registry artifact into its servable form. `version`
     /// is the registry version the artifact was resolved at (artifacts
-    /// themselves are version-agnostic bytes).
+    /// themselves are version-agnostic bytes). Routes through the
+    /// blocked exact engine like [`ServedModel::new`].
     pub fn from_artifact(artifact: &ModelArtifact, version: u32) -> Result<Self, Error> {
-        Ok(Self {
-            name: artifact.meta.name.clone(),
+        Ok(Self::new(
+            artifact.meta.name.clone(),
             version,
-            classifier: LibraClassifier::from_artifact(artifact)?,
-        })
+            LibraClassifier::from_artifact(artifact)?,
+        ))
     }
 }
 

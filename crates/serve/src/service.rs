@@ -7,7 +7,7 @@
 //! `max_batch` requests (blocking — batch composition is a pure
 //! function of the per-shard stream, not of timing), refreshes its
 //! model handle once, then classifies the whole batch through the
-//! zero-copy `predict_batch_view` columnar path.
+//! zero-copy `Classifier::predict_batch_into` columnar path.
 //!
 //! Observability follows the workspace contract: when tracing is off
 //! the hot loop never reads a clock or touches the collector; when on,
@@ -41,6 +41,7 @@ use crate::model::{ModelCell, ModelHandle, ServedModel};
 use crate::request::{DecisionRequest, DecisionResponse};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use libra_dataset::{Action3, FEATURE_NAMES};
+use libra_ml::Classifier;
 use libra_obs as obs;
 use libra_util::checksum::shard_of;
 use libra_util::frame::FeatureFrame;
@@ -317,7 +318,7 @@ fn flush_batch(
         for envelope in pending.iter() {
             frame.push_row(&envelope.request.features.to_row(), 0);
         }
-        model.classifier.predict_batch_view(&frame.view(), classes);
+        model.classifier.predict_batch_into(&frame.view(), classes);
     }
     obs::record_value("serve.batch_rows", pending.len() as u64);
 
